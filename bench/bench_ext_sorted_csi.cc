@@ -1,0 +1,91 @@
+// Section 4.5 extension ablation: sorted columnstores (Vertica-style
+// projection order) in the advisor's candidate space.
+//
+// A range-heavy analytic workload is tuned three ways: unsorted CSI only,
+// sorted CSI enabled (the extension), and B+ tree-only. The sorted
+// projection keeps batch-mode execution while adding data skipping, which
+// neither alternative offers simultaneously.
+#include "bench/bench_util.h"
+#include "core/advisor.h"
+#include "common/rng.h"
+#include "workload/micro.h"
+
+using namespace hd;
+using namespace hd::bench;
+
+int main() {
+  const uint64_t rows = static_cast<uint64_t>(3'000'000 * Scale());
+  const int64_t maxv = (1ll << 31) - 1;
+  Database db;
+  MicroOptions mo;
+  mo.rows = rows;
+  mo.max_value = maxv;
+  Table* t = MakeUniformIntTable(&db, "t", 3, mo);
+  if (t == nullptr) return 1;
+
+  // Range-heavy workload: 2% windows on col0, aggregating col1/col2.
+  std::vector<Query> w;
+  Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    Query q;
+    q.id = "W" + std::to_string(i);
+    q.base.table = "t";
+    const int64_t lo = rng.Uniform(0, maxv - maxv / 50);
+    q.base.preds = {Pred::Between(0, Value::Int64(lo),
+                                  Value::Int64(lo + maxv / 50))};
+    q.aggs = {AggSpec::Sum(Expr::Col(0, 1), "s1"),
+              AggSpec::Sum(Expr::Col(0, 2), "s2")};
+    w.push_back(q);
+  }
+
+  auto measure = [&](const char* label) {
+    double cpu = 0;
+    for (const auto& q : w) {
+      cpu += RunQuery(&db, q, 8ull << 30, 1).metrics.cpu_ms();
+    }
+    std::printf("%-28s total cpu %10.2f ms\n", label, cpu);
+    return cpu;
+  };
+
+  // (a) unsorted columnstore.
+  t->DropAllSecondaries();
+  if (!t->CreateSecondaryColumnStore("csi_plain").ok()) return 1;
+  t->Analyze();
+  const double unsorted = measure("unsorted CSI");
+
+  // (b) sorted columnstore on the range column (the extension).
+  t->DropAllSecondaries();
+  if (!t->CreateSecondaryColumnStore("csi_sorted", /*sort_col=*/0).ok())
+    return 1;
+  t->Analyze();
+  const double sorted = measure("sorted CSI (Sec 4.5 ext)");
+
+  // (c) covering B+ tree.
+  t->DropAllSecondaries();
+  if (!t->CreateSecondaryBTree("ix", {0}, {1, 2}).ok()) return 1;
+  t->Analyze();
+  const double btree = measure("covering B+ tree");
+
+  // (d) Does the advisor (with the extension) discover the sorted CSI?
+  t->DropAllSecondaries();
+  t->Analyze();
+  Advisor advisor(&db);
+  auto rec = advisor.Recommend(w);
+  if (!rec.ok()) return 1;
+  std::printf("\nadvisor recommendation:\n%s", rec->Report().c_str());
+  bool recommended_sorted = false;
+  for (const auto& ci : rec->chosen) {
+    recommended_sorted |=
+        ci.def.is_columnstore() && !ci.def.key_cols.empty();
+  }
+
+  Shape(sorted < unsorted / 3,
+        "sorted projection beats unsorted CSI via segment elimination, "
+        "measured " + std::to_string(unsorted / sorted) + "x");
+  Shape(recommended_sorted,
+        "the extended advisor recommends the sorted columnstore candidate");
+  Shape(sorted < btree * 3,
+        "sorted CSI competitive with a covering B+ tree on 2% ranges "
+        "(batch mode offsets the coarser skipping granularity)");
+  return 0;
+}

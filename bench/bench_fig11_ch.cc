@@ -1,0 +1,121 @@
+// Figure 11: CH benchmark — hybrid physical design vs B+ tree-only under
+// Snapshot Isolation (SI) and Serializable (SR), with concurrent TPC-C
+// transactions and analytic queries sharing the data.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/advisor.h"
+#include "workload/ch.h"
+
+using namespace hd;
+using namespace hd::bench;
+
+namespace {
+
+const std::vector<double> kBuckets = {0.5, 0.8, 1.2, 1.5, 2, 5, 10};
+
+void ApplyBTreeBaseline(Database* db) {
+  using C = ChCols;
+  // TPC-C-style design: clustered B+ trees on the keys, secondaries on the
+  // hot lookup columns.
+  (void)db->GetTable("customer")->SetPrimary(PrimaryKind::kBTree, {C::kCUid});
+  (void)db->GetTable("orders")->SetPrimary(PrimaryKind::kBTree, {C::kOUid});
+  (void)db->GetTable("orders")->CreateSecondaryBTree("ix_o_cust",
+                                                     {C::kOCUid}, {});
+  (void)db->GetTable("order_line")
+      ->SetPrimary(PrimaryKind::kBTree, {C::kOlOUid, C::kOlNumber});
+  (void)db->GetTable("stock")->SetPrimary(PrimaryKind::kBTree, {C::kSUid});
+  (void)db->GetTable("item")->SetPrimary(PrimaryKind::kBTree, {C::kIId});
+  (void)db->GetTable("district")->SetPrimary(PrimaryKind::kBTree, {0});
+  for (auto& [n, t] : db->tables()) t->Analyze();
+}
+
+std::map<std::string, OpStats> RunMix(ChBenchmark* ch,
+                                      IsolationLevel iso, int ops) {
+  TransactionManager txns;
+  MixedOptions mo;
+  mo.threads = 6;  // thread 0 = analytics, 1-5 = TPC-C clients
+  mo.total_ops = ops;
+  mo.isolation = iso;
+  mo.max_dop_per_query = 1;
+  MixedResult r = RunMixedTxnWorkload(ch->db(), &txns, ch->MakeGenerator(), mo);
+  return r.per_type;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = Scale();
+  const int ops = static_cast<int>(1500 * scale);
+
+  // ---- B+ tree-only design ----
+  Database db_bt;
+  ChOptions co;
+  co.warehouses = std::max(2, static_cast<int>(4 * scale));
+  ChBenchmark ch_bt(&db_bt, co);
+  ApplyBTreeBaseline(&db_bt);
+  // ---- hybrid design: baseline + advisor-recommended columnstores ----
+  Database db_hy;
+  ChBenchmark ch_hy(&db_hy, co);
+  ApplyBTreeBaseline(&db_hy);
+  {
+    AdvisorOptions ao;
+    ao.mode = AdvisorMode::kHybrid;
+    Advisor advisor(&db_hy, ao);
+    auto rec = advisor.Recommend(ch_hy.AdvisorWorkload());
+    if (!rec.ok()) return 1;
+    std::printf("CH hybrid recommendation:\n%s\n", rec->Report().c_str());
+    // Add the recommended secondaries on top of the baseline design.
+    for (const auto& ci : rec->chosen) {
+      Table* t = db_hy.GetTable(ci.table);
+      if (t != nullptr) (void)t->ApplyIndexDef(ci.def);
+    }
+    for (auto& [n, t] : db_hy.tables()) t->Analyze();
+  }
+
+  std::printf("CH benchmark: %d warehouses, %d ops, 6 threads\n",
+              co.warehouses, ops);
+
+  for (IsolationLevel iso :
+       {IsolationLevel::kSnapshot, IsolationLevel::kSerializable}) {
+    auto bt = RunMix(&ch_bt, iso, ops);
+    auto hy = RunMix(&ch_hy, iso, ops);
+    std::printf("\n== Fig 11 (%s): median latency ms (B+tree-only vs hybrid) "
+                "and speedup ==\n",
+                IsolationLevelName(iso));
+    std::printf("%-12s%12s%12s%10s\n", "op", "B+tree", "hybrid", "speedup");
+    std::vector<int> hist(kBuckets.size() + 1, 0);
+    double h_speedup_sum = 0;
+    int h_count = 0;
+    double write_slowdown_max = 0;
+    for (auto& [type, st] : bt) {
+      if (hy.find(type) == hy.end()) continue;
+      const double b = std::max(1e-3, st.median_ms());
+      const double h = std::max(1e-3, hy[type].median_ms());
+      const double sp = b / h;
+      std::printf("%-12s%12.2f%12.2f%10.2f\n", type.c_str(), b, h, sp);
+      size_t bk = 0;
+      while (bk < kBuckets.size() && sp > kBuckets[bk]) ++bk;
+      hist[bk]++;
+      if (type.rfind("CH-", 0) == 0) {
+        h_speedup_sum += sp;
+        ++h_count;
+      }
+      if (type == "NewOrder" || type == "Payment") {
+        write_slowdown_max = std::max(write_slowdown_max, 1.0 / sp);
+      }
+    }
+    std::printf("speedup histogram (0.5/0.8/1.2/1.5/2/5/10/>10):");
+    for (int v : hist) std::printf("%4d", v);
+    std::printf("\n");
+    Shape(h_count > 0 && h_speedup_sum / h_count > 1.5,
+          std::string(IsolationLevelName(iso)) +
+              ": hybrid speeds up the analytic (H) queries, mean speedup " +
+              std::to_string(h_count ? h_speedup_sum / h_count : 0) + "x");
+    Shape(write_slowdown_max < 5.0,
+          std::string(IsolationLevelName(iso)) +
+              ": write transactions only moderately slower under hybrid (" +
+              std::to_string(write_slowdown_max) + "x)");
+  }
+  return 0;
+}

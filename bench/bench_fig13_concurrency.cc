@@ -1,0 +1,91 @@
+// Figure 13 (Appendix A.2): the B+ tree / columnstore selectivity
+// crossover as a function of the number of concurrent queries.
+//
+// The paper ran up to 256 concurrent queries on a 40-core server. This
+// host has far fewer cores, so wall-clock runs cannot reproduce the
+// capacity effects; instead we measure each design's single-query CPU
+// profile (serial and parallel plans, exactly as the optimizer would pick
+// them at each concurrency level) and apply a processor-sharing model of
+// the paper's 40-core machine: with k concurrent queries, a query with
+// total work C and parallelism d completes in C / min(d, max(1, N/k)).
+// The crossover is where the B+ tree curve meets the CSI curve.
+#include "bench/bench_util.h"
+#include "workload/micro.h"
+
+using namespace hd;
+using namespace hd::bench;
+
+int main() {
+  const uint64_t rows = static_cast<uint64_t>(4'000'000 * Scale());
+  const int64_t maxv = (1ll << 31) - 1;
+  const double kCores = 40;  // the paper's server
+  const int kDop = 8;        // parallel plan DOP in this engine
+
+  Database db;
+  MicroOptions mo;
+  mo.rows = rows;
+  mo.max_value = maxv;
+  Table* bt = MakeUniformIntTable(&db, "t_btree", 1, mo);
+  Table* ct = MakeUniformIntTable(&db, "t_csi", 1, mo);
+  if (bt == nullptr || ct == nullptr) return 1;
+  if (!bt->SetPrimary(PrimaryKind::kBTree, {0}).ok()) return 1;
+  if (!ct->SetPrimary(PrimaryKind::kColumnStore).ok()) return 1;
+  db.WarmAll();
+
+  // Measure CPU totals per selectivity for each design, hot runs.
+  const std::vector<double> sel_pct = {0.01, 0.05, 0.1, 0.2, 0.5,
+                                       1,    2,    5,   10,  20, 40};
+  std::vector<double> bt_cpu, bt_serial_cpu, csi_cpu;
+  for (double pct : sel_pct) {
+    Query qb = MicroQ1Range("t_btree", pct / 100, maxv);
+    Query qc = MicroQ1Range("t_csi", pct / 100, maxv);
+    bt_cpu.push_back(MedianRun(&db, qb, 3, false).cpu_ms());
+    bt_serial_cpu.push_back(MedianRun(&db, qb, 3, false, 8ull << 30, 1).cpu_ms());
+    csi_cpu.push_back(MedianRun(&db, qc, 3, false).cpu_ms());
+  }
+
+  // Processor-sharing latency model on the paper's 40-core box.
+  auto latency = [&](double cpu_total, int dop, int k) {
+    const double share = std::max(1.0, kCores / k);
+    return cpu_total / std::min<double>(dop, share);
+  };
+
+  const std::vector<double> ks = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  Series cross{"crossover sel%", {}};
+  for (double kd : ks) {
+    const int k = static_cast<int>(kd);
+    double crossing = -1;
+    for (size_t i = 0; i < sel_pct.size(); ++i) {
+      // B+ tree: the optimizer picks serial plans at low selectivity; use
+      // whichever is faster at this concurrency.
+      const double lb = std::min(latency(bt_serial_cpu[i], 1, k),
+                                 latency(bt_cpu[i], kDop, k));
+      const double lc = latency(csi_cpu[i], kDop, k);
+      if (lc <= lb) {
+        crossing = sel_pct[i];
+        break;
+      }
+    }
+    if (crossing < 0) crossing = sel_pct.back();
+    cross.ys.push_back(crossing);
+  }
+
+  std::printf("Figure 13 reproduction: %llu rows, processor-sharing model of "
+              "a %d-core server\n",
+              static_cast<unsigned long long>(rows),
+              static_cast<int>(kCores));
+  PrintTable("Fig 13 selectivity crossover vs #concurrent queries",
+             "#concurrent", ks, {cross});
+
+  const double at1 = cross.ys.front();
+  double peak = 0;
+  for (double v : cross.ys) peak = std::max(peak, v);
+  Shape(peak > at1,
+        "crossover rises with concurrency (paper: ~0.1% at k=1 up to ~1% at "
+        "k~128): k=1 " + std::to_string(at1) + "% peak " +
+            std::to_string(peak) + "%");
+  Shape(cross.ys.back() <= peak,
+        "beyond peak concurrency the crossover stops rising (CPU saturation; "
+        "paper observes a decline as serial plans also contend)");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 5: update cost by index type and update size (Q4: UPDATE TOP(N)
+// WHERE l_shipdate = d on TPC-H lineitem). Three designs:
+//   (A) primary B+ tree (orderkey, linenumber) + secondary B+ tree shipdate
+//   (B) design A + secondary columnstore (delete buffer path)
+//   (C) primary columnstore + secondary B+ tree shipdate (delete bitmap)
+#include "bench/bench_util.h"
+#include "workload/tpch.h"
+
+using namespace hd;
+using namespace hd::bench;
+
+namespace {
+
+Table* BuildLineitem(Database* db, const std::string& name, uint64_t rows,
+                     bool primary_csi, bool secondary_csi) {
+  TpchOptions to;
+  to.rows = rows;
+  Table* t = MakeLineitem(db, name, to);
+  if (t == nullptr) return nullptr;
+  using L = LineitemCols;
+  if (primary_csi) {
+    if (!t->SetPrimary(PrimaryKind::kColumnStore).ok()) return nullptr;
+  } else {
+    if (!t->SetPrimary(PrimaryKind::kBTree, {L::kOrderKey, L::kLineNumber})
+             .ok()) {
+      return nullptr;
+    }
+  }
+  if (!t->CreateSecondaryBTree("ix_ship", {L::kShipDate}, {}).ok()) {
+    return nullptr;
+  }
+  if (secondary_csi) {
+    if (!t->CreateSecondaryColumnStore("csi").ok()) return nullptr;
+  }
+  t->Analyze();
+  return t;
+}
+
+// Run one update of `frac` of the rows (hot) and report execution time.
+// Rebuilds are avoided by updating different dates; rows updated by a
+// statement stay in the table with the same shipdate.
+double UpdateCost(Database* db, const std::string& table, uint64_t rows,
+                  double frac, int* date_cursor) {
+  // Q4 updates TOP(N) rows of one shipdate. Fractions larger than one
+  // date's population widen the predicate to a date range, as an update
+  // statement over more data.
+  const int64_t n = std::max<int64_t>(1, static_cast<int64_t>(rows * frac));
+  const double rows_per_day =
+      static_cast<double>(rows) / (kTpchShipDateHi - kTpchShipDateLo);
+  const int days = std::max(1, static_cast<int>(n / rows_per_day + 1));
+  const int32_t d = kTpchShipDateLo + (*date_cursor);
+  *date_cursor += days + 1;
+
+  auto run_once = [&](int32_t day, int span) {
+    Query q = TpchQ4(table, n, day);
+    if (span > 1) {
+      q.base.preds.clear();
+      q.base.preds.push_back(Pred::Between(LineitemCols::kShipDate,
+                                           Value::Date(day),
+                                           Value::Date(day + span)));
+    }
+    return RunQuery(db, q).metrics.exec_ms();
+  };
+  // Small statements are sub-millisecond: median of several runs on
+  // different dates (each date's rows are updated once per run).
+  const int reps = frac <= 1e-3 ? 5 : 1;
+  std::vector<double> runs;
+  run_once(d, days);  // warm up structures and caches
+  for (int r2 = 0; r2 < reps; ++r2) {
+    const int32_t day = kTpchShipDateLo + (*date_cursor);
+    *date_cursor += days + 1;
+    runs.push_back(run_once(day, days));
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t rows = static_cast<uint64_t>(2'000'000 * Scale());
+  Database db;
+  Table* a = BuildLineitem(&db, "li_btree", rows, false, false);
+  Table* b = BuildLineitem(&db, "li_seccsi", rows, false, true);
+  Table* c = BuildLineitem(&db, "li_pricsi", rows, true, false);
+  if (a == nullptr || b == nullptr || c == nullptr) return 1;
+
+  const std::vector<double> fracs = {1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.4};
+  Series sa{"Pri.B+tree", {}}, sb{"B+t+sec.CSI", {}}, sc{"Pri.CSI", {}};
+  int cur_a = 0, cur_b = 0, cur_c = 0;
+  for (double f : fracs) {
+    sa.ys.push_back(UpdateCost(&db, "li_btree", rows, f, &cur_a));
+    sb.ys.push_back(UpdateCost(&db, "li_seccsi", rows, f, &cur_b));
+    sc.ys.push_back(UpdateCost(&db, "li_pricsi", rows, f, &cur_c));
+  }
+
+  std::printf("Figure 5 reproduction: lineitem %llu rows, hot updates\n",
+              static_cast<unsigned long long>(rows));
+  std::vector<double> xs;
+  for (double f : fracs) xs.push_back(f * 100);
+  PrintTable("Fig 5 update execution time (ms)", "%updated", xs, {sa, sb, sc});
+
+  // At the smallest size (N=20) the identical row-find phase dominates
+  // and run noise exceeds the maintenance delta; assert strictly from
+  // N=200 up and with tolerance at N=20.
+  bool btree_cheapest = sa.ys[0] < sb.ys[0] * 1.3 && sa.ys[0] < sc.ys[0];
+  for (size_t i = 1; i < sa.ys.size(); ++i) {
+    btree_cheapest &= sa.ys[i] < sb.ys[i] && sa.ys[i] < sc.ys[i];
+  }
+  Shape(btree_cheapest, "B+ tree is the cheapest to update at every size");
+  Shape(sc.ys[0] > sb.ys[0] * 3,
+        "primary CSI much slower than secondary CSI for small updates "
+        "(delete bitmap needs a locator scan), measured " +
+            std::to_string(sc.ys[0] / sb.ys[0]) + "x");
+  Shape(sb.ys[0] < sa.ys[0] * 8,
+        "secondary CSI within a small factor of B+ tree for small updates "
+        "(paper ~2x), measured " + std::to_string(sb.ys[0] / sa.ys[0]) + "x");
+  const size_t last = fracs.size() - 1;
+  Shape(sb.ys[last] > sa.ys[last] * 2 && sc.ys[last] > sa.ys[last] * 2,
+        "both columnstores much slower than B+ tree at 40% updated "
+        "(paper ~16x), measured sec=" +
+            std::to_string(sb.ys[last] / sa.ys[last]) + "x pri=" +
+            std::to_string(sc.ys[last] / sa.ys[last]) + "x");
+  const size_t p1 = 3;  // 1%
+  Shape(sb.ys[p1] > sc.ys[p1] * 0.3 && sb.ys[p1] < sc.ys[p1] * 3,
+        "secondary CSI converges to primary CSI at >=1% updated");
+  return 0;
+}

@@ -1,0 +1,231 @@
+// Figures 9 and 10: end-to-end evaluation of the advisor on TPC-DS-like
+// and five customer-like workloads.
+//
+// For each workload, three physical designs are produced exactly as in
+// Section 5.1: (a) B+ tree-only (DTA restricted to B+ trees),
+// (b) columnstore-only (secondary CSI on every referenced table), and
+// (c) hybrid (DTA over the combined space). All queries execute hot under
+// each design; Fig. 9 reports the distribution of per-query CPU-time
+// speedups of hybrid over the other two, in the paper's buckets.
+// Fig. 10 reports plan-leaf composition under the hybrid design.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/advisor.h"
+#include "workload/customer.h"
+#include "workload/tpcds.h"
+
+using namespace hd;
+using namespace hd::bench;
+
+namespace {
+
+const std::vector<double> kBuckets = {0.5, 0.8, 1.2, 1.5, 2, 5, 10};
+
+std::vector<int> Histogram(const std::vector<double>& speedups) {
+  std::vector<int> h(kBuckets.size() + 1, 0);
+  for (double s : speedups) {
+    size_t b = 0;
+    while (b < kBuckets.size() && s > kBuckets[b]) ++b;
+    h[b]++;
+  }
+  return h;
+}
+
+void PrintHistogram(const std::string& label, const std::vector<int>& h) {
+  std::printf("%-14s", label.c_str());
+  for (int v : h) std::printf("%8d", v);
+  std::printf("\n");
+}
+
+struct DesignRun {
+  std::vector<double> cpu_ms;  // per query
+  double total = 0;
+};
+
+DesignRun RunUnder(Database* db, const std::vector<Query>& queries,
+                   const Configuration& cfg) {
+  Status st = MaterializeConfiguration(db, cfg);
+  if (!st.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  DesignRun out;
+  for (const auto& q : queries) {
+    // Plan and execute at DOP 1: the comparison metric is CPU time
+    // (logical work), so plan choice must optimize the same quantity —
+    // mirroring the paper's resource-governed, CPU-time-based evaluation.
+    QueryResult r = RunQuery(db, q, 8ull << 30, 1);
+    out.cpu_ms.push_back(std::max(1e-4, r.metrics.cpu_ms()));
+    out.total += out.cpu_ms.back();
+  }
+  return out;
+}
+
+struct Fig10Stats {
+  double csi_leaf_pct = 0;
+  double btree_leaf_pct = 0;
+  int hybrid_plans = 0;
+};
+
+Fig10Stats AnalyzePlans(Database* db, const std::vector<Query>& queries,
+                        const Configuration& cfg) {
+  Optimizer opt(db);
+  Fig10Stats s;
+  double csi = 0, bt = 0, heap = 0;
+  for (const auto& q : queries) {
+    PlanOptions po;
+    po.max_dop = 1;
+    auto plan = opt.Plan(q, cfg, po);
+    if (!plan.ok()) continue;
+    const int c = plan->plan.leaf_csi_count();
+    const int b = plan->plan.leaf_btree_count();
+    const int h = plan->plan.leaf_heap_count();
+    const int total = std::max(1, c + b + h);
+    csi += 100.0 * c / total;
+    bt += 100.0 * b / total;
+    heap += 100.0 * h / total;
+    if (plan->plan.is_hybrid()) ++s.hybrid_plans;
+  }
+  s.csi_leaf_pct = csi / queries.size();
+  s.btree_leaf_pct = bt / queries.size();
+  return s;
+}
+
+struct WorkloadReport {
+  std::string name;
+  std::vector<int> hist_vs_csi;
+  std::vector<int> hist_vs_bt;
+  double total_bt = 0, total_csi = 0, total_hybrid = 0;
+  Fig10Stats fig10;
+  int n_queries = 0;
+  int over10_csi = 0, over10_bt = 0;
+  int over5_csi = 0, over5_bt = 0;
+  int over2_csi = 0, over2_bt = 0;
+};
+
+WorkloadReport Evaluate(const std::string& name, Database* db,
+                        const GeneratedWorkload& w) {
+  WorkloadReport rep;
+  rep.name = name;
+  rep.n_queries = static_cast<int>(w.queries.size());
+
+  auto recommend = [&](AdvisorMode mode) {
+    AdvisorOptions ao;
+    ao.mode = mode;
+    Advisor advisor(db, ao);
+    auto rec = advisor.Recommend(w.queries);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "advisor failed: %s\n",
+                   rec.status().ToString().c_str());
+      std::abort();
+    }
+    return rec->config;
+  };
+
+  Timer t;
+  Configuration cfg_bt = recommend(AdvisorMode::kBTreeOnly);
+  Configuration cfg_csi = recommend(AdvisorMode::kCsiOnly);
+  Configuration cfg_hybrid = recommend(AdvisorMode::kHybrid);
+  std::printf("[%s] advisor time %.1fs\n", name.c_str(), t.ElapsedMs() / 1000);
+
+  DesignRun bt = RunUnder(db, w.queries, cfg_bt);
+  DesignRun csi = RunUnder(db, w.queries, cfg_csi);
+  DesignRun hy = RunUnder(db, w.queries, cfg_hybrid);
+  rep.fig10 = AnalyzePlans(db, w.queries, Configuration::FromCatalog(*db));
+
+  std::vector<double> sp_csi, sp_bt;
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    sp_csi.push_back(csi.cpu_ms[i] / hy.cpu_ms[i]);
+    sp_bt.push_back(bt.cpu_ms[i] / hy.cpu_ms[i]);
+    rep.over10_csi += sp_csi.back() > 10;
+    rep.over10_bt += sp_bt.back() > 10;
+    rep.over5_csi += sp_csi.back() > 5;
+    rep.over5_bt += sp_bt.back() > 5;
+    rep.over2_csi += sp_csi.back() > 2;
+    rep.over2_bt += sp_bt.back() > 2;
+  }
+  rep.hist_vs_csi = Histogram(sp_csi);
+  rep.hist_vs_bt = Histogram(sp_bt);
+  rep.total_bt = bt.total;
+  rep.total_csi = csi.total;
+  rep.total_hybrid = hy.total;
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = Scale();
+  std::vector<WorkloadReport> reports;
+
+  {
+    Database db;
+    TpcdsOptions to;
+    to.fact_rows = static_cast<uint64_t>(400'000 * scale);
+    GeneratedWorkload w = MakeTpcds(&db, to);
+    reports.push_back(Evaluate("TPC-DS", &db, w));
+  }
+  for (int c = 1; c <= 5; ++c) {
+    Database db;
+    GeneratedWorkload w = MakeCustomer(&db, CustProfile(c), scale);
+    reports.push_back(Evaluate(CustProfile(c).name, &db, w));
+  }
+
+  std::printf("\n== Fig 9: speedup distributions (CPU time), buckets "
+              "0.5/0.8/1.2/1.5/2/5/10/>10 ==\n");
+  for (const auto& r : reports) {
+    std::printf("\n[%s] (%d queries)  totals: B+tree=%.0fms CSI=%.0fms "
+                "hybrid=%.0fms\n",
+                r.name.c_str(), r.n_queries, r.total_bt, r.total_csi,
+                r.total_hybrid);
+    PrintHistogram("vs CSI", r.hist_vs_csi);
+    PrintHistogram("vs B+tree", r.hist_vs_bt);
+  }
+
+  std::printf("\n== Fig 10: plan composition under the hybrid design ==\n");
+  std::printf("%-10s%14s%14s%14s\n", "workload", "CSI leaf %", "B+tree leaf %",
+              "hybrid plans");
+  for (const auto& r : reports) {
+    std::printf("%-10s%14.1f%14.1f%14d\n", r.name.c_str(), r.fig10.csi_leaf_pct,
+                r.fig10.btree_leaf_pct, r.fig10.hybrid_plans);
+  }
+
+  // ---- Shape checks against the Section 5 takeaways ----
+  for (const auto& r : reports) {
+    Shape(r.total_hybrid <= r.total_bt * 1.05 &&
+              r.total_hybrid <= r.total_csi * 1.05,
+          r.name + ": hybrid total cost <= both single-format designs");
+  }
+  // Magnitudes scale with data size (the paper's facts are ~3 orders of
+  // magnitude larger); the checks assert "many queries improve by a large
+  // factor", with the paper's >10x counts quoted for reference.
+  const WorkloadReport& ds = reports[0];
+  Shape(ds.over2_csi >= 10 && ds.over5_csi >= 3,
+        "TPC-DS: many queries improve substantially over columnstore-only "
+        "(paper: 11 over 10x at 88GB scale), measured >2x: " +
+            std::to_string(ds.over2_csi) + ", >5x: " +
+            std::to_string(ds.over5_csi) + ", >10x: " +
+            std::to_string(ds.over10_csi));
+  Shape(ds.over2_bt >= 10,
+        "TPC-DS: large improvements over B+ tree-only as well (>2x: " +
+            std::to_string(ds.over2_bt) + ")");
+  Shape(reports[1].over2_csi >= reports[1].n_queries / 3,
+        "Cust1: hybrid wins big over CSI for a large fraction (paper: >10x "
+        "for 30/36 at 172GB scale), measured >2x: " +
+            std::to_string(reports[1].over2_csi) + "/" +
+            std::to_string(reports[1].n_queries));
+  Shape(reports[2].total_hybrid < reports[2].total_csi * 1.25 &&
+            reports[2].over2_bt >= reports[2].n_queries / 4,
+        "Cust2: hybrid ~= CSI while far better than B+ tree-only (>2x vs "
+        "B+tree: " + std::to_string(reports[2].over2_bt) + ")");
+  Shape(reports[3].over2_csi >= reports[3].n_queries / 4,
+        "Cust3: hybrid wins big over CSI for a large fraction, measured "
+        ">2x: " + std::to_string(reports[3].over2_csi));
+  int hybrid_plan_workloads = 0;
+  for (const auto& r : reports) hybrid_plan_workloads += r.fig10.hybrid_plans > 0;
+  Shape(hybrid_plan_workloads >= 3,
+        "several workloads contain plans mixing CSI and B+ tree leaves "
+        "(Fig 10)");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Table 2: aggregate statistics of the read-only evaluation workloads —
+// database size, table counts, query counts, average joins per query, and
+// average physical operators per plan. Prints both the generated
+// (scaled-down) values and the paper's nominal values for the customer
+// workloads.
+#include "bench/bench_util.h"
+#include "workload/customer.h"
+#include "workload/tpcds.h"
+
+using namespace hd;
+using namespace hd::bench;
+
+namespace {
+
+struct Stats {
+  std::string name;
+  double db_mb = 0;
+  int tables = 0;
+  double max_table_mb = 0;
+  double avg_cols = 0;
+  int queries = 0;
+  double avg_joins = 0;
+  double avg_ops = 0;  // operators per chosen plan
+  // Nominal (paper) values, when applicable.
+  double nom_db_gb = 0;
+  int nom_tables = 0;
+};
+
+Stats Collect(const std::string& name, Database* db,
+              const GeneratedWorkload& w) {
+  Stats s;
+  s.name = name;
+  uint64_t total = 0, max_table = 0;
+  int ncols = 0;
+  for (const auto& [tname, t] : db->tables()) {
+    const uint64_t bytes = t->primary_size_bytes();
+    total += bytes;
+    max_table = std::max(max_table, bytes);
+    ncols += t->num_columns();
+    ++s.tables;
+  }
+  s.db_mb = total / (1024.0 * 1024.0);
+  s.max_table_mb = max_table / (1024.0 * 1024.0);
+  s.avg_cols = static_cast<double>(ncols) / std::max(1, s.tables);
+  s.queries = static_cast<int>(w.queries.size());
+  Optimizer opt(db);
+  Configuration cfg = Configuration::FromCatalog(*db);
+  double joins = 0, ops = 0;
+  for (const auto& q : w.queries) {
+    joins += q.joins.size();
+    auto plan = opt.Plan(q, cfg, {});
+    if (plan.ok()) {
+      // Operators: scans (1 + joins) + join operators + agg + sort.
+      ops += 1 + 2 * plan->plan.joins.size() +
+             (plan->plan.agg != AggMethod::kNone) + plan->plan.explicit_sort;
+    }
+  }
+  s.avg_joins = joins / std::max(1, s.queries);
+  s.avg_ops = ops / std::max(1, s.queries);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = Scale();
+  std::vector<Stats> all;
+  {
+    Database db;
+    TpcdsOptions to;
+    to.fact_rows = static_cast<uint64_t>(400'000 * scale);
+    GeneratedWorkload w = MakeTpcds(&db, to);
+    Stats s = Collect("TPC-DS", &db, w);
+    s.nom_db_gb = 87.7;
+    s.nom_tables = 24;
+    all.push_back(s);
+  }
+  for (int c = 1; c <= 5; ++c) {
+    Database db;
+    CustomerProfile p = CustProfile(c);
+    GeneratedWorkload w = MakeCustomer(&db, p, scale);
+    Stats s = Collect(p.name, &db, w);
+    s.nom_db_gb = p.nominal_db_gb;
+    s.nom_tables = p.nominal_tables;
+    all.push_back(s);
+  }
+
+  std::printf("Table 2 reproduction (generated, scaled; nominal = paper)\n");
+  std::printf("%-9s%10s%8s%12s%10s%9s%10s%9s%12s%12s\n", "workload", "DB MB",
+              "tables", "maxTblMB", "avg#cols", "#queries", "avgJoins",
+              "avgOps", "nomDB(GB)", "nomTables");
+  for (const auto& s : all) {
+    std::printf("%-9s%10.1f%8d%12.1f%10.1f%9d%10.2f%9.1f%12.1f%12d\n",
+                s.name.c_str(), s.db_mb, s.tables, s.max_table_mb, s.avg_cols,
+                s.queries, s.avg_joins, s.avg_ops, s.nom_db_gb, s.nom_tables);
+  }
+
+  // Shape checks: query counts and join fan-out match the paper's Table 2.
+  Shape(all[0].queries == 97, "TPC-DS workload has 97 queries");
+  const int expect_q[5] = {36, 40, 40, 24, 47};
+  bool q_ok = true;
+  for (int c = 0; c < 5; ++c) q_ok &= all[c + 1].queries == expect_q[c];
+  Shape(q_ok, "customer workloads have 36/40/40/24/47 queries (Table 2)");
+  Shape(all[5].avg_joins > 2 * all[1].avg_joins,
+        "Cust5 is by far the most join-heavy (paper: 21.6 avg joins)");
+  bool join_range = true;
+  for (int c = 1; c <= 4; ++c) {
+    join_range &= all[c].avg_joins >= 4 && all[c].avg_joins <= 12;
+  }
+  Shape(join_range, "Cust1-4 average 6-9 joins per query (Table 2 range)");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper: it
+// prints the same x-axis points and series the paper plots, plus a SHAPE
+// line summarizing the qualitative claim (who wins, where the crossover
+// falls). Absolute numbers differ from the paper's SQL Server testbed;
+// the shapes are the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+
+namespace hd {
+namespace bench {
+
+/// Scale multiplier from the environment (HD_BENCH_SCALE, default 1.0).
+/// Benches size their data so scale 1.0 finishes in tens of seconds.
+inline double Scale() {
+  const char* s = std::getenv("HD_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+struct Series {
+  std::string name;
+  std::vector<double> ys;
+};
+
+/// Print a CSV-ish aligned table: x column plus one column per series.
+inline void PrintTable(const std::string& title, const std::string& xlabel,
+                       const std::vector<double>& xs,
+                       const std::vector<Series>& series) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-14s", xlabel.c_str());
+  for (const auto& s : series) std::printf("%16s", s.name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%-14g", xs[i]);
+    for (const auto& s : series) {
+      if (i < s.ys.size()) {
+        std::printf("%16.4f", s.ys[i]);
+      } else {
+        std::printf("%16s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+/// First x at which series b becomes cheaper than (or equal to) series a;
+/// returns -1 if never.
+inline double CrossoverX(const std::vector<double>& xs,
+                         const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (b[i] <= a[i]) return xs[i];
+  }
+  return -1;
+}
+
+inline double Ratio(double a, double b) { return b > 0 ? a / b : 0; }
+
+/// Execute a query end-to-end: optimize under the current catalog, run.
+inline QueryResult RunQuery(Database* db, const Query& q,
+                            uint64_t grant = 8ull << 30, int max_dop = 8,
+                            bool cold = false) {
+  Optimizer opt(db);
+  Configuration cfg = Configuration::FromCatalog(*db);
+  PlanOptions popts;
+  popts.memory_grant_bytes = grant;
+  popts.max_dop = max_dop;
+  popts.cold = cold;
+  auto plan = opt.Plan(q, cfg, popts);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n", plan.status().ToString().c_str());
+    std::abort();
+  }
+  if (cold) db->ColdStart();
+  ExecContext ctx;
+  ctx.db = db;
+  ctx.memory_grant_bytes = grant;
+  ctx.max_dop = max_dop;
+  Executor ex(ctx);
+  QueryResult r = ex.Execute(q, plan->plan);
+  if (!r.ok()) {
+    std::fprintf(stderr, "exec failed: %s\n", r.status.ToString().c_str());
+    std::abort();
+  }
+  return r;
+}
+
+/// Median execution time over `reps` runs.
+inline QueryMetrics MedianRun(Database* db, const Query& q, int reps,
+                              bool cold, uint64_t grant = 8ull << 30,
+                              int max_dop = 8) {
+  std::vector<QueryResult> rs;
+  for (int i = 0; i < reps; ++i) {
+    rs.push_back(RunQuery(db, q, grant, max_dop, cold));
+  }
+  std::sort(rs.begin(), rs.end(), [](const QueryResult& a, const QueryResult& b) {
+    return a.metrics.exec_ms() < b.metrics.exec_ms();
+  });
+  return rs[rs.size() / 2].metrics;
+}
+
+inline void Shape(bool ok, const std::string& claim) {
+  std::printf("SHAPE %-4s %s\n", ok ? "[ok]" : "[??]", claim.c_str());
+}
+
+}  // namespace bench
+}  // namespace hd

@@ -1,0 +1,80 @@
+// Operational analytics: OLTP updates and analytic scans on the same
+// table, concurrently, under Read Committed — the Section 3.4 scenario.
+// Compares a B+ tree-only design with the hybrid design (B+ tree +
+// secondary columnstore).
+//
+//   $ ./build/examples/operational_analytics
+#include <cstdio>
+
+#include "workload/mixed_driver.h"
+#include "workload/tpch.h"
+
+using namespace hd;
+
+namespace {
+
+void Report(const char* design, const MixedResult& r) {
+  std::printf("\n-- %s --\n", design);
+  for (const auto& [type, st] : r.per_type) {
+    std::printf("  %-8s n=%-5llu median=%8.3f ms  p95=%8.3f ms\n",
+                type.c_str(), static_cast<unsigned long long>(st.count),
+                st.median_ms(), st.p95_ms());
+  }
+  std::printf("  wall: %.0f ms, aborts: %llu\n", r.wall_ms,
+              static_cast<unsigned long long>(r.total_aborts));
+}
+
+MixedResult RunMix(Database* db, const std::string& table) {
+  TransactionManager txns;
+  MixedOptions mo;
+  mo.threads = 6;
+  mo.total_ops = 400;
+  mo.isolation = IsolationLevel::kReadCommitted;
+  OpGenerator gen = [table](int, Rng* rng) {
+    const int32_t d = static_cast<int32_t>(
+        rng->Uniform(kTpchShipDateLo, kTpchShipDateHi - 40));
+    if (rng->Flip(0.05)) {
+      Query q = TpchQ5Range(table, d, 30);  // analytic window scan
+      q.id = "scan";
+      return q;
+    }
+    Query q = TpchQ4(table, 10, d);  // short update transaction
+    q.id = "update";
+    return q;
+  };
+  return RunMixedWorkload(db, &txns, gen, mo);
+}
+
+}  // namespace
+
+int main() {
+  using L = LineitemCols;
+  Database db;
+  TpchOptions to;
+  to.rows = 400000;
+  std::printf("loading lineitem (%llu rows)...\n",
+              static_cast<unsigned long long>(to.rows));
+
+  // Design A: classic OLTP B+ trees only.
+  Table* a = MakeLineitem(&db, "li_btree", to);
+  if (a == nullptr) return 1;
+  (void)a->SetPrimary(PrimaryKind::kBTree, {L::kOrderKey, L::kLineNumber});
+  (void)a->CreateSecondaryBTree("ix_ship", {L::kShipDate}, {});
+  a->Analyze();
+
+  // Design B: the hybrid — same B+ trees plus a secondary columnstore.
+  Table* b = MakeLineitem(&db, "li_hybrid", to);
+  if (b == nullptr) return 1;
+  (void)b->SetPrimary(PrimaryKind::kBTree, {L::kOrderKey, L::kLineNumber});
+  (void)b->CreateSecondaryBTree("ix_ship", {L::kShipDate}, {});
+  (void)b->CreateSecondaryColumnStore("csi");
+  b->Analyze();
+
+  Report("B+ tree-only", RunMix(&db, "li_btree"));
+  Report("hybrid (B+ tree + secondary columnstore)", RunMix(&db, "li_hybrid"));
+
+  std::printf("\nThe hybrid design serves the analytic scans from the "
+              "columnstore while updates\nstay on the B+ trees — the paper's "
+              "operational-analytics sweet spot (Fig. 6).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "catalog/database.h"
+
+namespace hd {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name)) {
+    return Status::InvalidArgument("table exists: " + name);
+  }
+  auto t = std::make_unique<Table>(name, std::move(schema), &pool_);
+  Table* ptr = t.get();
+  tables_.emplace(name, std::move(t));
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::OK();
+}
+
+uint64_t Database::TotalSizeBytes() const {
+  uint64_t b = 0;
+  for (const auto& [name, t] : tables_) {
+    b += t->primary_size_bytes();
+    for (const auto& si : t->secondaries()) b += si->size_bytes();
+  }
+  return b;
+}
+
+}  // namespace hd

@@ -1,0 +1,46 @@
+// Database: named tables plus the shared storage substrate.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+
+namespace hd {
+
+class Database {
+ public:
+  explicit Database(DiskConfig disk_cfg = DiskConfig(),
+                    uint64_t buffer_capacity_bytes = 0)
+      : disk_(disk_cfg), pool_(&disk_, buffer_capacity_bytes) {}
+
+  /// Create a table; name must be unique.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Table* GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  const std::map<std::string, std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  BufferPool* buffer_pool() { return &pool_; }
+  DiskModel* disk() { return &disk_; }
+
+  /// Model a cold server: drop all buffer-pool residency.
+  void ColdStart() { pool_.EvictAll(); }
+  /// Model a fully warmed cache.
+  void WarmAll() { pool_.WarmAll(); }
+
+  /// Total bytes across all tables' primary structures and indexes.
+  uint64_t TotalSizeBytes() const;
+
+ private:
+  DiskModel disk_;
+  BufferPool pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace hd

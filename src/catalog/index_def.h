@@ -1,0 +1,51 @@
+// Logical index definitions — shared by the catalog (materialized indexes)
+// and the advisor/what-if layer (hypothetical indexes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hd {
+
+/// A physical design structure on one table.
+struct IndexDef {
+  enum class Type { kBTree, kColumnStore };
+
+  std::string name;
+  Type type = Type::kBTree;
+  bool is_primary = false;
+  /// B+ tree: key columns, in order. Ignored for columnstores (no sort
+  /// order, Section 2).
+  std::vector<int> key_cols;
+  /// Secondary B+ tree: non-key columns stored at the leaf level.
+  std::vector<int> included_cols;
+
+  bool is_btree() const { return type == Type::kBTree; }
+  bool is_columnstore() const { return type == Type::kColumnStore; }
+
+  bool operator==(const IndexDef& o) const {
+    return type == o.type && is_primary == o.is_primary &&
+           key_cols == o.key_cols && included_cols == o.included_cols;
+  }
+
+  std::string Describe() const {
+    std::string s = is_primary ? "PRIMARY " : "SECONDARY ";
+    s += is_btree() ? "BTREE" : "CSI";
+    if (is_btree()) {
+      s += " keys=[";
+      for (size_t i = 0; i < key_cols.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(key_cols[i]);
+      }
+      s += "] incl=[";
+      for (size_t i = 0; i < included_cols.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(included_cols[i]);
+      }
+      s += "]";
+    }
+    return s;
+  }
+};
+
+}  // namespace hd

@@ -1,0 +1,116 @@
+#include "catalog/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hd {
+
+uint64_t GeeEstimateDistinct(const std::vector<int64_t>& sorted_sample,
+                             uint64_t total_rows) {
+  const uint64_t ns = sorted_sample.size();
+  if (ns == 0) return 0;
+  if (ns >= total_rows) {
+    // Exact: full data.
+    uint64_t d = 1;
+    for (size_t i = 1; i < sorted_sample.size(); ++i) {
+      d += sorted_sample[i] != sorted_sample[i - 1];
+    }
+    return d;
+  }
+  uint64_t f1 = 0;       // values occurring exactly once in the sample
+  uint64_t d_more = 0;   // values occurring more than once
+  size_t i = 0;
+  while (i < sorted_sample.size()) {
+    size_t j = i + 1;
+    while (j < sorted_sample.size() && sorted_sample[j] == sorted_sample[i]) {
+      ++j;
+    }
+    if (j - i == 1) {
+      ++f1;
+    } else {
+      ++d_more;
+    }
+    i = j;
+  }
+  const double scale = std::sqrt(static_cast<double>(total_rows) / ns);
+  return d_more + static_cast<uint64_t>(scale * f1);
+}
+
+void ColumnStats::Build(std::vector<int64_t> values, uint64_t total_rows,
+                        int num_buckets) {
+  total_rows_ = total_rows;
+  sample_rows_ = values.size();
+  if (values.empty()) return;
+  std::sort(values.begin(), values.end());
+  min_ = values.front();
+  max_ = values.back();
+  ndv_ = GeeEstimateDistinct(values, total_rows);
+
+  num_buckets = std::min<int>(num_buckets, static_cast<int>(values.size()));
+  bounds_.clear();
+  bucket_ndv_.clear();
+  rows_per_bucket_ = static_cast<double>(values.size()) / num_buckets;
+  for (int b = 0; b < num_buckets; ++b) {
+    const size_t lo = static_cast<size_t>(b * rows_per_bucket_);
+    bounds_.push_back(values[lo]);
+    const size_t hi = std::min(values.size(),
+                               static_cast<size_t>((b + 1) * rows_per_bucket_));
+    uint64_t d = lo < hi ? 1 : 0;
+    for (size_t i = lo + 1; i < hi; ++i) d += values[i] != values[i - 1];
+    bucket_ndv_.push_back(std::max<uint64_t>(1, d));
+  }
+  bounds_.push_back(max_);
+}
+
+double ColumnStats::SelectivityRange(int64_t lo, int64_t hi) const {
+  if (total_rows_ == 0 || bounds_.size() < 2) return 0.0;
+  if (hi < min_ || lo > max_) return 0.0;
+  lo = std::max(lo, min_);
+  hi = std::min(hi, max_);
+  const int nb = static_cast<int>(bounds_.size()) - 1;
+  double frac = 0.0;
+  for (int b = 0; b < nb; ++b) {
+    const double blo = static_cast<double>(bounds_[b]);
+    const double bhi = static_cast<double>(bounds_[b + 1]);
+    const double l = std::max(blo, static_cast<double>(lo));
+    const double h = std::min(bhi, static_cast<double>(hi));
+    if (h < l) continue;
+    // Uniform-within-bucket interpolation; point buckets count fully.
+    double part = (bhi > blo) ? (h - l) / (bhi - blo) : 1.0;
+    part = std::clamp(part, 0.0, 1.0);
+    frac += part / nb;
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double ColumnStats::SelectivityEq(int64_t v) const {
+  if (total_rows_ == 0 || bounds_.size() < 2) return 0.0;
+  if (v < min_ || v > max_) return 0.0;
+  // A frequent value spans multiple equi-depth buckets: sum contributions
+  // from every bucket whose range contains v. Point buckets (lo == hi == v)
+  // are entirely the value; mixed buckets contribute 1/ndv of their share.
+  const int nb = static_cast<int>(bounds_.size()) - 1;
+  double frac = 0.0;
+  bool hit = false;
+  for (int b = 0; b < nb; ++b) {
+    const int64_t lo = bounds_[b];
+    const int64_t hi = bounds_[b + 1];
+    if (lo == hi) {
+      if (v == lo) {
+        hit = true;
+        frac += 1.0 / nb;
+      }
+      continue;
+    }
+    // Half-open [lo, hi) to avoid double counting boundaries; the last
+    // bucket is closed.
+    if (v >= lo && (v < hi || b == nb - 1)) {
+      hit = true;
+      frac += 1.0 / nb / bucket_ndv_[b];
+    }
+  }
+  if (!hit) return 1.0 / std::max<uint64_t>(1, ndv_);
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+}  // namespace hd

@@ -1,0 +1,63 @@
+// Column and table statistics for cardinality estimation.
+//
+// Equi-depth histograms over packed values plus GEE-style distinct count
+// estimation (Chaudhuri, Motwani, Narasayya '98 — the same estimator the
+// paper's size-estimation work builds on).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/packed.h"
+
+namespace hd {
+
+/// Statistics for one column, built from a (possibly sampled) value set.
+class ColumnStats {
+ public:
+  /// Build from sample `values` drawn from a column with `total_rows` rows.
+  /// `values` is consumed (sorted in place).
+  void Build(std::vector<int64_t> values, uint64_t total_rows,
+             int num_buckets = 100);
+
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+  uint64_t distinct_count() const { return ndv_; }
+  uint64_t row_count() const { return total_rows_; }
+
+  /// Fraction of rows with value in [lo, hi] (inclusive, packed space).
+  double SelectivityRange(int64_t lo, int64_t hi) const;
+
+  /// Fraction of rows with value == v.
+  double SelectivityEq(int64_t v) const;
+
+  bool empty() const { return total_rows_ == 0; }
+
+ private:
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  uint64_t ndv_ = 0;
+  uint64_t total_rows_ = 0;
+  uint64_t sample_rows_ = 0;
+  /// bounds_[i]..bounds_[i+1] delimit bucket i (value space, inclusive of
+  /// the upper bound for the last bucket).
+  std::vector<int64_t> bounds_;
+  std::vector<uint64_t> bucket_ndv_;
+  double rows_per_bucket_ = 0;  // in sample space, scaled on use
+};
+
+/// GEE distinct-value estimator: d_hat = d_more + sqrt(n/ns) * f1, where f1
+/// is the number of sample values occurring exactly once. `sorted_sample`
+/// must be sorted.
+uint64_t GeeEstimateDistinct(const std::vector<int64_t>& sorted_sample,
+                             uint64_t total_rows);
+
+/// Statistics for a whole table.
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  bool valid() const { return row_count > 0 && !columns.empty(); }
+};
+
+}  // namespace hd

@@ -1,0 +1,82 @@
+// Per-column string dictionary: maps strings to packed int64 codes.
+//
+// Bulk loads build the dictionary sorted, so codes are order-preserving
+// and range predicates on strings work. Strings first seen by later
+// trickle inserts get appended codes that are only equality-correct
+// (documented engine limitation; none of the reproduced workloads range-
+// scan strings inserted after load).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hd {
+
+class StringDict {
+ public:
+  /// Build from (not necessarily distinct) values; codes assigned in
+  /// sorted order of the distinct set.
+  void BuildSorted(std::vector<std::string> values);
+
+  /// Code for `s`, inserting if absent (appended, possibly out of order).
+  int64_t GetOrAdd(const std::string& s);
+
+  /// Code for `s`, or -1 if absent.
+  int64_t Lookup(const std::string& s) const {
+    auto it = code_of_.find(s);
+    return it == code_of_.end() ? -1 : it->second;
+  }
+
+  /// Largest code whose string is <= s (for range bounds); -1 if none.
+  /// Only meaningful while the dictionary is sorted.
+  int64_t FloorCode(const std::string& s) const;
+
+  const std::string& At(int64_t code) const { return strings_[code]; }
+  size_t size() const { return strings_.size(); }
+  bool sorted() const { return sorted_; }
+  uint64_t byte_size() const;
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> code_of_;
+  bool sorted_ = true;
+};
+
+inline void StringDict::BuildSorted(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  strings_ = std::move(values);
+  code_of_.clear();
+  code_of_.reserve(strings_.size());
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    code_of_.emplace(strings_[i], static_cast<int64_t>(i));
+  }
+  sorted_ = true;
+}
+
+inline int64_t StringDict::GetOrAdd(const std::string& s) {
+  auto it = code_of_.find(s);
+  if (it != code_of_.end()) return it->second;
+  const int64_t code = static_cast<int64_t>(strings_.size());
+  if (!strings_.empty() && s < strings_.back()) sorted_ = false;
+  strings_.push_back(s);
+  code_of_.emplace(s, code);
+  return code;
+}
+
+inline int64_t StringDict::FloorCode(const std::string& s) const {
+  auto it = std::upper_bound(strings_.begin(), strings_.end(), s);
+  if (it == strings_.begin()) return -1;
+  return static_cast<int64_t>(it - strings_.begin()) - 1;
+}
+
+inline uint64_t StringDict::byte_size() const {
+  uint64_t b = 0;
+  for (const auto& s : strings_) b += s.size() + 32;
+  return b;
+}
+
+}  // namespace hd

@@ -1,0 +1,203 @@
+// Table: schema + primary storage + secondary indexes + DML fan-out.
+//
+// Mirrors SQL Server's physical design space (Section 2): the primary
+// structure is a heap, a clustered B+ tree, or a primary columnstore;
+// secondaries are B+ trees (any number) or one columnstore per table.
+//
+// Every row has a stable RowId (insert sequence). A clustered B+ tree
+// appends the RowId as a hidden uniquifier key column (SQL Server's trick
+// for non-unique clustered keys); secondary B+ trees do the same and their
+// payload carries included columns plus the primary key columns needed to
+// address the clustered index.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "catalog/index_def.h"
+#include "catalog/stats.h"
+#include "catalog/string_dict.h"
+#include "columnstore/columnstore.h"
+#include "common/schema.h"
+#include "storage/heap_file.h"
+
+namespace hd {
+
+enum class PrimaryKind { kHeap, kBTree, kColumnStore };
+
+/// A materialized secondary index.
+struct SecondaryIndex {
+  IndexDef def;
+  /// Columns stored in the payload of a secondary B+ tree: the declared
+  /// included columns plus (deduped) primary-key columns.
+  std::vector<int> payload_cols;
+  std::unique_ptr<BTree> btree;
+  std::unique_ptr<ColumnStoreIndex> csi;
+
+  uint64_t size_bytes() const {
+    return btree ? btree->size_bytes() : csi->size_bytes();
+  }
+};
+
+/// A row reference: stable id + current packed image. DML APIs take these
+/// so secondary index maintenance can compute old keys.
+struct RowRef {
+  int64_t rid = -1;
+  PackedRow row;
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema, BufferPool* pool);
+  ~Table();
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_columns(); }
+  BufferPool* buffer_pool() const { return pool_; }
+
+  // ---------- value packing ----------
+
+  /// Pack a Value for column `col` for storage; may extend a dictionary.
+  int64_t PackValue(int col, const Value& v);
+  /// Pack a constant for a comparison against column `col` without
+  /// extending dictionaries. `dir` handles absent dictionary strings:
+  /// -1 = round down (floor code), +1 = round up (floor code + 1);
+  /// 0 = equality (absent -> *found=false).
+  int64_t PackBound(int col, const Value& v, int dir, bool* found) const;
+  Value UnpackValue(int col, int64_t packed) const;
+  PackedRow PackRow(const Row& r);
+  Row UnpackRow(const PackedRow& p) const;
+
+  // ---------- loading ----------
+
+  /// Bulk load rows into the current primary structure. Builds string
+  /// dictionaries sorted, assigns RowIds, updates stats, and (re)builds
+  /// any existing secondary indexes.
+  void BulkLoad(const std::vector<Row>& rows);
+  /// Column-major packed bulk load (fast path for generators). Dictionary
+  /// columns must already be packed via PackValue.
+  void BulkLoadPacked(std::vector<std::vector<int64_t>> cols);
+
+  // ---------- physical design ----------
+
+  /// Change the primary structure. Rebuilds secondaries; RowIds are
+  /// reassigned in the new storage order.
+  Status SetPrimary(PrimaryKind kind, std::vector<int> key_cols = {});
+
+  Status CreateSecondaryBTree(const std::string& name,
+                              std::vector<int> key_cols,
+                              std::vector<int> included_cols);
+  /// One columnstore per table (SQL Server restriction); stores all
+  /// columns (the paper's DTA design choice (ii), Section 4.3).
+  /// `sort_col >= 0` builds a *sorted* columnstore on that column — the
+  /// Section 4.5 extension (Vertica-style projection order), enabling
+  /// aggressive segment elimination for predicates on it.
+  Status CreateSecondaryColumnStore(const std::string& name,
+                                    int sort_col = -1);
+  Status DropIndex(const std::string& name);
+  void DropAllSecondaries();
+  /// Materialize an IndexDef (primary or secondary).
+  Status ApplyIndexDef(const IndexDef& def);
+
+  PrimaryKind primary_kind() const { return primary_kind_; }
+  const std::vector<int>& primary_key_cols() const { return primary_keys_; }
+  HeapFile* heap() const { return heap_.get(); }
+  BTree* primary_btree() const { return primary_btree_.get(); }
+  ColumnStoreIndex* primary_csi() const { return primary_csi_.get(); }
+  const std::vector<std::unique_ptr<SecondaryIndex>>& secondaries() const {
+    return secondaries_;
+  }
+  SecondaryIndex* FindSecondary(const std::string& name) const;
+  /// The table's columnstore (primary or secondary), if any.
+  ColumnStoreIndex* any_csi() const;
+  bool has_secondary_csi() const;
+
+  // ---------- DML ----------
+
+  /// Insert one packed row everywhere; returns its RowId.
+  int64_t InsertPacked(const PackedRow& row, QueryMetrics* m);
+  int64_t InsertRow(const Row& r, QueryMetrics* m) {
+    return InsertPacked(PackRow(r), m);
+  }
+  /// Delete rows (statement-granular so primary-CSI delete scans once).
+  Status DeleteRows(const std::vector<RowRef>& rows, QueryMetrics* m);
+  /// Update rows: news[i] replaces rows[i] (RowIds preserved).
+  Status UpdateRows(const std::vector<RowRef>& rows,
+                    const std::vector<PackedRow>& news, QueryMetrics* m);
+
+  /// Fetch one row's full packed image by locator. `pk_hint` must carry
+  /// the clustered key column values when the primary is a B+ tree (a
+  /// secondary index's payload provides them); ignored otherwise. For a
+  /// primary columnstore this is a pruned row-group scan — expensive by
+  /// design, matching Section 2.
+  Status FetchRow(int64_t rid, std::span<const int64_t> pk_hint,
+                  PackedRow* out, QueryMetrics* m) const;
+
+  // ---------- whole-table access ----------
+
+  /// Scan every live row in primary storage order.
+  void ScanAll(const std::function<bool(int64_t rid, const int64_t*)>& fn,
+               QueryMetrics* m) const;
+
+  /// Block-level sample in storage order: whole blocks of `block_rows`
+  /// rows are taken with probability `ratio` (the biased sampling regime
+  /// Section 4.4's estimators must cope with).
+  void SampleBlocks(double ratio, uint64_t seed, int block_rows,
+                    std::vector<std::vector<int64_t>>* cols) const;
+
+  // ---------- stats ----------
+
+  /// Recompute table statistics from a block sample (or full data when
+  /// small).
+  void Analyze();
+  const TableStats& stats() const { return stats_; }
+
+  uint64_t num_rows() const;
+  uint64_t primary_size_bytes() const;
+  /// Key width (int64 slots) of the clustered B+ tree incl. uniquifier.
+  int primary_btree_key_width() const {
+    return static_cast<int>(primary_keys_.size()) + 1;
+  }
+
+  /// Build the packed B+ tree key (key cols + rid) for a row image.
+  std::vector<int64_t> MakeBTreeKey(const std::vector<int>& key_cols,
+                                    const PackedRow& row, int64_t rid) const;
+
+  const StringDict* dict(int col) const { return dicts_[col].get(); }
+
+  /// Physical latch: index structures are not internally latched, so
+  /// concurrent statements take this shared (reads) or exclusive (DML).
+  /// Logical concurrency control (row/table locks, versioning) lives in
+  /// the txn module; this only protects physical structure integrity.
+  std::shared_mutex& phys_latch() const { return phys_latch_; }
+
+ private:
+  void RebuildSecondary(SecondaryIndex* si);
+  Status InsertIntoSecondaries(const PackedRow& row, int64_t rid,
+                               QueryMetrics* m);
+  std::vector<int> ComputePayloadCols(const IndexDef& def) const;
+  /// Collect all live rows (with rids) from the current primary.
+  void CollectAll(std::vector<PackedRow>* rows, std::vector<int64_t>* rids) const;
+
+  std::string name_;
+  Schema schema_;
+  BufferPool* pool_;
+  std::vector<std::unique_ptr<StringDict>> dicts_;  // null for non-strings
+
+  PrimaryKind primary_kind_ = PrimaryKind::kHeap;
+  std::vector<int> primary_keys_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<BTree> primary_btree_;
+  std::unique_ptr<ColumnStoreIndex> primary_csi_;
+  std::vector<std::unique_ptr<SecondaryIndex>> secondaries_;
+
+  int64_t next_rid_ = 0;
+  TableStats stats_;
+  mutable std::shared_mutex phys_latch_;
+};
+
+}  // namespace hd

@@ -1,0 +1,443 @@
+#include "columnstore/columnstore.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hd {
+
+ColumnStoreIndex::ColumnStoreIndex(Kind kind, int num_columns,
+                                   BufferPool* pool, CsiOptions opts)
+    : kind_(kind), ncols_(num_columns), pool_(pool), opts_(opts) {
+  delta_ = std::make_unique<BTree>(/*key_width=*/1,
+                                   /*payload_width=*/ncols_ + 1, pool_);
+  if (kind_ == Kind::kSecondary) {
+    delete_buffer_ = std::make_unique<BTree>(/*key_width=*/1,
+                                             /*payload_width=*/0, pool_);
+  }
+}
+
+void ColumnStoreIndex::BuildGroups(std::vector<std::vector<int64_t>> cols,
+                                   std::vector<int64_t> locators) {
+  const size_t n = locators.size();
+  if (opts_.sort_col >= 0 && opts_.sort_col < ncols_ && n > 1) {
+    // Sorted columnstore: global sort on the projection column before
+    // forming row groups (Section 4.5 extension).
+    std::vector<uint32_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+    const std::vector<int64_t>& key = cols[opts_.sort_col];
+    std::sort(perm.begin(), perm.end(),
+              [&](uint32_t a, uint32_t b) { return key[a] < key[b]; });
+    std::vector<int64_t> tmp(n);
+    for (int c = 0; c < ncols_; ++c) {
+      for (size_t i = 0; i < n; ++i) tmp[i] = cols[c][perm[i]];
+      cols[c].swap(tmp);
+    }
+    for (size_t i = 0; i < n; ++i) tmp[i] = locators[perm[i]];
+    locators.swap(tmp);
+  }
+  const size_t rg = opts_.rowgroup_size;
+  for (size_t start = 0; start < n; start += rg) {
+    const size_t take = std::min(rg, n - start);
+    std::vector<std::vector<int64_t>> gcols(ncols_);
+    for (int c = 0; c < ncols_; ++c) {
+      gcols[c].assign(cols[c].begin() + start, cols[c].begin() + start + take);
+    }
+    std::vector<int64_t> glocs(locators.begin() + start,
+                               locators.begin() + start + take);
+    auto g = std::make_unique<RowGroup>();
+    g->Build(std::move(gcols), std::move(glocs), opts_, pool_);
+    groups_.push_back(std::move(g));
+    compressed_rows_ += take;
+  }
+}
+
+void ColumnStoreIndex::BulkLoad(std::vector<std::vector<int64_t>> cols,
+                                std::vector<int64_t> locators) {
+  assert(static_cast<int>(cols.size()) == ncols_);
+  BuildGroups(std::move(cols), std::move(locators));
+}
+
+void ColumnStoreIndex::Insert(std::span<const int64_t> row, int64_t locator,
+                              QueryMetrics* m) {
+  assert(static_cast<int>(row.size()) == ncols_);
+  std::vector<int64_t> payload(row.begin(), row.end());
+  payload.push_back(locator);
+  int64_t key = delta_seq_++;
+  Status s = delta_->Insert(std::span<const int64_t>(&key, 1), payload, m);
+  assert(s.ok());
+  (void)s;
+  delta_key_of_locator_[locator] = key;
+  if (delta_->num_entries() >= opts_.rowgroup_size) {
+    CompressDelta(m);
+  }
+}
+
+void ColumnStoreIndex::CompressDelta(QueryMetrics* m) {
+  if (delta_rows() == 0) return;
+  // Apply pending logical deletes to the old compressed copies first;
+  // otherwise a buffered locator could later match the freshly compressed
+  // (live) version of the row.
+  CompactDeleteBuffer(m);
+  std::vector<std::vector<int64_t>> cols(ncols_);
+  std::vector<int64_t> locs;
+  delta_->Scan(Bound::Unbounded(), Bound::Unbounded(),
+               [&](const int64_t*, const int64_t* payload) {
+                 for (int c = 0; c < ncols_; ++c) cols[c].push_back(payload[c]);
+                 locs.push_back(payload[ncols_]);
+                 return true;
+               },
+               m);
+  const size_t n = locs.size();
+  auto g = std::make_unique<RowGroup>();
+  g->Build(std::move(cols), std::move(locs), opts_, pool_);
+  groups_.push_back(std::move(g));
+  compressed_rows_ += n;
+  delta_ = std::make_unique<BTree>(1, ncols_ + 1, pool_);
+  delta_seq_ = 0;
+  delta_key_of_locator_.clear();
+  if (m != nullptr && !groups_.empty()) {
+    // Writing the compressed row group is real (sequential) write I/O.
+    pool_->disk()->ChargeWrite(groups_.back()->size_bytes(),
+                               IoPattern::kSequential, m);
+  }
+}
+
+Status ColumnStoreIndex::DeleteBatch(std::span<const int64_t> locators,
+                                     QueryMetrics* m) {
+  if (locators.empty()) return Status::OK();
+  if (kind_ == Kind::kSecondary) {
+    // Rows still in the delta store are deleted there directly; everything
+    // else becomes a fast logical delete via the delete buffer.
+    for (int64_t loc : locators) {
+      auto it = delta_key_of_locator_.find(loc);
+      if (it != delta_key_of_locator_.end()) {
+        HD_RETURN_IF_ERROR(
+            delta_->Delete(std::span<const int64_t>(&it->second, 1), m));
+        delta_key_of_locator_.erase(it);
+        continue;
+      }
+      Status s = delete_buffer_->Insert(std::span<const int64_t>(&loc, 1), {}, m);
+      if (!s.ok() && s.code() != Code::kInvalidArgument) return s;
+    }
+    if (delete_buffer_->num_entries() > opts_.delete_buffer_compact_threshold) {
+      CompactDeleteBuffer(m);
+    }
+    return Status::OK();
+  } else {
+    // Primary CSI: find each locator's physical position by scanning the
+    // compressed locator segments (min/max lets us skip groups, but a
+    // matching group's segment must be decoded — the cost Section 3.3
+    // measures). One pass per statement.
+    std::unordered_set<int64_t> want(locators.begin(), locators.end());
+    std::vector<int64_t> buf(kBatchSize);
+    for (auto& g : groups_) {
+      if (want.empty()) break;
+      const ColumnSegment& ls = g->locator_segment();
+      int64_t lo = INT64_MAX, hi = INT64_MIN;
+      for (int64_t l : want) {
+        lo = std::min(lo, l);
+        hi = std::max(hi, l);
+      }
+      if (ls.CanSkip(lo, hi)) {
+        if (m != nullptr) m->segments_skipped += 1;
+        continue;
+      }
+      ls.Touch(pool_, m);
+      const size_t n = g->num_rows();
+      for (size_t start = 0; start < n; start += kBatchSize) {
+        const size_t take = std::min<size_t>(kBatchSize, n - start);
+        ls.Decode(start, take, buf.data());
+        for (size_t i = 0; i < take; ++i) {
+          auto it = want.find(buf[i]);
+          if (it != want.end()) {
+            g->SetDeleted(start + i);
+            ++compressed_deleted_;
+            want.erase(it);
+          }
+        }
+      }
+    }
+    // Any remaining locators must be delta-store rows: delete them there.
+    for (int64_t loc : want) {
+      auto it = delta_key_of_locator_.find(loc);
+      if (it == delta_key_of_locator_.end()) continue;
+      HD_RETURN_IF_ERROR(
+          delta_->Delete(std::span<const int64_t>(&it->second, 1), m));
+      delta_key_of_locator_.erase(it);
+    }
+    return Status::OK();
+  }
+}
+
+void ColumnStoreIndex::CompactDeleteBuffer(QueryMetrics* m) {
+  if (!delete_buffer_ || delete_buffer_->num_entries() == 0) return;
+  std::unordered_set<int64_t> dead = SnapshotDeleteBuffer(m);
+  std::vector<int64_t> buf(kBatchSize);
+  for (auto& g : groups_) {
+    if (dead.empty()) break;
+    const ColumnSegment& ls = g->locator_segment();
+    ls.Touch(pool_, m);
+    const size_t n = g->num_rows();
+    for (size_t start = 0; start < n && !dead.empty(); start += kBatchSize) {
+      const size_t take = std::min<size_t>(kBatchSize, n - start);
+      ls.Decode(start, take, buf.data());
+      for (size_t i = 0; i < take; ++i) {
+        auto it = dead.find(buf[i]);
+        if (it != dead.end()) {
+          if (!g->IsDeleted(start + i)) {
+            g->SetDeleted(start + i);
+            ++compressed_deleted_;
+          }
+          dead.erase(it);
+        }
+      }
+    }
+  }
+  delete_buffer_ = std::make_unique<BTree>(1, 0, pool_);
+}
+
+uint64_t ColumnStoreIndex::num_rows() const {
+  uint64_t n = compressed_rows_ - compressed_deleted_ + delta_rows();
+  // Secondary delete-buffer entries shadow compressed rows that have not
+  // been compacted yet.
+  if (delete_buffer_) n -= std::min(n, delete_buffer_->num_entries());
+  return n;
+}
+
+uint64_t ColumnStoreIndex::size_bytes() const {
+  uint64_t b = 0;
+  for (const auto& g : groups_) b += g->size_bytes();
+  if (delta_) b += delta_->size_bytes();
+  if (delete_buffer_) b += delete_buffer_->size_bytes();
+  return b;
+}
+
+uint64_t ColumnStoreIndex::column_size_bytes(int col) const {
+  uint64_t b = 0;
+  for (const auto& g : groups_) b += g->segment(col).size_bytes();
+  return b;
+}
+
+std::unordered_set<int64_t> ColumnStoreIndex::SnapshotDeleteBuffer(
+    QueryMetrics* m) const {
+  std::unordered_set<int64_t> out;
+  if (!delete_buffer_ || delete_buffer_->num_entries() == 0) return out;
+  out.reserve(delete_buffer_->num_entries());
+  delete_buffer_->Scan(Bound::Unbounded(), Bound::Unbounded(),
+                       [&](const int64_t* key, const int64_t*) {
+                         out.insert(key[0]);
+                         return true;
+                       },
+                       m);
+  return out;
+}
+
+void ColumnStoreIndex::ScanGroups(
+    int group_begin, int group_end, const std::vector<int>& cols_needed,
+    const std::vector<SegPredicate>& preds,
+    const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
+    bool need_locators) const {
+  group_end = std::min(group_end, num_row_groups());
+  // Anti-join set from the delete buffer (secondary CSI only).
+  std::unordered_set<int64_t> dead = SnapshotDeleteBuffer(m);
+  const bool check_dead = !dead.empty();
+
+  // Scratch buffers reused across batches.
+  std::vector<std::vector<int64_t>> dec(cols_needed.size());
+  for (auto& d : dec) d.resize(kBatchSize);
+  std::vector<int64_t> pred_buf(kBatchSize);
+  std::vector<int64_t> loc_buf(kBatchSize);
+  std::vector<std::vector<int64_t>> out_cols(cols_needed.size());
+  for (auto& d : out_cols) d.resize(kBatchSize);
+  std::vector<int64_t> out_locs(kBatchSize);
+  std::vector<uint16_t> sel(kBatchSize);
+
+  for (int gi = group_begin; gi < group_end; ++gi) {
+    const RowGroup& g = *groups_[gi];
+    // Segment elimination via min/max (data skipping).
+    bool skip = false;
+    for (const auto& p : preds) {
+      if (g.segment(p.col).CanSkip(p.lo, p.hi)) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      if (m != nullptr) m->segments_skipped += cols_needed.size() + 1;
+      continue;
+    }
+    // Touch all segments we will decode (I/O accounting).
+    for (int c : cols_needed) g.segment(c).Touch(pool_, m);
+    for (const auto& p : preds) {
+      bool needed = false;
+      for (int c : cols_needed) needed |= (c == p.col);
+      if (!needed) g.segment(p.col).Touch(pool_, m);
+    }
+    const bool want_locs = need_locators || check_dead || g.has_deletes();
+    if (want_locs) g.locator_segment().Touch(pool_, m);
+
+    const size_t n = g.num_rows();
+    for (size_t start = 0; start < n; start += kBatchSize) {
+      const int take = static_cast<int>(std::min<size_t>(kBatchSize, n - start));
+      // Build the selection vector by evaluating predicates vectorized.
+      int nsel = 0;
+      if (preds.empty()) {
+        for (int i = 0; i < take; ++i) sel[nsel++] = static_cast<uint16_t>(i);
+      } else {
+        // First predicate initializes the selection, the rest refine it.
+        g.segment(preds[0].col).Decode(start, take, pred_buf.data());
+        for (int i = 0; i < take; ++i) {
+          const int64_t v = pred_buf[i];
+          sel[nsel] = static_cast<uint16_t>(i);
+          nsel += (v >= preds[0].lo) & (v <= preds[0].hi);
+        }
+        for (size_t pi = 1; pi < preds.size() && nsel > 0; ++pi) {
+          g.segment(preds[pi].col).Decode(start, take, pred_buf.data());
+          int k = 0;
+          for (int s = 0; s < nsel; ++s) {
+            const int64_t v = pred_buf[sel[s]];
+            sel[k] = sel[s];
+            k += (v >= preds[pi].lo) & (v <= preds[pi].hi);
+          }
+          nsel = k;
+        }
+      }
+      if (m != nullptr) m->rows_scanned += take;
+      if (nsel == 0) continue;
+      // Filter deleted rows: bitmap, then delete-buffer anti-join.
+      if (want_locs) {
+        g.locator_segment().Decode(start, take, loc_buf.data());
+      }
+      if (check_dead || g.has_deletes()) {
+        int k = 0;
+        for (int s = 0; s < nsel; ++s) {
+          const int i = sel[s];
+          bool live = !g.IsDeleted(start + i);
+          if (live && check_dead) live = !dead.count(loc_buf[i]);
+          sel[k] = static_cast<uint16_t>(i);
+          k += live;
+        }
+        nsel = k;
+        if (nsel == 0) continue;
+      }
+      // Materialize requested columns for selected positions.
+      ColumnBatch batch;
+      batch.count = nsel;
+      batch.cols.resize(cols_needed.size());
+      const bool dense = nsel == take;
+      for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
+        g.segment(cols_needed[ci]).Decode(start, take, dec[ci].data());
+        if (dense) {
+          batch.cols[ci] = dec[ci].data();
+        } else {
+          for (int s = 0; s < nsel; ++s) out_cols[ci][s] = dec[ci][sel[s]];
+          batch.cols[ci] = out_cols[ci].data();
+        }
+      }
+      if (!want_locs) {
+        batch.locators = nullptr;
+      } else if (dense) {
+        batch.locators = loc_buf.data();
+      } else {
+        for (int s = 0; s < nsel; ++s) out_locs[s] = loc_buf[sel[s]];
+        batch.locators = out_locs.data();
+      }
+      if (m != nullptr) m->rows_output += nsel;
+      if (!fn(batch)) return;
+    }
+  }
+}
+
+void ColumnStoreIndex::ScanDelta(
+    const std::vector<int>& cols_needed, const std::vector<SegPredicate>& preds,
+    const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
+    bool need_locators) const {
+  (void)need_locators;  // delta rows carry their locator inline anyway
+  if (delta_rows() == 0) return;
+  // Note: the delete buffer does NOT apply here. A locator in the buffer
+  // marks the *compressed* copy dead; a delta row with the same locator is
+  // the row's live, newer version (delete-then-insert update pattern).
+  std::vector<std::vector<int64_t>> out_cols(cols_needed.size());
+  for (auto& d : out_cols) d.resize(kBatchSize);
+  std::vector<int64_t> out_locs(kBatchSize);
+  int count = 0;
+  bool stop = false;
+  auto flush = [&]() {
+    if (count == 0 || stop) return;
+    ColumnBatch b;
+    b.count = count;
+    b.cols.resize(cols_needed.size());
+    for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
+      b.cols[ci] = out_cols[ci].data();
+    }
+    b.locators = out_locs.data();
+    if (!fn(b)) stop = true;
+    count = 0;
+  };
+  delta_->Scan(
+      Bound::Unbounded(), Bound::Unbounded(),
+      [&](const int64_t*, const int64_t* payload) {
+        const int64_t loc = payload[ncols_];
+        for (const auto& p : preds) {
+          const int64_t v = payload[p.col];
+          if (v < p.lo || v > p.hi) return true;
+        }
+        for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
+          out_cols[ci][count] = payload[cols_needed[ci]];
+        }
+        out_locs[count] = loc;
+        if (++count == kBatchSize) {
+          flush();
+          if (stop) return false;
+        }
+        return true;
+      },
+      m);
+  flush();
+}
+
+void ColumnStoreIndex::Reorganize() {
+  // Gather every live row (compressed + delta), rebuild row groups.
+  std::unordered_set<int64_t> dead = SnapshotDeleteBuffer(nullptr);
+  std::vector<std::vector<int64_t>> cols(ncols_);
+  std::vector<int64_t> locs;
+  std::vector<int64_t> buf;
+  for (auto& g : groups_) {
+    const size_t n = g->num_rows();
+    buf.resize(n);
+    std::vector<int64_t> lbuf(n);
+    g->locator_segment().Decode(0, n, lbuf.data());
+    std::vector<char> keep(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (g->IsDeleted(i) || (!dead.empty() && dead.count(lbuf[i]))) keep[i] = 0;
+    }
+    for (int c = 0; c < ncols_; ++c) {
+      g->segment(c).Decode(0, n, buf.data());
+      for (size_t i = 0; i < n; ++i) {
+        if (keep[i]) cols[c].push_back(buf[i]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (keep[i]) locs.push_back(lbuf[i]);
+    }
+  }
+  delta_->Scan(Bound::Unbounded(), Bound::Unbounded(),
+               [&](const int64_t*, const int64_t* payload) {
+                 // Delta rows are always live (see ScanDelta).
+                 const int64_t loc = payload[ncols_];
+                 for (int c = 0; c < ncols_; ++c) cols[c].push_back(payload[c]);
+                 locs.push_back(loc);
+                 return true;
+               },
+               nullptr);
+  groups_.clear();
+  compressed_rows_ = 0;
+  compressed_deleted_ = 0;
+  delta_ = std::make_unique<BTree>(1, ncols_ + 1, pool_);
+  delta_seq_ = 0;
+  delta_key_of_locator_.clear();
+  if (delete_buffer_) delete_buffer_ = std::make_unique<BTree>(1, 0, pool_);
+  BuildGroups(std::move(cols), std::move(locs));
+}
+
+}  // namespace hd

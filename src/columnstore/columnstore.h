@@ -1,0 +1,148 @@
+// Columnstore index (CSI): row groups + delta store + delete handling.
+//
+// Faithful to the SQL Server design the paper describes in Section 2:
+//   - Bulk loads compress directly into row groups; trickle inserts land
+//     in a delta store (a B+ tree) scanned row-at-a-time by queries.
+//   - Secondary CSIs take deletes as cheap inserts into a *delete buffer*
+//     (another B+ tree of row locators); scans pay an anti-semi-join
+//     against it.
+//   - Primary CSIs have no delete buffer: a delete must locate the row in
+//     the compressed row groups (a scan) to set its bit in the *delete
+//     bitmap*, keeping scans fast but making small deletes expensive.
+//   - Reorganize() models the background tuple mover: compresses the delta
+//     store into row groups and folds the delete buffer into bitmaps.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "btree/btree.h"
+#include "columnstore/row_group.h"
+#include "common/status.h"
+
+namespace hd {
+
+/// Vectorized scan batch size (SQL Server batch mode operates on ~900-row
+/// batches; we use a cache-friendly 4096).
+constexpr int kBatchSize = 4096;
+
+/// A batch of decoded column values handed to batch-mode operators.
+struct ColumnBatch {
+  int count = 0;
+  /// One pointer per requested column, each `count` values.
+  std::vector<const int64_t*> cols;
+  /// Row locators (base RowId or packed primary key), `count` values.
+  const int64_t* locators = nullptr;
+};
+
+/// Inclusive range predicate on one stored column, in packed value space.
+struct SegPredicate {
+  int col = 0;  // position within this index's column list
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+};
+
+class ColumnStoreIndex {
+ public:
+  enum class Kind { kPrimary, kSecondary };
+
+  /// `num_columns` stored columns (the table maps its schema onto them).
+  ColumnStoreIndex(Kind kind, int num_columns, BufferPool* pool,
+                   CsiOptions opts = CsiOptions());
+
+  Kind kind() const { return kind_; }
+  int num_columns() const { return ncols_; }
+  const CsiOptions& options() const { return opts_; }
+
+  /// Bulk load column-major data; `locators[i]` identifies row i in the
+  /// base table (RowId, or the row's own id when this is the primary).
+  void BulkLoad(std::vector<std::vector<int64_t>> cols,
+                std::vector<int64_t> locators);
+
+  /// Trickle-insert one row into the delta store.
+  void Insert(std::span<const int64_t> row, int64_t locator, QueryMetrics* m);
+
+  /// Statement-level delete of a set of locators. Secondary: append each
+  /// to the delete buffer. Primary: scan row-group locator segments to
+  /// find positions and set delete bitmap bits (the expensive path).
+  Status DeleteBatch(std::span<const int64_t> locators, QueryMetrics* m);
+
+  /// Number of live rows (compressed + delta - deleted).
+  uint64_t num_rows() const;
+  uint64_t compressed_rows() const { return compressed_rows_; }
+  uint64_t delta_rows() const { return delta_ ? delta_->num_entries() : 0; }
+  uint64_t delete_buffer_rows() const {
+    return delete_buffer_ ? delete_buffer_->num_entries() : 0;
+  }
+  int num_row_groups() const { return static_cast<int>(groups_.size()); }
+  const RowGroup& row_group(int g) const { return *groups_[g]; }
+
+  /// Compressed size (all row groups) plus delta/delete structures.
+  uint64_t size_bytes() const;
+  /// Compressed bytes of one stored column across row groups — the
+  /// per-column size the what-if API needs (Section 4.2).
+  uint64_t column_size_bytes(int col) const;
+
+  /// Vectorized scan of row groups [group_begin, group_end) — the unit of
+  /// parallelism. Decodes `cols_needed`, applies `preds` with segment
+  /// elimination, filters deleted rows (bitmap + delete-buffer anti-join),
+  /// and invokes `fn` per batch. `fn` returns false to stop.
+  /// `need_locators` = false lets read-only scans skip decoding locator
+  /// segments (they are still decoded when delete filtering requires it);
+  /// ColumnBatch::locators is null in that case.
+  void ScanGroups(int group_begin, int group_end,
+                  const std::vector<int>& cols_needed,
+                  const std::vector<SegPredicate>& preds,
+                  const std::function<bool(const ColumnBatch&)>& fn,
+                  QueryMetrics* m, bool need_locators = true) const;
+
+  /// Row-mode scan of the delta store (queries must union this in).
+  void ScanDelta(const std::vector<int>& cols_needed,
+                 const std::vector<SegPredicate>& preds,
+                 const std::function<bool(const ColumnBatch&)>& fn,
+                 QueryMetrics* m, bool need_locators = true) const;
+
+  /// Tuple mover: fold delta + delete buffer into compressed row groups.
+  void Reorganize();
+
+  /// Compress a full delta store into a new row group (invoked
+  /// automatically when the delta reaches the row-group size, like SQL
+  /// Server's tuple mover closing a delta row group).
+  void CompressDelta(QueryMetrics* m);
+
+  /// Fold the delete buffer into per-row-group delete bitmaps (the
+  /// background compaction of Section 2). Invoked automatically past
+  /// CsiOptions::delete_buffer_compact_threshold.
+  void CompactDeleteBuffer(QueryMetrics* m);
+
+  /// Snapshot the delete-buffer locators for a scan's anti-join (charged
+  /// as a delete-buffer B+ tree scan).
+  std::unordered_set<int64_t> SnapshotDeleteBuffer(QueryMetrics* m) const;
+
+ private:
+  void BuildGroups(std::vector<std::vector<int64_t>> cols,
+                   std::vector<int64_t> locators);
+
+  Kind kind_;
+  int ncols_;
+  BufferPool* pool_;
+  CsiOptions opts_;
+  std::vector<std::unique_ptr<RowGroup>> groups_;
+  uint64_t compressed_rows_ = 0;
+  uint64_t compressed_deleted_ = 0;
+
+  /// Delta store: B+ tree keyed by insert sequence; payload = row cols +
+  /// locator. The side map locates a delta row by locator in O(1) so
+  /// statement-level deletes need not scan the delta.
+  std::unique_ptr<BTree> delta_;
+  int64_t delta_seq_ = 0;
+  std::unordered_map<int64_t, int64_t> delta_key_of_locator_;
+
+  /// Secondary only: delete buffer keyed by locator.
+  std::unique_ptr<BTree> delete_buffer_;
+};
+
+}  // namespace hd

@@ -1,0 +1,95 @@
+#include "columnstore/encoding.h"
+
+#include <cassert>
+
+namespace hd {
+
+int BitsFor(uint64_t v) {
+  int b = 0;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b;
+}
+
+void BitPacked::Pack(std::span<const uint64_t> values) {
+  n_ = values.size();
+  uint64_t maxv = 0;
+  for (uint64_t v : values) maxv = v > maxv ? v : maxv;
+  bits_ = BitsFor(maxv);
+  if (bits_ == 0) {
+    words_.clear();
+    return;
+  }
+  const size_t total_bits = n_ * static_cast<size_t>(bits_);
+  words_.assign((total_bits + 63) / 64, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    const size_t bitpos = i * bits_;
+    const size_t w = bitpos >> 6;
+    const int off = static_cast<int>(bitpos & 63);
+    words_[w] |= values[i] << off;
+    if (off + bits_ > 64) {
+      words_[w + 1] |= values[i] >> (64 - off);
+    }
+  }
+}
+
+uint64_t BitPacked::Get(size_t i) const {
+  if (bits_ == 0) return 0;
+  const size_t bitpos = i * bits_;
+  const size_t w = bitpos >> 6;
+  const int off = static_cast<int>(bitpos & 63);
+  uint64_t v = words_[w] >> off;
+  if (off + bits_ > 64) {
+    v |= words_[w + 1] << (64 - off);
+  }
+  const uint64_t mask = bits_ == 64 ? ~0ull : ((1ull << bits_) - 1);
+  return v & mask;
+}
+
+void BitPacked::Decode(size_t start, size_t count, uint64_t* out) const {
+  assert(start + count <= n_);
+  if (bits_ == 0) {
+    for (size_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  // Word-sequential unpack: track the bit cursor instead of recomputing
+  // word/offset per element (the hot loop of every columnstore scan).
+  const int bits = bits_;
+  const uint64_t mask = bits == 64 ? ~0ull : ((1ull << bits) - 1);
+  size_t bitpos = start * static_cast<size_t>(bits);
+  size_t w = bitpos >> 6;
+  int off = static_cast<int>(bitpos & 63);
+  const uint64_t* words = words_.data();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = words[w] >> off;
+    if (off + bits > 64) {
+      v |= words[w + 1] << (64 - off);
+    }
+    out[i] = v & mask;
+    off += bits;
+    w += static_cast<size_t>(off >> 6);
+    off &= 63;
+  }
+}
+
+uint64_t CountRuns(std::span<const int64_t> values) {
+  if (values.empty()) return 0;
+  uint64_t runs = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    runs += values[i] != values[i - 1];
+  }
+  return runs;
+}
+
+const char* SegEncodingName(SegEncoding e) {
+  switch (e) {
+    case SegEncoding::kDictRle: return "DICT_RLE";
+    case SegEncoding::kDictPacked: return "DICT_PACKED";
+    case SegEncoding::kRawPacked: return "RAW_PACKED";
+  }
+  return "?";
+}
+
+}  // namespace hd

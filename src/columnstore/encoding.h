@@ -1,0 +1,59 @@
+// Column segment encodings: bit-packing, dictionary, run-length.
+//
+// Mirrors the SQL Server columnstore compression pipeline described in
+// Section 2 of the paper: values are dictionary-encoded when the domain is
+// small, then either run-length encoded (when sorting produced long runs)
+// or bit-packed. Each encoder reports its exact encoded byte size, which
+// the advisor's size-estimation work (Section 4.4) is validated against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hd {
+
+/// Number of bits needed to represent `v` (v >= 0); 0 for v == 0.
+int BitsFor(uint64_t v);
+
+/// Fixed-width bit-packed array of unsigned values.
+class BitPacked {
+ public:
+  BitPacked() = default;
+
+  /// Pack `values` using width = BitsFor(max).
+  void Pack(std::span<const uint64_t> values);
+
+  uint64_t Get(size_t i) const;
+  size_t size() const { return n_; }
+  int bit_width() const { return bits_; }
+  size_t byte_size() const { return words_.size() * 8 + sizeof(*this); }
+
+  /// Unpack [start, start+count) into out.
+  void Decode(size_t start, size_t count, uint64_t* out) const;
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t n_ = 0;
+  int bits_ = 0;
+};
+
+/// One maximal run of identical values.
+struct Run {
+  uint32_t code;    // dictionary code (or raw offset value)
+  uint32_t length;
+};
+
+/// Encoding selected for a segment.
+enum class SegEncoding : uint8_t {
+  kDictRle,    // dictionary + run-length on codes
+  kDictPacked, // dictionary + bit-packed codes
+  kRawPacked,  // (value - min) bit-packed, no dictionary
+};
+
+const char* SegEncodingName(SegEncoding e);
+
+/// Count maximal runs of identical adjacent values.
+uint64_t CountRuns(std::span<const int64_t> values);
+
+}  // namespace hd

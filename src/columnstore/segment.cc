@@ -1,0 +1,166 @@
+#include "columnstore/segment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace hd {
+
+ColumnSegment::~ColumnSegment() { Reset(); }
+
+void ColumnSegment::Reset() {
+  if (extent_ != kInvalidExtent && pool_ != nullptr) {
+    pool_->Unregister(extent_);
+    extent_ = kInvalidExtent;
+  }
+}
+
+ColumnSegment::ColumnSegment(ColumnSegment&& o) noexcept { *this = std::move(o); }
+
+ColumnSegment& ColumnSegment::operator=(ColumnSegment&& o) noexcept {
+  if (this == &o) return *this;
+  Reset();
+  n_ = o.n_;
+  min_ = o.min_;
+  max_ = o.max_;
+  num_runs_ = o.num_runs_;
+  approx_ndv_ = o.approx_ndv_;
+  enc_ = o.enc_;
+  size_bytes_ = o.size_bytes_;
+  extent_ = o.extent_;
+  pool_ = o.pool_;
+  dict_ = std::move(o.dict_);
+  runs_ = std::move(o.runs_);
+  packed_ = std::move(o.packed_);
+  run_offsets_ = std::move(o.run_offsets_);
+  o.extent_ = kInvalidExtent;
+  o.pool_ = nullptr;
+  return *this;
+}
+
+void ColumnSegment::Build(std::span<const int64_t> values, BufferPool* pool) {
+  Reset();
+  pool_ = pool;
+  n_ = values.size();
+  if (n_ == 0) {
+    extent_ = pool->Register(64);
+    size_bytes_ = 64;
+    return;
+  }
+  min_ = max_ = values[0];
+  for (int64_t v : values) {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  num_runs_ = CountRuns(values);
+
+  // Distinct values, capped: dictionaries above 1M entries stop paying.
+  constexpr size_t kMaxDict = 1u << 20;
+  std::unordered_map<int64_t, uint32_t> code_of;
+  code_of.reserve(std::min(n_, kMaxDict));
+  bool dict_ok = true;
+  for (int64_t v : values) {
+    if (code_of.size() >= kMaxDict) {
+      dict_ok = false;
+      break;
+    }
+    code_of.emplace(v, 0);
+  }
+
+  const double avg_run = static_cast<double>(n_) / num_runs_;
+  // Pick the cheaper representation: dictionary-based encodings pay the
+  // dictionary (8 bytes/distinct), raw bit-packing pays BitsFor(max-min)
+  // bits per row. High-cardinality wide-domain columns should stay raw.
+  bool dict_wins = dict_ok;
+  if (dict_ok) {
+    const double dict_bits_per_row =
+        BitsFor(code_of.size() > 0 ? code_of.size() - 1 : 0);
+    const double raw_bits_per_row =
+        BitsFor(static_cast<uint64_t>(max_ - min_));
+    const double dict_total =
+        n_ * dict_bits_per_row / 8.0 + code_of.size() * 8.0;
+    const double rle_total =
+        avg_run >= 3.0 ? num_runs_ * sizeof(Run) + code_of.size() * 8.0
+                       : dict_total;
+    const double raw_total = n_ * raw_bits_per_row / 8.0;
+    dict_wins = std::min(dict_total, rle_total) <= raw_total;
+  }
+  if (dict_wins) {
+    dict_.reserve(code_of.size());
+    for (auto& [v, c] : code_of) dict_.push_back(v);
+    std::sort(dict_.begin(), dict_.end());
+    for (size_t i = 0; i < dict_.size(); ++i) code_of[dict_[i]] = static_cast<uint32_t>(i);
+    approx_ndv_ = dict_.size();
+    if (avg_run >= 3.0) {
+      enc_ = SegEncoding::kDictRle;
+      runs_.reserve(num_runs_);
+      run_offsets_.reserve(num_runs_ + 1);
+      run_offsets_.push_back(0);
+      size_t i = 0;
+      while (i < n_) {
+        size_t j = i + 1;
+        while (j < n_ && values[j] == values[i]) ++j;
+        runs_.push_back(Run{code_of[values[i]], static_cast<uint32_t>(j - i)});
+        run_offsets_.push_back(static_cast<uint32_t>(j));
+        i = j;
+      }
+      size_bytes_ = runs_.size() * sizeof(Run) + dict_.size() * 8 + 64;
+    } else {
+      enc_ = SegEncoding::kDictPacked;
+      std::vector<uint64_t> codes(n_);
+      for (size_t i = 0; i < n_; ++i) codes[i] = code_of[values[i]];
+      packed_.Pack(codes);
+      size_bytes_ = packed_.byte_size() + dict_.size() * 8 + 64;
+    }
+  } else {
+    enc_ = SegEncoding::kRawPacked;
+    approx_ndv_ = dict_ok ? code_of.size() : n_;
+    std::vector<uint64_t> offs(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      offs[i] = static_cast<uint64_t>(values[i] - min_);
+    }
+    packed_.Pack(offs);
+    size_bytes_ = packed_.byte_size() + 64;
+  }
+  extent_ = pool->Register(size_bytes_);
+}
+
+void ColumnSegment::Decode(size_t start, size_t count, int64_t* out) const {
+  assert(start + count <= n_);
+  switch (enc_) {
+    case SegEncoding::kDictRle: {
+      // Locate the run containing `start` by binary search on offsets.
+      size_t r = std::upper_bound(run_offsets_.begin(), run_offsets_.end(),
+                                  static_cast<uint32_t>(start)) -
+                 run_offsets_.begin() - 1;
+      size_t produced = 0;
+      size_t pos = start;
+      while (produced < count) {
+        const Run& run = runs_[r];
+        const size_t run_start = run_offsets_[r];
+        const size_t run_end = run_start + run.length;
+        const size_t take = std::min(count - produced, run_end - pos);
+        const int64_t v = dict_[run.code];
+        for (size_t i = 0; i < take; ++i) out[produced + i] = v;
+        produced += take;
+        pos += take;
+        if (pos >= run_end) ++r;
+      }
+      break;
+    }
+    case SegEncoding::kDictPacked: {
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = dict_[packed_.Get(start + i)];
+      }
+      break;
+    }
+    case SegEncoding::kRawPacked: {
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = min_ + static_cast<int64_t>(packed_.Get(start + i));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace hd

@@ -1,0 +1,82 @@
+// Column segment: one column's worth of one row group, compressed.
+//
+// Carries the small materialized aggregates (min/max) that enable data
+// skipping / segment elimination (Section 3.2.1 and Moerkotte's SMAs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "columnstore/encoding.h"
+#include "common/metrics.h"
+#include "storage/buffer_pool.h"
+
+namespace hd {
+
+/// Immutable compressed column segment over packed int64 values.
+class ColumnSegment {
+ public:
+  ColumnSegment() = default;
+
+  /// Compress `values`. The encoder picks dictionary+RLE when runs are
+  /// long, dictionary+bitpack when the domain is small, raw bitpack
+  /// otherwise — mimicking SQL Server's per-segment encoding choice.
+  void Build(std::span<const int64_t> values, BufferPool* pool);
+
+  ~ColumnSegment();
+  ColumnSegment(ColumnSegment&&) noexcept;
+  ColumnSegment& operator=(ColumnSegment&&) noexcept;
+  ColumnSegment(const ColumnSegment&) = delete;
+  ColumnSegment& operator=(const ColumnSegment&) = delete;
+
+  size_t num_rows() const { return n_; }
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+  uint64_t distinct_count() const { return dict_.size() ? dict_.size() : approx_ndv_; }
+  uint64_t num_runs() const { return num_runs_; }
+  SegEncoding encoding() const { return enc_; }
+  /// Exact encoded size (data + dictionary + header).
+  uint64_t size_bytes() const { return size_bytes_; }
+  ExtentId extent() const { return extent_; }
+
+  /// True if no value in [lo, hi] can be present (segment elimination).
+  bool CanSkip(int64_t lo, int64_t hi) const { return hi < min_ || lo > max_; }
+
+  /// Decode rows [start, start+count) into `out`. Charges buffer-pool
+  /// access for the segment on first touch per query via Touch().
+  void Decode(size_t start, size_t count, int64_t* out) const;
+
+  /// Account a scan touch of this segment (cold I/O if non-resident).
+  void Touch(BufferPool* pool, QueryMetrics* m) const {
+    pool->Access(extent_, IoPattern::kSequential, m);
+    if (m != nullptr) {
+      m->segments_scanned += 1;
+      m->bytes_processed += size_bytes_;
+    }
+  }
+
+ private:
+  void Reset();
+
+  size_t n_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  uint64_t num_runs_ = 0;
+  uint64_t approx_ndv_ = 0;
+  SegEncoding enc_ = SegEncoding::kRawPacked;
+  uint64_t size_bytes_ = 0;
+  ExtentId extent_ = kInvalidExtent;
+  BufferPool* pool_ = nullptr;
+
+  // kDictRle / kDictPacked: sorted distinct values.
+  std::vector<int64_t> dict_;
+  // kDictRle: runs over dictionary codes.
+  std::vector<Run> runs_;
+  // kDictPacked: codes; kRawPacked: value - min_.
+  BitPacked packed_;
+  // Prefix of cumulative run lengths for O(log R) positional decode.
+  std::vector<uint32_t> run_offsets_;
+};
+
+}  // namespace hd

@@ -1,0 +1,47 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace hd {
+
+void QueryMetrics::Clear() {
+  pages_read = 0;
+  bytes_read = 0;
+  bytes_processed = 0;
+  rows_scanned = 0;
+  rows_output = 0;
+  segments_scanned = 0;
+  segments_skipped = 0;
+  sim_io_ns = 0;
+  cpu_ns = 0;
+  peak_memory_bytes = 0;
+  spill_bytes = 0;
+  dop = 1;
+}
+
+void QueryMetrics::Merge(const QueryMetrics& o) {
+  pages_read += o.pages_read.load();
+  bytes_read += o.bytes_read.load();
+  bytes_processed += o.bytes_processed.load();
+  rows_scanned += o.rows_scanned.load();
+  rows_output += o.rows_output.load();
+  segments_scanned += o.segments_scanned.load();
+  segments_skipped += o.segments_skipped.load();
+  sim_io_ns += o.sim_io_ns.load();
+  cpu_ns += o.cpu_ns.load();
+  spill_bytes += o.spill_bytes.load();
+  UpdatePeakMemory(o.peak_memory_bytes.load());
+}
+
+std::string QueryMetrics::ToString() const {
+  std::ostringstream os;
+  os << "exec_ms=" << exec_ms() << " cpu_ms=" << cpu_ms()
+     << " io_ms=" << sim_io_ms() << " pages=" << pages_read.load()
+     << " read_mb=" << data_read_mb() << " rows=" << rows_scanned.load()
+     << " segs=" << segments_scanned.load() << "+"
+     << segments_skipped.load() << "skip"
+     << " peak_mem=" << peak_memory_bytes.load() << " dop=" << dop;
+  return os.str();
+}
+
+}  // namespace hd

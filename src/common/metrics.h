@@ -1,0 +1,85 @@
+// Per-query execution metrics and timing helpers.
+//
+// The engine reports two time components for every query, mirroring the
+// paper's methodology (Section 3.1): measured CPU work, and simulated I/O
+// stall time charged by the DiskModel for non-resident data. "Execution
+// time" = CPU critical path + I/O stalls; "CPU time" = total work summed
+// over worker threads (so parallel plans show the Fig. 1(b) jump).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hd {
+
+/// Monotonic wall-clock stopwatch (milliseconds).
+class Timer {
+ public:
+  Timer() { Reset(); }
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Counters accumulated while executing one query. Thread-safe: parallel
+/// operator instances add into the same object.
+struct QueryMetrics {
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> bytes_read{0};        // from "disk" (cold)
+  std::atomic<uint64_t> bytes_processed{0};   // decoded/scanned bytes
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> rows_output{0};
+  std::atomic<uint64_t> segments_scanned{0};
+  std::atomic<uint64_t> segments_skipped{0};
+  /// Simulated I/O stall nanoseconds (summed; on the critical path for
+  /// serial plans, divided by DOP for parallel scans when reporting).
+  std::atomic<uint64_t> sim_io_ns{0};
+  /// Measured compute nanoseconds summed over all worker threads.
+  std::atomic<uint64_t> cpu_ns{0};
+  std::atomic<uint64_t> peak_memory_bytes{0};
+  std::atomic<uint64_t> spill_bytes{0};
+  int dop = 1;
+
+  QueryMetrics() = default;
+  QueryMetrics(const QueryMetrics& o) { *this = o; }
+  QueryMetrics& operator=(const QueryMetrics& o) {
+    if (this == &o) return *this;
+    Clear();
+    Merge(o);
+    dop = o.dop;
+    return *this;
+  }
+
+  void Clear();
+
+  /// Merge counters from another metrics block (e.g. per-thread locals).
+  void Merge(const QueryMetrics& o);
+
+  double cpu_ms() const { return cpu_ns.load() / 1e6; }
+  double sim_io_ms() const { return sim_io_ns.load() / 1e6; }
+  /// End-to-end execution estimate: compute critical path + I/O stalls.
+  double exec_ms() const {
+    int d = dop > 0 ? dop : 1;
+    return cpu_ns.load() / 1e6 / d + sim_io_ns.load() / 1e6 / d;
+  }
+  double data_read_mb() const { return bytes_read.load() / (1024.0 * 1024.0); }
+
+  void UpdatePeakMemory(uint64_t bytes) {
+    uint64_t prev = peak_memory_bytes.load();
+    while (bytes > prev &&
+           !peak_memory_bytes.compare_exchange_weak(prev, bytes)) {
+    }
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace hd

@@ -1,0 +1,53 @@
+// Packed row format: the engine-internal representation of a row.
+//
+// Every column value is encoded into one int64_t such that the natural
+// int64 ordering matches the value ordering:
+//   - INT32/INT64/DATE: identity.
+//   - DOUBLE: order-preserving bit transform (PackDouble/UnpackDouble).
+//   - STRING: per-column dictionary code (order-preserving for bulk-loaded
+//     data, where dictionaries are built sorted; codes for strings first
+//     seen by later inserts are appended and only equality-correct —
+//     documented engine limitation, same spirit as SQL Server's
+//     dictionary-encoded segments being unordered).
+//
+// This keeps B+ tree comparisons and columnstore encodings branch-free
+// int64 operations and the memory footprint at 8 bytes per value.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace hd {
+
+/// A packed row: one int64 per column, positionally matching the schema.
+using PackedRow = std::vector<int64_t>;
+
+/// Order-preserving encode of a double into int64.
+inline int64_t PackDouble(double d) {
+  uint64_t u = std::bit_cast<uint64_t>(d);
+  // Positive doubles: set the sign bit; negatives: flip all bits. Result
+  // compares as unsigned in value order; xor with MSB makes it signed.
+  u = (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
+  return std::bit_cast<int64_t>(u ^ 0x8000000000000000ull);
+}
+
+/// Inverse of PackDouble.
+inline double UnpackDouble(int64_t v) {
+  uint64_t u = std::bit_cast<uint64_t>(v) ^ 0x8000000000000000ull;
+  // MSB set => the original was non-negative (we or-ed the bit in);
+  // MSB clear => the original was negative (we flipped all bits).
+  u = (u & 0x8000000000000000ull) ? (u ^ 0x8000000000000000ull) : ~u;
+  return std::bit_cast<double>(u);
+}
+
+/// Lexicographic compare of two equal-length packed key prefixes.
+inline int ComparePacked(const int64_t* a, const int64_t* b, int n) {
+  for (int i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+}  // namespace hd

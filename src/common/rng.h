@@ -1,0 +1,70 @@
+// Deterministic pseudo-random generation for workload synthesis.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace hd {
+
+/// Deterministic RNG wrapper; all workload generators take an explicit seed
+/// so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : eng_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(eng_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool Flip(double p) {
+    return std::bernoulli_distribution(p)(eng_);
+  }
+
+  /// Zipfian-distributed value in [0, n) with skew theta (0 = uniform-ish).
+  /// Uses the classic Gray et al. rejection-free approximation.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Random lowercase string of the given length.
+  std::string String(int len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(0, 25));
+    return s;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), eng_);
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+inline int64_t Rng::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(0, n - 1);
+  if (theta > 0.99) theta = 0.99;  // keep the power-law exponent finite
+  // Inverse-CDF sampling on the truncated zeta distribution via the
+  // power-law approximation; adequate for workload skew synthesis.
+  double u = UniformReal(1e-12, 1.0);
+  double x = static_cast<double>(n) * std::pow(u, 1.0 / (1.0 - theta));
+  int64_t k = static_cast<int64_t>(x);
+  if (k >= n) k = n - 1;
+  return k;  // rank 0 is the most popular
+}
+
+}  // namespace hd

@@ -1,0 +1,37 @@
+#include "common/schema.h"
+
+namespace hd {
+
+int Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::RowWidth() const {
+  int w = 0;
+  for (const auto& c : cols_) w += c.Width();
+  return w;
+}
+
+Schema Schema::Project(const std::vector<int>& idxs) const {
+  std::vector<Column> out;
+  out.reserve(idxs.size());
+  for (int i : idxs) out.push_back(cols_[i]);
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i) s += ", ";
+    s += cols_[i].name;
+    s += " ";
+    s += ValueTypeName(cols_[i].type);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace hd

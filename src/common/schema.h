@@ -1,0 +1,57 @@
+// Table schemas and rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace hd {
+
+/// Row identifier: position of a row within its table's primary storage.
+using RowId = uint64_t;
+constexpr RowId kInvalidRowId = ~0ull;
+
+/// One column of a table schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  /// Average encoded width in bytes for variable-length types (strings);
+  /// ignored for fixed-width types.
+  int avg_width = 0;
+
+  int Width() const {
+    return avg_width > 0 ? avg_width : FixedWidth(type);
+  }
+};
+
+/// A row is a flat vector of values, positionally matching a Schema.
+using Row = std::vector<Value>;
+
+/// Ordered list of columns describing a table or intermediate result.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  int num_columns() const { return static_cast<int>(cols_.size()); }
+  const Column& column(int i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of the column with the given name, or -1.
+  int Find(const std::string& name) const;
+
+  /// Total average row width in bytes (uncompressed row format).
+  int RowWidth() const;
+
+  /// Schema containing only the given column positions.
+  Schema Project(const std::vector<int>& idxs) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace hd

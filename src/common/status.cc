@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace hd {
+
+namespace {
+const char* CodeName(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kCorruption: return "Corruption";
+    case Code::kNotSupported: return "NotSupported";
+    case Code::kResourceExhausted: return "ResourceExhausted";
+    case Code::kAborted: return "Aborted";
+    case Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = CodeName(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace hd

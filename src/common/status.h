@@ -1,0 +1,119 @@
+// Status / Result: RocksDB-style error propagation without exceptions
+// across module boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hd {
+
+/// Error/result code carried by every fallible operation in the engine.
+enum class Code {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kAborted,     // e.g. deadlock victim
+  kInternal,
+};
+
+/// Lightweight status object. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(Code::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(Code::kInvalidArgument, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(Code::kCorruption, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(Code::kNotSupported, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(Code::kResourceExhausted, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(Code::kAborted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(Code::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad column".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string msg_;
+};
+
+/// Result<T>: a value or a non-OK Status (minimal StatusOr).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {   // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define HD_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::hd::Status _st = (expr);              \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#define HD_CONCAT_INNER_(a, b) a##b
+#define HD_CONCAT_(a, b) HD_CONCAT_INNER_(a, b)
+
+#define HD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = tmp.take();
+
+#define HD_ASSIGN_OR_RETURN(lhs, expr) \
+  HD_ASSIGN_OR_RETURN_IMPL_(HD_CONCAT_(_res_, __LINE__), lhs, expr)
+
+}  // namespace hd

@@ -1,0 +1,95 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+namespace hd {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32: return "INT32";
+    case ValueType::kInt64: return "INT64";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+    case ValueType::kDate: return "DATE";
+  }
+  return "?";
+}
+
+int FixedWidth(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32: return 4;
+    case ValueType::kInt64: return 8;
+    case ValueType::kDouble: return 8;
+    case ValueType::kString: return 16;  // average payload assumption
+    case ValueType::kDate: return 4;
+  }
+  return 8;
+}
+
+double Value::AsDouble() const {
+  if (auto* p = std::get_if<int32_t>(&v_)) return static_cast<double>(*p);
+  if (auto* p = std::get_if<int64_t>(&v_)) return static_cast<double>(*p);
+  if (auto* p = std::get_if<double>(&v_)) return *p;
+  assert(false && "AsDouble on non-numeric value");
+  return 0.0;
+}
+
+int64_t Value::AsInt64() const {
+  if (auto* p = std::get_if<int32_t>(&v_)) return *p;
+  if (auto* p = std::get_if<int64_t>(&v_)) return *p;
+  if (auto* p = std::get_if<double>(&v_)) return static_cast<int64_t>(*p);
+  assert(false && "AsInt64 on non-numeric value");
+  return 0;
+}
+
+int Value::Compare(const Value& other) const {
+  const bool ln = is_null(), rn = other.is_null();
+  if (ln || rn) return static_cast<int>(rn) - static_cast<int>(ln);
+  const bool lstr = std::holds_alternative<std::string>(v_);
+  const bool rstr = std::holds_alternative<std::string>(other.v_);
+  assert(lstr == rstr && "cannot compare string with numeric");
+  (void)rstr;
+  if (lstr) {
+    const auto& a = std::get<std::string>(v_);
+    const auto& b = std::get<std::string>(other.v_);
+    int c = a.compare(b);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Fast path: both int64-representable without precision loss.
+  const bool ld = std::holds_alternative<double>(v_);
+  const bool rd = std::holds_alternative<double>(other.v_);
+  if (!ld && !rd) {
+    int64_t a = AsInt64(), b = other.AsInt64();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsDouble(), b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (auto* p = std::get_if<std::string>(&v_)) {
+    return std::hash<std::string>{}(*p);
+  }
+  if (auto* p = std::get_if<double>(&v_)) {
+    double d = *p;
+    // Hash integral doubles identically to the integer of the same value so
+    // mixed-type join keys land in the same bucket.
+    if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+      return std::hash<int64_t>{}(static_cast<int64_t>(d));
+    }
+    return std::hash<double>{}(d);
+  }
+  return std::hash<int64_t>{}(AsInt64());
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (auto* p = std::get_if<std::string>(&v_)) return *p;
+  if (auto* p = std::get_if<double>(&v_)) return std::to_string(*p);
+  return std::to_string(AsInt64());
+}
+
+}  // namespace hd

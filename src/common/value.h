@@ -1,0 +1,81 @@
+// Typed scalar values and the column type system used across the engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace hd {
+
+/// Column data types. kDate is stored as days-since-epoch in an int32.
+enum class ValueType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kDate = 4,
+};
+
+/// Name of a type for catalogs / debug output ("INT32", "STRING", ...).
+const char* ValueTypeName(ValueType t);
+
+/// Fixed per-row byte width of a type in uncompressed row storage.
+/// Strings report their average configured width at schema level; this
+/// returns the in-row overhead for the variable part's pointer.
+int FixedWidth(ValueType t);
+
+/// A dynamically typed scalar. NULL is represented by std::monostate.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int32_t v) : v_(v) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int32(int32_t v) { return Value(v); }
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  /// Date value: days since 1970-01-01.
+  static Value Date(int32_t days) { return Value(days); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+  int32_t i32() const { return std::get<int32_t>(v_); }
+  int64_t i64() const { return std::get<int64_t>(v_); }
+  double f64() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+
+  /// Numeric view of the value; integer types widen, strings are invalid.
+  double AsDouble() const;
+  /// Integer view; doubles truncate, strings are invalid.
+  int64_t AsInt64() const;
+
+  /// Three-way comparison. NULL sorts first. Mixed numeric types compare
+  /// numerically; comparing a string with a number is undefined (asserts).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+
+  /// Stable hash for hash joins / aggregation.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Value(std::monostate m) : v_(m) {}
+  std::variant<std::monostate, int32_t, int64_t, double, std::string> v_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace hd

@@ -1,0 +1,210 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace hd {
+
+std::string Recommendation::Report() const {
+  std::ostringstream os;
+  os << "Recommendation: " << chosen.size() << " indexes, workload cost "
+     << initial_cost_ms << " -> " << final_cost_ms << " ms (est), "
+     << candidates_generated << " candidates (" << candidates_after_pruning
+     << " after pruning)\n";
+  for (const auto& ci : chosen) {
+    os << "  " << ci.table << ": " << ci.def.Describe() << "  size~"
+       << ci.est_size_bytes / (1024.0 * 1024.0) << "MB gain~" << ci.gain_ms
+       << "ms\n";
+  }
+  return os.str();
+}
+
+IndexStatsInfo Advisor::EstimateStats(const Candidate& c) const {
+  Table* t = db_->GetTable(c.table);
+  if (c.def.is_btree()) return EstimateBTreeStats(*t, c.def);
+  return opts_.use_blackbox_size_estimator
+             ? EstimateCsiSizeBlackBox(*t, opts_.size_opts)
+             : EstimateCsiSizeGee(*t, opts_.size_opts);
+}
+
+Result<Recommendation> Advisor::Recommend(const std::vector<Query>& workload) {
+  Recommendation rec;
+
+  // Start from the current primaries with no secondary structures.
+  Configuration cfg = Configuration::FromCatalog(*db_);
+  for (auto& [name, tc] : cfg.tables) tc.secondaries.clear();
+
+  // csi-only mode is not a search: build a secondary columnstore on every
+  // table the workload references (Section 5.1's columnstore-only design).
+  if (opts_.mode == AdvisorMode::kCsiOnly) {
+    std::unordered_set<std::string> referenced;
+    for (const auto& q : workload) {
+      referenced.insert(q.base.table);
+      for (const auto& j : q.joins) referenced.insert(j.dim.table);
+    }
+    for (const auto& name : referenced) {
+      TableConfig* tc = cfg.FindMutable(name);
+      if (tc == nullptr || tc->HasCsi()) continue;
+      Candidate c;
+      c.table = name;
+      c.def.type = IndexDef::Type::kColumnStore;
+      c.def.name = MakeIndexName(name, c.def);
+      ConfigIndex ci;
+      ci.def = c.def;
+      ci.stats = EstimateStats(c);
+      ci.hypothetical = true;
+      tc->secondaries.push_back(ci);
+      rec.chosen.push_back(
+          {name, c.def, ci.stats.size_bytes, 0.0});
+    }
+  }
+
+  // Per-query initial costs.
+  auto workload_costs = [&](const Configuration& c,
+                            std::vector<double>* out) -> Status {
+    out->clear();
+    for (const auto& q : workload) {
+      HD_ASSIGN_OR_RETURN(double cost,
+                          optimizer_.WhatIfCost(q, c, opts_.plan_opts));
+      out->push_back(cost * q.weight);
+    }
+    return Status::OK();
+  };
+
+  std::vector<double> base_costs;
+  {
+    Configuration clean = cfg;
+    for (auto& [name, tc] : clean.tables) tc.secondaries.clear();
+    HD_RETURN_IF_ERROR(workload_costs(clean, &base_costs));
+  }
+  rec.per_query_initial_ms = base_costs;
+  for (double c : base_costs) rec.initial_cost_ms += c;
+
+  if (opts_.mode == AdvisorMode::kCsiOnly) {
+    HD_RETURN_IF_ERROR(workload_costs(cfg, &rec.per_query_final_ms));
+    for (double c : rec.per_query_final_ms) rec.final_cost_ms += c;
+    rec.config = std::move(cfg);
+    return rec;
+  }
+
+  // ---- Candidate selection (per query) ----
+  std::vector<Candidate> cands;
+  for (const auto& q : workload) {
+    for (auto& c : GenerateCandidates(q, db_, opts_.mode)) {
+      bool dup = false;
+      for (const auto& d : cands) dup |= d.SameAs(c);
+      if (!dup) cands.push_back(std::move(c));
+    }
+  }
+  // ---- Index merging ----
+  cands = MergeCandidates(std::move(cands));
+  rec.candidates_generated = static_cast<int>(cands.size());
+
+  // Size estimation for every candidate.
+  for (auto& c : cands) c.stats = EstimateStats(c);
+
+  // ---- Per-query pruning: keep candidates that help some query ----
+  std::vector<char> keep(cands.size(), 0);
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const Query& q = workload[qi];
+    for (size_t ci = 0; ci < cands.size(); ++ci) {
+      if (keep[ci]) continue;
+      // Only candidates on tables this query touches.
+      bool relevant = cands[ci].table == q.base.table;
+      for (const auto& j : q.joins) relevant |= cands[ci].table == j.dim.table;
+      if (!relevant) continue;
+      Configuration trial = cfg;
+      TableConfig* tc = trial.FindMutable(cands[ci].table);
+      if (cands[ci].def.is_columnstore() && tc->HasCsi()) continue;
+      ConfigIndex ix;
+      ix.def = cands[ci].def;
+      ix.stats = cands[ci].stats;
+      ix.hypothetical = true;
+      tc->secondaries.push_back(ix);
+      HD_ASSIGN_OR_RETURN(double cost,
+                          optimizer_.WhatIfCost(q, trial, opts_.plan_opts));
+      if (cost * q.weight <
+          base_costs[qi] * (1.0 - opts_.per_query_keep_fraction)) {
+        keep[ci] = 1;
+      }
+    }
+  }
+  std::vector<Candidate> pruned;
+  for (size_t ci = 0; ci < cands.size(); ++ci) {
+    if (keep[ci]) pruned.push_back(std::move(cands[ci]));
+  }
+  cands = std::move(pruned);
+  rec.candidates_after_pruning = static_cast<int>(cands.size());
+
+  // ---- Greedy workload-level enumeration under the storage budget ----
+  std::vector<double> cur_costs = base_costs;
+  double cur_total = rec.initial_cost_ms;
+  uint64_t used_bytes = 0;
+  std::vector<char> used(cands.size(), 0);
+
+  while (static_cast<int>(rec.chosen.size()) < opts_.max_chosen_indexes) {
+    int best_ci = -1;
+    double best_gain = 0;
+    std::vector<double> best_costs;
+    for (size_t ci = 0; ci < cands.size(); ++ci) {
+      if (used[ci]) continue;
+      const Candidate& c = cands[ci];
+      if (used_bytes + c.stats.size_bytes > opts_.storage_budget_bytes) {
+        continue;
+      }
+      TableConfig* tc0 = cfg.FindMutable(c.table);
+      if (c.def.is_columnstore() && tc0->HasCsi()) continue;
+      Configuration trial = cfg;
+      TableConfig* tc = trial.FindMutable(c.table);
+      ConfigIndex ix;
+      ix.def = c.def;
+      ix.stats = c.stats;
+      ix.hypothetical = true;
+      tc->secondaries.push_back(ix);
+      // Recost only the queries touching this table.
+      double total = 0;
+      std::vector<double> costs = cur_costs;
+      for (size_t qi = 0; qi < workload.size(); ++qi) {
+        const Query& q = workload[qi];
+        bool touches = q.base.table == c.table;
+        for (const auto& j : q.joins) touches |= j.dim.table == c.table;
+        if (touches) {
+          HD_ASSIGN_OR_RETURN(double cost,
+                              optimizer_.WhatIfCost(q, trial, opts_.plan_opts));
+          costs[qi] = cost * q.weight;
+        }
+        total += costs[qi];
+      }
+      const double gain = cur_total - total;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_ci = static_cast<int>(ci);
+        best_costs = std::move(costs);
+      }
+    }
+    if (best_ci < 0 ||
+        best_gain < opts_.min_gain_fraction * rec.initial_cost_ms) {
+      break;
+    }
+    const Candidate& c = cands[best_ci];
+    TableConfig* tc = cfg.FindMutable(c.table);
+    ConfigIndex ix;
+    ix.def = c.def;
+    ix.stats = c.stats;
+    ix.hypothetical = true;
+    tc->secondaries.push_back(ix);
+    used[best_ci] = 1;
+    used_bytes += c.stats.size_bytes;
+    cur_costs = std::move(best_costs);
+    cur_total -= best_gain;
+    rec.chosen.push_back({c.table, c.def, c.stats.size_bytes, best_gain});
+  }
+
+  rec.per_query_final_ms = cur_costs;
+  rec.final_cost_ms = cur_total;
+  rec.config = std::move(cfg);
+  return rec;
+}
+
+}  // namespace hd

@@ -1,0 +1,83 @@
+// The advisor: DTA extended with hybrid B+ tree / columnstore
+// recommendations — the paper's primary contribution (Section 4).
+//
+// Architecture mirrors Figure 7: per-query candidate selection, index
+// merging, and a cost-based workload-level greedy search, all driven by
+// the optimizer's what-if API over hypothetical configurations whose
+// columnstore sizes come from sampling-based estimation (Section 4.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/size_estimation.h"
+#include "optimizer/optimizer.h"
+
+namespace hd {
+
+struct AdvisorOptions {
+  AdvisorMode mode = AdvisorMode::kHybrid;
+  /// Storage budget for recommended (secondary) structures.
+  uint64_t storage_budget_bytes = ~0ull;
+  /// Stop when the best remaining candidate improves total workload cost
+  /// by less than this fraction of the initial cost.
+  double min_gain_fraction = 0.005;
+  /// Keep a candidate after per-query analysis only if it improves some
+  /// query by at least this fraction.
+  double per_query_keep_fraction = 0.03;
+  int max_chosen_indexes = 64;
+  /// Columnstore size estimation.
+  SizeEstimateOptions size_opts;
+  bool use_blackbox_size_estimator = false;
+  /// Planning environment for costing. The advisor costs at DOP 1:
+  /// optimizer cost should reflect logical work (the paper's execution-
+  /// cost metric is CPU time), not elapsed time on one parallelism level —
+  /// otherwise large parallel scans look as cheap as selective seeks.
+  PlanOptions plan_opts = PlanOptions{/*cold=*/false,
+                                      /*memory_grant_bytes=*/4ull << 30,
+                                      /*max_dop=*/1};
+};
+
+/// One chosen index with its bookkeeping.
+struct ChosenIndex {
+  std::string table;
+  IndexDef def;
+  uint64_t est_size_bytes = 0;
+  double gain_ms = 0;  // workload cost reduction when it was added
+};
+
+struct Recommendation {
+  Configuration config;           // final recommended design
+  double initial_cost_ms = 0;     // workload cost with no secondaries
+  double final_cost_ms = 0;       // workload cost under `config`
+  std::vector<ChosenIndex> chosen;
+  std::vector<double> per_query_initial_ms;
+  std::vector<double> per_query_final_ms;
+  int candidates_generated = 0;
+  int candidates_after_pruning = 0;
+
+  std::string Report() const;
+};
+
+class Advisor {
+ public:
+  Advisor(Database* db, AdvisorOptions opts = AdvisorOptions())
+      : db_(db), opts_(opts), optimizer_(db) {}
+
+  /// Analyze `workload` and recommend a physical design. The database's
+  /// current primary structures are kept; existing secondary indexes are
+  /// ignored (tuning from a clean slate, as in the paper's evaluation).
+  Result<Recommendation> Recommend(const std::vector<Query>& workload);
+
+  const Optimizer& optimizer() const { return optimizer_; }
+
+ private:
+  IndexStatsInfo EstimateStats(const Candidate& c) const;
+
+  Database* db_;
+  AdvisorOptions opts_;
+  Optimizer optimizer_;
+};
+
+}  // namespace hd

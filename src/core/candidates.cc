@@ -1,0 +1,212 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace hd {
+
+const char* AdvisorModeName(AdvisorMode m) {
+  switch (m) {
+    case AdvisorMode::kBTreeOnly: return "btree-only";
+    case AdvisorMode::kCsiOnly: return "csi-only";
+    case AdvisorMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+std::string MakeIndexName(const std::string& table, const IndexDef& def) {
+  if (def.is_columnstore()) {
+    std::string s = "csi_" + table;
+    if (!def.key_cols.empty()) s += "_s" + std::to_string(def.key_cols[0]);
+    return s;
+  }
+  std::string s = "ix_" + table + "_k";
+  for (int c : def.key_cols) s += "_" + std::to_string(c);
+  if (!def.included_cols.empty()) {
+    s += "_i";
+    for (int c : def.included_cols) s += "_" + std::to_string(c);
+  }
+  return s;
+}
+
+namespace {
+
+void CollectExprBaseCols(const Expr& e, int table, std::vector<int>* out) {
+  if (e.kind == Expr::Kind::kCol && e.col.table == table) {
+    out->push_back(e.col.col);
+  }
+  for (const auto& c : e.children) CollectExprBaseCols(c, table, out);
+}
+
+/// Columns of table `tbl` the query references anywhere.
+std::vector<int> ReferencedCols(const Query& q, int tbl, int ncols) {
+  std::vector<char> need(ncols, 0);
+  for (const auto& a : q.aggs) {
+    if (a.arg) {
+      std::vector<int> cols;
+      CollectExprBaseCols(*a.arg, tbl, &cols);
+      for (int c : cols) need[c] = 1;
+    }
+  }
+  auto mark = [&](const std::vector<ColRef>& refs) {
+    for (const auto& r : refs) {
+      if (r.table == tbl && r.col < ncols) need[r.col] = 1;
+    }
+  };
+  mark(q.group_by);
+  mark(q.order_by);
+  mark(q.select_cols);
+  const std::vector<Pred>* preds =
+      tbl == 0 ? &q.base.preds : &q.joins[tbl - 1].dim.preds;
+  for (const auto& p : *preds) need[p.col] = 1;
+  if (tbl == 0) {
+    for (const auto& j : q.joins) need[j.base_col] = 1;
+    for (const auto& s : q.sets) need[s.col] = 1;
+  } else {
+    need[q.joins[tbl - 1].dim_col] = 1;
+  }
+  std::vector<int> out;
+  for (int c = 0; c < ncols; ++c) {
+    if (need[c]) out.push_back(c);
+  }
+  return out;
+}
+
+void AddBTreeCandidate(const std::string& table, std::vector<int> keys,
+                       const std::vector<int>& referenced,
+                       std::vector<Candidate>* out) {
+  if (keys.empty()) return;
+  // Dedup keys preserving order.
+  std::vector<int> k;
+  for (int c : keys) {
+    if (std::find(k.begin(), k.end(), c) == k.end()) k.push_back(c);
+  }
+  Candidate cand;
+  cand.table = table;
+  cand.def.type = IndexDef::Type::kBTree;
+  cand.def.key_cols = k;
+  for (int c : referenced) {
+    if (std::find(k.begin(), k.end(), c) == k.end()) {
+      cand.def.included_cols.push_back(c);
+    }
+  }
+  cand.def.name = MakeIndexName(table, cand.def);
+  out->push_back(std::move(cand));
+}
+
+}  // namespace
+
+std::vector<Candidate> GenerateCandidates(const Query& q, Database* db,
+                                          AdvisorMode mode) {
+  std::vector<Candidate> out;
+  const bool btree_ok = mode != AdvisorMode::kCsiOnly;
+  const bool csi_ok = mode != AdvisorMode::kBTreeOnly;
+
+  auto handle_table = [&](int tbl, const std::string& name,
+                          const std::vector<Pred>& preds) {
+    Table* t = db->GetTable(name);
+    if (t == nullptr) return;
+    const std::vector<int> referenced = ReferencedCols(q, tbl, t->num_columns());
+    if (btree_ok) {
+      // Predicate-driven candidate: equality columns first, then one range
+      // column as the final key.
+      std::vector<int> eq_cols, range_cols;
+      for (const auto& p : preds) {
+        (p.is_equality() ? eq_cols : range_cols).push_back(p.col);
+      }
+      if (!eq_cols.empty() || !range_cols.empty()) {
+        std::vector<int> keys = eq_cols;
+        if (!range_cols.empty()) keys.push_back(range_cols[0]);
+        AddBTreeCandidate(name, keys, referenced, &out);
+      }
+      // Sort/group-order candidates.
+      std::vector<int> order_cols, group_cols;
+      for (const auto& o : q.order_by) {
+        if (o.table == tbl) order_cols.push_back(o.col);
+      }
+      for (const auto& g : q.group_by) {
+        if (g.table == tbl) group_cols.push_back(g.col);
+      }
+      AddBTreeCandidate(name, order_cols, referenced, &out);
+      AddBTreeCandidate(name, group_cols, referenced, &out);
+      // Join-column candidates.
+      if (tbl == 0) {
+        for (const auto& j : q.joins) {
+          AddBTreeCandidate(name, {j.base_col}, referenced, &out);
+        }
+      } else {
+        AddBTreeCandidate(name, {q.joins[tbl - 1].dim_col}, referenced, &out);
+      }
+    }
+    if (csi_ok && q.is_read_only()) {
+      Candidate cand;
+      cand.table = name;
+      cand.def.type = IndexDef::Type::kColumnStore;
+      cand.def.name = MakeIndexName(name, cand.def);
+      out.push_back(std::move(cand));
+      // Sorted-columnstore candidate (Section 4.5 extension): candidate
+      // selection is aware of range-predicate columns and proposes a
+      // projection order enabling segment elimination.
+      for (const auto& p : preds) {
+        if (p.is_equality()) continue;
+        Candidate sorted;
+        sorted.table = name;
+        sorted.def.type = IndexDef::Type::kColumnStore;
+        sorted.def.key_cols = {p.col};
+        sorted.def.name = MakeIndexName(name, sorted.def);
+        out.push_back(std::move(sorted));
+        break;  // one sorted variant per table reference
+      }
+    }
+  };
+
+  handle_table(0, q.base.table, q.base.preds);
+  for (size_t j = 0; j < q.joins.size(); ++j) {
+    handle_table(static_cast<int>(j) + 1, q.joins[j].dim.table,
+                 q.joins[j].dim.preds);
+  }
+
+  // Dedup.
+  std::vector<Candidate> dedup;
+  for (auto& c : out) {
+    bool dup = false;
+    for (const auto& d : dedup) dup |= d.SameAs(c);
+    if (!dup) dedup.push_back(std::move(c));
+  }
+  return dedup;
+}
+
+std::vector<Candidate> MergeCandidates(std::vector<Candidate> cands) {
+  std::vector<Candidate> merged = cands;
+  auto is_prefix = [](const std::vector<int>& a, const std::vector<int>& b) {
+    if (a.size() > b.size()) return false;
+    return std::equal(a.begin(), a.end(), b.begin());
+  };
+  for (size_t i = 0; i < cands.size(); ++i) {
+    for (size_t j = 0; j < cands.size(); ++j) {
+      if (i == j) continue;
+      const Candidate& a = cands[i];
+      const Candidate& b = cands[j];
+      if (a.table != b.table) continue;
+      if (!a.def.is_btree() || !b.def.is_btree()) continue;  // CSI never merges
+      if (!is_prefix(a.def.key_cols, b.def.key_cols)) continue;
+      Candidate m;
+      m.table = a.table;
+      m.def.type = IndexDef::Type::kBTree;
+      m.def.key_cols = b.def.key_cols;
+      std::set<int> incl(b.def.included_cols.begin(), b.def.included_cols.end());
+      for (int c : a.def.included_cols) incl.insert(c);
+      for (int c : a.def.key_cols) incl.insert(c);
+      for (int c : m.def.key_cols) incl.erase(c);
+      m.def.included_cols.assign(incl.begin(), incl.end());
+      m.def.name = MakeIndexName(m.table, m.def);
+      bool dup = false;
+      for (const auto& d : merged) dup |= d.SameAs(m);
+      if (!dup) merged.push_back(std::move(m));
+    }
+  }
+  return merged;
+}
+
+}  // namespace hd

@@ -1,0 +1,52 @@
+// Candidate selection and index merging for the advisor (Section 4.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "exec/query.h"
+#include "optimizer/config.h"
+
+namespace hd {
+
+/// Which index types the advisor may recommend — the paper's three
+/// compared alternatives (Section 5.1).
+enum class AdvisorMode {
+  kBTreeOnly,
+  kCsiOnly,
+  kHybrid,
+};
+
+const char* AdvisorModeName(AdvisorMode m);
+
+/// One candidate physical structure on a named table.
+struct Candidate {
+  std::string table;
+  IndexDef def;
+  IndexStatsInfo stats;  // filled by the advisor's size estimation
+
+  bool SameAs(const Candidate& o) const {
+    return table == o.table && def == o.def;
+  }
+};
+
+/// Deterministic index name derived from a definition.
+std::string MakeIndexName(const std::string& table, const IndexDef& def);
+
+/// Syntactic per-query candidate generation: B+ tree candidates from
+/// equality/range predicates, sort/group requirements, and join columns
+/// (both fact-side for the dim-driven shape and dim-side for index NL);
+/// one all-column secondary columnstore per referenced table (the paper's
+/// design choice (ii): include all columns, Section 4.3).
+std::vector<Candidate> GenerateCandidates(const Query& q, Database* db,
+                                          AdvisorMode mode);
+
+/// Index merging (Chaudhuri & Narasayya '99): merge B+ tree candidates on
+/// the same table when one's keys are a prefix of the other's; the merged
+/// index keeps the longer key and unions included columns. Columnstores
+/// never merge with B+ trees (Section 4.3). Input order is preserved;
+/// merged additions are appended.
+std::vector<Candidate> MergeCandidates(std::vector<Candidate> cands);
+
+}  // namespace hd

@@ -1,0 +1,39 @@
+// Columnstore size estimation from block-level samples (Section 4.4).
+//
+// Two estimators, as in the paper:
+//   - Black-box: build a real columnstore on the sample and scale each
+//     column's compressed size by the inverse sampling ratio. Simple, but
+//     overestimates low-cardinality columns (dictionary sizes do not scale
+//     linearly) and pays for sorting/compressing the sample.
+//   - Run-model (GEE): mimic the engine's greedy fewest-runs-first column
+//     ordering, bound the number of RLE runs of each column by the GEE
+//     estimate of distinct prefix combinations, and price runs/dictionaries
+//     directly. Cheaper and usually more accurate.
+#pragma once
+
+#include "catalog/table.h"
+#include "optimizer/config.h"
+
+namespace hd {
+
+struct SizeEstimateOptions {
+  double sample_ratio = 0.05;
+  int block_rows = 1024;
+  uint64_t seed = 17;
+  /// Row-group size assumed for the hypothetical index.
+  size_t rowgroup_size = 1u << 17;
+};
+
+/// Black-box estimator: compress the sample, scale linearly.
+IndexStatsInfo EstimateCsiSizeBlackBox(const Table& t,
+                                       const SizeEstimateOptions& opts);
+
+/// GEE run-model estimator.
+IndexStatsInfo EstimateCsiSizeGee(const Table& t,
+                                  const SizeEstimateOptions& opts);
+
+/// Ground truth: build the full index and report exact sizes (used by the
+/// accuracy benchmarks; too expensive for the advisor's inner loop).
+IndexStatsInfo MeasureCsiSizeExact(const Table& t, size_t rowgroup_size);
+
+}  // namespace hd

@@ -1,0 +1,1920 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace hd {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Predicate binding: Value bounds -> inclusive packed [lo, hi] ranges.
+// ---------------------------------------------------------------------
+
+struct BoundPred {
+  int col = 0;
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+  bool impossible = false;
+};
+
+std::vector<BoundPred> BindPreds(const Table& t, const std::vector<Pred>& preds) {
+  std::vector<BoundPred> out;
+  out.reserve(preds.size());
+  for (const auto& p : preds) {
+    BoundPred b;
+    b.col = p.col;
+    if (p.is_equality()) {
+      bool found = true;
+      int64_t v = t.PackBound(p.col, *p.lo, 0, &found);
+      if (!found) {
+        b.impossible = true;
+      } else {
+        b.lo = b.hi = v;
+      }
+      out.push_back(b);
+      continue;
+    }
+    if (p.lo.has_value()) {
+      bool found = true;
+      int64_t v = t.PackBound(p.col, *p.lo, +1, &found);
+      b.lo = p.lo_incl || !found ? v : v + 1;
+      if (!found) b.lo = v;  // PackBound(+1) already rounded up
+    }
+    if (p.hi.has_value()) {
+      bool found = true;
+      int64_t v = t.PackBound(p.col, *p.hi, -1, &found);
+      b.hi = p.hi_incl || !found ? v : v - 1;
+    }
+    if (b.lo > b.hi) b.impossible = true;
+    out.push_back(b);
+  }
+  return out;
+}
+
+bool CheckPreds(const std::vector<BoundPred>& preds, const int64_t* row) {
+  for (const auto& p : preds) {
+    const int64_t v = row[p.col];
+    if (v < p.lo || v > p.hi) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Wide-row layout over base + joined dimension tables.
+// ---------------------------------------------------------------------
+
+struct Layout {
+  std::vector<Table*> tables;  // 0 = base, then query join order
+  std::vector<int> offset;
+  int total = 0;
+
+  void Build(Table* base, const std::vector<Table*>& dims) {
+    tables.clear();
+    offset.clear();
+    tables.push_back(base);
+    for (Table* d : dims) tables.push_back(d);
+    int off = 0;
+    for (Table* t : tables) {
+      offset.push_back(off);
+      off += t->num_columns();
+    }
+    total = off;
+  }
+  int SlotOf(ColRef c) const { return offset[c.table] + c.col; }
+  ValueType TypeOf(ColRef c) const {
+    return tables[c.table]->schema().column(c.col).type;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Scalar expressions over the wide packed row, double domain.
+// ---------------------------------------------------------------------
+
+double DecodeNumeric(int64_t packed, ValueType t) {
+  return t == ValueType::kDouble ? UnpackDouble(packed)
+                                 : static_cast<double>(packed);
+}
+
+double EvalExpr(const Expr& e, const Layout& L, const int64_t* wide) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.constant;
+    case Expr::Kind::kCol:
+      return DecodeNumeric(wide[L.SlotOf(e.col)], L.TypeOf(e.col));
+    case Expr::Kind::kAdd:
+      return EvalExpr(e.children[0], L, wide) + EvalExpr(e.children[1], L, wide);
+    case Expr::Kind::kSub:
+      return EvalExpr(e.children[0], L, wide) - EvalExpr(e.children[1], L, wide);
+    case Expr::Kind::kMul:
+      return EvalExpr(e.children[0], L, wide) * EvalExpr(e.children[1], L, wide);
+  }
+  return 0;
+}
+
+/// Evaluate an expression against a ColumnBatch (base table only).
+double EvalExprBatch(const Expr& e, const Layout& L,
+                     const std::vector<const int64_t*>& cols,
+                     const std::vector<int>& slot_of_col, int i) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.constant;
+    case Expr::Kind::kCol: {
+      assert(e.col.table == 0);
+      const int ci = slot_of_col[e.col.col];
+      assert(ci >= 0);
+      return DecodeNumeric(cols[ci][i], L.TypeOf(e.col));
+    }
+    case Expr::Kind::kAdd:
+      return EvalExprBatch(e.children[0], L, cols, slot_of_col, i) +
+             EvalExprBatch(e.children[1], L, cols, slot_of_col, i);
+    case Expr::Kind::kSub:
+      return EvalExprBatch(e.children[0], L, cols, slot_of_col, i) -
+             EvalExprBatch(e.children[1], L, cols, slot_of_col, i);
+    case Expr::Kind::kMul:
+      return EvalExprBatch(e.children[0], L, cols, slot_of_col, i) *
+             EvalExprBatch(e.children[1], L, cols, slot_of_col, i);
+  }
+  return 0;
+}
+
+void CollectExprCols(const Expr& e, std::vector<ColRef>* out) {
+  if (e.kind == Expr::Kind::kCol) out->push_back(e.col);
+  for (const auto& c : e.children) CollectExprCols(c, out);
+}
+
+// ---------------------------------------------------------------------
+// Aggregation state.
+// ---------------------------------------------------------------------
+
+struct AggDesc {
+  AggSpec::Fn fn;
+  bool has_arg = false;
+  Expr arg;
+  /// Fast path: arg is exactly one column (min/max track packed values,
+  /// integer sums stay exact in int64).
+  bool arg_is_col = false;
+  ColRef arg_col;
+  bool arg_is_int = false;  // integer-typed single column
+};
+
+struct AggState {
+  double d = 0;
+  int64_t i = 0;
+  uint64_t count = 0;
+  int64_t packed_minmax = 0;
+  bool has = false;
+};
+
+void AggUpdate(const AggDesc& a, AggState* s, const Layout& L,
+               const int64_t* wide) {
+  switch (a.fn) {
+    case AggSpec::Fn::kCount:
+      ++s->count;
+      return;
+    case AggSpec::Fn::kSum:
+    case AggSpec::Fn::kAvg: {
+      ++s->count;
+      if (a.arg_is_col && a.arg_is_int) {
+        s->i += wide[L.SlotOf(a.arg_col)];
+      } else {
+        s->d += EvalExpr(a.arg, L, wide);
+      }
+      return;
+    }
+    case AggSpec::Fn::kMin:
+    case AggSpec::Fn::kMax: {
+      if (a.arg_is_col) {
+        const int64_t v = wide[L.SlotOf(a.arg_col)];
+        if (!s->has || (a.fn == AggSpec::Fn::kMin ? v < s->packed_minmax
+                                                  : v > s->packed_minmax)) {
+          s->packed_minmax = v;
+        }
+      } else {
+        const double v = EvalExpr(a.arg, L, wide);
+        if (!s->has || (a.fn == AggSpec::Fn::kMin ? v < s->d : v > s->d)) {
+          s->d = v;
+        }
+      }
+      s->has = true;
+      return;
+    }
+  }
+}
+
+void AggMerge(const AggDesc& a, AggState* into, const AggState& from) {
+  switch (a.fn) {
+    case AggSpec::Fn::kCount:
+      into->count += from.count;
+      return;
+    case AggSpec::Fn::kSum:
+    case AggSpec::Fn::kAvg:
+      into->count += from.count;
+      into->i += from.i;
+      into->d += from.d;
+      return;
+    case AggSpec::Fn::kMin:
+    case AggSpec::Fn::kMax:
+      if (!from.has) return;
+      if (!into->has) {
+        *into = from;
+        return;
+      }
+      if (a.arg_is_col) {
+        if (a.fn == AggSpec::Fn::kMin
+                ? from.packed_minmax < into->packed_minmax
+                : from.packed_minmax > into->packed_minmax) {
+          into->packed_minmax = from.packed_minmax;
+        }
+      } else {
+        if (a.fn == AggSpec::Fn::kMin ? from.d < into->d : from.d > into->d) {
+          into->d = from.d;
+        }
+      }
+      return;
+  }
+}
+
+Value AggFinal(const AggDesc& a, const AggState& s, const Layout& L) {
+  switch (a.fn) {
+    case AggSpec::Fn::kCount:
+      return Value::Int64(static_cast<int64_t>(s.count));
+    case AggSpec::Fn::kSum:
+      if (a.arg_is_col && a.arg_is_int) return Value::Int64(s.i);
+      return Value::Double(s.d);
+    case AggSpec::Fn::kAvg: {
+      const double total =
+          (a.arg_is_col && a.arg_is_int) ? static_cast<double>(s.i) : s.d;
+      return Value::Double(s.count ? total / s.count : 0.0);
+    }
+    case AggSpec::Fn::kMin:
+    case AggSpec::Fn::kMax:
+      if (!s.has) return Value::Null();
+      if (a.arg_is_col) {
+        return L.tables[a.arg_col.table]->UnpackValue(a.arg_col.col,
+                                                      s.packed_minmax);
+      }
+      return Value::Double(s.d);
+  }
+  return Value::Null();
+}
+
+struct VecHash {
+  size_t operator()(const std::vector<int64_t>& v) const {
+    size_t h = 0xcbf29ce484222325ull;
+    for (int64_t x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Join structures.
+// ---------------------------------------------------------------------
+
+// Open-addressing join hash table: one probe is a few nanoseconds when
+// hot, which is what makes batch-mode joins an order of magnitude cheaper
+// per row than row-mode joins (whose per-row operator interpretation
+// overhead is charged separately).
+class FlatJoinMap {
+ public:
+  void Build(const std::vector<std::pair<int64_t, uint32_t>>& pairs) {
+    size_t cap = 16;
+    while (cap < pairs.size() * 2 + 2) cap <<= 1;
+    mask_ = cap - 1;
+    keys_.assign(cap, kEmpty);
+    starts_.assign(cap, 0);
+    counts_.assign(cap, 0);
+    for (const auto& [k, v] : pairs) {
+      (void)v;
+      counts_[Slot(k, /*insert=*/true)]++;
+    }
+    uint32_t off = 0;
+    for (size_t s = 0; s < cap; ++s) {
+      starts_[s] = off;
+      off += counts_[s];
+      counts_[s] = 0;  // reused as a fill cursor below
+    }
+    idx_.resize(pairs.size());
+    for (const auto& [k, v] : pairs) {
+      const size_t s = Slot(k, false);
+      idx_[starts_[s] + counts_[s]++] = v;
+    }
+  }
+
+  /// Pointer to `*n` matching row indices; nullptr when no match.
+  const uint32_t* Find(int64_t key, uint32_t* n) const {
+    size_t s = Hash(key) & mask_;
+    while (true) {
+      if (keys_[s] == key) {
+        *n = counts_[s];
+        return idx_.data() + starts_[s];
+      }
+      if (keys_[s] == kEmpty) {
+        *n = 0;
+        return nullptr;
+      }
+      s = (s + 1) & mask_;
+    }
+  }
+
+ private:
+  static constexpr int64_t kEmpty = INT64_MIN + 7;
+  static size_t Hash(int64_t k) {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ull;
+    return h ^ (h >> 29);
+  }
+  size_t Slot(int64_t k, bool insert) {
+    size_t s = Hash(k) & mask_;
+    while (keys_[s] != k) {
+      if (keys_[s] == kEmpty) {
+        if (insert) keys_[s] = k;
+        break;
+      }
+      s = (s + 1) & mask_;
+    }
+    return s;
+  }
+
+  size_t mask_ = 0;
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> starts_;
+  std::vector<uint32_t> counts_;
+  std::vector<uint32_t> idx_;
+};
+
+struct HashDim {
+  int table_idx = 0;  // layout index
+  std::vector<int64_t> rows;  // flat, stride = dim ncols
+  int stride = 0;
+  std::vector<std::pair<int64_t, uint32_t>> build_pairs;
+  FlatJoinMap map;
+};
+
+struct NlDim {
+  int table_idx = 0;
+  Table* table = nullptr;
+  BTree* tree = nullptr;
+  int kw = 0;
+  /// entry slot per dim column (0..kw-1 key slots, kw.. payload), -1 absent.
+  std::vector<int> entry_slot;
+  std::vector<BoundPred> preds;
+  /// pk-hint slots within the entry (for FetchRow when a column is absent).
+  std::vector<int> pk_slots;
+  bool covering = true;  // all needed dim columns present in the entry
+  std::vector<int> needed_cols;
+};
+
+struct JoinExec {
+  JoinStep::Method method;
+  int base_join_slot = 0;  // wide slot of the base join column
+  int dim_offset = 0;      // wide offset of this dim
+  HashDim hash;
+  NlDim nl;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Executor implementation.
+// ---------------------------------------------------------------------
+
+struct Executor::Impl {
+  const ExecContext& ctx;
+  const Query& q;
+  const PhysicalPlan& plan;
+  QueryResult res;
+
+  Layout L;
+  Table* base = nullptr;
+  std::vector<BoundPred> base_preds;
+  std::vector<int> needed_base_cols;  // columns the query actually touches
+  std::vector<JoinExec> joins;
+  std::vector<AggDesc> aggs;
+  std::vector<int> group_slots;
+  uint64_t table_hash = 0;
+
+  // Locking strategy for this statement.
+  bool use_table_lock = false;
+  bool row_read_locks = false;
+
+  Impl(const ExecContext& c, const Query& qq, const PhysicalPlan& p)
+      : ctx(c), q(qq), plan(p) {}
+
+  int dop() const {
+    int d = plan.dop;
+    int hw = ctx.max_dop > 0
+                 ? ctx.max_dop
+                 : std::min<int>(16, std::thread::hardware_concurrency());
+    return std::clamp(d, 1, std::max(1, hw));
+  }
+
+  Status Setup();
+  Status PrepareJoins(QueryMetrics* m);
+  /// Index into plan.joins of the driving (outer) join step, or -1.
+  int DrivingStepIndex() const {
+    if (plan.driving_join < 0) return -1;
+    for (size_t s = 0; s < plan.joins.size(); ++s) {
+      if (plan.joins[s].join_idx == plan.driving_join) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+  Status RunSelect();
+  Status RunDml();
+
+  // Base scan driving `emit(rid, base_row)` with `nworkers` workers.
+  // `emit` must be thread-compatible (worker-local state captured by the
+  // caller via the worker index).
+  using EmitFn = std::function<bool(int worker, int64_t rid, const int64_t*)>;
+  Status DriveBaseScan(int nworkers, const EmitFn& emit);
+
+  // CSI batch scan fast path plumbing.
+  bool CsiFastPathEligible() const;
+
+  Status AcquireReadLocks();
+  Status LockRowX(int64_t rid);
+  void PayVersionCost(int64_t rid);
+};
+
+Status Executor::Impl::Setup() {
+  base = ctx.db->GetTable(q.base.table);
+  if (base == nullptr) return Status::NotFound("table " + q.base.table);
+  std::vector<Table*> dims;
+  for (const auto& j : q.joins) {
+    Table* d = ctx.db->GetTable(j.dim.table);
+    if (d == nullptr) return Status::NotFound("table " + j.dim.table);
+    dims.push_back(d);
+  }
+  L.Build(base, dims);
+  base_preds = BindPreds(*base, q.base.preds);
+  table_hash = LockManager::HashTable(q.base.table);
+
+  // Base columns the query touches (DML and SELECT * need everything).
+  {
+    std::vector<char> need(base->num_columns(), 0);
+    if (q.kind != Query::Kind::kSelect ||
+        (q.aggs.empty() && q.select_cols.empty())) {
+      std::fill(need.begin(), need.end(), 1);
+    } else {
+      for (const auto& a : q.aggs) {
+        if (a.arg) {
+          std::vector<ColRef> refs;
+          CollectExprCols(*a.arg, &refs);
+          for (const auto& r : refs) {
+            if (r.table == 0) need[r.col] = 1;
+          }
+        }
+      }
+      auto mark = [&](const std::vector<ColRef>& refs) {
+        for (const auto& r : refs) {
+          if (r.table == 0) need[r.col] = 1;
+        }
+      };
+      mark(q.group_by);
+      mark(q.order_by);
+      mark(q.select_cols);
+      for (const auto& j : q.joins) need[j.base_col] = 1;
+      for (const auto& p : q.base.preds) need[p.col] = 1;
+    }
+    for (int c = 0; c < base->num_columns(); ++c) {
+      if (need[c]) needed_base_cols.push_back(c);
+    }
+  }
+
+  for (const auto& a : q.aggs) {
+    AggDesc d;
+    d.fn = a.fn;
+    d.has_arg = a.arg.has_value();
+    if (d.has_arg) {
+      d.arg = *a.arg;
+      if (d.arg.kind == Expr::Kind::kCol) {
+        d.arg_is_col = true;
+        d.arg_col = d.arg.col;
+        d.arg_is_int = L.TypeOf(d.arg_col) != ValueType::kDouble;
+      }
+    }
+    aggs.push_back(std::move(d));
+  }
+  for (const auto& g : q.group_by) group_slots.push_back(L.SlotOf(g));
+
+  // Locking policy.
+  if (ctx.txn != nullptr && ctx.txns != nullptr) {
+    if (q.is_read_only()) {
+      if (ctx.txn->isolation() != IsolationLevel::kSnapshot) {
+        use_table_lock = plan.est_base_rows > ctx.table_lock_threshold;
+        row_read_locks = !use_table_lock;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Scan one dimension with its own access path, invoking fn(dim_row).
+static Status ScanDim(Table* dim, const AccessPath& path,
+                      const std::vector<BoundPred>& preds,
+                      const std::function<void(const int64_t*)>& fn,
+                      QueryMetrics* m, double row_overhead_ns) {
+  const int ncols = dim->num_columns();
+  for (const auto& p : preds) {
+    if (p.impossible) return Status::OK();
+  }
+  switch (path.kind) {
+    case AccessPath::Kind::kHeapScan: {
+      uint64_t seen = 0;
+      dim->heap()->Scan(
+          [&](uint64_t, const int64_t* row) {
+            ++seen;
+            if (CheckPreds(preds, row)) fn(row);
+            return true;
+          },
+          m);
+      if (m != nullptr) {
+        m->cpu_ns += static_cast<uint64_t>(seen * row_overhead_ns);
+      }
+      return Status::OK();
+    }
+    case AccessPath::Kind::kCsiScan: {
+      ColumnStoreIndex* csi = path.index_name.empty()
+                                  ? dim->primary_csi()
+                                  : dim->FindSecondary(path.index_name)->csi.get();
+      std::vector<int> all(ncols);
+      for (int c = 0; c < ncols; ++c) all[c] = c;
+      std::vector<SegPredicate> sp;
+      for (const auto& p : preds) sp.push_back({p.col, p.lo, p.hi});
+      PackedRow row(ncols);
+      auto emit = [&](const ColumnBatch& b) {
+        for (int i = 0; i < b.count; ++i) {
+          for (int c = 0; c < ncols; ++c) row[c] = b.cols[c][i];
+          fn(row.data());
+        }
+        return true;
+      };
+      csi->ScanGroups(0, csi->num_row_groups(), all, sp, emit, m);
+      csi->ScanDelta(all, sp, emit, m);
+      return Status::OK();
+    }
+    case AccessPath::Kind::kBTreeRange:
+    case AccessPath::Kind::kBTreeFullScan: {
+      BTree* tree;
+      std::vector<int> key_cols;
+      std::vector<int> payload_cols;
+      bool payload_full = false;
+      if (path.index_name.empty()) {
+        tree = dim->primary_btree();
+        key_cols = dim->primary_key_cols();
+        payload_full = true;
+      } else {
+        SecondaryIndex* si = dim->FindSecondary(path.index_name);
+        if (si == nullptr || !si->btree) {
+          return Status::NotFound("index " + path.index_name);
+        }
+        tree = si->btree.get();
+        key_cols = si->def.key_cols;
+        payload_cols = si->payload_cols;
+      }
+      if (tree == nullptr) return Status::Internal("no btree for dim");
+      const int kw = static_cast<int>(key_cols.size()) + 1;
+      // Build bounds from preds on leading key columns.
+      Bound lo, hi;
+      for (int k = 0; k < static_cast<int>(key_cols.size()); ++k) {
+        const BoundPred* bp = nullptr;
+        for (const auto& p : preds) {
+          if (p.col == key_cols[k]) bp = &p;
+        }
+        if (bp == nullptr) break;
+        lo.key.push_back(bp->lo);
+        hi.key.push_back(bp->hi);
+        if (bp->lo != bp->hi) break;
+      }
+      PackedRow row(ncols);
+      std::vector<char> have(ncols, 0);
+      uint64_t seen = 0;
+      tree->Scan(lo, hi, [&](const int64_t* key, const int64_t* payload) {
+        ++seen;
+        std::fill(have.begin(), have.end(), 0);
+        for (size_t k = 0; k < key_cols.size(); ++k) {
+          row[key_cols[k]] = key[k];
+          have[key_cols[k]] = 1;
+        }
+        if (payload_full) {
+          for (int c = 0; c < ncols; ++c) row[c] = payload[c];
+        } else {
+          for (size_t pi = 0; pi < payload_cols.size(); ++pi) {
+            row[payload_cols[pi]] = payload[pi];
+            have[payload_cols[pi]] = 1;
+          }
+          // Non-covering: fetch the full row (key lookup).
+          bool missing = false;
+          for (int c = 0; c < ncols && !missing; ++c) missing = !have[c];
+          if (missing) {
+            std::vector<int64_t> pk_hint;
+            for (int pk : dim->primary_key_cols()) pk_hint.push_back(row[pk]);
+            PackedRow full;
+            if (dim->FetchRow(key[kw - 1], pk_hint, &full, m).ok()) {
+              row = full;
+            }
+          }
+        }
+        if (CheckPreds(preds, row.data())) fn(row.data());
+        return true;
+      }, m);
+      if (m != nullptr) {
+        m->cpu_ns += static_cast<uint64_t>(seen * row_overhead_ns);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Executor::Impl::PrepareJoins(QueryMetrics* m) {
+  const int driving = DrivingStepIndex();
+  for (size_t s = 0; s < plan.joins.size(); ++s) {
+    const JoinStep& step = plan.joins[s];
+    if (static_cast<int>(s) == driving) {
+      // The driving dimension is scanned as the outer side; keep a
+      // placeholder so pipeline step indices stay aligned.
+      JoinExec je;
+      je.method = JoinStep::Method::kHash;
+      je.base_join_slot = -1;
+      joins.push_back(std::move(je));
+      continue;
+    }
+    const JoinClause& jc = q.joins[step.join_idx];
+    Table* dim = L.tables[step.join_idx + 1];
+    JoinExec je;
+    je.method = step.method;
+    je.base_join_slot = L.SlotOf(ColRef{0, jc.base_col});
+    je.dim_offset = L.offset[step.join_idx + 1];
+    std::vector<BoundPred> dim_preds = BindPreds(*dim, jc.dim.preds);
+    if (step.method == JoinStep::Method::kHash) {
+      je.hash.table_idx = step.join_idx + 1;
+      je.hash.stride = dim->num_columns();
+      HD_RETURN_IF_ERROR(ScanDim(
+          dim, step.dim_path, dim_preds,
+          [&](const int64_t* row) {
+            const uint32_t idx =
+                static_cast<uint32_t>(je.hash.rows.size() / je.hash.stride);
+            je.hash.rows.insert(je.hash.rows.end(), row, row + je.hash.stride);
+            je.hash.build_pairs.emplace_back(row[jc.dim_col], idx);
+          },
+          m, ctx.serial_row_overhead_ns));
+      je.hash.map.Build(je.hash.build_pairs);
+      je.hash.build_pairs.clear();
+      je.hash.build_pairs.shrink_to_fit();
+    } else {
+      je.nl.table_idx = step.join_idx + 1;
+      je.nl.table = dim;
+      je.nl.preds = dim_preds;
+      const int ncols = dim->num_columns();
+      std::vector<int> key_cols;
+      std::vector<int> payload_cols;
+      bool payload_full = false;
+      if (step.dim_path.index_name.empty()) {
+        je.nl.tree = dim->primary_btree();
+        key_cols = dim->primary_key_cols();
+        payload_full = true;
+      } else {
+        SecondaryIndex* si = dim->FindSecondary(step.dim_path.index_name);
+        if (si == nullptr || !si->btree) {
+          return Status::NotFound("NL index " + step.dim_path.index_name);
+        }
+        je.nl.tree = si->btree.get();
+        key_cols = si->def.key_cols;
+        payload_cols = si->payload_cols;
+      }
+      if (je.nl.tree == nullptr || key_cols.empty() ||
+          key_cols[0] != jc.dim_col) {
+        return Status::InvalidArgument(
+            "IndexNL join requires a B+ tree leading on the join column");
+      }
+      je.nl.kw = static_cast<int>(key_cols.size()) + 1;
+      je.nl.entry_slot.assign(ncols, -1);
+      for (size_t k = 0; k < key_cols.size(); ++k) {
+        je.nl.entry_slot[key_cols[k]] = static_cast<int>(k);
+      }
+      if (payload_full) {
+        for (int c = 0; c < ncols; ++c) {
+          if (je.nl.entry_slot[c] < 0) je.nl.entry_slot[c] = je.nl.kw + c;
+        }
+      } else {
+        for (size_t pi = 0; pi < payload_cols.size(); ++pi) {
+          if (je.nl.entry_slot[payload_cols[pi]] < 0) {
+            je.nl.entry_slot[payload_cols[pi]] =
+                je.nl.kw + static_cast<int>(pi);
+          }
+        }
+      }
+      for (int pk : dim->primary_key_cols()) {
+        je.nl.pk_slots.push_back(je.nl.entry_slot[pk]);
+      }
+      // Needed dim columns: preds + any column referenced downstream.
+      std::vector<char> needed(ncols, 0);
+      for (const auto& p : dim_preds) needed[p.col] = 1;
+      std::vector<ColRef> refs;
+      for (const auto& a : q.aggs) {
+        if (a.arg) CollectExprCols(*a.arg, &refs);
+      }
+      for (const auto& g : q.group_by) refs.push_back(g);
+      for (const auto& o : q.order_by) refs.push_back(o);
+      for (const auto& sc : q.select_cols) refs.push_back(sc);
+      for (const auto& r : refs) {
+        if (r.table == step.join_idx + 1) needed[r.col] = 1;
+      }
+      for (int c = 0; c < ncols; ++c) {
+        if (needed[c]) {
+          je.nl.needed_cols.push_back(c);
+          if (je.nl.entry_slot[c] < 0) je.nl.covering = false;
+        }
+      }
+    }
+    joins.push_back(std::move(je));
+  }
+  return Status::OK();
+}
+
+Status Executor::Impl::AcquireReadLocks() {
+  if (!use_table_lock) return Status::OK();
+  return ctx.txns->locks()->Acquire(ctx.txn->id(),
+                                    LockResource{table_hash},
+                                    LockMode::kS, ctx.lock_timeout_ms);
+}
+
+Status Executor::Impl::LockRowX(int64_t rid) {
+  HD_RETURN_IF_ERROR(ctx.txns->locks()->Acquire(
+      ctx.txn->id(), LockResource{table_hash}, LockMode::kIX,
+      ctx.lock_timeout_ms));
+  return ctx.txns->locks()->Acquire(ctx.txn->id(),
+                                    LockResource{table_hash, rid},
+                                    LockMode::kX, ctx.lock_timeout_ms);
+}
+
+void Executor::Impl::PayVersionCost(int64_t rid) {
+  if (ctx.txn == nullptr || ctx.txns == nullptr) return;
+  if (ctx.txn->isolation() != IsolationLevel::kSnapshot) return;
+  // SI readers traverse the version chain for recently-updated rows.
+  (void)ctx.txns->VersionChainLength(table_hash, rid, ctx.txn->snapshot_ts());
+}
+
+// ---------------------------------------------------------------------
+// Base scan driver.
+// ---------------------------------------------------------------------
+
+Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
+  for (const auto& p : base_preds) {
+    if (p.impossible) return Status::OK();
+  }
+  QueryMetrics* m = &res.metrics;
+
+  // Resolve residual predicates per path.
+  switch (plan.base.kind) {
+    case AccessPath::Kind::kHeapScan: {
+      HeapFile* h = base->heap();
+      if (h == nullptr) return Status::Internal("no heap primary");
+      const uint64_t n = h->num_rows();
+      const double row_oh = nworkers > 1 ? ctx.parallel_row_overhead_ns
+                                         : ctx.serial_row_overhead_ns;
+      auto worker = [&](int w, uint64_t lo, uint64_t hi, QueryMetrics* wm) {
+        uint64_t seen = 0;
+        h->ScanRange(lo, hi, [&](uint64_t rid, const int64_t* row) {
+          ++seen;
+          if (!CheckPreds(base_preds, row)) return true;
+          return emit(w, static_cast<int64_t>(rid), row);
+        }, wm);
+        wm->cpu_ns += static_cast<uint64_t>(seen * row_oh);
+      };
+      if (nworkers <= 1) {
+        Timer t;
+        worker(0, 0, n, m);
+        m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+      } else {
+        std::vector<std::thread> ths;
+        std::vector<QueryMetrics> wms(nworkers);
+        const uint64_t step = (n + nworkers - 1) / nworkers;
+        for (int w = 0; w < nworkers; ++w) {
+          ths.emplace_back([&, w] {
+            Timer t;
+            worker(w, w * step, std::min(n, (w + 1) * step), &wms[w]);
+            wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+          });
+        }
+        for (auto& th : ths) th.join();
+        for (auto& wm : wms) m->Merge(wm);
+      }
+      return Status::OK();
+    }
+    case AccessPath::Kind::kBTreeRange:
+    case AccessPath::Kind::kBTreeFullScan: {
+      BTree* tree;
+      std::vector<int> key_cols;
+      std::vector<int> payload_cols;
+      bool payload_full = false;
+      if (plan.base.index_name.empty()) {
+        tree = base->primary_btree();
+        key_cols = base->primary_key_cols();
+        payload_full = true;
+      } else {
+        SecondaryIndex* si = base->FindSecondary(plan.base.index_name);
+        if (si == nullptr || !si->btree) {
+          return Status::NotFound("index " + plan.base.index_name);
+        }
+        tree = si->btree.get();
+        key_cols = si->def.key_cols;
+        payload_cols = si->payload_cols;
+      }
+      if (tree == nullptr) return Status::Internal("no btree primary");
+      const int kw = static_cast<int>(key_cols.size()) + 1;
+      const int ncols = base->num_columns();
+      Bound lo, hi;
+      if (plan.base.kind == AccessPath::Kind::kBTreeRange) {
+        for (int k = 0; k < static_cast<int>(key_cols.size()); ++k) {
+          const BoundPred* bp = nullptr;
+          for (const auto& p : base_preds) {
+            if (p.col == key_cols[k]) bp = &p;
+          }
+          if (bp == nullptr) break;
+          bool bounded_lo = bp->lo != INT64_MIN;
+          bool bounded_hi = bp->hi != INT64_MAX;
+          if (bounded_lo) lo.key.push_back(bp->lo);
+          if (bounded_hi) hi.key.push_back(bp->hi);
+          if (!bounded_lo || !bounded_hi || bp->lo != bp->hi) break;
+        }
+      }
+      // Per-entry handler shared by serial/parallel variants.
+      std::vector<char> have_template(ncols, 0);
+      auto make_handler = [&](int w, PackedRow* rowbuf, QueryMetrics* wm,
+                              uint64_t* seen) {
+        return [&, w, rowbuf, wm, seen](const int64_t* key,
+                                        const int64_t* payload) {
+          ++*seen;
+          PackedRow& row = *rowbuf;
+          if (payload_full) {
+            std::copy(payload, payload + ncols, row.begin());
+          } else {
+            std::vector<char> have = have_template;
+            for (size_t k = 0; k < key_cols.size(); ++k) {
+              row[key_cols[k]] = key[k];
+              have[key_cols[k]] = 1;
+            }
+            for (size_t pi = 0; pi < payload_cols.size(); ++pi) {
+              row[payload_cols[pi]] = payload[pi];
+              have[payload_cols[pi]] = 1;
+            }
+            // Check covered predicates before paying for a lookup.
+            for (const auto& p : base_preds) {
+              if (have[p.col]) {
+                const int64_t v = row[p.col];
+                if (v < p.lo || v > p.hi) return true;
+              }
+            }
+            bool missing = false;
+            for (int c = 0; c < ncols; ++c) {
+              if (!have[c]) { missing = true; break; }
+            }
+            if (missing) {
+              std::vector<int64_t> pk_hint;
+              for (int pk : base->primary_key_cols()) pk_hint.push_back(row[pk]);
+              PackedRow full;
+              if (!base->FetchRow(key[kw - 1], pk_hint, &full, wm).ok()) {
+                return true;
+              }
+              row = full;
+            }
+          }
+          if (!CheckPreds(base_preds, row.data())) return true;
+          return emit(w, key[kw - 1], row.data());
+        };
+      };
+      if (nworkers <= 1) {
+        Timer t;
+        PackedRow rowbuf(ncols);
+        uint64_t seen = 0;
+        tree->Scan(lo, hi, make_handler(0, &rowbuf, m, &seen), m);
+        m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
+                     static_cast<uint64_t>(seen * ctx.serial_row_overhead_ns);
+      } else {
+        std::vector<LeafHandle> leaves = tree->CollectLeaves(lo, hi, m);
+        std::vector<std::thread> ths;
+        std::vector<QueryMetrics> wms(nworkers);
+        const size_t per = (leaves.size() + nworkers - 1) / nworkers;
+        for (int w = 0; w < nworkers; ++w) {
+          ths.emplace_back([&, w] {
+            Timer t;
+            PackedRow rowbuf(ncols);
+            uint64_t seen = 0;
+            auto handler = make_handler(w, &rowbuf, &wms[w], &seen);
+            const size_t b = w * per;
+            const size_t e = std::min(leaves.size(), (w + 1) * per);
+            for (size_t li = b; li < e; ++li) {
+              tree->ScanLeaf(leaves[li], lo, hi, handler, &wms[w]);
+            }
+            wms[w].cpu_ns +=
+                static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
+                static_cast<uint64_t>(seen * ctx.parallel_row_overhead_ns);
+          });
+        }
+        for (auto& th : ths) th.join();
+        for (auto& wm : wms) m->Merge(wm);
+      }
+      return Status::OK();
+    }
+    case AccessPath::Kind::kCsiScan: {
+      ColumnStoreIndex* csi;
+      if (plan.base.index_name.empty()) {
+        csi = base->primary_csi();
+      } else {
+        SecondaryIndex* si = base->FindSecondary(plan.base.index_name);
+        if (si == nullptr || !si->csi) {
+          return Status::NotFound("csi " + plan.base.index_name);
+        }
+        csi = si->csi.get();
+      }
+      if (csi == nullptr) return Status::Internal("no csi");
+      const int ncols = base->num_columns();
+      // Only decode columns the query touches; the wide row's other slots
+      // stay unset and are never read downstream.
+      const std::vector<int>& cols = needed_base_cols;
+      const int ncneed = static_cast<int>(cols.size());
+      std::vector<SegPredicate> sp;
+      for (const auto& p : base_preds) sp.push_back({p.col, p.lo, p.hi});
+      // Locators (row ids) are only needed when a transaction wants per-row
+      // locks/versions or DML collects row references.
+      const bool need_locs = ctx.txn != nullptr || q.kind != Query::Kind::kSelect;
+      auto make_batch_handler = [&](int w, PackedRow* rowbuf) {
+        return [&, w, rowbuf](const ColumnBatch& b) {
+          PackedRow& row = *rowbuf;
+          for (int i = 0; i < b.count; ++i) {
+            for (int c = 0; c < ncneed; ++c) row[cols[c]] = b.cols[c][i];
+            const int64_t rid = b.locators != nullptr ? b.locators[i] : -1;
+            if (!emit(w, rid, row.data())) return false;
+          }
+          return true;
+        };
+      };
+      const int ngroups = csi->num_row_groups();
+      if (nworkers <= 1) {
+        Timer t;
+        PackedRow rowbuf(ncols);
+        auto handler = make_batch_handler(0, &rowbuf);
+        csi->ScanGroups(0, ngroups, cols, sp, handler, m, need_locs);
+        csi->ScanDelta(cols, sp, handler, m, need_locs);
+        m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+      } else {
+        std::vector<std::thread> ths;
+        std::vector<QueryMetrics> wms(nworkers);
+        const int per = (ngroups + nworkers - 1) / nworkers;
+        for (int w = 0; w < nworkers; ++w) {
+          ths.emplace_back([&, w] {
+            Timer t;
+            PackedRow rowbuf(ncols);
+            auto handler = make_batch_handler(w, &rowbuf);
+            csi->ScanGroups(w * per, std::min(ngroups, (w + 1) * per), cols, sp,
+                            handler, &wms[w], need_locs);
+            if (w == 0) csi->ScanDelta(cols, sp, handler, &wms[w], need_locs);
+            wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+          });
+        }
+        for (auto& th : ths) th.join();
+        for (auto& wm : wms) m->Merge(wm);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+// ---------------------------------------------------------------------
+// SELECT execution.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Worker-local sink: either aggregation or row collection.
+struct WorkerSink {
+  // Aggregation.
+  std::unordered_map<std::vector<int64_t>, std::vector<AggState>, VecHash>
+      groups;
+  std::vector<AggState> global;  // no GROUP BY
+  // Spill partitions for grace hash agg: flat rows of
+  // [group slots..., per-agg raw input (bit-cast double or int)].
+  std::vector<std::vector<int64_t>> spill_parts;
+  uint64_t spill_bytes = 0;
+  bool spilling = false;
+
+  // Collection (projection / sort input): flat packed rows.
+  std::vector<int64_t> rows;
+  uint64_t row_count = 0;
+
+  // Reusable group-key buffer (avoids a heap allocation per input row).
+  std::vector<int64_t> key_buf;
+};
+
+}  // namespace
+
+Status Executor::Impl::RunSelect() {
+  QueryMetrics* m = &res.metrics;
+  Timer total;
+
+  HD_RETURN_IF_ERROR(AcquireReadLocks());
+
+  Timer tprep;
+  HD_RETURN_IF_ERROR(PrepareJoins(m));
+  m->cpu_ns += static_cast<uint64_t>(tprep.ElapsedMs() * 1e6);
+
+  const int nworkers = dop();
+  m->dop = nworkers;
+  const bool has_aggs = !aggs.empty();
+  const bool stream_agg = plan.agg == AggMethod::kStream;
+
+  // Output projection slots when not aggregating.
+  std::vector<int> proj_slots;
+  std::vector<ColRef> proj_refs = q.select_cols;
+  if (!has_aggs) {
+    if (proj_refs.empty()) {
+      for (int c = 0; c < base->num_columns(); ++c) {
+        proj_refs.push_back(ColRef{0, c});
+      }
+    }
+    // Sort keys must ride along; remember where they live in the projected
+    // row.
+    for (const auto& o : q.order_by) {
+      if (std::find(proj_refs.begin(), proj_refs.end(), o) == proj_refs.end()) {
+        proj_refs.push_back(o);
+      }
+    }
+    for (const auto& r : proj_refs) proj_slots.push_back(L.SlotOf(r));
+  }
+  std::vector<int> sort_pos;  // positions of order_by cols in projected row
+  for (const auto& o : q.order_by) {
+    for (size_t i = 0; i < proj_refs.size(); ++i) {
+      if (proj_refs[i] == o) {
+        sort_pos.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+
+  const uint64_t grant = ctx.memory_grant_bytes;
+  constexpr int kSpillParts = 16;
+
+  std::vector<WorkerSink> sinks(nworkers);
+  for (auto& s : sinks) {
+    if (has_aggs) {
+      s.global.assign(aggs.size(), AggState{});
+      s.spill_parts.resize(kSpillParts);
+    }
+  }
+
+  // Streaming aggregate state (serial only).
+  std::vector<int64_t> stream_key;
+  std::vector<AggState> stream_state(aggs.size());
+  bool stream_has = false;
+  std::vector<Row> stream_out;
+  auto stream_flush = [&]() {
+    if (!stream_has) return;
+    Row r;
+    for (size_t gi = 0; gi < group_slots.size(); ++gi) {
+      const ColRef& g = q.group_by[gi];
+      r.push_back(L.tables[g.table]->UnpackValue(g.col, stream_key[gi]));
+    }
+    for (size_t ai = 0; ai < aggs.size(); ++ai) {
+      r.push_back(AggFinal(aggs[ai], stream_state[ai], L));
+    }
+    stream_out.push_back(std::move(r));
+    stream_state.assign(aggs.size(), AggState{});
+  };
+
+  // Per-group approximate bytes for grant accounting.
+  const uint64_t group_entry_bytes =
+      48 + group_slots.size() * 8 + aggs.size() * sizeof(AggState);
+
+  std::atomic<int64_t> emitted{0};
+  const int64_t limit =
+      (q.limit >= 0 && !has_aggs && q.order_by.empty()) ? q.limit : -1;
+
+  // The per-row consumer running after joins.
+  auto consume = [&](int w, const int64_t* wide, int64_t rid) -> bool {
+    PayVersionCost(rid);
+    if (row_read_locks) {
+      Status s = ctx.txns->locks()->Acquire(ctx.txn->id(),
+                                            LockResource{table_hash, rid},
+                                            LockMode::kS, ctx.lock_timeout_ms);
+      if (!s.ok()) return false;  // surfaced via res.status by caller retry
+      if (ctx.txn->isolation() == IsolationLevel::kReadCommitted) {
+        ctx.txns->locks()->Release(ctx.txn->id(), LockResource{table_hash, rid});
+      }
+    }
+    WorkerSink& sink = sinks[w];
+    if (has_aggs) {
+      if (stream_agg) {
+        std::vector<int64_t> key(group_slots.size());
+        for (size_t gi = 0; gi < group_slots.size(); ++gi) {
+          key[gi] = wide[group_slots[gi]];
+        }
+        if (!stream_has || key != stream_key) {
+          stream_flush();
+          stream_key = std::move(key);
+          stream_has = true;
+        }
+        for (size_t ai = 0; ai < aggs.size(); ++ai) {
+          AggUpdate(aggs[ai], &stream_state[ai], L, wide);
+        }
+        return true;
+      }
+      if (group_slots.empty()) {
+        for (size_t ai = 0; ai < aggs.size(); ++ai) {
+          AggUpdate(aggs[ai], &sink.global[ai], L, wide);
+        }
+        return true;
+      }
+      std::vector<int64_t>& key = sink.key_buf;
+      key.resize(group_slots.size());
+      for (size_t gi = 0; gi < group_slots.size(); ++gi) {
+        key[gi] = wide[group_slots[gi]];
+      }
+      auto it = sink.groups.find(key);
+      if (it == sink.groups.end()) {
+        const uint64_t bytes = sink.groups.size() * group_entry_bytes;
+        if (bytes + group_entry_bytes > grant / nworkers && grant > 0) {
+          // Grace spill: route this row to a partition for phase 2.
+          sink.spilling = true;
+          auto& part = sink.spill_parts[VecHash{}(key) % kSpillParts];
+          part.insert(part.end(), key.begin(), key.end());
+          for (size_t ai = 0; ai < aggs.size(); ++ai) {
+            double v = 0;
+            if (aggs[ai].has_arg) v = EvalExpr(aggs[ai].arg, L, wide);
+            part.push_back(std::bit_cast<int64_t>(v));
+          }
+          sink.spill_bytes += (key.size() + aggs.size()) * 8;
+          return true;
+        }
+        it = sink.groups.emplace(key, std::vector<AggState>(aggs.size())).first;
+      }
+      for (size_t ai = 0; ai < aggs.size(); ++ai) {
+        AggUpdate(aggs[ai], &it->second[ai], L, wide);
+      }
+      return true;
+    }
+    // Collection path. Without a sort, output streams to the client: only
+    // the materialization window is buffered (no server-side memory).
+    sink.row_count++;
+    if (plan.explicit_sort ||
+        sink.row_count <= QueryResult::kMaxMaterializedRows) {
+      for (int slot : proj_slots) sink.rows.push_back(wide[slot]);
+    }
+    if (limit >= 0) {
+      const int64_t e = emitted.fetch_add(1) + 1;
+      if (e >= limit) return false;
+    }
+    return true;
+  };
+
+  // Join pipeline: expand wide rows through join steps, then consume.
+  const int driving_step = DrivingStepIndex();
+  std::vector<std::vector<int64_t>> wide_bufs(nworkers,
+                                              std::vector<int64_t>(L.total));
+  // Row-mode pipelines pay per-probe operator overhead; batch pipelines
+  // (CSI base) do not — charged after the scan from these counters.
+  std::vector<uint64_t> probe_counts(nworkers, 0);
+  std::function<bool(int, int64_t*, int64_t, size_t)> pipeline =
+      [&](int w, int64_t* wide, int64_t rid, size_t step) -> bool {
+    if (step == joins.size()) return consume(w, wide, rid);
+    if (static_cast<int>(step) == driving_step) {
+      return pipeline(w, wide, rid, step + 1);  // already materialized
+    }
+    JoinExec& je = joins[step];
+    const int64_t key = wide[je.base_join_slot];
+    if (je.method == JoinStep::Method::kHash) {
+      uint32_t nmatch = 0;
+      const uint32_t* matches = je.hash.map.Find(key, &nmatch);
+      probe_counts[w] += 1;
+      for (uint32_t mi = 0; mi < nmatch; ++mi) {
+        const int64_t* dim_row =
+            je.hash.rows.data() +
+            static_cast<size_t>(matches[mi]) * je.hash.stride;
+        std::copy(dim_row, dim_row + je.hash.stride, wide + je.dim_offset);
+        if (!pipeline(w, wide, rid, step + 1)) return false;
+      }
+      return true;
+    }
+    // Index nested-loop probe.
+    NlDim& nd = je.nl;
+    Bound lo = Bound::Inclusive({key});
+    Bound hi = Bound::Inclusive({key});
+    bool cont = true;
+    QueryMetrics* wm = m;  // btree charges via pool are thread-safe
+    nd.tree->Scan(lo, hi, [&](const int64_t* ekey, const int64_t* payload) {
+      wm->cpu_ns += static_cast<uint64_t>(ctx.serial_row_overhead_ns);
+      int64_t* dim_wide = wide + je.dim_offset;
+      if (nd.covering) {
+        for (int c : nd.needed_cols) {
+          const int slot = nd.entry_slot[c];
+          dim_wide[c] = slot < nd.kw ? ekey[slot] : payload[slot - nd.kw];
+        }
+      } else {
+        std::vector<int64_t> pk_hint;
+        for (int s : nd.pk_slots) {
+          pk_hint.push_back(s < nd.kw ? ekey[s] : payload[s - nd.kw]);
+        }
+        PackedRow full;
+        if (!nd.table->FetchRow(ekey[nd.kw - 1], pk_hint, &full, wm).ok()) {
+          return true;
+        }
+        std::copy(full.begin(), full.end(), dim_wide);
+      }
+      // Dim residual predicates (shifted to wide coordinates).
+      for (const auto& p : nd.preds) {
+        const int64_t v = dim_wide[p.col];
+        if (v < p.lo || v > p.hi) return true;
+      }
+      cont = pipeline(w, wide, rid, step + 1);
+      return cont;
+    }, wm);
+    return cont;
+  };
+
+  // ---- Vectorized fast path: CSI base, no joins, global aggregation ----
+  // This is what makes batch mode an order of magnitude cheaper per row.
+  const bool fast_agg = plan.base.is_csi() && joins.empty() && has_aggs &&
+                        group_slots.empty() && !stream_agg &&
+                        ctx.txn == nullptr;
+  // Grouped variant: aggregate straight off the decoded batches.
+  const bool fast_group = plan.base.is_csi() && joins.empty() && has_aggs &&
+                          !group_slots.empty() && !stream_agg &&
+                          ctx.txn == nullptr && plan.driving_join < 0;
+  Status scan_status;
+  if (plan.driving_join >= 0 && driving_step >= 0) {
+    // Dimension-driven hybrid plan: scan the (filtered) driving dimension
+    // as the outer side, seek the base table's B+ tree per dim row.
+    BTree* tree = nullptr;
+    std::vector<int> key_cols;
+    std::vector<int> payload_cols;
+    bool payload_full = false;
+    if (plan.base.index_name.empty()) {
+      tree = base->primary_btree();
+      key_cols = base->primary_key_cols();
+      payload_full = true;
+    } else {
+      SecondaryIndex* si = base->FindSecondary(plan.base.index_name);
+      if (si == nullptr || !si->btree) {
+        return Status::NotFound("index " + plan.base.index_name);
+      }
+      tree = si->btree.get();
+      key_cols = si->def.key_cols;
+      payload_cols = si->payload_cols;
+    }
+    const JoinClause& jc = q.joins[plan.driving_join];
+    if (tree == nullptr || key_cols.empty() || key_cols[0] != jc.base_col) {
+      return Status::InvalidArgument(
+          "dim-driven plan needs a base B+ tree leading on the join column");
+    }
+    Table* dim = L.tables[plan.driving_join + 1];
+    const int dim_off = L.offset[plan.driving_join + 1];
+    std::vector<BoundPred> dim_preds = BindPreds(*dim, jc.dim.preds);
+    const int ncols = base->num_columns();
+    const int kw = static_cast<int>(key_cols.size()) + 1;
+    Timer t;
+    PackedRow rowbuf(ncols);
+    int64_t* wide = wide_bufs[0].data();
+    uint64_t fact_entries = 0;
+    scan_status = ScanDim(
+        dim, plan.joins[driving_step].dim_path, dim_preds,
+        [&](const int64_t* dimrow) {
+          std::copy(dimrow, dimrow + dim->num_columns(), wide + dim_off);
+          const int64_t key = dimrow[jc.dim_col];
+          tree->Scan(
+              Bound::Inclusive({key}), Bound::Inclusive({key}),
+              [&](const int64_t* ekey, const int64_t* payload) {
+                ++fact_entries;
+                if (payload_full) {
+                  std::copy(payload, payload + ncols, rowbuf.begin());
+                } else {
+                  std::vector<char> have(ncols, 0);
+                  for (size_t k = 0; k < key_cols.size(); ++k) {
+                    rowbuf[key_cols[k]] = ekey[k];
+                    have[key_cols[k]] = 1;
+                  }
+                  for (size_t pi = 0; pi < payload_cols.size(); ++pi) {
+                    rowbuf[payload_cols[pi]] = payload[pi];
+                    have[payload_cols[pi]] = 1;
+                  }
+                  bool missing = false;
+                  for (int c = 0; c < ncols; ++c) {
+                    if (!have[c]) { missing = true; break; }
+                  }
+                  if (missing) {
+                    std::vector<int64_t> pk_hint;
+                    for (int pk : base->primary_key_cols()) {
+                      pk_hint.push_back(rowbuf[pk]);
+                    }
+                    PackedRow full;
+                    if (!base->FetchRow(ekey[kw - 1], pk_hint, &full, m).ok()) {
+                      return true;
+                    }
+                    rowbuf = full;
+                  }
+                }
+                if (!CheckPreds(base_preds, rowbuf.data())) return true;
+                std::copy(rowbuf.begin(), rowbuf.end(), wide);
+                return pipeline(0, wide, ekey[kw - 1], 0);
+              },
+              m);
+        },
+        m, ctx.serial_row_overhead_ns);
+    m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
+                 static_cast<uint64_t>(fact_entries * ctx.serial_row_overhead_ns);
+  } else if (fast_group) {
+    // Grouped aggregation directly over decoded batches: no wide-row
+    // materialization, reusable key buffer, per-worker maps (merged in the
+    // finish phase), grace-spill past the grant.
+    ColumnStoreIndex* csi = plan.base.index_name.empty()
+                                ? base->primary_csi()
+                                : base->FindSecondary(plan.base.index_name)
+                                      ->csi.get();
+    if (csi == nullptr) return Status::Internal("no csi");
+    std::vector<int> needed;
+    std::vector<char> need_flag(base->num_columns(), 0);
+    for (const auto& a : aggs) {
+      if (a.has_arg) {
+        std::vector<ColRef> refs;
+        CollectExprCols(a.arg, &refs);
+        for (const auto& r : refs) need_flag[r.col] = 1;
+      }
+    }
+    for (const auto& g : q.group_by) need_flag[g.col] = 1;
+    for (int c = 0; c < base->num_columns(); ++c) {
+      if (need_flag[c]) needed.push_back(c);
+    }
+    std::vector<int> slot_of_col(base->num_columns(), -1);
+    for (size_t i = 0; i < needed.size(); ++i) slot_of_col[needed[i]] = i;
+    std::vector<int> group_cis;  // batch column index per group col
+    for (const auto& g : q.group_by) group_cis.push_back(slot_of_col[g.col]);
+    std::vector<SegPredicate> sp;
+    for (const auto& p : base_preds) {
+      if (p.impossible) sp.push_back({p.col, 1, 0});
+      sp.push_back({p.col, p.lo, p.hi});
+    }
+    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
+      WorkerSink& sink = sinks[w];
+      auto handler = [&](const ColumnBatch& b) {
+        std::vector<int64_t>& key = sink.key_buf;
+        key.resize(group_cis.size());
+        for (int i = 0; i < b.count; ++i) {
+          for (size_t gi = 0; gi < group_cis.size(); ++gi) {
+            key[gi] = b.cols[group_cis[gi]][i];
+          }
+          auto it = sink.groups.find(key);
+          if (it == sink.groups.end()) {
+            const uint64_t bytes = sink.groups.size() * group_entry_bytes;
+            if (bytes + group_entry_bytes > grant / nworkers && grant > 0) {
+              sink.spilling = true;
+              auto& part = sink.spill_parts[VecHash{}(key) % 16];
+              part.insert(part.end(), key.begin(), key.end());
+              for (size_t ai = 0; ai < aggs.size(); ++ai) {
+                double v = 0;
+                if (aggs[ai].has_arg) {
+                  v = EvalExprBatch(aggs[ai].arg, L, b.cols, slot_of_col, i);
+                }
+                part.push_back(std::bit_cast<int64_t>(v));
+              }
+              sink.spill_bytes += (key.size() + aggs.size()) * 8;
+              continue;
+            }
+            it = sink.groups.emplace(key, std::vector<AggState>(aggs.size()))
+                     .first;
+          }
+          for (size_t ai = 0; ai < aggs.size(); ++ai) {
+            const AggDesc& a = aggs[ai];
+            AggState& st = it->second[ai];
+            switch (a.fn) {
+              case AggSpec::Fn::kCount:
+                ++st.count;
+                break;
+              case AggSpec::Fn::kSum:
+              case AggSpec::Fn::kAvg:
+                ++st.count;
+                if (a.arg_is_col && a.arg_is_int) {
+                  st.i += b.cols[slot_of_col[a.arg_col.col]][i];
+                } else {
+                  st.d += EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
+                }
+                break;
+              case AggSpec::Fn::kMin:
+              case AggSpec::Fn::kMax: {
+                if (a.arg_is_col) {
+                  const int64_t v = b.cols[slot_of_col[a.arg_col.col]][i];
+                  if (!st.has ||
+                      (a.fn == AggSpec::Fn::kMin ? v < st.packed_minmax
+                                                 : v > st.packed_minmax)) {
+                    st.packed_minmax = v;
+                  }
+                } else {
+                  const double v =
+                      EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
+                  if (!st.has ||
+                      (a.fn == AggSpec::Fn::kMin ? v < st.d : v > st.d)) {
+                    st.d = v;
+                  }
+                }
+                st.has = true;
+                break;
+              }
+            }
+          }
+        }
+        return true;
+      };
+      csi->ScanGroups(gb, ge, needed, sp, handler, wm, /*need_locators=*/false);
+      if (w == 0) {
+        csi->ScanDelta(needed, sp, handler, wm, /*need_locators=*/false);
+      }
+    };
+    const int ngroups2 = csi->num_row_groups();
+    if (nworkers <= 1) {
+      Timer t;
+      batch_worker(0, 0, ngroups2, m);
+      m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+    } else {
+      std::vector<std::thread> ths;
+      std::vector<QueryMetrics> wms(nworkers);
+      const int per = (ngroups2 + nworkers - 1) / nworkers;
+      for (int w = 0; w < nworkers; ++w) {
+        ths.emplace_back([&, w] {
+          Timer t;
+          batch_worker(w, w * per, std::min(ngroups2, (w + 1) * per), &wms[w]);
+          wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+        });
+      }
+      for (auto& th : ths) th.join();
+      for (auto& wm : wms) m->Merge(wm);
+    }
+    scan_status = Status::OK();
+  } else if (fast_agg) {
+    // Identify the single-int-column sums we can add without decode.
+    ColumnStoreIndex* csi = plan.base.index_name.empty()
+                                ? base->primary_csi()
+                                : base->FindSecondary(plan.base.index_name)
+                                      ->csi.get();
+    if (csi == nullptr) return Status::Internal("no csi");
+    std::vector<int> needed;
+    std::vector<char> need_flag(base->num_columns(), 0);
+    for (const auto& a : aggs) {
+      if (a.has_arg) {
+        std::vector<ColRef> refs;
+        CollectExprCols(a.arg, &refs);
+        for (const auto& r : refs) need_flag[r.col] = 1;
+      }
+    }
+    for (int c = 0; c < base->num_columns(); ++c) {
+      if (need_flag[c]) needed.push_back(c);
+    }
+    std::vector<int> slot_of_col(base->num_columns(), -1);
+    for (size_t i = 0; i < needed.size(); ++i) slot_of_col[needed[i]] = i;
+    std::vector<SegPredicate> sp;
+    for (const auto& p : base_preds) {
+      if (p.impossible) sp.push_back({p.col, 1, 0});
+      sp.push_back({p.col, p.lo, p.hi});
+    }
+    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
+      WorkerSink& sink = sinks[w];
+      auto handler = [&](const ColumnBatch& b) {
+        for (size_t ai = 0; ai < aggs.size(); ++ai) {
+          const AggDesc& a = aggs[ai];
+          AggState& st = sink.global[ai];
+          if (a.fn == AggSpec::Fn::kCount && !a.has_arg) {
+            st.count += b.count;
+            continue;
+          }
+          if (a.arg_is_col) {
+            const int ci = slot_of_col[a.arg_col.col];
+            const int64_t* col = b.cols[ci];
+            switch (a.fn) {
+              case AggSpec::Fn::kSum:
+              case AggSpec::Fn::kAvg: {
+                st.count += b.count;
+                if (a.arg_is_int) {
+                  int64_t acc = 0;
+                  for (int i = 0; i < b.count; ++i) acc += col[i];
+                  st.i += acc;
+                } else {
+                  double acc = 0;
+                  for (int i = 0; i < b.count; ++i) acc += UnpackDouble(col[i]);
+                  st.d += acc;
+                }
+                break;
+              }
+              case AggSpec::Fn::kMin:
+              case AggSpec::Fn::kMax: {
+                int64_t mv = col[0];
+                if (a.fn == AggSpec::Fn::kMin) {
+                  for (int i = 1; i < b.count; ++i) mv = std::min(mv, col[i]);
+                } else {
+                  for (int i = 1; i < b.count; ++i) mv = std::max(mv, col[i]);
+                }
+                if (!st.has ||
+                    (a.fn == AggSpec::Fn::kMin ? mv < st.packed_minmax
+                                               : mv > st.packed_minmax)) {
+                  st.packed_minmax = mv;
+                }
+                st.has = true;
+                break;
+              }
+              default:
+                break;
+            }
+          } else {
+            st.count += b.count;
+            double acc = 0;
+            for (int i = 0; i < b.count; ++i) {
+              acc += EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
+            }
+            if (a.fn == AggSpec::Fn::kSum || a.fn == AggSpec::Fn::kAvg) {
+              st.d += acc;
+            }
+          }
+        }
+        return true;
+      };
+      csi->ScanGroups(gb, ge, needed, sp, handler, wm, /*need_locators=*/false);
+      if (w == 0) {
+        csi->ScanDelta(needed, sp, handler, wm, /*need_locators=*/false);
+      }
+    };
+    const int ngroups = csi->num_row_groups();
+    if (nworkers <= 1) {
+      Timer t;
+      batch_worker(0, 0, ngroups, m);
+      m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+    } else {
+      std::vector<std::thread> ths;
+      std::vector<QueryMetrics> wms(nworkers);
+      const int per = (ngroups + nworkers - 1) / nworkers;
+      for (int w = 0; w < nworkers; ++w) {
+        ths.emplace_back([&, w] {
+          Timer t;
+          batch_worker(w, w * per, std::min(ngroups, (w + 1) * per), &wms[w]);
+          wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+        });
+      }
+      for (auto& th : ths) th.join();
+      for (auto& wm : wms) m->Merge(wm);
+    }
+    scan_status = Status::OK();
+  } else {
+    scan_status = DriveBaseScan(nworkers, [&](int w, int64_t rid,
+                                              const int64_t* row) {
+      int64_t* wide = wide_bufs[w].data();
+      std::copy(row, row + base->num_columns(), wide);
+      return pipeline(w, wide, rid, 0);
+    });
+  }
+  HD_RETURN_IF_ERROR(scan_status);
+
+  if (!plan.base.is_csi()) {
+    uint64_t probes = 0;
+    for (uint64_t c : probe_counts) probes += c;
+    const double rate = nworkers > 1 ? ctx.parallel_row_overhead_ns
+                                     : ctx.serial_row_overhead_ns;
+    m->cpu_ns += static_cast<uint64_t>(probes * rate);
+  }
+
+  // ---- Finish: merge worker states, spill phase 2, sort, decode. ----
+  Timer tfin;
+  if (has_aggs) {
+    if (stream_agg) {
+      stream_flush();
+      res.rows = std::move(stream_out);
+      res.row_count = res.rows.size();
+    } else if (group_slots.empty()) {
+      std::vector<AggState> final_state(aggs.size());
+      for (auto& s : sinks) {
+        for (size_t ai = 0; ai < aggs.size(); ++ai) {
+          AggMerge(aggs[ai], &final_state[ai], s.global[ai]);
+        }
+      }
+      Row r;
+      for (size_t ai = 0; ai < aggs.size(); ++ai) {
+        r.push_back(AggFinal(aggs[ai], final_state[ai], L));
+      }
+      res.rows.push_back(std::move(r));
+      res.row_count = 1;
+    } else {
+      // Merge worker maps.
+      auto& global = sinks[0].groups;
+      for (int w = 1; w < nworkers; ++w) {
+        for (auto& [k, st] : sinks[w].groups) {
+          auto it = global.find(k);
+          if (it == global.end()) {
+            global.emplace(k, std::move(st));
+          } else {
+            for (size_t ai = 0; ai < aggs.size(); ++ai) {
+              AggMerge(aggs[ai], &it->second[ai], st[ai]);
+            }
+          }
+        }
+      }
+      // Grace-hash phase 2 over spilled partitions.
+      uint64_t spill_total = 0;
+      for (auto& s : sinks) spill_total += s.spill_bytes;
+      if (spill_total > 0) {
+        res.spilled = true;
+        m->spill_bytes += spill_total;
+        ctx.db->disk()->ChargeWrite(spill_total, IoPattern::kSequential, m);
+        ctx.db->disk()->ChargeRead(spill_total, IoPattern::kSequential, m);
+        const size_t kstride = group_slots.size() + aggs.size();
+        for (int part = 0; part < kSpillParts; ++part) {
+          std::unordered_map<std::vector<int64_t>, std::vector<AggState>,
+                             VecHash> pm;
+          for (auto& s : sinks) {
+            const auto& buf = s.spill_parts[part];
+            for (size_t off = 0; off + kstride <= buf.size(); off += kstride) {
+              std::vector<int64_t> key(buf.begin() + off,
+                                       buf.begin() + off + group_slots.size());
+              auto it = pm.find(key);
+              if (it == pm.end()) {
+                it = pm.emplace(std::move(key),
+                                std::vector<AggState>(aggs.size())).first;
+              }
+              for (size_t ai = 0; ai < aggs.size(); ++ai) {
+                const double v = std::bit_cast<double>(
+                    buf[off + group_slots.size() + ai]);
+                AggState& st = it->second[ai];
+                switch (aggs[ai].fn) {
+                  case AggSpec::Fn::kCount: ++st.count; break;
+                  case AggSpec::Fn::kSum:
+                  case AggSpec::Fn::kAvg: ++st.count; st.d += v; break;
+                  case AggSpec::Fn::kMin:
+                  case AggSpec::Fn::kMax:
+                    if (!st.has || (aggs[ai].fn == AggSpec::Fn::kMin ? v < st.d
+                                                                     : v > st.d)) {
+                      st.d = v;
+                    }
+                    st.has = true;
+                    break;
+                }
+              }
+            }
+          }
+          for (auto& [k, st] : pm) {
+            auto it = global.find(k);
+            if (it == global.end()) {
+              global.emplace(k, std::move(st));
+            } else {
+              for (size_t ai = 0; ai < aggs.size(); ++ai) {
+                // Spilled aggregates lose the int fast path; merge as double.
+                it->second[ai].count += st[ai].count;
+                it->second[ai].d += st[ai].d;
+                if (st[ai].has) {
+                  AggMerge(aggs[ai], &it->second[ai], st[ai]);
+                }
+              }
+            }
+          }
+        }
+      }
+      m->UpdatePeakMemory(global.size() * group_entry_bytes);
+      res.row_count = global.size();
+      // Decode (capped).
+      for (auto& [k, st] : global) {
+        if (res.rows.size() >= QueryResult::kMaxMaterializedRows) break;
+        Row r;
+        for (size_t gi = 0; gi < group_slots.size(); ++gi) {
+          const ColRef& g = q.group_by[gi];
+          r.push_back(L.tables[g.table]->UnpackValue(g.col, k[gi]));
+        }
+        for (size_t ai = 0; ai < aggs.size(); ++ai) {
+          r.push_back(AggFinal(aggs[ai], st[ai], L));
+        }
+        res.rows.push_back(std::move(r));
+      }
+    }
+  } else {
+    // Collected rows: concatenate, sort if needed, decode.
+    const size_t stride = proj_slots.size();
+    size_t total_rows = 0;
+    for (auto& s : sinks) total_rows += s.row_count;
+    std::vector<int64_t> all;
+    all.reserve(total_rows * stride);
+    for (auto& s : sinks) {
+      all.insert(all.end(), s.rows.begin(), s.rows.end());
+      s.rows.clear();
+      s.rows.shrink_to_fit();
+    }
+    const uint64_t bytes = all.size() * 8;
+    m->UpdatePeakMemory(bytes);
+    if (plan.explicit_sort && !sort_pos.empty()) {
+      // Build row index and sort it.
+      std::vector<uint32_t> idx(total_rows);
+      for (size_t i = 0; i < total_rows; ++i) idx[i] = static_cast<uint32_t>(i);
+      auto cmp = [&](uint32_t a, uint32_t b) {
+        for (int sp2 : sort_pos) {
+          const int64_t va = all[a * stride + sp2];
+          const int64_t vb = all[b * stride + sp2];
+          if (va != vb) return va < vb;
+        }
+        return a < b;
+      };
+      if (bytes > grant && grant > 0) {
+        // External merge sort: sorted runs of grant-size + k-way merge.
+        res.spilled = true;
+        m->spill_bytes += bytes;
+        ctx.db->disk()->ChargeWrite(bytes, IoPattern::kSequential, m);
+        ctx.db->disk()->ChargeRead(bytes, IoPattern::kSequential, m);
+        const size_t run_rows =
+            std::max<size_t>(1, grant / 8 / std::max<size_t>(1, stride));
+        std::vector<std::pair<size_t, size_t>> runs;
+        for (size_t b2 = 0; b2 < total_rows; b2 += run_rows) {
+          const size_t e2 = std::min(total_rows, b2 + run_rows);
+          std::sort(idx.begin() + b2, idx.begin() + e2, cmp);
+          runs.emplace_back(b2, e2);
+        }
+        // K-way merge.
+        std::vector<uint32_t> merged;
+        merged.reserve(total_rows);
+        using HeapEnt = std::pair<uint32_t, size_t>;  // (row idx, run#)
+        auto hcmp = [&](const HeapEnt& a, const HeapEnt& b) {
+          return cmp(b.first, a.first);
+        };
+        std::priority_queue<HeapEnt, std::vector<HeapEnt>, decltype(hcmp)> pq(
+            hcmp);
+        std::vector<size_t> pos(runs.size());
+        for (size_t r2 = 0; r2 < runs.size(); ++r2) {
+          pos[r2] = runs[r2].first;
+          if (pos[r2] < runs[r2].second) pq.push({idx[pos[r2]], r2});
+        }
+        while (!pq.empty()) {
+          auto [ri, rn] = pq.top();
+          pq.pop();
+          merged.push_back(ri);
+          if (++pos[rn] < runs[rn].second) pq.push({idx[pos[rn]], rn});
+        }
+        idx = std::move(merged);
+      } else {
+        std::sort(idx.begin(), idx.end(), cmp);
+      }
+      // Decode in sorted order.
+      size_t out_n = total_rows;
+      if (q.limit >= 0) out_n = std::min<size_t>(out_n, q.limit);
+      res.row_count = out_n;
+      const size_t matn =
+          std::min<size_t>(out_n, QueryResult::kMaxMaterializedRows);
+      for (size_t i = 0; i < matn; ++i) {
+        Row r;
+        for (size_t p2 = 0; p2 < q.select_cols.size() ||
+                            (q.select_cols.empty() && p2 < stride);
+             ++p2) {
+          const ColRef& ref = proj_refs[p2];
+          r.push_back(L.tables[ref.table]->UnpackValue(
+              ref.col, all[idx[i] * stride + p2]));
+        }
+        res.rows.push_back(std::move(r));
+      }
+    } else {
+      size_t out_n = total_rows;
+      if (q.limit >= 0) out_n = std::min<size_t>(out_n, q.limit);
+      res.row_count = out_n;
+      const size_t matn =
+          std::min<size_t>(out_n, QueryResult::kMaxMaterializedRows);
+      const size_t nsel = q.select_cols.empty() ? stride : q.select_cols.size();
+      for (size_t i = 0; i < matn; ++i) {
+        Row r;
+        for (size_t p2 = 0; p2 < nsel; ++p2) {
+          const ColRef& ref = proj_refs[p2];
+          r.push_back(
+              L.tables[ref.table]->UnpackValue(ref.col, all[i * stride + p2]));
+        }
+        res.rows.push_back(std::move(r));
+      }
+    }
+  }
+  m->cpu_ns += static_cast<uint64_t>(tfin.ElapsedMs() * 1e6);
+
+  // Post-sort small aggregate outputs if ORDER BY requested on them.
+  if (has_aggs && !q.order_by.empty() && !res.rows.empty()) {
+    std::vector<int> pos;
+    for (const auto& o : q.order_by) {
+      for (size_t gi = 0; gi < q.group_by.size(); ++gi) {
+        if (q.group_by[gi] == o) pos.push_back(static_cast<int>(gi));
+      }
+    }
+    std::sort(res.rows.begin(), res.rows.end(), [&](const Row& a, const Row& b) {
+      for (int p2 : pos) {
+        const int c = a[p2].Compare(b[p2]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    });
+    if (q.limit >= 0 && static_cast<int64_t>(res.rows.size()) > q.limit) {
+      res.rows.resize(q.limit);
+      res.row_count = res.rows.size();
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// DML execution.
+// ---------------------------------------------------------------------
+
+Status Executor::Impl::RunDml() {
+  QueryMetrics* m = &res.metrics;
+  if (q.kind == Query::Kind::kInsert) {
+    for (const auto& vr : q.insert_rows) {
+      PackedRow p = base->PackRow(vr);
+      const int64_t rid = base->InsertPacked(p, m);
+      if (ctx.txn != nullptr && ctx.txns != nullptr) {
+        HD_RETURN_IF_ERROR(LockRowX(rid));
+        ctx.txns->NoteVersion(table_hash, rid);
+      }
+      ++res.affected_rows;
+    }
+    return Status::OK();
+  }
+
+  // UPDATE / DELETE: collect qualifying rows (TOP N), then mutate.
+  const int64_t topn = q.limit >= 0 ? q.limit : INT64_MAX;
+  std::vector<RowRef> refs;
+  Timer t;
+  Status s = DriveBaseScan(1, [&](int, int64_t rid, const int64_t* row) {
+    RowRef r;
+    r.rid = rid;
+    r.row.assign(row, row + base->num_columns());
+    refs.push_back(std::move(r));
+    return static_cast<int64_t>(refs.size()) < topn;
+  });
+  HD_RETURN_IF_ERROR(s);
+  m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+
+  if (ctx.txn != nullptr && ctx.txns != nullptr) {
+    for (const auto& r : refs) {
+      HD_RETURN_IF_ERROR(LockRowX(r.rid));
+    }
+  }
+
+  Timer t2;
+  if (q.kind == Query::Kind::kDelete) {
+    HD_RETURN_IF_ERROR(base->DeleteRows(refs, m));
+  } else {
+    std::vector<PackedRow> news;
+    news.reserve(refs.size());
+    for (const auto& r : refs) {
+      PackedRow nr = r.row;
+      for (const auto& set : q.sets) {
+        if (set.is_add) {
+          const ValueType vt = base->schema().column(set.col).type;
+          if (vt == ValueType::kDouble) {
+            nr[set.col] = PackDouble(UnpackDouble(nr[set.col]) + set.add_delta);
+          } else {
+            nr[set.col] += static_cast<int64_t>(set.add_delta);
+          }
+        } else {
+          nr[set.col] = base->PackValue(set.col, set.set_value);
+        }
+      }
+      news.push_back(std::move(nr));
+    }
+    HD_RETURN_IF_ERROR(base->UpdateRows(refs, news, m));
+  }
+  m->cpu_ns += static_cast<uint64_t>(t2.ElapsedMs() * 1e6);
+
+  if (ctx.txn != nullptr && ctx.txns != nullptr) {
+    for (const auto& r : refs) ctx.txns->NoteVersion(table_hash, r.rid);
+  }
+  res.affected_rows = refs.size();
+  return Status::OK();
+}
+
+QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
+  Impl impl(ctx_, q, plan);
+  impl.res.plan_desc = plan.Describe();
+  Status s = impl.Setup();
+  if (s.ok()) {
+    // Physical latches: shared for reads, exclusive on the base for DML.
+    // Tables are latched in pointer order to avoid latch deadlocks.
+    std::vector<Table*> latch_order(impl.L.tables);
+    std::sort(latch_order.begin(), latch_order.end());
+    latch_order.erase(std::unique(latch_order.begin(), latch_order.end()),
+                      latch_order.end());
+    if (q.kind == Query::Kind::kSelect) {
+      std::vector<std::shared_lock<std::shared_mutex>> latches;
+      latches.reserve(latch_order.size());
+      for (Table* t : latch_order) latches.emplace_back(t->phys_latch());
+      s = impl.RunSelect();
+    } else {
+      std::unique_lock<std::shared_mutex> latch(impl.base->phys_latch());
+      s = impl.RunDml();
+    }
+  }
+  impl.res.status = s;
+  impl.res.metrics.dop = impl.dop();
+  return std::move(impl.res);
+}
+
+}  // namespace hd

@@ -1,0 +1,96 @@
+#include "optimizer/config.h"
+
+#include <sstream>
+
+namespace hd {
+
+Configuration Configuration::FromCatalog(const Database& db) {
+  Configuration cfg;
+  for (const auto& [name, t] : db.tables()) {
+    TableConfig tc;
+    tc.primary = t->primary_kind();
+    tc.primary_keys = t->primary_key_cols();
+    tc.primary_stats.rows = t->num_rows();
+    tc.primary_stats.size_bytes = t->primary_size_bytes();
+    if (t->primary_kind() == PrimaryKind::kColumnStore) {
+      for (int c = 0; c < t->num_columns(); ++c) {
+        tc.primary_stats.column_bytes.push_back(
+            t->primary_csi()->column_size_bytes(c));
+      }
+    }
+    for (const auto& si : t->secondaries()) {
+      ConfigIndex ci;
+      ci.def = si->def;
+      ci.stats.rows = t->num_rows();
+      ci.stats.size_bytes = si->size_bytes();
+      if (si->csi) {
+        for (int c = 0; c < t->num_columns(); ++c) {
+          ci.stats.column_bytes.push_back(si->csi->column_size_bytes(c));
+        }
+      }
+      tc.secondaries.push_back(std::move(ci));
+    }
+    cfg.tables.emplace(name, std::move(tc));
+  }
+  return cfg;
+}
+
+uint64_t Configuration::SecondaryBytes() const {
+  uint64_t b = 0;
+  for (const auto& [n, tc] : tables) {
+    for (const auto& s : tc.secondaries) b += s.stats.size_bytes;
+  }
+  return b;
+}
+
+std::string Configuration::Describe() const {
+  std::ostringstream os;
+  for (const auto& [n, tc] : tables) {
+    os << n << ": primary=";
+    switch (tc.primary) {
+      case PrimaryKind::kHeap: os << "HEAP"; break;
+      case PrimaryKind::kBTree: os << "BTREE"; break;
+      case PrimaryKind::kColumnStore: os << "CSI"; break;
+    }
+    for (const auto& s : tc.secondaries) {
+      os << " + " << s.def.Describe();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+IndexStatsInfo EstimateBTreeStats(const Table& t, const IndexDef& def) {
+  IndexStatsInfo st;
+  st.rows = t.num_rows();
+  // Entry = key columns + uniquifier + payload (included + pk columns when
+  // the primary is a clustered B+ tree), 8 bytes per slot, ~90% leaf fill.
+  uint64_t slots = def.key_cols.size() + 1 + def.included_cols.size();
+  if (def.is_primary) {
+    slots = def.key_cols.size() + 1 + t.num_columns();
+  } else if (t.primary_kind() == PrimaryKind::kBTree) {
+    slots += t.primary_key_cols().size();
+  }
+  const double leaf_bytes = static_cast<double>(st.rows) * slots * 8 / 0.9;
+  st.size_bytes = static_cast<uint64_t>(leaf_bytes * 1.02);  // + internals
+  return st;
+}
+
+Status MaterializeConfiguration(Database* db, const Configuration& cfg) {
+  for (const auto& [name, tc] : cfg.tables) {
+    Table* t = db->GetTable(name);
+    if (t == nullptr) return Status::NotFound("table " + name);
+    t->DropAllSecondaries();
+    if (t->primary_kind() != tc.primary ||
+        t->primary_key_cols() != tc.primary_keys) {
+      HD_RETURN_IF_ERROR(t->SetPrimary(tc.primary, tc.primary_keys));
+    }
+    for (const auto& s : tc.secondaries) {
+      HD_RETURN_IF_ERROR(t->ApplyIndexDef(s.def));
+    }
+    t->Analyze();
+  }
+  return Status::OK();
+}
+
+}  // namespace hd

@@ -1,0 +1,83 @@
+// Physical design configurations: what indexes exist (really or
+// hypothetically) on each table.
+//
+// This is the contract of the "what-if" API (Section 4.2): the optimizer
+// costs queries against a Configuration, which needs only metadata and
+// (estimated) sizes — never materialized index structures. Real
+// configurations are snapshotted from the catalog; hypothetical ones are
+// assembled by the advisor with estimated statistics.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "catalog/index_def.h"
+
+namespace hd {
+
+/// Size statistics the optimizer needs to cost an index.
+struct IndexStatsInfo {
+  uint64_t rows = 0;
+  uint64_t size_bytes = 0;
+  /// Columnstores: compressed bytes per stored (table) column — the
+  /// per-column sizes the extended what-if API exposes (Section 4.2).
+  std::vector<uint64_t> column_bytes;
+};
+
+/// One (possibly hypothetical) secondary index in a configuration.
+struct ConfigIndex {
+  IndexDef def;
+  IndexStatsInfo stats;
+  bool hypothetical = false;
+};
+
+/// Physical design of one table.
+struct TableConfig {
+  PrimaryKind primary = PrimaryKind::kHeap;
+  std::vector<int> primary_keys;
+  IndexStatsInfo primary_stats;
+  std::vector<ConfigIndex> secondaries;
+
+  bool HasCsi() const {
+    if (primary == PrimaryKind::kColumnStore) return true;
+    for (const auto& s : secondaries) {
+      if (s.def.is_columnstore()) return true;
+    }
+    return false;
+  }
+};
+
+/// A full database physical design.
+struct Configuration {
+  std::map<std::string, TableConfig> tables;
+
+  /// Snapshot the current materialized design with exact sizes.
+  static Configuration FromCatalog(const Database& db);
+
+  const TableConfig* Find(const std::string& t) const {
+    auto it = tables.find(t);
+    return it == tables.end() ? nullptr : &it->second;
+  }
+  TableConfig* FindMutable(const std::string& t) {
+    auto it = tables.find(t);
+    return it == tables.end() ? nullptr : &it->second;
+  }
+
+  /// Total bytes of secondary (redundant) structures — the quantity a
+  /// storage budget constrains.
+  uint64_t SecondaryBytes() const;
+
+  std::string Describe() const;
+};
+
+/// Estimated statistics for a hypothetical B+ tree (exact arithmetic: row
+/// count times entry width, page-rounded with the bulk-load fill factor).
+IndexStatsInfo EstimateBTreeStats(const Table& t, const IndexDef& def);
+
+/// Materialize `cfg` on the database: set primaries, drop and recreate
+/// secondaries. Used by experiments to execute under a configuration.
+Status MaterializeConfiguration(Database* db, const Configuration& cfg);
+
+}  // namespace hd

@@ -1,0 +1,70 @@
+// Cost-based optimizer with a "what-if" interface.
+//
+// Given a logical Query and a Configuration (real or hypothetical), the
+// optimizer enumerates access paths (heap scan, B+ tree range/full scan,
+// columnstore scan), join methods (hash, index nested loops, and the
+// dimension-driven hybrid shape of Section 5.3), and aggregation
+// strategies (hash with spill vs. streaming), and returns the cheapest
+// physical plan with its estimated cost. Costing needs only statistics and
+// index metadata — exactly the contract DTA's what-if API relies on
+// (Section 4.2).
+#pragma once
+
+#include "catalog/database.h"
+#include "exec/plan.h"
+#include "exec/query.h"
+#include "optimizer/config.h"
+#include "optimizer/cost_model.h"
+
+namespace hd {
+
+/// Environment assumptions for planning.
+struct PlanOptions {
+  /// Charge I/O for every byte touched (cold cache). Hot = CPU only.
+  bool cold = false;
+  /// Query working memory for hash/sort operators.
+  uint64_t memory_grant_bytes = 4ull << 30;
+  /// Override CostParams::max_dop (0 = use CostParams).
+  int max_dop = 0;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(Database* db, CostParams params = CostParams())
+      : db_(db), p_(params) {}
+
+  struct PlanResult {
+    PhysicalPlan plan;
+    double cost_ms = 0;
+  };
+
+  /// Cheapest plan for `q` under `cfg`.
+  Result<PlanResult> Plan(const Query& q, const Configuration& cfg,
+                          const PlanOptions& opts = PlanOptions()) const;
+
+  /// The "what-if" API: optimizer-estimated cost of `q` under `cfg`
+  /// without materializing anything.
+  Result<double> WhatIfCost(const Query& q, const Configuration& cfg,
+                            const PlanOptions& opts = PlanOptions()) const;
+
+  /// Estimated fraction of `t`'s rows satisfying `preds` (conjunctive).
+  double PredSelectivity(const Table& t, const std::vector<Pred>& preds) const;
+
+  const CostParams& params() const { return p_; }
+  Database* db() const { return db_; }
+
+ private:
+  struct PathCand;
+  struct Ctx;
+
+  /// Enumerate access paths for one table under its TableConfig.
+  std::vector<PathCand> EnumeratePaths(const Table& t, const TableConfig& tc,
+                                       const std::vector<Pred>& preds,
+                                       const std::vector<int>& needed_cols,
+                                       const PlanOptions& opts) const;
+
+  Database* db_;
+  CostParams p_;
+};
+
+}  // namespace hd

@@ -1,0 +1,550 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+namespace hd {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;  // uppercased for idents
+  std::string raw;   // original spelling
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string s) : s_(std::move(s)) { Advance(); }
+
+  const Token& cur() const { return cur_; }
+
+  void Advance() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+    cur_.pos = i_;
+    if (i_ >= s_.size()) {
+      cur_ = {Tok::kEnd, "", "", i_};
+      return;
+    }
+    const char c = s_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i_;
+      while (j < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[j])) || s_[j] == '_')) {
+        ++j;
+      }
+      cur_.kind = Tok::kIdent;
+      cur_.raw = s_.substr(i_, j - i_);
+      cur_.text = Upper(cur_.raw);
+      i_ = j;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i_ + 1 < s_.size() &&
+         std::isdigit(static_cast<unsigned char>(s_[i_ + 1])))) {
+      size_t j = i_ + 1;
+      bool is_float = false;
+      while (j < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[j])) || s_[j] == '.')) {
+        is_float |= s_[j] == '.';
+        ++j;
+      }
+      cur_.kind = Tok::kNumber;
+      cur_.raw = s_.substr(i_, j - i_);
+      cur_.text = is_float ? "F" : "I";
+      i_ = j;
+      return;
+    }
+    if (c == '\'') {
+      size_t j = i_ + 1;
+      while (j < s_.size() && s_[j] != '\'') ++j;
+      cur_.kind = Tok::kString;
+      cur_.raw = s_.substr(i_ + 1, j - i_ - 1);
+      cur_.text = cur_.raw;
+      i_ = j < s_.size() ? j + 1 : j;
+      return;
+    }
+    // Two-char operators.
+    if ((c == '<' || c == '>') && i_ + 1 < s_.size() && s_[i_ + 1] == '=') {
+      cur_ = {Tok::kSymbol, std::string(1, c) + "=", std::string(1, c) + "=",
+              i_};
+      i_ += 2;
+      return;
+    }
+    cur_ = {Tok::kSymbol, std::string(1, c), std::string(1, c), i_};
+    ++i_;
+  }
+
+  static std::string Upper(std::string s) {
+    for (auto& ch : s) ch = static_cast<char>(std::toupper(ch));
+    return s;
+  }
+
+ private:
+  std::string s_;
+  size_t i_ = 0;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(const Database& db, const std::string& sql) : db_(db), lex_(sql) {}
+
+  Result<Query> Parse() {
+    if (Accept("SELECT")) return ParseSelect();
+    if (Accept("UPDATE")) return ParseUpdate();
+    if (Accept("DELETE")) return ParseDelete();
+    if (Accept("INSERT")) return ParseInsert();
+    return Err("expected SELECT, UPDATE, DELETE, or INSERT");
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(
+        msg + " at position " + std::to_string(lex_.cur().pos) + " near '" +
+        lex_.cur().raw + "'");
+  }
+
+  bool Accept(const std::string& kw) {
+    if (lex_.cur().kind == Tok::kIdent && lex_.cur().text == kw) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSym(const std::string& s) {
+    if (lex_.cur().kind == Tok::kSymbol && lex_.cur().text == s) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Peek(const std::string& kw) const {
+    return lex_.cur().kind == Tok::kIdent && lex_.cur().text == kw;
+  }
+
+  Status Expect(const std::string& kw) {
+    if (!Accept(kw)) return Err("expected " + kw);
+    return Status::OK();
+  }
+  Status ExpectSym(const std::string& s) {
+    if (!AcceptSym(s)) return Err("expected '" + s + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (lex_.cur().kind != Tok::kIdent) return Err("expected identifier");
+    std::string raw = lex_.cur().raw;
+    lex_.Advance();
+    return raw;
+  }
+
+  // ---- name resolution ----
+
+  /// Tables visible to the statement: index 0 = base, i = joins[i-1].
+  struct Scope {
+    std::vector<std::string> names;
+    std::vector<Table*> tables;
+  };
+
+  Result<ColRef> ResolveColumn(const std::string& raw_first) {
+    std::string tbl, col;
+    if (AcceptSym(".")) {
+      HD_ASSIGN_OR_RETURN(col, ExpectIdent());
+      tbl = raw_first;
+    } else {
+      col = raw_first;
+    }
+    if (!tbl.empty()) {
+      for (size_t t = 0; t < scope_.names.size(); ++t) {
+        if (scope_.names[t] == tbl) {
+          const int c = scope_.tables[t]->schema().Find(col);
+          if (c < 0) return Err("no column '" + col + "' in " + tbl);
+          return ColRef{static_cast<int>(t), c};
+        }
+      }
+      return Err("table '" + tbl + "' not in FROM/JOIN");
+    }
+    std::optional<ColRef> found;
+    for (size_t t = 0; t < scope_.names.size(); ++t) {
+      const int c = scope_.tables[t]->schema().Find(col);
+      if (c >= 0) {
+        if (found.has_value()) return Err("ambiguous column '" + col + "'");
+        found = ColRef{static_cast<int>(t), c};
+      }
+    }
+    if (!found) return Err("unknown column '" + col + "'");
+    return *found;
+  }
+
+  Result<ColRef> ParseColumnRef() {
+    HD_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    return ResolveColumn(first);
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token t = lex_.cur();
+    if (t.kind == Tok::kNumber) {
+      lex_.Advance();
+      if (t.text == "F") return Value::Double(std::stod(t.raw));
+      return Value::Int64(std::stoll(t.raw));
+    }
+    if (t.kind == Tok::kString) {
+      lex_.Advance();
+      return Value::String(t.raw);
+    }
+    return Err("expected literal");
+  }
+
+  // ---- expressions (for aggregates) ----
+
+  Result<Expr> ParseExpr() { return ParseAddSub(); }
+
+  Result<Expr> ParseAddSub() {
+    HD_ASSIGN_OR_RETURN(Expr lhs, ParseMul());
+    while (true) {
+      if (AcceptSym("+")) {
+        HD_ASSIGN_OR_RETURN(Expr rhs, ParseMul());
+        lhs = Expr::Add(std::move(lhs), std::move(rhs));
+      } else if (AcceptSym("-")) {
+        HD_ASSIGN_OR_RETURN(Expr rhs, ParseMul());
+        lhs = Expr::Sub(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<Expr> ParseMul() {
+    HD_ASSIGN_OR_RETURN(Expr lhs, ParseAtom());
+    while (AcceptSym("*")) {
+      HD_ASSIGN_OR_RETURN(Expr rhs, ParseAtom());
+      lhs = Expr::Mul(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseAtom() {
+    if (AcceptSym("(")) {
+      HD_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+      HD_RETURN_IF_ERROR(ExpectSym(")"));
+      return e;
+    }
+    if (lex_.cur().kind == Tok::kNumber) {
+      HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      return Expr::Const(v.AsDouble());
+    }
+    HD_ASSIGN_OR_RETURN(ColRef c, ParseColumnRef());
+    return Expr::Col(c);
+  }
+
+  // ---- predicates ----
+
+  Status ParseWhere(Query* q) {
+    do {
+      HD_ASSIGN_OR_RETURN(ColRef c, ParseColumnRef());
+      Pred p;
+      p.col = c.col;
+      if (Accept("BETWEEN")) {
+        HD_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+        HD_RETURN_IF_ERROR(Expect("AND"));
+        HD_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+        p = Pred::Between(c.col, std::move(lo), std::move(hi));
+      } else if (AcceptSym("=")) {
+        HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        p = Pred::Eq(c.col, std::move(v));
+      } else if (AcceptSym("<=")) {
+        HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        p = Pred::Le(c.col, std::move(v));
+      } else if (AcceptSym("<")) {
+        HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        p = Pred::Lt(c.col, std::move(v));
+      } else if (AcceptSym(">=")) {
+        HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        p = Pred::Ge(c.col, std::move(v));
+      } else if (AcceptSym(">")) {
+        HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        p = Pred::Gt(c.col, std::move(v));
+      } else {
+        return Err("expected comparison operator");
+      }
+      if (c.table == 0) {
+        q->base.preds.push_back(std::move(p));
+      } else {
+        q->joins[c.table - 1].dim.preds.push_back(std::move(p));
+      }
+    } while (Accept("AND"));
+    return Status::OK();
+  }
+
+  // ---- statements ----
+
+  // SELECT items are captured verbatim until FROM, the scope is resolved
+  // from FROM/JOIN, then the items are parsed with names bound.
+  Result<Query> ParseSelect();
+  Result<Query> ParseUpdate();
+  Result<Query> ParseDelete();
+  Result<Query> ParseInsert();
+
+  Status ResolveFromAndJoins(Query* q);
+
+  const Database& db_;
+  Lexer lex_;
+  Scope scope_;
+  std::string pending_items_;
+};
+
+// SELECT is parsed by first capturing the item list verbatim, resolving
+// FROM/JOIN to build the scope, then parsing the items with names bound.
+Result<Query> Parser::ParseSelect() {
+  // Capture item tokens verbatim until FROM.
+  std::string items;
+  int depth = 0;
+  while (true) {
+    const Token& t = lex_.cur();
+    if (t.kind == Tok::kEnd) return Err("expected FROM");
+    if (t.kind == Tok::kIdent && t.text == "FROM" && depth == 0) break;
+    if (t.kind == Tok::kSymbol && t.text == "(") ++depth;
+    if (t.kind == Tok::kSymbol && t.text == ")") --depth;
+    if (t.kind == Tok::kString) {
+      items += "'" + t.raw + "'";
+    } else {
+      items += t.raw;
+    }
+    items += " ";
+    lex_.Advance();
+  }
+  lex_.Advance();  // FROM
+
+  Query q;
+  HD_RETURN_IF_ERROR(ResolveFromAndJoins(&q));
+
+  // Parse the captured items with the scope in place.
+  Lexer item_lex(items);
+  std::swap(lex_, item_lex);
+  bool star = false;
+  do {
+    if (AcceptSym("*")) {
+      star = true;
+      continue;
+    }
+    if (Peek("COUNT")) {
+      lex_.Advance();
+      HD_RETURN_IF_ERROR(ExpectSym("("));
+      HD_RETURN_IF_ERROR(ExpectSym("*"));
+      HD_RETURN_IF_ERROR(ExpectSym(")"));
+      q.aggs.push_back(AggSpec::CountStar());
+      continue;
+    }
+    bool agg_handled = false;
+    for (auto [kw, fn] : {std::pair{"SUM", AggSpec::Fn::kSum},
+                          {"MIN", AggSpec::Fn::kMin},
+                          {"MAX", AggSpec::Fn::kMax},
+                          {"AVG", AggSpec::Fn::kAvg}}) {
+      if (Peek(kw)) {
+        lex_.Advance();
+        HD_RETURN_IF_ERROR(ExpectSym("("));
+        HD_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+        HD_RETURN_IF_ERROR(ExpectSym(")"));
+        AggSpec a;
+        a.fn = fn;
+        a.arg = std::move(e);
+        a.label = Lexer::Upper(kw);
+        q.aggs.push_back(std::move(a));
+        agg_handled = true;
+        break;
+      }
+    }
+    if (agg_handled) continue;
+    HD_ASSIGN_OR_RETURN(ColRef c, ParseColumnRef());
+    q.select_cols.push_back(c);
+  } while (AcceptSym(","));
+  if (lex_.cur().kind != Tok::kEnd) {
+    Status s = Err("unexpected token in select list");
+    std::swap(lex_, item_lex);
+    return s;
+  }
+  std::swap(lex_, item_lex);
+
+  if (star && (!q.aggs.empty() || !q.select_cols.empty())) {
+    return Err("'*' cannot be combined with other select items");
+  }
+
+  if (Accept("WHERE")) HD_RETURN_IF_ERROR(ParseWhere(&q));
+  if (Accept("GROUP")) {
+    HD_RETURN_IF_ERROR(Expect("BY"));
+    do {
+      HD_ASSIGN_OR_RETURN(ColRef c, ParseColumnRef());
+      q.group_by.push_back(c);
+    } while (AcceptSym(","));
+  }
+  if (Accept("ORDER")) {
+    HD_RETURN_IF_ERROR(Expect("BY"));
+    do {
+      HD_ASSIGN_OR_RETURN(ColRef c, ParseColumnRef());
+      q.order_by.push_back(c);
+    } while (AcceptSym(","));
+  }
+  if (Accept("LIMIT")) {
+    HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+    q.limit = v.AsInt64();
+  }
+  if (lex_.cur().kind != Tok::kEnd && !AcceptSym(";")) {
+    return Err("unexpected trailing input");
+  }
+  if (!q.aggs.empty() && !q.select_cols.empty()) {
+    // Plain columns next to aggregates must be GROUP BY columns; grouped
+    // output is emitted as (group columns..., aggregates...), so they are
+    // dropped from the projection here.
+    for (const ColRef& c : q.select_cols) {
+      if (std::find(q.group_by.begin(), q.group_by.end(), c) ==
+          q.group_by.end()) {
+        return Err("column in SELECT with aggregates must appear in GROUP BY");
+      }
+    }
+    q.select_cols.clear();
+  }
+  return q;
+}
+
+Status Parser::ResolveFromAndJoins(Query* q) {
+  HD_ASSIGN_OR_RETURN(std::string base, ExpectIdent());
+  Table* bt = db_.GetTable(base);
+  if (bt == nullptr) return Err("unknown table '" + base + "'");
+  q->base.table = base;
+  scope_.names = {base};
+  scope_.tables = {bt};
+  while (Accept("JOIN")) {
+    HD_ASSIGN_OR_RETURN(std::string dim, ExpectIdent());
+    Table* dt = db_.GetTable(dim);
+    if (dt == nullptr) return Err("unknown table '" + dim + "'");
+    JoinClause jc;
+    jc.dim.table = dim;
+    q->joins.push_back(jc);
+    scope_.names.push_back(dim);
+    scope_.tables.push_back(dt);
+    HD_RETURN_IF_ERROR(Expect("ON"));
+    HD_ASSIGN_OR_RETURN(ColRef a, ParseColumnRef());
+    HD_RETURN_IF_ERROR(ExpectSym("="));
+    HD_ASSIGN_OR_RETURN(ColRef b, ParseColumnRef());
+    const int this_dim = static_cast<int>(q->joins.size());
+    if (a.table == 0 && b.table == this_dim) {
+      q->joins.back().base_col = a.col;
+      q->joins.back().dim_col = b.col;
+    } else if (b.table == 0 && a.table == this_dim) {
+      q->joins.back().base_col = b.col;
+      q->joins.back().dim_col = a.col;
+    } else {
+      return Err("JOIN condition must correlate the FROM table with the "
+                 "joined table");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Query> Parser::ParseUpdate() {
+  Query q;
+  q.kind = Query::Kind::kUpdate;
+  HD_RETURN_IF_ERROR(ResolveFromAndJoins(&q));
+  HD_RETURN_IF_ERROR(Expect("SET"));
+  do {
+    HD_ASSIGN_OR_RETURN(ColRef c, ParseColumnRef());
+    if (c.table != 0) return Err("UPDATE can only set base-table columns");
+    HD_RETURN_IF_ERROR(ExpectSym("="));
+    // Either `col = col +/- number` or `col = literal`.
+    if (lex_.cur().kind == Tok::kIdent) {
+      HD_ASSIGN_OR_RETURN(ColRef same, ParseColumnRef());
+      if (!(same == c)) return Err("SET col = <other col> unsupported");
+      double sign = 1;
+      if (AcceptSym("-")) {
+        sign = -1;
+      } else if (!AcceptSym("+")) {
+        return Err("expected + or - in SET expression");
+      }
+      HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      q.sets.push_back(UpdateSet::Add(c.col, sign * v.AsDouble()));
+    } else {
+      HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      q.sets.push_back(UpdateSet::Assign(c.col, std::move(v)));
+    }
+  } while (AcceptSym(","));
+  if (Accept("WHERE")) HD_RETURN_IF_ERROR(ParseWhere(&q));
+  if (Accept("LIMIT")) {
+    HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+    q.limit = v.AsInt64();
+  }
+  return q;
+}
+
+Result<Query> Parser::ParseDelete() {
+  Query q;
+  q.kind = Query::Kind::kDelete;
+  HD_RETURN_IF_ERROR(Expect("FROM"));
+  HD_RETURN_IF_ERROR(ResolveFromAndJoins(&q));
+  if (Accept("WHERE")) HD_RETURN_IF_ERROR(ParseWhere(&q));
+  if (Accept("LIMIT")) {
+    HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+    q.limit = v.AsInt64();
+  }
+  return q;
+}
+
+Result<Query> Parser::ParseInsert() {
+  Query q;
+  q.kind = Query::Kind::kInsert;
+  HD_RETURN_IF_ERROR(Expect("INTO"));
+  HD_ASSIGN_OR_RETURN(std::string tbl, ExpectIdent());
+  Table* t = db_.GetTable(tbl);
+  if (t == nullptr) return Err("unknown table '" + tbl + "'");
+  q.base.table = tbl;
+  scope_.names = {tbl};
+  scope_.tables = {t};
+  HD_RETURN_IF_ERROR(Expect("VALUES"));
+  do {
+    HD_RETURN_IF_ERROR(ExpectSym("("));
+    std::vector<Value> row;
+    do {
+      HD_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      row.push_back(std::move(v));
+    } while (AcceptSym(","));
+    HD_RETURN_IF_ERROR(ExpectSym(")"));
+    if (static_cast<int>(row.size()) != t->num_columns()) {
+      return Err("VALUES row has " + std::to_string(row.size()) +
+                 " values; table has " + std::to_string(t->num_columns()) +
+                 " columns");
+    }
+    q.insert_rows.push_back(std::move(row));
+  } while (AcceptSym(","));
+  return q;
+}
+
+}  // namespace
+
+Result<Query> ParseSql(const Database& db, const std::string& sql) {
+  Parser p(db, sql);
+  HD_ASSIGN_OR_RETURN(Query q, p.Parse());
+  q.id = sql.substr(0, 40);
+  return q;
+}
+
+}  // namespace hd

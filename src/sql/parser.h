@@ -1,0 +1,44 @@
+// A small SQL dialect over the engine's query algebra.
+//
+// Grammar (case-insensitive keywords):
+//
+//   SELECT <item> [, <item>]*
+//     FROM <table>
+//     [JOIN <table> ON <tbl.col> = <tbl.col>]*
+//     [WHERE <pred> [AND <pred>]*]
+//     [GROUP BY <col> [, <col>]*]
+//     [ORDER BY <col> [, <col>]*]
+//     [LIMIT <n>]
+//
+//   UPDATE <table> SET <col> = <col> + <num> | <col> = <literal> [, ...]
+//     [WHERE ...] [LIMIT <n>]
+//
+//   DELETE FROM <table> [WHERE ...]
+//
+//   INSERT INTO <table> VALUES (<literal>, ...) [, (...)]*
+//
+//   item  := * | <col> | SUM(<expr>) | COUNT(*) | MIN(<col>) | MAX(<col>)
+//          | AVG(<expr>)
+//   expr  := arithmetic +, -, * over columns, numeric literals, parens
+//   pred  := <col> (= | < | <= | > | >=) <literal>
+//          | <col> BETWEEN <literal> AND <literal>
+//   literal := integer | float | 'string'
+//
+// Column names resolve against the Database catalog: unqualified names
+// must be unambiguous across the statement's tables; qualified names use
+// `table.column`. The FROM table is the query's base; each JOIN clause
+// must correlate one base column with one column of the joined table
+// (star-join shape, matching the executor).
+#pragma once
+
+#include <string>
+
+#include "catalog/database.h"
+#include "exec/query.h"
+
+namespace hd {
+
+/// Parse one statement. Errors carry a position-annotated message.
+Result<Query> ParseSql(const Database& db, const std::string& sql);
+
+}  // namespace hd

@@ -1,0 +1,126 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace hd {
+
+BufferPool::BufferPool(DiskModel* disk, uint64_t capacity_bytes)
+    : disk_(disk), capacity_(capacity_bytes), shards_(kNumShards) {}
+
+ExtentId BufferPool::Register(uint64_t bytes) {
+  ExtentId id = next_id_.fetch_add(1);
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  Entry e;
+  e.bytes = bytes;
+  e.resident = true;
+  s.lru.push_front(id);
+  e.lru_pos = s.lru.begin();
+  e.in_lru = true;
+  s.entries.emplace(id, e);
+  resident_bytes_ += bytes;
+  total_bytes_ += bytes;
+  EvictIfNeeded();
+  return id;
+}
+
+void BufferPool::Resize(ExtentId id, uint64_t bytes) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.entries.find(id);
+  if (it == s.entries.end()) return;
+  total_bytes_ += bytes - it->second.bytes;
+  if (it->second.resident) {
+    resident_bytes_ += bytes - it->second.bytes;
+  }
+  it->second.bytes = bytes;
+}
+
+void BufferPool::Unregister(ExtentId id) {
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.entries.find(id);
+  if (it == s.entries.end()) return;
+  if (it->second.in_lru) s.lru.erase(it->second.lru_pos);
+  if (it->second.resident) resident_bytes_ -= it->second.bytes;
+  total_bytes_ -= it->second.bytes;
+  s.entries.erase(it);
+}
+
+void BufferPool::Access(ExtentId id, IoPattern pattern, QueryMetrics* m) {
+  Shard& s = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> g(s.mu);
+    auto it = s.entries.find(id);
+    if (it == s.entries.end()) return;
+    Entry& e = it->second;
+    if (m != nullptr) {
+      m->pages_read += (e.bytes + kPageBytes - 1) / kPageBytes;
+    }
+    if (e.in_lru) s.lru.erase(e.lru_pos);
+    s.lru.push_front(id);
+    e.lru_pos = s.lru.begin();
+    e.in_lru = true;
+    if (e.resident) return;  // hit: no I/O
+    e.resident = true;
+    resident_bytes_ += e.bytes;
+    disk_->ChargeRead(e.bytes, pattern, m);
+  }
+  EvictIfNeeded();
+}
+
+bool BufferPool::IsResident(ExtentId id) const {
+  const Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  auto it = s.entries.find(id);
+  return it != s.entries.end() && it->second.resident;
+}
+
+void BufferPool::EvictAll() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    for (auto& [id, e] : s.entries) {
+      if (e.resident) {
+        e.resident = false;
+        resident_bytes_ -= e.bytes;
+      }
+    }
+  }
+}
+
+void BufferPool::WarmAll() {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    for (auto& [id, e] : s.entries) {
+      if (!e.resident) {
+        e.resident = true;
+        resident_bytes_ += e.bytes;
+      }
+    }
+  }
+}
+
+uint64_t BufferPool::resident_bytes() const { return resident_bytes_.load(); }
+uint64_t BufferPool::total_bytes() const { return total_bytes_.load(); }
+
+void BufferPool::EvictIfNeeded() {
+  if (capacity_ == 0) return;
+  // Best-effort: sweep shards evicting LRU tails until under capacity.
+  for (auto& s : shards_) {
+    if (resident_bytes_.load() <= capacity_) return;
+    std::lock_guard<std::mutex> g(s.mu);
+    while (resident_bytes_.load() > capacity_ && !s.lru.empty()) {
+      ExtentId victim = s.lru.back();
+      auto it = s.entries.find(victim);
+      assert(it != s.entries.end());
+      s.lru.pop_back();
+      it->second.in_lru = false;
+      if (it->second.resident) {
+        it->second.resident = false;
+        resident_bytes_ -= it->second.bytes;
+      }
+    }
+  }
+}
+
+}  // namespace hd

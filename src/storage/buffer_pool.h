@@ -1,0 +1,96 @@
+// Buffer pool: residency accounting over storage extents.
+//
+// Real row/column data lives in ordinary process memory (this is an
+// in-process engine); the buffer pool tracks which *extents* — B+ tree
+// nodes, heap pages, column segments — are "resident" versus "on disk",
+// charges the DiskModel on misses, and evicts LRU extents when the
+// configured capacity is exceeded. EvictAll() models a cold cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "storage/disk_model.h"
+
+namespace hd {
+
+/// Identifier of a registered extent.
+using ExtentId = uint64_t;
+constexpr ExtentId kInvalidExtent = 0;
+
+constexpr uint64_t kPageBytes = 8 * 1024;
+
+/// Thread-safe, sharded LRU residency tracker.
+class BufferPool {
+ public:
+  /// `capacity_bytes` = 0 means unbounded (everything fits; the paper's
+  /// server had 384 GB RAM so most experiments were memory-resident).
+  explicit BufferPool(DiskModel* disk, uint64_t capacity_bytes = 0);
+
+  /// Register a new extent of the given size; initially resident (freshly
+  /// built data is in cache).
+  ExtentId Register(uint64_t bytes);
+
+  /// Resize an existing extent (e.g. a heap page filling up).
+  void Resize(ExtentId id, uint64_t bytes);
+
+  void Unregister(ExtentId id);
+
+  /// Touch an extent on behalf of a query: on miss, charge the DiskModel
+  /// for a read of its size using `pattern` and make it resident (evicting
+  /// colder extents if over capacity). Counts a logical page access.
+  void Access(ExtentId id, IoPattern pattern, QueryMetrics* m);
+
+  /// True if the extent is currently resident (test hook).
+  bool IsResident(ExtentId id) const;
+
+  /// Drop residency of every extent: the next access to anything is cold.
+  void EvictAll();
+
+  /// Mark every extent resident without charging I/O (warm the cache).
+  void WarmAll();
+
+  uint64_t resident_bytes() const;
+  uint64_t total_bytes() const;
+  uint64_t capacity_bytes() const { return capacity_; }
+  void set_capacity_bytes(uint64_t b) { capacity_ = b; }
+
+  DiskModel* disk() { return disk_; }
+
+ private:
+  struct Shard;
+  struct Entry {
+    uint64_t bytes = 0;
+    bool resident = false;
+    std::list<ExtentId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ExtentId, Entry> entries;
+    std::list<ExtentId> lru;  // front = most recent
+  };
+
+  Shard& ShardFor(ExtentId id) {
+    return shards_[id % kNumShards];
+  }
+  const Shard& ShardFor(ExtentId id) const {
+    return shards_[id % kNumShards];
+  }
+  void EvictIfNeeded();  // best-effort global check
+
+  static constexpr int kNumShards = 64;
+
+  DiskModel* disk_;
+  uint64_t capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<ExtentId> next_id_{1};
+  std::atomic<uint64_t> resident_bytes_{0};
+  std::atomic<uint64_t> total_bytes_{0};
+};
+
+}  // namespace hd

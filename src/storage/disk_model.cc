@@ -1,0 +1,37 @@
+#include "storage/disk_model.h"
+
+namespace hd {
+
+namespace {
+uint64_t TransferNs(uint64_t bytes, double bw_mb_s) {
+  const double ms = bytes / (bw_mb_s * 1024.0 * 1024.0) * 1000.0;
+  return static_cast<uint64_t>(ms * 1e6);
+}
+}  // namespace
+
+uint64_t DiskModel::ChargeRead(uint64_t bytes, IoPattern pattern,
+                               QueryMetrics* m) const {
+  uint64_t ns = TransferNs(bytes, cfg_.read_bw_mb_s);
+  if (pattern == IoPattern::kRandom) {
+    ns += static_cast<uint64_t>(cfg_.random_latency_ms * 1e6);
+  }
+  if (m != nullptr) {
+    m->sim_io_ns += ns;
+    m->bytes_read += bytes;
+  }
+  return ns;
+}
+
+uint64_t DiskModel::ChargeWrite(uint64_t bytes, IoPattern pattern,
+                                QueryMetrics* m) const {
+  uint64_t ns = TransferNs(bytes, cfg_.write_bw_mb_s);
+  if (pattern == IoPattern::kRandom) {
+    ns += static_cast<uint64_t>(cfg_.random_latency_ms * 1e6);
+  }
+  if (m != nullptr) {
+    m->sim_io_ns += ns;
+  }
+  return ns;
+}
+
+}  // namespace hd

@@ -1,0 +1,75 @@
+// Heap file: unordered row storage over packed rows, the default primary
+// structure when a table has neither a primary B+ tree nor a primary
+// columnstore.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/packed.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace hd {
+
+/// Append-only paged heap of fixed-stride packed rows with in-place update
+/// and logical delete. RowIds are stable insert positions.
+class HeapFile {
+ public:
+  /// `stride` = number of int64 slots per row.
+  HeapFile(int stride, BufferPool* pool);
+  ~HeapFile();
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  int stride() const { return stride_; }
+
+  /// Append one row; returns its RowId (insert position).
+  uint64_t Append(std::span<const int64_t> row);
+
+  /// Fetch a row by id (random page access); `out` needs stride capacity.
+  Status Fetch(uint64_t rid, int64_t* out, QueryMetrics* m) const;
+
+  /// Overwrite a row in place.
+  Status Update(uint64_t rid, std::span<const int64_t> row, QueryMetrics* m);
+
+  /// Logical delete.
+  Status Delete(uint64_t rid, QueryMetrics* m);
+
+  /// Full sequential scan of live rows; `fn` returns false to stop early.
+  void Scan(const std::function<bool(uint64_t, const int64_t*)>& fn,
+            QueryMetrics* m) const;
+
+  /// Scan restricted to rows [begin_rid, end_rid) — parallel partitioning.
+  void ScanRange(uint64_t begin_rid, uint64_t end_rid,
+                 const std::function<bool(uint64_t, const int64_t*)>& fn,
+                 QueryMetrics* m) const;
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t live_rows() const { return num_rows_ - deleted_rows_; }
+  uint64_t num_pages() const { return pages_.size(); }
+  uint64_t size_bytes() const { return num_pages() * kPageBytes; }
+  int rows_per_page() const { return rows_per_page_; }
+
+ private:
+  struct Page {
+    std::vector<int64_t> data;     // rows_per_page * stride slots
+    std::vector<bool> deleted;
+    int count = 0;
+    ExtentId extent = kInvalidExtent;
+  };
+
+  Page* PageFor(uint64_t rid, int* slot) const;
+
+  int stride_;
+  BufferPool* pool_;
+  int rows_per_page_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  uint64_t num_rows_ = 0;
+  uint64_t deleted_rows_ = 0;
+};
+
+}  // namespace hd

@@ -1,0 +1,153 @@
+#include "txn/lock_manager.h"
+
+#include <chrono>
+#include <functional>
+
+namespace hd {
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+bool LockCompatible(LockMode held, LockMode req) {
+  // Standard multi-granularity matrix.
+  switch (held) {
+    case LockMode::kIS:
+      return req != LockMode::kX;
+    case LockMode::kIX:
+      return req == LockMode::kIS || req == LockMode::kIX;
+    case LockMode::kS:
+      return req == LockMode::kIS || req == LockMode::kS;
+    case LockMode::kX:
+      return false;
+  }
+  return false;
+}
+
+uint64_t LockManager::HashTable(const std::string& name) {
+  return std::hash<std::string>{}(name) | 1;  // never zero
+}
+
+bool LockManager::CanGrant(const LockState& st, uint64_t txn_id,
+                           LockMode mode, uint64_t ticket) {
+  for (const auto& [other, held] : st.granted) {
+    if (other == txn_id) continue;
+    if (!LockCompatible(held, mode)) return false;
+  }
+  // Fairness: wait behind earlier incompatible waiters.
+  for (const auto& w : st.waiters) {
+    if (w.txn == txn_id || w.ticket >= ticket) continue;
+    if (!LockCompatible(w.mode, mode) || !LockCompatible(mode, w.mode)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+/// Strength order for upgrades: IS < IX < S < X (S/IX incomparable in
+/// theory — we rank X strongest, then S, then IX, then IS, which is safe
+/// for our usage where upgrades are IS->S, IX->X, S->X).
+int Strength(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return 0;
+    case LockMode::kIX: return 1;
+    case LockMode::kS: return 2;
+    case LockMode::kX: return 3;
+  }
+  return 0;
+}
+}  // namespace
+
+Status LockManager::Acquire(uint64_t txn_id, const LockResource& res,
+                            LockMode mode, int timeout_ms) {
+  Shard& sh = ShardFor(res);
+  std::unique_lock<std::mutex> g(sh.mu);
+  LockState& st = sh.locks[res];
+  auto it = st.granted.find(txn_id);
+  if (it != st.granted.end() && Strength(it->second) >= Strength(mode)) {
+    return Status::OK();  // already held at sufficient strength
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const uint64_t ticket = next_ticket_.fetch_add(1);
+  st.waiters.push_back(Waiter{ticket, txn_id, mode});
+  auto remove_waiter = [&] {
+    for (auto it = st.waiters.begin(); it != st.waiters.end(); ++it) {
+      if (it->ticket == ticket) {
+        st.waiters.erase(it);
+        break;
+      }
+    }
+  };
+  while (!CanGrant(st, txn_id, mode, ticket)) {
+    if (sh.cv.wait_until(g, deadline) == std::cv_status::timeout &&
+        !CanGrant(st, txn_id, mode, ticket)) {
+      remove_waiter();
+      sh.cv.notify_all();  // successors may now be grantable
+      return Status::Aborted("lock timeout (deadlock victim)");
+    }
+  }
+  remove_waiter();
+  sh.cv.notify_all();  // our dequeue may unblock same-mode successors
+  const bool upgrade = st.granted.count(txn_id) > 0;
+  st.granted[txn_id] = mode;
+  if (!upgrade) sh.held[txn_id].push_back(res);
+  return Status::OK();
+}
+
+void LockManager::Release(uint64_t txn_id, const LockResource& res) {
+  Shard& sh = ShardFor(res);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.locks.find(res);
+  if (it == sh.locks.end()) return;
+  it->second.granted.erase(txn_id);
+  if (it->second.granted.empty() && it->second.waiters.empty()) {
+    sh.locks.erase(it);
+  }
+  auto hit = sh.held.find(txn_id);
+  if (hit != sh.held.end()) {
+    auto& v = hit->second;
+    for (auto rit = v.begin(); rit != v.end(); ++rit) {
+      if (*rit == res) {
+        v.erase(rit);
+        break;
+      }
+    }
+    if (v.empty()) sh.held.erase(hit);
+  }
+  sh.cv.notify_all();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    auto hit = sh.held.find(txn_id);
+    if (hit == sh.held.end()) continue;
+    for (const auto& res : hit->second) {
+      auto it = sh.locks.find(res);
+      if (it == sh.locks.end()) continue;
+      it->second.granted.erase(txn_id);
+      if (it->second.granted.empty() && it->second.waiters.empty()) {
+        sh.locks.erase(it);
+      }
+    }
+    sh.held.erase(hit);
+    sh.cv.notify_all();
+  }
+}
+
+int LockManager::GrantedCount(const LockResource& res) {
+  Shard& sh = ShardFor(res);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.locks.find(res);
+  return it == sh.locks.end() ? 0 : static_cast<int>(it->second.granted.size());
+}
+
+}  // namespace hd

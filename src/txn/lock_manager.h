@@ -1,0 +1,100 @@
+// Hierarchical two-phase lock manager (table intent locks + row locks).
+//
+// Used by the mixed-workload experiments (Sections 3.4 and 5.2.2) where
+// lock contention between short update transactions and long analytic
+// scans is part of the measured behaviour. Deadlocks are resolved by
+// timeout: a waiter that cannot be granted within its timeout aborts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hd {
+
+enum class LockMode : uint8_t { kIS, kIX, kS, kX };
+
+const char* LockModeName(LockMode m);
+
+/// True if a new request `req` is compatible with an already-granted `held`.
+bool LockCompatible(LockMode held, LockMode req);
+
+/// Lockable resource: a whole table (rid == kTableResource) or one row.
+struct LockResource {
+  uint64_t table = 0;  // table name hash
+  int64_t rid = kTableResource;
+
+  static constexpr int64_t kTableResource = -1;
+
+  bool operator<(const LockResource& o) const {
+    return table != o.table ? table < o.table : rid < o.rid;
+  }
+  bool operator==(const LockResource& o) const {
+    return table == o.table && rid == o.rid;
+  }
+};
+
+class LockManager {
+ public:
+  LockManager() = default;
+
+  /// Acquire (or upgrade) a lock for transaction `txn_id`. Blocks until
+  /// granted or `timeout_ms` elapsed; timeout returns Aborted (the caller
+  /// is the deadlock victim and should roll back).
+  Status Acquire(uint64_t txn_id, const LockResource& res, LockMode mode,
+                 int timeout_ms = 200);
+
+  /// Release one resource held by `txn_id`.
+  void Release(uint64_t txn_id, const LockResource& res);
+
+  /// Release everything `txn_id` holds (commit/abort).
+  void ReleaseAll(uint64_t txn_id);
+
+  /// Resource hash helper for table names.
+  static uint64_t HashTable(const std::string& name);
+
+  /// Introspection for tests.
+  int GrantedCount(const LockResource& res);
+
+ private:
+  struct Waiter {
+    uint64_t ticket;
+    uint64_t txn;
+    LockMode mode;
+  };
+  struct LockState {
+    // txn -> strongest granted mode.
+    std::map<uint64_t, LockMode> granted;
+    // FIFO wait queue: a request must also wait behind earlier
+    // incompatible waiters, so writers cannot starve readers (and vice
+    // versa).
+    std::vector<Waiter> waiters;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<LockResource, LockState> locks;
+    // txn -> resources held (within this shard).
+    std::map<uint64_t, std::vector<LockResource>> held;
+  };
+
+  Shard& ShardFor(const LockResource& r) {
+    return shards_[(r.table ^ static_cast<uint64_t>(r.rid * 0x9e3779b9)) %
+                   kNumShards];
+  }
+
+  static bool CanGrant(const LockState& st, uint64_t txn_id, LockMode mode,
+                       uint64_t ticket);
+
+  static constexpr int kNumShards = 64;
+  Shard shards_[kNumShards];
+  std::atomic<uint64_t> next_ticket_{1};
+};
+
+}  // namespace hd

@@ -1,0 +1,101 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+namespace hd {
+
+const char* IsolationLevelName(IsolationLevel l) {
+  switch (l) {
+    case IsolationLevel::kReadCommitted: return "RC";
+    case IsolationLevel::kSnapshot: return "SI";
+    case IsolationLevel::kSerializable: return "SR";
+  }
+  return "?";
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel iso) {
+  auto t = std::make_unique<Transaction>();
+  t->id_ = next_txn_.fetch_add(1);
+  t->iso_ = iso;
+  t->snapshot_ts_ = ts_.load();
+  if (iso == IsolationLevel::kSnapshot) {
+    std::lock_guard<std::mutex> g(active_mu_);
+    active_snapshots_.insert(t->snapshot_ts_);
+  }
+  return t;
+}
+
+void TransactionManager::Commit(Transaction* txn) {
+  locks_.ReleaseAll(txn->id());
+  if (txn->isolation() == IsolationLevel::kSnapshot) {
+    std::lock_guard<std::mutex> g(active_mu_);
+    active_snapshots_.erase(txn->snapshot_ts_);
+  }
+  ts_.fetch_add(1);
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  // Note: logical rollback of data is the caller's responsibility (our
+  // workloads retry idempotent statements); this releases locks.
+  locks_.ReleaseAll(txn->id());
+  if (txn->isolation() == IsolationLevel::kSnapshot) {
+    std::lock_guard<std::mutex> g(active_mu_);
+    active_snapshots_.erase(txn->snapshot_ts_);
+  }
+}
+
+void TransactionManager::NoteVersion(uint64_t table_hash, int64_t rid) {
+  const uint64_t key = VKey(table_hash, rid);
+  VersionShard& sh = VShardFor(key);
+  const uint64_t now = ts_.load();
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto& chain = sh.chains[key];
+  chain.push_back(now);
+  // Bound chains: real version stores GC continuously.
+  if (chain.size() > 64) chain.erase(chain.begin(), chain.begin() + 32);
+}
+
+int TransactionManager::VersionChainLength(uint64_t table_hash, int64_t rid,
+                                           uint64_t snapshot_ts) const {
+  const uint64_t key = VKey(table_hash, rid);
+  VersionShard& sh = VShardFor(key);
+  std::lock_guard<std::mutex> g(sh.mu);
+  auto it = sh.chains.find(key);
+  if (it == sh.chains.end()) return 0;
+  // A version stamped at ts >= snapshot_ts was written after the snapshot
+  // was taken (commits advance the clock past their writes).
+  int n = 0;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (*rit < snapshot_ts) break;
+    ++n;
+  }
+  return n;
+}
+
+void TransactionManager::GarbageCollect() {
+  uint64_t oldest = ts_.load();
+  {
+    std::lock_guard<std::mutex> g(active_mu_);
+    for (uint64_t s : active_snapshots_) oldest = std::min(oldest, s);
+  }
+  for (auto& sh : vshards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    for (auto it = sh.chains.begin(); it != sh.chains.end();) {
+      auto& chain = it->second;
+      auto keep = std::lower_bound(chain.begin(), chain.end(), oldest);
+      chain.erase(chain.begin(), keep);
+      it = chain.empty() ? sh.chains.erase(it) : std::next(it);
+    }
+  }
+}
+
+uint64_t TransactionManager::version_count() const {
+  uint64_t n = 0;
+  for (auto& sh : vshards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    for (auto& [k, c] : sh.chains) n += c.size();
+  }
+  return n;
+}
+
+}  // namespace hd

@@ -1,0 +1,94 @@
+// Transactions, isolation levels, and the version store that makes
+// Snapshot Isolation reads pay for version-chain traversal.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+
+namespace hd {
+
+enum class IsolationLevel {
+  kReadCommitted,  // short S locks on reads, X till commit
+  kSnapshot,       // no read locks; reads resolve row versions
+  kSerializable,   // S and X locks held till commit
+};
+
+const char* IsolationLevelName(IsolationLevel l);
+
+class TransactionManager;
+
+/// One transaction. Not thread-safe; each worker owns its transactions.
+class Transaction {
+ public:
+  uint64_t id() const { return id_; }
+  IsolationLevel isolation() const { return iso_; }
+  /// Snapshot timestamp (SI): versions written after this are invisible.
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
+
+ private:
+  friend class TransactionManager;
+  uint64_t id_ = 0;
+  IsolationLevel iso_ = IsolationLevel::kReadCommitted;
+  uint64_t snapshot_ts_ = 0;
+};
+
+/// Manages transaction lifecycle, the lock manager, and a version store.
+///
+/// The version store models SI's row versioning cost: every update under
+/// SI appends a version marker keyed by (table, rid); SI readers probe it
+/// per qualifying row and walk the chain length. Commit/GC trims markers.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+
+  std::unique_ptr<Transaction> Begin(IsolationLevel iso);
+  void Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+
+  LockManager* locks() { return &locks_; }
+  uint64_t current_ts() const { return ts_.load(); }
+
+  /// Record that (table, rid) gained a version at the current timestamp.
+  void NoteVersion(uint64_t table_hash, int64_t rid);
+
+  /// Number of versions of (table, rid) newer than `snapshot_ts` — the
+  /// chain length an SI reader must traverse. 0 for unversioned rows.
+  int VersionChainLength(uint64_t table_hash, int64_t rid,
+                         uint64_t snapshot_ts) const;
+
+  /// Drop versions older than the oldest active snapshot (background GC).
+  void GarbageCollect();
+
+  uint64_t version_count() const;
+
+ private:
+  struct VersionShard {
+    mutable std::mutex mu;
+    // (table ^ rid-mix) -> timestamps of versions, newest last.
+    std::unordered_map<uint64_t, std::vector<uint64_t>> chains;
+  };
+  static uint64_t VKey(uint64_t table_hash, int64_t rid) {
+    return table_hash ^ (static_cast<uint64_t>(rid) * 0x9e3779b97f4a7c15ull);
+  }
+  VersionShard& VShardFor(uint64_t key) const {
+    return vshards_[key % kNumShards];
+  }
+
+  static constexpr int kNumShards = 64;
+  LockManager locks_;
+  std::atomic<uint64_t> next_txn_{1};
+  std::atomic<uint64_t> ts_{1};
+  mutable VersionShard vshards_[kNumShards];
+
+  mutable std::mutex active_mu_;
+  std::unordered_set<uint64_t> active_snapshots_;  // snapshot_ts values
+};
+
+}  // namespace hd

@@ -1,0 +1,499 @@
+#include "workload/ch.h"
+
+#include "common/rng.h"
+
+namespace hd {
+
+using C = ChCols;
+
+ChBenchmark::ChBenchmark(Database* db, const ChOptions& opts)
+    : db_(db), opts_(opts) {
+  Rng rng(opts.seed);
+  const int n_wh = opts.warehouses;
+  const int n_dist = n_wh * opts.districts_per_wh;
+  num_customers_ = n_dist * opts.customers_per_district;
+  next_o_uid_ = std::make_shared<std::atomic<int64_t>>(0);
+  next_ol_seq_ = std::make_shared<std::atomic<int64_t>>(0);
+
+  // warehouse / district (tiny).
+  {
+    auto t = db->CreateTable("warehouse",
+                             Schema({{"w_id", ValueType::kInt64, 0},
+                                     {"w_tax", ValueType::kDouble, 0},
+                                     {"w_ytd", ValueType::kDouble, 0},
+                                     {"w_name", ValueType::kString, 8}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < n_wh; ++i) {
+      rows.push_back({Value::Int64(i), Value::Double(rng.Uniform(0, 20) / 100.0),
+                      Value::Double(300000), Value::String(rng.String(6))});
+    }
+    t.value()->BulkLoad(rows);
+  }
+  {
+    auto t = db->CreateTable("district",
+                             Schema({{"d_uid", ValueType::kInt64, 0},
+                                     {"d_w_id", ValueType::kInt64, 0},
+                                     {"d_tax", ValueType::kDouble, 0},
+                                     {"d_ytd", ValueType::kDouble, 0}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < n_dist; ++i) {
+      rows.push_back({Value::Int64(i), Value::Int64(i / opts.districts_per_wh),
+                      Value::Double(rng.Uniform(0, 20) / 100.0),
+                      Value::Double(30000)});
+    }
+    t.value()->BulkLoad(rows);
+  }
+  // customer.
+  {
+    auto t = db->CreateTable(
+        "customer", Schema({{"c_uid", ValueType::kInt64, 0},
+                            {"c_w_id", ValueType::kInt64, 0},
+                            {"c_d_id", ValueType::kInt64, 0},
+                            {"c_balance", ValueType::kDouble, 0},
+                            {"c_ytd_payment", ValueType::kDouble, 0},
+                            {"c_payment_cnt", ValueType::kInt32, 0},
+                            {"c_discount", ValueType::kDouble, 0},
+                            {"c_credit", ValueType::kString, 4},
+                            {"c_last", ValueType::kString, 12}}));
+    static const char* kLast[] = {"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                                  "ESE", "ANTI", "CALLY", "ATION", "EING"};
+    std::vector<Row> rows;
+    for (int i = 0; i < num_customers_; ++i) {
+      const int dist = i / opts.customers_per_district;
+      rows.push_back(
+          {Value::Int64(i), Value::Int64(dist / opts.districts_per_wh),
+           Value::Int64(dist), Value::Double(-10.0), Value::Double(10.0),
+           Value::Int32(1), Value::Double(rng.Uniform(0, 50) / 100.0),
+           Value::String(rng.Flip(0.1) ? "BC" : "GC"),
+           Value::String(std::string(kLast[rng.Uniform(0, 9)]) +
+                         kLast[rng.Uniform(0, 9)])});
+    }
+    t.value()->BulkLoad(rows);
+  }
+  // item / stock.
+  {
+    auto t = db->CreateTable("item", Schema({{"i_id", ValueType::kInt64, 0},
+                                             {"i_im_id", ValueType::kInt32, 0},
+                                             {"i_price", ValueType::kDouble, 0},
+                                             {"i_name", ValueType::kString, 14}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < num_items_; ++i) {
+      rows.push_back({Value::Int64(i),
+                      Value::Int32(static_cast<int32_t>(rng.Uniform(1, 10000))),
+                      Value::Double(rng.UniformReal(1, 100)),
+                      Value::String(rng.String(12))});
+    }
+    t.value()->BulkLoad(rows);
+  }
+  {
+    auto t = db->CreateTable("stock",
+                             Schema({{"s_uid", ValueType::kInt64, 0},
+                                     {"s_i_id", ValueType::kInt64, 0},
+                                     {"s_w_id", ValueType::kInt64, 0},
+                                     {"s_quantity", ValueType::kInt32, 0},
+                                     {"s_ytd", ValueType::kInt32, 0},
+                                     {"s_order_cnt", ValueType::kInt32, 0}}));
+    std::vector<std::vector<int64_t>> cols(6);
+    for (int wh = 0; wh < n_wh; ++wh) {
+      for (int i = 0; i < num_items_; ++i) {
+        cols[0].push_back(static_cast<int64_t>(wh) * num_items_ + i);
+        cols[1].push_back(i);
+        cols[2].push_back(wh);
+        cols[3].push_back(rng.Uniform(10, 100));
+        cols[4].push_back(0);
+        cols[5].push_back(0);
+      }
+    }
+    t.value()->BulkLoadPacked(std::move(cols));
+  }
+  // orders + order_line (+ neworder is folded into o_carrier == 0).
+  {
+    auto to = db->CreateTable(
+        "orders", Schema({{"o_uid", ValueType::kInt64, 0},
+                          {"o_w_id", ValueType::kInt64, 0},
+                          {"o_d_id", ValueType::kInt64, 0},
+                          {"o_c_uid", ValueType::kInt64, 0},
+                          {"o_entry_d", ValueType::kDate, 0},
+                          {"o_carrier_id", ValueType::kInt32, 0},
+                          {"o_ol_cnt", ValueType::kInt32, 0}}));
+    auto tl = db->CreateTable(
+        "order_line", Schema({{"ol_o_uid", ValueType::kInt64, 0},
+                              {"ol_number", ValueType::kInt32, 0},
+                              {"ol_i_id", ValueType::kInt64, 0},
+                              {"ol_w_id", ValueType::kInt64, 0},
+                              {"ol_d_id", ValueType::kInt64, 0},
+                              {"ol_quantity", ValueType::kInt32, 0},
+                              {"ol_amount", ValueType::kDouble, 0},
+                              {"ol_delivery_d", ValueType::kDate, 0},
+                              {"ol_c_uid", ValueType::kInt64, 0}}));
+    std::vector<std::vector<int64_t>> ocols(7);
+    std::vector<std::vector<int64_t>> lcols(9);
+    Table* lt = tl.value();
+    for (int dist = 0; dist < n_dist; ++dist) {
+      for (int k = 0; k < opts.initial_orders_per_district; ++k) {
+        const int64_t ouid = next_o_uid_->fetch_add(1);
+        const int64_t cuid =
+            dist * opts.customers_per_district +
+            rng.Uniform(0, opts.customers_per_district - 1);
+        const int olcnt = static_cast<int>(rng.Uniform(5, 15));
+        const int entry = static_cast<int>(rng.Uniform(date_lo_, date_hi_));
+        ocols[C::kOUid].push_back(ouid);
+        ocols[C::kOWId].push_back(dist / opts.districts_per_wh);
+        ocols[C::kODId].push_back(dist);
+        ocols[C::kOCUid].push_back(cuid);
+        ocols[C::kOEntryD].push_back(entry);
+        ocols[C::kOCarrier].push_back(rng.Uniform(1, 10));
+        ocols[C::kOOlCnt].push_back(olcnt);
+        for (int l = 0; l < olcnt; ++l) {
+          lcols[C::kOlOUid].push_back(ouid);
+          lcols[C::kOlNumber].push_back(l + 1);
+          lcols[C::kOlIId].push_back(rng.Zipf(num_items_, 0.4));
+          lcols[C::kOlWId].push_back(dist / opts.districts_per_wh);
+          lcols[C::kOlDId].push_back(dist);
+          lcols[C::kOlQuantity].push_back(rng.Uniform(1, 10));
+          lcols[C::kOlAmount].push_back(
+              lt->PackValue(C::kOlAmount, Value::Double(rng.UniformReal(1, 10000))));
+          lcols[C::kOlDeliveryD].push_back(entry + rng.Uniform(1, 10));
+          lcols[C::kOlCUid].push_back(cuid);
+        }
+      }
+    }
+    to.value()->BulkLoadPacked(std::move(ocols));
+    lt->BulkLoadPacked(std::move(lcols));
+  }
+}
+
+// ---------------- TPC-C transactions ----------------
+
+TxnOp ChBenchmark::NewOrder(Rng* rng) {
+  TxnOp op;
+  op.id = "NewOrder";
+  const int64_t ouid = next_o_uid_->fetch_add(1);
+  const int64_t cuid = rng->Uniform(0, num_customers_ - 1);
+  const int n_dist = opts_.warehouses * opts_.districts_per_wh;
+  const int64_t dist = rng->Uniform(0, n_dist - 1);
+  const int olcnt = static_cast<int>(rng->Uniform(5, 15));
+  const int entry = date_hi_;
+
+  // District tax read + (skipped next_o_id bump: ids come from the global
+  // allocator).
+  Query qd;
+  qd.id = "NewOrder";
+  qd.base.table = "district";
+  qd.base.preds = {Pred::Eq(0, Value::Int64(dist))};
+  qd.select_cols = {ColRef{0, 2}};
+  op.statements.push_back(qd);
+
+  // Insert the order.
+  Query qo;
+  qo.kind = Query::Kind::kInsert;
+  qo.id = "NewOrder";
+  qo.base.table = "orders";
+  qo.insert_rows.push_back({Value::Int64(ouid),
+                            Value::Int64(dist / opts_.districts_per_wh),
+                            Value::Int64(dist), Value::Int64(cuid),
+                            Value::Date(entry), Value::Int32(0),
+                            Value::Int32(olcnt)});
+  op.statements.push_back(qo);
+
+  // Insert the order lines + bump stock.
+  Query ql;
+  ql.kind = Query::Kind::kInsert;
+  ql.id = "NewOrder";
+  ql.base.table = "order_line";
+  for (int l = 0; l < olcnt; ++l) {
+    const int64_t item = rng->Uniform(0, num_items_ - 1);
+    ql.insert_rows.push_back(
+        {Value::Int64(ouid), Value::Int32(l + 1), Value::Int64(item),
+         Value::Int64(dist / opts_.districts_per_wh), Value::Int64(dist),
+         Value::Int32(static_cast<int32_t>(rng->Uniform(1, 10))),
+         Value::Double(rng->UniformReal(1, 10000)), Value::Date(0),
+         Value::Int64(cuid)});
+    Query qs;
+    qs.kind = Query::Kind::kUpdate;
+    qs.id = "NewOrder";
+    qs.base.table = "stock";
+    const int64_t wh = dist / opts_.districts_per_wh;
+    qs.base.preds = {Pred::Eq(C::kSUid, Value::Int64(wh * num_items_ + item))};
+    qs.sets = {UpdateSet::Add(C::kSQuantity, -1),
+               UpdateSet::Add(C::kSOrderCnt, 1)};
+    op.statements.push_back(qs);
+  }
+  op.statements.push_back(ql);
+  return op;
+}
+
+TxnOp ChBenchmark::Payment(Rng* rng) {
+  TxnOp op;
+  op.id = "Payment";
+  const int64_t cuid = rng->Uniform(0, num_customers_ - 1);
+  const double amount = rng->UniformReal(1, 5000);
+  Query qc;
+  qc.kind = Query::Kind::kUpdate;
+  qc.id = "Payment";
+  qc.base.table = "customer";
+  qc.base.preds = {Pred::Eq(C::kCUid, Value::Int64(cuid))};
+  qc.sets = {UpdateSet::Add(C::kCBalance, -amount),
+             UpdateSet::Add(C::kCYtd, amount),
+             UpdateSet::Add(C::kCPaymentCnt, 1)};
+  op.statements.push_back(qc);
+  Query qd;
+  qd.kind = Query::Kind::kUpdate;
+  qd.id = "Payment";
+  qd.base.table = "district";
+  const int n_dist = opts_.warehouses * opts_.districts_per_wh;
+  qd.base.preds = {Pred::Eq(0, Value::Int64(rng->Uniform(0, n_dist - 1)))};
+  qd.sets = {UpdateSet::Add(3, amount)};
+  op.statements.push_back(qd);
+  return op;
+}
+
+TxnOp ChBenchmark::OrderStatus(Rng* rng) {
+  TxnOp op;
+  op.id = "OrderStatus";
+  const int64_t cuid = rng->Uniform(0, num_customers_ - 1);
+  Query q;
+  q.id = "OrderStatus";
+  q.base.table = "orders";
+  q.base.preds = {Pred::Eq(C::kOCUid, Value::Int64(cuid))};
+  q.order_by = {ColRef{0, C::kOUid}};
+  q.select_cols = {ColRef{0, C::kOUid}, ColRef{0, C::kOEntryD},
+                   ColRef{0, C::kOCarrier}};
+  op.statements.push_back(q);
+  return op;
+}
+
+TxnOp ChBenchmark::Delivery(Rng* rng) {
+  TxnOp op;
+  op.id = "Delivery";
+  Query q;
+  q.kind = Query::Kind::kUpdate;
+  q.id = "Delivery";
+  q.base.table = "orders";
+  const int64_t hi = next_o_uid_->load();
+  q.base.preds = {Pred::Between(C::kOUid, Value::Int64(hi - 200),
+                                Value::Int64(hi))};
+  q.base.preds.push_back(Pred::Eq(C::kOCarrier, Value::Int32(0)));
+  q.limit = 10;
+  q.sets = {UpdateSet::Assign(C::kOCarrier,
+                              Value::Int32(static_cast<int32_t>(
+                                  rng->Uniform(1, 10))))};
+  op.statements.push_back(q);
+  return op;
+}
+
+TxnOp ChBenchmark::StockLevel(Rng* rng) {
+  TxnOp op;
+  op.id = "StockLevel";
+  Query q;
+  q.id = "StockLevel";
+  q.base.table = "stock";
+  q.base.preds = {
+      Pred::Eq(C::kSWId, Value::Int64(rng->Uniform(0, opts_.warehouses - 1))),
+      Pred::Lt(C::kSQuantity, Value::Int32(15))};
+  q.aggs = {AggSpec::CountStar()};
+  op.statements.push_back(q);
+  return op;
+}
+
+// ---------------- H-like analytic queries ----------------
+
+std::vector<Query> ChBenchmark::AnalyticQueries(uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<Query> qs;
+  const int d0 = static_cast<int>(rng.Uniform(date_lo_, date_hi_ - 100));
+
+  {  // CH-Q1: pricing summary by line number.
+    Query q;
+    q.id = "CH-Q1";
+    q.base.table = "order_line";
+    q.base.preds = {Pred::Gt(C::kOlDeliveryD, Value::Date(d0))};
+    q.group_by = {ColRef{0, C::kOlNumber}};
+    q.aggs = {AggSpec::Sum(Expr::Col(0, C::kOlQuantity), "sum_qty"),
+              AggSpec::Sum(Expr::Col(0, C::kOlAmount), "sum_amount"),
+              AggSpec::CountStar()};
+    qs.push_back(q);
+  }
+  {  // CH-Q6: revenue in a quantity/date band.
+    Query q;
+    q.id = "CH-Q6";
+    q.base.table = "order_line";
+    q.base.preds = {
+        Pred::Between(C::kOlDeliveryD, Value::Date(d0), Value::Date(d0 + 120)),
+        Pred::Between(C::kOlQuantity, Value::Int32(2), Value::Int32(8))};
+    q.aggs = {AggSpec::Sum(Expr::Col(0, C::kOlAmount), "revenue")};
+    qs.push_back(q);
+  }
+  {  // CH-Q12: shipping-mode-ish rollup of lines by order carrier.
+    Query q;
+    q.id = "CH-Q12";
+    q.base.table = "order_line";
+    JoinClause j;
+    j.dim.table = "orders";
+    j.base_col = C::kOlOUid;
+    j.dim_col = C::kOUid;
+    j.dim.preds = {Pred::Between(C::kOEntryD, Value::Date(d0),
+                                 Value::Date(d0 + 60))};
+    q.joins.push_back(j);
+    q.group_by = {ColRef{1, C::kOCarrier}};
+    q.aggs = {AggSpec::CountStar()};
+    qs.push_back(q);
+  }
+  {  // CH-Q14: promotion-ish revenue share over a small item class.
+    Query q;
+    q.id = "CH-Q14";
+    q.base.table = "order_line";
+    JoinClause j;
+    j.dim.table = "item";
+    j.base_col = C::kOlIId;
+    j.dim_col = C::kIId;
+    j.dim.preds = {Pred::Between(C::kIImId, Value::Int32(100),
+                                 Value::Int32(200))};
+    q.joins.push_back(j);
+    q.aggs = {AggSpec::Sum(Expr::Col(0, C::kOlAmount), "promo_rev"),
+              AggSpec::CountStar()};
+    qs.push_back(q);
+  }
+  {  // CH-Q4: order counts by carrier in a window.
+    Query q;
+    q.id = "CH-Q4";
+    q.base.table = "orders";
+    q.base.preds = {Pred::Between(C::kOEntryD, Value::Date(d0),
+                                  Value::Date(d0 + 90))};
+    q.group_by = {ColRef{0, C::kOCarrier}};
+    q.aggs = {AggSpec::CountStar()};
+    qs.push_back(q);
+  }
+  {  // CH-Q3-ish: large orders of bad-credit customers.
+    Query q;
+    q.id = "CH-Q3";
+    q.base.table = "order_line";
+    JoinClause j;
+    j.dim.table = "customer";
+    j.base_col = C::kOlCUid;
+    j.dim_col = C::kCUid;
+    j.dim.preds = {Pred::Eq(C::kCCredit, Value::String("BC"))};
+    q.joins.push_back(j);
+    q.aggs = {AggSpec::Sum(Expr::Col(0, C::kOlAmount), "rev")};
+    q.group_by = {ColRef{1, C::kCDId}};
+    qs.push_back(q);
+  }
+  {  // CH-Q18: top customers by spend.
+    Query q;
+    q.id = "CH-Q18";
+    q.base.table = "order_line";
+    JoinClause j;
+    j.dim.table = "customer";
+    j.base_col = C::kOlCUid;
+    j.dim_col = C::kCUid;
+    q.joins.push_back(j);
+    q.group_by = {ColRef{0, C::kOlCUid}};
+    q.aggs = {AggSpec::Sum(Expr::Col(0, C::kOlAmount), "spend")};
+    qs.push_back(q);
+  }
+  {  // CH-Q5-ish: revenue by district for one entry window.
+    Query q;
+    q.id = "CH-Q5";
+    q.base.table = "order_line";
+    JoinClause j;
+    j.dim.table = "orders";
+    j.base_col = C::kOlOUid;
+    j.dim_col = C::kOUid;
+    j.dim.preds = {Pred::Between(C::kOEntryD, Value::Date(d0),
+                                 Value::Date(d0 + 30))};
+    q.joins.push_back(j);
+    q.group_by = {ColRef{0, C::kOlDId}};
+    q.aggs = {AggSpec::Sum(Expr::Col(0, C::kOlAmount), "rev")};
+    qs.push_back(q);
+  }
+  {  // CH-Q19-ish: revenue for one item band and small quantities.
+    Query q;
+    q.id = "CH-Q19";
+    q.base.table = "order_line";
+    q.base.preds = {Pred::Between(C::kOlIId, Value::Int64(0),
+                                  Value::Int64(num_items_ / 50)),
+                    Pred::Between(C::kOlQuantity, Value::Int32(1),
+                                  Value::Int32(5))};
+    q.aggs = {AggSpec::Sum(Expr::Col(0, C::kOlAmount), "rev")};
+    qs.push_back(q);
+  }
+  {  // CH-Q16-ish: stock availability by item class.
+    Query q;
+    q.id = "CH-Q16";
+    q.base.table = "stock";
+    JoinClause j;
+    j.dim.table = "item";
+    j.base_col = C::kSIId;
+    j.dim_col = C::kIId;
+    q.joins.push_back(j);
+    q.group_by = {ColRef{1, C::kIImId}};
+    q.aggs = {AggSpec::CountStar()};
+    q.limit = 100;
+    qs.push_back(q);
+  }
+  return qs;
+}
+
+std::vector<Query> ChBenchmark::AdvisorWorkload() const {
+  std::vector<Query> w = AnalyticQueries(opts_.seed + 3);
+  // Representative C statements with high weights (they run far more often
+  // than the H queries), so the advisor accounts for update costs.
+  Rng rng(opts_.seed + 4);
+  {
+    Query q;
+    q.kind = Query::Kind::kUpdate;
+    q.id = "C-stock-update";
+    q.base.table = "stock";
+    q.base.preds = {Pred::Eq(C::kSUid, Value::Int64(rng.Uniform(0, 1000)))};
+    q.sets = {UpdateSet::Add(C::kSQuantity, -1)};
+    q.weight = 500;
+    w.push_back(q);
+  }
+  {
+    Query q;
+    q.kind = Query::Kind::kUpdate;
+    q.id = "C-cust-update";
+    q.base.table = "customer";
+    q.base.preds = {Pred::Eq(C::kCUid, Value::Int64(rng.Uniform(0, 1000)))};
+    q.sets = {UpdateSet::Add(C::kCBalance, -1.0)};
+    q.weight = 400;
+    w.push_back(q);
+  }
+  {
+    Query q;
+    q.kind = Query::Kind::kInsert;
+    q.id = "C-ol-insert";
+    q.base.table = "order_line";
+    q.insert_rows.push_back({Value::Int64(0), Value::Int32(1), Value::Int64(0),
+                             Value::Int64(0), Value::Int64(0), Value::Int32(1),
+                             Value::Double(1.0), Value::Date(0),
+                             Value::Int64(0)});
+    q.weight = 450;
+    w.push_back(q);
+  }
+  return w;
+}
+
+TxnGenerator ChBenchmark::MakeGenerator() {
+  // Capture `this` members by value where mutation is shared.
+  ChBenchmark* self = this;
+  return [self](int tid, Rng* rng) -> TxnOp {
+    if (tid == 0) {
+      // Analytics thread: one H query per op, round-robin.
+      std::vector<Query> qs = self->AnalyticQueries(rng->Uniform(0, 1 << 30));
+      TxnOp op;
+      const size_t pick = static_cast<size_t>(rng->Uniform(0, qs.size() - 1));
+      op.id = qs[pick].id;
+      op.statements.push_back(qs[pick]);
+      return op;
+    }
+    const double roll = rng->UniformReal(0, 1);
+    if (roll < 0.45) return self->NewOrder(rng);
+    if (roll < 0.88) return self->Payment(rng);
+    if (roll < 0.92) return self->OrderStatus(rng);
+    if (roll < 0.96) return self->Delivery(rng);
+    return self->StockLevel(rng);
+  };
+}
+
+}  // namespace hd

@@ -1,0 +1,88 @@
+// CH benchmark (Cole et al., DBTest'11): TPC-C transactions plus TPC-H-like
+// analytic queries over the same data — the mixed-workload substrate of
+// Section 5.2.2 / Figure 11.
+//
+// Simplifications (documented in DESIGN.md): composite TPC-C keys are
+// denormalized into single synthetic uid columns (o_uid, ol_o_uid, ...) so
+// the engine's single-column equi-joins apply; the H queries are
+// single-fact/star reformulations of the CH query intents.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "catalog/database.h"
+#include "workload/mixed_driver.h"
+
+namespace hd {
+
+struct ChOptions {
+  int warehouses = 4;
+  int districts_per_wh = 10;
+  int customers_per_district = 300;
+  int initial_orders_per_district = 300;
+  uint64_t seed = 42;
+};
+
+/// Column indices used by the generated schema.
+struct ChCols {
+  // order_line
+  static constexpr int kOlOUid = 0, kOlNumber = 1, kOlIId = 2, kOlWId = 3,
+                       kOlDId = 4, kOlQuantity = 5, kOlAmount = 6,
+                       kOlDeliveryD = 7, kOlCUid = 8;
+  // orders
+  static constexpr int kOUid = 0, kOWId = 1, kODId = 2, kOCUid = 3,
+                       kOEntryD = 4, kOCarrier = 5, kOOlCnt = 6;
+  // customer
+  static constexpr int kCUid = 0, kCWId = 1, kCDId = 2, kCBalance = 3,
+                       kCYtd = 4, kCPaymentCnt = 5, kCDiscount = 6,
+                       kCCredit = 7, kCLast = 8;
+  // stock
+  static constexpr int kSUid = 0, kSIId = 1, kSWId = 2, kSQuantity = 3,
+                       kSYtd = 4, kSOrderCnt = 5;
+  // item
+  static constexpr int kIId = 0, kIImId = 1, kIPrice = 2, kIName = 3;
+};
+
+/// The CH driver state: schema + data + id allocators shared by the
+/// transaction generators.
+class ChBenchmark {
+ public:
+  /// Creates and loads all tables into `db`.
+  ChBenchmark(Database* db, const ChOptions& opts);
+
+  /// TPC-C-style transaction mix (NewOrder 45%, Payment 43%, OrderStatus
+  /// 4%, Delivery 4%, StockLevel 4%) for C threads; thread 0 runs the
+  /// H-like analytic queries round-robin (the paper dedicates resources
+  /// to each component).
+  TxnGenerator MakeGenerator();
+
+  /// The H-like analytic query set (randomized parameters per call).
+  std::vector<Query> AnalyticQueries(uint64_t seed) const;
+
+  /// The full workload (C statements with weights + H queries) handed to
+  /// the advisor for tuning.
+  std::vector<Query> AdvisorWorkload() const;
+
+  Database* db() const { return db_; }
+  const ChOptions& options() const { return opts_; }
+  int date_horizon() const { return date_hi_; }
+
+ private:
+  TxnOp NewOrder(Rng* rng);
+  TxnOp Payment(Rng* rng);
+  TxnOp OrderStatus(Rng* rng);
+  TxnOp Delivery(Rng* rng);
+  TxnOp StockLevel(Rng* rng);
+
+  Database* db_;
+  ChOptions opts_;
+  int num_customers_ = 0;
+  int num_items_ = 10000;
+  int date_lo_ = 11000;
+  int date_hi_ = 12000;
+  std::shared_ptr<std::atomic<int64_t>> next_o_uid_;
+  std::shared_ptr<std::atomic<int64_t>> next_ol_seq_;
+};
+
+}  // namespace hd

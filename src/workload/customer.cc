@@ -1,0 +1,259 @@
+#include "workload/customer.h"
+
+#include "common/rng.h"
+
+namespace hd {
+
+CustomerProfile CustProfile(int i) {
+  CustomerProfile p;
+  switch (i) {
+    case 1:
+      // Decision support over a medium star schema; queries are mostly
+      // narrow slices (Fig. 9(b): hybrid >10x over CSI for 30/36 queries).
+      p.name = "cust1";
+      p.nominal_db_gb = 172;
+      p.nominal_tables = 23;
+      p.nominal_max_table_gb = 63.8;
+      p.nominal_avg_cols = 14.1;
+      p.num_dims = 14;
+      p.num_facts = 3;
+      p.fact_rows = 400'000;
+      p.num_queries = 36;
+      p.min_joins = 5;
+      p.max_joins = 9;
+      p.selective_frac = 0.75;
+      p.scan_frac = 0.10;
+      p.fact_measures = 6;
+      p.seed = 101;
+      break;
+    case 2:
+      // Wide-schema reporting: scan-dominated (hybrid ~= CSI, >> B+ tree).
+      p.name = "cust2";
+      p.nominal_db_gb = 44.6;
+      p.nominal_tables = 614;
+      p.nominal_max_table_gb = 44.6;
+      p.nominal_avg_cols = 23.5;
+      p.num_dims = 16;
+      p.num_facts = 2;
+      p.fact_rows = 250'000;
+      p.num_queries = 40;
+      p.min_joins = 6;
+      p.max_joins = 10;
+      p.selective_frac = 0.08;
+      p.scan_frac = 0.60;
+      p.fact_measures = 10;
+      p.seed = 102;
+      break;
+    case 3:
+      // Operational reporting: selective lookups dominate (hybrid ~= B+
+      // tree, >10x over CSI for half the workload).
+      p.name = "cust3";
+      p.nominal_db_gb = 138.4;
+      p.nominal_tables = 3394;
+      p.nominal_max_table_gb = 79.8;
+      p.nominal_avg_cols = 26.3;
+      p.num_dims = 16;
+      p.num_facts = 3;
+      p.fact_rows = 350'000;
+      p.num_queries = 40;
+      p.min_joins = 6;
+      p.max_joins = 11;
+      p.selective_frac = 0.60;
+      p.scan_frac = 0.05;
+      p.fact_measures = 8;
+      p.seed = 103;
+      break;
+    case 4:
+      // Mixed decision support.
+      p.name = "cust4";
+      p.nominal_db_gb = 93;
+      p.nominal_tables = 22;
+      p.nominal_max_table_gb = 54.8;
+      p.nominal_avg_cols = 20.3;
+      p.num_dims = 12;
+      p.num_facts = 2;
+      p.fact_rows = 300'000;
+      p.num_queries = 24;
+      p.min_joins = 4;
+      p.max_joins = 9;
+      p.selective_frac = 0.35;
+      p.scan_frac = 0.35;
+      p.fact_measures = 8;
+      p.seed = 104;
+      break;
+    default:
+      // Deep join pipelines over a small database (avg 21.6 joins/query).
+      p.name = "cust5";
+      p.nominal_db_gb = 9.83;
+      p.nominal_tables = 474;
+      p.nominal_max_table_gb = 1.52;
+      p.nominal_avg_cols = 5.5;
+      p.num_dims = 24;
+      p.num_facts = 2;
+      p.fact_rows = 150'000;
+      p.num_queries = 47;
+      p.min_joins = 16;
+      p.max_joins = 24;
+      p.selective_frac = 0.15;
+      p.scan_frac = 0.40;
+      p.fact_measures = 4;
+      p.seed = 105;
+      break;
+  }
+  return p;
+}
+
+namespace {
+
+struct DimMeta {
+  std::string name;
+  int64_t rows = 0;
+  int hi_ndv_attr = 1;  // attr column with near-unique values
+  int lo_ndv_attr = 2;  // attr column with ~20 distinct values
+  int64_t lo_ndv = 20;
+};
+
+}  // namespace
+
+GeneratedWorkload MakeCustomer(Database* db, const CustomerProfile& p,
+                               double scale) {
+  Rng rng(p.seed);
+  GeneratedWorkload w;
+
+  // ---- dimension tables: pk, hi-ndv attr, lo-ndv attr, label, filler ----
+  std::vector<DimMeta> dims;
+  for (int d = 0; d < p.num_dims; ++d) {
+    DimMeta dm;
+    dm.name = p.name + "_dim" + std::to_string(d);
+    dm.rows = rng.Uniform(100, 20'000);
+    dm.lo_ndv = rng.Uniform(4, 40);
+    auto t = db->CreateTable(
+        dm.name, Schema({{"pk", ValueType::kInt64, 0},
+                         {"attr_hi", ValueType::kInt64, 0},
+                         {"attr_lo", ValueType::kInt64, 0},
+                         {"label", ValueType::kString, 10},
+                         {"filler", ValueType::kInt64, 0}}));
+    std::vector<std::vector<int64_t>> cols(5);
+    Table* tab = t.value();
+    for (int64_t i = 0; i < dm.rows; ++i) {
+      cols[0].push_back(i);
+      cols[1].push_back(i);  // unique
+      cols[2].push_back(rng.Uniform(0, dm.lo_ndv - 1));
+      cols[3].push_back(
+          tab->PackValue(3, Value::String("lbl" + std::to_string(
+                                              rng.Uniform(0, dm.lo_ndv - 1)))));
+      cols[4].push_back(rng.Uniform(0, 1'000'000));
+    }
+    tab->BulkLoadPacked(std::move(cols));
+    dims.push_back(dm);
+    w.tables.push_back(dm.name);
+  }
+
+  // ---- fact tables: fk per dim + id + measures ----
+  const uint64_t frows = static_cast<uint64_t>(p.fact_rows * scale);
+  std::vector<std::string> facts;
+  const int nfk = p.num_dims;
+  for (int f = 0; f < p.num_facts; ++f) {
+    const std::string fname = p.name + "_fact" + std::to_string(f);
+    std::vector<Column> cols;
+    cols.push_back({"id", ValueType::kInt64, 0});
+    for (int d = 0; d < nfk; ++d) {
+      cols.push_back({"fk" + std::to_string(d), ValueType::kInt64, 0});
+    }
+    for (int m = 0; m < p.fact_measures; ++m) {
+      cols.push_back({"m" + std::to_string(m),
+                      m % 2 ? ValueType::kDouble : ValueType::kInt64, 0});
+    }
+    auto t = db->CreateTable(fname, Schema(cols));
+    Table* tab = t.value();
+    const int ncols = tab->num_columns();
+    std::vector<std::vector<int64_t>> data(ncols);
+    for (uint64_t i = 0; i < frows; ++i) {
+      data[0].push_back(static_cast<int64_t>(i));
+      for (int d = 0; d < nfk; ++d) {
+        data[1 + d].push_back(rng.Zipf(dims[d].rows, 0.3));
+      }
+      for (int m = 0; m < p.fact_measures; ++m) {
+        const int c = 1 + nfk + m;
+        if (m % 2) {
+          data[c].push_back(
+              tab->PackValue(c, Value::Double(rng.UniformReal(0, 1000))));
+        } else {
+          data[c].push_back(rng.Uniform(0, 10'000));
+        }
+      }
+    }
+    tab->BulkLoadPacked(std::move(data));
+    facts.push_back(fname);
+    w.tables.push_back(fname);
+  }
+
+  // ---- queries ----
+  Rng qr(p.seed + 7);
+  for (int qi = 0; qi < p.num_queries; ++qi) {
+    Query q;
+    q.id = p.name + "-Q" + std::to_string(qi + 1);
+    q.base.table = facts[qr.Uniform(0, p.num_facts - 1)];
+    const int mcol = 1 + nfk + static_cast<int>(qr.Uniform(0, p.fact_measures - 1));
+    const double roll = qr.UniformReal(0, 1);
+    if (roll < p.scan_frac) {
+      // Full rollup over one or two measures, grouped by a low-card fk.
+      q.aggs = {AggSpec::Sum(Expr::Col(0, mcol), "m"), AggSpec::CountStar()};
+      const int gd = static_cast<int>(qr.Uniform(0, nfk - 1));
+      JoinClause jc;
+      jc.dim.table = dims[gd].name;
+      jc.base_col = 1 + gd;
+      jc.dim_col = 0;
+      q.joins.push_back(jc);
+      q.group_by = {ColRef{1, 2}};  // dim attr_lo
+      // Deep-join profiles chain extra (unfiltered) dimensions.
+      int extra = static_cast<int>(qr.Uniform(p.min_joins, p.max_joins)) - 1;
+      for (int e = 0; e < extra; ++e) {
+        const int d2 = static_cast<int>(qr.Uniform(0, nfk - 1));
+        JoinClause j2;
+        j2.dim.table = dims[d2].name;
+        j2.base_col = 1 + d2;
+        j2.dim_col = 0;
+        q.joins.push_back(j2);
+      }
+    } else {
+      const bool selective = qr.UniformReal(0, 1) <
+                             p.selective_frac / std::max(1e-9, 1 - p.scan_frac);
+      const int njoin = static_cast<int>(qr.Uniform(p.min_joins, p.max_joins));
+      for (int j = 0; j < njoin; ++j) {
+        const int d = static_cast<int>(qr.Uniform(0, nfk - 1));
+        JoinClause jc;
+        jc.dim.table = dims[d].name;
+        jc.base_col = 1 + d;
+        jc.dim_col = 0;
+        if (j == 0) {
+          if (selective) {
+            // A handful of dim rows (near-unique attribute range).
+            const int64_t v = qr.Uniform(0, dims[d].rows - 1);
+            jc.dim.preds = {Pred::Between(1, Value::Int64(v),
+                                          Value::Int64(v + 3))};
+          } else {
+            // One low-cardinality slice (~1/lo_ndv of the fact).
+            jc.dim.preds = {
+                Pred::Eq(2, Value::Int64(qr.Uniform(0, dims[d].lo_ndv - 1)))};
+          }
+        }
+        q.joins.push_back(jc);
+      }
+      q.aggs = {AggSpec::Sum(Expr::Col(0, mcol), "m"), AggSpec::CountStar()};
+      if (!selective && qr.Flip(0.4)) {
+        q.group_by = {ColRef{1, 2}};
+      }
+      if (selective && qr.Flip(0.3)) {
+        // Selective fact-key range instead of a dim predicate.
+        q.joins[0].dim.preds.clear();
+        const int64_t v = qr.Uniform(0, static_cast<int64_t>(frows) - 50);
+        q.base.preds = {Pred::Between(0, Value::Int64(v), Value::Int64(v + 40))};
+      }
+    }
+    w.queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+}  // namespace hd

@@ -1,0 +1,52 @@
+// Synthetic stand-ins for the paper's five real customer workloads
+// (Cust1–Cust5, Sections 5.1–5.2).
+//
+// The real traces are proprietary; what the paper publishes about them is
+// Table 2 (schema size, table counts, query counts, join counts) and the
+// Fig. 9 speedup distributions. Each profile here pins the generator's
+// knobs — join fan-out, predicate selectivity mix, scan-heaviness, schema
+// shape — to those published statistics, so the advisor sees workloads of
+// the same character. Table/row counts are scaled down uniformly; the
+// nominal (paper) statistics are retained for Table 2 reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "workload/tpcds.h"
+
+namespace hd {
+
+struct CustomerProfile {
+  std::string name;
+  // Nominal statistics as published in Table 2.
+  double nominal_db_gb = 0;
+  int nominal_tables = 0;
+  double nominal_max_table_gb = 0;
+  double nominal_avg_cols = 0;
+
+  // Generator knobs.
+  int num_dims = 12;       // materialized dimension tables
+  int num_facts = 2;       // materialized fact tables
+  uint64_t fact_rows = 300'000;
+  int num_queries = 40;
+  int min_joins = 4;
+  int max_joins = 10;
+  /// Fraction of queries with highly selective predicates (B+ tree wins).
+  double selective_frac = 0.3;
+  /// Fraction that are full-table rollups (columnstore wins).
+  double scan_frac = 0.3;
+  int fact_measures = 6;
+  uint64_t seed = 5;
+};
+
+/// The five profiles, calibrated to Table 2 / Fig. 9.
+CustomerProfile CustProfile(int i);
+
+/// Build schema + data + queries for one profile. Table names are
+/// prefixed with the profile name.
+GeneratedWorkload MakeCustomer(Database* db, const CustomerProfile& p,
+                               double scale = 1.0);
+
+}  // namespace hd

@@ -1,0 +1,107 @@
+#include "workload/micro.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hd {
+
+Table* MakeUniformIntTable(Database* db, const std::string& name, int ncols,
+                           const MicroOptions& opts) {
+  std::vector<Column> cols;
+  for (int c = 0; c < ncols; ++c) {
+    cols.push_back({"col" + std::to_string(c), ValueType::kInt64, 0});
+  }
+  auto res = db->CreateTable(name, Schema(std::move(cols)));
+  if (!res.ok()) return nullptr;
+  Table* t = res.value();
+  Rng rng(opts.seed);
+  std::vector<std::vector<int64_t>> data(ncols);
+  for (auto& d : data) d.reserve(opts.rows);
+  for (uint64_t i = 0; i < opts.rows; ++i) {
+    for (int c = 0; c < ncols; ++c) {
+      data[c].push_back(rng.Uniform(0, opts.max_value));
+    }
+  }
+  if (opts.sorted_on_col0 && ncols > 0) {
+    std::vector<uint32_t> perm(opts.rows);
+    for (uint64_t i = 0; i < opts.rows; ++i) perm[i] = static_cast<uint32_t>(i);
+    std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+      return data[0][a] < data[0][b];
+    });
+    std::vector<int64_t> tmp(opts.rows);
+    for (int c = 0; c < ncols; ++c) {
+      for (uint64_t i = 0; i < opts.rows; ++i) tmp[i] = data[c][perm[i]];
+      data[c].swap(tmp);
+    }
+  }
+  t->BulkLoadPacked(std::move(data));
+  return t;
+}
+
+Table* MakeGroupedTable(Database* db, const std::string& name, uint64_t rows,
+                        int64_t num_groups, uint64_t seed) {
+  std::vector<Column> cols = {{"col0", ValueType::kInt64, 0},
+                              {"col1", ValueType::kInt64, 0}};
+  auto res = db->CreateTable(name, Schema(std::move(cols)));
+  if (!res.ok()) return nullptr;
+  Table* t = res.value();
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> data(2);
+  data[0].reserve(rows);
+  data[1].reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    data[0].push_back(rng.Uniform(0, num_groups - 1));
+    data[1].push_back(rng.Uniform(0, 1'000'000));
+  }
+  t->BulkLoadPacked(std::move(data));
+  return t;
+}
+
+Query MicroQ1(const std::string& table, double selectivity, int64_t max_value) {
+  Query q;
+  q.id = "Q1";
+  q.base.table = table;
+  const int64_t cutoff =
+      static_cast<int64_t>(selectivity * static_cast<double>(max_value));
+  q.base.preds.push_back(Pred::Lt(0, Value::Int64(cutoff)));
+  q.aggs.push_back(AggSpec::Sum(Expr::Col(0, 0), "sum_col0"));
+  return q;
+}
+
+Query MicroQ1Range(const std::string& table, double selectivity,
+                   int64_t max_value) {
+  Query q;
+  q.id = "Q1r";
+  q.base.table = table;
+  const int64_t mid = max_value / 2;
+  const int64_t width =
+      static_cast<int64_t>(selectivity * static_cast<double>(max_value));
+  q.base.preds.push_back(Pred::Between(0, Value::Int64(mid - width / 2),
+                                       Value::Int64(mid + (width + 1) / 2 - 1)));
+  q.aggs.push_back(AggSpec::Sum(Expr::Col(0, 0), "sum_col0"));
+  return q;
+}
+
+Query MicroQ2(const std::string& table, double selectivity, int64_t max_value) {
+  Query q;
+  q.id = "Q2";
+  q.base.table = table;
+  const int64_t cutoff =
+      static_cast<int64_t>(selectivity * static_cast<double>(max_value));
+  q.base.preds.push_back(Pred::Lt(0, Value::Int64(cutoff)));
+  q.select_cols = {ColRef{0, 0}, ColRef{0, 1}};
+  q.order_by = {ColRef{0, 1}};
+  return q;
+}
+
+Query MicroQ3(const std::string& table) {
+  Query q;
+  q.id = "Q3";
+  q.base.table = table;
+  q.group_by = {ColRef{0, 0}};
+  q.aggs.push_back(AggSpec::Sum(Expr::Col(0, 1), "sum_col1"));
+  return q;
+}
+
+}  // namespace hd

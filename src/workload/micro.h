@@ -1,0 +1,51 @@
+// Micro-benchmark data and queries (Section 3).
+//
+// Synthetic tables of uniformly distributed 32-bit integers (as in the
+// paper and Kester et al.), plus the paper's query templates Q1–Q3.
+#pragma once
+
+#include <string>
+
+#include "catalog/database.h"
+#include "exec/query.h"
+
+namespace hd {
+
+struct MicroOptions {
+  uint64_t rows = 1u << 20;
+  /// Values drawn uniformly from [0, max_value].
+  int64_t max_value = (1ll << 31) - 1;
+  uint64_t seed = 42;
+  /// Pre-sort the data on column 0 before loading (the "CSI sorted"
+  /// variant of Section 3.2.1).
+  bool sorted_on_col0 = false;
+};
+
+/// Create and load a table named `name` with `ncols` integer columns
+/// (col0, col1, ...). Returns the table (primary = heap until changed).
+Table* MakeUniformIntTable(Database* db, const std::string& name, int ncols,
+                           const MicroOptions& opts);
+
+/// Create a two-column table where col0 has exactly `num_groups` distinct
+/// values (uniformly assigned) — the Fig. 4 group-by table.
+Table* MakeGroupedTable(Database* db, const std::string& name, uint64_t rows,
+                        int64_t num_groups, uint64_t seed);
+
+/// Q1: SELECT sum(col0) FROM t WHERE col0 < cutoff — `selectivity` of
+/// [0, 1] is converted to a cutoff against [0, max_value].
+Query MicroQ1(const std::string& table, double selectivity, int64_t max_value);
+
+/// Q1 variant with a range predicate centered in the domain:
+/// col0 BETWEEN mid-w/2 AND mid+w/2. On randomly ordered data no segment
+/// can be eliminated by min/max, matching the paper's observation that
+/// unsorted columnstores see no data skipping (Fig. 2 "CSI random").
+Query MicroQ1Range(const std::string& table, double selectivity,
+                   int64_t max_value);
+
+/// Q2: SELECT col0, col1 FROM t WHERE col0 < cutoff ORDER BY col1.
+Query MicroQ2(const std::string& table, double selectivity, int64_t max_value);
+
+/// Q3: SELECT col0, sum(col1) FROM t GROUP BY col0.
+Query MicroQ3(const std::string& table);
+
+}  // namespace hd

@@ -1,0 +1,132 @@
+#include "workload/mixed_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+
+namespace hd {
+
+double OpStats::median_ms() const {
+  if (latencies_ms.empty()) return 0;
+  std::vector<double> v = latencies_ms;
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+double OpStats::p95_ms() const {
+  if (latencies_ms.empty()) return 0;
+  std::vector<double> v = latencies_ms;
+  const size_t k = std::min(v.size() - 1, v.size() * 95 / 100);
+  std::nth_element(v.begin(), v.begin() + k, v.end());
+  return v[k];
+}
+
+double MixedResult::OverallMeanMs() const {
+  double total = 0;
+  uint64_t n = 0;
+  for (const auto& [t, s] : per_type) {
+    total += s.total_ms;
+    n += s.count;
+  }
+  return n ? total / n : 0;
+}
+
+MixedResult RunMixedWorkload(Database* db, TransactionManager* txns,
+                             const OpGenerator& gen, const MixedOptions& opts) {
+  return RunMixedTxnWorkload(
+      db, txns,
+      [&gen](int tid, Rng* rng) {
+        TxnOp op;
+        op.statements.push_back(gen(tid, rng));
+        op.id = op.statements[0].id;
+        return op;
+      },
+      opts);
+}
+
+MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
+                                const TxnGenerator& gen,
+                                const MixedOptions& opts) {
+  MixedResult result;
+  std::mutex result_mu;
+  std::atomic<int> ops_left{opts.total_ops};
+  Optimizer optimizer(db);
+  Timer wall;
+
+  auto worker = [&](int tid) {
+    Rng rng(opts.seed + tid * 7919);
+    std::map<std::string, OpStats> local;
+    while (ops_left.fetch_sub(1) > 0) {
+      TxnOp op = gen(tid, &rng);
+      Timer op_timer;
+      uint64_t aborts = 0;
+      for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+        auto txn = txns->Begin(opts.isolation);
+        Configuration cfg = Configuration::FromCatalog(*db);
+        PlanOptions popts;
+        popts.max_dop = opts.max_dop_per_query;
+        bool aborted = false;
+        bool failed = false;
+        for (const Query& q : op.statements) {
+          auto plan = optimizer.Plan(q, cfg, popts);
+          if (!plan.ok()) {
+            failed = true;
+            break;
+          }
+          ExecContext ctx;
+          ctx.db = db;
+          ctx.max_dop = opts.max_dop_per_query;
+          ctx.txns = txns;
+          ctx.txn = txn.get();
+          ctx.lock_timeout_ms = opts.lock_timeout_ms;
+          Executor ex(ctx);
+          QueryResult r = ex.Execute(q, plan->plan);
+          if (r.status.IsAborted()) {
+            aborted = true;
+            break;
+          }
+        }
+        if (failed) {
+          txns->Abort(txn.get());
+          break;
+        }
+        if (aborted) {
+          txns->Abort(txn.get());
+          ++aborts;
+          continue;  // retry the whole transaction
+        }
+        txns->Commit(txn.get());
+        break;
+      }
+      OpStats& st = local[op.id];
+      st.count += 1;
+      st.aborts += aborts;
+      const double ms = op_timer.ElapsedMs();
+      st.total_ms += ms;
+      st.latencies_ms.push_back(ms);
+    }
+    std::lock_guard<std::mutex> g(result_mu);
+    for (auto& [type, st] : local) {
+      OpStats& dst = result.per_type[type];
+      dst.count += st.count;
+      dst.aborts += st.aborts;
+      dst.total_ms += st.total_ms;
+      dst.latencies_ms.insert(dst.latencies_ms.end(), st.latencies_ms.begin(),
+                              st.latencies_ms.end());
+      result.total_aborts += st.aborts;
+    }
+  };
+
+  std::vector<std::thread> ths;
+  for (int t = 0; t < opts.threads; ++t) ths.emplace_back(worker, t);
+  for (auto& th : ths) th.join();
+  result.wall_ms = wall.ElapsedMs();
+  txns->GarbageCollect();
+  return result;
+}
+
+}  // namespace hd

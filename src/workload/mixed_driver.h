@@ -1,0 +1,71 @@
+// Closed-loop multi-threaded mixed-workload driver (Sections 3.4, 5.2.2).
+//
+// Worker threads repeatedly draw a statement from a generator, run it in
+// its own transaction at the configured isolation level, retry on
+// deadlock-victim aborts, and record per-statement-type latencies.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "catalog/database.h"
+#include "common/rng.h"
+#include "exec/query.h"
+#include "txn/transaction.h"
+
+namespace hd {
+
+struct MixedOptions {
+  int threads = 10;
+  /// Total operations across all threads.
+  int total_ops = 2000;
+  IsolationLevel isolation = IsolationLevel::kReadCommitted;
+  int max_dop_per_query = 2;
+  uint64_t seed = 99;
+  int lock_timeout_ms = 200;
+  int max_retries = 20;
+};
+
+struct OpStats {
+  uint64_t count = 0;
+  uint64_t aborts = 0;
+  double total_ms = 0;
+  std::vector<double> latencies_ms;
+
+  double mean_ms() const { return count ? total_ms / count : 0; }
+  double median_ms() const;
+  double p95_ms() const;
+};
+
+struct MixedResult {
+  std::map<std::string, OpStats> per_type;
+  double wall_ms = 0;
+  uint64_t total_aborts = 0;
+
+  /// Mean latency across every operation executed.
+  double OverallMeanMs() const;
+};
+
+/// Statement generator: called per operation with a thread-local RNG.
+/// The returned Query's `id` labels its statistics bucket.
+using OpGenerator = std::function<Query(int thread, Rng* rng)>;
+
+MixedResult RunMixedWorkload(Database* db, TransactionManager* txns,
+                             const OpGenerator& gen, const MixedOptions& opts);
+
+/// A multi-statement transaction (e.g. a TPC-C NewOrder).
+struct TxnOp {
+  std::string id;
+  std::vector<Query> statements;
+};
+
+using TxnGenerator = std::function<TxnOp(int thread, Rng* rng)>;
+
+/// Like RunMixedWorkload, but each operation is a whole transaction: all
+/// statements run under one Transaction; an abort retries the whole op.
+MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
+                                const TxnGenerator& gen,
+                                const MixedOptions& opts);
+
+}  // namespace hd

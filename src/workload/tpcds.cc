@@ -1,0 +1,486 @@
+#include "workload/tpcds.h"
+
+#include "common/rng.h"
+
+namespace hd {
+
+namespace {
+
+// Column indices, kept in sync with the schema built below.
+namespace ss {  // store_sales (also the layout of web/catalog sales)
+constexpr int kSoldDateSk = 0, kSoldTimeSk = 1, kItemSk = 2, kCustomerSk = 3,
+              kCdemoSk = 4, kHdemoSk = 5, kAddrSk = 6, kStoreSk = 7,
+              kPromoSk = 8, kTicketNumber = 9, kQuantity = 10,
+              kWholesaleCost = 11, kListPrice = 12, kSalesPrice = 13,
+              kExtDiscountAmt = 14, kExtSalesPrice = 15, kNetPaid = 16,
+              kNetProfit = 17, kNumCols = 18;
+}  // namespace ss
+namespace dd {  // date_dim
+constexpr int kDateSk = 0, kYear = 1, kMoy = 2, kDom = 3, kQoy = 4,
+              kWeekSeq = 5, kDayName = 6, kWeekend = 7, kMonthName = 8,
+              kDate = 9, kNumCols = 10;
+}  // namespace dd
+namespace it {  // item
+constexpr int kItemSk = 0, kBrandId = 1, kClassId = 2, kCategoryId = 3,
+              kCategory = 4, kBrand = 5, kCurrentPrice = 6, kManufactId = 7,
+              kSize = 8, kColor = 9, kUnits = 10, kWholesaleCost = 11,
+              kNumCols = 12;
+}  // namespace it
+namespace cu {  // customer
+constexpr int kCustomerSk = 0, kBirthYear = 1, kBirthMonth = 2, kAddrSk = 3,
+              kHdemoSk = 4, kFirstName = 5, kLastName = 6, kPreferred = 7,
+              kSalutation = 8, kEmail = 9, kNumCols = 10;
+}  // namespace cu
+namespace st {  // store
+constexpr int kStoreSk = 0, kState = 1, kCity = 2, kMarketId = 3,
+              kEmployees = 4, kFloorSpace = 5, kManager = 6, kCompanyId = 7,
+              kTaxPct = 8, kDivisionId = 9, kNumCols = 10;
+}  // namespace st
+
+constexpr int kYearLo = 1998, kYearHi = 2003;
+constexpr int kNumDates = (kYearHi - kYearLo + 1) * 365;
+constexpr int kNumItems = 2000;
+constexpr int kNumCustomers = 10000;
+constexpr int kNumStores = 50;
+constexpr int kNumHdemo = 720;
+constexpr int kNumPromo = 100;
+constexpr int kNumWarehouses = 10;
+constexpr int kNumAddresses = 5000;
+
+static const char* kCategories[] = {"Books", "Electronics", "Home", "Jewelry",
+                                    "Men", "Music", "Shoes", "Sports",
+                                    "Children", "Women"};
+static const char* kStates[] = {"AL", "CA", "FL", "GA", "IL", "MI", "NY",
+                                "OH", "PA", "TX", "VA", "WA", "WI", "NC",
+                                "TN", "MO", "IN", "MN", "CO", "AZ"};
+
+void LoadDateDim(Database* db) {
+  auto t = db->CreateTable(
+      "date_dim",
+      Schema({{"d_date_sk", ValueType::kInt64, 0},
+              {"d_year", ValueType::kInt32, 0},
+              {"d_moy", ValueType::kInt32, 0},
+              {"d_dom", ValueType::kInt32, 0},
+              {"d_qoy", ValueType::kInt32, 0},
+              {"d_week_seq", ValueType::kInt32, 0},
+              {"d_day_name", ValueType::kString, 9},
+              {"d_weekend", ValueType::kInt32, 0},
+              {"d_month_name", ValueType::kString, 9},
+              {"d_date", ValueType::kDate, 0}}));
+  static const char* kDays[] = {"Monday", "Tuesday", "Wednesday", "Thursday",
+                                "Friday", "Saturday", "Sunday"};
+  static const char* kMonths[] = {"January", "February", "March", "April",
+                                  "May", "June", "July", "August",
+                                  "September", "October", "November",
+                                  "December"};
+  std::vector<Row> rows;
+  for (int i = 0; i < kNumDates; ++i) {
+    const int year = kYearLo + i / 365;
+    const int doy = i % 365;
+    const int moy = doy / 31 + 1;
+    rows.push_back({Value::Int64(i), Value::Int32(year),
+                    Value::Int32(std::min(moy, 12)),
+                    Value::Int32(doy % 31 + 1),
+                    Value::Int32((std::min(moy, 12) - 1) / 3 + 1),
+                    Value::Int32(i / 7), Value::String(kDays[i % 7]),
+                    Value::Int32(i % 7 >= 5 ? 1 : 0),
+                    Value::String(kMonths[std::min(moy, 12) - 1]),
+                    Value::Date(10000 + i)});
+  }
+  t.value()->BulkLoad(rows);
+}
+
+void LoadItem(Database* db, Rng* rng) {
+  auto t = db->CreateTable(
+      "item", Schema({{"i_item_sk", ValueType::kInt64, 0},
+                      {"i_brand_id", ValueType::kInt32, 0},
+                      {"i_class_id", ValueType::kInt32, 0},
+                      {"i_category_id", ValueType::kInt32, 0},
+                      {"i_category", ValueType::kString, 12},
+                      {"i_brand", ValueType::kString, 12},
+                      {"i_current_price", ValueType::kDouble, 0},
+                      {"i_manufact_id", ValueType::kInt32, 0},
+                      {"i_size", ValueType::kString, 8},
+                      {"i_color", ValueType::kString, 8},
+                      {"i_units", ValueType::kString, 6},
+                      {"i_wholesale_cost", ValueType::kDouble, 0}}));
+  static const char* kSizes[] = {"small", "medium", "large", "extra", "petite"};
+  static const char* kUnits[] = {"Each", "Dozen", "Case", "Pallet"};
+  std::vector<Row> rows;
+  for (int i = 0; i < kNumItems; ++i) {
+    const int cat = static_cast<int>(rng->Uniform(0, 9));
+    const int brand = static_cast<int>(rng->Uniform(1, 400));
+    rows.push_back({Value::Int64(i), Value::Int32(brand),
+                    Value::Int32(static_cast<int32_t>(rng->Uniform(1, 60))),
+                    Value::Int32(cat + 1), Value::String(kCategories[cat]),
+                    Value::String("brand#" + std::to_string(brand)),
+                    Value::Double(rng->UniformReal(0.5, 300.0)),
+                    Value::Int32(static_cast<int32_t>(rng->Uniform(1, 200))),
+                    Value::String(kSizes[rng->Uniform(0, 4)]),
+                    Value::String(rng->String(6)),
+                    Value::String(kUnits[rng->Uniform(0, 3)]),
+                    Value::Double(rng->UniformReal(0.2, 200.0))});
+  }
+  t.value()->BulkLoad(rows);
+}
+
+void LoadCustomer(Database* db, Rng* rng) {
+  auto t = db->CreateTable(
+      "customer", Schema({{"c_customer_sk", ValueType::kInt64, 0},
+                          {"c_birth_year", ValueType::kInt32, 0},
+                          {"c_birth_month", ValueType::kInt32, 0},
+                          {"c_current_addr_sk", ValueType::kInt64, 0},
+                          {"c_current_hdemo_sk", ValueType::kInt64, 0},
+                          {"c_first_name", ValueType::kString, 10},
+                          {"c_last_name", ValueType::kString, 10},
+                          {"c_preferred_cust_flag", ValueType::kInt32, 0},
+                          {"c_salutation", ValueType::kString, 6},
+                          {"c_email_address", ValueType::kString, 20}}));
+  static const char* kSal[] = {"Mr.", "Mrs.", "Ms.", "Dr.", "Miss", "Sir"};
+  std::vector<Row> rows;
+  for (int i = 0; i < kNumCustomers; ++i) {
+    rows.push_back(
+        {Value::Int64(i), Value::Int32(static_cast<int32_t>(rng->Uniform(1930, 2000))),
+         Value::Int32(static_cast<int32_t>(rng->Uniform(1, 12))),
+         Value::Int64(rng->Uniform(0, kNumAddresses - 1)),
+         Value::Int64(rng->Uniform(0, kNumHdemo - 1)),
+         Value::String(rng->String(7)), Value::String(rng->String(8)),
+         Value::Int32(static_cast<int32_t>(rng->Uniform(0, 1))),
+         Value::String(kSal[rng->Uniform(0, 5)]),
+         Value::String(rng->String(12) + "@example.com")});
+  }
+  t.value()->BulkLoad(rows);
+}
+
+void LoadStore(Database* db, Rng* rng) {
+  auto t = db->CreateTable(
+      "store", Schema({{"s_store_sk", ValueType::kInt64, 0},
+                       {"s_state", ValueType::kString, 4},
+                       {"s_city", ValueType::kString, 10},
+                       {"s_market_id", ValueType::kInt32, 0},
+                       {"s_number_employees", ValueType::kInt32, 0},
+                       {"s_floor_space", ValueType::kInt32, 0},
+                       {"s_manager", ValueType::kString, 12},
+                       {"s_company_id", ValueType::kInt32, 0},
+                       {"s_tax_percentage", ValueType::kDouble, 0},
+                       {"s_division_id", ValueType::kInt32, 0}}));
+  std::vector<Row> rows;
+  for (int i = 0; i < kNumStores; ++i) {
+    rows.push_back({Value::Int64(i), Value::String(kStates[rng->Uniform(0, 19)]),
+                    Value::String("city" + std::to_string(rng->Uniform(0, 19))),
+                    Value::Int32(static_cast<int32_t>(rng->Uniform(1, 10))),
+                    Value::Int32(static_cast<int32_t>(rng->Uniform(50, 300))),
+                    Value::Int32(static_cast<int32_t>(rng->Uniform(5000, 9000))),
+                    Value::String(rng->String(10)),
+                    Value::Int32(static_cast<int32_t>(rng->Uniform(1, 5))),
+                    Value::Double(rng->Uniform(0, 11) / 100.0),
+                    Value::Int32(static_cast<int32_t>(rng->Uniform(1, 3)))});
+  }
+  t.value()->BulkLoad(rows);
+}
+
+void LoadSmallDims(Database* db, Rng* rng) {
+  {
+    auto t = db->CreateTable(
+        "household_demographics",
+        Schema({{"hd_demo_sk", ValueType::kInt64, 0},
+                {"hd_income_band_sk", ValueType::kInt32, 0},
+                {"hd_buy_potential", ValueType::kString, 8},
+                {"hd_dep_count", ValueType::kInt32, 0},
+                {"hd_vehicle_count", ValueType::kInt32, 0}}));
+    static const char* kPot[] = {"0-500", "501-1000", "1001-5000", ">10000",
+                                 "5001-10000", "Unknown"};
+    std::vector<Row> rows;
+    for (int i = 0; i < kNumHdemo; ++i) {
+      rows.push_back({Value::Int64(i),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(1, 20))),
+                      Value::String(kPot[rng->Uniform(0, 5)]),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(0, 9))),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(0, 4)))});
+    }
+    t.value()->BulkLoad(rows);
+  }
+  {
+    auto t = db->CreateTable(
+        "promotion", Schema({{"p_promo_sk", ValueType::kInt64, 0},
+                             {"p_channel_email", ValueType::kInt32, 0},
+                             {"p_channel_tv", ValueType::kInt32, 0},
+                             {"p_cost", ValueType::kDouble, 0},
+                             {"p_response_target", ValueType::kInt32, 0},
+                             {"p_promo_name", ValueType::kString, 10}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < kNumPromo; ++i) {
+      rows.push_back({Value::Int64(i),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(0, 1))),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(0, 1))),
+                      Value::Double(rng->UniformReal(100, 5000)),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(0, 1))),
+                      Value::String("promo" + std::to_string(i))});
+    }
+    t.value()->BulkLoad(rows);
+  }
+  {
+    auto t = db->CreateTable(
+        "warehouse", Schema({{"w_warehouse_sk", ValueType::kInt64, 0},
+                             {"w_state", ValueType::kString, 4},
+                             {"w_sq_ft", ValueType::kInt32, 0},
+                             {"w_city", ValueType::kString, 10},
+                             {"w_county", ValueType::kString, 10},
+                             {"w_country", ValueType::kString, 14}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < kNumWarehouses; ++i) {
+      rows.push_back({Value::Int64(i), Value::String(kStates[rng->Uniform(0, 19)]),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(50000, 900000))),
+                      Value::String("city" + std::to_string(rng->Uniform(0, 9))),
+                      Value::String(rng->String(8)),
+                      Value::String("United States")});
+    }
+    t.value()->BulkLoad(rows);
+  }
+  {
+    auto t = db->CreateTable(
+        "customer_address",
+        Schema({{"ca_address_sk", ValueType::kInt64, 0},
+                {"ca_state", ValueType::kString, 4},
+                {"ca_city", ValueType::kString, 10},
+                {"ca_zip", ValueType::kInt32, 0},
+                {"ca_gmt_offset", ValueType::kInt32, 0},
+                {"ca_county", ValueType::kString, 10},
+                {"ca_country", ValueType::kString, 14},
+                {"ca_street_name", ValueType::kString, 12}}));
+    std::vector<Row> rows;
+    for (int i = 0; i < kNumAddresses; ++i) {
+      rows.push_back({Value::Int64(i), Value::String(kStates[rng->Uniform(0, 19)]),
+                      Value::String("city" + std::to_string(rng->Uniform(0, 199))),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(10000, 99999))),
+                      Value::Int32(static_cast<int32_t>(rng->Uniform(-8, -5))),
+                      Value::String(rng->String(8)),
+                      Value::String("United States"),
+                      Value::String(rng->String(10))});
+    }
+    t.value()->BulkLoad(rows);
+  }
+}
+
+/// Sales facts share a layout; `rows` rows into `name`.
+void LoadSalesFact(Database* db, const std::string& name, uint64_t rows,
+                   Rng* rng) {
+  auto t = db->CreateTable(
+      name, Schema({{"sold_date_sk", ValueType::kInt64, 0},
+                    {"sold_time_sk", ValueType::kInt64, 0},
+                    {"item_sk", ValueType::kInt64, 0},
+                    {"customer_sk", ValueType::kInt64, 0},
+                    {"cdemo_sk", ValueType::kInt64, 0},
+                    {"hdemo_sk", ValueType::kInt64, 0},
+                    {"addr_sk", ValueType::kInt64, 0},
+                    {"store_sk", ValueType::kInt64, 0},
+                    {"promo_sk", ValueType::kInt64, 0},
+                    {"ticket_number", ValueType::kInt64, 0},
+                    {"quantity", ValueType::kInt32, 0},
+                    {"wholesale_cost", ValueType::kDouble, 0},
+                    {"list_price", ValueType::kDouble, 0},
+                    {"sales_price", ValueType::kDouble, 0},
+                    {"ext_discount_amt", ValueType::kDouble, 0},
+                    {"ext_sales_price", ValueType::kDouble, 0},
+                    {"net_paid", ValueType::kDouble, 0},
+                    {"net_profit", ValueType::kDouble, 0}}));
+  Table* tab = t.value();
+  std::vector<std::vector<int64_t>> cols(ss::kNumCols);
+  for (auto& c : cols) c.reserve(rows);
+  int64_t ticket = 1;
+  for (uint64_t i = 0; i < rows; ++i) {
+    if (rng->Flip(0.3)) ++ticket;
+    const double price = rng->UniformReal(1.0, 300.0);
+    const int qty = static_cast<int>(rng->Uniform(1, 100));
+    // Sales skew toward recent dates and popular items (Zipfian).
+    cols[ss::kSoldDateSk].push_back(rng->Uniform(0, kNumDates - 1));
+    cols[ss::kSoldTimeSk].push_back(rng->Uniform(0, 1439));
+    cols[ss::kItemSk].push_back(rng->Zipf(kNumItems, 0.5));
+    cols[ss::kCustomerSk].push_back(rng->Zipf(kNumCustomers, 0.3));
+    cols[ss::kCdemoSk].push_back(rng->Uniform(0, 1999));
+    cols[ss::kHdemoSk].push_back(rng->Uniform(0, kNumHdemo - 1));
+    cols[ss::kAddrSk].push_back(rng->Uniform(0, kNumAddresses - 1));
+    cols[ss::kStoreSk].push_back(rng->Uniform(0, kNumStores - 1));
+    cols[ss::kPromoSk].push_back(rng->Uniform(0, kNumPromo - 1));
+    cols[ss::kTicketNumber].push_back(ticket);
+    cols[ss::kQuantity].push_back(qty);
+    cols[ss::kWholesaleCost].push_back(
+        tab->PackValue(ss::kWholesaleCost, Value::Double(price * 0.6)));
+    cols[ss::kListPrice].push_back(
+        tab->PackValue(ss::kListPrice, Value::Double(price * 1.2)));
+    cols[ss::kSalesPrice].push_back(
+        tab->PackValue(ss::kSalesPrice, Value::Double(price)));
+    cols[ss::kExtDiscountAmt].push_back(tab->PackValue(
+        ss::kExtDiscountAmt, Value::Double(price * qty * 0.05)));
+    cols[ss::kExtSalesPrice].push_back(
+        tab->PackValue(ss::kExtSalesPrice, Value::Double(price * qty)));
+    cols[ss::kNetPaid].push_back(
+        tab->PackValue(ss::kNetPaid, Value::Double(price * qty * 0.95)));
+    cols[ss::kNetProfit].push_back(tab->PackValue(
+        ss::kNetProfit, Value::Double(price * qty * rng->UniformReal(-0.1, 0.4))));
+  }
+  tab->BulkLoadPacked(std::move(cols));
+}
+
+// ---------------- query templates ----------------
+
+JoinClause JoinDate(int fact_col, std::vector<Pred> preds) {
+  JoinClause jc;
+  jc.dim.table = "date_dim";
+  jc.dim.preds = std::move(preds);
+  jc.base_col = fact_col;
+  jc.dim_col = dd::kDateSk;
+  return jc;
+}
+
+Expr Revenue() {
+  return Expr::Col(0, ss::kExtSalesPrice);
+}
+
+}  // namespace
+
+GeneratedWorkload MakeTpcds(Database* db, const TpcdsOptions& opts) {
+  Rng rng(opts.seed);
+  LoadDateDim(db);
+  LoadItem(db, &rng);
+  LoadCustomer(db, &rng);
+  LoadStore(db, &rng);
+  LoadSmallDims(db, &rng);
+  LoadSalesFact(db, "store_sales", opts.fact_rows, &rng);
+  LoadSalesFact(db, "web_sales", opts.fact_rows / 2, &rng);
+  LoadSalesFact(db, "catalog_sales", opts.fact_rows * 7 / 10, &rng);
+
+  GeneratedWorkload w;
+  w.tables = {"date_dim", "item", "customer", "store",
+              "household_demographics", "promotion", "warehouse",
+              "customer_address", "store_sales", "web_sales",
+              "catalog_sales"};
+
+  static const char* kFacts[] = {"store_sales", "web_sales", "catalog_sales"};
+  Rng qr(opts.seed + 1);
+  for (int qi = 0; qi < opts.num_queries; ++qi) {
+    const std::string fact = kFacts[qr.Uniform(0, 2)];
+    Query q;
+    q.id = "TPCDS-" + std::to_string(qi + 1);
+    q.base.table = fact;
+    const int tmpl = static_cast<int>(qr.Uniform(0, 9));
+    const int year = static_cast<int>(qr.Uniform(kYearLo, kYearHi));
+    const int moy = static_cast<int>(qr.Uniform(1, 12));
+    switch (tmpl) {
+      case 0:
+      case 1: {
+        // Selective star: one month of one year, one item category, brand
+        // breakdown (the Q54/Q72-like shape where hybrid plans shine).
+        q.joins.push_back(JoinDate(
+            ss::kSoldDateSk, {Pred::Eq(dd::kYear, Value::Int32(year)),
+                              Pred::Eq(dd::kMoy, Value::Int32(moy))}));
+        JoinClause ji;
+        ji.dim.table = "item";
+        ji.dim.preds = {Pred::Eq(it::kCategoryId,
+                                 Value::Int32(static_cast<int32_t>(qr.Uniform(1, 10))))};
+        ji.base_col = ss::kItemSk;
+        ji.dim_col = it::kItemSk;
+        q.joins.push_back(ji);
+        q.aggs = {AggSpec::Sum(Revenue(), "rev"),
+                  AggSpec::Sum(Expr::Col(0, ss::kQuantity), "qty")};
+        q.group_by = {ColRef{2, it::kBrandId}};
+        break;
+      }
+      case 2: {
+        // Year-level star: one year of sales by store.
+        q.joins.push_back(JoinDate(ss::kSoldDateSk,
+                                   {Pred::Eq(dd::kYear, Value::Int32(year))}));
+        q.aggs = {AggSpec::Sum(Revenue(), "rev")};
+        q.group_by = {ColRef{0, ss::kStoreSk}};
+        break;
+      }
+      case 3: {
+        // Full-table rollup: total revenue by item (large scan; CSI wins).
+        q.aggs = {AggSpec::Sum(Revenue(), "rev"),
+                  AggSpec::Avg(Expr::Col(0, ss::kNetProfit))};
+        q.group_by = {ColRef{0, ss::kItemSk}};
+        break;
+      }
+      case 4: {
+        // Ticket lookup: a handful of tickets (point-ish fact predicate).
+        const int64_t t0 = qr.Uniform(1, static_cast<int64_t>(opts.fact_rows * 3 / 10));
+        q.base.preds = {Pred::Between(ss::kTicketNumber, Value::Int64(t0),
+                                      Value::Int64(t0 + 20))};
+        q.aggs = {AggSpec::Sum(Revenue(), "rev"), AggSpec::CountStar()};
+        break;
+      }
+      case 5: {
+        // Customer activity: selective customer-dimension predicate.
+        JoinClause jc;
+        jc.dim.table = "customer";
+        jc.dim.preds = {
+            Pred::Eq(cu::kBirthYear,
+                     Value::Int32(static_cast<int32_t>(qr.Uniform(1930, 2000)))),
+            Pred::Eq(cu::kBirthMonth, Value::Int32(moy))};
+        jc.base_col = ss::kCustomerSk;
+        jc.dim_col = cu::kCustomerSk;
+        q.joins.push_back(jc);
+        q.aggs = {AggSpec::Sum(Revenue(), "rev"), AggSpec::CountStar()};
+        break;
+      }
+      case 6: {
+        // State report: store-state slice by month.
+        JoinClause js;
+        js.dim.table = "store";
+        js.dim.preds = {Pred::Eq(st::kState,
+                                 Value::String(kStates[qr.Uniform(0, 19)]))};
+        js.base_col = ss::kStoreSk;
+        js.dim_col = st::kStoreSk;
+        q.joins.push_back(js);
+        q.joins.push_back(JoinDate(ss::kSoldDateSk,
+                                   {Pred::Eq(dd::kYear, Value::Int32(year))}));
+        q.aggs = {AggSpec::Sum(Revenue(), "rev")};
+        q.group_by = {ColRef{1, st::kCity}};
+        break;
+      }
+      case 7: {
+        // Promotion effect: half the promotions, full date range.
+        JoinClause jp;
+        jp.dim.table = "promotion";
+        jp.dim.preds = {Pred::Eq(4, Value::Int32(0))};  // p_response_target
+        jp.base_col = ss::kPromoSk;
+        jp.dim_col = 0;
+        q.joins.push_back(jp);
+        q.aggs = {AggSpec::Sum(Revenue(), "rev"),
+                  AggSpec::Sum(Expr::Col(0, ss::kExtDiscountAmt), "disc")};
+        break;
+      }
+      case 8: {
+        // Quarter window scan with household slice.
+        q.joins.push_back(JoinDate(
+            ss::kSoldDateSk, {Pred::Eq(dd::kYear, Value::Int32(year)),
+                              Pred::Eq(dd::kQoy, Value::Int32(
+                                  static_cast<int32_t>(qr.Uniform(1, 4))))}));
+        JoinClause jh;
+        jh.dim.table = "household_demographics";
+        jh.dim.preds = {Pred::Eq(3, Value::Int32(  // hd_dep_count
+            static_cast<int32_t>(qr.Uniform(0, 9))))};
+        jh.base_col = ss::kHdemoSk;
+        jh.dim_col = 0;
+        q.joins.push_back(jh);
+        q.aggs = {AggSpec::Sum(Revenue(), "rev"), AggSpec::CountStar()};
+        break;
+      }
+      default: {
+        // Report query: one month's rows ordered by profit (sort shape).
+        q.joins.push_back(JoinDate(
+            ss::kSoldDateSk, {Pred::Eq(dd::kYear, Value::Int32(year)),
+                              Pred::Eq(dd::kMoy, Value::Int32(moy))}));
+        q.select_cols = {ColRef{0, ss::kTicketNumber},
+                         ColRef{0, ss::kNetProfit}};
+        q.order_by = {ColRef{0, ss::kNetProfit}};
+        q.limit = 100;
+        break;
+      }
+    }
+    w.queries.push_back(std::move(q));
+  }
+  return w;
+}
+
+}  // namespace hd

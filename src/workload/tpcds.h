@@ -1,0 +1,32 @@
+// TPC-DS-like decision-support workload: a scaled-down retail star schema
+// (fact tables + dimensions) and a 97-query workload drawn from templates
+// that mirror TPC-DS query patterns — selective dimension-driven star
+// joins, wide scans with grouping, fact-key lookups, and report queries.
+//
+// Used by the Section 5 end-to-end evaluation (Figs. 9, 10; Table 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "exec/query.h"
+
+namespace hd {
+
+struct TpcdsOptions {
+  /// store_sales row count; other tables scale relative to it.
+  uint64_t fact_rows = 400'000;
+  int num_queries = 97;
+  uint64_t seed = 2018;
+};
+
+struct GeneratedWorkload {
+  std::vector<Query> queries;
+  std::vector<std::string> tables;
+};
+
+/// Create and load the schema, generate the query workload.
+GeneratedWorkload MakeTpcds(Database* db, const TpcdsOptions& opts);
+
+}  // namespace hd

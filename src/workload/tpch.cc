@@ -1,0 +1,107 @@
+#include "workload/tpch.h"
+
+#include "common/rng.h"
+
+namespace hd {
+
+Table* MakeLineitem(Database* db, const std::string& name,
+                    const TpchOptions& opts) {
+  using L = LineitemCols;
+  std::vector<Column> cols(L::kNumCols);
+  cols[L::kOrderKey] = {"l_orderkey", ValueType::kInt64, 0};
+  cols[L::kLineNumber] = {"l_linenumber", ValueType::kInt32, 0};
+  cols[L::kQuantity] = {"l_quantity", ValueType::kDouble, 0};
+  cols[L::kExtendedPrice] = {"l_extendedprice", ValueType::kDouble, 0};
+  cols[L::kDiscount] = {"l_discount", ValueType::kDouble, 0};
+  cols[L::kTax] = {"l_tax", ValueType::kDouble, 0};
+  cols[L::kShipDate] = {"l_shipdate", ValueType::kDate, 0};
+  cols[L::kCommitDate] = {"l_commitdate", ValueType::kDate, 0};
+  cols[L::kReceiptDate] = {"l_receiptdate", ValueType::kDate, 0};
+  cols[L::kSuppKey] = {"l_suppkey", ValueType::kInt64, 0};
+  cols[L::kPartKey] = {"l_partkey", ValueType::kInt64, 0};
+  cols[L::kReturnFlag] = {"l_returnflag", ValueType::kString, 2};
+  cols[L::kLineStatus] = {"l_linestatus", ValueType::kString, 2};
+  cols[L::kShipMode] = {"l_shipmode", ValueType::kString, 8};
+  auto res = db->CreateTable(name, Schema(std::move(cols)));
+  if (!res.ok()) return nullptr;
+  Table* t = res.value();
+
+  static const char* kFlags[] = {"A", "N", "R"};
+  static const char* kStatus[] = {"F", "O"};
+  static const char* kModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR",
+                                 "SHIP", "TRUCK"};
+  Rng rng(opts.seed);
+  std::vector<std::vector<int64_t>> data(L::kNumCols);
+  for (auto& d : data) d.reserve(opts.rows);
+  int64_t orderkey = 1;
+  int line = 1;
+  int lines_this_order =
+      static_cast<int>(rng.Uniform(1, 2 * opts.lines_per_order - 1));
+  for (uint64_t i = 0; i < opts.rows; ++i) {
+    if (line > lines_this_order) {
+      ++orderkey;
+      line = 1;
+      lines_this_order =
+          static_cast<int>(rng.Uniform(1, 2 * opts.lines_per_order - 1));
+    }
+    data[L::kOrderKey].push_back(orderkey);
+    data[L::kLineNumber].push_back(line++);
+    data[L::kQuantity].push_back(
+        t->PackValue(L::kQuantity, Value::Double(rng.Uniform(1, 50))));
+    data[L::kExtendedPrice].push_back(t->PackValue(
+        L::kExtendedPrice, Value::Double(rng.UniformReal(900.0, 105000.0))));
+    data[L::kDiscount].push_back(t->PackValue(
+        L::kDiscount, Value::Double(rng.Uniform(0, 10) / 100.0)));
+    data[L::kTax].push_back(
+        t->PackValue(L::kTax, Value::Double(rng.Uniform(0, 8) / 100.0)));
+    const int32_t ship =
+        static_cast<int32_t>(rng.Uniform(kTpchShipDateLo, kTpchShipDateHi));
+    data[L::kShipDate].push_back(ship);
+    data[L::kCommitDate].push_back(ship + rng.Uniform(-30, 30));
+    data[L::kReceiptDate].push_back(ship + rng.Uniform(1, 30));
+    data[L::kSuppKey].push_back(rng.Uniform(1, 10000));
+    data[L::kPartKey].push_back(rng.Uniform(1, 200000));
+    data[L::kReturnFlag].push_back(
+        t->PackValue(L::kReturnFlag, Value::String(kFlags[rng.Uniform(0, 2)])));
+    data[L::kLineStatus].push_back(t->PackValue(
+        L::kLineStatus, Value::String(kStatus[rng.Uniform(0, 1)])));
+    data[L::kShipMode].push_back(
+        t->PackValue(L::kShipMode, Value::String(kModes[rng.Uniform(0, 6)])));
+  }
+  t->BulkLoadPacked(std::move(data));
+  return t;
+}
+
+Query TpchQ4(const std::string& table, int64_t n_rows, int32_t shipdate) {
+  using L = LineitemCols;
+  Query q;
+  q.id = "Q4";
+  q.kind = Query::Kind::kUpdate;
+  q.base.table = table;
+  q.base.preds.push_back(Pred::Eq(L::kShipDate, Value::Date(shipdate)));
+  q.limit = n_rows;
+  q.sets.push_back(UpdateSet::Add(L::kQuantity, 1.0));
+  q.sets.push_back(UpdateSet::Add(L::kExtendedPrice, 0.01));
+  return q;
+}
+
+Query TpchQ5(const std::string& table, int32_t shipdate) {
+  return TpchQ5Range(table, shipdate, 1);
+}
+
+Query TpchQ5Range(const std::string& table, int32_t shipdate, int days) {
+  using L = LineitemCols;
+  Query q;
+  q.id = "Q5";
+  q.base.table = table;
+  q.base.preds.push_back(Pred::Between(L::kShipDate, Value::Date(shipdate),
+                                       Value::Date(shipdate + days)));
+  q.aggs.push_back(AggSpec::Sum(Expr::Col(0, L::kQuantity), "sum_quantity"));
+  q.aggs.push_back(AggSpec::Sum(
+      Expr::Mul(Expr::Col(0, L::kExtendedPrice),
+                Expr::Sub(Expr::Const(1.0), Expr::Col(0, L::kDiscount))),
+      "sum_revenue"));
+  return q;
+}
+
+}  // namespace hd

@@ -1,0 +1,58 @@
+// TPC-H-like lineitem generator and the paper's Q4/Q5 statements
+// (Sections 3.3 and 3.4).
+#pragma once
+
+#include <string>
+
+#include "catalog/database.h"
+#include "exec/query.h"
+
+namespace hd {
+
+/// Column indices of the generated lineitem table.
+struct LineitemCols {
+  static constexpr int kOrderKey = 0;
+  static constexpr int kLineNumber = 1;
+  static constexpr int kQuantity = 2;       // double
+  static constexpr int kExtendedPrice = 3;  // double
+  static constexpr int kDiscount = 4;       // double
+  static constexpr int kTax = 5;            // double
+  static constexpr int kShipDate = 6;       // date (days since epoch)
+  static constexpr int kCommitDate = 7;
+  static constexpr int kReceiptDate = 8;
+  static constexpr int kSuppKey = 9;
+  static constexpr int kPartKey = 10;
+  static constexpr int kReturnFlag = 11;  // string
+  static constexpr int kLineStatus = 12;  // string
+  static constexpr int kShipMode = 13;    // string
+  static constexpr int kNumCols = 14;
+};
+
+/// Shipdate domain: TPC-H dates span 1992-01-02 .. 1998-12-01.
+constexpr int32_t kTpchShipDateLo = 8037;   // days since epoch
+constexpr int32_t kTpchShipDateHi = 10561;
+
+struct TpchOptions {
+  uint64_t rows = 1u << 20;
+  uint64_t seed = 7;
+  /// Average lineitems per order (controls orderkey density).
+  int lines_per_order = 4;
+};
+
+/// Create and bulk-load a lineitem-like table.
+Table* MakeLineitem(Database* db, const std::string& name,
+                    const TpchOptions& opts);
+
+/// Q4: UPDATE TOP(n) SET l_quantity += 1, l_extendedprice += 0.01
+///     WHERE l_shipdate = `shipdate`.
+Query TpchQ4(const std::string& table, int64_t n_rows, int32_t shipdate);
+
+/// Q5: SELECT sum(l_quantity), sum(l_extendedprice * (1 - l_discount))
+///     WHERE l_shipdate BETWEEN d AND d+1.
+Query TpchQ5(const std::string& table, int32_t shipdate);
+
+/// Q5 generalized to a `days`-wide shipdate window (the mixed-workload
+/// experiments scale the analytic window with the data).
+Query TpchQ5Range(const std::string& table, int32_t shipdate, int days);
+
+}  // namespace hd

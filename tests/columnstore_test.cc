@@ -1,0 +1,384 @@
+// Unit tests for columnstore encodings, segments, row groups, and the
+// delta-store / delete-buffer / delete-bitmap machinery of Section 2.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "columnstore/columnstore.h"
+#include "common/rng.h"
+
+namespace hd {
+namespace {
+
+TEST(BitPackedTest, RoundTrip) {
+  std::vector<uint64_t> vals;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    vals.push_back(static_cast<uint64_t>(rng.Uniform(0, 123456)));
+  }
+  BitPacked p;
+  p.Pack(vals);
+  EXPECT_EQ(p.bit_width(), BitsFor(123456));
+  for (size_t i = 0; i < vals.size(); ++i) {
+    ASSERT_EQ(p.Get(i), vals[i]) << i;
+  }
+  std::vector<uint64_t> out(100);
+  p.Decode(500, 100, out.data());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], vals[500 + i]);
+}
+
+TEST(BitPackedTest, AllZeros) {
+  std::vector<uint64_t> vals(1000, 0);
+  BitPacked p;
+  p.Pack(vals);
+  EXPECT_EQ(p.bit_width(), 0);
+  EXPECT_EQ(p.Get(123), 0u);
+  EXPECT_LT(p.byte_size(), 128u);  // nearly free
+}
+
+TEST(BitsForTest, Values) {
+  EXPECT_EQ(BitsFor(0), 0);
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 2);
+  EXPECT_EQ(BitsFor(255), 8);
+  EXPECT_EQ(BitsFor(256), 9);
+}
+
+TEST(CountRunsTest, Figure8Example) {
+  // The paper's Figure 8: columns A and B sorted by (B, A).
+  // Sorted data: A = 0,1,3,3,3,3  B = 0,0,0,1,1,1.
+  std::vector<int64_t> a = {0, 1, 3, 3, 3, 3};
+  std::vector<int64_t> b = {0, 0, 0, 1, 1, 1};
+  EXPECT_EQ(CountRuns(a), 3u);  // (0,1), (1,1), (3,4) — 3 runs as in Fig 8(d)
+  EXPECT_EQ(CountRuns(b), 2u);  // (0,3), (1,3)
+}
+
+class SegmentTest : public ::testing::Test {
+ protected:
+  SegmentTest() : pool_(&disk_) {}
+  DiskModel disk_;
+  BufferPool pool_;
+};
+
+TEST_F(SegmentTest, RleForLongRuns) {
+  std::vector<int64_t> v;
+  for (int g = 0; g < 10; ++g) {
+    for (int i = 0; i < 1000; ++i) v.push_back(g);
+  }
+  ColumnSegment s;
+  s.Build(v, &pool_);
+  EXPECT_EQ(s.encoding(), SegEncoding::kDictRle);
+  EXPECT_EQ(s.num_runs(), 10u);
+  EXPECT_EQ(s.min_value(), 0);
+  EXPECT_EQ(s.max_value(), 9);
+  EXPECT_LT(s.size_bytes(), 1000u);  // massive compression
+  std::vector<int64_t> out(v.size());
+  s.Decode(0, v.size(), out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST_F(SegmentTest, DictPackedForSmallSparseDomains) {
+  // 200 distinct values spread over a wide range: dictionary codes need 8
+  // bits while raw offsets would need ~21, so the dictionary must win.
+  Rng rng(2);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng.Uniform(0, 200) * 7919);
+  ColumnSegment s;
+  s.Build(v, &pool_);
+  EXPECT_EQ(s.encoding(), SegEncoding::kDictPacked);
+  EXPECT_EQ(s.distinct_count(), 201u);
+  std::vector<int64_t> out(v.size());
+  s.Decode(0, v.size(), out.data());
+  EXPECT_EQ(out, v);
+  // ~8 bits per value instead of 64.
+  EXPECT_LT(s.size_bytes(), 10000u * 2 + 4096);
+}
+
+TEST_F(SegmentTest, RawPackedWhenDictionaryDoesNotPay) {
+  // Dense small-integer domain: raw offsets are as narrow as dictionary
+  // codes, so paying for the dictionary is a loss.
+  Rng rng(12);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng.Uniform(0, 200));
+  ColumnSegment s;
+  s.Build(v, &pool_);
+  EXPECT_EQ(s.encoding(), SegEncoding::kRawPacked);
+  std::vector<int64_t> out(v.size());
+  s.Decode(0, v.size(), out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST_F(SegmentTest, DecodeMidRle) {
+  std::vector<int64_t> v;
+  for (int g = 0; g < 100; ++g) {
+    for (int i = 0; i < 37; ++i) v.push_back(g * 5);
+  }
+  ColumnSegment s;
+  s.Build(v, &pool_);
+  ASSERT_EQ(s.encoding(), SegEncoding::kDictRle);
+  std::vector<int64_t> out(100);
+  s.Decode(1234, 100, out.data());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], v[1234 + i]);
+}
+
+TEST_F(SegmentTest, CanSkip) {
+  std::vector<int64_t> v;
+  for (int64_t i = 100; i < 200; ++i) v.push_back(i);
+  ColumnSegment s;
+  s.Build(v, &pool_);
+  EXPECT_TRUE(s.CanSkip(0, 99));
+  EXPECT_TRUE(s.CanSkip(201, 300));
+  EXPECT_FALSE(s.CanSkip(150, 160));
+  EXPECT_FALSE(s.CanSkip(0, 100));  // touches min
+}
+
+TEST_F(SegmentTest, NegativeValuesRoundTrip) {
+  Rng rng(3);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.Uniform(-1000000, 1000000));
+  ColumnSegment s;
+  s.Build(v, &pool_);
+  std::vector<int64_t> out(v.size());
+  s.Decode(0, v.size(), out.data());
+  EXPECT_EQ(out, v);
+}
+
+TEST_F(SegmentTest, CompressionSortShrinksRowGroup) {
+  Rng rng(4);
+  const size_t n = 50000;
+  // Two correlated low-cardinality columns: sorting makes long runs.
+  std::vector<std::vector<int64_t>> cols(2);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t a = rng.Uniform(0, 5);
+    cols[0].push_back(a);
+    cols[1].push_back(a * 10 + rng.Uniform(0, 2));
+  }
+  std::vector<int64_t> locs(n);
+  std::iota(locs.begin(), locs.end(), 0);
+
+  CsiOptions sorted_opts;
+  sorted_opts.compression_sort = true;
+  RowGroup sorted_rg;
+  sorted_rg.Build(cols, locs, sorted_opts, &pool_);
+
+  CsiOptions raw_opts;
+  raw_opts.compression_sort = false;
+  RowGroup raw_rg;
+  raw_rg.Build(cols, locs, raw_opts, &pool_);
+
+  EXPECT_LT(sorted_rg.segment(0).size_bytes() + sorted_rg.segment(1).size_bytes(),
+            (raw_rg.segment(0).size_bytes() + raw_rg.segment(1).size_bytes()) / 4);
+  // Sorting must not change min/max (skipping behaviour preserved).
+  EXPECT_EQ(sorted_rg.segment(0).min_value(), raw_rg.segment(0).min_value());
+  EXPECT_EQ(sorted_rg.segment(0).max_value(), raw_rg.segment(0).max_value());
+}
+
+class CsiTest : public ::testing::Test {
+ protected:
+  CsiTest() : pool_(&disk_) {}
+
+  std::unique_ptr<ColumnStoreIndex> MakeCsi(ColumnStoreIndex::Kind kind,
+                                            size_t n, size_t rowgroup = 4096) {
+    CsiOptions opts;
+    opts.rowgroup_size = rowgroup;
+    auto csi = std::make_unique<ColumnStoreIndex>(kind, 2, &pool_, opts);
+    std::vector<std::vector<int64_t>> cols(2);
+    std::vector<int64_t> locs;
+    for (size_t i = 0; i < n; ++i) {
+      cols[0].push_back(static_cast<int64_t>(i));       // sorted
+      cols[1].push_back(static_cast<int64_t>(i % 97));  // small domain
+      locs.push_back(static_cast<int64_t>(i));
+    }
+    csi->BulkLoad(std::move(cols), std::move(locs));
+    return csi;
+  }
+
+  static uint64_t CountScan(ColumnStoreIndex* csi,
+                            const std::vector<SegPredicate>& preds,
+                            QueryMetrics* m = nullptr) {
+    uint64_t count = 0;
+    auto fn = [&](const ColumnBatch& b) {
+      count += b.count;
+      return true;
+    };
+    csi->ScanGroups(0, csi->num_row_groups(), {0, 1}, preds, fn, m);
+    csi->ScanDelta({0, 1}, preds, fn, m);
+    return count;
+  }
+
+  DiskModel disk_;
+  BufferPool pool_;
+};
+
+TEST_F(CsiTest, BulkLoadAndFullScan) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kPrimary, 20000);
+  EXPECT_EQ(csi->num_rows(), 20000u);
+  EXPECT_EQ(csi->num_row_groups(), 5);  // 20000 / 4096 -> 5 groups
+  EXPECT_EQ(CountScan(csi.get(), {}), 20000u);
+}
+
+TEST_F(CsiTest, PredicatePushdownAndSegmentElimination) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kPrimary, 20000);
+  QueryMetrics m;
+  // col0 in [100, 199]: data sorted on col0 -> only 1 group touched.
+  EXPECT_EQ(CountScan(csi.get(), {{0, 100, 199}}, &m), 100u);
+  EXPECT_GT(m.segments_skipped.load(), 0u);
+}
+
+TEST_F(CsiTest, DeltaStoreInsertVisibleToScan) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kSecondary, 10000);
+  std::vector<int64_t> row = {999999, 42};
+  csi->Insert(row, 10000, nullptr);
+  EXPECT_EQ(csi->delta_rows(), 1u);
+  EXPECT_EQ(CountScan(csi.get(), {{0, 999999, 999999}}), 1u);
+  EXPECT_EQ(csi->num_rows(), 10001u);
+}
+
+TEST_F(CsiTest, SecondaryDeleteUsesDeleteBuffer) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kSecondary, 10000);
+  std::vector<int64_t> locs = {5, 6, 7};
+  ASSERT_TRUE(csi->DeleteBatch(locs, nullptr).ok());
+  EXPECT_EQ(csi->delete_buffer_rows(), 3u);
+  // The anti-join hides the deleted rows.
+  EXPECT_EQ(CountScan(csi.get(), {}), 9997u);
+  EXPECT_EQ(CountScan(csi.get(), {{0, 5, 7}}), 0u);
+}
+
+TEST_F(CsiTest, PrimaryDeleteUsesDeleteBitmap) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kPrimary, 10000);
+  std::vector<int64_t> locs = {5, 6, 7};
+  QueryMetrics m;
+  ASSERT_TRUE(csi->DeleteBatch(locs, &m).ok());
+  EXPECT_EQ(csi->delete_buffer_rows(), 0u);  // no delete buffer on primary
+  EXPECT_EQ(csi->row_group(0).deleted_count(), 3u);
+  EXPECT_EQ(CountScan(csi.get(), {}), 9997u);
+  // The delete had to decode locator segments (expensive path).
+  EXPECT_GT(m.segments_scanned.load(), 0u);
+}
+
+TEST_F(CsiTest, DeleteFromDeltaStore) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kSecondary, 1000);
+  std::vector<int64_t> row = {5555, 1};
+  csi->Insert(row, 1000, nullptr);
+  std::vector<int64_t> locs = {1000};
+  ASSERT_TRUE(csi->DeleteBatch(locs, nullptr).ok());
+  EXPECT_EQ(csi->delta_rows(), 0u);
+  EXPECT_EQ(csi->delete_buffer_rows(), 0u);  // it was a delta row
+  EXPECT_EQ(CountScan(csi.get(), {}), 1000u);
+}
+
+TEST_F(CsiTest, ReorganizeCompactsEverything) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kSecondary, 10000);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int64_t> row = {100000 + i, i};
+    csi->Insert(row, 10000 + i, nullptr);
+  }
+  std::vector<int64_t> dels;
+  for (int64_t i = 0; i < 50; ++i) dels.push_back(i);
+  ASSERT_TRUE(csi->DeleteBatch(dels, nullptr).ok());
+  const uint64_t before = csi->num_rows();
+  csi->Reorganize();
+  EXPECT_EQ(csi->delta_rows(), 0u);
+  EXPECT_EQ(csi->delete_buffer_rows(), 0u);
+  EXPECT_EQ(csi->num_rows(), before);
+  EXPECT_EQ(CountScan(csi.get(), {}), before);
+}
+
+TEST_F(CsiTest, PerColumnSizes) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kPrimary, 20000);
+  // col1 (97 distinct values) must compress far better than col0 (unique).
+  EXPECT_LT(csi->column_size_bytes(1), csi->column_size_bytes(0) / 2);
+  EXPECT_GE(csi->size_bytes(),
+            csi->column_size_bytes(0) + csi->column_size_bytes(1));
+}
+
+TEST_F(CsiTest, ColdScanChargesIo) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kPrimary, 50000);
+  pool_.EvictAll();
+  QueryMetrics cold;
+  CountScan(csi.get(), {}, &cold);
+  EXPECT_GT(cold.sim_io_ms(), 0.0);
+  QueryMetrics hot;
+  CountScan(csi.get(), {}, &hot);
+  EXPECT_DOUBLE_EQ(hot.sim_io_ms(), 0.0);
+}
+
+TEST_F(CsiTest, SortedColumnstoreSkipsAggressively) {
+  // Section 4.5 extension: global sort on col0 before forming row groups.
+  CsiOptions opts;
+  opts.rowgroup_size = 4096;
+  opts.sort_col = 0;
+  ColumnStoreIndex csi(ColumnStoreIndex::Kind::kSecondary, 2, &pool_, opts);
+  Rng rng(9);
+  std::vector<std::vector<int64_t>> cols(2);
+  std::vector<int64_t> locs;
+  for (int i = 0; i < 40000; ++i) {
+    cols[0].push_back(rng.Uniform(0, 1000000));  // random order in
+    cols[1].push_back(i);
+    locs.push_back(i);
+  }
+  int64_t expect = 0;
+  for (int i = 0; i < 40000; ++i) {
+    if (cols[0][i] >= 500000 && cols[0][i] <= 500999) ++expect;
+  }
+  csi.BulkLoad(std::move(cols), std::move(locs));
+  QueryMetrics m;
+  uint64_t count = 0;
+  auto fn = [&](const ColumnBatch& b) {
+    count += b.count;
+    return true;
+  };
+  csi.ScanGroups(0, csi.num_row_groups(), {0, 1}, {{0, 500000, 500999}}, fn,
+                 &m);
+  EXPECT_EQ(count, static_cast<uint64_t>(expect));
+  // Sorted segments: nearly every group skipped.
+  EXPECT_GT(m.segments_skipped.load(), 8u);
+  // Locators still identify the original rows (round trip via col1 == loc).
+  csi.ScanGroups(0, 2, {1}, {},
+                 [&](const ColumnBatch& b) {
+                   for (int i = 0; i < b.count; ++i) {
+                     EXPECT_EQ(b.cols[0][i], b.locators[i]);
+                   }
+                   return true;
+                 },
+                 nullptr);
+}
+
+TEST_F(CsiTest, SortedColumnstoreSurvivesReorganize) {
+  CsiOptions opts;
+  opts.rowgroup_size = 2048;
+  opts.sort_col = 0;
+  ColumnStoreIndex csi(ColumnStoreIndex::Kind::kSecondary, 2, &pool_, opts);
+  Rng rng(10);
+  std::vector<std::vector<int64_t>> cols(2);
+  std::vector<int64_t> locs;
+  for (int i = 0; i < 10000; ++i) {
+    cols[0].push_back(rng.Uniform(0, 1000000));
+    cols[1].push_back(i);
+    locs.push_back(i);
+  }
+  csi.BulkLoad(std::move(cols), std::move(locs));
+  // Trickle-insert unsorted rows, then reorganize: order must be restored.
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int64_t> row = {rng.Uniform(0, 1000000), 10000 + i};
+    csi.Insert(row, 10000 + i, nullptr);
+  }
+  csi.Reorganize();
+  int64_t prev_max = INT64_MIN;
+  for (int g = 0; g < csi.num_row_groups(); ++g) {
+    EXPECT_GE(csi.row_group(g).segment(0).min_value(), prev_max);
+    prev_max = csi.row_group(g).segment(0).max_value();
+  }
+  EXPECT_EQ(csi.num_rows(), 10100u);
+}
+
+TEST_F(CsiTest, ScanEarlyStop) {
+  auto csi = MakeCsi(ColumnStoreIndex::Kind::kPrimary, 20000);
+  int batches = 0;
+  csi->ScanGroups(0, csi->num_row_groups(), {0}, {},
+                  [&](const ColumnBatch&) { return ++batches < 2; }, nullptr);
+  EXPECT_EQ(batches, 2);
+}
+
+}  // namespace
+}  // namespace hd

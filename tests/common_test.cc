@@ -1,0 +1,149 @@
+// Unit tests for the common module: values, packing, schema, RNG, metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/packed.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace hd {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status nf = Status::NotFound("x");
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ(nf.ToString(), "NotFound: x");
+  Status ab = Status::Aborted("deadlock");
+  EXPECT_TRUE(ab.IsAborted());
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  Result<int> e(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), Code::kInvalidArgument);
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Int32(5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int64(2)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int64(0)), 0);  // NULL sorts first
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentAcrossIntTypes) {
+  EXPECT_EQ(Value::Int32(7).Hash(), Value::Int64(7).Hash());
+  EXPECT_EQ(Value::Double(7.0).Hash(), Value::Int64(7).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(12).ToString(), "12");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(PackedTest, DoubleRoundTrip) {
+  for (double d : {0.0, 1.0, -1.0, 3.14159, -2.71828, 1e300, -1e300, 1e-300,
+                   -1e-300, 42.5}) {
+    EXPECT_DOUBLE_EQ(UnpackDouble(PackDouble(d)), d) << d;
+  }
+}
+
+TEST(PackedTest, DoubleOrderPreserving) {
+  Rng rng(3);
+  std::vector<double> ds;
+  for (int i = 0; i < 1000; ++i) ds.push_back(rng.UniformReal(-1e6, 1e6));
+  ds.push_back(0.0);
+  ds.push_back(-0.5);
+  std::sort(ds.begin(), ds.end());
+  for (size_t i = 1; i < ds.size(); ++i) {
+    if (ds[i - 1] == ds[i]) continue;
+    EXPECT_LT(PackDouble(ds[i - 1]), PackDouble(ds[i]))
+        << ds[i - 1] << " vs " << ds[i];
+  }
+}
+
+TEST(PackedTest, ComparePacked) {
+  int64_t a[] = {1, 2, 3};
+  int64_t b[] = {1, 2, 4};
+  EXPECT_LT(ComparePacked(a, b, 3), 0);
+  EXPECT_EQ(ComparePacked(a, b, 2), 0);
+  EXPECT_GT(ComparePacked(b, a, 3), 0);
+}
+
+TEST(SchemaTest, FindAndWidth) {
+  Schema s({{"a", ValueType::kInt64, 0},
+            {"b", ValueType::kDouble, 0},
+            {"c", ValueType::kString, 20}});
+  EXPECT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.Find("b"), 1);
+  EXPECT_EQ(s.Find("zz"), -1);
+  EXPECT_EQ(s.RowWidth(), 8 + 8 + 20);
+  Schema p = s.Project({2, 0});
+  EXPECT_EQ(p.column(0).name, "c");
+  EXPECT_EQ(p.column(1).name, "a");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ZipfSkewed) {
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(100, 0.9)]++;
+  // Rank 0 should be much more popular than rank 50.
+  EXPECT_GT(counts[0], counts[50] * 3);
+}
+
+TEST(MetricsTest, MergeAndExec) {
+  QueryMetrics a, b;
+  a.cpu_ns = 2'000'000;  // 2 ms
+  a.sim_io_ns = 1'000'000;
+  b.cpu_ns = 1'000'000;
+  b.rows_scanned = 10;
+  a.Merge(b);
+  EXPECT_EQ(a.rows_scanned.load(), 10u);
+  EXPECT_DOUBLE_EQ(a.cpu_ms(), 3.0);
+  a.dop = 1;
+  EXPECT_DOUBLE_EQ(a.exec_ms(), 4.0);
+  a.dop = 2;
+  EXPECT_DOUBLE_EQ(a.exec_ms(), 2.0);
+}
+
+TEST(MetricsTest, PeakMemoryMonotone) {
+  QueryMetrics m;
+  m.UpdatePeakMemory(100);
+  m.UpdatePeakMemory(50);
+  EXPECT_EQ(m.peak_memory_bytes.load(), 100u);
+  m.UpdatePeakMemory(200);
+  EXPECT_EQ(m.peak_memory_bytes.load(), 200u);
+}
+
+}  // namespace
+}  // namespace hd

@@ -1,0 +1,283 @@
+// Edge cases and failure injection: empty tables, degenerate predicates,
+// buffer-pool pressure, tiny grants, delta-store visibility, and
+// optimizer behaviour at boundary conditions.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "workload/micro.h"
+
+namespace hd {
+namespace {
+
+QueryResult RunQ(Database* db, const Query& q, uint64_t grant = 4ull << 30) {
+  Optimizer opt(db);
+  auto plan = opt.Plan(q, Configuration::FromCatalog(*db), {});
+  EXPECT_TRUE(plan.ok());
+  ExecContext ctx;
+  ctx.db = db;
+  ctx.memory_grant_bytes = grant;
+  Executor ex(ctx);
+  QueryResult r = ex.Execute(q, plan->plan);
+  EXPECT_TRUE(r.ok()) << r.status.ToString();
+  return r;
+}
+
+TEST(EdgeTest, EmptyTableQueries) {
+  Database db;
+  auto t = db.CreateTable("empty", Schema({{"a", ValueType::kInt64, 0},
+                                           {"b", ValueType::kInt64, 0}}));
+  ASSERT_TRUE(t.ok());
+  t.value()->Analyze();
+  // All designs on an empty table.
+  for (int design = 0; design < 3; ++design) {
+    if (design == 1) ASSERT_TRUE(t.value()->SetPrimary(PrimaryKind::kBTree, {0}).ok());
+    if (design == 2) ASSERT_TRUE(t.value()->SetPrimary(PrimaryKind::kColumnStore).ok());
+    Query agg;
+    agg.base.table = "empty";
+    agg.aggs = {AggSpec::CountStar(), AggSpec::Sum(Expr::Col(0, 1), "s"),
+                AggSpec::Min(Expr::Col(0, 0))};
+    QueryResult r = RunQ(&db, agg);
+    EXPECT_EQ(r.rows[0][0].i64(), 0);
+    EXPECT_TRUE(r.rows[0][2].is_null());  // min of nothing
+    Query proj;
+    proj.base.table = "empty";
+    proj.select_cols = {ColRef{0, 0}};
+    EXPECT_EQ(RunQ(&db, proj).row_count, 0u);
+    Query grp;
+    grp.base.table = "empty";
+    grp.group_by = {ColRef{0, 0}};
+    grp.aggs = {AggSpec::CountStar()};
+    EXPECT_EQ(RunQ(&db, grp).row_count, 0u);
+  }
+}
+
+TEST(EdgeTest, UpdateMatchingNothing) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 1000;
+  mo.max_value = 10;
+  MakeUniformIntTable(&db, "t", 2, mo);
+  Query u;
+  u.kind = Query::Kind::kUpdate;
+  u.base.table = "t";
+  u.base.preds = {Pred::Eq(0, Value::Int64(999))};  // out of domain
+  u.sets = {UpdateSet::Add(1, 1.0)};
+  EXPECT_EQ(RunQ(&db, u).affected_rows, 0u);
+}
+
+TEST(EdgeTest, SingleRowTable) {
+  Database db;
+  auto t = db.CreateTable("one", Schema({{"a", ValueType::kInt64, 0}}));
+  std::vector<std::vector<int64_t>> cols(1);
+  cols[0].push_back(42);
+  t.value()->BulkLoadPacked(std::move(cols));
+  for (int design = 0; design < 2; ++design) {
+    if (design == 1) ASSERT_TRUE(t.value()->SetPrimary(PrimaryKind::kColumnStore).ok());
+    Query q;
+    q.base.table = "one";
+    q.aggs = {AggSpec::Sum(Expr::Col(0, 0), "s")};
+    EXPECT_EQ(RunQ(&db, q).rows[0][0].i64(), 42);
+  }
+}
+
+TEST(EdgeTest, BufferPoolPressureDuringScan) {
+  // A buffer pool far smaller than the data: every scan thrashes, charges
+  // I/O, and must still return correct answers.
+  DiskConfig disk;
+  Database db(disk, /*buffer_capacity=*/64 * kPageBytes);
+  MicroOptions mo;
+  mo.rows = 200000;
+  mo.max_value = 1000;
+  Table* t = MakeUniformIntTable(&db, "t", 2, mo);
+  ASSERT_TRUE(t->SetPrimary(PrimaryKind::kBTree, {0}).ok());
+  int64_t ref = 0;
+  t->ScanAll([&](int64_t, const int64_t* r) { ref += r[1]; return true; },
+             nullptr);
+  Query q;
+  q.base.table = "t";
+  q.aggs = {AggSpec::Sum(Expr::Col(0, 1), "s")};
+  QueryResult r = RunQ(&db, q);
+  EXPECT_EQ(r.rows[0][0].i64(), ref);
+  EXPECT_GT(r.metrics.sim_io_ms(), 0.0);  // it really thrashed
+  EXPECT_LE(db.buffer_pool()->resident_bytes(), 64 * kPageBytes * 2);
+}
+
+TEST(EdgeTest, TinyGrantStillCorrect) {
+  Database db;
+  Table* t = MakeGroupedTable(&db, "t", 50000, 20000, 5);
+  (void)t;
+  Query q = MicroQ3("t");
+  QueryResult small = RunQ(&db, q, /*grant=*/64 << 10);
+  QueryResult big = RunQ(&db, q);
+  EXPECT_EQ(small.row_count, big.row_count);
+}
+
+TEST(EdgeTest, DeltaRowsVisibleThroughEveryPath) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 20000;
+  mo.max_value = 1000;
+  Table* t = MakeUniformIntTable(&db, "t", 2, mo);
+  ASSERT_TRUE(t->SetPrimary(PrimaryKind::kColumnStore).ok());
+  ASSERT_TRUE(t->CreateSecondaryBTree("ix", {0}, {1}).ok());
+  // Insert rows that only exist in the delta store.
+  Query ins;
+  ins.kind = Query::Kind::kInsert;
+  ins.base.table = "t";
+  for (int i = 0; i < 50; ++i) {
+    ins.insert_rows.push_back({Value::Int64(5000 + i), Value::Int64(1)});
+  }
+  RunQ(&db, ins);
+  EXPECT_GT(t->primary_csi()->delta_rows(), 0u);
+  // Count through the CSI path and through the secondary B+ tree path.
+  Query q;
+  q.base.table = "t";
+  q.base.preds = {Pred::Between(0, Value::Int64(5000), Value::Int64(5049))};
+  q.aggs = {AggSpec::CountStar()};
+  PhysicalPlan csi_plan;
+  csi_plan.base.kind = AccessPath::Kind::kCsiScan;
+  csi_plan.agg = AggMethod::kHash;
+  PhysicalPlan ix_plan;
+  ix_plan.base.kind = AccessPath::Kind::kBTreeRange;
+  ix_plan.base.index_name = "ix";
+  ix_plan.base.seek_cols = 1;
+  ix_plan.agg = AggMethod::kHash;
+  ExecContext ctx;
+  ctx.db = &db;
+  Executor ex(ctx);
+  QueryResult r1 = ex.Execute(q, csi_plan);
+  QueryResult r2 = ex.Execute(q, ix_plan);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.rows[0][0].i64(), r2.rows[0][0].i64());
+  EXPECT_EQ(r1.rows[0][0].i64(), 50);
+}
+
+TEST(EdgeTest, ReorganizePreservesQueryResults) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 30000;
+  mo.max_value = 500;
+  Table* t = MakeUniformIntTable(&db, "t", 2, mo);
+  ASSERT_TRUE(t->CreateSecondaryColumnStore("csi").ok());
+  // Mutate: delete a slice, update another, insert rows.
+  Query del;
+  del.kind = Query::Kind::kDelete;
+  del.base.table = "t";
+  del.base.preds = {Pred::Lt(0, Value::Int64(10))};
+  RunQ(&db, del);
+  Query upd;
+  upd.kind = Query::Kind::kUpdate;
+  upd.base.table = "t";
+  upd.base.preds = {Pred::Eq(0, Value::Int64(100))};
+  upd.sets = {UpdateSet::Add(1, 3)};
+  RunQ(&db, upd);
+  Query q;
+  q.base.table = "t";
+  q.aggs = {AggSpec::CountStar(), AggSpec::Sum(Expr::Col(0, 1), "s")};
+  QueryResult before = RunQ(&db, q);
+  t->FindSecondary("csi")->csi->Reorganize();
+  QueryResult after = RunQ(&db, q);
+  EXPECT_EQ(before.rows[0][0].i64(), after.rows[0][0].i64());
+  EXPECT_EQ(before.rows[0][1].i64(), after.rows[0][1].i64());
+  EXPECT_EQ(t->FindSecondary("csi")->csi->delete_buffer_rows(), 0u);
+}
+
+TEST(EdgeTest, OptimizerSortedCsiRespectsRowGroupGranularity) {
+  // On a table smaller than one row group, a sorted CSI cannot skip;
+  // a selective query must prefer the B+ tree.
+  Database db;
+  MicroOptions mo;
+  mo.rows = 60000;  // < 131072 = one row group
+  mo.max_value = 1 << 30;
+  Table* t = MakeUniformIntTable(&db, "t", 2, mo);
+  ASSERT_TRUE(t->SetPrimary(PrimaryKind::kBTree, {0}).ok());
+  ASSERT_TRUE(t->CreateSecondaryColumnStore("csi", /*sort_col=*/0).ok());
+  Query q = MicroQ1("t", 0.0001, 1 << 30);
+  Optimizer opt(&db);
+  auto plan = opt.Plan(q, Configuration::FromCatalog(db), {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->plan.base.is_btree()) << plan->plan.Describe();
+}
+
+TEST(EdgeTest, StringEqualityOnAbsentValue) {
+  Database db;
+  auto t = db.CreateTable("t", Schema({{"s", ValueType::kString, 8},
+                                       {"v", ValueType::kInt64, 0}}));
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({Value::String("x" + std::to_string(i % 5)),
+                    Value::Int64(i)});
+  }
+  t.value()->BulkLoad(rows);
+  Query q;
+  q.base.table = "t";
+  q.base.preds = {Pred::Eq(0, Value::String("never-seen"))};
+  q.aggs = {AggSpec::CountStar()};
+  EXPECT_EQ(RunQ(&db, q).rows[0][0].i64(), 0);
+}
+
+TEST(EdgeTest, WidePredicateOnEveryColumn) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 10000;
+  mo.max_value = 100;
+  MakeUniformIntTable(&db, "t", 4, mo);
+  Query q;
+  q.base.table = "t";
+  for (int c = 0; c < 4; ++c) {
+    q.base.preds.push_back(
+        Pred::Between(c, Value::Int64(10), Value::Int64(90)));
+  }
+  q.aggs = {AggSpec::CountStar()};
+  QueryResult r = RunQ(&db, q);
+  int64_t ref = 0;
+  db.GetTable("t")->ScanAll(
+      [&](int64_t, const int64_t* row) {
+        bool ok = true;
+        for (int c = 0; c < 4; ++c) ok &= row[c] >= 10 && row[c] <= 90;
+        ref += ok;
+        return true;
+      },
+      nullptr);
+  EXPECT_EQ(r.rows[0][0].i64(), ref);
+}
+
+TEST(EdgeTest, LimitZero) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 1000;
+  MakeUniformIntTable(&db, "t", 1, mo);
+  Query q;
+  q.base.table = "t";
+  q.select_cols = {ColRef{0, 0}};
+  q.limit = 0;
+  EXPECT_EQ(RunQ(&db, q).row_count, 0u);
+}
+
+TEST(EdgeTest, DoubleColumnMinMaxThroughPackedOrder) {
+  Database db;
+  auto t = db.CreateTable("t", Schema({{"d", ValueType::kDouble, 0}}));
+  Rng rng(6);
+  std::vector<std::vector<int64_t>> cols(1);
+  double ref_min = 1e300, ref_max = -1e300;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformReal(-1e6, 1e6);
+    ref_min = std::min(ref_min, v);
+    ref_max = std::max(ref_max, v);
+    cols[0].push_back(t.value()->PackValue(0, Value::Double(v)));
+  }
+  t.value()->BulkLoadPacked(std::move(cols));
+  ASSERT_TRUE(t.value()->SetPrimary(PrimaryKind::kColumnStore).ok());
+  Query q;
+  q.base.table = "t";
+  q.aggs = {AggSpec::Min(Expr::Col(0, 0)), AggSpec::Max(Expr::Col(0, 0))};
+  QueryResult r = RunQ(&db, q);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].f64(), ref_min);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].f64(), ref_max);
+}
+
+}  // namespace
+}  // namespace hd

@@ -1,0 +1,268 @@
+// Optimizer tests: selectivity estimation, access-path selection, what-if
+// configurations, plan-shape decisions.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "workload/micro.h"
+#include "workload/tpch.h"
+
+namespace hd {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() {
+    MicroOptions mo;
+    mo.rows = 100000;
+    mo.max_value = 99999;
+    t_ = MakeUniformIntTable(&db_, "t", 2, mo);
+    opt_ = std::make_unique<Optimizer>(&db_);
+  }
+  Database db_;
+  Table* t_;
+  std::unique_ptr<Optimizer> opt_;
+};
+
+TEST_F(OptimizerTest, SelectivityRange) {
+  std::vector<Pred> preds = {Pred::Lt(0, Value::Int64(10000))};
+  EXPECT_NEAR(opt_->PredSelectivity(*t_, preds), 0.1, 0.03);
+  preds = {Pred::Between(0, Value::Int64(0), Value::Int64(99999))};
+  EXPECT_NEAR(opt_->PredSelectivity(*t_, preds), 1.0, 0.05);
+}
+
+TEST_F(OptimizerTest, SelectivityEqFrequentValue) {
+  Table* g = MakeGroupedTable(&db_, "g", 60000, 6, 3);
+  std::vector<Pred> preds = {Pred::Eq(0, Value::Int64(3))};
+  EXPECT_NEAR(opt_->PredSelectivity(*g, preds), 1.0 / 6, 0.05);
+}
+
+TEST_F(OptimizerTest, SelectivityConjunction) {
+  std::vector<Pred> preds = {Pred::Lt(0, Value::Int64(10000)),
+                             Pred::Lt(1, Value::Int64(50000))};
+  EXPECT_NEAR(opt_->PredSelectivity(*t_, preds), 0.05, 0.02);
+}
+
+TEST_F(OptimizerTest, ImpossiblePredicateZeroSelectivity) {
+  std::vector<Pred> preds = {
+      Pred::Between(0, Value::Int64(10), Value::Int64(5))};
+  EXPECT_DOUBLE_EQ(opt_->PredSelectivity(*t_, preds), 0.0);
+}
+
+TEST_F(OptimizerTest, PicksSeekAtLowSelectivity) {
+  ASSERT_TRUE(t_->SetPrimary(PrimaryKind::kBTree, {0}).ok());
+  ASSERT_TRUE(t_->CreateSecondaryColumnStore("csi").ok());
+  Query q = MicroQ1("t", 0.0001, 99999);
+  auto plan = opt_->Plan(q, Configuration::FromCatalog(db_), {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan.base.kind, AccessPath::Kind::kBTreeRange)
+      << plan->plan.Describe();
+}
+
+TEST_F(OptimizerTest, PicksCsiAtHighSelectivity) {
+  ASSERT_TRUE(t_->SetPrimary(PrimaryKind::kBTree, {0}).ok());
+  ASSERT_TRUE(t_->CreateSecondaryColumnStore("csi").ok());
+  Query q = MicroQ1("t", 0.9, 99999);
+  auto plan = opt_->Plan(q, Configuration::FromCatalog(db_), {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan.base.kind, AccessPath::Kind::kCsiScan)
+      << plan->plan.Describe();
+}
+
+TEST_F(OptimizerTest, WhatIfHypotheticalBTreeLowersCost) {
+  // No materialized secondary: a hypothetical B+ tree on col0 must lower
+  // the estimated cost of a selective query without being built.
+  Query q = MicroQ1("t", 0.0001, 99999);
+  Configuration base = Configuration::FromCatalog(db_);
+  auto c0 = opt_->WhatIfCost(q, base, {});
+  ASSERT_TRUE(c0.ok());
+  Configuration hyp = base;
+  ConfigIndex ix;
+  ix.def.type = IndexDef::Type::kBTree;
+  ix.def.name = "hyp_ix";
+  ix.def.key_cols = {0};
+  ix.def.included_cols = {1};
+  ix.stats = EstimateBTreeStats(*t_, ix.def);
+  ix.hypothetical = true;
+  hyp.FindMutable("t")->secondaries.push_back(ix);
+  auto c1 = opt_->WhatIfCost(q, hyp, {});
+  ASSERT_TRUE(c1.ok());
+  EXPECT_LT(*c1, *c0 / 5);
+  // The table itself is untouched.
+  EXPECT_TRUE(t_->secondaries().empty());
+}
+
+TEST_F(OptimizerTest, ColdPlanningChargesIo) {
+  Query q = MicroQ1("t", 0.5, 99999);
+  Configuration cfg = Configuration::FromCatalog(db_);
+  PlanOptions hot, cold;
+  cold.cold = true;
+  auto ch = opt_->WhatIfCost(q, cfg, hot);
+  auto cc = opt_->WhatIfCost(q, cfg, cold);
+  EXPECT_GT(*cc, *ch);
+}
+
+TEST_F(OptimizerTest, UpdateCostPenalizesCsi) {
+  // The same UPDATE must be estimated costlier when a secondary CSI must
+  // be maintained, and costlier still on a primary CSI.
+  Database db;
+  TpchOptions to;
+  to.rows = 50000;
+  Table* li = MakeLineitem(&db, "li", to);
+  ASSERT_TRUE(li->SetPrimary(PrimaryKind::kBTree,
+                             {LineitemCols::kOrderKey,
+                              LineitemCols::kLineNumber}).ok());
+  ASSERT_TRUE(li->CreateSecondaryBTree("ix_ship",
+                                       {LineitemCols::kShipDate}, {}).ok());
+  Optimizer opt(&db);
+  Query upd = TpchQ4("li", 100, kTpchShipDateLo + 10);
+
+  Configuration cfg_bt = Configuration::FromCatalog(db);
+  auto c_bt = opt.WhatIfCost(upd, cfg_bt, {});
+
+  Configuration cfg_sec = cfg_bt;
+  ConfigIndex csi;
+  csi.def.type = IndexDef::Type::kColumnStore;
+  csi.def.name = "csi";
+  csi.stats.rows = li->num_rows();
+  csi.stats.size_bytes = 4 << 20;
+  cfg_sec.FindMutable("li")->secondaries.push_back(csi);
+  auto c_sec = opt.WhatIfCost(upd, cfg_sec, {});
+
+  Configuration cfg_pri = cfg_bt;
+  cfg_pri.FindMutable("li")->primary = PrimaryKind::kColumnStore;
+  cfg_pri.FindMutable("li")->primary_keys.clear();
+  auto c_pri = opt.WhatIfCost(upd, cfg_pri, {});
+
+  EXPECT_GT(*c_sec, *c_bt);
+  EXPECT_GT(*c_pri, *c_sec);
+}
+
+TEST_F(OptimizerTest, StreamAggChosenUnderTightGrant) {
+  // Slow medium: spilling a hash aggregate must hurt (Fig. 4's setup).
+  DiskConfig slow;
+  slow.read_bw_mb_s = 60;
+  slow.write_bw_mb_s = 25;
+  Database db(slow);
+  Table* g = MakeGroupedTable(&db, "g", 400000, 200000, 9);
+  ASSERT_TRUE(g->SetPrimary(PrimaryKind::kBTree, {0}).ok());
+  Optimizer opt(&db);
+  Query q = MicroQ3("g");
+  PlanOptions tight;
+  tight.memory_grant_bytes = 1 << 20;
+  auto plan = opt.Plan(q, Configuration::FromCatalog(db), tight);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan.agg, AggMethod::kStream) << plan->plan.Describe();
+}
+
+TEST_F(OptimizerTest, NonCoveringIndexPenalized) {
+  // Three columns so the clustering key (col2) does not cover the measure
+  // (col1): the secondary that includes col1 must win the covering query.
+  Database db;
+  MicroOptions mo;
+  mo.rows = 100000;
+  mo.max_value = 99999;
+  Table* t = MakeUniformIntTable(&db, "t3", 3, mo);
+  ASSERT_TRUE(t->SetPrimary(PrimaryKind::kBTree, {2}).ok());
+  ASSERT_TRUE(t->CreateSecondaryBTree("ix_plain", {0}, {}).ok());
+  ASSERT_TRUE(t->CreateSecondaryBTree("ix_cover", {0}, {1}).ok());
+  Query q = MicroQ1("t3", 0.001, 99999);
+  q.aggs[0] = AggSpec::Sum(Expr::Col(0, 1), "s");  // needs col1
+  Optimizer opt(&db);
+  auto plan = opt.Plan(q, Configuration::FromCatalog(db), {});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan.base.index_name, "ix_cover") << plan->plan.Describe();
+}
+
+TEST_F(OptimizerTest, DimDrivenPlanChosenForSelectiveDim) {
+  Database db;
+  // Fact with fk + measure; small dim with a selective attribute.
+  auto fact = db.CreateTable("fact", Schema({{"fk", ValueType::kInt64, 0},
+                                             {"m", ValueType::kInt64, 0}}));
+  Rng rng(4);
+  std::vector<std::vector<int64_t>> fcols(2);
+  for (int i = 0; i < 200000; ++i) {
+    fcols[0].push_back(rng.Uniform(0, 999));
+    fcols[1].push_back(i);
+  }
+  fact.value()->BulkLoadPacked(std::move(fcols));
+  ASSERT_TRUE(fact.value()->SetPrimary(PrimaryKind::kBTree, {0}).ok());
+  ASSERT_TRUE(fact.value()->CreateSecondaryColumnStore("csi").ok());
+  auto dim = db.CreateTable("dim", Schema({{"pk", ValueType::kInt64, 0},
+                                           {"attr", ValueType::kInt64, 0}}));
+  std::vector<std::vector<int64_t>> dcols(2);
+  for (int i = 0; i < 1000; ++i) {
+    dcols[0].push_back(i);
+    dcols[1].push_back(i);  // unique attr
+  }
+  dim.value()->BulkLoadPacked(std::move(dcols));
+  Query q;
+  q.base.table = "fact";
+  JoinClause jc;
+  jc.dim.table = "dim";
+  jc.base_col = 0;
+  jc.dim_col = 0;
+  jc.dim.preds = {Pred::Eq(1, Value::Int64(77))};  // one dim row
+  q.joins.push_back(jc);
+  q.aggs = {AggSpec::Sum(Expr::Col(0, 1), "s")};
+  Optimizer opt(&db);
+  PlanOptions po;
+  po.max_dop = 1;
+  auto plan = opt.Plan(q, Configuration::FromCatalog(db), po);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan.driving_join, 0) << plan->plan.Describe();
+}
+
+TEST(ConfigTest, FromCatalogSnapshotsSizes) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 20000;
+  Table* t = MakeUniformIntTable(&db, "t", 2, mo);
+  ASSERT_TRUE(t->CreateSecondaryColumnStore("csi").ok());
+  Configuration cfg = Configuration::FromCatalog(db);
+  const TableConfig* tc = cfg.Find("t");
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->primary_stats.rows, 20000u);
+  ASSERT_EQ(tc->secondaries.size(), 1u);
+  EXPECT_GT(tc->secondaries[0].stats.size_bytes, 0u);
+  EXPECT_EQ(tc->secondaries[0].stats.column_bytes.size(), 2u);
+  EXPECT_GT(cfg.SecondaryBytes(), 0u);
+}
+
+TEST(ConfigTest, MaterializeApplies) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 5000;
+  Table* t = MakeUniformIntTable(&db, "t", 2, mo);
+  Configuration cfg = Configuration::FromCatalog(db);
+  TableConfig* tc = cfg.FindMutable("t");
+  tc->primary = PrimaryKind::kBTree;
+  tc->primary_keys = {0};
+  ConfigIndex csi;
+  csi.def.type = IndexDef::Type::kColumnStore;
+  csi.def.name = "csi_t";
+  tc->secondaries.push_back(csi);
+  ASSERT_TRUE(MaterializeConfiguration(&db, cfg).ok());
+  EXPECT_EQ(t->primary_kind(), PrimaryKind::kBTree);
+  EXPECT_TRUE(t->has_secondary_csi());
+}
+
+TEST(ConfigTest, BTreeSizeEstimateMatchesActual) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 100000;
+  Table* t = MakeUniformIntTable(&db, "t", 3, mo);
+  IndexDef def;
+  def.type = IndexDef::Type::kBTree;
+  def.name = "ix";
+  def.key_cols = {0};
+  def.included_cols = {1};
+  IndexStatsInfo est = EstimateBTreeStats(*t, def);
+  ASSERT_TRUE(t->CreateSecondaryBTree("ix", {0}, {1}).ok());
+  const uint64_t actual = t->FindSecondary("ix")->size_bytes();
+  EXPECT_GT(est.size_bytes, actual / 2);
+  EXPECT_LT(est.size_bytes, actual * 2);
+}
+
+}  // namespace
+}  // namespace hd

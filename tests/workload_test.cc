@@ -1,0 +1,164 @@
+// Workload generator tests: schema shapes, determinism, query validity
+// (every generated query must plan and execute).
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "workload/ch.h"
+#include "workload/customer.h"
+#include "workload/micro.h"
+#include "workload/tpcds.h"
+#include "workload/tpch.h"
+
+namespace hd {
+namespace {
+
+QueryResult MustRun(Database* db, const Query& q) {
+  Optimizer opt(db);
+  auto plan = opt.Plan(q, Configuration::FromCatalog(*db), {});
+  EXPECT_TRUE(plan.ok()) << q.id << ": " << plan.status().ToString();
+  ExecContext ctx;
+  ctx.db = db;
+  ctx.max_dop = 2;
+  Executor ex(ctx);
+  QueryResult r = ex.Execute(q, plan->plan);
+  EXPECT_TRUE(r.ok()) << q.id << ": " << r.status.ToString();
+  return r;
+}
+
+TEST(TpchGenTest, SchemaAndDeterminism) {
+  Database db1, db2;
+  TpchOptions to;
+  to.rows = 20000;
+  Table* a = MakeLineitem(&db1, "li", to);
+  Table* b = MakeLineitem(&db2, "li", to);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->num_columns(), LineitemCols::kNumCols);
+  EXPECT_EQ(a->num_rows(), 20000u);
+  // Same seed => identical data.
+  int64_t sum_a = 0, sum_b = 0;
+  a->ScanAll([&](int64_t, const int64_t* r) { sum_a += r[0] + r[9]; return true; }, nullptr);
+  b->ScanAll([&](int64_t, const int64_t* r) { sum_b += r[0] + r[9]; return true; }, nullptr);
+  EXPECT_EQ(sum_a, sum_b);
+}
+
+TEST(TpchGenTest, Q4AndQ5Execute) {
+  Database db;
+  TpchOptions to;
+  to.rows = 30000;
+  MakeLineitem(&db, "li", to);
+  QueryResult r5 = MustRun(&db, TpchQ5("li", kTpchShipDateLo + 100));
+  ASSERT_EQ(r5.rows.size(), 1u);
+  QueryResult r4 = MustRun(&db, TpchQ4("li", 3, kTpchShipDateLo + 100));
+  EXPECT_LE(r4.affected_rows, 3u);
+}
+
+TEST(TpcdsGenTest, AllQueriesExecute) {
+  Database db;
+  TpcdsOptions to;
+  to.fact_rows = 30000;
+  to.num_queries = 97;
+  GeneratedWorkload w = MakeTpcds(&db, to);
+  EXPECT_EQ(w.queries.size(), 97u);
+  EXPECT_GE(db.tables().size(), 10u);
+  int executed = 0;
+  for (const auto& q : w.queries) {
+    MustRun(&db, q);
+    ++executed;
+  }
+  EXPECT_EQ(executed, 97);
+}
+
+TEST(TpcdsGenTest, DimensionsHaveExpectedShapes) {
+  Database db;
+  TpcdsOptions to;
+  to.fact_rows = 5000;
+  MakeTpcds(&db, to);
+  EXPECT_EQ(db.GetTable("item")->num_rows(), 2000u);
+  EXPECT_EQ(db.GetTable("customer")->num_rows(), 10000u);
+  EXPECT_GT(db.GetTable("date_dim")->num_rows(), 2000u);
+  EXPECT_EQ(db.GetTable("store_sales")->num_rows(), 5000u);
+  EXPECT_EQ(db.GetTable("web_sales")->num_rows(), 2500u);
+}
+
+TEST(CustomerGenTest, ProfilesMatchTable2QueryCounts) {
+  const int expect_q[5] = {36, 40, 40, 24, 47};
+  for (int c = 1; c <= 5; ++c) {
+    EXPECT_EQ(CustProfile(c).num_queries, expect_q[c - 1]) << "cust" << c;
+  }
+  EXPECT_GT(CustProfile(5).min_joins, 12);  // the deep-join workload
+}
+
+TEST(CustomerGenTest, GeneratedQueriesExecute) {
+  Database db;
+  CustomerProfile p = CustProfile(4);
+  GeneratedWorkload w = MakeCustomer(&db, p, 0.05);
+  EXPECT_EQ(static_cast<int>(w.queries.size()), p.num_queries);
+  for (const auto& q : w.queries) MustRun(&db, q);
+}
+
+TEST(ChGenTest, SchemaLoads) {
+  Database db;
+  ChOptions co;
+  co.warehouses = 2;
+  ChBenchmark ch(&db, co);
+  EXPECT_EQ(db.GetTable("warehouse")->num_rows(), 2u);
+  EXPECT_EQ(db.GetTable("stock")->num_rows(), 20000u);
+  EXPECT_GT(db.GetTable("order_line")->num_rows(),
+            db.GetTable("orders")->num_rows() * 4);
+}
+
+TEST(ChGenTest, AnalyticQueriesExecute) {
+  Database db;
+  ChOptions co;
+  co.warehouses = 2;
+  co.initial_orders_per_district = 50;
+  ChBenchmark ch(&db, co);
+  for (const auto& q : ch.AnalyticQueries(5)) MustRun(&db, q);
+}
+
+TEST(ChGenTest, TransactionsRunThroughDriver) {
+  Database db;
+  ChOptions co;
+  co.warehouses = 2;
+  co.initial_orders_per_district = 50;
+  ChBenchmark ch(&db, co);
+  TransactionManager tm;
+  MixedOptions mo;
+  mo.threads = 3;
+  mo.total_ops = 60;
+  MixedResult r = RunMixedTxnWorkload(&db, &tm, ch.MakeGenerator(), mo);
+  uint64_t total = 0;
+  bool has_neworder = false;
+  for (auto& [type, st] : r.per_type) {
+    total += st.count;
+    has_neworder |= type == "NewOrder";
+  }
+  EXPECT_EQ(total, 60u);
+  EXPECT_TRUE(has_neworder);
+  // NewOrder inserts landed.
+  EXPECT_GT(db.GetTable("orders")->num_rows(), 2u * 10 * 50);
+}
+
+TEST(MixedDriverTest, CountsAndLatencies) {
+  Database db;
+  MicroOptions mo;
+  mo.rows = 5000;
+  MakeUniformIntTable(&db, "t", 1, mo);
+  TransactionManager tm;
+  MixedOptions opts;
+  opts.threads = 2;
+  opts.total_ops = 50;
+  OpGenerator gen = [](int, Rng*) {
+    Query q = MicroQ1("t", 0.5, (1u << 31) - 1);
+    q.id = "q";
+    return q;
+  };
+  MixedResult r = RunMixedWorkload(&db, &tm, gen, opts);
+  ASSERT_EQ(r.per_type.count("q"), 1u);
+  EXPECT_EQ(r.per_type["q"].count, 50u);
+  EXPECT_GT(r.per_type["q"].mean_ms(), 0.0);
+  EXPECT_GE(r.per_type["q"].p95_ms(), r.per_type["q"].median_ms());
+}
+
+}  // namespace
+}  // namespace hd
