@@ -38,12 +38,20 @@ int main() {
     w.push_back(q);
   }
 
+  BenchJson json("ext_sorted_csi");
+  int step = 0;
   auto measure = [&](const char* label) {
-    double cpu = 0;
+    QueryMetrics total;
     for (const auto& q : w) {
-      cpu += RunQuery(&db, q, 8ull << 30, 1).metrics.cpu_ms();
+      total.Merge(RunQuery(&db, q, 8ull << 30, 1).metrics);
     }
-    std::printf("%-28s total cpu %10.2f ms\n", label, cpu);
+    const double cpu = total.cpu_ms();
+    std::printf("%-28s total cpu %10.2f ms  (segments_skipped %llu, "
+                "runs_evaluated %llu)\n",
+                label, cpu,
+                static_cast<unsigned long long>(total.segments_skipped.load()),
+                static_cast<unsigned long long>(total.runs_evaluated.load()));
+    json.Point(label, step++, total);
     return cpu;
   };
 
@@ -87,5 +95,6 @@ int main() {
   Shape(sorted < btree * 3,
         "sorted CSI competitive with a covering B+ tree on 2% ranges "
         "(batch mode offsets the coarser skipping granularity)");
+  json.Write();
   return 0;
 }

@@ -36,12 +36,19 @@ int main() {
   const std::vector<double> sel_pct = {0.01, 0.05, 0.1, 0.2, 0.5,
                                        1,    2,    5,   10,  20, 40};
   std::vector<double> bt_cpu, bt_serial_cpu, csi_cpu;
+  BenchJson json("fig13_concurrency");
   for (double pct : sel_pct) {
     Query qb = MicroQ1Range("t_btree", pct / 100, maxv);
     Query qc = MicroQ1Range("t_csi", pct / 100, maxv);
-    bt_cpu.push_back(MedianRun(&db, qb, 3, false).cpu_ms());
-    bt_serial_cpu.push_back(MedianRun(&db, qb, 3, false, 8ull << 30, 1).cpu_ms());
-    csi_cpu.push_back(MedianRun(&db, qc, 3, false).cpu_ms());
+    QueryMetrics mb = MedianRun(&db, qb, 3, false);
+    QueryMetrics mbs = MedianRun(&db, qb, 3, false, 8ull << 30, 1);
+    QueryMetrics mc = MedianRun(&db, qc, 3, false);
+    bt_cpu.push_back(mb.cpu_ms());
+    bt_serial_cpu.push_back(mbs.cpu_ms());
+    csi_cpu.push_back(mc.cpu_ms());
+    json.Point("btree_parallel", pct, mb);
+    json.Point("btree_serial", pct, mbs);
+    json.Point("csi_parallel", pct, mc);
   }
 
   // Processor-sharing latency model on the paper's 40-core box.
@@ -68,7 +75,9 @@ int main() {
     }
     if (crossing < 0) crossing = sel_pct.back();
     cross.ys.push_back(crossing);
+    json.Value("crossover", kd, "crossover_sel_pct", crossing);
   }
+  json.Write();
 
   std::printf("Figure 13 reproduction: %llu rows, processor-sharing model of "
               "a %d-core server\n",

@@ -37,6 +37,7 @@ int main() {
   Series csi_hot{"CSI hot", {}}, bt_hot{"B+tree hot", {}};
   Series csi_cpu_c{"CSI cpu cold", {}}, bt_cpu_c{"B+ cpu cold", {}};
   Series csi_cpu_h{"CSI cpu hot", {}}, bt_cpu_h{"B+ cpu hot", {}};
+  BenchJson json("fig1_selectivity");
 
   for (double pct : sel_pct) {
     const double sel = pct / 100.0;
@@ -55,7 +56,12 @@ int main() {
     csi_cpu_c.ys.push_back(mcc.cpu_ms());
     bt_cpu_h.ys.push_back(mbh.cpu_ms());
     csi_cpu_h.ys.push_back(mch.cpu_ms());
+    json.Point("btree_cold", pct, mbc);
+    json.Point("csi_cold", pct, mcc);
+    json.Point("btree_hot", pct, mbh);
+    json.Point("csi_hot", pct, mch);
   }
+  json.Write();
 
   std::printf("Figure 1 reproduction: %llu rows, 1 int column\n",
               static_cast<unsigned long long>(rows));

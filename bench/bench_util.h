@@ -111,5 +111,61 @@ inline void Shape(bool ok, const std::string& claim) {
   std::printf("SHAPE %-4s %s\n", ok ? "[ok]" : "[??]", claim.c_str());
 }
 
+/// Machine-readable bench output: collects one record per measured point
+/// (plotted value plus the execution counters — morsel scheduling,
+/// encoded-domain predicate work) and writes `BENCH_<name>.json` in the
+/// working directory on Write().
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Record one measured point of `series` with its full metrics block.
+  void Point(const std::string& series, double x, const QueryMetrics& m) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"series\": \"%s\", \"x\": %g, \"exec_ms\": %.4f, "
+        "\"cpu_ms\": %.4f, \"io_ms\": %.4f, \"dop\": %d, "
+        "\"morsels_scheduled\": %llu, \"morsels_stolen\": %llu, "
+        "\"segments_skipped\": %llu, \"runs_evaluated\": %llu, "
+        "\"rows_decoded\": %llu, \"rows_scanned\": %llu}",
+        series.c_str(), x, m.exec_ms(), m.cpu_ms(), m.sim_io_ms(), m.dop,
+        static_cast<unsigned long long>(m.morsels_scheduled.load()),
+        static_cast<unsigned long long>(m.morsels_stolen.load()),
+        static_cast<unsigned long long>(m.segments_skipped.load()),
+        static_cast<unsigned long long>(m.runs_evaluated.load()),
+        static_cast<unsigned long long>(m.rows_decoded.load()),
+        static_cast<unsigned long long>(m.rows_scanned.load()));
+    points_.emplace_back(buf);
+  }
+
+  /// Record a point carrying a scalar only (wall-clock series etc.).
+  void Value(const std::string& series, double x, const char* key, double v) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "{\"series\": \"%s\", \"x\": %g, \"%s\": %.4f}",
+                  series.c_str(), x, key, v);
+    points_.emplace_back(buf);
+  }
+
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"points\": [\n", name_.c_str());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", points_[i].c_str(),
+                   i + 1 < points_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu points)\n", path.c_str(), points_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> points_;
+};
+
 }  // namespace bench
 }  // namespace hd

@@ -236,31 +236,51 @@ void ColumnStoreIndex::ScanGroups(
     int group_begin, int group_end, const std::vector<int>& cols_needed,
     const std::vector<SegPredicate>& preds,
     const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
-    bool need_locators) const {
+    bool need_locators,
+    const std::unordered_set<int64_t>* delete_snapshot) const {
   group_end = std::min(group_end, num_row_groups());
-  // Anti-join set from the delete buffer (secondary CSI only).
-  std::unordered_set<int64_t> dead = SnapshotDeleteBuffer(m);
+  // Anti-join set from the delete buffer (secondary CSI only). Parallel
+  // scans snapshot once and share it across morsels via delete_snapshot.
+  std::unordered_set<int64_t> local_dead;
+  if (delete_snapshot == nullptr) local_dead = SnapshotDeleteBuffer(m);
+  const std::unordered_set<int64_t>& dead =
+      delete_snapshot != nullptr ? *delete_snapshot : local_dead;
   const bool check_dead = !dead.empty();
 
   // Scratch buffers reused across batches.
   std::vector<std::vector<int64_t>> dec(cols_needed.size());
   for (auto& d : dec) d.resize(kBatchSize);
-  std::vector<int64_t> pred_buf(kBatchSize);
+  std::vector<uint8_t> match(kBatchSize);
   std::vector<int64_t> loc_buf(kBatchSize);
   std::vector<std::vector<int64_t>> out_cols(cols_needed.size());
   for (auto& d : out_cols) d.resize(kBatchSize);
   std::vector<int64_t> out_locs(kBatchSize);
   std::vector<uint16_t> sel(kBatchSize);
+  // Predicates translated into the current group's encoded domain.
+  struct GroupPred {
+    const ColumnSegment* seg;
+    ColumnSegment::CodeRange cr;
+  };
+  std::vector<GroupPred> active;
+  active.reserve(preds.size());
 
   for (int gi = group_begin; gi < group_end; ++gi) {
     const RowGroup& g = *groups_[gi];
-    // Segment elimination via min/max (data skipping).
+    // Translate each predicate into this group's encoded domain: one
+    // dictionary binary search per segment. A `none` result eliminates
+    // the group (min/max data skipping, or a dictionary miss inside the
+    // [min,max] envelope); an `all` result proves every row passes, so
+    // the scan skips predicate evaluation entirely (decode-only).
+    active.clear();
     bool skip = false;
     for (const auto& p : preds) {
-      if (g.segment(p.col).CanSkip(p.lo, p.hi)) {
+      const ColumnSegment& seg = g.segment(p.col);
+      ColumnSegment::CodeRange cr = seg.TranslateRange(p.lo, p.hi);
+      if (cr.none) {
         skip = true;
         break;
       }
+      if (!cr.all) active.push_back(GroupPred{&seg, cr});
     }
     if (skip) {
       if (m != nullptr) m->segments_skipped += cols_needed.size() + 1;
@@ -279,27 +299,20 @@ void ColumnStoreIndex::ScanGroups(
     const size_t n = g.num_rows();
     for (size_t start = 0; start < n; start += kBatchSize) {
       const int take = static_cast<int>(std::min<size_t>(kBatchSize, n - start));
-      // Build the selection vector by evaluating predicates vectorized.
+      // Build the selection vector from encoded-domain predicate matches.
       int nsel = 0;
-      if (preds.empty()) {
+      if (active.empty()) {
         for (int i = 0; i < take; ++i) sel[nsel++] = static_cast<uint16_t>(i);
       } else {
-        // First predicate initializes the selection, the rest refine it.
-        g.segment(preds[0].col).Decode(start, take, pred_buf.data());
-        for (int i = 0; i < take; ++i) {
-          const int64_t v = pred_buf[i];
-          sel[nsel] = static_cast<uint16_t>(i);
-          nsel += (v >= preds[0].lo) & (v <= preds[0].hi);
+        uint64_t runs = 0;
+        for (size_t pi = 0; pi < active.size(); ++pi) {
+          runs += active[pi].seg->EvalRange(start, take, active[pi].cr,
+                                            /*refine=*/pi > 0, match.data());
         }
-        for (size_t pi = 1; pi < preds.size() && nsel > 0; ++pi) {
-          g.segment(preds[pi].col).Decode(start, take, pred_buf.data());
-          int k = 0;
-          for (int s = 0; s < nsel; ++s) {
-            const int64_t v = pred_buf[sel[s]];
-            sel[k] = sel[s];
-            k += (v >= preds[pi].lo) & (v <= preds[pi].hi);
-          }
-          nsel = k;
+        if (m != nullptr) m->runs_evaluated += runs;
+        for (int i = 0; i < take; ++i) {
+          sel[nsel] = static_cast<uint16_t>(i);
+          nsel += match[i];
         }
       }
       if (m != nullptr) m->rows_scanned += take;
@@ -320,11 +333,14 @@ void ColumnStoreIndex::ScanGroups(
         nsel = k;
         if (nsel == 0) continue;
       }
-      // Materialize requested columns for selected positions.
+      // Materialize requested columns for selected positions. Only batches
+      // that survive the encoded-domain filter reach this decode — the
+      // rows_decoded counter measures exactly that deferred work.
       ColumnBatch batch;
       batch.count = nsel;
       batch.cols.resize(cols_needed.size());
       const bool dense = nsel == take;
+      if (m != nullptr) m->rows_decoded += static_cast<uint64_t>(take);
       for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
         g.segment(cols_needed[ci]).Decode(start, take, dec[ci].data());
         if (dense) {

@@ -87,17 +87,24 @@ class ColumnStoreIndex {
   uint64_t column_size_bytes(int col) const;
 
   /// Vectorized scan of row groups [group_begin, group_end) — the unit of
-  /// parallelism. Decodes `cols_needed`, applies `preds` with segment
-  /// elimination, filters deleted rows (bitmap + delete-buffer anti-join),
-  /// and invokes `fn` per batch. `fn` returns false to stop.
+  /// parallelism (one row group = one morsel). Decodes `cols_needed`,
+  /// applies `preds` in the encoded domain (dictionary code space, per-run
+  /// RLE evaluation, min/max all-pass fast path) with segment elimination,
+  /// filters deleted rows (bitmap + delete-buffer anti-join), and invokes
+  /// `fn` per batch. `fn` returns false to stop.
   /// `need_locators` = false lets read-only scans skip decoding locator
   /// segments (they are still decoded when delete filtering requires it);
   /// ColumnBatch::locators is null in that case.
+  /// `delete_snapshot`, when non-null, is a caller-held delete-buffer
+  /// snapshot shared across the morsels of one scan (so a parallel scan
+  /// does not re-snapshot per row group); null snapshots internally.
   void ScanGroups(int group_begin, int group_end,
                   const std::vector<int>& cols_needed,
                   const std::vector<SegPredicate>& preds,
                   const std::function<bool(const ColumnBatch&)>& fn,
-                  QueryMetrics* m, bool need_locators = true) const;
+                  QueryMetrics* m, bool need_locators = true,
+                  const std::unordered_set<int64_t>* delete_snapshot =
+                      nullptr) const;
 
   /// Row-mode scan of the delta store (queries must union this in).
   void ScanDelta(const std::vector<int>& cols_needed,

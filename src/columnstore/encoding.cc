@@ -74,6 +74,40 @@ void BitPacked::Decode(size_t start, size_t count, uint64_t* out) const {
   }
 }
 
+void BitPacked::EvalRange(size_t start, size_t count, uint64_t lo,
+                          uint64_t hi, bool refine, uint8_t* out) const {
+  assert(start + count <= n_);
+  if (bits_ == 0) {
+    const uint8_t match = lo == 0;  // every element is 0
+    if (refine) {
+      if (!match) {
+        for (size_t i = 0; i < count; ++i) out[i] = 0;
+      }
+    } else {
+      for (size_t i = 0; i < count; ++i) out[i] = match;
+    }
+    return;
+  }
+  const int bits = bits_;
+  const uint64_t mask = bits == 64 ? ~0ull : ((1ull << bits) - 1);
+  size_t bitpos = start * static_cast<size_t>(bits);
+  size_t w = bitpos >> 6;
+  int off = static_cast<int>(bitpos & 63);
+  const uint64_t* words = words_.data();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = words[w] >> off;
+    if (off + bits > 64) {
+      v |= words[w + 1] << (64 - off);
+    }
+    v &= mask;
+    const uint8_t match = (v >= lo) & (v <= hi);
+    out[i] = refine ? (out[i] & match) : match;
+    off += bits;
+    w += static_cast<size_t>(off >> 6);
+    off &= 63;
+  }
+}
+
 uint64_t CountRuns(std::span<const int64_t> values) {
   if (values.empty()) return 0;
   uint64_t runs = 1;

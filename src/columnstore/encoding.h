@@ -32,6 +32,13 @@ class BitPacked {
   /// Unpack [start, start+count) into out.
   void Decode(size_t start, size_t count, uint64_t* out) const;
 
+  /// Evaluate `lo <= value <= hi` for elements [start, start+count)
+  /// directly over the packed words — the encoded-domain predicate kernel
+  /// (no value materialization). refine=false writes out[i] = match;
+  /// refine=true ANDs the match into out[i].
+  void EvalRange(size_t start, size_t count, uint64_t lo, uint64_t hi,
+                 bool refine, uint8_t* out) const;
+
  private:
   std::vector<uint64_t> words_;
   size_t n_ = 0;

@@ -125,6 +125,91 @@ void ColumnSegment::Build(std::span<const int64_t> values, BufferPool* pool) {
   extent_ = pool->Register(size_bytes_);
 }
 
+ColumnSegment::CodeRange ColumnSegment::TranslateRange(int64_t lo,
+                                                       int64_t hi) const {
+  CodeRange cr;
+  if (n_ == 0 || hi < lo || hi < min_ || lo > max_) {
+    cr.none = true;
+    return cr;
+  }
+  if (lo <= min_ && max_ <= hi) {
+    cr.all = true;
+    return cr;
+  }
+  switch (enc_) {
+    case SegEncoding::kDictRle:
+    case SegEncoding::kDictPacked: {
+      auto b = std::lower_bound(dict_.begin(), dict_.end(), lo);
+      auto e = std::upper_bound(b, dict_.end(), hi);
+      if (b == e) {
+        // Range overlaps [min,max] but no stored value falls inside it —
+        // the dictionary proves the whole segment empty for this predicate.
+        cr.none = true;
+        return cr;
+      }
+      cr.lo = static_cast<uint64_t>(b - dict_.begin());
+      cr.hi = static_cast<uint64_t>(e - dict_.begin()) - 1;
+      return cr;
+    }
+    case SegEncoding::kRawPacked: {
+      cr.lo = lo <= min_ ? 0 : static_cast<uint64_t>(lo - min_);
+      cr.hi = hi >= max_ ? static_cast<uint64_t>(max_ - min_)
+                         : static_cast<uint64_t>(hi - min_);
+      return cr;
+    }
+  }
+  cr.all = true;
+  return cr;
+}
+
+uint64_t ColumnSegment::EvalRange(size_t start, size_t count,
+                                  const CodeRange& cr, bool refine,
+                                  uint8_t* out) const {
+  assert(start + count <= n_);
+  if (cr.none) {
+    std::fill(out, out + count, static_cast<uint8_t>(0));
+    return 0;
+  }
+  if (cr.all) {
+    if (!refine) std::fill(out, out + count, static_cast<uint8_t>(1));
+    return 0;
+  }
+  switch (enc_) {
+    case SegEncoding::kDictRle: {
+      size_t r = std::upper_bound(run_offsets_.begin(), run_offsets_.end(),
+                                  static_cast<uint32_t>(start)) -
+                 run_offsets_.begin() - 1;
+      uint64_t runs = 0;
+      size_t produced = 0;
+      size_t pos = start;
+      while (produced < count) {
+        const Run& run = runs_[r];
+        const size_t run_end = run_offsets_[r] + run.length;
+        const size_t take = std::min(count - produced, run_end - pos);
+        const uint8_t match = run.code >= cr.lo && run.code <= cr.hi;
+        ++runs;
+        if (refine) {
+          if (!match) {
+            std::fill(out + produced, out + produced + take,
+                      static_cast<uint8_t>(0));
+          }
+        } else {
+          std::fill(out + produced, out + produced + take, match);
+        }
+        produced += take;
+        pos += take;
+        if (pos >= run_end) ++r;
+      }
+      return runs;
+    }
+    case SegEncoding::kDictPacked:
+    case SegEncoding::kRawPacked:
+      packed_.EvalRange(start, count, cr.lo, cr.hi, refine, out);
+      return 0;
+  }
+  return 0;
+}
+
 void ColumnSegment::Decode(size_t start, size_t count, int64_t* out) const {
   assert(start + count <= n_);
   switch (enc_) {

@@ -43,6 +43,28 @@ class ColumnSegment {
   /// True if no value in [lo, hi] can be present (segment elimination).
   bool CanSkip(int64_t lo, int64_t hi) const { return hi < min_ || lo > max_; }
 
+  /// A value-domain range predicate translated into this segment's encoded
+  /// domain. Dictionary segments binary-search the sorted dictionary ONCE
+  /// (per segment, not per row); raw bit-packed segments shift the bounds
+  /// into offset space. `none` also covers dictionary misses: the range
+  /// overlaps [min,max] but contains no stored value.
+  struct CodeRange {
+    uint64_t lo = 0;   ///< inclusive lower bound, code/offset space
+    uint64_t hi = 0;   ///< inclusive upper bound, code/offset space
+    bool none = false; ///< no row can match
+    bool all = false;  ///< every row matches (min/max proof): decode-only
+  };
+  CodeRange TranslateRange(int64_t lo, int64_t hi) const;
+
+  /// Evaluate `value in [lo,hi]` for rows [start, start+count) entirely in
+  /// the encoded domain: dictionary/raw segments compare codes (no value
+  /// materialization), RLE segments test once per run instead of per row.
+  /// refine=false writes out[i] = match; refine=true ANDs matches into
+  /// out[i] (conjunctive predicate chains). Returns the number of RLE runs
+  /// examined (0 for non-RLE encodings).
+  uint64_t EvalRange(size_t start, size_t count, const CodeRange& cr,
+                     bool refine, uint8_t* out) const;
+
   /// Decode rows [start, start+count) into `out`. Charges buffer-pool
   /// access for the segment on first touch per query via Touch().
   void Decode(size_t start, size_t count, int64_t* out) const;

@@ -12,6 +12,10 @@ void QueryMetrics::Clear() {
   rows_output = 0;
   segments_scanned = 0;
   segments_skipped = 0;
+  morsels_scheduled = 0;
+  morsels_stolen = 0;
+  runs_evaluated = 0;
+  rows_decoded = 0;
   sim_io_ns = 0;
   cpu_ns = 0;
   peak_memory_bytes = 0;
@@ -27,6 +31,10 @@ void QueryMetrics::Merge(const QueryMetrics& o) {
   rows_output += o.rows_output.load();
   segments_scanned += o.segments_scanned.load();
   segments_skipped += o.segments_skipped.load();
+  morsels_scheduled += o.morsels_scheduled.load();
+  morsels_stolen += o.morsels_stolen.load();
+  runs_evaluated += o.runs_evaluated.load();
+  rows_decoded += o.rows_decoded.load();
   sim_io_ns += o.sim_io_ns.load();
   cpu_ns += o.cpu_ns.load();
   spill_bytes += o.spill_bytes.load();
@@ -40,6 +48,10 @@ std::string QueryMetrics::ToString() const {
      << " read_mb=" << data_read_mb() << " rows=" << rows_scanned.load()
      << " segs=" << segments_scanned.load() << "+"
      << segments_skipped.load() << "skip"
+     << " morsels=" << morsels_scheduled.load() << "+"
+     << morsels_stolen.load() << "stolen"
+     << " runs_eval=" << runs_evaluated.load()
+     << " rows_dec=" << rows_decoded.load()
      << " peak_mem=" << peak_memory_bytes.load() << " dop=" << dop;
   return os.str();
 }

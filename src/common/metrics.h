@@ -39,6 +39,14 @@ struct QueryMetrics {
   std::atomic<uint64_t> rows_output{0};
   std::atomic<uint64_t> segments_scanned{0};
   std::atomic<uint64_t> segments_skipped{0};
+  /// Morsel scheduling (shared work-stealing pool): morsels dispatched for
+  /// this query, and how many ran on a participant that did not own them.
+  std::atomic<uint64_t> morsels_scheduled{0};
+  std::atomic<uint64_t> morsels_stolen{0};
+  /// Encoded-domain predicate evaluation: RLE runs tested per-run instead
+  /// of per-row, and rows actually decoded to values (output columns).
+  std::atomic<uint64_t> runs_evaluated{0};
+  std::atomic<uint64_t> rows_decoded{0};
   /// Simulated I/O stall nanoseconds (summed; on the critical path for
   /// serial plans, divided by DOP for parallel scans when reporting).
   std::atomic<uint64_t> sim_io_ns{0};

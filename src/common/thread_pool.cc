@@ -1,0 +1,230 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hd {
+
+// ---------------------------------------------------------------------
+// Pool lifecycle.
+// ---------------------------------------------------------------------
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    if (const char* env = std::getenv("HD_POOL_THREADS")) {
+      num_threads = std::atoi(env);
+    }
+    // At least 2 workers even on tiny hosts: concurrency-sensitive paths
+    // (mixed workloads, lock interaction) need real overlap, and the
+    // scheduler shares the core fairly.
+    if (num_threads <= 0) num_threads = std::max(2, HardwareDop());
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool();  // intentionally leaked:
+  // worker threads must outlive all static destructors that might still
+  // schedule work during teardown.
+  return *pool;
+}
+
+int ThreadPool::HardwareDop() {
+  static const int dop = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return std::min(16, std::max(1, static_cast<int>(hc)));
+  }();
+  return dop;
+}
+
+// ---------------------------------------------------------------------
+// Task queue: per-worker deques, round-robin submit, steal-from-back.
+// ---------------------------------------------------------------------
+
+void ThreadPool::Submit(std::function<void()> task) {
+  const size_t w = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                   workers_.size();
+  {
+    std::lock_guard<std::mutex> g(workers_[w]->mu);
+    workers_[w]->deq.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(int wid, std::function<void()>* out) {
+  // Own deque first (front = oldest local work), then steal from the back
+  // of the other workers' deques.
+  const int n = static_cast<int>(workers_.size());
+  {
+    Worker& me = *workers_[wid];
+    std::lock_guard<std::mutex> g(me.mu);
+    if (!me.deq.empty()) {
+      *out = std::move(me.deq.front());
+      me.deq.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (int d = 1; d < n; ++d) {
+    Worker& victim = *workers_[(wid + d) % n];
+    std::lock_guard<std::mutex> g(victim.mu);
+    if (!victim.deq.empty()) {
+      *out = std::move(victim.deq.back());
+      victim.deq.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int wid) {
+  std::function<void()> task;
+  while (true) {
+    if (TryPop(wid, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleep_cv_.wait(lk, [this] {
+      return stop_.load() || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load() && pending_.load() == 0) return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Morsel-driven ParallelFor.
+// ---------------------------------------------------------------------
+
+struct ThreadPool::ParallelState {
+  // One contiguous morsel range per participant slot. Owners and thieves
+  // both take morsels with fetch_add on `next`, so each index is executed
+  // exactly once.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> next{0};
+    uint64_t end = 0;
+  };
+
+  int nslots = 0;
+  const std::function<void(int, uint64_t)>* fn = nullptr;
+  std::unique_ptr<Slot[]> slots;
+  /// Next participant slot to claim. Once this reaches nslots, late pool
+  /// tasks return without touching `fn` (whose lifetime is the caller's).
+  std::atomic<int> claimed{0};
+  std::atomic<int> finished{0};
+  std::atomic<uint64_t> stolen{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void ThreadPool::RunSlot(const std::shared_ptr<ParallelState>& st, int slot) {
+  const auto& fn = *st->fn;
+  ParallelState::Slot& own = st->slots[slot];
+  while (true) {
+    const uint64_t i = own.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= own.end) break;
+    fn(slot, i);
+  }
+  // Own range drained: steal morsels from the other slots until every
+  // range is exhausted.
+  bool found = true;
+  while (found) {
+    found = false;
+    for (int v = 0; v < st->nslots; ++v) {
+      if (v == slot) continue;
+      ParallelState::Slot& s = st->slots[v];
+      while (s.next.load(std::memory_order_relaxed) < s.end) {
+        const uint64_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= s.end) break;
+        st->stolen.fetch_add(1, std::memory_order_relaxed);
+        fn(slot, i);
+        found = true;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> g(st->mu);
+    st->finished.fetch_add(1, std::memory_order_release);
+  }
+  st->cv.notify_all();
+}
+
+MorselStats ThreadPool::ParallelFor(
+    uint64_t num_morsels, int max_dop,
+    const std::function<void(int, uint64_t)>& fn) {
+  MorselStats stats;
+  if (num_morsels == 0) return stats;
+  const int cap = std::max(1, max_dop);
+  const int nslots =
+      static_cast<int>(std::min<uint64_t>(num_morsels, cap));
+  stats.scheduled = num_morsels;
+  if (nslots == 1) {
+    for (uint64_t i = 0; i < num_morsels; ++i) fn(0, i);
+    stats.participants = 1;
+    return stats;
+  }
+
+  auto st = std::make_shared<ParallelState>();
+  st->nslots = nslots;
+  st->fn = &fn;
+  st->slots = std::make_unique<ParallelState::Slot[]>(nslots);
+  const uint64_t per = num_morsels / nslots;
+  const uint64_t rem = num_morsels % nslots;
+  uint64_t begin = 0;
+  for (int p = 0; p < nslots; ++p) {
+    const uint64_t take = per + (static_cast<uint64_t>(p) < rem ? 1 : 0);
+    st->slots[p].next.store(begin, std::memory_order_relaxed);
+    st->slots[p].end = begin + take;
+    begin += take;
+  }
+
+  // One pool task per non-caller slot. Tasks claim slots dynamically, so
+  // a task arriving after the caller already drained everything is a
+  // cheap no-op.
+  for (int p = 1; p < nslots; ++p) {
+    Submit([st] {
+      const int slot = st->claimed.fetch_add(1, std::memory_order_acq_rel);
+      if (slot >= st->nslots) return;
+      RunSlot(st, slot);
+    });
+  }
+
+  // The caller is participant 0 (claimed starts at 0 -> we take it now).
+  int slot = st->claimed.fetch_add(1, std::memory_order_acq_rel);
+  int ran_here = 0;
+  while (slot < nslots) {
+    RunSlot(st, slot);
+    ++ran_here;
+    // Claim any slot no pool worker has picked up yet — this is what makes
+    // nested / saturated-pool calls deadlock-free.
+    slot = st->claimed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait(lk, [&] {
+      return st->finished.load(std::memory_order_acquire) >= nslots;
+    });
+  }
+  stats.stolen = st->stolen.load();
+  stats.participants = nslots;
+  (void)ran_here;
+  return stats;
+}
+
+}  // namespace hd

@@ -1,0 +1,94 @@
+// Process-wide work-stealing thread pool with a morsel-driven ParallelFor.
+//
+// Morsel-driven parallelism (Leis et al., SIGMOD'14): a parallel operator
+// is a loop over small, dynamically scheduled work units ("morsels" — one
+// columnstore row group, a heap-page range, a batch of B+ tree leaves).
+// Every query shares ONE process-wide pool instead of spawning and joining
+// fresh threads per operator; DOP is a *concurrency cap* on how many
+// participants may process a loop's morsels at once, not a thread count.
+//
+// Scheduling model:
+//   - The pool owns `num_threads` workers, each with its own task deque.
+//     Submitted tasks are distributed round-robin; an idle worker pops its
+//     own deque front and steals from the back of others' deques.
+//   - ParallelFor partitions [0, n) into one contiguous range per
+//     participant slot. A participant drains its own range, then steals
+//     morsels from other slots' ranges (tracked in MorselStats::stolen).
+//   - The calling thread always participates (slot 0) and, while waiting,
+//     claims any participant slot no pool worker has picked up yet. This
+//     makes nested ParallelFor deadlock-free: a loop never depends on the
+//     pool having a free thread, only on its own caller making progress.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hd {
+
+/// Per-call statistics of one ParallelFor (fed into QueryMetrics by the
+/// executor: morsels_scheduled / morsels_stolen).
+struct MorselStats {
+  uint64_t scheduled = 0;  ///< total morsels executed
+  uint64_t stolen = 0;     ///< morsels run by a slot that did not own them
+  int participants = 0;    ///< participant slots actually claimed
+};
+
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks a hardware-sized pool.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The shared process-wide pool every query schedules onto.
+  static ThreadPool& Global();
+
+  /// Default DOP when ExecContext::max_dop == 0: hardware width, capped at
+  /// 16 (mirrors SQL Server's default MAXDOP guidance).
+  static int HardwareDop();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Run `fn(slot, morsel)` for every morsel in [0, num_morsels) with at
+  /// most `max_dop` concurrent participants. `slot` is in
+  /// [0, min(max_dop, num_morsels)) and is exclusively owned by one
+  /// participant for the whole call, so worker-local state (sinks, metric
+  /// blocks) may be indexed by it without synchronization. Blocks until
+  /// every morsel has been executed; safe to call from inside a morsel
+  /// (nested loops share the pool, the caller always participates).
+  MorselStats ParallelFor(uint64_t num_morsels, int max_dop,
+                          const std::function<void(int, uint64_t)>& fn);
+
+ private:
+  struct ParallelState;
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deq;
+  };
+
+  void WorkerLoop(int wid);
+  void Submit(std::function<void()> task);
+  bool TryPop(int wid, std::function<void()>* out);
+
+  /// Claim-and-drain loop shared by pool tasks and the waiting caller.
+  static void RunSlot(const std::shared_ptr<ParallelState>& st, int slot);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> next_worker_{0};
+  std::atomic<int> pending_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hd

@@ -1,11 +1,13 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <queue>
 #include <shared_mutex>
-#include <thread>
 #include <unordered_map>
+
+#include "common/thread_pool.h"
 
 namespace hd {
 
@@ -408,9 +410,7 @@ struct Executor::Impl {
 
   int dop() const {
     int d = plan.dop;
-    int hw = ctx.max_dop > 0
-                 ? ctx.max_dop
-                 : std::min<int>(16, std::thread::hardware_concurrency());
+    int hw = ctx.max_dop > 0 ? ctx.max_dop : ThreadPool::HardwareDop();
     return std::clamp(d, 1, std::max(1, hw));
   }
 
@@ -434,6 +434,25 @@ struct Executor::Impl {
   // caller via the worker index).
   using EmitFn = std::function<bool(int worker, int64_t rid, const int64_t*)>;
   Status DriveBaseScan(int nworkers, const EmitFn& emit);
+
+  // Schedule `nmorsels` morsels on the shared process-wide pool with at
+  // most `nworkers` concurrent participants. `fn(slot, morsel, wm)` runs
+  // with a per-slot metrics block; slots are exclusively owned, so fn may
+  // index worker-local sinks by `slot`. Per-slot metrics are merged into
+  // `m` along with the pool's scheduling counters when the loop finishes.
+  template <typename Fn>
+  void MorselLoop(uint64_t nmorsels, int nworkers, QueryMetrics* m, Fn&& fn) {
+    std::vector<QueryMetrics> wms(nworkers);
+    MorselStats ms = ThreadPool::Global().ParallelFor(
+        nmorsels, nworkers, [&](int slot, uint64_t mi) {
+          Timer t;
+          fn(slot, mi, &wms[slot]);
+          wms[slot].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+        });
+    for (auto& wm : wms) m->Merge(wm);
+    m->morsels_scheduled += ms.scheduled;
+    m->morsels_stolen += ms.stolen;
+  }
 
   // CSI batch scan fast path plumbing.
   bool CsiFastPathEligible() const;
@@ -795,18 +814,34 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         worker(0, 0, n, m);
         m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
       } else {
-        std::vector<std::thread> ths;
-        std::vector<QueryMetrics> wms(nworkers);
-        const uint64_t step = (n + nworkers - 1) / nworkers;
-        for (int w = 0; w < nworkers; ++w) {
-          ths.emplace_back([&, w] {
-            Timer t;
-            worker(w, w * step, std::min(n, (w + 1) * step), &wms[w]);
-            wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
-          });
-        }
-        for (auto& th : ths) th.join();
-        for (auto& wm : wms) m->Merge(wm);
+        // Morsel = a fixed-size page range; the pool's participants drain
+        // and steal morsels instead of owning one static range each.
+        constexpr uint64_t kHeapMorselRows = 65536;
+        const uint64_t nmorsels = (n + kHeapMorselRows - 1) / kHeapMorselRows;
+        std::atomic<bool> stop{false};
+        MorselLoop(nmorsels, nworkers, m,
+                   [&](int slot, uint64_t mi, QueryMetrics* wm) {
+                     if (stop.load(std::memory_order_relaxed)) return;
+                     uint64_t seen = 0;
+                     const uint64_t lo = mi * kHeapMorselRows;
+                     const uint64_t hi = std::min(n, lo + kHeapMorselRows);
+                     h->ScanRange(lo, hi,
+                                  [&](uint64_t rid, const int64_t* row) {
+                                    ++seen;
+                                    if (!CheckPreds(base_preds, row)) {
+                                      return true;
+                                    }
+                                    if (!emit(slot,
+                                              static_cast<int64_t>(rid), row)) {
+                                      stop.store(true,
+                                                 std::memory_order_relaxed);
+                                      return false;
+                                    }
+                                    return true;
+                                  },
+                                  wm);
+                     wm->cpu_ns += static_cast<uint64_t>(seen * row_oh);
+                   });
       }
       return Status::OK();
     }
@@ -900,28 +935,29 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
                      static_cast<uint64_t>(seen * ctx.serial_row_overhead_ns);
       } else {
+        // Morsel = a small batch of leaves (16 morsels per participant at
+        // the initial split keeps stealing granular without per-leaf
+        // scheduling overhead).
         std::vector<LeafHandle> leaves = tree->CollectLeaves(lo, hi, m);
-        std::vector<std::thread> ths;
-        std::vector<QueryMetrics> wms(nworkers);
-        const size_t per = (leaves.size() + nworkers - 1) / nworkers;
-        for (int w = 0; w < nworkers; ++w) {
-          ths.emplace_back([&, w] {
-            Timer t;
-            PackedRow rowbuf(ncols);
-            uint64_t seen = 0;
-            auto handler = make_handler(w, &rowbuf, &wms[w], &seen);
-            const size_t b = w * per;
-            const size_t e = std::min(leaves.size(), (w + 1) * per);
-            for (size_t li = b; li < e; ++li) {
-              tree->ScanLeaf(leaves[li], lo, hi, handler, &wms[w]);
-            }
-            wms[w].cpu_ns +=
-                static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
-                static_cast<uint64_t>(seen * ctx.parallel_row_overhead_ns);
-          });
-        }
-        for (auto& th : ths) th.join();
-        for (auto& wm : wms) m->Merge(wm);
+        const uint64_t nleaves = leaves.size();
+        const uint64_t chunk = std::max<uint64_t>(
+            1, nleaves / (16ull * static_cast<uint64_t>(nworkers)));
+        const uint64_t nmorsels = (nleaves + chunk - 1) / chunk;
+        std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
+        MorselLoop(nmorsels, nworkers, m,
+                   [&](int slot, uint64_t mi, QueryMetrics* wm) {
+                     uint64_t seen = 0;
+                     auto handler =
+                         make_handler(slot, &rowbufs[slot], wm, &seen);
+                     const size_t b = static_cast<size_t>(mi * chunk);
+                     const size_t e =
+                         std::min<size_t>(nleaves, b + static_cast<size_t>(chunk));
+                     for (size_t li = b; li < e; ++li) {
+                       tree->ScanLeaf(leaves[li], lo, hi, handler, wm);
+                     }
+                     wm->cpu_ns += static_cast<uint64_t>(
+                         seen * ctx.parallel_row_overhead_ns);
+                   });
       }
       return Status::OK();
     }
@@ -967,22 +1003,32 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         csi->ScanDelta(cols, sp, handler, m, need_locs);
         m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
       } else {
-        std::vector<std::thread> ths;
-        std::vector<QueryMetrics> wms(nworkers);
-        const int per = (ngroups + nworkers - 1) / nworkers;
-        for (int w = 0; w < nworkers; ++w) {
-          ths.emplace_back([&, w] {
-            Timer t;
-            PackedRow rowbuf(ncols);
-            auto handler = make_batch_handler(w, &rowbuf);
-            csi->ScanGroups(w * per, std::min(ngroups, (w + 1) * per), cols, sp,
-                            handler, &wms[w], need_locs);
-            if (w == 0) csi->ScanDelta(cols, sp, handler, &wms[w], need_locs);
-            wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
-          });
-        }
-        for (auto& th : ths) th.join();
-        for (auto& wm : wms) m->Merge(wm);
+        // Morsel = one row group (+ one trailing morsel for the delta
+        // store). The delete-buffer snapshot is taken once and shared so
+        // per-group morsels do not re-scan the delete buffer.
+        const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(m);
+        std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
+        std::atomic<bool> stop{false};
+        MorselLoop(
+            static_cast<uint64_t>(ngroups) + 1, nworkers, m,
+            [&](int slot, uint64_t mi, QueryMetrics* wm) {
+              if (stop.load(std::memory_order_relaxed)) return;
+              auto inner = make_batch_handler(slot, &rowbufs[slot]);
+              auto handler = [&](const ColumnBatch& b) {
+                if (!inner(b)) {
+                  stop.store(true, std::memory_order_relaxed);
+                  return false;
+                }
+                return true;
+              };
+              if (mi < static_cast<uint64_t>(ngroups)) {
+                const int g = static_cast<int>(mi);
+                csi->ScanGroups(g, g + 1, cols, sp, handler, wm, need_locs,
+                                &dead);
+              } else {
+                csi->ScanDelta(cols, sp, handler, wm, need_locs);
+              }
+            });
       }
       return Status::OK();
     }
@@ -1361,6 +1407,7 @@ Status Executor::Impl::RunSelect() {
       if (p.impossible) sp.push_back({p.col, 1, 0});
       sp.push_back({p.col, p.lo, p.hi});
     }
+    const std::unordered_set<int64_t>* delete_snapshot = nullptr;
     auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
       WorkerSink& sink = sinks[w];
       auto handler = [&](const ColumnBatch& b) {
@@ -1431,29 +1478,32 @@ Status Executor::Impl::RunSelect() {
         }
         return true;
       };
-      csi->ScanGroups(gb, ge, needed, sp, handler, wm, /*need_locators=*/false);
-      if (w == 0) {
+      // gb < 0 selects the delta store (scheduled as its own morsel).
+      if (gb < 0) {
         csi->ScanDelta(needed, sp, handler, wm, /*need_locators=*/false);
+      } else {
+        csi->ScanGroups(gb, ge, needed, sp, handler, wm,
+                        /*need_locators=*/false, delete_snapshot);
       }
     };
     const int ngroups2 = csi->num_row_groups();
     if (nworkers <= 1) {
       Timer t;
       batch_worker(0, 0, ngroups2, m);
+      batch_worker(0, -1, -1, m);
       m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
     } else {
-      std::vector<std::thread> ths;
-      std::vector<QueryMetrics> wms(nworkers);
-      const int per = (ngroups2 + nworkers - 1) / nworkers;
-      for (int w = 0; w < nworkers; ++w) {
-        ths.emplace_back([&, w] {
-          Timer t;
-          batch_worker(w, w * per, std::min(ngroups2, (w + 1) * per), &wms[w]);
-          wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
-        });
-      }
-      for (auto& th : ths) th.join();
-      for (auto& wm : wms) m->Merge(wm);
+      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(m);
+      delete_snapshot = &dead;
+      MorselLoop(static_cast<uint64_t>(ngroups2) + 1, nworkers, m,
+                 [&](int slot, uint64_t mi, QueryMetrics* wm) {
+                   if (mi < static_cast<uint64_t>(ngroups2)) {
+                     const int g = static_cast<int>(mi);
+                     batch_worker(slot, g, g + 1, wm);
+                   } else {
+                     batch_worker(slot, -1, -1, wm);
+                   }
+                 });
     }
     scan_status = Status::OK();
   } else if (fast_agg) {
@@ -1482,6 +1532,7 @@ Status Executor::Impl::RunSelect() {
       if (p.impossible) sp.push_back({p.col, 1, 0});
       sp.push_back({p.col, p.lo, p.hi});
     }
+    const std::unordered_set<int64_t>* delete_snapshot = nullptr;
     auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
       WorkerSink& sink = sinks[w];
       auto handler = [&](const ColumnBatch& b) {
@@ -1542,29 +1593,32 @@ Status Executor::Impl::RunSelect() {
         }
         return true;
       };
-      csi->ScanGroups(gb, ge, needed, sp, handler, wm, /*need_locators=*/false);
-      if (w == 0) {
+      // gb < 0 selects the delta store (scheduled as its own morsel).
+      if (gb < 0) {
         csi->ScanDelta(needed, sp, handler, wm, /*need_locators=*/false);
+      } else {
+        csi->ScanGroups(gb, ge, needed, sp, handler, wm,
+                        /*need_locators=*/false, delete_snapshot);
       }
     };
     const int ngroups = csi->num_row_groups();
     if (nworkers <= 1) {
       Timer t;
       batch_worker(0, 0, ngroups, m);
+      batch_worker(0, -1, -1, m);
       m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
     } else {
-      std::vector<std::thread> ths;
-      std::vector<QueryMetrics> wms(nworkers);
-      const int per = (ngroups + nworkers - 1) / nworkers;
-      for (int w = 0; w < nworkers; ++w) {
-        ths.emplace_back([&, w] {
-          Timer t;
-          batch_worker(w, w * per, std::min(ngroups, (w + 1) * per), &wms[w]);
-          wms[w].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
-        });
-      }
-      for (auto& th : ths) th.join();
-      for (auto& wm : wms) m->Merge(wm);
+      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(m);
+      delete_snapshot = &dead;
+      MorselLoop(static_cast<uint64_t>(ngroups) + 1, nworkers, m,
+                 [&](int slot, uint64_t mi, QueryMetrics* wm) {
+                   if (mi < static_cast<uint64_t>(ngroups)) {
+                     const int g = static_cast<int>(mi);
+                     batch_worker(slot, g, g + 1, wm);
+                   } else {
+                     batch_worker(slot, -1, -1, wm);
+                   }
+                 });
     }
     scan_status = Status::OK();
   } else {

@@ -10,16 +10,20 @@ BufferPool::BufferPool(DiskModel* disk, uint64_t capacity_bytes)
 ExtentId BufferPool::Register(uint64_t bytes) {
   ExtentId id = next_id_.fetch_add(1);
   Shard& s = ShardFor(id);
-  std::lock_guard<std::mutex> g(s.mu);
-  Entry e;
-  e.bytes = bytes;
-  e.resident = true;
-  s.lru.push_front(id);
-  e.lru_pos = s.lru.begin();
-  e.in_lru = true;
-  s.entries.emplace(id, e);
-  resident_bytes_ += bytes;
-  total_bytes_ += bytes;
+  {
+    std::lock_guard<std::mutex> g(s.mu);
+    Entry e;
+    e.bytes = bytes;
+    e.resident = true;
+    s.lru.push_front(id);
+    e.lru_pos = s.lru.begin();
+    e.in_lru = true;
+    s.entries.emplace(id, e);
+    resident_bytes_ += bytes;
+    total_bytes_ += bytes;
+  }
+  // Outside the shard lock: EvictIfNeeded re-locks every shard, including
+  // this one (self-deadlock under registration pressure otherwise).
   EvictIfNeeded();
   return id;
 }

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
-#include <thread>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
 
@@ -121,9 +121,13 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
     }
   };
 
-  std::vector<std::thread> ths;
-  for (int t = 0; t < opts.threads; ++t) ths.emplace_back(worker, t);
-  for (auto& th : ths) th.join();
+  // One morsel per simulated client; each runs its whole op stream. The
+  // shared pool supplies the threads (its size, not opts.threads, bounds
+  // hardware concurrency — `threads` keeps its workload meaning of
+  // concurrent client sessions).
+  ThreadPool::Global().ParallelFor(
+      static_cast<uint64_t>(std::max(0, opts.threads)), opts.threads,
+      [&](int /*slot*/, uint64_t tid) { worker(static_cast<int>(tid)); });
   result.wall_ms = wall.ElapsedMs();
   txns->GarbageCollect();
   return result;
