@@ -40,15 +40,16 @@ int main() {
   for (double pct : sel_pct) {
     Query qb = MicroQ1Range("t_btree", pct / 100, maxv);
     Query qc = MicroQ1Range("t_csi", pct / 100, maxv);
-    QueryMetrics mb = MedianRun(&db, qb, 3, false);
-    QueryMetrics mbs = MedianRun(&db, qb, 3, false, 8ull << 30, 1);
-    QueryMetrics mc = MedianRun(&db, qc, 3, false);
-    bt_cpu.push_back(mb.cpu_ms());
-    bt_serial_cpu.push_back(mbs.cpu_ms());
-    csi_cpu.push_back(mc.cpu_ms());
-    json.Point("btree_parallel", pct, mb);
-    json.Point("btree_serial", pct, mbs);
-    json.Point("csi_parallel", pct, mc);
+    QueryResult rb = MedianRunResult(&db, qb, 3, false);
+    QueryResult rbs = MedianRunResult(&db, qb, 3, false, 8ull << 30, 1);
+    QueryResult rc = MedianRunResult(&db, qc, 3, false);
+    bt_cpu.push_back(rb.metrics.cpu_ms());
+    bt_serial_cpu.push_back(rbs.metrics.cpu_ms());
+    csi_cpu.push_back(rc.metrics.cpu_ms());
+    // hd-bench/2: embed the per-operator breakdown for each point.
+    json.Point("btree_parallel", pct, rb);
+    json.Point("btree_serial", pct, rbs);
+    json.Point("csi_parallel", pct, rc);
   }
 
   // Processor-sharing latency model on the paper's 40-core box.

@@ -43,11 +43,15 @@ int main() {
     const double sel = pct / 100.0;
     Query qb = MicroQ1Range("t_btree", sel, maxv);
     Query qc = MicroQ1Range("t_csi", sel, maxv);
-    QueryMetrics mbc = MedianRun(&db, qb, 3, /*cold=*/true);
-    QueryMetrics mcc = MedianRun(&db, qc, 3, /*cold=*/true);
+    QueryResult rbc = MedianRunResult(&db, qb, 3, /*cold=*/true);
+    QueryResult rcc = MedianRunResult(&db, qc, 3, /*cold=*/true);
     db.WarmAll();
-    QueryMetrics mbh = MedianRun(&db, qb, 5, /*cold=*/false);
-    QueryMetrics mch = MedianRun(&db, qc, 5, /*cold=*/false);
+    QueryResult rbh = MedianRunResult(&db, qb, 5, /*cold=*/false);
+    QueryResult rch = MedianRunResult(&db, qc, 5, /*cold=*/false);
+    const QueryMetrics& mbc = rbc.metrics;
+    const QueryMetrics& mcc = rcc.metrics;
+    const QueryMetrics& mbh = rbh.metrics;
+    const QueryMetrics& mch = rch.metrics;
     bt_cold.ys.push_back(mbc.exec_ms());
     csi_cold.ys.push_back(mcc.exec_ms());
     bt_hot.ys.push_back(mbh.exec_ms());
@@ -56,10 +60,11 @@ int main() {
     csi_cpu_c.ys.push_back(mcc.cpu_ms());
     bt_cpu_h.ys.push_back(mbh.cpu_ms());
     csi_cpu_h.ys.push_back(mch.cpu_ms());
-    json.Point("btree_cold", pct, mbc);
-    json.Point("csi_cold", pct, mcc);
-    json.Point("btree_hot", pct, mbh);
-    json.Point("csi_hot", pct, mch);
+    // hd-bench/2: embed the per-operator breakdown for each point.
+    json.Point("btree_cold", pct, rbc);
+    json.Point("csi_cold", pct, rcc);
+    json.Point("btree_hot", pct, rbh);
+    json.Point("csi_hot", pct, rch);
   }
   json.Write();
 

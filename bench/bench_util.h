@@ -93,10 +93,11 @@ inline QueryResult RunQuery(Database* db, const Query& q,
   return r;
 }
 
-/// Median execution time over `reps` runs.
-inline QueryMetrics MedianRun(Database* db, const Query& q, int reps,
-                              bool cold, uint64_t grant = 8ull << 30,
-                              int max_dop = 8) {
+/// Median run (by exec_ms) over `reps` runs, with the full result
+/// (metrics plus the per-operator breakdown) of the median repetition.
+inline QueryResult MedianRunResult(Database* db, const Query& q, int reps,
+                                   bool cold, uint64_t grant = 8ull << 30,
+                                   int max_dop = 8) {
   std::vector<QueryResult> rs;
   for (int i = 0; i < reps; ++i) {
     rs.push_back(RunQuery(db, q, grant, max_dop, cold));
@@ -104,7 +105,14 @@ inline QueryMetrics MedianRun(Database* db, const Query& q, int reps,
   std::sort(rs.begin(), rs.end(), [](const QueryResult& a, const QueryResult& b) {
     return a.metrics.exec_ms() < b.metrics.exec_ms();
   });
-  return rs[rs.size() / 2].metrics;
+  return std::move(rs[rs.size() / 2]);
+}
+
+/// Median execution metrics over `reps` runs.
+inline QueryMetrics MedianRun(Database* db, const Query& q, int reps,
+                              bool cold, uint64_t grant = 8ull << 30,
+                              int max_dop = 8) {
+  return MedianRunResult(db, q, reps, cold, grant, max_dop).metrics;
 }
 
 inline void Shape(bool ok, const std::string& claim) {
@@ -115,28 +123,52 @@ inline void Shape(bool ok, const std::string& claim) {
 /// (plotted value plus the execution counters — morsel scheduling,
 /// encoded-domain predicate work) and writes `BENCH_<name>.json` in the
 /// working directory on Write().
+///
+/// Schema (the "schema" field in the output, see docs/OBSERVABILITY.md):
+///   hd-bench/2 — adds an optional per-point "operators" array (one entry
+///   per physical plan node, emitted by the QueryResult overload of
+///   Point) to the hd-bench/1 flat point records. Consumers should key on
+///   field names, not field order.
 class BenchJson {
  public:
+  static constexpr const char* kSchema = "hd-bench/2";
+
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
   /// Record one measured point of `series` with its full metrics block.
   void Point(const std::string& series, double x, const QueryMetrics& m) {
-    char buf[512];
-    std::snprintf(
-        buf, sizeof buf,
-        "{\"series\": \"%s\", \"x\": %g, \"exec_ms\": %.4f, "
-        "\"cpu_ms\": %.4f, \"io_ms\": %.4f, \"dop\": %d, "
-        "\"morsels_scheduled\": %llu, \"morsels_stolen\": %llu, "
-        "\"segments_skipped\": %llu, \"runs_evaluated\": %llu, "
-        "\"rows_decoded\": %llu, \"rows_scanned\": %llu}",
-        series.c_str(), x, m.exec_ms(), m.cpu_ms(), m.sim_io_ms(), m.dop,
-        static_cast<unsigned long long>(m.morsels_scheduled.load()),
-        static_cast<unsigned long long>(m.morsels_stolen.load()),
-        static_cast<unsigned long long>(m.segments_skipped.load()),
-        static_cast<unsigned long long>(m.runs_evaluated.load()),
-        static_cast<unsigned long long>(m.rows_decoded.load()),
-        static_cast<unsigned long long>(m.rows_scanned.load()));
-    points_.emplace_back(buf);
+    points_.push_back(MetricsRecord(series, x, m) + "}");
+  }
+
+  /// Record one measured point with the per-operator breakdown embedded
+  /// (an "operators" array in plan pipeline order, leaf scan first).
+  void Point(const std::string& series, double x, const QueryResult& r) {
+    std::string rec = MetricsRecord(series, x, r.metrics);
+    rec += ", \"operators\": [";
+    for (size_t i = 0; i < r.operators.size(); ++i) {
+      const OperatorProfile& op = r.operators[i];
+      const QueryMetrics& m = op.metrics;
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "%s{\"name\": \"%s\", \"phase\": \"%s\", \"est_rows\": %g, "
+          "\"rows_in\": %llu, \"rows_out\": %llu, \"cpu_ms\": %.4f, "
+          "\"io_ms\": %.4f, \"rows_scanned\": %llu, "
+          "\"segments_scanned\": %llu, \"segments_skipped\": %llu, "
+          "\"morsels_scheduled\": %llu, \"spill_bytes\": %llu}",
+          i ? ", " : "", op.name.c_str(), op.phase.c_str(), op.est_rows,
+          static_cast<unsigned long long>(op.rows_in),
+          static_cast<unsigned long long>(op.rows_out), m.cpu_ms(),
+          m.sim_io_ms(),
+          static_cast<unsigned long long>(m.rows_scanned.load()),
+          static_cast<unsigned long long>(m.segments_scanned.load()),
+          static_cast<unsigned long long>(m.segments_skipped.load()),
+          static_cast<unsigned long long>(m.morsels_scheduled.load()),
+          static_cast<unsigned long long>(m.spill_bytes.load()));
+      rec += buf;
+    }
+    rec += "]}";
+    points_.push_back(std::move(rec));
   }
 
   /// Record a point carrying a scalar only (wall-clock series etc.).
@@ -152,7 +184,8 @@ class BenchJson {
     const std::string path = "BENCH_" + name_ + ".json";
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"points\": [\n", name_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": \"%s\",\n  \"points\": [\n",
+                 name_.c_str(), kSchema);
     for (size_t i = 0; i < points_.size(); ++i) {
       std::fprintf(f, "    %s%s\n", points_[i].c_str(),
                    i + 1 < points_.size() ? "," : "");
@@ -163,6 +196,28 @@ class BenchJson {
   }
 
  private:
+  /// Flat counter record shared by both Point overloads; returned without
+  /// the closing brace so callers can append fields.
+  static std::string MetricsRecord(const std::string& series, double x,
+                                   const QueryMetrics& m) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"series\": \"%s\", \"x\": %g, \"exec_ms\": %.4f, "
+        "\"cpu_ms\": %.4f, \"io_ms\": %.4f, \"dop\": %d, "
+        "\"morsels_scheduled\": %llu, \"morsels_stolen\": %llu, "
+        "\"segments_skipped\": %llu, \"runs_evaluated\": %llu, "
+        "\"rows_decoded\": %llu, \"rows_scanned\": %llu",
+        series.c_str(), x, m.exec_ms(), m.cpu_ms(), m.sim_io_ms(), m.dop,
+        static_cast<unsigned long long>(m.morsels_scheduled.load()),
+        static_cast<unsigned long long>(m.morsels_stolen.load()),
+        static_cast<unsigned long long>(m.segments_skipped.load()),
+        static_cast<unsigned long long>(m.runs_evaluated.load()),
+        static_cast<unsigned long long>(m.rows_decoded.load()),
+        static_cast<unsigned long long>(m.rows_scanned.load()));
+    return buf;
+  }
+
   std::string name_;
   std::vector<std::string> points_;
 };

@@ -5,17 +5,37 @@
 //
 //   $ ./build/examples/sql_shell
 //   sql> SELECT region, sum(revenue) FROM sales GROUP BY region
+//   sql> EXPLAIN ANALYZE SELECT count(*) FROM sales WHERE day < 40
+//
+// Prefix any statement with EXPLAIN to see the chosen physical plan with
+// optimizer estimates (the statement is not executed), or with EXPLAIN
+// ANALYZE to execute it and print the plan annotated with per-operator
+// actuals (see docs/OBSERVABILITY.md).
+//
+// Flags:
+//   --trace <out.json>   record morsel-level execution events and write a
+//                        chrome://tracing / Perfetto-compatible JSON file
+//                        on exit.
+//   --dop <n>            cap the degree of parallelism (default: hardware
+//                        concurrency). Parallel plans schedule morsels and
+//                        emit trace events only when the effective DOP > 1.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/trace.h"
 #include "exec/executor.h"
+#include "exec/explain.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 
 using namespace hd;
 
 namespace {
+
+int g_max_dop = 0;  // 0 = hardware default
 
 void RunStatement(Database* db, const std::string& sql) {
   auto q = ParseSql(*db, sql);
@@ -29,13 +49,22 @@ void RunStatement(Database* db, const std::string& sql) {
     std::printf("plan error: %s\n", plan.status().ToString().c_str());
     return;
   }
+  if (q->explain == Query::ExplainMode::kPlan) {
+    std::printf("%s", ExplainPlan(*q, plan->plan).c_str());
+    return;
+  }
   ExecContext ctx;
   ctx.db = db;
+  ctx.max_dop = g_max_dop;
   Executor ex(ctx);
   Timer t;
   QueryResult r = ex.Execute(*q, plan->plan);
   if (!r.ok()) {
     std::printf("exec error: %s\n", r.status.ToString().c_str());
+    return;
+  }
+  if (q->explain == Query::ExplainMode::kAnalyze) {
+    std::printf("%s", ExplainAnalyze(*q, plan->plan, r).c_str());
     return;
   }
   for (size_t i = 0; i < r.rows.size() && i < 20; ++i) {
@@ -59,7 +88,21 @@ void RunStatement(Database* db, const std::string& sql) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dop") == 0 && i + 1 < argc) {
+      g_max_dop = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace out.json] [--dop n]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) Trace::Global().Enable();
+
   Database db;
   // Demo schema, preloaded.
   auto sales = db.CreateTable(
@@ -67,9 +110,12 @@ int main() {
                        {"day", ValueType::kInt32, 0},
                        {"units", ValueType::kInt32, 0},
                        {"revenue", ValueType::kDouble, 0}}));
+  // 400k rows: several columnstore row groups, so the clustered
+  // (region, day) order gives min/max segment elimination something to
+  // skip — visible in EXPLAIN ANALYZE.
   static const char* kRegions[] = {"east", "north", "south", "west"};
   std::vector<Row> rows;
-  for (int i = 0; i < 100000; ++i) {
+  for (int i = 0; i < 400000; ++i) {
     rows.push_back({Value::String(kRegions[i % 4]), Value::Int32(i % 365),
                     Value::Int32(1 + i % 9), Value::Double(5.0 + i % 200)});
   }
@@ -78,7 +124,7 @@ int main() {
   (void)sales.value()->CreateSecondaryColumnStore("csi_sales");
   sales.value()->Analyze();
   std::printf("preloaded table 'sales'(region, day, units, revenue) with "
-              "100000 rows\nhybrid design: clustered B+ tree(region, day) + "
+              "400000 rows\nhybrid design: clustered B+ tree(region, day) + "
               "secondary columnstore\n\n");
 
   std::string line;
@@ -100,10 +146,23 @@ int main() {
           "SELECT region, sum(revenue) FROM sales GROUP BY region ORDER BY region",
           "SELECT day, units FROM sales WHERE region = 'east' AND day < 3 LIMIT 5",
           "UPDATE sales SET revenue = revenue + 1 WHERE day = 100",
-          "SELECT count(*) FROM sales WHERE day BETWEEN 100 AND 101"}) {
+          "SELECT count(*) FROM sales WHERE day BETWEEN 100 AND 101",
+          "EXPLAIN SELECT sum(revenue) FROM sales WHERE region = 'east' AND day < 40",
+          "EXPLAIN ANALYZE SELECT sum(revenue) FROM sales WHERE region = 'east' AND day < 40"}) {
       std::printf("sql> %s\n", s);
       RunStatement(&db, s);
     }
+  }
+
+  if (!trace_path.empty()) {
+    Status s = Trace::Global().WriteJson(trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %llu trace events to %s (open in chrome://tracing)\n",
+                static_cast<unsigned long long>(Trace::Global().event_count()),
+                trace_path.c_str());
   }
   return 0;
 }

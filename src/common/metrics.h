@@ -90,4 +90,32 @@ struct QueryMetrics {
   std::string ToString() const;
 };
 
+/// One physical plan node's identity plus the counters attributed to it
+/// during execution (the EXPLAIN ANALYZE payload). The executor runs a
+/// pipelined plan (scan -> join steps -> agg/sort), so operators form a
+/// linear chain; `depth` positions the node when rendering the tree
+/// (larger = deeper, i.e. the leaf scan has the largest depth).
+///
+/// Attribution contract (see docs/OBSERVABILITY.md): every counter
+/// increment during execution lands in exactly one operator's `metrics`
+/// block; the query-level QueryMetrics is the merge ("rollup") of all
+/// operator blocks plus a small residual (locks, version-chain probes,
+/// DML mutation) charged at query level. For read-only statements the
+/// data-path counters (rows_scanned, segments_*, runs_evaluated,
+/// rows_decoded, morsels_*) therefore sum exactly across operators to the
+/// query totals.
+struct OperatorProfile {
+  std::string name;   ///< e.g. "CsiScan[csi_sales]", "HashAgg"
+  std::string phase;  ///< "scan" | "join" | "agg" | "sort"
+  int depth = 0;
+  /// Optimizer estimates captured at planning time; -1 = not estimated.
+  double est_rows = -1;
+  double est_cost_ms = -1;
+  /// Row flow through this operator (actuals).
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  /// Counters incremented exclusively on behalf of this operator.
+  QueryMetrics metrics;
+};
+
 }  // namespace hd

@@ -1,0 +1,102 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hd {
+
+Trace& Trace::Global() {
+  static Trace t;
+  return t;
+}
+
+void Trace::Enable() {
+  std::lock_guard<std::mutex> g(mu_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Trace::Disable() { enabled_.store(false, std::memory_order_release); }
+
+uint64_t Trace::NowUs() const {
+  if (!enabled_.load(std::memory_order_relaxed)) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Trace::Record(const std::string& name, int tid, uint64_t ts_us,
+                   uint64_t dur_us, uint64_t morsel) {
+  std::lock_guard<std::mutex> g(mu_);
+  events_.push_back(Event{name, tid, ts_us, dur_us, morsel});
+}
+
+size_t Trace::event_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return events_.size();
+}
+
+void Trace::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  events_.clear();
+}
+
+namespace {
+
+// Operator labels are generated from plan Describe() strings (identifier
+// characters plus []{}()=,->); escape anything JSON cares about anyway so
+// the output is valid for arbitrary names.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Trace::ToJson() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::ostringstream os;
+  os << "{\n  \"traceEvents\": [\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    os << "    {\"name\": \"" << JsonEscape(e.name)
+       << "\", \"cat\": \"exec\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
+       << e.tid << ", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us
+       << ", \"args\": {\"morsel\": " << e.morsel << "}}"
+       << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"displayTimeUnit\": \"ms\",\n"
+     << "  \"otherData\": {\"schema\": \"hd-trace/1\"}\n}\n";
+  return os.str();
+}
+
+Status Trace::WriteJson(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  const std::string json = ToJson();
+  const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace hd

@@ -1,0 +1,84 @@
+// Structured execution tracing in Chrome trace-event format.
+//
+// When enabled, the executor records one complete ("ph":"X") event per
+// morsel it schedules, tagged with the operator label and the participant
+// slot that ran it. The resulting JSON loads directly into
+// chrome://tracing or https://ui.perfetto.dev, giving a per-worker lane
+// view of how the shared pool interleaved and stole morsels — the
+// scheduling behaviour behind the morsels_scheduled/morsels_stolen
+// counters in QueryMetrics.
+//
+// Schema (docs/OBSERVABILITY.md has the full contract):
+//   {
+//     "traceEvents": [
+//       {"name": "CsiScan[csi]", "cat": "exec", "ph": "X",
+//        "pid": 0, "tid": 3, "ts": 1234, "dur": 56,
+//        "args": {"morsel": 17}},
+//       ...
+//     ],
+//     "displayTimeUnit": "ms",
+//     "otherData": {"schema": "hd-trace/1"}
+//   }
+//
+// `tid` is the participant slot (the lane the morsel ran on), `ts`/`dur`
+// are microseconds since Enable(). Collection is process-global and
+// thread-safe; the Enabled() check is a single relaxed atomic load so the
+// disabled hot path costs nothing measurable per morsel.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hd {
+
+class Trace {
+ public:
+  struct Event {
+    std::string name;    // operator label
+    int tid = 0;         // participant slot (lane)
+    uint64_t ts_us = 0;  // start, microseconds since Enable()
+    uint64_t dur_us = 0;
+    uint64_t morsel = 0;  // morsel index within the operator's loop
+  };
+
+  /// The process-wide collector the executor records into.
+  static Trace& Global();
+
+  /// Cheap hot-path check; true only between Enable() and Disable().
+  static bool Enabled() {
+    return Global().enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Start collecting; resets the clock and drops prior events.
+  void Enable();
+  void Disable();
+
+  /// Microseconds since Enable() (0 when disabled).
+  uint64_t NowUs() const;
+
+  void Record(const std::string& name, int tid, uint64_t ts_us,
+              uint64_t dur_us, uint64_t morsel);
+
+  size_t event_count() const;
+  void Clear();
+
+  /// Render every collected event as Chrome trace-event JSON.
+  std::string ToJson() const;
+
+  /// ToJson() to a file.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace hd

@@ -8,6 +8,8 @@
 #include <unordered_map>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "exec/explain.h"
 
 namespace hd {
 
@@ -401,6 +403,18 @@ struct Executor::Impl {
   std::vector<int> group_slots;
   uint64_t table_hash = 0;
 
+  // Per-operator observability: one OperatorProfile per plan node, built
+  // in Setup (exec/explain.h defines the layout). Every data-path counter
+  // increment during execution targets exactly one node's metrics block;
+  // Execute() rolls all blocks up into res.metrics at the end, so the
+  // query totals stay what they always were while EXPLAIN ANALYZE can
+  // attribute them. Residual costs with no operator home (lock waits,
+  // version-chain probes) charge res.metrics directly.
+  std::vector<OperatorProfile> ops;
+  OperatorIndex opx;
+  QueryMetrics* OpM(int idx) { return idx >= 0 ? &ops[idx].metrics : &res.metrics; }
+  QueryMetrics* ScanM() { return OpM(opx.scan); }
+
   // Locking strategy for this statement.
   bool use_table_lock = false;
   bool row_read_locks = false;
@@ -415,7 +429,7 @@ struct Executor::Impl {
   }
 
   Status Setup();
-  Status PrepareJoins(QueryMetrics* m);
+  Status PrepareJoins();
   /// Index into plan.joins of the driving (outer) join step, or -1.
   int DrivingStepIndex() const {
     if (plan.driving_join < 0) return -1;
@@ -440,14 +454,23 @@ struct Executor::Impl {
   // with a per-slot metrics block; slots are exclusively owned, so fn may
   // index worker-local sinks by `slot`. Per-slot metrics are merged into
   // `m` along with the pool's scheduling counters when the loop finishes.
+  // `label` names the operator in the Chrome trace (--trace): when tracing
+  // is on, every morsel emits one complete event on its slot's lane.
   template <typename Fn>
-  void MorselLoop(uint64_t nmorsels, int nworkers, QueryMetrics* m, Fn&& fn) {
+  void MorselLoop(uint64_t nmorsels, int nworkers, QueryMetrics* m,
+                  const std::string& label, Fn&& fn) {
     std::vector<QueryMetrics> wms(nworkers);
     MorselStats ms = ThreadPool::Global().ParallelFor(
         nmorsels, nworkers, [&](int slot, uint64_t mi) {
+          const bool tracing = Trace::Enabled();
+          const uint64_t t0 = tracing ? Trace::Global().NowUs() : 0;
           Timer t;
           fn(slot, mi, &wms[slot]);
           wms[slot].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+          if (tracing) {
+            Trace::Global().Record(label, slot, t0,
+                                   Trace::Global().NowUs() - t0, mi);
+          }
         });
     for (auto& wm : wms) m->Merge(wm);
     m->morsels_scheduled += ms.scheduled;
@@ -532,6 +555,8 @@ Status Executor::Impl::Setup() {
       }
     }
   }
+
+  ops = BuildOperatorSkeleton(q, plan, &opx);
   return Status::OK();
 }
 
@@ -653,10 +678,14 @@ static Status ScanDim(Table* dim, const AccessPath& path,
   return Status::Internal("unreachable");
 }
 
-Status Executor::Impl::PrepareJoins(QueryMetrics* m) {
+Status Executor::Impl::PrepareJoins() {
   const int driving = DrivingStepIndex();
   for (size_t s = 0; s < plan.joins.size(); ++s) {
     const JoinStep& step = plan.joins[s];
+    // Build-side work (dim scan, hash build, NL setup) is attributed to
+    // this join step's operator block.
+    QueryMetrics* m = OpM(opx.join[s]);
+    Timer tstep;
     if (static_cast<int>(s) == driving) {
       // The driving dimension is scanned as the outer side; keep a
       // placeholder so pipeline step indices stay aligned.
@@ -754,6 +783,7 @@ Status Executor::Impl::PrepareJoins(QueryMetrics* m) {
         }
       }
     }
+    m->cpu_ns += static_cast<uint64_t>(tstep.ElapsedMs() * 1e6);
     joins.push_back(std::move(je));
   }
   return Status::OK();
@@ -790,7 +820,8 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
   for (const auto& p : base_preds) {
     if (p.impossible) return Status::OK();
   }
-  QueryMetrics* m = &res.metrics;
+  QueryMetrics* m = ScanM();
+  const std::string& scan_label = ops[opx.scan].name;
 
   // Resolve residual predicates per path.
   switch (plan.base.kind) {
@@ -819,7 +850,7 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         constexpr uint64_t kHeapMorselRows = 65536;
         const uint64_t nmorsels = (n + kHeapMorselRows - 1) / kHeapMorselRows;
         std::atomic<bool> stop{false};
-        MorselLoop(nmorsels, nworkers, m,
+        MorselLoop(nmorsels, nworkers, m, scan_label,
                    [&](int slot, uint64_t mi, QueryMetrics* wm) {
                      if (stop.load(std::memory_order_relaxed)) return;
                      uint64_t seen = 0;
@@ -944,7 +975,7 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
             1, nleaves / (16ull * static_cast<uint64_t>(nworkers)));
         const uint64_t nmorsels = (nleaves + chunk - 1) / chunk;
         std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
-        MorselLoop(nmorsels, nworkers, m,
+        MorselLoop(nmorsels, nworkers, m, scan_label,
                    [&](int slot, uint64_t mi, QueryMetrics* wm) {
                      uint64_t seen = 0;
                      auto handler =
@@ -1010,7 +1041,7 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
         std::atomic<bool> stop{false};
         MorselLoop(
-            static_cast<uint64_t>(ngroups) + 1, nworkers, m,
+            static_cast<uint64_t>(ngroups) + 1, nworkers, m, scan_label,
             [&](int slot, uint64_t mi, QueryMetrics* wm) {
               if (stop.load(std::memory_order_relaxed)) return;
               auto inner = make_batch_handler(slot, &rowbufs[slot]);
@@ -1066,13 +1097,10 @@ struct WorkerSink {
 
 Status Executor::Impl::RunSelect() {
   QueryMetrics* m = &res.metrics;
-  Timer total;
 
   HD_RETURN_IF_ERROR(AcquireReadLocks());
 
-  Timer tprep;
-  HD_RETURN_IF_ERROR(PrepareJoins(m));
-  m->cpu_ns += static_cast<uint64_t>(tprep.ElapsedMs() * 1e6);
+  HD_RETURN_IF_ERROR(PrepareJoins());
 
   const int nworkers = dop();
   m->dop = nworkers;
@@ -1145,8 +1173,19 @@ Status Executor::Impl::RunSelect() {
   const int64_t limit =
       (q.limit >= 0 && !has_aggs && q.order_by.empty()) ? q.limit : -1;
 
+  // Per-worker row-flow counters, folded into the operator profiles after
+  // the scan (plain uint64 per worker: no hot-path atomics).
+  const size_t nsteps = plan.joins.size();
+  std::vector<uint64_t> base_out(nworkers, 0);
+  std::vector<std::vector<uint64_t>> join_in(nsteps,
+                                             std::vector<uint64_t>(nworkers, 0));
+  std::vector<std::vector<uint64_t>> join_out(
+      nsteps, std::vector<uint64_t>(nworkers, 0));
+  std::vector<uint64_t> sink_in(nworkers, 0);
+
   // The per-row consumer running after joins.
   auto consume = [&](int w, const int64_t* wide, int64_t rid) -> bool {
+    sink_in[w]++;
     PayVersionCost(rid);
     if (row_read_locks) {
       Status s = ctx.txns->locks()->Acquire(ctx.txn->id(),
@@ -1227,8 +1266,7 @@ Status Executor::Impl::RunSelect() {
   std::vector<std::vector<int64_t>> wide_bufs(nworkers,
                                               std::vector<int64_t>(L.total));
   // Row-mode pipelines pay per-probe operator overhead; batch pipelines
-  // (CSI base) do not — charged after the scan from these counters.
-  std::vector<uint64_t> probe_counts(nworkers, 0);
+  // (CSI base) do not — charged after the scan from the join_in counters.
   std::function<bool(int, int64_t*, int64_t, size_t)> pipeline =
       [&](int w, int64_t* wide, int64_t rid, size_t step) -> bool {
     if (step == joins.size()) return consume(w, wide, rid);
@@ -1237,15 +1275,16 @@ Status Executor::Impl::RunSelect() {
     }
     JoinExec& je = joins[step];
     const int64_t key = wide[je.base_join_slot];
+    join_in[step][w]++;
     if (je.method == JoinStep::Method::kHash) {
       uint32_t nmatch = 0;
       const uint32_t* matches = je.hash.map.Find(key, &nmatch);
-      probe_counts[w] += 1;
       for (uint32_t mi = 0; mi < nmatch; ++mi) {
         const int64_t* dim_row =
             je.hash.rows.data() +
             static_cast<size_t>(matches[mi]) * je.hash.stride;
         std::copy(dim_row, dim_row + je.hash.stride, wide + je.dim_offset);
+        join_out[step][w]++;
         if (!pipeline(w, wide, rid, step + 1)) return false;
       }
       return true;
@@ -1255,7 +1294,9 @@ Status Executor::Impl::RunSelect() {
     Bound lo = Bound::Inclusive({key});
     Bound hi = Bound::Inclusive({key});
     bool cont = true;
-    QueryMetrics* wm = m;  // btree charges via pool are thread-safe
+    // Probe-side charges land on this join's operator block (atomic adds,
+    // thread-safe across morsel workers).
+    QueryMetrics* wm = OpM(opx.join[step]);
     nd.tree->Scan(lo, hi, [&](const int64_t* ekey, const int64_t* payload) {
       wm->cpu_ns += static_cast<uint64_t>(ctx.serial_row_overhead_ns);
       int64_t* dim_wide = wide + je.dim_offset;
@@ -1280,6 +1321,7 @@ Status Executor::Impl::RunSelect() {
         const int64_t v = dim_wide[p.col];
         if (v < p.lo || v > p.hi) return true;
       }
+      join_out[step][w]++;
       cont = pipeline(w, wide, rid, step + 1);
       return cont;
     }, wm);
@@ -1330,9 +1372,15 @@ Status Executor::Impl::RunSelect() {
     PackedRow rowbuf(ncols);
     int64_t* wide = wide_bufs[0].data();
     uint64_t fact_entries = 0;
+    uint64_t dim_rows = 0;
+    // Dim-side scan charges land on the DimDriver node; base B+ tree seeks
+    // (and residual fetches) on the scan node.
+    QueryMetrics* dm = OpM(opx.join[driving_step]);
+    QueryMetrics* sm = ScanM();
     scan_status = ScanDim(
         dim, plan.joins[driving_step].dim_path, dim_preds,
         [&](const int64_t* dimrow) {
+          ++dim_rows;
           std::copy(dimrow, dimrow + dim->num_columns(), wide + dim_off);
           const int64_t key = dimrow[jc.dim_col];
           tree->Scan(
@@ -1361,7 +1409,8 @@ Status Executor::Impl::RunSelect() {
                       pk_hint.push_back(rowbuf[pk]);
                     }
                     PackedRow full;
-                    if (!base->FetchRow(ekey[kw - 1], pk_hint, &full, m).ok()) {
+                    if (!base->FetchRow(ekey[kw - 1], pk_hint, &full, sm)
+                             .ok()) {
                       return true;
                     }
                     rowbuf = full;
@@ -1369,13 +1418,19 @@ Status Executor::Impl::RunSelect() {
                 }
                 if (!CheckPreds(base_preds, rowbuf.data())) return true;
                 std::copy(rowbuf.begin(), rowbuf.end(), wide);
+                base_out[0]++;
                 return pipeline(0, wide, ekey[kw - 1], 0);
               },
-              m);
+              sm);
         },
-        m, ctx.serial_row_overhead_ns);
-    m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
-                 static_cast<uint64_t>(fact_entries * ctx.serial_row_overhead_ns);
+        dm, ctx.serial_row_overhead_ns);
+    sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
+                  static_cast<uint64_t>(fact_entries * ctx.serial_row_overhead_ns);
+    if (opx.join[driving_step] >= 0) {
+      ops[opx.join[driving_step]].rows_in = dim_rows;
+      ops[opx.join[driving_step]].rows_out = dim_rows;
+      ops[opx.scan].rows_in = fact_entries;
+    }
   } else if (fast_group) {
     // Grouped aggregation directly over decoded batches: no wide-row
     // materialization, reusable key buffer, per-worker maps (merged in the
@@ -1411,6 +1466,7 @@ Status Executor::Impl::RunSelect() {
     auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
       WorkerSink& sink = sinks[w];
       auto handler = [&](const ColumnBatch& b) {
+        sink.row_count += b.count;
         std::vector<int64_t>& key = sink.key_buf;
         key.resize(group_cis.size());
         for (int i = 0; i < b.count; ++i) {
@@ -1487,15 +1543,17 @@ Status Executor::Impl::RunSelect() {
       }
     };
     const int ngroups2 = csi->num_row_groups();
+    QueryMetrics* sm = ScanM();
     if (nworkers <= 1) {
       Timer t;
-      batch_worker(0, 0, ngroups2, m);
-      batch_worker(0, -1, -1, m);
-      m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+      batch_worker(0, 0, ngroups2, sm);
+      batch_worker(0, -1, -1, sm);
+      sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
     } else {
-      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(m);
+      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(sm);
       delete_snapshot = &dead;
-      MorselLoop(static_cast<uint64_t>(ngroups2) + 1, nworkers, m,
+      MorselLoop(static_cast<uint64_t>(ngroups2) + 1, nworkers, sm,
+                 ops[opx.scan].name,
                  [&](int slot, uint64_t mi, QueryMetrics* wm) {
                    if (mi < static_cast<uint64_t>(ngroups2)) {
                      const int g = static_cast<int>(mi);
@@ -1536,6 +1594,7 @@ Status Executor::Impl::RunSelect() {
     auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
       WorkerSink& sink = sinks[w];
       auto handler = [&](const ColumnBatch& b) {
+        sink.row_count += b.count;
         for (size_t ai = 0; ai < aggs.size(); ++ai) {
           const AggDesc& a = aggs[ai];
           AggState& st = sink.global[ai];
@@ -1602,15 +1661,17 @@ Status Executor::Impl::RunSelect() {
       }
     };
     const int ngroups = csi->num_row_groups();
+    QueryMetrics* sm = ScanM();
     if (nworkers <= 1) {
       Timer t;
-      batch_worker(0, 0, ngroups, m);
-      batch_worker(0, -1, -1, m);
-      m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+      batch_worker(0, 0, ngroups, sm);
+      batch_worker(0, -1, -1, sm);
+      sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
     } else {
-      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(m);
+      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(sm);
       delete_snapshot = &dead;
-      MorselLoop(static_cast<uint64_t>(ngroups) + 1, nworkers, m,
+      MorselLoop(static_cast<uint64_t>(ngroups) + 1, nworkers, sm,
+                 ops[opx.scan].name,
                  [&](int slot, uint64_t mi, QueryMetrics* wm) {
                    if (mi < static_cast<uint64_t>(ngroups)) {
                      const int g = static_cast<int>(mi);
@@ -1626,20 +1687,32 @@ Status Executor::Impl::RunSelect() {
                                               const int64_t* row) {
       int64_t* wide = wide_bufs[w].data();
       std::copy(row, row + base->num_columns(), wide);
+      base_out[w]++;
       return pipeline(w, wide, rid, 0);
     });
   }
   HD_RETURN_IF_ERROR(scan_status);
 
   if (!plan.base.is_csi()) {
-    uint64_t probes = 0;
-    for (uint64_t c : probe_counts) probes += c;
+    // Row-mode probe overhead, charged per join step from its inflow.
     const double rate = nworkers > 1 ? ctx.parallel_row_overhead_ns
                                      : ctx.serial_row_overhead_ns;
-    m->cpu_ns += static_cast<uint64_t>(probes * rate);
+    for (size_t s = 0; s < nsteps; ++s) {
+      if (static_cast<int>(s) == driving_step) continue;
+      if (joins[s].method != JoinStep::Method::kHash) continue;
+      uint64_t probes = 0;
+      for (uint64_t c : join_in[s]) probes += c;
+      OpM(opx.join[s])->cpu_ns += static_cast<uint64_t>(probes * rate);
+    }
   }
 
   // ---- Finish: merge worker states, spill phase 2, sort, decode. ----
+  // Finish-phase charges (merge cpu, spill io, peak memory) land on the
+  // root-side operator that does the work: Agg, else Sort, else Project.
+  QueryMetrics* fm = has_aggs ? OpM(opx.agg)
+                     : (plan.explicit_sort && !sort_pos.empty())
+                         ? OpM(opx.sort)
+                         : OpM(opx.output);
   Timer tfin;
   if (has_aggs) {
     if (stream_agg) {
@@ -1679,9 +1752,9 @@ Status Executor::Impl::RunSelect() {
       for (auto& s : sinks) spill_total += s.spill_bytes;
       if (spill_total > 0) {
         res.spilled = true;
-        m->spill_bytes += spill_total;
-        ctx.db->disk()->ChargeWrite(spill_total, IoPattern::kSequential, m);
-        ctx.db->disk()->ChargeRead(spill_total, IoPattern::kSequential, m);
+        fm->spill_bytes += spill_total;
+        ctx.db->disk()->ChargeWrite(spill_total, IoPattern::kSequential, fm);
+        ctx.db->disk()->ChargeRead(spill_total, IoPattern::kSequential, fm);
         const size_t kstride = group_slots.size() + aggs.size();
         for (int part = 0; part < kSpillParts; ++part) {
           std::unordered_map<std::vector<int64_t>, std::vector<AggState>,
@@ -1733,7 +1806,7 @@ Status Executor::Impl::RunSelect() {
           }
         }
       }
-      m->UpdatePeakMemory(global.size() * group_entry_bytes);
+      fm->UpdatePeakMemory(global.size() * group_entry_bytes);
       res.row_count = global.size();
       // Decode (capped).
       for (auto& [k, st] : global) {
@@ -1762,7 +1835,7 @@ Status Executor::Impl::RunSelect() {
       s.rows.shrink_to_fit();
     }
     const uint64_t bytes = all.size() * 8;
-    m->UpdatePeakMemory(bytes);
+    fm->UpdatePeakMemory(bytes);
     if (plan.explicit_sort && !sort_pos.empty()) {
       // Build row index and sort it.
       std::vector<uint32_t> idx(total_rows);
@@ -1778,9 +1851,9 @@ Status Executor::Impl::RunSelect() {
       if (bytes > grant && grant > 0) {
         // External merge sort: sorted runs of grant-size + k-way merge.
         res.spilled = true;
-        m->spill_bytes += bytes;
-        ctx.db->disk()->ChargeWrite(bytes, IoPattern::kSequential, m);
-        ctx.db->disk()->ChargeRead(bytes, IoPattern::kSequential, m);
+        fm->spill_bytes += bytes;
+        ctx.db->disk()->ChargeWrite(bytes, IoPattern::kSequential, fm);
+        ctx.db->disk()->ChargeRead(bytes, IoPattern::kSequential, fm);
         const size_t run_rows =
             std::max<size_t>(1, grant / 8 / std::max<size_t>(1, stride));
         std::vector<std::pair<size_t, size_t>> runs;
@@ -1848,7 +1921,7 @@ Status Executor::Impl::RunSelect() {
       }
     }
   }
-  m->cpu_ns += static_cast<uint64_t>(tfin.ElapsedMs() * 1e6);
+  fm->cpu_ns += static_cast<uint64_t>(tfin.ElapsedMs() * 1e6);
 
   // Post-sort small aggregate outputs if ORDER BY requested on them.
   if (has_aggs && !q.order_by.empty() && !res.rows.empty()) {
@@ -1870,6 +1943,41 @@ Status Executor::Impl::RunSelect() {
       res.row_count = res.rows.size();
     }
   }
+
+  // Fold the per-worker row-flow counters into the operator profiles.
+  auto fold = [](const std::vector<uint64_t>& v) {
+    uint64_t t = 0;
+    for (uint64_t c : v) t += c;
+    return t;
+  };
+  if (opx.scan >= 0) {
+    if (fast_agg || fast_group) {
+      // Batch paths feed the aggregate straight from decoded batches.
+      uint64_t batched = 0;
+      for (const auto& s : sinks) batched += s.row_count;
+      ops[opx.scan].rows_out = batched;
+      if (opx.agg >= 0) ops[opx.agg].rows_in = batched;
+    } else {
+      ops[opx.scan].rows_out = fold(base_out);
+    }
+  }
+  for (size_t s = 0; s < nsteps; ++s) {
+    if (static_cast<int>(s) == driving_step) continue;  // set above
+    ops[opx.join[s]].rows_in = fold(join_in[s]);
+    ops[opx.join[s]].rows_out = fold(join_out[s]);
+  }
+  if (!fast_agg && !fast_group) {
+    const uint64_t into_sink = fold(sink_in);
+    if (opx.agg >= 0) ops[opx.agg].rows_in = into_sink;
+    if (opx.output >= 0) ops[opx.output].rows_in = into_sink;
+    if (opx.sort >= 0 && opx.agg < 0) ops[opx.sort].rows_in = into_sink;
+  }
+  if (opx.agg >= 0) ops[opx.agg].rows_out = res.row_count;
+  if (opx.sort >= 0) {
+    if (opx.agg >= 0) ops[opx.sort].rows_in = res.row_count;
+    ops[opx.sort].rows_out = res.row_count;
+  }
+  if (opx.output >= 0) ops[opx.output].rows_out = res.row_count;
   return Status::OK();
 }
 
@@ -1878,7 +1986,9 @@ Status Executor::Impl::RunSelect() {
 // ---------------------------------------------------------------------
 
 Status Executor::Impl::RunDml() {
-  QueryMetrics* m = &res.metrics;
+  // Mutation work is attributed to the DML root node; the qualifying scan
+  // charges flow through DriveBaseScan to the scan node.
+  QueryMetrics* m = OpM(opx.output);
   if (q.kind == Query::Kind::kInsert) {
     for (const auto& vr : q.insert_rows) {
       PackedRow p = base->PackRow(vr);
@@ -1888,6 +1998,10 @@ Status Executor::Impl::RunDml() {
         ctx.txns->NoteVersion(table_hash, rid);
       }
       ++res.affected_rows;
+    }
+    if (opx.output >= 0) {
+      ops[opx.output].rows_in = q.insert_rows.size();
+      ops[opx.output].rows_out = res.affected_rows;
     }
     return Status::OK();
   }
@@ -1905,6 +2019,8 @@ Status Executor::Impl::RunDml() {
   });
   HD_RETURN_IF_ERROR(s);
   m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+  if (opx.scan >= 0) ops[opx.scan].rows_out = refs.size();
+  if (opx.output >= 0) ops[opx.output].rows_in = refs.size();
 
   if (ctx.txn != nullptr && ctx.txns != nullptr) {
     for (const auto& r : refs) {
@@ -1942,6 +2058,7 @@ Status Executor::Impl::RunDml() {
     for (const auto& r : refs) ctx.txns->NoteVersion(table_hash, r.rid);
   }
   res.affected_rows = refs.size();
+  if (opx.output >= 0) ops[opx.output].rows_out = res.affected_rows;
   return Status::OK();
 }
 
@@ -1967,6 +2084,11 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
     }
   }
   impl.res.status = s;
+  // Roll per-operator blocks up into the query totals. res.metrics already
+  // holds the residual (locks, version probes) charged at query level, so
+  // after the merge it is: sum over operators + residual.
+  for (const auto& op : impl.ops) impl.res.metrics.Merge(op.metrics);
+  impl.res.operators = std::move(impl.ops);
   impl.res.metrics.dop = impl.dop();
   return std::move(impl.res);
 }

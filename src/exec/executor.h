@@ -61,6 +61,11 @@ struct QueryResult {
   uint64_t row_count = 0;
   uint64_t affected_rows = 0;
   QueryMetrics metrics;
+  /// Per-operator breakdown in pipeline order (leaf scan first, root
+  /// last); `metrics` is the rollup of these blocks plus the residual
+  /// (locks / version probes) charged at query level. Rendered by
+  /// ExplainAnalyze (exec/explain.h) and embedded in BENCH JSON.
+  std::vector<OperatorProfile> operators;
   std::string plan_desc;
   bool spilled = false;
 

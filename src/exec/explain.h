@@ -1,0 +1,57 @@
+// EXPLAIN / EXPLAIN ANALYZE: plan-tree rendering with optimizer estimates
+// and (for ANALYZE) the per-operator actuals captured during execution.
+//
+// The executor runs a pipelined plan, so operators form a linear chain.
+// BuildOperatorSkeleton materializes that chain as OperatorProfile nodes
+// in *pipeline order* (index 0 = the leaf access path, last = the root);
+// the executor fills each node's counters while running, and the query
+// level QueryMetrics is the rollup (merge) of all node blocks plus a
+// small residual (locks, version probes) charged at query level.
+//
+// Node layout per statement kind (OperatorIndex maps roles to indices):
+//   SELECT:  [scan] [join step...] [Agg | Project] [Sort?]
+//            - aggregating queries end in HashAgg/StreamAgg, followed by
+//              a Sort node when ORDER BY is present;
+//            - non-aggregating queries end in a Project node, preceded by
+//              a Sort node when the plan carries an explicit sort;
+//            - dimension-driven hybrid plans (PhysicalPlan::driving_join)
+//              name the driving step "DimDriver{...}": it scans the
+//              filtered dimension and seeks the base B+ tree per row.
+//   UPDATE/DELETE: [scan] [Update|Delete]
+//   INSERT:  [Insert]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "exec/query.h"
+
+namespace hd {
+
+/// Role -> index into the skeleton vector; -1 = node absent.
+struct OperatorIndex {
+  int scan = -1;
+  std::vector<int> join;  // one entry per PhysicalPlan::joins step
+  int agg = -1;
+  int sort = -1;
+  int output = -1;  // Project / Insert / Update / Delete root
+};
+
+/// Build the operator chain for (q, plan) with names, depths, and
+/// optimizer estimates filled in and all counters zero.
+std::vector<OperatorProfile> BuildOperatorSkeleton(const Query& q,
+                                                   const PhysicalPlan& plan,
+                                                   OperatorIndex* idx = nullptr);
+
+/// Render the plan tree with estimates only (EXPLAIN).
+std::string ExplainPlan(const Query& q, const PhysicalPlan& plan);
+
+/// Render the plan tree annotated with estimates next to the actuals in
+/// `r.operators`, plus the query-level rollup line (EXPLAIN ANALYZE).
+std::string ExplainAnalyze(const Query& q, const PhysicalPlan& plan,
+                           const QueryResult& r);
+
+}  // namespace hd

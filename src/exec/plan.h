@@ -41,6 +41,12 @@ struct JoinStep {
   Method method = Method::kHash;
   AccessPath dim_path;  // how the dimension is read (build side / NL target)
 
+  // Optimizer estimates captured at planning time (-1 = not estimated):
+  // dimension rows surviving the dim predicates (hash build size / NL
+  // match pool), and rows streaming out of this join step.
+  double est_dim_rows = -1;
+  double est_rows_out = -1;
+
   std::string Describe() const;
 };
 

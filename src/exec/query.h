@@ -148,8 +148,14 @@ struct UpdateSet {
 struct Query {
   enum class Kind { kSelect, kUpdate, kDelete, kInsert };
 
+  /// EXPLAIN prefix handling: kPlan plans without executing and renders
+  /// the annotated tree; kAnalyze executes and renders estimates next to
+  /// per-operator actuals (see exec/explain.h).
+  enum class ExplainMode { kNone, kPlan, kAnalyze };
+
   std::string id;  // for reporting (e.g. "Q1", "TPCDS-54")
   Kind kind = Kind::kSelect;
+  ExplainMode explain = ExplainMode::kNone;
   TableRef base;
   std::vector<JoinClause> joins;
 

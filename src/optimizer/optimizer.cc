@@ -538,6 +538,8 @@ Result<Optimizer::PlanResult> Optimizer::Plan(const Query& q,
         io += di.cands[di.best].io_ms;
       }
       stream_rows *= sel_dim;
+      st.est_dim_rows = di.out_rows;
+      st.est_rows_out = stream_rows;
       steps.push_back(std::move(st));
     }
 
@@ -644,6 +646,8 @@ Result<Optimizer::PlanResult> Optimizer::Plan(const Query& q,
         st.join_idx = static_cast<int>(j);
         st.method = JoinStep::Method::kHash;  // placeholder for the driver
         st.dim_path = di.cands[di.best].path;
+        st.est_dim_rows = di.out_rows;
+        st.est_rows_out = stream_rows;
         steps.push_back(std::move(st));
       }
       for (size_t k = 0; k < dims.size(); ++k) {
@@ -673,6 +677,8 @@ Result<Optimizer::PlanResult> Optimizer::Plan(const Query& q,
           io += dk.cands[dk.best].io_ms;
         }
         stream_rows *= sel_dim;
+        st.est_dim_rows = dk.out_rows;
+        st.est_rows_out = stream_rows;
         steps.push_back(std::move(st));
       }
 

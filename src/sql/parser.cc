@@ -111,6 +111,18 @@ class Parser {
   Parser(const Database& db, const std::string& sql) : db_(db), lex_(sql) {}
 
   Result<Query> Parse() {
+    Query::ExplainMode explain = Query::ExplainMode::kNone;
+    if (Accept("EXPLAIN")) {
+      explain = Accept("ANALYZE") ? Query::ExplainMode::kAnalyze
+                                  : Query::ExplainMode::kPlan;
+    }
+    Result<Query> r = ParseStatement();
+    if (r.ok()) r.value().explain = explain;
+    return r;
+  }
+
+ private:
+  Result<Query> ParseStatement() {
     if (Accept("SELECT")) return ParseSelect();
     if (Accept("UPDATE")) return ParseUpdate();
     if (Accept("DELETE")) return ParseDelete();

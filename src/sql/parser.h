@@ -2,6 +2,12 @@
 //
 // Grammar (case-insensitive keywords):
 //
+//   [EXPLAIN [ANALYZE]] <statement>
+//     EXPLAIN prints the chosen physical plan with optimizer estimates
+//     and does not execute; EXPLAIN ANALYZE executes and annotates each
+//     operator with its actual counters (see docs/OBSERVABILITY.md).
+//     Query::explain carries the mode; execution is the caller's choice.
+//
 //   SELECT <item> [, <item>]*
 //     FROM <table>
 //     [JOIN <table> ON <tbl.col> = <tbl.col>]*

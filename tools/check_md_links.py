@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every *.md under the repo root (skipping build trees and dot
+directories) for inline markdown links/images and verifies that links
+pointing into the repo name an existing file or directory. External
+links (http/https/mailto) and pure in-page anchors are skipped; a
+`path#anchor` link is checked for the path part only.
+
+Exit status 0 when every link resolves, 1 otherwise (used by the CI
+docs job).
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {"build", "build-tsan", ".git", ".github"}
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+        ]
+        for f in filenames:
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bad = []
+    nlinks = 0
+    for path in sorted(md_files(root)):
+        text = open(path, encoding="utf-8").read()
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            nlinks += 1
+            if not os.path.exists(resolved):
+                line = text[: m.start()].count("\n") + 1
+                bad.append(
+                    f"{os.path.relpath(path, root)}:{line}: broken link "
+                    f"'{m.group(1)}' -> {os.path.relpath(resolved, root)}"
+                )
+    for b in bad:
+        print(b)
+    print(f"checked {nlinks} relative links, {len(bad)} broken")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
