@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace hd {
 
 struct BTree::Node {
@@ -157,12 +159,19 @@ bool BTree::PastHi(const int64_t* entry_key, const Bound& hi) const {
 }
 
 BTree::Leaf* BTree::DescendToLeaf(std::span<const int64_t> key, QueryMetrics* m,
-                                  std::vector<Internal*>* path) const {
+                                  std::vector<Internal*>* path,
+                                  Status* io) const {
   Node* n = root_;
   if (n == nullptr) return nullptr;
   while (!n->is_leaf) {
     auto* in = static_cast<Internal*>(n);
-    pool_->Access(in->extent, IoPattern::kRandom, m);
+    {
+      Status s = pool_->Access(in->extent, IoPattern::kRandom, m);
+      if (!s.ok()) {
+        if (io != nullptr) *io = std::move(s);
+        return nullptr;
+      }
+    }
     // Binary search over separators: child i covers keys in
     // [sep[i-1], sep[i]). For a full key, sep == key means the key lives in
     // the right child (separators are right-child minimums). For a prefix
@@ -186,27 +195,42 @@ BTree::Leaf* BTree::DescendToLeaf(std::span<const int64_t> key, QueryMetrics* m,
     n = in->children[child];
   }
   auto* leaf = static_cast<Leaf*>(n);
-  pool_->Access(leaf->extent, IoPattern::kRandom, m);
+  {
+    Status s = pool_->Access(leaf->extent, IoPattern::kRandom, m);
+    if (!s.ok()) {
+      if (io != nullptr) *io = std::move(s);
+      return nullptr;
+    }
+  }
   return leaf;
 }
 
-BTree::Leaf* BTree::LeftmostLeaf(QueryMetrics* m) const {
+BTree::Leaf* BTree::LeftmostLeaf(QueryMetrics* m, Status* io) const {
   Node* n = root_;
   if (n == nullptr) return nullptr;
   while (!n->is_leaf) {
     auto* in = static_cast<Internal*>(n);
-    pool_->Access(in->extent, IoPattern::kRandom, m);
+    Status s = pool_->Access(in->extent, IoPattern::kRandom, m);
+    if (!s.ok()) {
+      if (io != nullptr) *io = std::move(s);
+      return nullptr;
+    }
     n = in->children[0];
   }
   auto* leaf = static_cast<Leaf*>(n);
-  pool_->Access(leaf->extent, IoPattern::kRandom, m);
+  Status s = pool_->Access(leaf->extent, IoPattern::kRandom, m);
+  if (!s.ok()) {
+    if (io != nullptr) *io = std::move(s);
+    return nullptr;
+  }
   return leaf;
 }
 
-BTree::Leaf* BTree::SeekLeaf(const Bound& lo, QueryMetrics* m) const {
-  if (lo.unbounded()) return LeftmostLeaf(m);
+BTree::Leaf* BTree::SeekLeaf(const Bound& lo, QueryMetrics* m,
+                             Status* io) const {
+  if (lo.unbounded()) return LeftmostLeaf(m, io);
   return DescendToLeaf(std::span<const int64_t>(lo.key.data(), lo.key.size()),
-                       m, nullptr);
+                       m, nullptr, io);
 }
 
 int BTree::LowerBoundInLeaf(const Leaf* l, std::span<const int64_t> key) const {
@@ -232,7 +256,9 @@ Status BTree::Insert(std::span<const int64_t> key,
     height_ = 1;
   }
   std::vector<Internal*> path;
-  Leaf* leaf = DescendToLeaf(key, m, &path);
+  Status io;
+  Leaf* leaf = DescendToLeaf(key, m, &path, &io);
+  if (leaf == nullptr) return io.ok() ? Status::NotFound("empty tree") : io;
   int pos = LowerBoundInLeaf(leaf, key);
   if (pos < leaf->count &&
       ComparePacked(leaf->Entry(pos, stride_), key.data(), kw_) == 0) {
@@ -248,7 +274,10 @@ Status BTree::Insert(std::span<const int64_t> key,
     ++num_entries_;
     return Status::OK();
   }
-  // Split the leaf.
+  // Split the leaf. The failpoint models node-allocation failure at the
+  // riskiest structural moment; firing here leaves the tree exactly as it
+  // was before the insert (no entry added, no chain links touched).
+  HD_FAILPOINT_RETURN_M("btree.split", m);
   Leaf* right = NewLeaf();
   const int half = leaf->count / 2;
   std::memcpy(right->data.data(), leaf->Entry(half, stride_),
@@ -272,7 +301,11 @@ Status BTree::Insert(std::span<const int64_t> key,
   ++target->count;
   ++num_entries_;
   InsertIntoParent(&path, leaf, right->Entry(0, stride_), right);
-  if (m != nullptr) pool_->Access(right->extent, IoPattern::kRandom, m);
+  // The structural change is durable at this point; a failed touch of the
+  // fresh right sibling is only an accounting miss, not a lost insert.
+  if (m != nullptr) {
+    HD_RETURN_IF_ERROR(pool_->Access(right->extent, IoPattern::kRandom, m));
+  }
   return Status::OK();
 }
 
@@ -314,8 +347,9 @@ void BTree::InsertIntoParent(std::vector<Internal*>* path, Node* left,
 }
 
 Status BTree::Delete(std::span<const int64_t> key, QueryMetrics* m) {
-  Leaf* leaf = DescendToLeaf(key, m, nullptr);
-  if (leaf == nullptr) return Status::NotFound("empty tree");
+  Status io;
+  Leaf* leaf = DescendToLeaf(key, m, nullptr, &io);
+  if (leaf == nullptr) return io.ok() ? Status::NotFound("empty tree") : io;
   int pos = LowerBoundInLeaf(leaf, key);
   if (pos >= leaf->count ||
       ComparePacked(leaf->Entry(pos, stride_), key.data(), kw_) != 0) {
@@ -333,8 +367,9 @@ Status BTree::Delete(std::span<const int64_t> key, QueryMetrics* m) {
 
 Status BTree::UpdatePayload(std::span<const int64_t> key,
                             std::span<const int64_t> payload, QueryMetrics* m) {
-  Leaf* leaf = DescendToLeaf(key, m, nullptr);
-  if (leaf == nullptr) return Status::NotFound("empty tree");
+  Status io;
+  Leaf* leaf = DescendToLeaf(key, m, nullptr, &io);
+  if (leaf == nullptr) return io.ok() ? Status::NotFound("empty tree") : io;
   int pos = LowerBoundInLeaf(leaf, key);
   if (pos >= leaf->count ||
       ComparePacked(leaf->Entry(pos, stride_), key.data(), kw_) != 0) {
@@ -346,8 +381,9 @@ Status BTree::UpdatePayload(std::span<const int64_t> key,
 
 Status BTree::SeekEqual(std::span<const int64_t> key, int64_t* out,
                         QueryMetrics* m) const {
-  Leaf* leaf = DescendToLeaf(key, m, nullptr);
-  if (leaf == nullptr) return Status::NotFound("empty tree");
+  Status io;
+  Leaf* leaf = DescendToLeaf(key, m, nullptr, &io);
+  if (leaf == nullptr) return io.ok() ? Status::NotFound("empty tree") : io;
   int pos = LowerBoundInLeaf(leaf, key);
   if (pos >= leaf->count ||
       ComparePacked(leaf->Entry(pos, stride_), key.data(), kw_) != 0) {
@@ -357,12 +393,13 @@ Status BTree::SeekEqual(std::span<const int64_t> key, int64_t* out,
   return Status::OK();
 }
 
-void BTree::Scan(
+Status BTree::Scan(
     const Bound& lo, const Bound& hi,
     const std::function<bool(const int64_t*, const int64_t*)>& fn,
     QueryMetrics* m) const {
-  Leaf* leaf = SeekLeaf(lo, m);
-  if (leaf == nullptr) return;
+  Status io;
+  Leaf* leaf = SeekLeaf(lo, m, &io);
+  if (leaf == nullptr) return io;
   int pos = 0;
   if (!lo.unbounded()) {
     pos = LowerBoundInLeaf(leaf, std::span<const int64_t>(lo.key.data(),
@@ -374,7 +411,8 @@ void BTree::Scan(
   bool first = true;
   while (leaf != nullptr) {
     if (!first) {
-      pool_->Access(leaf->extent, IoPattern::kSequential, m);
+      HD_RETURN_IF_ERROR(
+          pool_->Access(leaf->extent, IoPattern::kSequential, m));
       pos = 0;
     }
     first = false;
@@ -384,42 +422,46 @@ void BTree::Scan(
         if (CmpPrefix(e, lo.key, kw_) == 0) continue;
         checking_lo = false;
       }
-      if (PastHi(e, hi)) return;
+      if (PastHi(e, hi)) return Status::OK();
       if (m != nullptr) m->rows_scanned += 1;
-      if (!fn(e, e + kw_)) return;
+      if (!fn(e, e + kw_)) return Status::OK();
     }
     leaf = leaf->next;
   }
+  return Status::OK();
 }
 
-std::vector<LeafHandle> BTree::CollectLeaves(const Bound& lo, const Bound& hi,
-                                             QueryMetrics* m) const {
-  std::vector<LeafHandle> out;
-  Leaf* leaf = SeekLeaf(lo, m);
+Status BTree::CollectLeaves(const Bound& lo, const Bound& hi, QueryMetrics* m,
+                            std::vector<LeafHandle>* out) const {
+  out->clear();
+  Status io;
+  Leaf* leaf = SeekLeaf(lo, m, &io);
+  if (leaf == nullptr) return io;
   while (leaf != nullptr) {
     if (leaf->count > 0 && PastHi(leaf->Entry(0, stride_), hi)) break;
-    out.push_back(LeafHandle{leaf});
+    out->push_back(LeafHandle{leaf});
     leaf = leaf->next;
   }
-  return out;
+  return Status::OK();
 }
 
-void BTree::ScanLeaf(
+Status BTree::ScanLeaf(
     LeafHandle h, const Bound& lo, const Bound& hi,
     const std::function<bool(const int64_t*, const int64_t*)>& fn,
     QueryMetrics* m) const {
   const Leaf* leaf = static_cast<const Leaf*>(h.leaf);
-  pool_->Access(leaf->extent, IoPattern::kSequential, m);
+  HD_RETURN_IF_ERROR(pool_->Access(leaf->extent, IoPattern::kSequential, m));
   for (int i = 0; i < leaf->count; ++i) {
     const int64_t* e = leaf->Entry(i, stride_);
     if (!lo.unbounded()) {
       const int c = CmpPrefix(e, lo.key, kw_);
       if (c < 0 || (c == 0 && !lo.inclusive)) continue;
     }
-    if (PastHi(e, hi)) return;
+    if (PastHi(e, hi)) return Status::OK();
     if (m != nullptr) m->rows_scanned += 1;
-    if (!fn(e, e + kw_)) return;
+    if (!fn(e, e + kw_)) return Status::OK();
   }
+  return Status::OK();
 }
 
 }  // namespace hd

@@ -76,20 +76,20 @@ class BTree {
   Status SeekEqual(std::span<const int64_t> key, int64_t* out,
                    QueryMetrics* m) const;
 
-  /// Ordered range scan. `fn(key, payload)` returns false to stop.
-  /// Bounds may be prefixes of the key.
-  void Scan(const Bound& lo, const Bound& hi,
-            const std::function<bool(const int64_t* key, const int64_t* payload)>& fn,
-            QueryMetrics* m) const;
+  /// Ordered range scan. `fn(key, payload)` returns false to stop (still
+  /// OK). Non-OK only on a propagated buffer-pool/disk failure.
+  Status Scan(const Bound& lo, const Bound& hi,
+              const std::function<bool(const int64_t* key, const int64_t* payload)>& fn,
+              QueryMetrics* m) const;
 
   /// Leaves overlapping [lo, hi], in order, for parallel scan partitioning.
-  std::vector<LeafHandle> CollectLeaves(const Bound& lo, const Bound& hi,
-                                        QueryMetrics* m) const;
+  Status CollectLeaves(const Bound& lo, const Bound& hi, QueryMetrics* m,
+                       std::vector<LeafHandle>* out) const;
 
   /// Scan the entries of one leaf that satisfy [lo, hi].
-  void ScanLeaf(LeafHandle h, const Bound& lo, const Bound& hi,
-                const std::function<bool(const int64_t* key, const int64_t* payload)>& fn,
-                QueryMetrics* m) const;
+  Status ScanLeaf(LeafHandle h, const Bound& lo, const Bound& hi,
+                  const std::function<bool(const int64_t* key, const int64_t* payload)>& fn,
+                  QueryMetrics* m) const;
 
  private:
   struct Leaf;
@@ -97,11 +97,15 @@ class BTree {
   struct Node;
 
   void Clear();
+  /// Descent helpers return nullptr for an empty tree OR an I/O failure;
+  /// when `io` is given it distinguishes the two (non-OK = failed Access,
+  /// and the caller must propagate it instead of reporting NotFound).
   Leaf* DescendToLeaf(std::span<const int64_t> key, QueryMetrics* m,
-                      std::vector<Internal*>* path) const;
-  Leaf* LeftmostLeaf(QueryMetrics* m) const;
+                      std::vector<Internal*>* path,
+                      Status* io = nullptr) const;
+  Leaf* LeftmostLeaf(QueryMetrics* m, Status* io = nullptr) const;
   /// First leaf that can contain keys >= / > `lo`.
-  Leaf* SeekLeaf(const Bound& lo, QueryMetrics* m) const;
+  Leaf* SeekLeaf(const Bound& lo, QueryMetrics* m, Status* io = nullptr) const;
   int LowerBoundInLeaf(const Leaf* l, std::span<const int64_t> key) const;
   /// -1/0/+1 of entry key vs a (possibly prefix) bound key.
   static int CmpPrefix(const int64_t* entry_key, const std::vector<int64_t>& bound,

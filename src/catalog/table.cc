@@ -361,36 +361,50 @@ Status Table::InsertIntoSecondaries(const PackedRow& row, int64_t rid,
       for (int pc : si->payload_cols) payload.push_back(row[pc]);
       HD_RETURN_IF_ERROR(si->btree->Insert(key, payload, m));
     } else {
-      si->csi->Insert(row, rid, m);
+      HD_RETURN_IF_ERROR(si->csi->Insert(row, rid, m));
     }
   }
   return Status::OK();
 }
 
-int64_t Table::InsertPacked(const PackedRow& row, QueryMetrics* m) {
+Status Table::InsertPacked(const PackedRow& row, QueryMetrics* m,
+                           int64_t* rid_out) {
   const int64_t rid = next_rid_++;
+  bool in_primary = false;
   switch (primary_kind_) {
     case PrimaryKind::kHeap: {
       uint64_t hrid = heap_->Append(row);
       assert(static_cast<int64_t>(hrid) == rid);
       (void)hrid;
+      in_primary = true;
       break;
     }
     case PrimaryKind::kBTree: {
       std::vector<int64_t> key = MakeBTreeKey(primary_keys_, row, rid);
-      Status s = primary_btree_->Insert(key, row, m);
-      assert(s.ok());
-      (void)s;
+      HD_RETURN_IF_ERROR(primary_btree_->Insert(key, row, m));
+      in_primary = true;
       break;
     }
     case PrimaryKind::kColumnStore:
-      primary_csi_->Insert(row, rid, m);
+      HD_RETURN_IF_ERROR(primary_csi_->Insert(row, rid, m));
+      in_primary = true;
       break;
   }
   Status s = InsertIntoSecondaries(row, rid, m);
-  assert(s.ok());
-  (void)s;
-  return rid;
+  if (!s.ok() && in_primary) {
+    // Compensate so the statement is all-or-nothing: remove the primary
+    // copy (best-effort — a second injected failure here leaves an orphan
+    // primary row, which only over-counts, never corrupts). next_rid_ is
+    // NOT rolled back: heap RowIds must stay dense with the heap's
+    // physical slots, and gaps are harmless for the other primaries.
+    RowRef ref;
+    ref.rid = rid;
+    ref.row = row;
+    (void)DeleteRows({ref}, nullptr);
+    return s;
+  }
+  if (rid_out != nullptr) *rid_out = rid;
+  return Status::OK();
 }
 
 Status Table::DeleteRows(const std::vector<RowRef>& rows, QueryMetrics* m) {
@@ -467,7 +481,7 @@ Status Table::UpdateRows(const std::vector<RowRef>& rows,
       for (const auto& r : rows) rids.push_back(r.rid);
       HD_RETURN_IF_ERROR(primary_csi_->DeleteBatch(rids, m));
       for (size_t i = 0; i < rows.size(); ++i) {
-        primary_csi_->Insert(news[i], rows[i].rid, m);
+        HD_RETURN_IF_ERROR(primary_csi_->Insert(news[i], rows[i].rid, m));
       }
       break;
     }
@@ -495,7 +509,7 @@ Status Table::UpdateRows(const std::vector<RowRef>& rows,
       for (const auto& r : rows) rids.push_back(r.rid);
       HD_RETURN_IF_ERROR(si->csi->DeleteBatch(rids, m));
       for (size_t i = 0; i < rows.size(); ++i) {
-        si->csi->Insert(news[i], rows[i].rid, m);
+        HD_RETURN_IF_ERROR(si->csi->Insert(news[i], rows[i].rid, m));
       }
     }
   }
@@ -527,7 +541,7 @@ Status Table::FetchRow(int64_t rid, std::span<const int64_t> pk_hint,
           if (m != nullptr) m->segments_skipped += 1;
           continue;
         }
-        ls.Touch(pool_, m);
+        HD_RETURN_IF_ERROR(ls.Touch(pool_, m));
         const size_t n = rg.num_rows();
         std::vector<int64_t> buf(std::min<size_t>(n, kBatchSize));
         for (size_t start = 0; start < n; start += buf.size()) {
@@ -537,7 +551,7 @@ Status Table::FetchRow(int64_t rid, std::span<const int64_t> pk_hint,
             if (buf[i] == rid) {
               if (rg.IsDeleted(start + i)) return Status::NotFound("deleted");
               for (int c = 0; c < ncols; ++c) {
-                rg.segment(c).Touch(pool_, m);
+                HD_RETURN_IF_ERROR(rg.segment(c).Touch(pool_, m));
                 rg.segment(c).Decode(start + i, 1, &(*out)[c]);
               }
               return Status::OK();
@@ -547,7 +561,7 @@ Status Table::FetchRow(int64_t rid, std::span<const int64_t> pk_hint,
       }
       // Fall back to the delta store.
       Status result = Status::NotFound("rid not found");
-      primary_csi_->ScanDelta(
+      Status scan = primary_csi_->ScanDelta(
           [&] {
             std::vector<int> all(ncols);
             for (int c = 0; c < ncols; ++c) all[c] = c;
@@ -565,6 +579,7 @@ Status Table::FetchRow(int64_t rid, std::span<const int64_t> pk_hint,
             return true;
           },
           m);
+      if (!scan.ok()) return scan;
       return result;
     }
   }
@@ -575,19 +590,22 @@ Status Table::FetchRow(int64_t rid, std::span<const int64_t> pk_hint,
 
 void Table::ScanAll(const std::function<bool(int64_t, const int64_t*)>& fn,
                     QueryMetrics* m) const {
+  // ScanAll feeds maintenance paths (stats sampling, index rebuild) that
+  // have no failure channel; injected I/O faults are ignored here — they
+  // target query/DML boundaries, not offline rebuilds.
   switch (primary_kind_) {
     case PrimaryKind::kHeap:
-      heap_->Scan([&](uint64_t rid, const int64_t* row) {
+      (void)heap_->Scan([&](uint64_t rid, const int64_t* row) {
         return fn(static_cast<int64_t>(rid), row);
       }, m);
       break;
     case PrimaryKind::kBTree: {
       const int kw = primary_btree_key_width();
-      primary_btree_->Scan(Bound::Unbounded(), Bound::Unbounded(),
-                           [&](const int64_t* key, const int64_t* payload) {
-                             return fn(key[kw - 1], payload);
-                           },
-                           m);
+      (void)primary_btree_->Scan(Bound::Unbounded(), Bound::Unbounded(),
+                                 [&](const int64_t* key, const int64_t* payload) {
+                                   return fn(key[kw - 1], payload);
+                                 },
+                                 m);
       break;
     }
     case PrimaryKind::kColumnStore: {
@@ -603,9 +621,9 @@ void Table::ScanAll(const std::function<bool(int64_t, const int64_t*)>& fn,
         }
         return !stop;
       };
-      primary_csi_->ScanGroups(0, primary_csi_->num_row_groups(), all, {}, emit,
-                               m);
-      if (!stop) primary_csi_->ScanDelta(all, {}, emit, m);
+      (void)primary_csi_->ScanGroups(0, primary_csi_->num_row_groups(), all,
+                                     {}, emit, m);
+      if (!stop) (void)primary_csi_->ScanDelta(all, {}, emit, m);
       break;
     }
   }

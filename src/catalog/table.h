@@ -118,10 +118,14 @@ class Table {
 
   // ---------- DML ----------
 
-  /// Insert one packed row everywhere; returns its RowId.
-  int64_t InsertPacked(const PackedRow& row, QueryMetrics* m);
-  int64_t InsertRow(const Row& r, QueryMetrics* m) {
-    return InsertPacked(PackRow(r), m);
+  /// Insert one packed row everywhere; `*rid_out` (optional) receives its
+  /// RowId. On failure the row is absent from every structure: a failed
+  /// secondary insert compensates by deleting the primary copy, so a
+  /// statement-level retry re-inserts cleanly.
+  Status InsertPacked(const PackedRow& row, QueryMetrics* m,
+                      int64_t* rid_out = nullptr);
+  Status InsertRow(const Row& r, QueryMetrics* m, int64_t* rid_out = nullptr) {
+    return InsertPacked(PackRow(r), m, rid_out);
   }
   /// Delete rows (statement-granular so primary-CSI delete scans once).
   Status DeleteRows(const std::vector<RowRef>& rows, QueryMetrics* m);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace hd {
 
 ColumnStoreIndex::ColumnStoreIndex(Kind kind, int num_columns,
@@ -57,49 +59,57 @@ void ColumnStoreIndex::BulkLoad(std::vector<std::vector<int64_t>> cols,
   BuildGroups(std::move(cols), std::move(locators));
 }
 
-void ColumnStoreIndex::Insert(std::span<const int64_t> row, int64_t locator,
-                              QueryMetrics* m) {
+Status ColumnStoreIndex::Insert(std::span<const int64_t> row, int64_t locator,
+                                QueryMetrics* m) {
   assert(static_cast<int>(row.size()) == ncols_);
   std::vector<int64_t> payload(row.begin(), row.end());
   payload.push_back(locator);
   int64_t key = delta_seq_++;
-  Status s = delta_->Insert(std::span<const int64_t>(&key, 1), payload, m);
-  assert(s.ok());
-  (void)s;
+  HD_RETURN_IF_ERROR(
+      delta_->Insert(std::span<const int64_t>(&key, 1), payload, m));
   delta_key_of_locator_[locator] = key;
   if (delta_->num_entries() >= opts_.rowgroup_size) {
-    CompressDelta(m);
+    // A failed flush is a deferral, not an insert failure: the delta keeps
+    // growing past the threshold, scans keep unioning it, and the next
+    // insert past the threshold (or an explicit Reorganize) retries.
+    (void)CompressDelta(m);
   }
+  return Status::OK();
 }
 
-void ColumnStoreIndex::CompressDelta(QueryMetrics* m) {
-  if (delta_rows() == 0) return;
+Status ColumnStoreIndex::CompressDelta(QueryMetrics* m) {
+  if (delta_rows() == 0) return Status::OK();
+  HD_FAILPOINT_RETURN_M("csi.compress_delta", m);
   // Apply pending logical deletes to the old compressed copies first;
   // otherwise a buffered locator could later match the freshly compressed
   // (live) version of the row.
-  CompactDeleteBuffer(m);
+  HD_RETURN_IF_ERROR(CompactDeleteBuffer(m));
   std::vector<std::vector<int64_t>> cols(ncols_);
   std::vector<int64_t> locs;
-  delta_->Scan(Bound::Unbounded(), Bound::Unbounded(),
-               [&](const int64_t*, const int64_t* payload) {
-                 for (int c = 0; c < ncols_; ++c) cols[c].push_back(payload[c]);
-                 locs.push_back(payload[ncols_]);
-                 return true;
-               },
-               m);
+  HD_RETURN_IF_ERROR(delta_->Scan(
+      Bound::Unbounded(), Bound::Unbounded(),
+      [&](const int64_t*, const int64_t* payload) {
+        for (int c = 0; c < ncols_; ++c) cols[c].push_back(payload[c]);
+        locs.push_back(payload[ncols_]);
+        return true;
+      },
+      m));
   const size_t n = locs.size();
   auto g = std::make_unique<RowGroup>();
   g->Build(std::move(cols), std::move(locs), opts_, pool_);
+  if (m != nullptr) {
+    // Writing the compressed row group is real (sequential) write I/O. A
+    // failed write abandons the fresh group before any state changed, so
+    // the delta store survives untouched and the flush can be retried.
+    HD_RETURN_IF_ERROR(pool_->disk()->Write(g->size_bytes(),
+                                            IoPattern::kSequential, m));
+  }
   groups_.push_back(std::move(g));
   compressed_rows_ += n;
   delta_ = std::make_unique<BTree>(1, ncols_ + 1, pool_);
   delta_seq_ = 0;
   delta_key_of_locator_.clear();
-  if (m != nullptr && !groups_.empty()) {
-    // Writing the compressed row group is real (sequential) write I/O.
-    pool_->disk()->ChargeWrite(groups_.back()->size_bytes(),
-                               IoPattern::kSequential, m);
-  }
+  return Status::OK();
 }
 
 Status ColumnStoreIndex::DeleteBatch(std::span<const int64_t> locators,
@@ -120,7 +130,9 @@ Status ColumnStoreIndex::DeleteBatch(std::span<const int64_t> locators,
       if (!s.ok() && s.code() != Code::kInvalidArgument) return s;
     }
     if (delete_buffer_->num_entries() > opts_.delete_buffer_compact_threshold) {
-      CompactDeleteBuffer(m);
+      // Compaction failure defers folding; the buffer keeps shadowing the
+      // deleted rows so query results are unaffected.
+      (void)CompactDeleteBuffer(m);
     }
     return Status::OK();
   } else {
@@ -142,7 +154,7 @@ Status ColumnStoreIndex::DeleteBatch(std::span<const int64_t> locators,
         if (m != nullptr) m->segments_skipped += 1;
         continue;
       }
-      ls.Touch(pool_, m);
+      HD_RETURN_IF_ERROR(ls.Touch(pool_, m));
       const size_t n = g->num_rows();
       for (size_t start = 0; start < n; start += kBatchSize) {
         const size_t take = std::min<size_t>(kBatchSize, n - start);
@@ -169,14 +181,20 @@ Status ColumnStoreIndex::DeleteBatch(std::span<const int64_t> locators,
   }
 }
 
-void ColumnStoreIndex::CompactDeleteBuffer(QueryMetrics* m) {
-  if (!delete_buffer_ || delete_buffer_->num_entries() == 0) return;
-  std::unordered_set<int64_t> dead = SnapshotDeleteBuffer(m);
+Status ColumnStoreIndex::CompactDeleteBuffer(QueryMetrics* m) {
+  if (!delete_buffer_ || delete_buffer_->num_entries() == 0) {
+    return Status::OK();
+  }
+  std::unordered_set<int64_t> dead;
+  HD_RETURN_IF_ERROR(SnapshotDeleteBuffer(&dead, m));
   std::vector<int64_t> buf(kBatchSize);
   for (auto& g : groups_) {
     if (dead.empty()) break;
     const ColumnSegment& ls = g->locator_segment();
-    ls.Touch(pool_, m);
+    // Mid-loop failure keeps the delete buffer: bits already folded stay
+    // set and the buffered locators still shadow them, so nothing
+    // resurrects; compaction simply runs again later.
+    HD_RETURN_IF_ERROR(ls.Touch(pool_, m));
     const size_t n = g->num_rows();
     for (size_t start = 0; start < n && !dead.empty(); start += kBatchSize) {
       const size_t take = std::min<size_t>(kBatchSize, n - start);
@@ -194,6 +212,7 @@ void ColumnStoreIndex::CompactDeleteBuffer(QueryMetrics* m) {
     }
   }
   delete_buffer_ = std::make_unique<BTree>(1, 0, pool_);
+  return Status::OK();
 }
 
 uint64_t ColumnStoreIndex::num_rows() const {
@@ -218,21 +237,22 @@ uint64_t ColumnStoreIndex::column_size_bytes(int col) const {
   return b;
 }
 
-std::unordered_set<int64_t> ColumnStoreIndex::SnapshotDeleteBuffer(
-    QueryMetrics* m) const {
-  std::unordered_set<int64_t> out;
-  if (!delete_buffer_ || delete_buffer_->num_entries() == 0) return out;
-  out.reserve(delete_buffer_->num_entries());
-  delete_buffer_->Scan(Bound::Unbounded(), Bound::Unbounded(),
-                       [&](const int64_t* key, const int64_t*) {
-                         out.insert(key[0]);
-                         return true;
-                       },
-                       m);
-  return out;
+Status ColumnStoreIndex::SnapshotDeleteBuffer(std::unordered_set<int64_t>* out,
+                                              QueryMetrics* m) const {
+  out->clear();
+  if (!delete_buffer_ || delete_buffer_->num_entries() == 0) {
+    return Status::OK();
+  }
+  out->reserve(delete_buffer_->num_entries());
+  return delete_buffer_->Scan(Bound::Unbounded(), Bound::Unbounded(),
+                              [&](const int64_t* key, const int64_t*) {
+                                out->insert(key[0]);
+                                return true;
+                              },
+                              m);
 }
 
-void ColumnStoreIndex::ScanGroups(
+Status ColumnStoreIndex::ScanGroups(
     int group_begin, int group_end, const std::vector<int>& cols_needed,
     const std::vector<SegPredicate>& preds,
     const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
@@ -242,7 +262,9 @@ void ColumnStoreIndex::ScanGroups(
   // Anti-join set from the delete buffer (secondary CSI only). Parallel
   // scans snapshot once and share it across morsels via delete_snapshot.
   std::unordered_set<int64_t> local_dead;
-  if (delete_snapshot == nullptr) local_dead = SnapshotDeleteBuffer(m);
+  if (delete_snapshot == nullptr) {
+    HD_RETURN_IF_ERROR(SnapshotDeleteBuffer(&local_dead, m));
+  }
   const std::unordered_set<int64_t>& dead =
       delete_snapshot != nullptr ? *delete_snapshot : local_dead;
   const bool check_dead = !dead.empty();
@@ -287,14 +309,16 @@ void ColumnStoreIndex::ScanGroups(
       continue;
     }
     // Touch all segments we will decode (I/O accounting).
-    for (int c : cols_needed) g.segment(c).Touch(pool_, m);
+    for (int c : cols_needed) {
+      HD_RETURN_IF_ERROR(g.segment(c).Touch(pool_, m));
+    }
     for (const auto& p : preds) {
       bool needed = false;
       for (int c : cols_needed) needed |= (c == p.col);
-      if (!needed) g.segment(p.col).Touch(pool_, m);
+      if (!needed) HD_RETURN_IF_ERROR(g.segment(p.col).Touch(pool_, m));
     }
     const bool want_locs = need_locators || check_dead || g.has_deletes();
-    if (want_locs) g.locator_segment().Touch(pool_, m);
+    if (want_locs) HD_RETURN_IF_ERROR(g.locator_segment().Touch(pool_, m));
 
     const size_t n = g.num_rows();
     for (size_t start = 0; start < n; start += kBatchSize) {
@@ -359,17 +383,18 @@ void ColumnStoreIndex::ScanGroups(
         batch.locators = out_locs.data();
       }
       if (m != nullptr) m->rows_output += nsel;
-      if (!fn(batch)) return;
+      if (!fn(batch)) return Status::OK();
     }
   }
+  return Status::OK();
 }
 
-void ColumnStoreIndex::ScanDelta(
+Status ColumnStoreIndex::ScanDelta(
     const std::vector<int>& cols_needed, const std::vector<SegPredicate>& preds,
     const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
     bool need_locators) const {
   (void)need_locators;  // delta rows carry their locator inline anyway
-  if (delta_rows() == 0) return;
+  if (delta_rows() == 0) return Status::OK();
   // Note: the delete buffer does NOT apply here. A locator in the buffer
   // marks the *compressed* copy dead; a delta row with the same locator is
   // the row's live, newer version (delete-then-insert update pattern).
@@ -390,7 +415,7 @@ void ColumnStoreIndex::ScanDelta(
     if (!fn(b)) stop = true;
     count = 0;
   };
-  delta_->Scan(
+  HD_RETURN_IF_ERROR(delta_->Scan(
       Bound::Unbounded(), Bound::Unbounded(),
       [&](const int64_t*, const int64_t* payload) {
         const int64_t loc = payload[ncols_];
@@ -408,13 +433,18 @@ void ColumnStoreIndex::ScanDelta(
         }
         return true;
       },
-      m);
+      m));
   flush();
+  return Status::OK();
 }
 
-void ColumnStoreIndex::Reorganize() {
-  // Gather every live row (compressed + delta), rebuild row groups.
-  std::unordered_set<int64_t> dead = SnapshotDeleteBuffer(nullptr);
+Status ColumnStoreIndex::Reorganize() {
+  HD_FAILPOINT_RETURN("csi.reorganize");
+  // Gather every live row (compressed + delta), rebuild row groups. All
+  // reads happen before any state is replaced, so a failed read leaves the
+  // index exactly as it was (reorganize deferred).
+  std::unordered_set<int64_t> dead;
+  HD_RETURN_IF_ERROR(SnapshotDeleteBuffer(&dead, nullptr));
   std::vector<std::vector<int64_t>> cols(ncols_);
   std::vector<int64_t> locs;
   std::vector<int64_t> buf;
@@ -437,15 +467,18 @@ void ColumnStoreIndex::Reorganize() {
       if (keep[i]) locs.push_back(lbuf[i]);
     }
   }
-  delta_->Scan(Bound::Unbounded(), Bound::Unbounded(),
-               [&](const int64_t*, const int64_t* payload) {
-                 // Delta rows are always live (see ScanDelta).
-                 const int64_t loc = payload[ncols_];
-                 for (int c = 0; c < ncols_; ++c) cols[c].push_back(payload[c]);
-                 locs.push_back(loc);
-                 return true;
-               },
-               nullptr);
+  HD_RETURN_IF_ERROR(
+      delta_->Scan(Bound::Unbounded(), Bound::Unbounded(),
+                   [&](const int64_t*, const int64_t* payload) {
+                     // Delta rows are always live (see ScanDelta).
+                     const int64_t loc = payload[ncols_];
+                     for (int c = 0; c < ncols_; ++c) {
+                       cols[c].push_back(payload[c]);
+                     }
+                     locs.push_back(loc);
+                     return true;
+                   },
+                   nullptr));
   groups_.clear();
   compressed_rows_ = 0;
   compressed_deleted_ = 0;
@@ -454,6 +487,7 @@ void ColumnStoreIndex::Reorganize() {
   delta_key_of_locator_.clear();
   if (delete_buffer_) delete_buffer_ = std::make_unique<BTree>(1, 0, pool_);
   BuildGroups(std::move(cols), std::move(locs));
+  return Status::OK();
 }
 
 }  // namespace hd

@@ -62,8 +62,11 @@ class ColumnStoreIndex {
   void BulkLoad(std::vector<std::vector<int64_t>> cols,
                 std::vector<int64_t> locators);
 
-  /// Trickle-insert one row into the delta store.
-  void Insert(std::span<const int64_t> row, int64_t locator, QueryMetrics* m);
+  /// Trickle-insert one row into the delta store. A failed automatic delta
+  /// flush does NOT fail the insert — the delta simply stays resident
+  /// (scans union it) and a later flush retries.
+  Status Insert(std::span<const int64_t> row, int64_t locator,
+                QueryMetrics* m);
 
   /// Statement-level delete of a set of locators. Secondary: append each
   /// to the delete buffer. Primary: scan row-group locator segments to
@@ -98,36 +101,43 @@ class ColumnStoreIndex {
   /// `delete_snapshot`, when non-null, is a caller-held delete-buffer
   /// snapshot shared across the morsels of one scan (so a parallel scan
   /// does not re-snapshot per row group); null snapshots internally.
-  void ScanGroups(int group_begin, int group_end,
-                  const std::vector<int>& cols_needed,
-                  const std::vector<SegPredicate>& preds,
-                  const std::function<bool(const ColumnBatch&)>& fn,
-                  QueryMetrics* m, bool need_locators = true,
-                  const std::unordered_set<int64_t>* delete_snapshot =
-                      nullptr) const;
+  Status ScanGroups(int group_begin, int group_end,
+                    const std::vector<int>& cols_needed,
+                    const std::vector<SegPredicate>& preds,
+                    const std::function<bool(const ColumnBatch&)>& fn,
+                    QueryMetrics* m, bool need_locators = true,
+                    const std::unordered_set<int64_t>* delete_snapshot =
+                        nullptr) const;
 
   /// Row-mode scan of the delta store (queries must union this in).
-  void ScanDelta(const std::vector<int>& cols_needed,
-                 const std::vector<SegPredicate>& preds,
-                 const std::function<bool(const ColumnBatch&)>& fn,
-                 QueryMetrics* m, bool need_locators = true) const;
+  Status ScanDelta(const std::vector<int>& cols_needed,
+                   const std::vector<SegPredicate>& preds,
+                   const std::function<bool(const ColumnBatch&)>& fn,
+                   QueryMetrics* m, bool need_locators = true) const;
 
   /// Tuple mover: fold delta + delete buffer into compressed row groups.
-  void Reorganize();
+  /// Fails (leaving the index fully queryable, reorganize deferred) when
+  /// the `csi.reorganize` failpoint or an underlying read fires.
+  Status Reorganize();
 
   /// Compress a full delta store into a new row group (invoked
   /// automatically when the delta reaches the row-group size, like SQL
-  /// Server's tuple mover closing a delta row group).
-  void CompressDelta(QueryMetrics* m);
+  /// Server's tuple mover closing a delta row group). On failure — the
+  /// `csi.compress_delta` failpoint or a propagated I/O error — the delta
+  /// store is left intact and queryable; the flush is simply deferred.
+  Status CompressDelta(QueryMetrics* m);
 
   /// Fold the delete buffer into per-row-group delete bitmaps (the
   /// background compaction of Section 2). Invoked automatically past
-  /// CsiOptions::delete_buffer_compact_threshold.
-  void CompactDeleteBuffer(QueryMetrics* m);
+  /// CsiOptions::delete_buffer_compact_threshold. On mid-way failure the
+  /// buffer is kept (bits already folded stay set — scans consult both, so
+  /// no row resurrects) and compaction is deferred.
+  Status CompactDeleteBuffer(QueryMetrics* m);
 
   /// Snapshot the delete-buffer locators for a scan's anti-join (charged
   /// as a delete-buffer B+ tree scan).
-  std::unordered_set<int64_t> SnapshotDeleteBuffer(QueryMetrics* m) const;
+  Status SnapshotDeleteBuffer(std::unordered_set<int64_t>* out,
+                              QueryMetrics* m) const;
 
  private:
   void BuildGroups(std::vector<std::vector<int64_t>> cols,

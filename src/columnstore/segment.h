@@ -10,6 +10,7 @@
 
 #include "columnstore/encoding.h"
 #include "common/metrics.h"
+#include "common/status.h"
 #include "storage/buffer_pool.h"
 
 namespace hd {
@@ -70,12 +71,15 @@ class ColumnSegment {
   void Decode(size_t start, size_t count, int64_t* out) const;
 
   /// Account a scan touch of this segment (cold I/O if non-resident).
-  void Touch(BufferPool* pool, QueryMetrics* m) const {
-    pool->Access(extent_, IoPattern::kSequential, m);
+  /// Fails only when the underlying (simulated) read fails; the segment is
+  /// then not counted as scanned and the caller must stop using it.
+  Status Touch(BufferPool* pool, QueryMetrics* m) const {
+    HD_RETURN_IF_ERROR(pool->Access(extent_, IoPattern::kSequential, m));
     if (m != nullptr) {
       m->segments_scanned += 1;
       m->bytes_processed += size_bytes_;
     }
+    return Status::OK();
   }
 
  private:

@@ -1,0 +1,68 @@
+// Capped exponential backoff with seeded jitter and a retry budget.
+//
+// Deadlock victims that retry immediately re-collide with the transaction
+// that beat them (the hot-loop the mixed driver had before PR 3). The fix
+// every production lock manager's clients use: wait base * 2^attempt
+// capped at `cap`, jittered so two victims of the same deadlock do not
+// wake in lockstep, and give up after a budget of attempts. Jitter draws
+// from a seeded RNG so workload runs stay reproducible.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace hd {
+
+class Backoff {
+ public:
+  /// `base_ms` first-retry delay, doubled per attempt up to `cap_ms`;
+  /// `budget` = max attempts before Exhausted().
+  Backoff(double base_ms, double cap_ms, int budget, uint64_t seed)
+      : base_ms_(std::max(0.0, base_ms)),
+        cap_ms_(std::max(base_ms_, cap_ms)),
+        budget_(std::max(0, budget)),
+        rng_(seed) {}
+
+  /// True once the retry budget is spent; the caller should surface
+  /// kResourceExhausted instead of retrying again.
+  bool Exhausted() const { return attempts_ >= budget_; }
+
+  /// Delay for the next retry, in ms: raw = min(cap, base * 2^attempt),
+  /// jittered into [raw/2, raw] ("equal jitter" — bounded below so a
+  /// retry never fires immediately, bounded above by the cap).
+  double NextDelayMs() {
+    double raw = base_ms_;
+    for (int i = 0; i < attempts_ && raw < cap_ms_; ++i) raw *= 2;
+    raw = std::min(raw, cap_ms_);
+    ++attempts_;
+    const double d = raw / 2 + rng_.UniformReal(0.0, raw / 2);
+    total_ms_ += d;
+    return d;
+  }
+
+  /// Compute the next delay and sleep it (real wall-clock wait).
+  double SleepNext() {
+    const double d = NextDelayMs();
+    if (d > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(d));
+    }
+    return d;
+  }
+
+  int attempts() const { return attempts_; }
+  double total_backoff_ms() const { return total_ms_; }
+
+ private:
+  double base_ms_;
+  double cap_ms_;
+  int budget_;
+  int attempts_ = 0;
+  double total_ms_ = 0;
+  Rng rng_;
+};
+
+}  // namespace hd

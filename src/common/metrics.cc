@@ -20,6 +20,8 @@ void QueryMetrics::Clear() {
   cpu_ns = 0;
   peak_memory_bytes = 0;
   spill_bytes = 0;
+  txn_retries = 0;
+  backoff_ns = 0;
   dop = 1;
 }
 
@@ -38,6 +40,8 @@ void QueryMetrics::Merge(const QueryMetrics& o) {
   sim_io_ns += o.sim_io_ns.load();
   cpu_ns += o.cpu_ns.load();
   spill_bytes += o.spill_bytes.load();
+  txn_retries += o.txn_retries.load();
+  backoff_ns += o.backoff_ns.load();
   UpdatePeakMemory(o.peak_memory_bytes.load());
 }
 
@@ -53,6 +57,10 @@ std::string QueryMetrics::ToString() const {
      << " runs_eval=" << runs_evaluated.load()
      << " rows_dec=" << rows_decoded.load()
      << " peak_mem=" << peak_memory_bytes.load() << " dop=" << dop;
+  if (txn_retries.load() > 0 || backoff_ns.load() > 0) {
+    os << " retries=" << txn_retries.load()
+       << " backoff_ms=" << backoff_ns.load() / 1e6;
+  }
   return os.str();
 }
 

@@ -54,6 +54,11 @@ struct QueryMetrics {
   std::atomic<uint64_t> cpu_ns{0};
   std::atomic<uint64_t> peak_memory_bytes{0};
   std::atomic<uint64_t> spill_bytes{0};
+  /// Transaction-level robustness counters (mixed driver): whole-txn
+  /// retries after a retryable failure, and wall-clock nanoseconds spent
+  /// sleeping in the retry backoff.
+  std::atomic<uint64_t> txn_retries{0};
+  std::atomic<uint64_t> backoff_ns{0};
   int dop = 1;
 
   QueryMetrics() = default;

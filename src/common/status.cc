@@ -12,6 +12,7 @@ const char* CodeName(Code c) {
     case Code::kNotSupported: return "NotSupported";
     case Code::kResourceExhausted: return "ResourceExhausted";
     case Code::kAborted: return "Aborted";
+    case Code::kIoError: return "IoError";
     case Code::kInternal: return "Internal";
   }
   return "Unknown";

@@ -18,6 +18,7 @@ enum class Code {
   kNotSupported,
   kResourceExhausted,
   kAborted,     // e.g. deadlock victim
+  kIoError,     // storage-layer read/write failure (transient by contract)
   kInternal,
 };
 
@@ -46,6 +47,9 @@ class Status {
   static Status Aborted(std::string m) {
     return Status(Code::kAborted, std::move(m));
   }
+  static Status IoError(std::string m) {
+    return Status(Code::kIoError, std::move(m));
+  }
   static Status Internal(std::string m) {
     return Status(Code::kInternal, std::move(m));
   }
@@ -53,6 +57,17 @@ class Status {
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+  /// True for failures a caller may retry from the top of its transaction:
+  /// deadlock-victim aborts and (by contract transient) I/O errors.
+  /// Corruption, invalid arguments, etc. are permanent — retrying them
+  /// would spin a hot loop on the same failure.
+  bool IsRetryable() const {
+    return code_ == Code::kAborted || code_ == Code::kIoError;
+  }
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }
 

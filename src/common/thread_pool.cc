@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/failpoint.h"
+
 namespace hd {
 
 // ---------------------------------------------------------------------
@@ -129,8 +131,35 @@ struct ThreadPool::ParallelState {
   std::atomic<int> claimed{0};
   std::atomic<int> finished{0};
   std::atomic<uint64_t> stolen{0};
+  /// Morsels actually run through `fn` (== num_morsels unless a morsel was
+  /// skipped by cancellation or the `threadpool.task` failpoint).
+  std::atomic<uint64_t> executed{0};
+  /// Caller-provided cancellation flag (may be null).
+  std::atomic<bool>* cancel = nullptr;
+  std::mutex err_mu;
+  Status inject_status;  ///< first `threadpool.task` injection, under err_mu
   std::mutex mu;
   std::condition_variable cv;
+
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Pre-execution gate for one claimed morsel: false = skip it. Evaluates
+  /// the `threadpool.task` failpoint; an injection records the first
+  /// failure and trips `cancel` so sibling lanes stop claiming work.
+  bool AdmitMorsel() {
+    if (Cancelled()) return false;
+    if (!FailPoints::AnyArmed()) return true;
+    Status fs = FailPoints::Instance().Evaluate("threadpool.task");
+    if (fs.ok()) return true;
+    {
+      std::lock_guard<std::mutex> g(err_mu);
+      if (inject_status.ok()) inject_status = std::move(fs);
+    }
+    if (cancel != nullptr) cancel->store(true, std::memory_order_relaxed);
+    return false;
+  }
 };
 
 void ThreadPool::RunSlot(const std::shared_ptr<ParallelState>& st, int slot) {
@@ -139,12 +168,14 @@ void ThreadPool::RunSlot(const std::shared_ptr<ParallelState>& st, int slot) {
   while (true) {
     const uint64_t i = own.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= own.end) break;
+    if (!st->AdmitMorsel()) continue;  // keep claiming so ranges drain fast
     fn(slot, i);
+    st->executed.fetch_add(1, std::memory_order_relaxed);
   }
   // Own range drained: steal morsels from the other slots until every
   // range is exhausted.
   bool found = true;
-  while (found) {
+  while (found && !st->Cancelled()) {
     found = false;
     for (int v = 0; v < st->nslots; ++v) {
       if (v == slot) continue;
@@ -152,9 +183,11 @@ void ThreadPool::RunSlot(const std::shared_ptr<ParallelState>& st, int slot) {
       while (s.next.load(std::memory_order_relaxed) < s.end) {
         const uint64_t i = s.next.fetch_add(1, std::memory_order_relaxed);
         if (i >= s.end) break;
+        found = true;
+        if (!st->AdmitMorsel()) continue;
         st->stolen.fetch_add(1, std::memory_order_relaxed);
         fn(slot, i);
-        found = true;
+        st->executed.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -167,22 +200,32 @@ void ThreadPool::RunSlot(const std::shared_ptr<ParallelState>& st, int slot) {
 
 MorselStats ThreadPool::ParallelFor(
     uint64_t num_morsels, int max_dop,
-    const std::function<void(int, uint64_t)>& fn) {
+    const std::function<void(int, uint64_t)>& fn,
+    std::atomic<bool>* cancel) {
   MorselStats stats;
   if (num_morsels == 0) return stats;
   const int cap = std::max(1, max_dop);
   const int nslots =
       static_cast<int>(std::min<uint64_t>(num_morsels, cap));
-  stats.scheduled = num_morsels;
   if (nslots == 1) {
-    for (uint64_t i = 0; i < num_morsels; ++i) fn(0, i);
+    // Serial fast path shares the gate semantics of the parallel one.
+    ParallelState st1;
+    st1.cancel = cancel;
+    for (uint64_t i = 0; i < num_morsels; ++i) {
+      if (st1.Cancelled()) break;
+      if (!st1.AdmitMorsel()) continue;
+      fn(0, i);
+      ++stats.scheduled;
+    }
     stats.participants = 1;
+    stats.status = st1.inject_status;
     return stats;
   }
 
   auto st = std::make_shared<ParallelState>();
   st->nslots = nslots;
   st->fn = &fn;
+  st->cancel = cancel;
   st->slots = std::make_unique<ParallelState::Slot[]>(nslots);
   const uint64_t per = num_morsels / nslots;
   const uint64_t rem = num_morsels % nslots;
@@ -221,8 +264,10 @@ MorselStats ThreadPool::ParallelFor(
       return st->finished.load(std::memory_order_acquire) >= nslots;
     });
   }
+  stats.scheduled = st->executed.load();
   stats.stolen = st->stolen.load();
   stats.participants = nslots;
+  stats.status = st->inject_status;  // all participants finished: no race
   (void)ran_here;
   return stats;
 }

@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace hd {
 
 /// Per-call statistics of one ParallelFor (fed into QueryMetrics by the
@@ -38,6 +40,10 @@ struct MorselStats {
   uint64_t scheduled = 0;  ///< total morsels executed
   uint64_t stolen = 0;     ///< morsels run by a slot that did not own them
   int participants = 0;    ///< participant slots actually claimed
+  /// First failure injected by the `threadpool.task` failpoint, if any.
+  /// Morsels skipped by injection or cancellation are not counted in
+  /// `scheduled`, so callers can tell a clean loop from a cut-short one.
+  Status status;
 };
 
 class ThreadPool {
@@ -63,10 +69,17 @@ class ThreadPool {
   /// [0, min(max_dop, num_morsels)) and is exclusively owned by one
   /// participant for the whole call, so worker-local state (sinks, metric
   /// blocks) may be indexed by it without synchronization. Blocks until
-  /// every morsel has been executed; safe to call from inside a morsel
-  /// (nested loops share the pool, the caller always participates).
+  /// every morsel has been executed or skipped; safe to call from inside a
+  /// morsel (nested loops share the pool, the caller always participates).
+  ///
+  /// `cancel`, when non-null, is a cooperative cancellation flag: once it
+  /// reads true, participants stop claiming morsels (already-running
+  /// morsels finish). The pool itself sets it when the `threadpool.task`
+  /// failpoint fires, so one injected lane failure cuts the whole loop
+  /// short instead of burning the remaining morsels.
   MorselStats ParallelFor(uint64_t num_morsels, int max_dop,
-                          const std::function<void(int, uint64_t)>& fn);
+                          const std::function<void(int, uint64_t)>& fn,
+                          std::atomic<bool>* cancel = nullptr);
 
  private:
   struct ParallelState;

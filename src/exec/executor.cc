@@ -456,25 +456,58 @@ struct Executor::Impl {
   // `m` along with the pool's scheduling counters when the loop finishes.
   // `label` names the operator in the Chrome trace (--trace): when tracing
   // is on, every morsel emits one complete event on its slot's lane.
+  // `fn` returns Status; the first non-OK morsel trips the loop's cancel
+  // flag so remaining morsels are skipped, and that status (or a pool-level
+  // injected status) is returned after per-slot metrics are merged.
   template <typename Fn>
-  void MorselLoop(uint64_t nmorsels, int nworkers, QueryMetrics* m,
-                  const std::string& label, Fn&& fn) {
+  Status MorselLoop(uint64_t nmorsels, int nworkers, QueryMetrics* m,
+                    const std::string& label, Fn&& fn) {
     std::vector<QueryMetrics> wms(nworkers);
+    std::atomic<bool> cancel{false};
+    std::mutex err_mu;
+    Status first_err;
     MorselStats ms = ThreadPool::Global().ParallelFor(
-        nmorsels, nworkers, [&](int slot, uint64_t mi) {
+        nmorsels, nworkers,
+        [&](int slot, uint64_t mi) {
           const bool tracing = Trace::Enabled();
           const uint64_t t0 = tracing ? Trace::Global().NowUs() : 0;
           Timer t;
-          fn(slot, mi, &wms[slot]);
+          Status s = fn(slot, mi, &wms[slot]);
           wms[slot].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
           if (tracing) {
             Trace::Global().Record(label, slot, t0,
                                    Trace::Global().NowUs() - t0, mi);
           }
-        });
+          if (!s.ok()) {
+            {
+              std::lock_guard<std::mutex> g(err_mu);
+              if (first_err.ok()) first_err = std::move(s);
+            }
+            cancel.store(true, std::memory_order_relaxed);
+          }
+        },
+        &cancel);
     for (auto& wm : wms) m->Merge(wm);
     m->morsels_scheduled += ms.scheduled;
     m->morsels_stolen += ms.stolen;
+    if (!first_err.ok()) return first_err;
+    return ms.status;
+  }
+
+  // Errors raised inside scan callbacks (row-lock acquisition, non-covering
+  // index fetches, NL probes) cannot flow out through the bool-returning
+  // callback chain; they are recorded here and checked once the scan
+  // returns. First error wins.
+  std::mutex side_err_mu;
+  Status side_err;
+  void RecordSideError(Status s) {
+    if (s.ok()) return;
+    std::lock_guard<std::mutex> g(side_err_mu);
+    if (side_err.ok()) side_err = std::move(s);
+  }
+  Status TakeSideError() {
+    std::lock_guard<std::mutex> g(side_err_mu);
+    return side_err;
   }
 
   // CSI batch scan fast path plumbing.
@@ -572,7 +605,7 @@ static Status ScanDim(Table* dim, const AccessPath& path,
   switch (path.kind) {
     case AccessPath::Kind::kHeapScan: {
       uint64_t seen = 0;
-      dim->heap()->Scan(
+      Status hs = dim->heap()->Scan(
           [&](uint64_t, const int64_t* row) {
             ++seen;
             if (CheckPreds(preds, row)) fn(row);
@@ -582,7 +615,7 @@ static Status ScanDim(Table* dim, const AccessPath& path,
       if (m != nullptr) {
         m->cpu_ns += static_cast<uint64_t>(seen * row_overhead_ns);
       }
-      return Status::OK();
+      return hs;
     }
     case AccessPath::Kind::kCsiScan: {
       ColumnStoreIndex* csi = path.index_name.empty()
@@ -600,9 +633,9 @@ static Status ScanDim(Table* dim, const AccessPath& path,
         }
         return true;
       };
-      csi->ScanGroups(0, csi->num_row_groups(), all, sp, emit, m);
-      csi->ScanDelta(all, sp, emit, m);
-      return Status::OK();
+      HD_RETURN_IF_ERROR(
+          csi->ScanGroups(0, csi->num_row_groups(), all, sp, emit, m));
+      return csi->ScanDelta(all, sp, emit, m);
     }
     case AccessPath::Kind::kBTreeRange:
     case AccessPath::Kind::kBTreeFullScan: {
@@ -640,7 +673,8 @@ static Status ScanDim(Table* dim, const AccessPath& path,
       PackedRow row(ncols);
       std::vector<char> have(ncols, 0);
       uint64_t seen = 0;
-      tree->Scan(lo, hi, [&](const int64_t* key, const int64_t* payload) {
+      Status fetch_err;
+      Status ts = tree->Scan(lo, hi, [&](const int64_t* key, const int64_t* payload) {
         ++seen;
         std::fill(have.begin(), have.end(), 0);
         for (size_t k = 0; k < key_cols.size(); ++k) {
@@ -661,8 +695,13 @@ static Status ScanDim(Table* dim, const AccessPath& path,
             std::vector<int64_t> pk_hint;
             for (int pk : dim->primary_key_cols()) pk_hint.push_back(row[pk]);
             PackedRow full;
-            if (dim->FetchRow(key[kw - 1], pk_hint, &full, m).ok()) {
+            Status fs = dim->FetchRow(key[kw - 1], pk_hint, &full, m);
+            if (fs.ok()) {
               row = full;
+            } else if (fs.IsIoError()) {
+              // A failed read must fail the scan; a vanished row is skipped.
+              fetch_err = std::move(fs);
+              return false;
             }
           }
         }
@@ -672,7 +711,8 @@ static Status ScanDim(Table* dim, const AccessPath& path,
       if (m != nullptr) {
         m->cpu_ns += static_cast<uint64_t>(seen * row_overhead_ns);
       }
-      return Status::OK();
+      if (!fetch_err.ok()) return fetch_err;
+      return ts;
     }
   }
   return Status::Internal("unreachable");
@@ -831,50 +871,54 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
       const uint64_t n = h->num_rows();
       const double row_oh = nworkers > 1 ? ctx.parallel_row_overhead_ns
                                          : ctx.serial_row_overhead_ns;
-      auto worker = [&](int w, uint64_t lo, uint64_t hi, QueryMetrics* wm) {
+      auto worker = [&](int w, uint64_t lo, uint64_t hi,
+                        QueryMetrics* wm) -> Status {
         uint64_t seen = 0;
-        h->ScanRange(lo, hi, [&](uint64_t rid, const int64_t* row) {
+        Status ss = h->ScanRange(lo, hi, [&](uint64_t rid, const int64_t* row) {
           ++seen;
           if (!CheckPreds(base_preds, row)) return true;
           return emit(w, static_cast<int64_t>(rid), row);
         }, wm);
         wm->cpu_ns += static_cast<uint64_t>(seen * row_oh);
+        return ss;
       };
       if (nworkers <= 1) {
         Timer t;
-        worker(0, 0, n, m);
+        Status ss = worker(0, 0, n, m);
         m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
-      } else {
-        // Morsel = a fixed-size page range; the pool's participants drain
-        // and steal morsels instead of owning one static range each.
-        constexpr uint64_t kHeapMorselRows = 65536;
-        const uint64_t nmorsels = (n + kHeapMorselRows - 1) / kHeapMorselRows;
-        std::atomic<bool> stop{false};
-        MorselLoop(nmorsels, nworkers, m, scan_label,
-                   [&](int slot, uint64_t mi, QueryMetrics* wm) {
-                     if (stop.load(std::memory_order_relaxed)) return;
-                     uint64_t seen = 0;
-                     const uint64_t lo = mi * kHeapMorselRows;
-                     const uint64_t hi = std::min(n, lo + kHeapMorselRows);
-                     h->ScanRange(lo, hi,
-                                  [&](uint64_t rid, const int64_t* row) {
-                                    ++seen;
-                                    if (!CheckPreds(base_preds, row)) {
-                                      return true;
-                                    }
-                                    if (!emit(slot,
-                                              static_cast<int64_t>(rid), row)) {
-                                      stop.store(true,
-                                                 std::memory_order_relaxed);
-                                      return false;
-                                    }
-                                    return true;
-                                  },
-                                  wm);
-                     wm->cpu_ns += static_cast<uint64_t>(seen * row_oh);
-                   });
+        return ss;
       }
-      return Status::OK();
+      // Morsel = a fixed-size page range; the pool's participants drain
+      // and steal morsels instead of owning one static range each.
+      constexpr uint64_t kHeapMorselRows = 65536;
+      const uint64_t nmorsels = (n + kHeapMorselRows - 1) / kHeapMorselRows;
+      std::atomic<bool> stop{false};
+      return MorselLoop(
+          nmorsels, nworkers, m, scan_label,
+          [&](int slot, uint64_t mi, QueryMetrics* wm) -> Status {
+            if (stop.load(std::memory_order_relaxed)) return Status::OK();
+            uint64_t seen = 0;
+            const uint64_t lo = mi * kHeapMorselRows;
+            const uint64_t hi = std::min(n, lo + kHeapMorselRows);
+            Status ss = h->ScanRange(lo, hi,
+                                     [&](uint64_t rid, const int64_t* row) {
+                                       ++seen;
+                                       if (!CheckPreds(base_preds, row)) {
+                                         return true;
+                                       }
+                                       if (!emit(slot,
+                                                 static_cast<int64_t>(rid),
+                                                 row)) {
+                                         stop.store(true,
+                                                    std::memory_order_relaxed);
+                                         return false;
+                                       }
+                                       return true;
+                                     },
+                                     wm);
+            wm->cpu_ns += static_cast<uint64_t>(seen * row_oh);
+            return ss;
+          });
     }
     case AccessPath::Kind::kBTreeRange:
     case AccessPath::Kind::kBTreeFullScan: {
@@ -948,8 +992,12 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
               std::vector<int64_t> pk_hint;
               for (int pk : base->primary_key_cols()) pk_hint.push_back(row[pk]);
               PackedRow full;
-              if (!base->FetchRow(key[kw - 1], pk_hint, &full, wm).ok()) {
-                return true;
+              Status fs = base->FetchRow(key[kw - 1], pk_hint, &full, wm);
+              if (!fs.ok()) {
+                // A failed read fails the scan; a vanished row is skipped.
+                if (!fs.IsIoError()) return true;
+                RecordSideError(std::move(fs));
+                return false;
               }
               row = full;
             }
@@ -962,35 +1010,37 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         Timer t;
         PackedRow rowbuf(ncols);
         uint64_t seen = 0;
-        tree->Scan(lo, hi, make_handler(0, &rowbuf, m, &seen), m);
+        Status ss = tree->Scan(lo, hi, make_handler(0, &rowbuf, m, &seen), m);
         m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
                      static_cast<uint64_t>(seen * ctx.serial_row_overhead_ns);
-      } else {
-        // Morsel = a small batch of leaves (16 morsels per participant at
-        // the initial split keeps stealing granular without per-leaf
-        // scheduling overhead).
-        std::vector<LeafHandle> leaves = tree->CollectLeaves(lo, hi, m);
-        const uint64_t nleaves = leaves.size();
-        const uint64_t chunk = std::max<uint64_t>(
-            1, nleaves / (16ull * static_cast<uint64_t>(nworkers)));
-        const uint64_t nmorsels = (nleaves + chunk - 1) / chunk;
-        std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
-        MorselLoop(nmorsels, nworkers, m, scan_label,
-                   [&](int slot, uint64_t mi, QueryMetrics* wm) {
-                     uint64_t seen = 0;
-                     auto handler =
-                         make_handler(slot, &rowbufs[slot], wm, &seen);
-                     const size_t b = static_cast<size_t>(mi * chunk);
-                     const size_t e =
-                         std::min<size_t>(nleaves, b + static_cast<size_t>(chunk));
-                     for (size_t li = b; li < e; ++li) {
-                       tree->ScanLeaf(leaves[li], lo, hi, handler, wm);
-                     }
-                     wm->cpu_ns += static_cast<uint64_t>(
-                         seen * ctx.parallel_row_overhead_ns);
-                   });
+        return ss;
       }
-      return Status::OK();
+      // Morsel = a small batch of leaves (16 morsels per participant at
+      // the initial split keeps stealing granular without per-leaf
+      // scheduling overhead).
+      std::vector<LeafHandle> leaves;
+      HD_RETURN_IF_ERROR(tree->CollectLeaves(lo, hi, m, &leaves));
+      const uint64_t nleaves = leaves.size();
+      const uint64_t chunk = std::max<uint64_t>(
+          1, nleaves / (16ull * static_cast<uint64_t>(nworkers)));
+      const uint64_t nmorsels = (nleaves + chunk - 1) / chunk;
+      std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
+      return MorselLoop(
+          nmorsels, nworkers, m, scan_label,
+          [&](int slot, uint64_t mi, QueryMetrics* wm) -> Status {
+            uint64_t seen = 0;
+            auto handler = make_handler(slot, &rowbufs[slot], wm, &seen);
+            const size_t b = static_cast<size_t>(mi * chunk);
+            const size_t e =
+                std::min<size_t>(nleaves, b + static_cast<size_t>(chunk));
+            Status ss;
+            for (size_t li = b; li < e && ss.ok(); ++li) {
+              ss = tree->ScanLeaf(leaves[li], lo, hi, handler, wm);
+            }
+            wm->cpu_ns += static_cast<uint64_t>(
+                seen * ctx.parallel_row_overhead_ns);
+            return ss;
+          });
     }
     case AccessPath::Kind::kCsiScan: {
       ColumnStoreIndex* csi;
@@ -1030,38 +1080,38 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         Timer t;
         PackedRow rowbuf(ncols);
         auto handler = make_batch_handler(0, &rowbuf);
-        csi->ScanGroups(0, ngroups, cols, sp, handler, m, need_locs);
-        csi->ScanDelta(cols, sp, handler, m, need_locs);
+        Status ss = csi->ScanGroups(0, ngroups, cols, sp, handler, m,
+                                    need_locs);
+        if (ss.ok()) ss = csi->ScanDelta(cols, sp, handler, m, need_locs);
         m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
-      } else {
-        // Morsel = one row group (+ one trailing morsel for the delta
-        // store). The delete-buffer snapshot is taken once and shared so
-        // per-group morsels do not re-scan the delete buffer.
-        const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(m);
-        std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
-        std::atomic<bool> stop{false};
-        MorselLoop(
-            static_cast<uint64_t>(ngroups) + 1, nworkers, m, scan_label,
-            [&](int slot, uint64_t mi, QueryMetrics* wm) {
-              if (stop.load(std::memory_order_relaxed)) return;
-              auto inner = make_batch_handler(slot, &rowbufs[slot]);
-              auto handler = [&](const ColumnBatch& b) {
-                if (!inner(b)) {
-                  stop.store(true, std::memory_order_relaxed);
-                  return false;
-                }
-                return true;
-              };
-              if (mi < static_cast<uint64_t>(ngroups)) {
-                const int g = static_cast<int>(mi);
-                csi->ScanGroups(g, g + 1, cols, sp, handler, wm, need_locs,
-                                &dead);
-              } else {
-                csi->ScanDelta(cols, sp, handler, wm, need_locs);
-              }
-            });
+        return ss;
       }
-      return Status::OK();
+      // Morsel = one row group (+ one trailing morsel for the delta
+      // store). The delete-buffer snapshot is taken once and shared so
+      // per-group morsels do not re-scan the delete buffer.
+      std::unordered_set<int64_t> dead;
+      HD_RETURN_IF_ERROR(csi->SnapshotDeleteBuffer(&dead, m));
+      std::vector<PackedRow> rowbufs(nworkers, PackedRow(ncols));
+      std::atomic<bool> stop{false};
+      return MorselLoop(
+          static_cast<uint64_t>(ngroups) + 1, nworkers, m, scan_label,
+          [&](int slot, uint64_t mi, QueryMetrics* wm) -> Status {
+            if (stop.load(std::memory_order_relaxed)) return Status::OK();
+            auto inner = make_batch_handler(slot, &rowbufs[slot]);
+            auto handler = [&](const ColumnBatch& b) {
+              if (!inner(b)) {
+                stop.store(true, std::memory_order_relaxed);
+                return false;
+              }
+              return true;
+            };
+            if (mi < static_cast<uint64_t>(ngroups)) {
+              const int g = static_cast<int>(mi);
+              return csi->ScanGroups(g, g + 1, cols, sp, handler, wm,
+                                     need_locs, &dead);
+            }
+            return csi->ScanDelta(cols, sp, handler, wm, need_locs);
+          });
     }
   }
   return Status::Internal("unreachable");
@@ -1191,7 +1241,12 @@ Status Executor::Impl::RunSelect() {
       Status s = ctx.txns->locks()->Acquire(ctx.txn->id(),
                                             LockResource{table_hash, rid},
                                             LockMode::kS, ctx.lock_timeout_ms);
-      if (!s.ok()) return false;  // surfaced via res.status by caller retry
+      if (!s.ok()) {
+        // Stop the scan and surface the lock failure (deadlock victim /
+        // injected timeout) as the statement status so the caller retries.
+        RecordSideError(std::move(s));
+        return false;
+      }
       if (ctx.txn->isolation() == IsolationLevel::kReadCommitted) {
         ctx.txns->locks()->Release(ctx.txn->id(), LockResource{table_hash, rid});
       }
@@ -1297,7 +1352,7 @@ Status Executor::Impl::RunSelect() {
     // Probe-side charges land on this join's operator block (atomic adds,
     // thread-safe across morsel workers).
     QueryMetrics* wm = OpM(opx.join[step]);
-    nd.tree->Scan(lo, hi, [&](const int64_t* ekey, const int64_t* payload) {
+    Status ps = nd.tree->Scan(lo, hi, [&](const int64_t* ekey, const int64_t* payload) {
       wm->cpu_ns += static_cast<uint64_t>(ctx.serial_row_overhead_ns);
       int64_t* dim_wide = wide + je.dim_offset;
       if (nd.covering) {
@@ -1311,8 +1366,12 @@ Status Executor::Impl::RunSelect() {
           pk_hint.push_back(s < nd.kw ? ekey[s] : payload[s - nd.kw]);
         }
         PackedRow full;
-        if (!nd.table->FetchRow(ekey[nd.kw - 1], pk_hint, &full, wm).ok()) {
-          return true;
+        Status fs = nd.table->FetchRow(ekey[nd.kw - 1], pk_hint, &full, wm);
+        if (!fs.ok()) {
+          if (!fs.IsIoError()) return true;  // vanished row: skip
+          RecordSideError(std::move(fs));
+          cont = false;
+          return false;
         }
         std::copy(full.begin(), full.end(), dim_wide);
       }
@@ -1325,6 +1384,10 @@ Status Executor::Impl::RunSelect() {
       cont = pipeline(w, wide, rid, step + 1);
       return cont;
     }, wm);
+    if (!ps.ok()) {
+      RecordSideError(std::move(ps));
+      return false;
+    }
     return cont;
   };
 
@@ -1383,7 +1446,7 @@ Status Executor::Impl::RunSelect() {
           ++dim_rows;
           std::copy(dimrow, dimrow + dim->num_columns(), wide + dim_off);
           const int64_t key = dimrow[jc.dim_col];
-          tree->Scan(
+          Status ps = tree->Scan(
               Bound::Inclusive({key}), Bound::Inclusive({key}),
               [&](const int64_t* ekey, const int64_t* payload) {
                 ++fact_entries;
@@ -1409,9 +1472,11 @@ Status Executor::Impl::RunSelect() {
                       pk_hint.push_back(rowbuf[pk]);
                     }
                     PackedRow full;
-                    if (!base->FetchRow(ekey[kw - 1], pk_hint, &full, sm)
-                             .ok()) {
-                      return true;
+                    Status fs = base->FetchRow(ekey[kw - 1], pk_hint, &full, sm);
+                    if (!fs.ok()) {
+                      if (!fs.IsIoError()) return true;  // vanished row
+                      RecordSideError(std::move(fs));
+                      return false;
                     }
                     rowbuf = full;
                   }
@@ -1422,6 +1487,7 @@ Status Executor::Impl::RunSelect() {
                 return pipeline(0, wide, ekey[kw - 1], 0);
               },
               sm);
+          if (!ps.ok()) RecordSideError(std::move(ps));
         },
         dm, ctx.serial_row_overhead_ns);
     sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6) +
@@ -1463,7 +1529,7 @@ Status Executor::Impl::RunSelect() {
       sp.push_back({p.col, p.lo, p.hi});
     }
     const std::unordered_set<int64_t>* delete_snapshot = nullptr;
-    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
+    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) -> Status {
       WorkerSink& sink = sinks[w];
       auto handler = [&](const ColumnBatch& b) {
         sink.row_count += b.count;
@@ -1536,34 +1602,36 @@ Status Executor::Impl::RunSelect() {
       };
       // gb < 0 selects the delta store (scheduled as its own morsel).
       if (gb < 0) {
-        csi->ScanDelta(needed, sp, handler, wm, /*need_locators=*/false);
-      } else {
-        csi->ScanGroups(gb, ge, needed, sp, handler, wm,
-                        /*need_locators=*/false, delete_snapshot);
+        return csi->ScanDelta(needed, sp, handler, wm,
+                              /*need_locators=*/false);
       }
+      return csi->ScanGroups(gb, ge, needed, sp, handler, wm,
+                             /*need_locators=*/false, delete_snapshot);
     };
     const int ngroups2 = csi->num_row_groups();
     QueryMetrics* sm = ScanM();
     if (nworkers <= 1) {
       Timer t;
-      batch_worker(0, 0, ngroups2, sm);
-      batch_worker(0, -1, -1, sm);
+      scan_status = batch_worker(0, 0, ngroups2, sm);
+      if (scan_status.ok()) scan_status = batch_worker(0, -1, -1, sm);
       sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
     } else {
-      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(sm);
-      delete_snapshot = &dead;
-      MorselLoop(static_cast<uint64_t>(ngroups2) + 1, nworkers, sm,
-                 ops[opx.scan].name,
-                 [&](int slot, uint64_t mi, QueryMetrics* wm) {
-                   if (mi < static_cast<uint64_t>(ngroups2)) {
-                     const int g = static_cast<int>(mi);
-                     batch_worker(slot, g, g + 1, wm);
-                   } else {
-                     batch_worker(slot, -1, -1, wm);
-                   }
-                 });
+      std::unordered_set<int64_t> dead;
+      scan_status = csi->SnapshotDeleteBuffer(&dead, sm);
+      if (scan_status.ok()) {
+        delete_snapshot = &dead;
+        scan_status = MorselLoop(
+            static_cast<uint64_t>(ngroups2) + 1, nworkers, sm,
+            ops[opx.scan].name,
+            [&](int slot, uint64_t mi, QueryMetrics* wm) -> Status {
+              if (mi < static_cast<uint64_t>(ngroups2)) {
+                const int g = static_cast<int>(mi);
+                return batch_worker(slot, g, g + 1, wm);
+              }
+              return batch_worker(slot, -1, -1, wm);
+            });
+      }
     }
-    scan_status = Status::OK();
   } else if (fast_agg) {
     // Identify the single-int-column sums we can add without decode.
     ColumnStoreIndex* csi = plan.base.index_name.empty()
@@ -1591,7 +1659,7 @@ Status Executor::Impl::RunSelect() {
       sp.push_back({p.col, p.lo, p.hi});
     }
     const std::unordered_set<int64_t>* delete_snapshot = nullptr;
-    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) {
+    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) -> Status {
       WorkerSink& sink = sinks[w];
       auto handler = [&](const ColumnBatch& b) {
         sink.row_count += b.count;
@@ -1654,34 +1722,36 @@ Status Executor::Impl::RunSelect() {
       };
       // gb < 0 selects the delta store (scheduled as its own morsel).
       if (gb < 0) {
-        csi->ScanDelta(needed, sp, handler, wm, /*need_locators=*/false);
-      } else {
-        csi->ScanGroups(gb, ge, needed, sp, handler, wm,
-                        /*need_locators=*/false, delete_snapshot);
+        return csi->ScanDelta(needed, sp, handler, wm,
+                              /*need_locators=*/false);
       }
+      return csi->ScanGroups(gb, ge, needed, sp, handler, wm,
+                             /*need_locators=*/false, delete_snapshot);
     };
     const int ngroups = csi->num_row_groups();
     QueryMetrics* sm = ScanM();
     if (nworkers <= 1) {
       Timer t;
-      batch_worker(0, 0, ngroups, sm);
-      batch_worker(0, -1, -1, sm);
+      scan_status = batch_worker(0, 0, ngroups, sm);
+      if (scan_status.ok()) scan_status = batch_worker(0, -1, -1, sm);
       sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
     } else {
-      const std::unordered_set<int64_t> dead = csi->SnapshotDeleteBuffer(sm);
-      delete_snapshot = &dead;
-      MorselLoop(static_cast<uint64_t>(ngroups) + 1, nworkers, sm,
-                 ops[opx.scan].name,
-                 [&](int slot, uint64_t mi, QueryMetrics* wm) {
-                   if (mi < static_cast<uint64_t>(ngroups)) {
-                     const int g = static_cast<int>(mi);
-                     batch_worker(slot, g, g + 1, wm);
-                   } else {
-                     batch_worker(slot, -1, -1, wm);
-                   }
-                 });
+      std::unordered_set<int64_t> dead;
+      scan_status = csi->SnapshotDeleteBuffer(&dead, sm);
+      if (scan_status.ok()) {
+        delete_snapshot = &dead;
+        scan_status = MorselLoop(
+            static_cast<uint64_t>(ngroups) + 1, nworkers, sm,
+            ops[opx.scan].name,
+            [&](int slot, uint64_t mi, QueryMetrics* wm) -> Status {
+              if (mi < static_cast<uint64_t>(ngroups)) {
+                const int g = static_cast<int>(mi);
+                return batch_worker(slot, g, g + 1, wm);
+              }
+              return batch_worker(slot, -1, -1, wm);
+            });
+      }
     }
-    scan_status = Status::OK();
   } else {
     scan_status = DriveBaseScan(nworkers, [&](int w, int64_t rid,
                                               const int64_t* row) {
@@ -1692,6 +1762,9 @@ Status Executor::Impl::RunSelect() {
     });
   }
   HD_RETURN_IF_ERROR(scan_status);
+  // Errors recorded inside scan callbacks (lock timeouts, fetch I/O, NL
+  // probes) stopped the scan via `return false`; surface them now.
+  HD_RETURN_IF_ERROR(TakeSideError());
 
   if (!plan.base.is_csi()) {
     // Row-mode probe overhead, charged per join step from its inflow.
@@ -1753,8 +1826,10 @@ Status Executor::Impl::RunSelect() {
       if (spill_total > 0) {
         res.spilled = true;
         fm->spill_bytes += spill_total;
-        ctx.db->disk()->ChargeWrite(spill_total, IoPattern::kSequential, fm);
-        ctx.db->disk()->ChargeRead(spill_total, IoPattern::kSequential, fm);
+        HD_RETURN_IF_ERROR(
+            ctx.db->disk()->Write(spill_total, IoPattern::kSequential, fm));
+        HD_RETURN_IF_ERROR(
+            ctx.db->disk()->Read(spill_total, IoPattern::kSequential, fm));
         const size_t kstride = group_slots.size() + aggs.size();
         for (int part = 0; part < kSpillParts; ++part) {
           std::unordered_map<std::vector<int64_t>, std::vector<AggState>,
@@ -1852,8 +1927,10 @@ Status Executor::Impl::RunSelect() {
         // External merge sort: sorted runs of grant-size + k-way merge.
         res.spilled = true;
         fm->spill_bytes += bytes;
-        ctx.db->disk()->ChargeWrite(bytes, IoPattern::kSequential, fm);
-        ctx.db->disk()->ChargeRead(bytes, IoPattern::kSequential, fm);
+        HD_RETURN_IF_ERROR(
+            ctx.db->disk()->Write(bytes, IoPattern::kSequential, fm));
+        HD_RETURN_IF_ERROR(
+            ctx.db->disk()->Read(bytes, IoPattern::kSequential, fm));
         const size_t run_rows =
             std::max<size_t>(1, grant / 8 / std::max<size_t>(1, stride));
         std::vector<std::pair<size_t, size_t>> runs;
@@ -1992,10 +2069,11 @@ Status Executor::Impl::RunDml() {
   if (q.kind == Query::Kind::kInsert) {
     for (const auto& vr : q.insert_rows) {
       PackedRow p = base->PackRow(vr);
-      const int64_t rid = base->InsertPacked(p, m);
+      int64_t rid = -1;
+      HD_RETURN_IF_ERROR(base->InsertPacked(p, m, &rid));
       if (ctx.txn != nullptr && ctx.txns != nullptr) {
         HD_RETURN_IF_ERROR(LockRowX(rid));
-        ctx.txns->NoteVersion(table_hash, rid);
+        ctx.txns->NoteVersion(table_hash, rid, ctx.txn);
       }
       ++res.affected_rows;
     }
@@ -2018,6 +2096,7 @@ Status Executor::Impl::RunDml() {
     return static_cast<int64_t>(refs.size()) < topn;
   });
   HD_RETURN_IF_ERROR(s);
+  HD_RETURN_IF_ERROR(TakeSideError());
   m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
   if (opx.scan >= 0) ops[opx.scan].rows_out = refs.size();
   if (opx.output >= 0) ops[opx.output].rows_in = refs.size();
@@ -2055,7 +2134,7 @@ Status Executor::Impl::RunDml() {
   m->cpu_ns += static_cast<uint64_t>(t2.ElapsedMs() * 1e6);
 
   if (ctx.txn != nullptr && ctx.txns != nullptr) {
-    for (const auto& r : refs) ctx.txns->NoteVersion(table_hash, r.rid);
+    for (const auto& r : refs) ctx.txns->NoteVersion(table_hash, r.rid, ctx.txn);
   }
   res.affected_rows = refs.size();
   if (opx.output >= 0) ops[opx.output].rows_out = res.affected_rows;

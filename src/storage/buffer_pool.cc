@@ -2,12 +2,21 @@
 
 #include <cassert>
 
+#include "common/failpoint.h"
+
 namespace hd {
 
 BufferPool::BufferPool(DiskModel* disk, uint64_t capacity_bytes)
     : disk_(disk), capacity_(capacity_bytes), shards_(kNumShards) {}
 
 ExtentId BufferPool::Register(uint64_t bytes) {
+  if (FailPoints::AnyArmed() &&
+      !FailPoints::Instance().Evaluate("bufferpool.register").ok()) {
+    // Injected allocation failure: the caller gets an untracked extent.
+    // Access/Resize/Unregister on it are no-ops, so data built under the
+    // failure stays reachable — it just never charges simulated I/O.
+    return kInvalidExtent;
+  }
   ExtentId id = next_id_.fetch_add(1);
   Shard& s = ShardFor(id);
   {
@@ -51,12 +60,12 @@ void BufferPool::Unregister(ExtentId id) {
   s.entries.erase(it);
 }
 
-void BufferPool::Access(ExtentId id, IoPattern pattern, QueryMetrics* m) {
+Status BufferPool::Access(ExtentId id, IoPattern pattern, QueryMetrics* m) {
   Shard& s = ShardFor(id);
   {
     std::lock_guard<std::mutex> g(s.mu);
     auto it = s.entries.find(id);
-    if (it == s.entries.end()) return;
+    if (it == s.entries.end()) return Status::OK();
     Entry& e = it->second;
     if (m != nullptr) {
       m->pages_read += (e.bytes + kPageBytes - 1) / kPageBytes;
@@ -65,12 +74,15 @@ void BufferPool::Access(ExtentId id, IoPattern pattern, QueryMetrics* m) {
     s.lru.push_front(id);
     e.lru_pos = s.lru.begin();
     e.in_lru = true;
-    if (e.resident) return;  // hit: no I/O
+    if (e.resident) return Status::OK();  // hit: no I/O
+    // Miss: the read must succeed before residency flips, so an injected
+    // read failure leaves the extent cold and the next access retries.
+    HD_RETURN_IF_ERROR(disk_->Read(e.bytes, pattern, m));
     e.resident = true;
     resident_bytes_ += e.bytes;
-    disk_->ChargeRead(e.bytes, pattern, m);
   }
   EvictIfNeeded();
+  return Status::OK();
 }
 
 bool BufferPool::IsResident(ExtentId id) const {
@@ -109,6 +121,12 @@ uint64_t BufferPool::total_bytes() const { return total_bytes_.load(); }
 
 void BufferPool::EvictIfNeeded() {
   if (capacity_ == 0) return;
+  if (FailPoints::AnyArmed() &&
+      !FailPoints::Instance().Evaluate("bufferpool.evict").ok()) {
+    // Injected eviction failure: skip this sweep. The pool runs over
+    // capacity transiently; a later Register/Access re-attempts.
+    return;
+  }
   // Best-effort: sweep shards evicting LRU tails until under capacity.
   for (auto& s : shards_) {
     if (resident_bytes_.load() <= capacity_) return;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "storage/disk_model.h"
 
 namespace hd {
@@ -32,7 +33,10 @@ class BufferPool {
   explicit BufferPool(DiskModel* disk, uint64_t capacity_bytes = 0);
 
   /// Register a new extent of the given size; initially resident (freshly
-  /// built data is in cache).
+  /// built data is in cache). Returns kInvalidExtent when the
+  /// `bufferpool.register` failpoint fires (allocation failure); callers
+  /// treat such an extent as permanently untracked — Access / Resize /
+  /// Unregister on kInvalidExtent are safe no-ops.
   ExtentId Register(uint64_t bytes);
 
   /// Resize an existing extent (e.g. a heap page filling up).
@@ -43,7 +47,10 @@ class BufferPool {
   /// Touch an extent on behalf of a query: on miss, charge the DiskModel
   /// for a read of its size using `pattern` and make it resident (evicting
   /// colder extents if over capacity). Counts a logical page access.
-  void Access(ExtentId id, IoPattern pattern, QueryMetrics* m);
+  /// Fails (kIoError) only when the `disk.read` failpoint fires on a miss;
+  /// the extent then stays non-resident so a later access retries the
+  /// read. Unknown ids (incl. kInvalidExtent) are OK no-ops.
+  Status Access(ExtentId id, IoPattern pattern, QueryMetrics* m);
 
   /// True if the extent is currently resident (test hook).
   bool IsResident(ExtentId id) const;

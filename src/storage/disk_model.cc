@@ -1,5 +1,7 @@
 #include "storage/disk_model.h"
 
+#include "common/failpoint.h"
+
 namespace hd {
 
 namespace {
@@ -32,6 +34,20 @@ uint64_t DiskModel::ChargeWrite(uint64_t bytes, IoPattern pattern,
     m->sim_io_ns += ns;
   }
   return ns;
+}
+
+Status DiskModel::Read(uint64_t bytes, IoPattern pattern,
+                       QueryMetrics* m) const {
+  HD_FAILPOINT_RETURN_M("disk.read", m);
+  ChargeRead(bytes, pattern, m);
+  return Status::OK();
+}
+
+Status DiskModel::Write(uint64_t bytes, IoPattern pattern,
+                        QueryMetrics* m) const {
+  HD_FAILPOINT_RETURN_M("disk.write", m);
+  ChargeWrite(bytes, pattern, m);
+  return Status::OK();
 }
 
 }  // namespace hd

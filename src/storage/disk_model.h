@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/metrics.h"
+#include "common/status.h"
 
 namespace hd {
 
@@ -55,6 +56,14 @@ class DiskModel {
   /// Charge a write of `bytes`.
   uint64_t ChargeWrite(uint64_t bytes, IoPattern pattern,
                        QueryMetrics* m) const;
+
+  /// Fallible read/write: evaluate the `disk.read` / `disk.write`
+  /// failpoints (injected kIoError and/or latency spike), then charge the
+  /// model. With no failpoint armed these are exactly ChargeRead /
+  /// ChargeWrite. All new I/O paths should call these; the Charge*
+  /// primitives remain for infallible accounting (plan costing, setup).
+  Status Read(uint64_t bytes, IoPattern pattern, QueryMetrics* m) const;
+  Status Write(uint64_t bytes, IoPattern pattern, QueryMetrics* m) const;
 
  private:
   DiskConfig cfg_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace hd {
 
 HeapFile::HeapFile(int stride, BufferPool* pool)
@@ -45,7 +47,8 @@ Status HeapFile::Fetch(uint64_t rid, int64_t* out, QueryMetrics* m) const {
   if (p == nullptr || slot >= p->count) {
     return Status::NotFound("row id out of range");
   }
-  pool_->Access(p->extent, IoPattern::kRandom, m);
+  HD_FAILPOINT_RETURN_M("heapfile.io", m);
+  HD_RETURN_IF_ERROR(pool_->Access(p->extent, IoPattern::kRandom, m));
   if (p->deleted[slot]) return Status::NotFound("row deleted");
   std::memcpy(out, p->data.data() + static_cast<size_t>(slot) * stride_,
               stride_ * 8);
@@ -59,7 +62,8 @@ Status HeapFile::Update(uint64_t rid, std::span<const int64_t> row,
   if (p == nullptr || slot >= p->count || p->deleted[slot]) {
     return Status::NotFound("row not found");
   }
-  pool_->Access(p->extent, IoPattern::kRandom, m);
+  HD_FAILPOINT_RETURN_M("heapfile.io", m);
+  HD_RETURN_IF_ERROR(pool_->Access(p->extent, IoPattern::kRandom, m));
   std::memcpy(p->data.data() + static_cast<size_t>(slot) * stride_, row.data(),
               stride_ * 8);
   return Status::OK();
@@ -71,37 +75,40 @@ Status HeapFile::Delete(uint64_t rid, QueryMetrics* m) {
   if (p == nullptr || slot >= p->count || p->deleted[slot]) {
     return Status::NotFound("row not found");
   }
-  pool_->Access(p->extent, IoPattern::kRandom, m);
+  HD_FAILPOINT_RETURN_M("heapfile.io", m);
+  HD_RETURN_IF_ERROR(pool_->Access(p->extent, IoPattern::kRandom, m));
   p->deleted[slot] = true;
   ++deleted_rows_;
   return Status::OK();
 }
 
-void HeapFile::Scan(const std::function<bool(uint64_t, const int64_t*)>& fn,
-                    QueryMetrics* m) const {
-  ScanRange(0, num_rows_, fn, m);
+Status HeapFile::Scan(const std::function<bool(uint64_t, const int64_t*)>& fn,
+                      QueryMetrics* m) const {
+  return ScanRange(0, num_rows_, fn, m);
 }
 
-void HeapFile::ScanRange(
+Status HeapFile::ScanRange(
     uint64_t begin_rid, uint64_t end_rid,
     const std::function<bool(uint64_t, const int64_t*)>& fn,
     QueryMetrics* m) const {
   end_rid = std::min(end_rid, num_rows_);
-  if (begin_rid >= end_rid) return;
+  if (begin_rid >= end_rid) return Status::OK();
+  HD_FAILPOINT_RETURN_M("heapfile.io", m);
   uint64_t pidx = begin_rid / rows_per_page_;
   int slot = static_cast<int>(begin_rid % rows_per_page_);
   uint64_t rid = begin_rid;
   for (; pidx < pages_.size() && rid < end_rid; ++pidx, slot = 0) {
     const Page* p = pages_[pidx].get();
-    pool_->Access(p->extent, IoPattern::kSequential, m);
+    HD_RETURN_IF_ERROR(pool_->Access(p->extent, IoPattern::kSequential, m));
     for (; slot < p->count && rid < end_rid; ++slot, ++rid) {
       if (p->deleted[slot]) continue;
       if (m != nullptr) m->rows_scanned += 1;
       if (!fn(rid, p->data.data() + static_cast<size_t>(slot) * stride_)) {
-        return;
+        return Status::OK();
       }
     }
   }
+  return Status::OK();
 }
 
 }  // namespace hd

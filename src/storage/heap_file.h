@@ -39,14 +39,15 @@ class HeapFile {
   /// Logical delete.
   Status Delete(uint64_t rid, QueryMetrics* m);
 
-  /// Full sequential scan of live rows; `fn` returns false to stop early.
-  void Scan(const std::function<bool(uint64_t, const int64_t*)>& fn,
-            QueryMetrics* m) const;
+  /// Full sequential scan of live rows; `fn` returns false to stop early
+  /// (still OK). Non-OK only on an injected/propagated I/O failure.
+  Status Scan(const std::function<bool(uint64_t, const int64_t*)>& fn,
+              QueryMetrics* m) const;
 
   /// Scan restricted to rows [begin_rid, end_rid) — parallel partitioning.
-  void ScanRange(uint64_t begin_rid, uint64_t end_rid,
-                 const std::function<bool(uint64_t, const int64_t*)>& fn,
-                 QueryMetrics* m) const;
+  Status ScanRange(uint64_t begin_rid, uint64_t end_rid,
+                   const std::function<bool(uint64_t, const int64_t*)>& fn,
+                   QueryMetrics* m) const;
 
   uint64_t num_rows() const { return num_rows_; }
   uint64_t live_rows() const { return num_rows_ - deleted_rows_; }

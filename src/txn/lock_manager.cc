@@ -3,6 +3,8 @@
 #include <chrono>
 #include <functional>
 
+#include "common/failpoint.h"
+
 namespace hd {
 
 const char* LockModeName(LockMode m) {
@@ -67,6 +69,10 @@ int Strength(LockMode m) {
 
 Status LockManager::Acquire(uint64_t txn_id, const LockResource& res,
                             LockMode mode, int timeout_ms) {
+  // Spurious timeout injection: the caller sees the same Aborted status a
+  // real deadlock victim gets, so its rollback/retry path is exercised
+  // without having to manufacture an actual lock cycle.
+  HD_FAILPOINT_RETURN("lockmgr.acquire");
   Shard& sh = ShardFor(res);
   std::unique_lock<std::mutex> g(sh.mu);
   LockState& st = sh.locks[res];
@@ -141,6 +147,15 @@ void LockManager::ReleaseAll(uint64_t txn_id) {
     sh.held.erase(hit);
     sh.cv.notify_all();
   }
+}
+
+uint64_t LockManager::TotalGranted() {
+  uint64_t n = 0;
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> g(sh.mu);
+    for (const auto& [res, st] : sh.locks) n += st.granted.size();
+  }
+  return n;
 }
 
 int LockManager::GrantedCount(const LockResource& res) {

@@ -62,6 +62,10 @@ class LockManager {
   /// Introspection for tests.
   int GrantedCount(const LockResource& res);
 
+  /// Total granted locks across all shards — zero once every transaction
+  /// has committed or aborted (the chaos harness's leak check).
+  uint64_t TotalGranted();
+
  private:
   struct Waiter {
     uint64_t ticket;

@@ -31,23 +31,46 @@ void TransactionManager::Commit(Transaction* txn) {
     std::lock_guard<std::mutex> g(active_mu_);
     active_snapshots_.erase(txn->snapshot_ts_);
   }
+  txn->noted_.clear();  // committed versions are permanent
   ts_.fetch_add(1);
 }
 
 void TransactionManager::Abort(Transaction* txn) {
   // Note: logical rollback of data is the caller's responsibility (our
-  // workloads retry idempotent statements); this releases locks.
+  // workloads retry idempotent statements); this releases locks and
+  // removes the version markers the transaction created, so aborted
+  // writers do not inflate SI chain lengths or leak version_count().
   locks_.ReleaseAll(txn->id());
+  for (auto rit = txn->noted_.rbegin(); rit != txn->noted_.rend(); ++rit) {
+    const auto [key, stamp] = *rit;
+    VersionShard& sh = VShardFor(key);
+    std::lock_guard<std::mutex> g(sh.mu);
+    auto it = sh.chains.find(key);
+    if (it == sh.chains.end()) continue;  // trimmed by chain bounding / GC
+    auto& chain = it->second;
+    // Erase one matching stamp, newest-first (ours is likely near the
+    // back). Best effort: the marker may already be gone to bounding.
+    for (auto c = chain.rbegin(); c != chain.rend(); ++c) {
+      if (*c == stamp) {
+        chain.erase(std::next(c).base());
+        break;
+      }
+    }
+    if (chain.empty()) sh.chains.erase(it);
+  }
+  txn->noted_.clear();
   if (txn->isolation() == IsolationLevel::kSnapshot) {
     std::lock_guard<std::mutex> g(active_mu_);
     active_snapshots_.erase(txn->snapshot_ts_);
   }
 }
 
-void TransactionManager::NoteVersion(uint64_t table_hash, int64_t rid) {
+void TransactionManager::NoteVersion(uint64_t table_hash, int64_t rid,
+                                     Transaction* txn) {
   const uint64_t key = VKey(table_hash, rid);
   VersionShard& sh = VShardFor(key);
   const uint64_t now = ts_.load();
+  if (txn != nullptr) txn->noted_.emplace_back(key, now);
   std::lock_guard<std::mutex> g(sh.mu);
   auto& chain = sh.chains[key];
   chain.push_back(now);

@@ -8,6 +8,8 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "txn/lock_manager.h"
@@ -37,6 +39,11 @@ class Transaction {
   uint64_t id_ = 0;
   IsolationLevel iso_ = IsolationLevel::kReadCommitted;
   uint64_t snapshot_ts_ = 0;
+  /// Version-store entries this transaction created: (vkey, timestamp).
+  /// Abort undoes them so aborted writers leave no phantom versions (GC
+  /// only trims versions older than the oldest snapshot, and an abort
+  /// does not advance the clock — without undo these would leak).
+  std::vector<std::pair<uint64_t, uint64_t>> noted_;
 };
 
 /// Manages transaction lifecycle, the lock manager, and a version store.
@@ -56,7 +63,9 @@ class TransactionManager {
   uint64_t current_ts() const { return ts_.load(); }
 
   /// Record that (table, rid) gained a version at the current timestamp.
-  void NoteVersion(uint64_t table_hash, int64_t rid);
+  /// When `txn` is given, the entry is remembered so Abort can undo it.
+  void NoteVersion(uint64_t table_hash, int64_t rid,
+                   Transaction* txn = nullptr);
 
   /// Number of versions of (table, rid) newer than `snapshot_ts` — the
   /// chain length an SI reader must traverse. 0 for unversioned rows.

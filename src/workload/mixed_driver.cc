@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "common/backoff.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
@@ -60,21 +61,28 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
   auto worker = [&](int tid) {
     Rng rng(opts.seed + tid * 7919);
     std::map<std::string, OpStats> local;
+    QueryMetrics local_metrics;
+    Status local_first;
     while (ops_left.fetch_sub(1) > 0) {
       TxnOp op = gen(tid, &rng);
       Timer op_timer;
       uint64_t aborts = 0;
-      for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+      // Seed the jitter per (run, client) so two victims of the same
+      // deadlock desynchronize, while reruns stay byte-identical.
+      Backoff backoff(opts.backoff_base_ms, opts.backoff_cap_ms,
+                      opts.max_retries,
+                      opts.seed ^ (static_cast<uint64_t>(tid) * 0x9e3779b9ull));
+      Status op_status;
+      while (true) {
         auto txn = txns->Begin(opts.isolation);
         Configuration cfg = Configuration::FromCatalog(*db);
         PlanOptions popts;
         popts.max_dop = opts.max_dop_per_query;
-        bool aborted = false;
-        bool failed = false;
+        Status stmt_status;
         for (const Query& q : op.statements) {
           auto plan = optimizer.Plan(q, cfg, popts);
           if (!plan.ok()) {
-            failed = true;
+            stmt_status = plan.status();
             break;
           }
           ExecContext ctx;
@@ -85,39 +93,79 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
           ctx.lock_timeout_ms = opts.lock_timeout_ms;
           Executor ex(ctx);
           QueryResult r = ex.Execute(q, plan->plan);
-          if (r.status.IsAborted()) {
-            aborted = true;
+          local_metrics.Merge(r.metrics);
+          if (!r.status.ok()) {
+            // Any statement failure aborts the transaction: committing a
+            // partially-applied multi-statement op would persist half its
+            // writes.
+            stmt_status = r.status;
             break;
           }
         }
-        if (failed) {
-          txns->Abort(txn.get());
+        if (stmt_status.ok()) {
+          txns->Commit(txn.get());
           break;
         }
-        if (aborted) {
-          txns->Abort(txn.get());
-          ++aborts;
-          continue;  // retry the whole transaction
+        txns->Abort(txn.get());
+        if (!stmt_status.IsRetryable()) {
+          op_status = std::move(stmt_status);
+          break;
         }
-        txns->Commit(txn.get());
-        break;
+        if (backoff.Exhausted()) {
+          op_status = Status::ResourceExhausted(
+              "retry budget exhausted after " +
+              std::to_string(backoff.attempts()) +
+              " attempts; last: " + stmt_status.ToString());
+          break;
+        }
+        ++aborts;
+        backoff.SleepNext();
       }
       OpStats& st = local[op.id];
       st.count += 1;
       st.aborts += aborts;
+      st.txn_retries += aborts;
+      st.backoff_ms += backoff.total_backoff_ms();
+      if (!op_status.ok()) {
+        st.failures += 1;
+        if (op_status.IsResourceExhausted()) st.exhausted += 1;
+        if (local_first.ok()) local_first = std::move(op_status);
+      }
       const double ms = op_timer.ElapsedMs();
       st.total_ms += ms;
       st.latencies_ms.push_back(ms);
     }
+    local_metrics.txn_retries +=
+        [&] {
+          uint64_t n = 0;
+          for (const auto& [t, s] : local) n += s.txn_retries;
+          return n;
+        }();
+    local_metrics.backoff_ns += [&] {
+      double total = 0;
+      for (const auto& [t, s] : local) total += s.backoff_ms;
+      return static_cast<uint64_t>(total * 1e6);
+    }();
     std::lock_guard<std::mutex> g(result_mu);
     for (auto& [type, st] : local) {
       OpStats& dst = result.per_type[type];
       dst.count += st.count;
       dst.aborts += st.aborts;
+      dst.txn_retries += st.txn_retries;
+      dst.backoff_ms += st.backoff_ms;
+      dst.failures += st.failures;
+      dst.exhausted += st.exhausted;
       dst.total_ms += st.total_ms;
       dst.latencies_ms.insert(dst.latencies_ms.end(), st.latencies_ms.begin(),
                               st.latencies_ms.end());
       result.total_aborts += st.aborts;
+      result.total_retries += st.txn_retries;
+      result.total_failures += st.failures;
+      result.total_exhausted += st.exhausted;
+    }
+    result.metrics.Merge(local_metrics);
+    if (result.first_error.ok() && !local_first.ok()) {
+      result.first_error = std::move(local_first);
     }
   };
 

@@ -10,7 +10,9 @@
 #include <string>
 
 #include "catalog/database.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "exec/query.h"
 #include "txn/transaction.h"
 
@@ -24,12 +26,26 @@ struct MixedOptions {
   int max_dop_per_query = 2;
   uint64_t seed = 99;
   int lock_timeout_ms = 200;
+  /// Retry budget per operation: retryable failures (deadlock victim,
+  /// transient I/O) are retried at most this many times, each preceded by
+  /// a capped-exponential jittered backoff; exhaustion surfaces as
+  /// kResourceExhausted in OpStats::exhausted / MixedResult::first_error.
   int max_retries = 20;
+  double backoff_base_ms = 0.5;
+  double backoff_cap_ms = 8.0;
 };
 
 struct OpStats {
   uint64_t count = 0;
   uint64_t aborts = 0;
+  /// Whole-transaction retries (== aborts that were retried) and the
+  /// wall-clock time spent sleeping in backoff before those retries.
+  uint64_t txn_retries = 0;
+  double backoff_ms = 0;
+  /// Operations that ultimately failed (non-retryable error or budget
+  /// exhaustion); `exhausted` counts the kResourceExhausted subset.
+  uint64_t failures = 0;
+  uint64_t exhausted = 0;
   double total_ms = 0;
   std::vector<double> latencies_ms;
 
@@ -42,6 +58,15 @@ struct MixedResult {
   std::map<std::string, OpStats> per_type;
   double wall_ms = 0;
   uint64_t total_aborts = 0;
+  uint64_t total_retries = 0;
+  uint64_t total_failures = 0;
+  uint64_t total_exhausted = 0;
+  /// Merged metrics of every statement executed (includes txn_retries /
+  /// backoff_ns so the rollup reflects retry work).
+  QueryMetrics metrics;
+  /// First operation-level failure observed, OK when none (failed ops are
+  /// also counted per-type in OpStats::failures).
+  Status first_error;
 
   /// Mean latency across every operation executed.
   double OverallMeanMs() const;

@@ -182,18 +182,20 @@ TEST_F(BTreeTest, CollectLeavesCoversRange) {
   t.BulkLoad(FlatEntries(kv));
   Bound lo = Bound::Inclusive({1000});
   Bound hi = Bound::Inclusive({40000});
-  auto leaves = t.CollectLeaves(lo, hi, nullptr);
+  std::vector<LeafHandle> leaves;
+  ASSERT_TRUE(t.CollectLeaves(lo, hi, nullptr, &leaves).ok());
   ASSERT_GT(leaves.size(), 4u);
   int64_t count = 0;
   for (auto h : leaves) {
-    t.ScanLeaf(h, lo, hi,
-               [&](const int64_t* k, const int64_t*) {
-                 EXPECT_GE(k[0], 1000);
-                 EXPECT_LE(k[0], 40000);
-                 ++count;
-                 return true;
-               },
-               nullptr);
+    ASSERT_TRUE(t.ScanLeaf(h, lo, hi,
+                           [&](const int64_t* k, const int64_t*) {
+                             EXPECT_GE(k[0], 1000);
+                             EXPECT_LE(k[0], 40000);
+                             ++count;
+                             return true;
+                           },
+                           nullptr)
+                    .ok());
   }
   EXPECT_EQ(count, 39001);
 }

@@ -1,0 +1,302 @@
+// Chaos harness: concurrent mixed transactional workloads run while
+// failpoints swept from a seeded RNG inject faults across every layer
+// (disk, buffer pool, heap, B+ tree, columnstore, locks, thread pool).
+//
+// After each episode the harness disarms everything and asserts the
+// system-wide invariants of docs/ROBUSTNESS.md:
+//   (a) no leaked locks          — LockManager::TotalGranted() == 0
+//   (b) no leaked versions       — version_count() == 0 after GC
+//   (c) recovery                 — the next uninjected query succeeds
+//   (d) no hung pool             — the episode terminates (bounded wall)
+//   (e) well-typed failures      — every failed op surfaced a Status that
+//                                  is the injected code or the driver's
+//                                  kResourceExhausted budget verdict
+//   (f) exact metrics rollup     — retry/backoff counters in the merged
+//                                  QueryMetrics match the driver's totals
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "txn/transaction.h"
+#include "workload/micro.h"
+#include "workload/mixed_driver.h"
+
+namespace hd {
+namespace {
+
+// The full catalog of wired failpoints (docs/ROBUSTNESS.md).
+constexpr const char* kCatalog[] = {
+    "disk.read",      "bufferpool.register", "heapfile.io",
+    "disk.write",     "bufferpool.evict",    "btree.split",
+    "lockmgr.acquire", "csi.compress_delta", "csi.reorganize",
+    "threadpool.task",
+};
+constexpr int kCatalogSize = static_cast<int>(std::size(kCatalog));
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::Instance().DisarmAll();
+    MicroOptions mo;
+    mo.rows = 20000;
+    mo.max_value = 1000;
+    MakeUniformIntTable(&db_, "h", 3, mo);  // heap primary
+    Table* c = MakeUniformIntTable(&db_, "c", 3, mo);
+    ASSERT_TRUE(c->SetPrimary(PrimaryKind::kColumnStore).ok());
+  }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+
+  /// Mixed read/update/insert transactions over both physical designs.
+  static TxnOp GenOp(int /*tid*/, Rng* rng) {
+    const std::string table = rng->Flip(0.5) ? "h" : "c";
+    TxnOp op;
+    const int64_t pick = rng->Uniform(0, 99);
+    if (pick < 40) {
+      Query q = MicroQ1(table, 0.05, 1000);
+      q.id = "scan";
+      op.statements.push_back(std::move(q));
+    } else if (pick < 75) {
+      Query q;
+      q.id = "update";
+      q.kind = Query::Kind::kUpdate;
+      q.base.table = table;
+      q.base.preds = {Pred::Eq(0, Value::Int64(rng->Uniform(0, 1000)))};
+      q.sets = {UpdateSet::Add(1, 1.0)};
+      op.statements.push_back(std::move(q));
+    } else {
+      // Multi-statement txn: insert then read back — a failure in either
+      // statement must abort the whole op (no partial commit).
+      Query ins;
+      ins.id = "insert";
+      ins.kind = Query::Kind::kInsert;
+      ins.base.table = table;
+      ins.insert_rows = {{Value::Int64(rng->Uniform(0, 1000)),
+                          Value::Int64(rng->Uniform(0, 1000)),
+                          Value::Int64(rng->Uniform(0, 1000))}};
+      Query q = MicroQ1(table, 0.02, 1000);
+      q.id = "insert";
+      op.statements.push_back(std::move(ins));
+      op.statements.push_back(std::move(q));
+    }
+    op.id = op.statements.back().id;
+    return op;
+  }
+
+  MixedResult RunEpisode(TransactionManager* tm, uint64_t seed, int ops) {
+    MixedOptions mo;
+    mo.threads = 4;
+    mo.total_ops = ops;
+    mo.seed = seed;
+    mo.max_dop_per_query = 2;
+    mo.lock_timeout_ms = 100;
+    mo.max_retries = 4;        // small budget so exhaustion is reachable
+    mo.backoff_base_ms = 0.05;
+    mo.backoff_cap_ms = 0.4;
+    return RunMixedTxnWorkload(&db_, tm, GenOp, mo);
+  }
+
+  QueryResult RunOne(TransactionManager* tm, const Query& q, int dop = 2) {
+    Optimizer opt(&db_);
+    PlanOptions popts;
+    popts.max_dop = dop;
+    auto plan = opt.Plan(q, Configuration::FromCatalog(db_), popts);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    ExecContext ctx;
+    ctx.db = &db_;
+    ctx.txns = tm;
+    ctx.max_dop = dop;
+    Executor ex(ctx);
+    return ex.Execute(q, plan->plan);
+  }
+
+  Database db_;
+};
+
+TEST_F(ChaosTest, SweepEpisodesHoldInvariants) {
+  TransactionManager tm;
+
+  // Baseline: the workload is clean with nothing armed.
+  MixedResult base = RunEpisode(&tm, 1, 60);
+  ASSERT_TRUE(base.first_error.ok()) << base.first_error.ToString();
+  EXPECT_EQ(base.total_failures, 0u);
+
+  Rng sweep(20260806);
+  const Code codes[] = {Code::kIoError, Code::kAborted,
+                        Code::kResourceExhausted};
+  for (int ep = 0; ep < 5; ++ep) {
+    // Arm 2–3 points (possibly re-arming one) with seeded-random
+    // triggers and effects.
+    const int npoints = static_cast<int>(sweep.Uniform(2, 3));
+    bool tp_armed = false;
+    std::vector<std::string> armed;
+    for (int i = 0; i < npoints; ++i) {
+      const char* pt = kCatalog[sweep.Uniform(0, kCatalogSize - 1)];
+      tp_armed |= std::string(pt) == "threadpool.task";
+      armed.push_back(pt);
+      FailSpec spec = FailSpec::Probability(
+          sweep.UniformReal(0.02, 0.25), sweep.Uniform(1, 1 << 20),
+          codes[sweep.Uniform(0, 2)]);
+      if (sweep.Flip(0.3)) spec.latency_ms = 0.5;  // latency spike too
+      FailPoints::Instance().Arm(pt, spec);
+    }
+
+    MixedResult r = RunEpisode(&tm, 100 + static_cast<uint64_t>(ep), 60);
+    FailPoints::Instance().DisarmAll();
+    SCOPED_TRACE("episode " + std::to_string(ep) + " armed: " + armed[0] +
+                 "," + armed[1] + (armed.size() > 2 ? "," + armed[2] : ""));
+
+    // (d) terminated, with sane accounting. A threadpool.task injection
+    // skips client-worker morsels by design; the surviving workers drain
+    // the whole op budget unless every worker morsel was skipped.
+    uint64_t total_ops = 0;
+    for (const auto& [type, st] : r.per_type) total_ops += st.count;
+    if (tp_armed) {
+      EXPECT_TRUE(total_ops == 60u || total_ops == 0u) << total_ops;
+    } else {
+      EXPECT_EQ(total_ops, 60u);
+    }
+    EXPECT_LT(r.wall_ms, 120000.0);
+
+    // (a) no leaked locks, (b) no leaked versions.
+    EXPECT_EQ(tm.locks()->TotalGranted(), 0u);
+    tm.GarbageCollect();
+    EXPECT_EQ(tm.version_count(), 0u);
+
+    // (e) failures, when present, are well-typed: the injected code for
+    // non-retryable faults, kResourceExhausted when the retry budget ran
+    // out on retryable ones.
+    if (r.total_failures > 0) {
+      ASSERT_FALSE(r.first_error.ok());
+      EXPECT_TRUE(r.first_error.IsResourceExhausted() ||
+                  r.first_error.IsIoError() || r.first_error.IsAborted())
+          << r.first_error.ToString();
+    } else {
+      EXPECT_TRUE(r.first_error.ok());
+    }
+    EXPECT_LE(r.total_exhausted, r.total_failures);
+
+    // (f) exact metrics rollup: driver totals == merged QueryMetrics.
+    EXPECT_EQ(r.metrics.txn_retries.load(), r.total_retries);
+    if (r.total_retries > 0) {
+      EXPECT_GT(r.metrics.backoff_ns.load(), 0u);
+    }
+
+    // (c) recovery: the next uninjected queries succeed on both designs.
+    QueryResult qh = RunOne(&tm, MicroQ1("h", 0.5, 1000), 4);
+    EXPECT_TRUE(qh.ok()) << qh.status.ToString();
+    QueryResult qc = RunOne(&tm, MicroQ1("c", 0.5, 1000), 4);
+    EXPECT_TRUE(qc.ok()) << qc.status.ToString();
+  }
+}
+
+TEST_F(ChaosTest, LockInjectionLeavesCleanStateAndRecovers) {
+  TransactionManager tm;
+  Query upd;
+  upd.kind = Query::Kind::kUpdate;
+  upd.base.table = "h";
+  upd.base.preds = {Pred::Lt(0, Value::Int64(100))};
+  upd.sets = {UpdateSet::Add(1, 1.0)};
+
+  {
+    ScopedFailPoint fp("lockmgr.acquire", FailSpec::OneShot(Code::kAborted,
+                                                            "spurious"));
+    auto txn = tm.Begin(IsolationLevel::kReadCommitted);
+    Optimizer opt(&db_);
+    auto plan = opt.Plan(upd, Configuration::FromCatalog(db_), {});
+    ASSERT_TRUE(plan.ok());
+    ExecContext ctx;
+    ctx.db = &db_;
+    ctx.txns = &tm;
+    ctx.txn = txn.get();
+    Executor ex(ctx);
+    QueryResult r = ex.Execute(upd, plan->plan);
+    EXPECT_TRUE(r.status.IsAborted()) << r.status.ToString();
+    tm.Abort(txn.get());
+  }
+  // The abort left no locks and no phantom versions behind.
+  EXPECT_EQ(tm.locks()->TotalGranted(), 0u);
+  tm.GarbageCollect();
+  EXPECT_EQ(tm.version_count(), 0u);
+
+  // Uninjected retry of the identical statement succeeds.
+  auto txn = tm.Begin(IsolationLevel::kReadCommitted);
+  Optimizer opt(&db_);
+  auto plan = opt.Plan(upd, Configuration::FromCatalog(db_), {});
+  ASSERT_TRUE(plan.ok());
+  ExecContext ctx;
+  ctx.db = &db_;
+  ctx.txns = &tm;
+  ctx.txn = txn.get();
+  Executor ex(ctx);
+  QueryResult r = ex.Execute(upd, plan->plan);
+  EXPECT_TRUE(r.ok()) << r.status.ToString();
+  tm.Commit(txn.get());
+  EXPECT_EQ(tm.locks()->TotalGranted(), 0u);
+}
+
+TEST_F(ChaosTest, MorselInjectionCancelsLoopAndPoolSurvives) {
+  TransactionManager tm;
+  {
+    ScopedFailPoint fp("threadpool.task",
+                       FailSpec::EveryNth(4, Code::kIoError, "lane died"));
+    std::atomic<bool> cancel{false};
+    std::atomic<uint64_t> ran{0};
+    MorselStats ms = ThreadPool::Global().ParallelFor(
+        256, 4, [&](int, uint64_t) { ran.fetch_add(1); }, &cancel);
+    // The first injected lane failure surfaced and tripped cancellation:
+    // the loop was cut short instead of burning all 256 morsels.
+    EXPECT_TRUE(ms.status.IsIoError()) << ms.status.ToString();
+    EXPECT_TRUE(cancel.load());
+    EXPECT_LT(ran.load(), 256u);
+    EXPECT_EQ(ms.scheduled, ran.load());
+  }
+  // The pool is not hung: a full loop and a parallel query both run clean.
+  MorselStats ms = ThreadPool::Global().ParallelFor(
+      256, 4, [](int, uint64_t) {}, nullptr);
+  EXPECT_TRUE(ms.status.ok());
+  EXPECT_EQ(ms.scheduled, 256u);
+  QueryResult r = RunOne(&tm, MicroQ1("h", 1.0, 1000), 4);
+  EXPECT_TRUE(r.ok()) << r.status.ToString();
+}
+
+TEST_F(ChaosTest, RetryBudgetExhaustionSurfacesWithCounters) {
+  TransactionManager tm;
+  // Every lock acquire fails -> every op retries to exhaustion (scans,
+  // updates, and inserts all acquire locks under RC).
+  FailPoints::Instance().Arm("lockmgr.acquire",
+                             FailSpec::Always(Code::kAborted, "spurious"));
+  MixedResult r = RunEpisode(&tm, 7, 24);
+  FailPoints::Instance().DisarmAll();
+
+  EXPECT_EQ(r.total_failures, 24u);
+  EXPECT_EQ(r.total_exhausted, 24u);
+  ASSERT_FALSE(r.first_error.ok());
+  EXPECT_TRUE(r.first_error.IsResourceExhausted()) << r.first_error.ToString();
+  // 4 retries per op, all counted in both rollups, with real backoff time.
+  EXPECT_EQ(r.total_retries, 24u * 4);
+  EXPECT_EQ(r.metrics.txn_retries.load(), r.total_retries);
+  EXPECT_GT(r.metrics.backoff_ns.load(), 0u);
+  uint64_t failures = 0;
+  for (const auto& [type, st] : r.per_type) failures += st.failures;
+  EXPECT_EQ(failures, 24u);
+
+  EXPECT_EQ(tm.locks()->TotalGranted(), 0u);
+  tm.GarbageCollect();
+  EXPECT_EQ(tm.version_count(), 0u);
+
+  // Clean run afterwards: no residual failures.
+  MixedResult clean = RunEpisode(&tm, 8, 24);
+  EXPECT_EQ(clean.total_failures, 0u);
+  EXPECT_TRUE(clean.first_error.ok()) << clean.first_error.ToString();
+}
+
+}  // namespace
+}  // namespace hd

@@ -1,0 +1,203 @@
+// Failpoint registry semantics (trigger determinism, scoping, concurrent
+// arming) and Backoff timing bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace hd {
+namespace {
+
+// Every test disarms everything on entry and exit so a failed assertion
+// cannot leak an armed point into an unrelated test.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoints::Instance().DisarmAll(); }
+  void TearDown() override { FailPoints::Instance().DisarmAll(); }
+};
+
+TEST_F(FailPointTest, UnarmedIsFreeAndOk) {
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_TRUE(EvalFailPoint("never.armed").ok());
+  EXPECT_EQ(FailPoints::Instance().EvalCount("never.armed"), 0u);
+}
+
+TEST_F(FailPointTest, AlwaysFiresEveryTime) {
+  ScopedFailPoint fp("t.always", FailSpec::Always(Code::kIoError, "boom"));
+  for (int i = 0; i < 5; ++i) {
+    Status s = EvalFailPoint("t.always");
+    ASSERT_TRUE(s.IsIoError());
+    // The injected message names the failpoint for diagnosability.
+    EXPECT_NE(s.ToString().find("t.always"), std::string::npos);
+  }
+  EXPECT_EQ(FailPoints::Instance().EvalCount("t.always"), 5u);
+  EXPECT_EQ(FailPoints::Instance().HitCount("t.always"), 5u);
+}
+
+TEST_F(FailPointTest, OneShotFiresExactlyOnce) {
+  ScopedFailPoint fp("t.once", FailSpec::OneShot(Code::kAborted));
+  EXPECT_TRUE(EvalFailPoint("t.once").IsAborted());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(EvalFailPoint("t.once").ok());
+  EXPECT_EQ(FailPoints::Instance().HitCount("t.once"), 1u);
+  EXPECT_EQ(FailPoints::Instance().EvalCount("t.once"), 11u);
+  // Re-arming resets the one-shot.
+  FailPoints::Instance().Arm("t.once", FailSpec::OneShot(Code::kAborted));
+  EXPECT_TRUE(EvalFailPoint("t.once").IsAborted());
+}
+
+TEST_F(FailPointTest, EveryNthCadence) {
+  ScopedFailPoint fp("t.nth", FailSpec::EveryNth(3, Code::kIoError));
+  std::vector<int> fired;
+  for (int i = 1; i <= 12; ++i) {
+    if (!EvalFailPoint("t.nth").ok()) fired.push_back(i);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9, 12}));
+  EXPECT_EQ(FailPoints::Instance().HitCount("t.nth"), 4u);
+}
+
+TEST_F(FailPointTest, ProbabilityIsDeterministicPerSeed) {
+  auto pattern = [](uint64_t seed) {
+    FailPoints::Instance().Arm(
+        "t.prob", FailSpec::Probability(0.3, seed, Code::kIoError));
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) fires.push_back(!EvalFailPoint("t.prob").ok());
+    FailPoints::Instance().Disarm("t.prob");
+    return fires;
+  };
+  const auto a = pattern(7);
+  const auto b = pattern(7);
+  const auto c = pattern(8);
+  EXPECT_EQ(a, b);  // same seed => identical fire pattern
+  EXPECT_NE(a, c);  // different seed => different pattern
+  const auto hits = static_cast<size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(hits, 200 * 0.3 / 2);  // roughly p of evaluations fire
+  EXPECT_LT(hits, 200 * 0.3 * 2);
+}
+
+TEST_F(FailPointTest, ScopedDisarmsOnExit) {
+  {
+    ScopedFailPoint fp("t.scoped", FailSpec::Always(Code::kIoError));
+    EXPECT_TRUE(FailPoints::AnyArmed());
+    EXPECT_FALSE(EvalFailPoint("t.scoped").ok());
+  }
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_TRUE(EvalFailPoint("t.scoped").ok());
+  EXPECT_FALSE(FailPoints::Instance().Armed("t.scoped"));
+}
+
+TEST_F(FailPointTest, DisarmAllClearsEverything) {
+  FailPoints::Instance().Arm("t.a", FailSpec::Always(Code::kIoError));
+  FailPoints::Instance().Arm("t.b", FailSpec::Always(Code::kAborted));
+  EXPECT_TRUE(FailPoints::AnyArmed());
+  FailPoints::Instance().DisarmAll();
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_TRUE(EvalFailPoint("t.a").ok());
+  EXPECT_TRUE(EvalFailPoint("t.b").ok());
+}
+
+TEST_F(FailPointTest, LatencyOnlyPointSleepsButSucceeds) {
+  ScopedFailPoint fp("t.slow", FailSpec::Latency(20));
+  Timer t;
+  EXPECT_TRUE(EvalFailPoint("t.slow").ok());
+  EXPECT_GE(t.ElapsedMs(), 15.0);  // slack for coarse sleep granularity
+  EXPECT_EQ(FailPoints::Instance().HitCount("t.slow"), 1u);
+}
+
+TEST_F(FailPointTest, SimIoChargedIntoMetrics) {
+  FailSpec s = FailSpec::Always(Code::kOk, "stall");
+  s.sim_io_ms = 7.5;
+  ScopedFailPoint fp("t.stall", std::move(s));
+  QueryMetrics m;
+  EXPECT_TRUE(EvalFailPoint("t.stall", &m).ok());
+  EXPECT_DOUBLE_EQ(m.sim_io_ms(), 7.5);
+  // Without a metrics block the charge is simply dropped.
+  EXPECT_TRUE(EvalFailPoint("t.stall", nullptr).ok());
+}
+
+TEST_F(FailPointTest, ConcurrentArmDisarmEvaluate) {
+  // Arm/Disarm racing Evaluate from many threads must not crash, deadlock,
+  // or corrupt counters. TSan/ASan CI runs this too.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> injected{0};
+  std::vector<std::thread> ts;
+  for (int w = 0; w < 4; ++w) {
+    ts.emplace_back([&] {
+      while (!stop.load()) {
+        if (!EvalFailPoint("t.race").ok()) injected.fetch_add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    FailPoints::Instance().Arm("t.race", FailSpec::Always(Code::kIoError));
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    FailPoints::Instance().Disarm("t.race");
+  }
+  stop = true;
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_GT(injected.load(), 0u);  // the armed windows were observed
+}
+
+// ---------------- Backoff ----------------
+
+TEST(BackoffTest, DelaysAreCappedExponentialWithEqualJitter) {
+  Backoff b(1.0, 16.0, 100, 42);
+  double raw = 1.0;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const double d = b.NextDelayMs();
+    EXPECT_GE(d, raw / 2) << "attempt " << attempt;
+    EXPECT_LE(d, raw) << "attempt " << attempt;
+    raw = std::min(raw * 2, 16.0);
+  }
+  // Past the cap every delay stays within [cap/2, cap].
+  for (int i = 0; i < 5; ++i) {
+    const double d = b.NextDelayMs();
+    EXPECT_GE(d, 8.0);
+    EXPECT_LE(d, 16.0);
+  }
+}
+
+TEST(BackoffTest, SeededJitterIsReproducible) {
+  Backoff a(0.5, 8.0, 50, 9), b(0.5, 8.0, 50, 9), c(0.5, 8.0, 50, 10);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    const double da = a.NextDelayMs();
+    EXPECT_DOUBLE_EQ(da, b.NextDelayMs());
+    any_diff |= da != c.NextDelayMs();
+  }
+  EXPECT_TRUE(any_diff);  // different seed => different jitter stream
+}
+
+TEST(BackoffTest, BudgetExhaustion) {
+  Backoff b(0.01, 0.02, 3, 1);
+  EXPECT_FALSE(b.Exhausted());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(b.Exhausted());
+    b.NextDelayMs();
+  }
+  EXPECT_TRUE(b.Exhausted());
+  EXPECT_EQ(b.attempts(), 3);
+}
+
+TEST(BackoffTest, TotalAccumulatesAndSleepIsReal) {
+  Backoff b(5.0, 5.0, 10, 3);
+  Timer t;
+  const double d1 = b.SleepNext();
+  const double d2 = b.SleepNext();
+  EXPECT_GE(t.ElapsedMs(), (d1 + d2) * 0.8);  // real wall-clock wait
+  EXPECT_DOUBLE_EQ(b.total_backoff_ms(), d1 + d2);
+}
+
+TEST(BackoffTest, ZeroBudgetExhaustsImmediately) {
+  Backoff b(1.0, 8.0, 0, 1);
+  EXPECT_TRUE(b.Exhausted());
+}
+
+}  // namespace
+}  // namespace hd
