@@ -23,6 +23,7 @@ int main() {
   const std::vector<double> groups = {100, 1000, 10000, 100000, 1000000};
   Series bt{"B+tree", {}}, csi{"CSI", {}};
   Series bt_spill{"B+t spilled", {}}, csi_spill{"CSI spilled", {}};
+  BenchJson json("fig4_groupby");
 
   for (double g : groups) {
     const std::string suffix = std::to_string(static_cast<int64_t>(g));
@@ -40,6 +41,8 @@ int main() {
     csi.ys.push_back(rc.metrics.exec_ms());
     bt_spill.ys.push_back(rb.spilled ? 1 : 0);
     csi_spill.ys.push_back(rc.spilled ? 1 : 0);
+    json.Point("B+tree", g, rb);
+    json.Point("CSI", g, rc);
 
     // Free memory between points: drop the tables.
     db.DropTable("t_bt_" + suffix);
@@ -63,5 +66,6 @@ int main() {
         "CSI hash aggregate spills only at high group counts");
   Shape(bt_spill.ys.back() == 0,
         "streaming aggregate never exceeds the grant");
+  json.Write();
   return 0;
 }

@@ -1,0 +1,256 @@
+// Kernel microbenchmarks for the vectorized scan/aggregation layer:
+//   - BitPacked::Decode batch unpack across every bit width 1..64 (the
+//     width-specialized whole-word kernels vs the two-word gather).
+//   - Encoded-domain EvalRange into the word-packed SelVector vs the
+//     legacy one-byte-per-row match loop it replaced.
+//   - Flat open-addressing AggHashTable group-by vs std::unordered_map.
+// Emits BENCH_kernels.json (hd-bench/2 Value points, series/x/ms plus a
+// derived mrows_s throughput field) and prints an aligned table.
+#include <cinttypes>
+#include <unordered_map>
+
+#include "bench/bench_util.h"
+#include "columnstore/columnstore.h"
+#include "columnstore/encoding.h"
+#include "common/rng.h"
+#include "exec/agg_hash.h"
+
+using namespace hd;
+using namespace hd::bench;
+
+namespace {
+
+// Best-of-N wall time for one kernel invocation, after one untimed
+// warm-up run (first-touch page faults and cold caches otherwise leak
+// into the first timed rep). The minimum is the least-noise estimate of
+// the kernel's true cost.
+template <typename Fn>
+double BestMs(int reps, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.ElapsedMs());
+  }
+  return best;
+}
+
+uint64_t g_sink = 0;  // defeats dead-code elimination across kernels
+
+}  // namespace
+
+int main() {
+  const size_t n =
+      static_cast<size_t>(4 * 1000 * 1000 * (Scale() > 0 ? Scale() : 1.0));
+  const int reps = 5;
+  BenchJson json("kernels");
+  Rng rng(97);
+
+  // ------------------------------------------------------------------
+  // 1. Batch unpack, every width 1..64.
+  // ------------------------------------------------------------------
+  std::vector<double> widths, unpack_ms;
+  std::vector<uint64_t> out(n);
+  for (int w = 1; w <= 64; ++w) {
+    const uint64_t mask = w == 64 ? ~0ull : (1ull << w) - 1;
+    std::vector<uint64_t> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = static_cast<uint64_t>(rng.Uniform(0, INT64_MAX)) & mask;
+    }
+    vals[0] = mask;  // pin the width
+    BitPacked p;
+    p.Pack(vals);
+    const double ms = BestMs(reps, [&] { p.Decode(0, n, out.data()); });
+    g_sink += out[n - 1];
+    widths.push_back(w);
+    unpack_ms.push_back(ms);
+    json.Value("unpack", w, "ms", ms);
+    json.Value("unpack_mrows_s", w, "mrows_s", n / ms / 1000.0);
+  }
+
+  // ------------------------------------------------------------------
+  // 2. Selection pipeline: packed-word EvalRange + popcount + ToIndices
+  //    vs the legacy byte loop it replaced (byte stores, byte-summing
+  //    count, branchy index walk). The pipeline is what ScanGroups runs
+  //    per batch: evaluate, count, materialize surviving row indices.
+  // ------------------------------------------------------------------
+  std::vector<double> sels, ev_bitmap_ms, ev_bytes_ms;
+  {
+    // 16-bit codes: a realistic dictionary-code width, served by the
+    // width-specialized whole-word kernel.
+    const uint64_t domain = 1 << 16;
+    std::vector<uint64_t> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = static_cast<uint64_t>(rng.Uniform(0, domain - 1));
+    }
+    BitPacked p;
+    p.Pack(vals);
+    SelVector sel;
+    std::vector<uint8_t> bytes(n);
+    std::vector<uint32_t> idx(n);
+    for (double s : {0.001, 0.01, 0.1, 0.5, 0.99}) {
+      // A band predicate (nonzero lo) so both bounds are live compares.
+      const uint64_t lo = static_cast<uint64_t>(0.005 * domain);
+      const uint64_t hi = lo + static_cast<uint64_t>(s * (domain - lo));
+      const double bm = BestMs(reps, [&] {
+        sel.Reset(n);
+        p.EvalRange(0, n, lo, hi, /*refine=*/false, &sel);
+        g_sink += sel.Count();
+        g_sink += static_cast<uint64_t>(sel.ToIndices(idx.data()));
+      });
+      // The pre-bitmap shape: one Get + compare + byte store per row, a
+      // byte-summing count, then a branchy walk appending match indices.
+      const double by = BestMs(reps, [&] {
+        uint64_t matches = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const uint64_t v = p.Get(i);
+          bytes[i] = v >= lo && v <= hi;
+        }
+        for (size_t i = 0; i < n; ++i) matches += bytes[i];
+        size_t k = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (bytes[i]) idx[k++] = static_cast<uint32_t>(i);
+        }
+        g_sink += matches + k;
+      });
+      sels.push_back(s);
+      ev_bitmap_ms.push_back(bm);
+      ev_bytes_ms.push_back(by);
+      json.Value("select_bitmap", s, "ms", bm);
+      json.Value("select_bytes", s, "ms", by);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // 3. Group-by sink: flat AggHashTable vs the sink it replaced (an
+  //    unordered_map keyed by std::vector<int64_t> with vector<AggState>
+  //    payloads — one heap node + two heap vectors per group, a vector
+  //    hash + deep compare per row). A plain int64-keyed unordered_map is
+  //    also timed as an idealized single-pass reference: libstdc++'s
+  //    identity-hash map is a strong baseline the batched three-pass flat
+  //    path trades blows with; the end-to-end effect is fig. 4's job.
+  // ------------------------------------------------------------------
+  std::vector<double> gcounts, flat_ms, oldsink_ms, umap_ms;
+  for (double gd : {64.0, 4096.0, 262144.0}) {
+    const int64_t groups = static_cast<int64_t>(gd);
+    std::vector<int64_t> keys(n), vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng.Uniform(0, groups - 1);
+      vals[i] = rng.Uniform(0, 1000);
+    }
+    // Executor shape: batched hash → probe → column update, per-batch
+    // scratch staying cache-resident (kBatchSize rows at a time).
+    std::vector<uint64_t> hashes(kBatchSize);
+    std::vector<uint32_t> gidx(kBatchSize);
+    const double fm = BestMs(reps, [&] {
+      AggHashTable t;
+      t.Init(/*key_words=*/1, /*num_aggs=*/1);
+      for (size_t base = 0; base < n; base += kBatchSize) {
+        const size_t take = std::min<size_t>(kBatchSize, n - base);
+        t.ComputeHashes(keys.data() + base, take, hashes.data());
+        constexpr size_t kPD = 16;  // payload prefetch distance
+        for (size_t i = 0; i < take; ++i) {
+          if (i + kPD < take) t.PrefetchFor(hashes[i + kPD]);
+          gidx[i] = static_cast<uint32_t>(t.FindOrInsert(
+              &keys[base + i], hashes[i], static_cast<size_t>(-1)));
+        }
+        for (size_t i = 0; i < take; ++i) {
+          AggState& s = *t.StatesAt(gidx[i]);
+          s.count += 1;
+          s.i += vals[base + i];
+        }
+      }
+      g_sink += t.size() + t.StatesAt(0)->count;
+    });
+    // The pre-flat-table executor sink, faithfully: a reused key vector
+    // filled per row, a byte-mixing vector hash, find-then-emplace with a
+    // heap-allocated AggState vector per group.
+    struct VecHash {
+      size_t operator()(const std::vector<int64_t>& v) const {
+        size_t h = 0xcbf29ce484222325ull;
+        for (int64_t x : v) {
+          h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) +
+               (h >> 2);
+        }
+        return h;
+      }
+    };
+    const double om = BestMs(reps, [&] {
+      std::unordered_map<std::vector<int64_t>, std::vector<AggState>, VecHash>
+          groups;
+      std::vector<int64_t> key(1);
+      for (size_t i = 0; i < n; ++i) {
+        key[0] = keys[i];
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          it = groups.emplace(key, std::vector<AggState>(1)).first;
+        }
+        AggState& s = it->second[0];
+        s.count += 1;
+        s.i += vals[i];
+      }
+      g_sink += groups.size();
+    });
+    struct MapState {
+      uint64_t count = 0;
+      int64_t sum = 0;
+    };
+    const double um = BestMs(reps, [&] {
+      std::unordered_map<int64_t, MapState> m;
+      for (size_t i = 0; i < n; ++i) {
+        MapState& s = m[keys[i]];
+        s.count += 1;
+        s.sum += vals[i];
+      }
+      g_sink += m.size();
+    });
+    gcounts.push_back(gd);
+    flat_ms.push_back(fm);
+    oldsink_ms.push_back(om);
+    umap_ms.push_back(um);
+    json.Value("groupby_flat", gd, "ms", fm);
+    json.Value("groupby_old_sink", gd, "ms", om);
+    json.Value("groupby_unordered_map", gd, "ms", um);
+  }
+
+  std::printf("Kernel microbenchmarks: %zu rows/kernel, best of %d (sink=%" PRIu64 ")\n",
+              n, reps, g_sink);
+  PrintTable("Batch unpack (ms, 4M values)", "bit width", widths,
+             {{"Decode", unpack_ms}});
+  PrintTable("Selection pipeline (ms, 4M values, 16-bit codes)", "selectivity",
+             sels, {{"bitmap", ev_bitmap_ms}, {"byte loop", ev_bytes_ms}});
+  PrintTable("Group-by sink (ms, 4M rows)", "#groups", gcounts,
+             {{"flat table", flat_ms},
+              {"old vec-key sink", oldsink_ms},
+              {"int64 umap", umap_ms}});
+
+  // Evaluation is one compare per element on both sides, so the bitmap
+  // pipeline's edge comes from Count (a popcount scan over n/64 words) and
+  // ToIndices (skips empty words whole) vs the byte path re-walking all n
+  // bytes for each. Near selectivity 1 both paths converge to parity —
+  // assert no-worse-than-noise there and a clear mid-selectivity win.
+  double bitmap_worst = 0, bitmap_best = 0;
+  for (size_t i = 0; i < sels.size(); ++i) {
+    bitmap_worst = std::max(bitmap_worst, ev_bitmap_ms[i] / ev_bytes_ms[i]);
+    bitmap_best = std::max(bitmap_best, ev_bytes_ms[i] / ev_bitmap_ms[i]);
+  }
+  Shape(bitmap_worst < 1.15 && bitmap_best > 1.5,
+        "bitmap selection pipeline never loses to the byte loop beyond noise "
+        "and wins clearly at selective predicates (worst ratio " +
+            std::to_string(bitmap_worst) + ", best speedup " +
+            std::to_string(bitmap_best) + "x)");
+  // The flat table's structural payoff is at high group counts — the
+  // regime that decides fig. 4's spill threshold — where the old sink pays
+  // one heap node plus two heap vectors per group and a pointer chase per
+  // row. At tiny group counts everything is cache-resident and the isolated
+  // sink comparison hides the old path's other per-row costs (key vector
+  // fills, a branchy per-row aggregate switch); the end-to-end effect is
+  // measured by bench_fig4_groupby, which improved at every group count.
+  Shape(flat_ms.back() < oldsink_ms.back(),
+        "flat aggregate table beats the replaced vector-keyed sink at high "
+        "group counts (" +
+            std::to_string(oldsink_ms.back() / flat_ms.back()) + "x)");
+  json.Write();
+  return 0;
+}

@@ -200,21 +200,27 @@ class BenchJson {
   /// the closing brace so callers can append fields.
   static std::string MetricsRecord(const std::string& series, double x,
                                    const QueryMetrics& m) {
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof buf,
         "{\"series\": \"%s\", \"x\": %g, \"exec_ms\": %.4f, "
         "\"cpu_ms\": %.4f, \"io_ms\": %.4f, \"dop\": %d, "
         "\"morsels_scheduled\": %llu, \"morsels_stolen\": %llu, "
         "\"segments_skipped\": %llu, \"runs_evaluated\": %llu, "
-        "\"rows_decoded\": %llu, \"rows_scanned\": %llu",
+        "\"rows_decoded\": %llu, \"rows_scanned\": %llu, "
+        "\"rows_selected\": %llu, \"rows_late_materialized\": %llu, "
+        "\"aggs_pushed_down\": %llu, \"hash_probes\": %llu",
         series.c_str(), x, m.exec_ms(), m.cpu_ms(), m.sim_io_ms(), m.dop,
         static_cast<unsigned long long>(m.morsels_scheduled.load()),
         static_cast<unsigned long long>(m.morsels_stolen.load()),
         static_cast<unsigned long long>(m.segments_skipped.load()),
         static_cast<unsigned long long>(m.runs_evaluated.load()),
         static_cast<unsigned long long>(m.rows_decoded.load()),
-        static_cast<unsigned long long>(m.rows_scanned.load()));
+        static_cast<unsigned long long>(m.rows_scanned.load()),
+        static_cast<unsigned long long>(m.rows_selected.load()),
+        static_cast<unsigned long long>(m.rows_late_materialized.load()),
+        static_cast<unsigned long long>(m.aggs_pushed_down.load()),
+        static_cast<unsigned long long>(m.hash_probes.load()));
     return buf;
   }
 

@@ -272,12 +272,11 @@ Status ColumnStoreIndex::ScanGroups(
   // Scratch buffers reused across batches.
   std::vector<std::vector<int64_t>> dec(cols_needed.size());
   for (auto& d : dec) d.resize(kBatchSize);
-  std::vector<uint8_t> match(kBatchSize);
+  SelVector match;
   std::vector<int64_t> loc_buf(kBatchSize);
   std::vector<std::vector<int64_t>> out_cols(cols_needed.size());
   for (auto& d : out_cols) d.resize(kBatchSize);
-  std::vector<int64_t> out_locs(kBatchSize);
-  std::vector<uint16_t> sel(kBatchSize);
+  std::vector<uint32_t> sel(kBatchSize);
   // Predicates translated into the current group's encoded domain.
   struct GroupPred {
     const ColumnSegment* seg;
@@ -323,70 +322,258 @@ Status ColumnStoreIndex::ScanGroups(
     const size_t n = g.num_rows();
     for (size_t start = 0; start < n; start += kBatchSize) {
       const int take = static_cast<int>(std::min<size_t>(kBatchSize, n - start));
-      // Build the selection vector from encoded-domain predicate matches.
-      int nsel = 0;
+      // Build the selection bitmap from encoded-domain predicate matches,
+      // then materialize indices only when the batch is genuinely sparse.
+      int nsel;
+      bool dense;
       if (active.empty()) {
-        for (int i = 0; i < take; ++i) sel[nsel++] = static_cast<uint16_t>(i);
+        dense = true;
+        nsel = take;
       } else {
+        match.Reset(take);
         uint64_t runs = 0;
         for (size_t pi = 0; pi < active.size(); ++pi) {
           runs += active[pi].seg->EvalRange(start, take, active[pi].cr,
-                                            /*refine=*/pi > 0, match.data());
+                                            /*refine=*/pi > 0, &match);
         }
         if (m != nullptr) m->runs_evaluated += runs;
-        for (int i = 0; i < take; ++i) {
-          sel[nsel] = static_cast<uint16_t>(i);
-          nsel += match[i];
+        if (match.NoneSet()) {
+          if (m != nullptr) m->rows_scanned += take;
+          continue;
+        }
+        dense = match.AllSet();
+        nsel = dense ? take : match.ToIndices(sel.data());
+      }
+      if (m != nullptr) {
+        m->rows_scanned += take;
+        m->rows_selected += nsel;
+      }
+      // Locators: dense batches decode the whole segment slice; sparse
+      // batches gather only surviving rows (loc_buf stays aligned with
+      // sel either way).
+      if (want_locs) {
+        if (dense) {
+          g.locator_segment().Decode(start, take, loc_buf.data());
+        } else {
+          g.locator_segment().DecodeSelected(
+              start, std::span<const uint32_t>(sel.data(), nsel),
+              loc_buf.data());
         }
       }
-      if (m != nullptr) m->rows_scanned += take;
-      if (nsel == 0) continue;
-      // Filter deleted rows: bitmap, then delete-buffer anti-join.
-      if (want_locs) {
-        g.locator_segment().Decode(start, take, loc_buf.data());
-      }
+      // Filter deleted rows: bitmap, then delete-buffer anti-join. The
+      // compaction keeps loc_buf aligned with sel.
       if (check_dead || g.has_deletes()) {
+        if (dense) {
+          for (int i = 0; i < take; ++i) sel[i] = static_cast<uint32_t>(i);
+          dense = false;
+        }
         int k = 0;
         for (int s = 0; s < nsel; ++s) {
-          const int i = sel[s];
+          const uint32_t i = sel[s];
           bool live = !g.IsDeleted(start + i);
-          if (live && check_dead) live = !dead.count(loc_buf[i]);
-          sel[k] = static_cast<uint16_t>(i);
+          if (live && check_dead) live = !dead.count(loc_buf[s]);
+          sel[k] = i;
+          loc_buf[k] = loc_buf[s];
           k += live;
         }
         nsel = k;
         if (nsel == 0) continue;
+        // Every row survived: sel is the identity again.
+        if (nsel == take) dense = true;
       }
-      // Materialize requested columns for selected positions. Only batches
-      // that survive the encoded-domain filter reach this decode — the
-      // rows_decoded counter measures exactly that deferred work.
+      // Materialize requested columns. Dense batches take the bulk unpack
+      // kernels; sparse batches late-materialize — only rows that survived
+      // the predicate (and delete filters) are ever decoded, which is what
+      // rows_decoded measures. Near-dense batches still decode in bulk and
+      // gather: sequential unpack beats a per-row gather above ~75%
+      // selectivity.
       ColumnBatch batch;
       batch.count = nsel;
       batch.cols.resize(cols_needed.size());
-      const bool dense = nsel == take;
-      if (m != nullptr) m->rows_decoded += static_cast<uint64_t>(take);
+      const bool bulk = dense || nsel * 4 >= take * 3;
+      if (m != nullptr) {
+        m->rows_decoded += static_cast<uint64_t>(bulk ? take : nsel);
+        if (!bulk) m->rows_late_materialized += static_cast<uint64_t>(nsel);
+      }
       for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
-        g.segment(cols_needed[ci]).Decode(start, take, dec[ci].data());
+        const ColumnSegment& seg = g.segment(cols_needed[ci]);
         if (dense) {
+          seg.Decode(start, take, dec[ci].data());
           batch.cols[ci] = dec[ci].data();
-        } else {
+        } else if (bulk) {
+          seg.Decode(start, take, dec[ci].data());
           for (int s = 0; s < nsel; ++s) out_cols[ci][s] = dec[ci][sel[s]];
+          batch.cols[ci] = out_cols[ci].data();
+        } else {
+          seg.DecodeSelected(start,
+                             std::span<const uint32_t>(sel.data(), nsel),
+                             out_cols[ci].data());
           batch.cols[ci] = out_cols[ci].data();
         }
       }
-      if (!want_locs) {
-        batch.locators = nullptr;
-      } else if (dense) {
-        batch.locators = loc_buf.data();
-      } else {
-        for (int s = 0; s < nsel; ++s) out_locs[s] = loc_buf[sel[s]];
-        batch.locators = out_locs.data();
-      }
+      batch.locators = want_locs ? loc_buf.data() : nullptr;
       if (m != nullptr) m->rows_output += nsel;
       if (!fn(batch)) return Status::OK();
     }
   }
   return Status::OK();
+}
+
+bool ColumnStoreIndex::TryPushdownAggregates(
+    int gi, const std::vector<SegPredicate>& preds,
+    std::span<const PushAggSpec> specs, PushAggState* acc,
+    const std::unordered_set<int64_t>* delete_snapshot,
+    QueryMetrics* m, uint64_t* rows_aggregated) const {
+  if (rows_aggregated != nullptr) *rows_aggregated = 0;
+  if (gi < 0 || gi >= num_row_groups() || specs.empty()) return false;
+  const RowGroup& g = *groups_[gi];
+  // Deleted rows would have to be subtracted value-by-value; fall back.
+  if (g.has_deletes()) return false;
+  if (delete_snapshot != nullptr ? !delete_snapshot->empty()
+                                 : delete_buffer_rows() > 0) {
+    return false;
+  }
+  const size_t n = g.num_rows();
+  if (n == 0) return true;
+
+  // Translate predicates into this group's encoded domain, intersecting
+  // multiple ranges on the same column (code space is totally ordered).
+  struct GroupPred {
+    const ColumnSegment* seg;
+    ColumnSegment::CodeRange cr;
+    int col;
+  };
+  std::vector<GroupPred> active;
+  active.reserve(preds.size());
+  for (const auto& p : preds) {
+    const ColumnSegment& seg = g.segment(p.col);
+    const ColumnSegment::CodeRange cr = seg.TranslateRange(p.lo, p.hi);
+    if (cr.none) {
+      // Group eliminated: every spec contributes zero rows.
+      if (m != nullptr) {
+        m->segments_skipped += specs.size() + 1;
+        m->aggs_pushed_down += specs.size();
+      }
+      return true;
+    }
+    if (cr.all) continue;
+    bool merged = false;
+    for (auto& a : active) {
+      if (a.col != p.col) continue;
+      a.cr.lo = std::max(a.cr.lo, cr.lo);
+      a.cr.hi = std::min(a.cr.hi, cr.hi);
+      merged = true;
+      if (a.cr.hi < a.cr.lo) {
+        if (m != nullptr) {
+          m->segments_skipped += specs.size() + 1;
+          m->aggs_pushed_down += specs.size();
+        }
+        return true;
+      }
+      break;
+    }
+    if (!merged) active.push_back(GroupPred{&seg, cr, p.col});
+  }
+  const bool all_pass = active.empty();
+
+  // Validate that EVERY spec is answerable in the encoded domain before
+  // touching `acc`. COUNT always is. SUM/MIN/MAX are when the group is
+  // all-pass, or when the single remaining predicate is on the aggregated
+  // column itself (per-run / per-code match tests).
+  for (const auto& s : specs) {
+    if (s.fn == PushAggSpec::Fn::kCount) continue;
+    if (all_pass) continue;
+    if (active.size() != 1 || active[0].col != s.col) return false;
+  }
+
+  // I/O accounting: touch every segment the kernels read.
+  std::vector<int> touched;
+  for (const auto& s : specs) {
+    if (s.fn == PushAggSpec::Fn::kCount) continue;
+    bool seen = false;
+    for (int c : touched) seen |= (c == s.col);
+    if (!seen) touched.push_back(s.col);
+  }
+  for (const auto& a : active) {
+    bool seen = false;
+    for (int c : touched) seen |= (c == a.col);
+    if (!seen) touched.push_back(a.col);
+  }
+  for (int c : touched) {
+    if (!g.segment(c).Touch(pool_, m).ok()) return false;
+  }
+
+  // Selected-row count: n when all rows pass, else popcount of the
+  // combined selection bitmap (computed at most once, batch-chunked).
+  uint64_t selected = n;
+  bool selected_known = all_pass;
+  uint64_t runs = 0;
+  auto SelectedCount = [&]() -> uint64_t {
+    if (!selected_known) {
+      SelVector bits;
+      uint64_t cnt = 0;
+      for (size_t start = 0; start < n; start += kBatchSize) {
+        const size_t take = std::min<size_t>(kBatchSize, n - start);
+        bits.Reset(take);
+        for (size_t pi = 0; pi < active.size(); ++pi) {
+          runs += active[pi].seg->EvalRange(start, take, active[pi].cr,
+                                            /*refine=*/pi > 0, &bits);
+        }
+        cnt += bits.Count();
+      }
+      selected = cnt;
+      selected_known = true;
+    }
+    return selected;
+  };
+
+  for (size_t si = 0; si < specs.size(); ++si) {
+    const PushAggSpec& s = specs[si];
+    PushAggState& a = acc[si];
+    switch (s.fn) {
+      case PushAggSpec::Fn::kCount:
+        a.count += SelectedCount();
+        break;
+      case PushAggSpec::Fn::kSum: {
+        const ColumnSegment& seg = g.segment(s.col);
+        if (all_pass) {
+          a.sum += seg.SumAll();
+          a.count += n;
+        } else {
+          int64_t sum = 0;
+          uint64_t matches = 0;
+          runs += seg.SumWhere(active[0].cr, &sum, &matches);
+          a.sum += sum;
+          a.count += matches;
+        }
+        break;
+      }
+      case PushAggSpec::Fn::kMin:
+      case PushAggSpec::Fn::kMax: {
+        const ColumnSegment& seg = g.segment(s.col);
+        int64_t mn, mx;
+        if (all_pass) {
+          mn = seg.min_value();
+          mx = seg.max_value();
+        } else if (!seg.MinMaxWhere(active[0].cr, &mn, &mx)) {
+          break;  // no matching row in this group; `has` stays as-is
+        }
+        const bool is_min = s.fn == PushAggSpec::Fn::kMin;
+        const int64_t v = is_min ? mn : mx;
+        if (!a.has || (is_min ? v < a.minmax : v > a.minmax)) a.minmax = v;
+        a.has = true;
+        break;
+      }
+    }
+  }
+  if (rows_aggregated != nullptr) *rows_aggregated = SelectedCount();
+  if (m != nullptr) {
+    m->rows_scanned += n;
+    m->rows_selected += SelectedCount();
+    m->runs_evaluated += runs;
+    m->aggs_pushed_down += specs.size();
+  }
+  return true;
 }
 
 Status ColumnStoreIndex::ScanDelta(

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -43,6 +44,25 @@ struct SegPredicate {
   int col = 0;  // position within this index's column list
   int64_t lo = INT64_MIN;
   int64_t hi = INT64_MAX;
+};
+
+/// One aggregate the scan layer may answer entirely in the encoded domain
+/// (TryPushdownAggregates). `col` is a stored-column position; ignored for
+/// kCount.
+struct PushAggSpec {
+  enum class Fn : uint8_t { kCount, kSum, kMin, kMax };
+  Fn fn = Fn::kCount;
+  int col = 0;
+};
+
+/// Accumulator for one pushed-down aggregate, merged across row groups.
+/// kCount fills `count`; kSum fills `sum` + `count` (rows contributing,
+/// for AVG); kMin/kMax fill `minmax` with `has` set once any row matched.
+struct PushAggState {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t minmax = 0;
+  bool has = false;
 };
 
 class ColumnStoreIndex {
@@ -108,6 +128,26 @@ class ColumnStoreIndex {
                     QueryMetrics* m, bool need_locators = true,
                     const std::unordered_set<int64_t>* delete_snapshot =
                         nullptr) const;
+
+  /// Encoded-domain aggregate pushdown over row group `g` (Fig. 4
+  /// single-column aggregates): COUNT = popcount of the selection bitmap,
+  /// SUM = Σ code·runlen (RLE) / packed-domain sums, MIN/MAX from segment
+  /// min/max or the sorted dictionary — zero rows decoded. Returns true
+  /// and folds each spec into acc[i] when EVERY spec is answerable for
+  /// this group; returns false (acc untouched) when the group has deleted
+  /// rows, the delete buffer is non-empty, or a spec needs row
+  /// materialization (e.g. SUM under a predicate on a different column) —
+  /// the caller then falls back to ScanGroups for the group. `preds`
+  /// follows ScanGroups semantics. On success `*rows_aggregated` (when
+  /// non-null) is set to the number of rows that matched the predicates —
+  /// the rows the aggregate logically consumed (operator row-flow
+  /// accounting).
+  bool TryPushdownAggregates(int g, const std::vector<SegPredicate>& preds,
+                             std::span<const PushAggSpec> specs,
+                             PushAggState* acc,
+                             const std::unordered_set<int64_t>* delete_snapshot,
+                             QueryMetrics* m,
+                             uint64_t* rows_aggregated = nullptr) const;
 
   /// Row-mode scan of the delta store (queries must union this in).
   Status ScanDelta(const std::vector<int>& cols_needed,

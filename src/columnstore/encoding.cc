@@ -4,13 +4,34 @@
 
 namespace hd {
 
-int BitsFor(uint64_t v) {
-  int b = 0;
-  while (v != 0) {
-    ++b;
-    v >>= 1;
+void SelVector::SetRange(size_t b, size_t e) {
+  if (b >= e) return;
+  const size_t wb = b >> 6;
+  const size_t we = (e - 1) >> 6;
+  const uint64_t first = ~0ull << (b & 63);
+  const uint64_t last = (e & 63) == 0 ? ~0ull : (1ull << (e & 63)) - 1;
+  if (wb == we) {
+    words_[wb] |= first & last;
+    return;
   }
-  return b;
+  words_[wb] |= first;
+  for (size_t w = wb + 1; w < we; ++w) words_[w] = ~0ull;
+  words_[we] |= last;
+}
+
+void SelVector::ClearRange(size_t b, size_t e) {
+  if (b >= e) return;
+  const size_t wb = b >> 6;
+  const size_t we = (e - 1) >> 6;
+  const uint64_t first = ~0ull << (b & 63);
+  const uint64_t last = (e & 63) == 0 ? ~0ull : (1ull << (e & 63)) - 1;
+  if (wb == we) {
+    words_[wb] &= ~(first & last);
+    return;
+  }
+  words_[wb] &= ~first;
+  for (size_t w = wb + 1; w < we; ++w) words_[w] = 0;
+  words_[we] &= ~last;
 }
 
 void BitPacked::Pack(std::span<const uint64_t> values) {
@@ -18,12 +39,15 @@ void BitPacked::Pack(std::span<const uint64_t> values) {
   uint64_t maxv = 0;
   for (uint64_t v : values) maxv = v > maxv ? v : maxv;
   bits_ = BitsFor(maxv);
+  mask_ = bits_ == 64 ? ~0ull : ((1ull << bits_) - 1);
   if (bits_ == 0) {
     words_.clear();
     return;
   }
   const size_t total_bits = n_ * static_cast<size_t>(bits_);
-  words_.assign((total_bits + 63) / 64, 0);
+  // One zero pad word past the data keeps the decode kernels' two-word
+  // gather in bounds for the final element without a branch.
+  words_.assign((total_bits + 63) / 64 + 1, 0);
   for (size_t i = 0; i < n_; ++i) {
     const size_t bitpos = i * bits_;
     const size_t w = bitpos >> 6;
@@ -35,77 +59,240 @@ void BitPacked::Pack(std::span<const uint64_t> values) {
   }
 }
 
-uint64_t BitPacked::Get(size_t i) const {
-  if (bits_ == 0) return 0;
-  const size_t bitpos = i * bits_;
-  const size_t w = bitpos >> 6;
-  const int off = static_cast<int>(bitpos & 63);
-  uint64_t v = words_[w] >> off;
-  if (off + bits_ > 64) {
-    v |= words_[w + 1] << (64 - off);
+namespace {
+
+/// Whole-word unpack for bit widths that divide 64: no element straddles a
+/// word, so the body loop reads one word and emits 64/B values with a
+/// fixed-trip inner loop the compiler unrolls and vectorizes.
+template <int B>
+void DecodeDiv64(const uint64_t* words, size_t start, size_t count,
+                 uint64_t* out) {
+  constexpr int kPer = 64 / B;
+  constexpr uint64_t kMask = B == 64 ? ~0ull : ((1ull << B) - 1);
+  size_t i = 0;
+  size_t pos = start;
+  while (i < count && (pos % kPer) != 0) {
+    out[i++] = (words[pos / kPer] >> ((pos % kPer) * B)) & kMask;
+    ++pos;
   }
-  const uint64_t mask = bits_ == 64 ? ~0ull : ((1ull << bits_) - 1);
-  return v & mask;
+  size_t wi = pos / kPer;
+  for (; i + kPer <= count; i += kPer, ++wi) {
+    const uint64_t w = words[wi];
+    for (int k = 0; k < kPer; ++k) {
+      out[i + k] = (w >> (k * B)) & kMask;
+    }
+  }
+  pos = wi * static_cast<size_t>(kPer);
+  while (i < count) {
+    out[i++] = (words[pos / kPer] >> ((pos % kPer) * B)) & kMask;
+    ++pos;
+  }
 }
+
+/// EvalRange body for bit widths that divide 64: no element straddles a
+/// word, so the gather is one shift+mask. Produces one output selection
+/// word per 64 elements; the full-word case runs a fixed-trip inner loop
+/// the compiler unrolls. `span = hi - lo`; the single unsigned compare
+/// `(v - lo) <= span` implements lo <= v <= hi (v < lo wraps huge).
+template <int B>
+void EvalDiv64(const uint64_t* words, size_t start, size_t count,
+               uint64_t lo, uint64_t span, bool refine, uint64_t* selw) {
+  constexpr int kPer = 64 / B;
+  constexpr uint64_t kMask = B == 64 ? ~0ull : ((1ull << B) - 1);
+  size_t pos = start;
+  size_t i = 0;
+  size_t sw = 0;
+  while (i < count) {
+    const int nb = static_cast<int>(std::min<size_t>(64, count - i));
+    uint64_t m = 0;
+    if (nb == 64) {
+      for (int j = 0; j < 64; ++j) {
+        const uint64_t v = (words[pos / kPer] >> ((pos % kPer) * B)) & kMask;
+        m |= static_cast<uint64_t>((v - lo) <= span) << j;
+        ++pos;
+      }
+    } else {
+      for (int j = 0; j < nb; ++j) {
+        const uint64_t v = (words[pos / kPer] >> ((pos % kPer) * B)) & kMask;
+        m |= static_cast<uint64_t>((v - lo) <= span) << j;
+        ++pos;
+      }
+    }
+    selw[sw] = refine ? (selw[sw] & m) : m;
+    ++sw;
+    i += nb;
+  }
+}
+
+}  // namespace
 
 void BitPacked::Decode(size_t start, size_t count, uint64_t* out) const {
   assert(start + count <= n_);
+  switch (bits_) {
+    case 0:
+      std::memset(out, 0, count * sizeof(uint64_t));
+      return;
+    case 1: DecodeDiv64<1>(words_.data(), start, count, out); return;
+    case 2: DecodeDiv64<2>(words_.data(), start, count, out); return;
+    case 4: DecodeDiv64<4>(words_.data(), start, count, out); return;
+    case 8: DecodeDiv64<8>(words_.data(), start, count, out); return;
+    case 16: DecodeDiv64<16>(words_.data(), start, count, out); return;
+    case 32: DecodeDiv64<32>(words_.data(), start, count, out); return;
+    case 64:
+      std::memcpy(out, words_.data() + start, count * sizeof(uint64_t));
+      return;
+    default:
+      break;
+  }
+  // General widths: branch-free two-word gather. The double shift forms
+  // `next_word << (64 - off)` without the off==0 undefined shift; the pad
+  // word written by Pack() keeps words[w + 1] in bounds.
+  const int bits = bits_;
+  const uint64_t mask = mask_;
+  const uint64_t* words = words_.data();
+  size_t bitpos = start * static_cast<size_t>(bits);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t w = bitpos >> 6;
+    const int off = static_cast<int>(bitpos & 63);
+    uint64_t v = words[w] >> off;
+    v |= (words[w + 1] << 1) << (63 - off);
+    out[i] = v & mask;
+    bitpos += bits;
+  }
+}
+
+void BitPacked::DecodeSelected(size_t start, std::span<const uint32_t> sel,
+                               uint64_t* out) const {
   if (bits_ == 0) {
-    for (size_t i = 0; i < count; ++i) out[i] = 0;
+    std::memset(out, 0, sel.size() * sizeof(uint64_t));
     return;
   }
-  // Word-sequential unpack: track the bit cursor instead of recomputing
-  // word/offset per element (the hot loop of every columnstore scan).
   const int bits = bits_;
-  const uint64_t mask = bits == 64 ? ~0ull : ((1ull << bits) - 1);
-  size_t bitpos = start * static_cast<size_t>(bits);
-  size_t w = bitpos >> 6;
-  int off = static_cast<int>(bitpos & 63);
+  const uint64_t mask = mask_;
   const uint64_t* words = words_.data();
-  for (size_t i = 0; i < count; ++i) {
+  for (size_t k = 0; k < sel.size(); ++k) {
+    const size_t bitpos = (start + sel[k]) * static_cast<size_t>(bits);
+    const size_t w = bitpos >> 6;
+    const int off = static_cast<int>(bitpos & 63);
     uint64_t v = words[w] >> off;
-    if (off + bits > 64) {
-      v |= words[w + 1] << (64 - off);
-    }
-    out[i] = v & mask;
-    off += bits;
-    w += static_cast<size_t>(off >> 6);
-    off &= 63;
+    v |= (words[w + 1] << 1) << (63 - off);
+    out[k] = v & mask;
   }
 }
 
 void BitPacked::EvalRange(size_t start, size_t count, uint64_t lo,
-                          uint64_t hi, bool refine, uint8_t* out) const {
+                          uint64_t hi, bool refine, SelVector* sel) const {
   assert(start + count <= n_);
+  assert(sel->size() == count);
+  if (hi < lo) {
+    sel->Reset(count);
+    return;
+  }
+  uint64_t* selw = sel->words();
   if (bits_ == 0) {
-    const uint8_t match = lo == 0;  // every element is 0
-    if (refine) {
-      if (!match) {
-        for (size_t i = 0; i < count; ++i) out[i] = 0;
-      }
+    const bool match = lo == 0;  // every element is 0
+    if (match) {
+      if (!refine) sel->ResetAllSet(count);
     } else {
-      for (size_t i = 0; i < count; ++i) out[i] = match;
+      sel->Reset(count);
     }
     return;
   }
-  const int bits = bits_;
-  const uint64_t mask = bits == 64 ? ~0ull : ((1ull << bits) - 1);
-  size_t bitpos = start * static_cast<size_t>(bits);
-  size_t w = bitpos >> 6;
-  int off = static_cast<int>(bitpos & 63);
+  const uint64_t span = hi - lo;
   const uint64_t* words = words_.data();
-  for (size_t i = 0; i < count; ++i) {
-    uint64_t v = words[w] >> off;
-    if (off + bits > 64) {
-      v |= words[w + 1] << (64 - off);
-    }
-    v &= mask;
-    const uint8_t match = (v >= lo) & (v <= hi);
-    out[i] = refine ? (out[i] & match) : match;
-    off += bits;
-    w += static_cast<size_t>(off >> 6);
-    off &= 63;
+  switch (bits_) {
+    case 1: EvalDiv64<1>(words, start, count, lo, span, refine, selw); return;
+    case 2: EvalDiv64<2>(words, start, count, lo, span, refine, selw); return;
+    case 4: EvalDiv64<4>(words, start, count, lo, span, refine, selw); return;
+    case 8: EvalDiv64<8>(words, start, count, lo, span, refine, selw); return;
+    case 16: EvalDiv64<16>(words, start, count, lo, span, refine, selw); return;
+    case 32: EvalDiv64<32>(words, start, count, lo, span, refine, selw); return;
+    case 64: EvalDiv64<64>(words, start, count, lo, span, refine, selw); return;
+    default:
+      break;
   }
+  // General widths: branch-free two-word gather (see Decode), full-word
+  // inner loops so the compiler unrolls the 64-element case.
+  const int bits = bits_;
+  const uint64_t mask = mask_;
+  size_t bitpos = start * static_cast<size_t>(bits);
+  size_t i = 0;
+  size_t sw = 0;
+  while (i < count) {
+    const int nb = static_cast<int>(std::min<size_t>(64, count - i));
+    uint64_t m = 0;
+    if (nb == 64) {
+      for (int j = 0; j < 64; ++j) {
+        const size_t w = bitpos >> 6;
+        const int off = static_cast<int>(bitpos & 63);
+        uint64_t v = words[w] >> off;
+        v |= (words[w + 1] << 1) << (63 - off);
+        m |= static_cast<uint64_t>(((v & mask) - lo) <= span) << j;
+        bitpos += bits;
+      }
+    } else {
+      for (int j = 0; j < nb; ++j) {
+        const size_t w = bitpos >> 6;
+        const int off = static_cast<int>(bitpos & 63);
+        uint64_t v = words[w] >> off;
+        v |= (words[w + 1] << 1) << (63 - off);
+        m |= static_cast<uint64_t>(((v & mask) - lo) <= span) << j;
+        bitpos += bits;
+      }
+    }
+    selw[sw] = refine ? (selw[sw] & m) : m;
+    ++sw;
+    i += nb;
+  }
+}
+
+uint64_t BitPacked::Sum(size_t start, size_t count) const {
+  assert(start + count <= n_);
+  if (bits_ == 0) return 0;
+  const int bits = bits_;
+  const uint64_t mask = mask_;
+  const uint64_t* words = words_.data();
+  size_t bitpos = start * static_cast<size_t>(bits);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t w = bitpos >> 6;
+    const int off = static_cast<int>(bitpos & 63);
+    uint64_t v = words[w] >> off;
+    v |= (words[w + 1] << 1) << (63 - off);
+    acc += v & mask;
+    bitpos += bits;
+  }
+  return acc;
+}
+
+void BitPacked::SumRange(size_t start, size_t count, uint64_t lo, uint64_t hi,
+                         uint64_t* sum, uint64_t* matches) const {
+  assert(start + count <= n_);
+  uint64_t acc = 0;
+  uint64_t cnt = 0;
+  if (bits_ == 0) {
+    if (lo == 0) cnt = count;  // all elements are 0; they contribute 0
+    *sum = 0;
+    *matches = cnt;
+    return;
+  }
+  const int bits = bits_;
+  const uint64_t mask = mask_;
+  const uint64_t* words = words_.data();
+  size_t bitpos = start * static_cast<size_t>(bits);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t w = bitpos >> 6;
+    const int off = static_cast<int>(bitpos & 63);
+    uint64_t v = words[w] >> off;
+    v |= (words[w + 1] << 1) << (63 - off);
+    v &= mask;
+    const uint64_t match = (v >= lo) & (v <= hi);
+    acc += v * match;
+    cnt += match;
+    bitpos += bits;
+  }
+  *sum = acc;
+  *matches = cnt;
 }
 
 uint64_t CountRuns(std::span<const int64_t> values) {

@@ -164,14 +164,15 @@ ColumnSegment::CodeRange ColumnSegment::TranslateRange(int64_t lo,
 
 uint64_t ColumnSegment::EvalRange(size_t start, size_t count,
                                   const CodeRange& cr, bool refine,
-                                  uint8_t* out) const {
+                                  SelVector* sel) const {
   assert(start + count <= n_);
+  assert(sel->size() == count);
   if (cr.none) {
-    std::fill(out, out + count, static_cast<uint8_t>(0));
+    sel->Reset(count);
     return 0;
   }
   if (cr.all) {
-    if (!refine) std::fill(out, out + count, static_cast<uint8_t>(1));
+    if (!refine) sel->ResetAllSet(count);
     return 0;
   }
   switch (enc_) {
@@ -186,15 +187,12 @@ uint64_t ColumnSegment::EvalRange(size_t start, size_t count,
         const Run& run = runs_[r];
         const size_t run_end = run_offsets_[r] + run.length;
         const size_t take = std::min(count - produced, run_end - pos);
-        const uint8_t match = run.code >= cr.lo && run.code <= cr.hi;
+        const bool match = run.code >= cr.lo && run.code <= cr.hi;
         ++runs;
-        if (refine) {
-          if (!match) {
-            std::fill(out + produced, out + produced + take,
-                      static_cast<uint8_t>(0));
-          }
+        if (match) {
+          if (!refine) sel->SetRange(produced, produced + take);
         } else {
-          std::fill(out + produced, out + produced + take, match);
+          sel->ClearRange(produced, produced + take);
         }
         produced += take;
         pos += take;
@@ -204,7 +202,7 @@ uint64_t ColumnSegment::EvalRange(size_t start, size_t count,
     }
     case SegEncoding::kDictPacked:
     case SegEncoding::kRawPacked:
-      packed_.EvalRange(start, count, cr.lo, cr.hi, refine, out);
+      packed_.EvalRange(start, count, cr.lo, cr.hi, refine, sel);
       return 0;
   }
   return 0;
@@ -246,6 +244,129 @@ void ColumnSegment::Decode(size_t start, size_t count, int64_t* out) const {
       break;
     }
   }
+}
+
+void ColumnSegment::DecodeSelected(size_t start, std::span<const uint32_t> sel,
+                                   int64_t* out) const {
+  if (sel.empty()) return;
+  assert(start + sel.back() < n_);
+  switch (enc_) {
+    case SegEncoding::kDictRle: {
+      // One forward walk over the runs covering the selected positions.
+      size_t r = std::upper_bound(run_offsets_.begin(), run_offsets_.end(),
+                                  static_cast<uint32_t>(start + sel[0])) -
+                 run_offsets_.begin() - 1;
+      size_t run_end = run_offsets_[r] + runs_[r].length;
+      for (size_t k = 0; k < sel.size(); ++k) {
+        const size_t pos = start + sel[k];
+        while (pos >= run_end) {
+          ++r;
+          run_end = run_offsets_[r] + runs_[r].length;
+        }
+        out[k] = dict_[runs_[r].code];
+      }
+      break;
+    }
+    case SegEncoding::kDictPacked: {
+      for (size_t k = 0; k < sel.size(); ++k) {
+        out[k] = dict_[packed_.Get(start + sel[k])];
+      }
+      break;
+    }
+    case SegEncoding::kRawPacked: {
+      for (size_t k = 0; k < sel.size(); ++k) {
+        out[k] = min_ + static_cast<int64_t>(packed_.Get(start + sel[k]));
+      }
+      break;
+    }
+  }
+}
+
+int64_t ColumnSegment::SumAll() const {
+  int64_t acc = 0;
+  switch (enc_) {
+    case SegEncoding::kDictRle:
+      for (const Run& run : runs_) {
+        acc += dict_[run.code] * static_cast<int64_t>(run.length);
+      }
+      break;
+    case SegEncoding::kDictPacked:
+      for (size_t i = 0; i < n_; ++i) acc += dict_[packed_.Get(i)];
+      break;
+    case SegEncoding::kRawPacked:
+      acc = min_ * static_cast<int64_t>(n_) +
+            static_cast<int64_t>(packed_.Sum(0, n_));
+      break;
+  }
+  return acc;
+}
+
+uint64_t ColumnSegment::SumWhere(const CodeRange& cr, int64_t* sum,
+                                 uint64_t* matches) const {
+  int64_t acc = 0;
+  uint64_t cnt = 0;
+  uint64_t runs = 0;
+  switch (enc_) {
+    case SegEncoding::kDictRle:
+      for (const Run& run : runs_) {
+        ++runs;
+        if (run.code >= cr.lo && run.code <= cr.hi) {
+          acc += dict_[run.code] * static_cast<int64_t>(run.length);
+          cnt += run.length;
+        }
+      }
+      break;
+    case SegEncoding::kDictPacked:
+      for (size_t i = 0; i < n_; ++i) {
+        const uint64_t code = packed_.Get(i);
+        const bool match = code >= cr.lo && code <= cr.hi;
+        acc += dict_[code] * static_cast<int64_t>(match);
+        cnt += match;
+      }
+      break;
+    case SegEncoding::kRawPacked: {
+      uint64_t offsum = 0;
+      packed_.SumRange(0, n_, cr.lo, cr.hi, &offsum, &cnt);
+      acc = min_ * static_cast<int64_t>(cnt) + static_cast<int64_t>(offsum);
+      break;
+    }
+  }
+  *sum = acc;
+  *matches = cnt;
+  return runs;
+}
+
+bool ColumnSegment::MinMaxWhere(const CodeRange& cr, int64_t* mn,
+                                int64_t* mx) const {
+  switch (enc_) {
+    case SegEncoding::kDictRle:
+    case SegEncoding::kDictPacked:
+      // Every dictionary code occurs in the segment, so the sorted
+      // dictionary answers directly.
+      if (cr.lo >= dict_.size() || cr.hi < cr.lo) return false;
+      *mn = dict_[cr.lo];
+      *mx = dict_[std::min<uint64_t>(cr.hi, dict_.size() - 1)];
+      return true;
+    case SegEncoding::kRawPacked: {
+      // Offsets in [lo, hi] are not guaranteed present: scan for the
+      // extremes in the packed domain.
+      uint64_t lo_seen = UINT64_MAX;
+      uint64_t hi_seen = 0;
+      bool any = false;
+      for (size_t i = 0; i < n_; ++i) {
+        const uint64_t off = packed_.Get(i);
+        if (off < cr.lo || off > cr.hi) continue;
+        lo_seen = std::min(lo_seen, off);
+        hi_seen = std::max(hi_seen, off);
+        any = true;
+      }
+      if (!any) return false;
+      *mn = min_ + static_cast<int64_t>(lo_seen);
+      *mx = min_ + static_cast<int64_t>(hi_seen);
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace hd

@@ -60,15 +60,40 @@ class ColumnSegment {
   /// Evaluate `value in [lo,hi]` for rows [start, start+count) entirely in
   /// the encoded domain: dictionary/raw segments compare codes (no value
   /// materialization), RLE segments test once per run instead of per row.
-  /// refine=false writes out[i] = match; refine=true ANDs matches into
-  /// out[i] (conjunctive predicate chains). Returns the number of RLE runs
-  /// examined (0 for non-RLE encodings).
+  /// Match bits land in `sel` (bit i = row start+i; sel sized to count):
+  /// refine=false overwrites, refine=true ANDs (conjunctive predicate
+  /// chains). Returns the number of RLE runs examined (0 for non-RLE
+  /// encodings).
   uint64_t EvalRange(size_t start, size_t count, const CodeRange& cr,
-                     bool refine, uint8_t* out) const;
+                     bool refine, SelVector* sel) const;
 
   /// Decode rows [start, start+count) into `out`. Charges buffer-pool
   /// access for the segment on first touch per query via Touch().
   void Decode(size_t start, size_t count, int64_t* out) const;
+
+  /// Late materialization: decode only rows start+sel[k] (sel ascending,
+  /// offsets relative to start) into out[k]. RLE walks runs once; packed
+  /// encodings gather.
+  void DecodeSelected(size_t start, std::span<const uint32_t> sel,
+                      int64_t* out) const;
+
+  // Encoded-domain single-column aggregate kernels (Fig. 4 pushdown).
+  // None of these materialize a decode buffer.
+
+  /// Σ of every value in the segment (int64 wrap semantics, matching the
+  /// executor's integer SUM fast path).
+  int64_t SumAll() const;
+
+  /// Σ and count of values whose own code falls in `cr` (cr from
+  /// TranslateRange on THIS segment; cr.none/cr.all handled by caller).
+  /// Returns RLE runs examined (0 for non-RLE).
+  uint64_t SumWhere(const CodeRange& cr, int64_t* sum,
+                    uint64_t* matches) const;
+
+  /// Min/max of values whose own code falls in `cr`. Dictionary segments
+  /// answer from the sorted dictionary (every code occurs); raw segments
+  /// scan packed offsets. False if no row matches.
+  bool MinMaxWhere(const CodeRange& cr, int64_t* mn, int64_t* mx) const;
 
   /// Account a scan touch of this segment (cold I/O if non-resident).
   /// Fails only when the underlying (simulated) read fails; the segment is

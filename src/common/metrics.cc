@@ -16,6 +16,10 @@ void QueryMetrics::Clear() {
   morsels_stolen = 0;
   runs_evaluated = 0;
   rows_decoded = 0;
+  rows_selected = 0;
+  rows_late_materialized = 0;
+  aggs_pushed_down = 0;
+  hash_probes = 0;
   sim_io_ns = 0;
   cpu_ns = 0;
   peak_memory_bytes = 0;
@@ -37,6 +41,10 @@ void QueryMetrics::Merge(const QueryMetrics& o) {
   morsels_stolen += o.morsels_stolen.load();
   runs_evaluated += o.runs_evaluated.load();
   rows_decoded += o.rows_decoded.load();
+  rows_selected += o.rows_selected.load();
+  rows_late_materialized += o.rows_late_materialized.load();
+  aggs_pushed_down += o.aggs_pushed_down.load();
+  hash_probes += o.hash_probes.load();
   sim_io_ns += o.sim_io_ns.load();
   cpu_ns += o.cpu_ns.load();
   spill_bytes += o.spill_bytes.load();
@@ -56,6 +64,10 @@ std::string QueryMetrics::ToString() const {
      << morsels_stolen.load() << "stolen"
      << " runs_eval=" << runs_evaluated.load()
      << " rows_dec=" << rows_decoded.load()
+     << " rows_sel=" << rows_selected.load()
+     << " rows_latemat=" << rows_late_materialized.load()
+     << " aggs_pushed=" << aggs_pushed_down.load()
+     << " hash_probes=" << hash_probes.load()
      << " peak_mem=" << peak_memory_bytes.load() << " dop=" << dop;
   if (txn_retries.load() > 0 || backoff_ns.load() > 0) {
     os << " retries=" << txn_retries.load()

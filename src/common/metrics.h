@@ -47,6 +47,15 @@ struct QueryMetrics {
   /// of per-row, and rows actually decoded to values (output columns).
   std::atomic<uint64_t> runs_evaluated{0};
   std::atomic<uint64_t> rows_decoded{0};
+  /// Vectorized scan kernels: rows surviving the predicate bitmaps
+  /// (before delete filtering), and rows decoded through the sparse
+  /// late-materialization gather (a subset of rows_decoded).
+  std::atomic<uint64_t> rows_selected{0};
+  std::atomic<uint64_t> rows_late_materialized{0};
+  /// Aggregates answered entirely in the encoded domain (no decode), and
+  /// aggregate hash-table probe chains walked (one per FindOrInsert).
+  std::atomic<uint64_t> aggs_pushed_down{0};
+  std::atomic<uint64_t> hash_probes{0};
   /// Simulated I/O stall nanoseconds (summed; on the critical path for
   /// serial plans, divided by DOP for parallel scans when reporting).
   std::atomic<uint64_t> sim_io_ns{0};
@@ -107,7 +116,8 @@ struct QueryMetrics {
 /// operator blocks plus a small residual (locks, version-chain probes,
 /// DML mutation) charged at query level. For read-only statements the
 /// data-path counters (rows_scanned, segments_*, runs_evaluated,
-/// rows_decoded, morsels_*) therefore sum exactly across operators to the
+/// rows_decoded, rows_selected, rows_late_materialized, aggs_pushed_down,
+/// hash_probes, morsels_*) therefore sum exactly across operators to the
 /// query totals.
 struct OperatorProfile {
   std::string name;   ///< e.g. "CsiScan[csi_sales]", "HashAgg"

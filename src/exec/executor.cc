@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/agg_hash.h"
 #include "exec/explain.h"
 
 namespace hd {
@@ -166,13 +167,8 @@ struct AggDesc {
   bool arg_is_int = false;  // integer-typed single column
 };
 
-struct AggState {
-  double d = 0;
-  int64_t i = 0;
-  uint64_t count = 0;
-  int64_t packed_minmax = 0;
-  bool has = false;
-};
+// AggState lives in exec/agg_hash.h: the flat aggregate hash table stores
+// them contiguously per group.
 
 void AggUpdate(const AggDesc& a, AggState* s, const Layout& L,
                const int64_t* wide) {
@@ -266,16 +262,6 @@ Value AggFinal(const AggDesc& a, const AggState& s, const Layout& L) {
   }
   return Value::Null();
 }
-
-struct VecHash {
-  size_t operator()(const std::vector<int64_t>& v) const {
-    size_t h = 0xcbf29ce484222325ull;
-    for (int64_t x : v) {
-      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
 
 // ---------------------------------------------------------------------
 // Join structures.
@@ -1125,9 +1111,9 @@ namespace {
 
 /// Worker-local sink: either aggregation or row collection.
 struct WorkerSink {
-  // Aggregation.
-  std::unordered_map<std::vector<int64_t>, std::vector<AggState>, VecHash>
-      groups;
+  // Aggregation: flat open-addressing group table (inline keys,
+  // contiguous AggState payload, one hash per probe).
+  AggHashTable table;
   std::vector<AggState> global;  // no GROUP BY
   // Spill partitions for grace hash agg: flat rows of
   // [group slots..., per-agg raw input (bit-cast double or int)].
@@ -1139,9 +1125,17 @@ struct WorkerSink {
   std::vector<int64_t> rows;
   uint64_t row_count = 0;
 
-  // Reusable group-key buffer (avoids a heap allocation per input row).
+  // Reusable per-batch scratch (no heap allocation per input row):
+  // row-major gathered group keys, their hashes, and resolved group
+  // indices (kSpilledRow = routed to a spill partition); srow_buf caches
+  // each row's payload state pointer across the per-aggregate loops.
   std::vector<int64_t> key_buf;
+  std::vector<uint64_t> hash_buf;
+  std::vector<uint32_t> gidx_buf;
+  std::vector<AggState*> srow_buf;
 };
+
+constexpr uint32_t kSpilledRow = UINT32_MAX;
 
 }  // namespace
 
@@ -1193,6 +1187,7 @@ Status Executor::Impl::RunSelect() {
     if (has_aggs) {
       s.global.assign(aggs.size(), AggState{});
       s.spill_parts.resize(kSpillParts);
+      s.table.Init(group_slots.size(), aggs.size());
     }
   }
 
@@ -1215,9 +1210,23 @@ Status Executor::Impl::RunSelect() {
     stream_state.assign(aggs.size(), AggState{});
   };
 
-  // Per-group approximate bytes for grant accounting.
+  // Per-group approximate bytes for grant accounting, and the resulting
+  // per-worker group cap: FindOrInsert refuses the insert past it and the
+  // row grace-spills to a partition (hash reused for the routing).
   const uint64_t group_entry_bytes =
       48 + group_slots.size() * 8 + aggs.size() * sizeof(AggState);
+  const size_t max_groups =
+      grant > 0 ? static_cast<size_t>((grant / nworkers) / group_entry_bytes)
+                : static_cast<size_t>(-1);
+
+  // Encoded-domain aggregate pushdown (fast single-table global
+  // aggregates): per-worker partial states folded in the finish phase.
+  // Empty pspecs = pushdown not applicable to this query. pushed_rows
+  // counts rows the pushdown logically aggregated per worker — they flow
+  // scan→agg in the operator profiles even though no batch materialized.
+  std::vector<PushAggSpec> pspecs;
+  std::vector<std::vector<PushAggState>> pacc;
+  std::vector<uint64_t> pushed_rows;
 
   std::atomic<int64_t> emitted{0};
   const int64_t limit =
@@ -1279,26 +1288,25 @@ Status Executor::Impl::RunSelect() {
       for (size_t gi = 0; gi < group_slots.size(); ++gi) {
         key[gi] = wide[group_slots[gi]];
       }
-      auto it = sink.groups.find(key);
-      if (it == sink.groups.end()) {
-        const uint64_t bytes = sink.groups.size() * group_entry_bytes;
-        if (bytes + group_entry_bytes > grant / nworkers && grant > 0) {
-          // Grace spill: route this row to a partition for phase 2.
-          sink.spilling = true;
-          auto& part = sink.spill_parts[VecHash{}(key) % kSpillParts];
-          part.insert(part.end(), key.begin(), key.end());
-          for (size_t ai = 0; ai < aggs.size(); ++ai) {
-            double v = 0;
-            if (aggs[ai].has_arg) v = EvalExpr(aggs[ai].arg, L, wide);
-            part.push_back(std::bit_cast<int64_t>(v));
-          }
-          sink.spill_bytes += (key.size() + aggs.size()) * 8;
-          return true;
+      // One hash serves the probe and, on overflow, the spill routing.
+      const uint64_t h = AggHashTable::HashKey(key.data(), key.size());
+      const size_t g = sink.table.FindOrInsert(key.data(), h, max_groups);
+      if (g == AggHashTable::kNoSlot) {
+        // Grace spill: route this row to a partition for phase 2.
+        sink.spilling = true;
+        auto& part = sink.spill_parts[h % kSpillParts];
+        part.insert(part.end(), key.begin(), key.end());
+        for (size_t ai = 0; ai < aggs.size(); ++ai) {
+          double v = 0;
+          if (aggs[ai].has_arg) v = EvalExpr(aggs[ai].arg, L, wide);
+          part.push_back(std::bit_cast<int64_t>(v));
         }
-        it = sink.groups.emplace(key, std::vector<AggState>(aggs.size())).first;
+        sink.spill_bytes += (key.size() + aggs.size()) * 8;
+        return true;
       }
+      AggState* st = sink.table.StatesAt(g);
       for (size_t ai = 0; ai < aggs.size(); ++ai) {
-        AggUpdate(aggs[ai], &it->second[ai], L, wide);
+        AggUpdate(aggs[ai], &st[ai], L, wide);
       }
       return true;
     }
@@ -1533,68 +1541,107 @@ Status Executor::Impl::RunSelect() {
       WorkerSink& sink = sinks[w];
       auto handler = [&](const ColumnBatch& b) {
         sink.row_count += b.count;
-        std::vector<int64_t>& key = sink.key_buf;
-        key.resize(group_cis.size());
+        const size_t kw = group_cis.size();
+        const size_t na = aggs.size();
+        // Gather group keys row-major, hash the whole batch once, then
+        // resolve every row's group before any state is touched
+        // (insertion may reallocate the state array).
+        std::vector<int64_t>& kb = sink.key_buf;
+        kb.resize(static_cast<size_t>(b.count) * kw);
         for (int i = 0; i < b.count; ++i) {
-          for (size_t gi = 0; gi < group_cis.size(); ++gi) {
-            key[gi] = b.cols[group_cis[gi]][i];
+          for (size_t gi = 0; gi < kw; ++gi) {
+            kb[i * kw + gi] = b.cols[group_cis[gi]][i];
           }
-          auto it = sink.groups.find(key);
-          if (it == sink.groups.end()) {
-            const uint64_t bytes = sink.groups.size() * group_entry_bytes;
-            if (bytes + group_entry_bytes > grant / nworkers && grant > 0) {
-              sink.spilling = true;
-              auto& part = sink.spill_parts[VecHash{}(key) % 16];
-              part.insert(part.end(), key.begin(), key.end());
-              for (size_t ai = 0; ai < aggs.size(); ++ai) {
-                double v = 0;
-                if (aggs[ai].has_arg) {
-                  v = EvalExprBatch(aggs[ai].arg, L, b.cols, slot_of_col, i);
-                }
-                part.push_back(std::bit_cast<int64_t>(v));
+        }
+        std::vector<uint64_t>& hb = sink.hash_buf;
+        hb.resize(b.count);
+        sink.table.ComputeHashes(kb.data(), b.count, hb.data());
+        std::vector<uint32_t>& gidx = sink.gidx_buf;
+        gidx.resize(b.count);
+        for (int i = 0; i < b.count; ++i) {
+          const int64_t* key = kb.data() + static_cast<size_t>(i) * kw;
+          const size_t g = sink.table.FindOrInsert(key, hb[i], max_groups);
+          if (g == AggHashTable::kNoSlot) {
+            gidx[i] = kSpilledRow;
+            sink.spilling = true;
+            auto& part = sink.spill_parts[hb[i] % kSpillParts];
+            part.insert(part.end(), key, key + kw);
+            for (size_t ai = 0; ai < na; ++ai) {
+              double v = 0;
+              if (aggs[ai].has_arg) {
+                v = EvalExprBatch(aggs[ai].arg, L, b.cols, slot_of_col, i);
               }
-              sink.spill_bytes += (key.size() + aggs.size()) * 8;
-              continue;
+              part.push_back(std::bit_cast<int64_t>(v));
             }
-            it = sink.groups.emplace(key, std::vector<AggState>(aggs.size()))
-                     .first;
+            sink.spill_bytes += (kw + na) * 8;
+          } else {
+            gidx[i] = static_cast<uint32_t>(g);
           }
-          for (size_t ai = 0; ai < aggs.size(); ++ai) {
-            const AggDesc& a = aggs[ai];
-            AggState& st = it->second[ai];
-            switch (a.fn) {
-              case AggSpec::Fn::kCount:
-                ++st.count;
-                break;
-              case AggSpec::Fn::kSum:
-              case AggSpec::Fn::kAvg:
-                ++st.count;
-                if (a.arg_is_col && a.arg_is_int) {
-                  st.i += b.cols[slot_of_col[a.arg_col.col]][i];
-                } else {
+        }
+        // Per-aggregate column loops over the resolved groups: one tight
+        // loop per aggregate instead of a per-row per-agg switch. State
+        // pointers are resolved once per row (null = spilled); the key and
+        // its states share a payload row, so the lines are already warm
+        // from the probe.
+        std::vector<AggState*>& rs = sink.srow_buf;
+        rs.resize(b.count);
+        for (int i = 0; i < b.count; ++i) {
+          rs[i] = gidx[i] == kSpilledRow ? nullptr
+                                         : sink.table.StatesAt(gidx[i]);
+        }
+        for (size_t ai = 0; ai < na; ++ai) {
+          const AggDesc& a = aggs[ai];
+          switch (a.fn) {
+            case AggSpec::Fn::kCount:
+              for (int i = 0; i < b.count; ++i) {
+                if (rs[i] != nullptr) ++rs[i][ai].count;
+              }
+              break;
+            case AggSpec::Fn::kSum:
+            case AggSpec::Fn::kAvg:
+              if (a.arg_is_col && a.arg_is_int) {
+                const int64_t* col = b.cols[slot_of_col[a.arg_col.col]];
+                for (int i = 0; i < b.count; ++i) {
+                  if (rs[i] == nullptr) continue;
+                  AggState& st = rs[i][ai];
+                  ++st.count;
+                  st.i += col[i];
+                }
+              } else {
+                for (int i = 0; i < b.count; ++i) {
+                  if (rs[i] == nullptr) continue;
+                  AggState& st = rs[i][ai];
+                  ++st.count;
                   st.d += EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
                 }
-                break;
-              case AggSpec::Fn::kMin:
-              case AggSpec::Fn::kMax: {
-                if (a.arg_is_col) {
-                  const int64_t v = b.cols[slot_of_col[a.arg_col.col]][i];
-                  if (!st.has ||
-                      (a.fn == AggSpec::Fn::kMin ? v < st.packed_minmax
-                                                 : v > st.packed_minmax)) {
+              }
+              break;
+            case AggSpec::Fn::kMin:
+            case AggSpec::Fn::kMax: {
+              const bool is_min = a.fn == AggSpec::Fn::kMin;
+              if (a.arg_is_col) {
+                const int64_t* col = b.cols[slot_of_col[a.arg_col.col]];
+                for (int i = 0; i < b.count; ++i) {
+                  if (rs[i] == nullptr) continue;
+                  AggState& st = rs[i][ai];
+                  const int64_t v = col[i];
+                  if (!st.has || (is_min ? v < st.packed_minmax
+                                         : v > st.packed_minmax)) {
                     st.packed_minmax = v;
                   }
-                } else {
+                  st.has = true;
+                }
+              } else {
+                for (int i = 0; i < b.count; ++i) {
+                  if (rs[i] == nullptr) continue;
+                  AggState& st = rs[i][ai];
                   const double v =
                       EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
-                  if (!st.has ||
-                      (a.fn == AggSpec::Fn::kMin ? v < st.d : v > st.d)) {
-                    st.d = v;
-                  }
+                  if (!st.has || (is_min ? v < st.d : v > st.d)) st.d = v;
+                  st.has = true;
                 }
-                st.has = true;
-                break;
               }
+              break;
             }
           }
         }
@@ -1657,6 +1704,36 @@ Status Executor::Impl::RunSelect() {
     for (const auto& p : base_preds) {
       if (p.impossible) sp.push_back({p.col, 1, 0});
       sp.push_back({p.col, p.lo, p.hi});
+    }
+    // Map the aggregate list onto encoded-domain pushdown specs. All-or-
+    // nothing: a row group is either answered entirely from segment
+    // metadata / encoded kernels or scanned normally. Min/max can push any
+    // single column (packing is order-preserving); SUM/AVG only integer
+    // columns (double sums need value-domain addition).
+    bool push_ok = !aggs.empty();
+    for (const auto& a : aggs) {
+      PushAggSpec s;
+      if (a.fn == AggSpec::Fn::kCount && !a.has_arg) {
+        s.fn = PushAggSpec::Fn::kCount;
+      } else if ((a.fn == AggSpec::Fn::kSum || a.fn == AggSpec::Fn::kAvg) &&
+                 a.arg_is_col && a.arg_is_int && a.arg_col.table == 0) {
+        s.fn = PushAggSpec::Fn::kSum;
+        s.col = a.arg_col.col;
+      } else if ((a.fn == AggSpec::Fn::kMin || a.fn == AggSpec::Fn::kMax) &&
+                 a.arg_is_col && a.arg_col.table == 0) {
+        s.fn = a.fn == AggSpec::Fn::kMin ? PushAggSpec::Fn::kMin
+                                         : PushAggSpec::Fn::kMax;
+        s.col = a.arg_col.col;
+      } else {
+        push_ok = false;
+        break;
+      }
+      pspecs.push_back(s);
+    }
+    if (!push_ok) pspecs.clear();
+    if (!pspecs.empty()) {
+      pacc.assign(nworkers, std::vector<PushAggState>(pspecs.size()));
+      pushed_rows.assign(nworkers, 0);
     }
     const std::unordered_set<int64_t>* delete_snapshot = nullptr;
     auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) -> Status {
@@ -1725,21 +1802,36 @@ Status Executor::Impl::RunSelect() {
         return csi->ScanDelta(needed, sp, handler, wm,
                               /*need_locators=*/false);
       }
-      return csi->ScanGroups(gb, ge, needed, sp, handler, wm,
-                             /*need_locators=*/false, delete_snapshot);
+      for (int g2 = gb; g2 < ge; ++g2) {
+        // A row group answered entirely in the encoded domain never
+        // reaches the decode handler (Fig. 4 aggregate pushdown).
+        uint64_t pr = 0;
+        if (!pspecs.empty() &&
+            csi->TryPushdownAggregates(g2, sp, pspecs, pacc[w].data(),
+                                       delete_snapshot, wm, &pr)) {
+          pushed_rows[w] += pr;
+          continue;
+        }
+        HD_RETURN_IF_ERROR(csi->ScanGroups(g2, g2 + 1, needed, sp, handler,
+                                           wm, /*need_locators=*/false,
+                                           delete_snapshot));
+      }
+      return Status::OK();
     };
     const int ngroups = csi->num_row_groups();
     QueryMetrics* sm = ScanM();
-    if (nworkers <= 1) {
-      Timer t;
-      scan_status = batch_worker(0, 0, ngroups, sm);
-      if (scan_status.ok()) scan_status = batch_worker(0, -1, -1, sm);
-      sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
-    } else {
-      std::unordered_set<int64_t> dead;
-      scan_status = csi->SnapshotDeleteBuffer(&dead, sm);
-      if (scan_status.ok()) {
-        delete_snapshot = &dead;
+    // Snapshot the delete buffer once up front (shared across workers and
+    // across the now-per-group ScanGroups calls).
+    std::unordered_set<int64_t> dead;
+    scan_status = csi->SnapshotDeleteBuffer(&dead, sm);
+    if (scan_status.ok()) {
+      delete_snapshot = &dead;
+      if (nworkers <= 1) {
+        Timer t;
+        scan_status = batch_worker(0, 0, ngroups, sm);
+        if (scan_status.ok()) scan_status = batch_worker(0, -1, -1, sm);
+        sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+      } else {
         scan_status = MorselLoop(
             static_cast<uint64_t>(ngroups) + 1, nworkers, sm,
             ops[opx.scan].name,
@@ -1799,6 +1891,36 @@ Status Executor::Impl::RunSelect() {
           AggMerge(aggs[ai], &final_state[ai], s.global[ai]);
         }
       }
+      // Fold encoded-domain pushdown partials (row groups that never
+      // produced a batch) into the final state.
+      if (!pspecs.empty()) {
+        for (const auto& wp : pacc) {
+          for (size_t ai = 0; ai < aggs.size(); ++ai) {
+            const PushAggState& p = wp[ai];
+            AggState& st = final_state[ai];
+            switch (pspecs[ai].fn) {
+              case PushAggSpec::Fn::kCount:
+                st.count += p.count;
+                break;
+              case PushAggSpec::Fn::kSum:
+                st.count += p.count;
+                st.i += p.sum;
+                break;
+              case PushAggSpec::Fn::kMin:
+              case PushAggSpec::Fn::kMax: {
+                if (!p.has) break;
+                const bool is_min = pspecs[ai].fn == PushAggSpec::Fn::kMin;
+                if (!st.has || (is_min ? p.minmax < st.packed_minmax
+                                       : p.minmax > st.packed_minmax)) {
+                  st.packed_minmax = p.minmax;
+                }
+                st.has = true;
+                break;
+              }
+            }
+          }
+        }
+      }
       Row r;
       for (size_t ai = 0; ai < aggs.size(); ++ai) {
         r.push_back(AggFinal(aggs[ai], final_state[ai], L));
@@ -1806,23 +1928,26 @@ Status Executor::Impl::RunSelect() {
       res.rows.push_back(std::move(r));
       res.row_count = 1;
     } else {
-      // Merge worker maps.
-      auto& global = sinks[0].groups;
+      constexpr size_t kUnlimited = static_cast<size_t>(-1);
+      // Merge worker tables into worker 0's. Group hashes were cached at
+      // insert time, so the merge re-probes without rehashing any key.
+      AggHashTable& global = sinks[0].table;
       for (int w = 1; w < nworkers; ++w) {
-        for (auto& [k, st] : sinks[w].groups) {
-          auto it = global.find(k);
-          if (it == global.end()) {
-            global.emplace(k, std::move(st));
-          } else {
-            for (size_t ai = 0; ai < aggs.size(); ++ai) {
-              AggMerge(aggs[ai], &it->second[ai], st[ai]);
-            }
+        const AggHashTable& t = sinks[w].table;
+        for (size_t g = 0; g < t.size(); ++g) {
+          const size_t dst =
+              global.FindOrInsert(t.KeyAt(g), t.HashAt(g), kUnlimited);
+          AggState* into = global.StatesAt(dst);
+          const AggState* from = t.StatesAt(g);
+          for (size_t ai = 0; ai < aggs.size(); ++ai) {
+            AggMerge(aggs[ai], &into[ai], from[ai]);
           }
         }
       }
       // Grace-hash phase 2 over spilled partitions.
       uint64_t spill_total = 0;
       for (auto& s : sinks) spill_total += s.spill_bytes;
+      uint64_t phase2_probes = 0;
       if (spill_total > 0) {
         res.spilled = true;
         fm->spill_bytes += spill_total;
@@ -1830,66 +1955,77 @@ Status Executor::Impl::RunSelect() {
             ctx.db->disk()->Write(spill_total, IoPattern::kSequential, fm));
         HD_RETURN_IF_ERROR(
             ctx.db->disk()->Read(spill_total, IoPattern::kSequential, fm));
-        const size_t kstride = group_slots.size() + aggs.size();
+        const size_t kwg = group_slots.size();
+        const size_t kstride = kwg + aggs.size();
         for (int part = 0; part < kSpillParts; ++part) {
-          std::unordered_map<std::vector<int64_t>, std::vector<AggState>,
-                             VecHash> pm;
+          AggHashTable pm;
+          pm.Init(kwg, aggs.size());
           for (auto& s : sinks) {
             const auto& buf = s.spill_parts[part];
             for (size_t off = 0; off + kstride <= buf.size(); off += kstride) {
-              std::vector<int64_t> key(buf.begin() + off,
-                                       buf.begin() + off + group_slots.size());
-              auto it = pm.find(key);
-              if (it == pm.end()) {
-                it = pm.emplace(std::move(key),
-                                std::vector<AggState>(aggs.size())).first;
-              }
+              const int64_t* key = buf.data() + off;
+              const uint64_t h = AggHashTable::HashKey(key, kwg);
+              const size_t g = pm.FindOrInsert(key, h, kUnlimited);
+              AggState* st = pm.StatesAt(g);
               for (size_t ai = 0; ai < aggs.size(); ++ai) {
-                const double v = std::bit_cast<double>(
-                    buf[off + group_slots.size() + ai]);
-                AggState& st = it->second[ai];
+                const double v = std::bit_cast<double>(buf[off + kwg + ai]);
                 switch (aggs[ai].fn) {
-                  case AggSpec::Fn::kCount: ++st.count; break;
+                  case AggSpec::Fn::kCount: ++st[ai].count; break;
                   case AggSpec::Fn::kSum:
-                  case AggSpec::Fn::kAvg: ++st.count; st.d += v; break;
+                  case AggSpec::Fn::kAvg: ++st[ai].count; st[ai].d += v; break;
                   case AggSpec::Fn::kMin:
                   case AggSpec::Fn::kMax:
-                    if (!st.has || (aggs[ai].fn == AggSpec::Fn::kMin ? v < st.d
-                                                                     : v > st.d)) {
-                      st.d = v;
+                    if (!st[ai].has ||
+                        (aggs[ai].fn == AggSpec::Fn::kMin ? v < st[ai].d
+                                                          : v > st[ai].d)) {
+                      st[ai].d = v;
                     }
-                    st.has = true;
+                    st[ai].has = true;
                     break;
                 }
               }
             }
           }
-          for (auto& [k, st] : pm) {
-            auto it = global.find(k);
-            if (it == global.end()) {
-              global.emplace(k, std::move(st));
-            } else {
-              for (size_t ai = 0; ai < aggs.size(); ++ai) {
-                // Spilled aggregates lose the int fast path; merge as double.
-                it->second[ai].count += st[ai].count;
-                it->second[ai].d += st[ai].d;
-                if (st[ai].has) {
-                  AggMerge(aggs[ai], &it->second[ai], st[ai]);
-                }
+          for (size_t g = 0; g < pm.size(); ++g) {
+            const size_t dst =
+                global.FindOrInsert(pm.KeyAt(g), pm.HashAt(g), kUnlimited);
+            AggState* into = global.StatesAt(dst);
+            const AggState* st = pm.StatesAt(g);
+            for (size_t ai = 0; ai < aggs.size(); ++ai) {
+              // Spilled aggregates lose the int fast path; merge as double.
+              switch (aggs[ai].fn) {
+                case AggSpec::Fn::kCount:
+                case AggSpec::Fn::kSum:
+                case AggSpec::Fn::kAvg:
+                  into[ai].count += st[ai].count;
+                  into[ai].d += st[ai].d;
+                  break;
+                case AggSpec::Fn::kMin:
+                case AggSpec::Fn::kMax:
+                  AggMerge(aggs[ai], &into[ai], st[ai]);
+                  break;
               }
             }
           }
+          phase2_probes += pm.probes();
         }
       }
+      // Probe-chain accounting: worker tables (scan-time probes plus the
+      // merges into worker 0's) and the phase-2 partition tables.
+      uint64_t probes = phase2_probes;
+      for (const auto& s : sinks) probes += s.table.probes();
+      fm->hash_probes += probes;
       fm->UpdatePeakMemory(global.size() * group_entry_bytes);
       res.row_count = global.size();
       // Decode (capped).
-      for (auto& [k, st] : global) {
+      for (size_t g = 0; g < global.size(); ++g) {
         if (res.rows.size() >= QueryResult::kMaxMaterializedRows) break;
+        const int64_t* k = global.KeyAt(g);
+        const AggState* st = global.StatesAt(g);
         Row r;
         for (size_t gi = 0; gi < group_slots.size(); ++gi) {
-          const ColRef& g = q.group_by[gi];
-          r.push_back(L.tables[g.table]->UnpackValue(g.col, k[gi]));
+          const ColRef& gc = q.group_by[gi];
+          r.push_back(L.tables[gc.table]->UnpackValue(gc.col, k[gi]));
         }
         for (size_t ai = 0; ai < aggs.size(); ++ai) {
           r.push_back(AggFinal(aggs[ai], st[ai], L));
@@ -2029,9 +2165,11 @@ Status Executor::Impl::RunSelect() {
   };
   if (opx.scan >= 0) {
     if (fast_agg || fast_group) {
-      // Batch paths feed the aggregate straight from decoded batches.
+      // Batch paths feed the aggregate straight from decoded batches;
+      // rows answered by encoded-domain pushdown flow logically too.
       uint64_t batched = 0;
       for (const auto& s : sinks) batched += s.row_count;
+      for (uint64_t pr : pushed_rows) batched += pr;
       ops[opx.scan].rows_out = batched;
       if (opx.agg >= 0) ops[opx.agg].rows_in = batched;
     } else {

@@ -115,6 +115,16 @@ void RenderNode(std::ostringstream& os, const OperatorProfile& op,
       os << " runs_evaluated=" << m.runs_evaluated.load();
     }
     if (m.rows_decoded.load() > 0) os << " rows_decoded=" << m.rows_decoded.load();
+    if (m.rows_selected.load() > 0) {
+      os << " rows_selected=" << m.rows_selected.load();
+    }
+    if (m.rows_late_materialized.load() > 0) {
+      os << " rows_late_materialized=" << m.rows_late_materialized.load();
+    }
+    if (m.aggs_pushed_down.load() > 0) {
+      os << " aggs_pushed_down=" << m.aggs_pushed_down.load();
+    }
+    if (m.hash_probes.load() > 0) os << " hash_probes=" << m.hash_probes.load();
     if (m.morsels_scheduled.load() > 0) {
       os << " morsels=" << m.morsels_scheduled.load() << "(+"
          << m.morsels_stolen.load() << " stolen)";

@@ -19,7 +19,7 @@ class EncodedPredTest : public ::testing::Test {
   EncodedPredTest() : pool_(&disk_) {}
 
   // Reference: decode every value and compare in the value domain.
-  static std::vector<uint8_t> Naive(const ColumnSegment& s,
+  static std::vector<uint8_t> Naive(const ColumnSegment& /*s*/,
                                     const std::vector<int64_t>& vals,
                                     size_t start, size_t count, int64_t lo,
                                     int64_t hi) {
@@ -30,12 +30,17 @@ class EncodedPredTest : public ::testing::Test {
     return out;
   }
 
-  // Encoded path: TranslateRange once, EvalRange over the window.
+  // Encoded path: TranslateRange once, EvalRange bitmap over the window,
+  // expanded to bytes for comparison with the naive oracle. The SelVector
+  // is poisoned all-set first: refine=false must fully overwrite it.
   static std::vector<uint8_t> Encoded(const ColumnSegment& s, size_t start,
                                       size_t count, int64_t lo, int64_t hi) {
-    std::vector<uint8_t> out(count, 0xEE);  // poison: every byte must be set
+    SelVector sel;
+    sel.Reset(count);
     ColumnSegment::CodeRange cr = s.TranslateRange(lo, hi);
-    s.EvalRange(start, count, cr, /*refine=*/false, out.data());
+    s.EvalRange(start, count, cr, /*refine=*/false, &sel);
+    std::vector<uint8_t> out(count);
+    for (size_t i = 0; i < count; ++i) out[i] = sel.Test(i);
     return out;
   }
 
@@ -122,11 +127,12 @@ TEST_F(EncodedPredTest, RleRunBoundaries) {
 
   // Run-count accounting: evaluating the whole segment touches every run
   // once (8 runs), not one test per row.
-  std::vector<uint8_t> out(vals.size());
+  SelVector out;
+  out.Reset(vals.size());
   ColumnSegment::CodeRange cr = s.TranslateRange(10, 20);
   ASSERT_FALSE(cr.none);
   ASSERT_FALSE(cr.all);
-  EXPECT_EQ(s.EvalRange(0, vals.size(), cr, false, out.data()), 8u);
+  EXPECT_EQ(s.EvalRange(0, vals.size(), cr, false, &out), 8u);
 }
 
 TEST_F(EncodedPredTest, RawPackedOffsetSpace) {
@@ -156,15 +162,16 @@ TEST_F(EncodedPredTest, RefineAndsConjunctively) {
   ColumnSegment sa, sb;
   sa.Build(a, &pool_);
   sb.Build(b, &pool_);
-  std::vector<uint8_t> out(a.size(), 0xEE);
+  SelVector out;
+  out.Reset(a.size());
   ColumnSegment::CodeRange ca = sa.TranslateRange(20, 60);
   ColumnSegment::CodeRange cb = sb.TranslateRange(40, 90);
-  sa.EvalRange(0, a.size(), ca, /*refine=*/false, out.data());
-  sb.EvalRange(0, a.size(), cb, /*refine=*/true, out.data());
+  sa.EvalRange(0, a.size(), ca, /*refine=*/false, &out);
+  sb.EvalRange(0, a.size(), cb, /*refine=*/true, &out);
   for (size_t i = 0; i < a.size(); ++i) {
-    const uint8_t want =
+    const bool want =
         (a[i] >= 20 && a[i] <= 60) && (b[i] >= 40 && b[i] <= 90);
-    ASSERT_EQ(out[i], want) << i;
+    ASSERT_EQ(out.Test(i), want) << i;
   }
 }
 

@@ -161,10 +161,25 @@ TEST(ExplainRollupTest, Fig1SelectivityQuerySumsToQueryTotals) {
             r.metrics.rows_decoded.load());
   EXPECT_EQ(SumOps(r, [](const QueryMetrics& m) { return m.pages_read.load(); }),
             r.metrics.pages_read.load());
-  EXPECT_EQ(SumOps(r, [](const QueryMetrics& m) { return m.cpu_ns.load(); }),
-            r.metrics.cpu_ns.load());
+  EXPECT_EQ(SumOps(r, [](const QueryMetrics& m) { return m.rows_selected.load(); }),
+            r.metrics.rows_selected.load());
+  EXPECT_EQ(SumOps(r, [](const QueryMetrics& m) {
+              return m.rows_late_materialized.load();
+            }),
+            r.metrics.rows_late_materialized.load());
+  EXPECT_EQ(SumOps(r, [](const QueryMetrics& m) { return m.aggs_pushed_down.load(); }),
+            r.metrics.aggs_pushed_down.load());
+  EXPECT_EQ(SumOps(r, [](const QueryMetrics& m) { return m.hash_probes.load(); }),
+            r.metrics.hash_probes.load());
+  // The selection counter accounts every row surviving the predicate; a
+  // pure COUNT under a pushable predicate answers row groups in the
+  // encoded domain (aggs_pushed_down > 0) without decoding them.
+  EXPECT_GT(r.metrics.rows_selected.load(), 0u);
+  EXPECT_GT(r.metrics.aggs_pushed_down.load(), 0u);
+  EXPECT_LE(r.metrics.rows_selected.load(), r.metrics.rows_scanned.load());
 
-  // The scan fed the aggregate every selected row.
+  // The scan fed the aggregate every selected row — batched rows plus the
+  // rows pushed-down aggregates consumed in the encoded domain.
   EXPECT_EQ(r.operators[0].rows_out, r.operators[1].rows_in);
   EXPECT_GT(r.operators[0].rows_out, 0u);
 }

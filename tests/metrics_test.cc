@@ -29,6 +29,10 @@ QueryMetrics MakeFilled(uint64_t base) {
   m.cpu_ns = base + 13;
   m.peak_memory_bytes = base + 14;
   m.spill_bytes = base + 15;
+  m.rows_selected = base + 16;
+  m.rows_late_materialized = base + 17;
+  m.aggs_pushed_down = base + 18;
+  m.hash_probes = base + 19;
   m.dop = 4;
   return m;
 }
@@ -51,6 +55,10 @@ TEST(QueryMetricsTest, ClearZeroesEverything) {
   EXPECT_EQ(m.cpu_ns.load(), 0u);
   EXPECT_EQ(m.peak_memory_bytes.load(), 0u);
   EXPECT_EQ(m.spill_bytes.load(), 0u);
+  EXPECT_EQ(m.rows_selected.load(), 0u);
+  EXPECT_EQ(m.rows_late_materialized.load(), 0u);
+  EXPECT_EQ(m.aggs_pushed_down.load(), 0u);
+  EXPECT_EQ(m.hash_probes.load(), 0u);
 }
 
 TEST(QueryMetricsTest, MergeSumsCountersAndMaxesPeakMemory) {
@@ -62,6 +70,10 @@ TEST(QueryMetricsTest, MergeSumsCountersAndMaxesPeakMemory) {
   EXPECT_EQ(a.morsels_scheduled.load(), 8u + 1008u);
   EXPECT_EQ(a.cpu_ns.load(), 13u + 1013u);
   EXPECT_EQ(a.spill_bytes.load(), 15u + 1015u);
+  EXPECT_EQ(a.rows_selected.load(), 16u + 1016u);
+  EXPECT_EQ(a.rows_late_materialized.load(), 17u + 1017u);
+  EXPECT_EQ(a.aggs_pushed_down.load(), 18u + 1018u);
+  EXPECT_EQ(a.hash_probes.load(), 19u + 1019u);
   // Peak memory is a high-water mark, not additive.
   EXPECT_EQ(a.peak_memory_bytes.load(), 1014u);
 }

@@ -1,0 +1,362 @@
+// SelVector / BitPacked kernel tests: word-boundary behavior of the
+// packed selection bitmap, the all-pass / none fast-path proofs, hardware
+// popcount vs a naive bit loop, width-specialized batch unpack, and late
+// materialization (DecodeSelected) cross-checked against a
+// decode-then-filter oracle for every segment encoding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "columnstore/columnstore.h"
+#include "common/rng.h"
+
+namespace hd {
+namespace {
+
+// ---------------------------------------------------------------------
+// SelVector: the word-packed selection bitmap.
+// ---------------------------------------------------------------------
+
+TEST(SelVectorTest, SetClearTestAcrossWordBoundaries) {
+  SelVector v;
+  v.Reset(130);  // three words, 2-bit tail
+  const size_t probes[] = {0, 1, 62, 63, 64, 65, 126, 127, 128, 129};
+  for (size_t i : probes) EXPECT_FALSE(v.Test(i)) << i;
+  for (size_t i : probes) v.Set(i);
+  for (size_t i : probes) EXPECT_TRUE(v.Test(i)) << i;
+  EXPECT_EQ(v.Count(), std::size(probes));
+  for (size_t i : probes) v.Clear(i);
+  EXPECT_TRUE(v.NoneSet());
+}
+
+TEST(SelVectorTest, SetRangeClearRangeMatchNaive) {
+  Rng rng(31);
+  const size_t n = 517;  // deliberately not a multiple of 64
+  SelVector v;
+  v.Reset(n);
+  std::vector<uint8_t> oracle(n, 0);
+  for (int step = 0; step < 200; ++step) {
+    const size_t b = static_cast<size_t>(rng.Uniform(0, n - 1));
+    const size_t e = b + static_cast<size_t>(
+                             rng.Uniform(0, static_cast<int64_t>(n - b)));
+    if (step % 2 == 0) {
+      v.SetRange(b, e);
+      std::fill(oracle.begin() + b, oracle.begin() + e, 1);
+    } else {
+      v.ClearRange(b, e);
+      std::fill(oracle.begin() + b, oracle.begin() + e, 0);
+    }
+    uint64_t want = 0;
+    for (size_t i = 0; i < n; ++i) want += oracle[i];
+    ASSERT_EQ(v.Count(), want) << "step " << step << " [" << b << "," << e
+                               << ")";
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(v.Test(i), oracle[i] != 0) << "step " << step << " bit " << i;
+    }
+  }
+}
+
+TEST(SelVectorTest, CountIsPopcountOfRandomPattern) {
+  Rng rng(37);
+  for (size_t n : {0ul, 1ul, 63ul, 64ul, 65ul, 1000ul, 4096ul}) {
+    SelVector v;
+    v.Reset(n);
+    uint64_t want = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Uniform(0, 2) == 0) {
+        v.Set(i);
+        ++want;
+      }
+    }
+    EXPECT_EQ(v.Count(), want) << "n=" << n;
+  }
+}
+
+TEST(SelVectorTest, AllSetNoneSetFastPaths) {
+  for (size_t n : {1ul, 63ul, 64ul, 65ul, 128ul, 130ul, 4096ul}) {
+    SelVector v;
+    v.ResetAllSet(n);
+    EXPECT_TRUE(v.AllSet()) << n;
+    EXPECT_FALSE(v.NoneSet()) << n;
+    EXPECT_EQ(v.Count(), n) << n;
+    v.Clear(n - 1);  // last bit lives in the tail word
+    EXPECT_FALSE(v.AllSet()) << n;
+    v.Reset(n);
+    EXPECT_TRUE(v.NoneSet()) << n;
+    EXPECT_FALSE(v.AllSet()) << n;
+  }
+  // Empty selection: vacuously all-set and none-set.
+  SelVector e;
+  e.Reset(0);
+  EXPECT_TRUE(e.AllSet());
+  EXPECT_TRUE(e.NoneSet());
+}
+
+TEST(SelVectorTest, ResetAfterLargerAllSetLeavesTailClear) {
+  // Reset() keeps capacity; a smaller re-Reset after ResetAllSet must not
+  // leak stale set bits past size() (Count/AllSet are plain word scans).
+  SelVector v;
+  v.ResetAllSet(130);
+  v.Reset(70);
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_TRUE(v.NoneSet());
+  v.SetRange(0, 70);
+  EXPECT_TRUE(v.AllSet());
+  EXPECT_EQ(v.Count(), 70u);
+}
+
+TEST(SelVectorTest, AndIsConjunction) {
+  const size_t n = 200;
+  Rng rng(41);
+  SelVector a, b;
+  a.Reset(n);
+  b.Reset(n);
+  std::vector<uint8_t> wa(n), wb(n);
+  for (size_t i = 0; i < n; ++i) {
+    wa[i] = rng.Uniform(0, 1);
+    wb[i] = rng.Uniform(0, 1);
+    if (wa[i]) a.Set(i);
+    if (wb[i]) b.Set(i);
+  }
+  a.And(b);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(a.Test(i), wa[i] && wb[i]) << i;
+  }
+}
+
+TEST(SelVectorTest, ToIndicesMatchesNaive) {
+  Rng rng(43);
+  const size_t n = 700;
+  SelVector v;
+  v.Reset(n);
+  std::vector<uint32_t> want;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Uniform(0, 3) == 0) {
+      v.Set(i);
+      want.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<uint32_t> got(n);
+  const int k = v.ToIndices(got.data());
+  ASSERT_EQ(static_cast<size_t>(k), want.size());
+  got.resize(want.size());
+  EXPECT_EQ(got, want);  // ascending by construction of the word scan
+}
+
+// ---------------------------------------------------------------------
+// BitPacked: width-specialized unpack + gather kernels.
+// ---------------------------------------------------------------------
+
+TEST(BitPackedTest, DecodeEveryWidthMatchesGetAndSource) {
+  Rng rng(47);
+  for (int w = 0; w <= 64; ++w) {
+    const size_t n = 300 + static_cast<size_t>(rng.Uniform(0, 200));
+    std::vector<uint64_t> vals(n);
+    const uint64_t mask = w == 64 ? ~0ull : (1ull << w) - 1;
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = static_cast<uint64_t>(rng.Uniform(0, INT64_MAX)) & mask;
+    }
+    // Force the full width: BitsFor(max element) must equal w.
+    if (w > 0) vals[0] = mask;
+    BitPacked p;
+    p.Pack(vals);
+    ASSERT_EQ(p.bit_width(), w == 0 ? 0 : w);
+    ASSERT_EQ(p.size(), n);
+    // Whole-array decode, plus windows that start mid-word.
+    const size_t starts[] = {0, 1, n / 3, n - 1};
+    for (size_t start : starts) {
+      const size_t count = n - start;
+      std::vector<uint64_t> out(count, ~0ull);
+      p.Decode(start, count, out.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[i], vals[start + i]) << "w=" << w << " start=" << start
+                                           << " i=" << i;
+        ASSERT_EQ(p.Get(start + i), vals[start + i]) << "w=" << w;
+      }
+    }
+  }
+}
+
+TEST(BitPackedTest, DecodeSelectedMatchesDecodeThenGather) {
+  Rng rng(53);
+  for (int w : {1, 3, 8, 13, 16, 21, 32, 40, 64}) {
+    const size_t n = 2000;
+    const uint64_t mask = w == 64 ? ~0ull : (1ull << w) - 1;
+    std::vector<uint64_t> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      vals[i] = static_cast<uint64_t>(rng.Uniform(0, INT64_MAX)) & mask;
+    }
+    vals[0] = mask;
+    BitPacked p;
+    p.Pack(vals);
+    const size_t start = 37;
+    std::vector<uint32_t> sel;
+    for (size_t i = start; i < n; ++i) {
+      if (rng.Uniform(0, 4) == 0) sel.push_back(static_cast<uint32_t>(i - start));
+    }
+    std::vector<uint64_t> got(sel.size(), ~0ull);
+    p.DecodeSelected(start, sel, got.data());
+    for (size_t k = 0; k < sel.size(); ++k) {
+      ASSERT_EQ(got[k], vals[start + sel[k]]) << "w=" << w << " k=" << k;
+    }
+  }
+}
+
+TEST(BitPackedTest, EvalRangePacksMatchBitsAndRefines) {
+  Rng rng(59);
+  const size_t n = 3000;
+  std::vector<uint64_t> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals[i] = static_cast<uint64_t>(rng.Uniform(0, 500));
+  }
+  BitPacked p;
+  p.Pack(vals);
+  const size_t start = 11, count = 2500;
+  SelVector sel;
+  sel.Reset(count);
+  p.EvalRange(start, count, 100, 300, /*refine=*/false, &sel);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t v = vals[start + i];
+    ASSERT_EQ(sel.Test(i), v >= 100 && v <= 300) << i;
+  }
+  // refine=true ANDs a second range into the surviving bits.
+  p.EvalRange(start, count, 200, 400, /*refine=*/true, &sel);
+  uint64_t want = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t v = vals[start + i];
+    const bool pass = v >= 200 && v <= 300;
+    ASSERT_EQ(sel.Test(i), pass) << i;
+    want += pass;
+  }
+  EXPECT_EQ(sel.Count(), want);
+}
+
+TEST(BitPackedTest, SumKernelsMatchNaive) {
+  Rng rng(61);
+  const size_t n = 2600;
+  std::vector<uint64_t> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals[i] = static_cast<uint64_t>(rng.Uniform(0, 1000));
+  }
+  BitPacked p;
+  p.Pack(vals);
+  const size_t start = 19, count = 2400;
+  uint64_t want_sum = 0;
+  for (size_t i = 0; i < count; ++i) want_sum += vals[start + i];
+  EXPECT_EQ(p.Sum(start, count), want_sum);
+
+  uint64_t fsum = 0, fcount = 0;
+  p.SumRange(start, count, 250, 750, &fsum, &fcount);
+  uint64_t wsum = 0, wcount = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t v = vals[start + i];
+    if (v >= 250 && v <= 750) {
+      wsum += v;
+      ++wcount;
+    }
+  }
+  EXPECT_EQ(fsum, wsum);
+  EXPECT_EQ(fcount, wcount);
+}
+
+// ---------------------------------------------------------------------
+// ColumnSegment::DecodeSelected vs decode-then-filter, every encoding.
+// ---------------------------------------------------------------------
+
+class SegmentDecodeSelectedTest : public ::testing::Test {
+ protected:
+  SegmentDecodeSelectedTest() : pool_(&disk_) {}
+
+  // Build a segment of the requested shape and cross-check DecodeSelected
+  // on random windows and random ascending selections against decoding
+  // the whole window and gathering (the oracle the fast path replaces).
+  void CheckShape(int shape, SegEncoding want_enc) {
+    Rng rng(67 + shape);
+    std::vector<int64_t> vals;
+    const int n = 6000;
+    int64_t v = rng.Uniform(-500, 500);
+    for (int i = 0; i < n; ++i) {
+      switch (shape) {
+        case 0:  // runny -> kDictRle
+          if (rng.Uniform(0, 99) < 2) v = rng.Uniform(-500, 500);
+          vals.push_back(v);
+          break;
+        case 1:  // small domain -> kDictPacked
+          vals.push_back(rng.Uniform(0, 40) * 7 - 100);
+          break;
+        default:  // wide domain -> kRawPacked
+          vals.push_back(rng.Uniform(-1000000, 1000000));
+      }
+    }
+    ColumnSegment s;
+    s.Build(vals, &pool_);
+    ASSERT_EQ(s.encoding(), want_enc);
+
+    for (int trial = 0; trial < 20; ++trial) {
+      const size_t start = static_cast<size_t>(rng.Uniform(0, n - 2));
+      const size_t count =
+          1 + static_cast<size_t>(
+                  rng.Uniform(0, static_cast<int64_t>(n - start - 1)));
+      // Oracle: decode the whole window, then gather.
+      std::vector<int64_t> full(count);
+      s.Decode(start, count, full.data());
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(full[i], vals[start + i]);  // Decode itself is correct
+      }
+      // Selections at several densities, always including boundaries.
+      const int denom = 1 + static_cast<int>(rng.Uniform(0, 7));
+      std::vector<uint32_t> sel;
+      for (size_t i = 0; i < count; ++i) {
+        if (i == 0 || i + 1 == count || rng.Uniform(0, denom) == 0) {
+          sel.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      std::vector<int64_t> got(sel.size(), INT64_MIN);
+      s.DecodeSelected(start, sel, got.data());
+      for (size_t k = 0; k < sel.size(); ++k) {
+        ASSERT_EQ(got[k], full[sel[k]])
+            << SegEncodingName(s.encoding()) << " trial=" << trial
+            << " start=" << start << " count=" << count << " k=" << k;
+      }
+    }
+  }
+
+  DiskModel disk_;
+  BufferPool pool_;
+};
+
+TEST_F(SegmentDecodeSelectedTest, DictRle) {
+  CheckShape(0, SegEncoding::kDictRle);
+}
+
+TEST_F(SegmentDecodeSelectedTest, DictPacked) {
+  CheckShape(1, SegEncoding::kDictPacked);
+}
+
+TEST_F(SegmentDecodeSelectedTest, RawPacked) {
+  CheckShape(2, SegEncoding::kRawPacked);
+}
+
+TEST_F(SegmentDecodeSelectedTest, EmptyAndSingletonSelections) {
+  std::vector<int64_t> vals;
+  Rng rng(71);
+  for (int i = 0; i < 1000; ++i) vals.push_back(rng.Uniform(0, 30));
+  ColumnSegment s;
+  s.Build(vals, &pool_);
+  // Empty selection decodes nothing (and must not touch `out`).
+  int64_t sentinel = 12345;
+  s.DecodeSelected(100, {}, &sentinel);
+  EXPECT_EQ(sentinel, 12345);
+  // Singleton at each end of a window.
+  for (uint32_t off : {0u, 499u}) {
+    std::vector<uint32_t> sel{off};
+    int64_t out = INT64_MIN;
+    s.DecodeSelected(250, sel, &out);
+    EXPECT_EQ(out, vals[250 + off]);
+  }
+}
+
+}  // namespace
+}  // namespace hd
