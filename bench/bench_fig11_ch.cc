@@ -30,16 +30,15 @@ void ApplyBTreeBaseline(Database* db) {
   for (auto& [n, t] : db->tables()) t->Analyze();
 }
 
-std::map<std::string, OpStats> RunMix(ChBenchmark* ch,
-                                      IsolationLevel iso, int ops) {
+MixedResult RunMix(ChBenchmark* ch, IsolationLevel iso, int ops) {
   TransactionManager txns;
   MixedOptions mo;
   mo.threads = 6;  // thread 0 = analytics, 1-5 = TPC-C clients
   mo.total_ops = ops;
   mo.isolation = iso;
   mo.max_dop_per_query = 1;
-  MixedResult r = RunMixedTxnWorkload(ch->db(), &txns, ch->MakeGenerator(), mo);
-  return r.per_type;
+  mo.interval_ms = 100;  // per-interval throughput series for BENCH json
+  return RunMixedTxnWorkload(ch->db(), &txns, ch->MakeGenerator(), mo);
 }
 
 }  // namespace
@@ -76,10 +75,18 @@ int main() {
   std::printf("CH benchmark: %d warehouses, %d ops, 6 threads\n",
               co.warehouses, ops);
 
+  BenchJson json("fig11_ch");
   for (IsolationLevel iso :
        {IsolationLevel::kSnapshot, IsolationLevel::kSerializable}) {
-    auto bt = RunMix(&ch_bt, iso, ops);
-    auto hy = RunMix(&ch_hy, iso, ops);
+    MixedResult rbt = RunMix(&ch_bt, iso, ops);
+    MixedResult rhy = RunMix(&ch_hy, iso, ops);
+    // x encodes the isolation level (0 = SI, 1 = SR) for the point record.
+    const double x = iso == IsolationLevel::kSnapshot ? 0 : 1;
+    json.MixedPoint(std::string("btree_only_") + IsolationLevelName(iso), x,
+                    rbt);
+    json.MixedPoint(std::string("hybrid_") + IsolationLevelName(iso), x, rhy);
+    auto& bt = rbt.per_type;
+    auto& hy = rhy.per_type;
     std::printf("\n== Fig 11 (%s): median latency ms (B+tree-only vs hybrid) "
                 "and speedup ==\n",
                 IsolationLevelName(iso));
@@ -117,5 +124,6 @@ int main() {
               ": write transactions only moderately slower under hybrid (" +
               std::to_string(write_slowdown_max) + "x)");
   }
+  json.Write();
   return 0;
 }

@@ -37,6 +37,7 @@ MixedResult RunMix(Database* db, TransactionManager* txns,
   mo.threads = 10;
   mo.total_ops = ops;
   mo.isolation = IsolationLevel::kReadCommitted;
+  mo.interval_ms = 100;  // per-interval throughput series for BENCH json
   OpGenerator gen = [&table, scan_frac](int, Rng* rng) {
     const int32_t d = static_cast<int32_t>(
         rng->Uniform(kTpchShipDateLo, kTpchShipDateHi - 40));
@@ -65,6 +66,7 @@ int main() {
 
   const std::vector<double> scan_pct = {0, 1, 2, 3, 4, 5};
   Series a{"Pri.B+tree", {}}, b{"B+t+sec.CSI", {}}, c{"Pri.CSI", {}};
+  BenchJson json("fig6_mixed");
   double upd_med_a0 = 0, upd_med_b0 = 0, upd_med_c0 = 0;
   for (double pct : scan_pct) {
     MixedResult ra = RunMix(&db, &txns, "li_a", pct / 100, ops);
@@ -73,6 +75,9 @@ int main() {
     a.ys.push_back(ra.OverallMeanMs());
     b.ys.push_back(rb.OverallMeanMs());
     c.ys.push_back(rc.OverallMeanMs());
+    json.MixedPoint(a.name, pct, ra);
+    json.MixedPoint(b.name, pct, rb);
+    json.MixedPoint(c.name, pct, rc);
     if (pct == 0) {
       upd_med_a0 = ra.per_type["update"].median_ms();
       upd_med_b0 = rb.per_type["update"].median_ms();
@@ -103,5 +108,6 @@ int main() {
   Shape(a.ys.back() > b.ys.back() * 2,
         "B+ tree-only pays heavily for scans at 5%, measured " +
             std::to_string(a.ys.back() / b.ys.back()) + "x vs hybrid");
+  json.Write();
   return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
+#include "workload/mixed_driver.h"
 
 namespace hd {
 namespace bench {
@@ -125,13 +126,15 @@ inline void Shape(bool ok, const std::string& claim) {
 /// working directory on Write().
 ///
 /// Schema (the "schema" field in the output, see docs/OBSERVABILITY.md):
-///   hd-bench/2 — adds an optional per-point "operators" array (one entry
-///   per physical plan node, emitted by the QueryResult overload of
-///   Point) to the hd-bench/1 flat point records. Consumers should key on
-///   field names, not field order.
+///   hd-bench/3 — adds the MixedPoint record (per-stream latency
+///   percentiles p50/p95/p99/p999 plus a per-interval throughput series)
+///   for the mixed-workload benches. hd-bench/2 added an optional
+///   per-point "operators" array (one entry per physical plan node,
+///   emitted by the QueryResult overload of Point) to the hd-bench/1 flat
+///   point records. Consumers should key on field names, not field order.
 class BenchJson {
  public:
-  static constexpr const char* kSchema = "hd-bench/2";
+  static constexpr const char* kSchema = "hd-bench/3";
 
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
@@ -168,6 +171,56 @@ class BenchJson {
       rec += buf;
     }
     rec += "]}";
+    points_.push_back(std::move(rec));
+  }
+
+  /// Record one mixed-workload run: per-stream latency percentiles
+  /// (p50/p95/p99/p999) and, when the driver produced one, the
+  /// per-interval throughput series (hd-bench/3).
+  void MixedPoint(const std::string& series, double x, const MixedResult& r) {
+    char buf[512];
+    uint64_t total_ops = 0;
+    for (const auto& [t, s] : r.per_type) total_ops += s.count;
+    std::snprintf(buf, sizeof buf,
+                  "{\"series\": \"%s\", \"x\": %g, \"wall_ms\": %.4f, "
+                  "\"total_ops\": %llu, \"throughput_ops_s\": %.4f, "
+                  "\"aborts\": %llu, \"retries\": %llu, \"failures\": %llu",
+                  series.c_str(), x, r.wall_ms,
+                  static_cast<unsigned long long>(total_ops),
+                  r.wall_ms > 0 ? total_ops * 1000.0 / r.wall_ms : 0.0,
+                  static_cast<unsigned long long>(r.total_aborts),
+                  static_cast<unsigned long long>(r.total_retries),
+                  static_cast<unsigned long long>(r.total_failures));
+    std::string rec = buf;
+    rec += ", \"streams\": {";
+    bool first = true;
+    for (const auto& [type, s] : r.per_type) {
+      std::snprintf(buf, sizeof buf,
+                    "%s\"%s\": {\"ops\": %llu, \"mean_ms\": %.4f, "
+                    "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+                    "\"p999_ms\": %.4f}",
+                    first ? "" : ", ", type.c_str(),
+                    static_cast<unsigned long long>(s.count), s.mean_ms(),
+                    s.median_ms(), s.p95_ms(), s.p99_ms(), s.p999_ms());
+      rec += buf;
+      first = false;
+    }
+    rec += "}";
+    if (!r.intervals.empty()) {
+      rec += ", \"intervals\": [";
+      for (size_t i = 0; i < r.intervals.size(); ++i) {
+        const MixedInterval& iv = r.intervals[i];
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"start_ms\": %.1f, \"end_ms\": %.1f, "
+                      "\"ops\": %llu, \"throughput_ops_s\": %.4f}",
+                      i ? ", " : "", iv.start_ms, iv.end_ms,
+                      static_cast<unsigned long long>(iv.ops),
+                      iv.throughput_ops_s);
+        rec += buf;
+      }
+      rec += "]";
+    }
+    rec += "}";
     points_.push_back(std::move(rec));
   }
 

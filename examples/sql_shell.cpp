@@ -12,6 +12,12 @@
 // ANALYZE to execute it and print the plan annotated with per-operator
 // actuals (see docs/OBSERVABILITY.md).
 //
+// Meta-commands (not SQL):
+//   .stats               print the process telemetry registry (counters,
+//                        gauges, latency histograms with p50/p95/p99/p999)
+//                        plus derived health ratios.
+//   .stats prom          same registry in Prometheus text format.
+//
 // Flags:
 //   --trace <out.json>   record morsel-level execution events and write a
 //                        chrome://tracing / Perfetto-compatible JSON file
@@ -19,12 +25,19 @@
 //   --dop <n>            cap the degree of parallelism (default: hardware
 //                        concurrency). Parallel plans schedule morsels and
 //                        emit trace events only when the effective DOP > 1.
+//   --stats-json <file>  append hd-stats/1 JSONL telemetry snapshots to
+//                        <file> from a background sampler thread (one final
+//                        snapshot is always written on exit).
+//   --stats-interval <ms> sampler tick interval (default 1000).
+//   --stats-prom <file>  write a final Prometheus text-format snapshot of
+//                        the telemetry registry on exit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "exec/executor.h"
 #include "exec/explain.h"
@@ -36,6 +49,53 @@ using namespace hd;
 namespace {
 
 int g_max_dop = 0;  // 0 = hardware default
+
+/// `.stats` / `.stats prom`: dump the process telemetry registry.
+void PrintStats(bool prometheus) {
+  TelemetrySnapshot snap = Telemetry::Instance().Snapshot();
+  if (prometheus) {
+    std::printf("%s", snap.ToPrometheus().c_str());
+    return;
+  }
+  std::printf("-- counters --\n");
+  for (const auto& [name, v] : snap.counters) {
+    std::printf("  %-24s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(v));
+  }
+  std::printf("-- gauges --\n");
+  for (const auto& [name, v] : snap.gauges) {
+    std::printf("  %-24s %lld\n", name.c_str(), static_cast<long long>(v));
+  }
+  std::printf("-- histograms (count / mean / p50 / p95 / p99 / p999) --\n");
+  for (const auto& [name, h] : snap.histograms) {
+    std::printf("  %-24s %llu  %.0f  %.0f  %.0f  %.0f  %.0f\n", name.c_str(),
+                static_cast<unsigned long long>(h.count), h.Mean(),
+                h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99),
+                h.Quantile(0.999));
+  }
+  // Derived health ratios (guarded: the metric appears only after first use).
+  const auto ctr = [&](const char* n) -> double {
+    auto it = snap.counters.find(n);
+    return it == snap.counters.end() ? 0 : static_cast<double>(it->second);
+  };
+  const auto gau = [&](const char* n) -> double {
+    auto it = snap.gauges.find(n);
+    return it == snap.gauges.end() ? 0 : static_cast<double>(it->second);
+  };
+  std::printf("-- derived --\n");
+  if (ctr("bp.hits") + ctr("bp.misses") > 0) {
+    std::printf("  %-24s %.4f\n", "bp hit ratio",
+                ctr("bp.hits") / (ctr("bp.hits") + ctr("bp.misses")));
+  }
+  if (gau("csi.compressed_rows") > 0) {
+    std::printf("  %-24s %.4f\n", "delete-bitmap density",
+                gau("csi.deleted_rows") / gau("csi.compressed_rows"));
+  }
+  if (gau("csi.compressed_bytes") > 0) {
+    std::printf("  %-24s %.2fx\n", "csi compression ratio",
+                gau("csi.raw_bytes") / gau("csi.compressed_bytes"));
+  }
+}
 
 void RunStatement(Database* db, const std::string& sql) {
   auto q = ParseSql(*db, sql);
@@ -90,18 +150,38 @@ void RunStatement(Database* db, const std::string& sql) {
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string stats_path;
+  std::string prom_path;
+  int stats_interval_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--dop") == 0 && i + 1 < argc) {
       g_max_dop = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
+      stats_interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stats-prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--trace out.json] [--dop n]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--dop n] "
+                   "[--stats-json out.jsonl] [--stats-interval ms] "
+                   "[--stats-prom out.prom]\n",
                    argv[0]);
       return 2;
     }
   }
   if (!trace_path.empty()) Trace::Global().Enable();
+  TelemetrySampler sampler;
+  if (!stats_path.empty()) {
+    Status s = sampler.Start(stats_path, stats_interval_ms);
+    if (!s.ok()) {
+      std::fprintf(stderr, "stats sampler failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
 
   Database db;
   // Demo schema, preloaded.
@@ -134,7 +214,13 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     any = true;
     if (line == "quit" || line == "exit") break;
-    if (!line.empty()) RunStatement(&db, line);
+    if (line == ".stats") {
+      PrintStats(false);
+    } else if (line == ".stats prom") {
+      PrintStats(true);
+    } else if (!line.empty()) {
+      RunStatement(&db, line);
+    }
     std::printf("sql> ");
     std::fflush(stdout);
   }
@@ -152,8 +238,27 @@ int main(int argc, char** argv) {
       std::printf("sql> %s\n", s);
       RunStatement(&db, s);
     }
+    std::printf("sql> .stats\n");
+    PrintStats(false);
   }
 
+  if (!stats_path.empty()) {
+    sampler.Stop();
+    std::printf("wrote %llu telemetry samples to %s (hd-stats/1 JSONL)\n",
+                static_cast<unsigned long long>(sampler.samples_written()),
+                stats_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    FILE* f = std::fopen(prom_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", prom_path.c_str());
+      return 1;
+    }
+    const std::string text = Telemetry::Instance().Snapshot().ToPrometheus();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote Prometheus snapshot to %s\n", prom_path.c_str());
+  }
   if (!trace_path.empty()) {
     Status s = Trace::Global().WriteJson(trace_path);
     if (!s.ok()) {

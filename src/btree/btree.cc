@@ -5,8 +5,25 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "common/telemetry.h"
 
 namespace hd {
+
+namespace {
+
+// Process-wide B+ tree maintenance telemetry: structural splits (leaf +
+// internal) and the depth point lookups traverse.
+struct BtStats {
+  TCounter* splits = Telemetry::Instance().Counter("btree.splits");
+  THistogram* seek_depth = Telemetry::Instance().Histogram("btree.seek_depth");
+};
+
+BtStats& Stats() {
+  static BtStats s;
+  return s;
+}
+
+}  // namespace
 
 struct BTree::Node {
   bool is_leaf = false;
@@ -278,6 +295,7 @@ Status BTree::Insert(std::span<const int64_t> key,
   // riskiest structural moment; firing here leaves the tree exactly as it
   // was before the insert (no entry added, no chain links touched).
   HD_FAILPOINT_RETURN_M("btree.split", m);
+  Stats().splits->Add(1);
   Leaf* right = NewLeaf();
   const int half = leaf->count / 2;
   std::memcpy(right->data.data(), leaf->Entry(half, stride_),
@@ -330,6 +348,7 @@ void BTree::InsertIntoParent(std::vector<Internal*>* path, Node* left,
   parent->keys.insert(parent->keys.begin() + idx * kw_, sep_key, sep_key + kw_);
   if (parent->count() <= internal_cap_) return;
   // Split the internal node.
+  Stats().splits->Add(1);
   Internal* rnode = NewInternal();
   const int total = parent->count();
   const int lcount = total / 2;           // children staying left
@@ -384,6 +403,7 @@ Status BTree::SeekEqual(std::span<const int64_t> key, int64_t* out,
   Status io;
   Leaf* leaf = DescendToLeaf(key, m, nullptr, &io);
   if (leaf == nullptr) return io.ok() ? Status::NotFound("empty tree") : io;
+  Stats().seek_depth->Record(height_);
   int pos = LowerBoundInLeaf(leaf, key);
   if (pos >= leaf->count ||
       ComparePacked(leaf->Entry(pos, stride_), key.data(), kw_) != 0) {

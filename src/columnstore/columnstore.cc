@@ -4,8 +4,39 @@
 #include <cassert>
 
 #include "common/failpoint.h"
+#include "common/telemetry.h"
 
 namespace hd {
+
+namespace {
+
+// Process-wide columnstore health telemetry (paper Section 2 structures:
+// delta store depth, delete-bitmap density, row-group fill). Gauges are
+// published by delta from SyncTelemetry(), so each one is the sum over
+// all live ColumnStoreIndex instances.
+struct CsiStats {
+  TCounter* inserts = Telemetry::Instance().Counter("csi.inserts");
+  TCounter* delta_flushes = Telemetry::Instance().Counter("csi.delta_flushes");
+  TCounter* reorganizes = Telemetry::Instance().Counter("csi.reorganizes");
+  TCounter* delete_compactions =
+      Telemetry::Instance().Counter("csi.delete_compactions");
+  TGauge* row_groups = Telemetry::Instance().Gauge("csi.row_groups");
+  TGauge* compressed_rows = Telemetry::Instance().Gauge("csi.compressed_rows");
+  TGauge* deleted_rows = Telemetry::Instance().Gauge("csi.deleted_rows");
+  TGauge* delta_rows = Telemetry::Instance().Gauge("csi.delta_rows");
+  TGauge* delete_buffer_rows =
+      Telemetry::Instance().Gauge("csi.delete_buffer_rows");
+  TGauge* compressed_bytes =
+      Telemetry::Instance().Gauge("csi.compressed_bytes");
+  TGauge* raw_bytes = Telemetry::Instance().Gauge("csi.raw_bytes");
+};
+
+CsiStats& Stats() {
+  static CsiStats s;
+  return s;
+}
+
+}  // namespace
 
 ColumnStoreIndex::ColumnStoreIndex(Kind kind, int num_columns,
                                    BufferPool* pool, CsiOptions opts)
@@ -16,6 +47,51 @@ ColumnStoreIndex::ColumnStoreIndex(Kind kind, int num_columns,
     delete_buffer_ = std::make_unique<BTree>(/*key_width=*/1,
                                              /*payload_width=*/0, pool_);
   }
+}
+
+ColumnStoreIndex::~ColumnStoreIndex() {
+  Stats().row_groups->Add(-published_.row_groups);
+  Stats().compressed_rows->Add(-published_.compressed_rows);
+  Stats().deleted_rows->Add(-published_.deleted_rows);
+  Stats().delta_rows->Add(-published_.delta_rows);
+  Stats().delete_buffer_rows->Add(-published_.delete_buffer_rows);
+  Stats().compressed_bytes->Add(-published_.compressed_bytes);
+  Stats().raw_bytes->Add(-published_.raw_bytes);
+}
+
+void ColumnStoreIndex::SyncTelemetry() {
+  Published now;
+  now.row_groups = static_cast<int64_t>(groups_.size());
+  now.compressed_rows = static_cast<int64_t>(compressed_rows_);
+  now.deleted_rows = static_cast<int64_t>(compressed_deleted_);
+  now.delta_rows = static_cast<int64_t>(delta_rows());
+  now.delete_buffer_rows = static_cast<int64_t>(delete_buffer_rows());
+  if (now.row_groups == published_.row_groups) {
+    // Group set unchanged: the byte totals cannot have moved, and
+    // recomputing them walks every segment — skip (keeps the per-insert
+    // cost of this sync O(1)).
+    now.compressed_bytes = published_.compressed_bytes;
+    now.raw_bytes = published_.raw_bytes;
+  } else {
+    uint64_t cb = 0;
+    for (const auto& g : groups_) cb += g->size_bytes();
+    now.compressed_bytes = static_cast<int64_t>(cb);
+    // Uncompressed footprint of the same rows (cols + locator, 8 B each),
+    // for the compression-ratio health signal.
+    now.raw_bytes =
+        static_cast<int64_t>(compressed_rows_ * (ncols_ + 1) * 8);
+  }
+  Stats().row_groups->Add(now.row_groups - published_.row_groups);
+  Stats().compressed_rows->Add(now.compressed_rows -
+                               published_.compressed_rows);
+  Stats().deleted_rows->Add(now.deleted_rows - published_.deleted_rows);
+  Stats().delta_rows->Add(now.delta_rows - published_.delta_rows);
+  Stats().delete_buffer_rows->Add(now.delete_buffer_rows -
+                                  published_.delete_buffer_rows);
+  Stats().compressed_bytes->Add(now.compressed_bytes -
+                                published_.compressed_bytes);
+  Stats().raw_bytes->Add(now.raw_bytes - published_.raw_bytes);
+  published_ = now;
 }
 
 void ColumnStoreIndex::BuildGroups(std::vector<std::vector<int64_t>> cols,
@@ -57,6 +133,7 @@ void ColumnStoreIndex::BulkLoad(std::vector<std::vector<int64_t>> cols,
                                 std::vector<int64_t> locators) {
   assert(static_cast<int>(cols.size()) == ncols_);
   BuildGroups(std::move(cols), std::move(locators));
+  SyncTelemetry();
 }
 
 Status ColumnStoreIndex::Insert(std::span<const int64_t> row, int64_t locator,
@@ -74,6 +151,8 @@ Status ColumnStoreIndex::Insert(std::span<const int64_t> row, int64_t locator,
     // insert past the threshold (or an explicit Reorganize) retries.
     (void)CompressDelta(m);
   }
+  Stats().inserts->Add(1);
+  SyncTelemetry();
   return Status::OK();
 }
 
@@ -109,6 +188,8 @@ Status ColumnStoreIndex::CompressDelta(QueryMetrics* m) {
   delta_ = std::make_unique<BTree>(1, ncols_ + 1, pool_);
   delta_seq_ = 0;
   delta_key_of_locator_.clear();
+  Stats().delta_flushes->Add(1);
+  SyncTelemetry();
   return Status::OK();
 }
 
@@ -134,6 +215,7 @@ Status ColumnStoreIndex::DeleteBatch(std::span<const int64_t> locators,
       // deleted rows so query results are unaffected.
       (void)CompactDeleteBuffer(m);
     }
+    SyncTelemetry();
     return Status::OK();
   } else {
     // Primary CSI: find each locator's physical position by scanning the
@@ -177,6 +259,7 @@ Status ColumnStoreIndex::DeleteBatch(std::span<const int64_t> locators,
           delta_->Delete(std::span<const int64_t>(&it->second, 1), m));
       delta_key_of_locator_.erase(it);
     }
+    SyncTelemetry();
     return Status::OK();
   }
 }
@@ -212,6 +295,8 @@ Status ColumnStoreIndex::CompactDeleteBuffer(QueryMetrics* m) {
     }
   }
   delete_buffer_ = std::make_unique<BTree>(1, 0, pool_);
+  Stats().delete_compactions->Add(1);
+  SyncTelemetry();
   return Status::OK();
 }
 
@@ -674,6 +759,8 @@ Status ColumnStoreIndex::Reorganize() {
   delta_key_of_locator_.clear();
   if (delete_buffer_) delete_buffer_ = std::make_unique<BTree>(1, 0, pool_);
   BuildGroups(std::move(cols), std::move(locs));
+  Stats().reorganizes->Add(1);
+  SyncTelemetry();
   return Status::OK();
 }
 

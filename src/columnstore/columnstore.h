@@ -72,6 +72,8 @@ class ColumnStoreIndex {
   /// `num_columns` stored columns (the table maps its schema onto them).
   ColumnStoreIndex(Kind kind, int num_columns, BufferPool* pool,
                    CsiOptions opts = CsiOptions());
+  /// Retracts this index's contribution to the process health gauges.
+  ~ColumnStoreIndex();
 
   Kind kind() const { return kind_; }
   int num_columns() const { return ncols_; }
@@ -182,6 +184,27 @@ class ColumnStoreIndex {
  private:
   void BuildGroups(std::vector<std::vector<int64_t>> cols,
                    std::vector<int64_t> locators);
+
+  /// Publish the delta between this index's current health stats and what
+  /// it last published into the process-wide telemetry gauges
+  /// (csi.row_groups, csi.delta_rows, csi.delete_buffer_rows, ... — see
+  /// docs/OBSERVABILITY.md). Called after every mutating operation; the
+  /// destructor retracts the remainder, so process gauges always equal
+  /// the sum over live indexes.
+  void SyncTelemetry();
+
+  /// Last values published to the gauges (deltas aggregate correctly
+  /// across many live indexes).
+  struct Published {
+    int64_t row_groups = 0;
+    int64_t compressed_rows = 0;
+    int64_t deleted_rows = 0;
+    int64_t delta_rows = 0;
+    int64_t delete_buffer_rows = 0;
+    int64_t compressed_bytes = 0;
+    int64_t raw_bytes = 0;
+  };
+  Published published_;
 
   Kind kind_;
   int ncols_;

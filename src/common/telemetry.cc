@@ -1,0 +1,308 @@
+#include "common/telemetry.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/failpoint.h"
+
+namespace hd {
+
+// ---------------------------------------------------------------------
+// Counter sharding.
+// ---------------------------------------------------------------------
+
+uint32_t TCounter::Slot() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+// ---------------------------------------------------------------------
+// Log-linear histogram.
+// ---------------------------------------------------------------------
+
+uint32_t THistogram::BucketIndex(uint64_t v) {
+  if (v < kSubBuckets) return static_cast<uint32_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBits;
+  const uint64_t sub = (v >> shift) - kSubBuckets;  // in [0, kSubBuckets)
+  return static_cast<uint32_t>((msb - kSubBits + 1) * kSubBuckets + sub);
+}
+
+void THistogram::BucketBounds(uint32_t idx, uint64_t* lo, uint64_t* hi) {
+  if (idx < kSubBuckets) {
+    *lo = idx;
+    *hi = idx + 1;
+    return;
+  }
+  const uint32_t oct = idx / kSubBuckets;  // >= 1
+  const uint32_t sub = idx % kSubBuckets;
+  const int shift = static_cast<int>(oct) - 1;
+  *lo = static_cast<uint64_t>(kSubBuckets + sub) << shift;
+  *hi = *lo + (1ull << shift);
+}
+
+HistSnapshot THistogram::Snapshot() const {
+  HistSnapshot s;
+  // Read bucket cells first, then the count: a racing Record increments
+  // the bucket before count_, so `count` never exceeds the bucket sum by
+  // more than in-flight recorders (quantiles clamp their rank anyway).
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) s.buckets.emplace_back(static_cast<uint32_t>(i), c);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void THistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+double HistSnapshot::Quantile(double p) const {
+  uint64_t total = 0;
+  for (const auto& [idx, c] : buckets) total += c;
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  uint64_t rank = static_cast<uint64_t>(p * total);
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (const auto& [idx, c] : buckets) {
+    seen += c;
+    if (seen > rank) {
+      uint64_t lo, hi;
+      THistogram::BucketBounds(idx, &lo, &hi);
+      return static_cast<double>(lo) + static_cast<double>(hi - lo) / 2.0;
+    }
+  }
+  uint64_t lo, hi;
+  THistogram::BucketBounds(buckets.back().first, &lo, &hi);
+  return static_cast<double>(hi);
+}
+
+uint64_t HistSnapshot::MaxBound() const {
+  if (buckets.empty()) return 0;
+  uint64_t lo, hi;
+  THistogram::BucketBounds(buckets.back().first, &lo, &hi);
+  return hi;
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+Telemetry& Telemetry::Instance() {
+  static Telemetry* t = new Telemetry();  // intentionally leaked: worker
+  // threads and samplers may record during static destruction.
+  return *t;
+}
+
+TCounter* Telemetry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<TCounter>();
+  return slot.get();
+}
+
+TGauge* Telemetry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<TGauge>();
+  return slot.get();
+}
+
+THistogram* Telemetry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<THistogram>();
+  return slot.get();
+}
+
+TelemetrySnapshot Telemetry::Snapshot() const {
+  TelemetrySnapshot s;
+  s.ts_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, v] : gauges_) s.gauges[name] = v->Value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  return s;
+}
+
+void Telemetry::ResetForTest() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, v] : gauges_) v->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+// ---------------------------------------------------------------------
+// Exposition.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// "bp.hits" -> "hd_bp_hits" (Prometheus metric-name charset).
+std::string PromName(const std::string& name) {
+  std::string out = "hd_";
+  out.reserve(name.size() + 3);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99, 0.999};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.95", "0.99", "0.999"};
+
+}  // namespace
+
+std::string TelemetrySnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string pn = PromName(name) + "_total";
+    AppendF(&out, "# TYPE %s counter\n", pn.c_str());
+    AppendF(&out, "%s %llu\n", pn.c_str(),
+            static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string pn = PromName(name);
+    AppendF(&out, "# TYPE %s gauge\n", pn.c_str());
+    AppendF(&out, "%s %lld\n", pn.c_str(), static_cast<long long>(v));
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string pn = PromName(name);
+    AppendF(&out, "# TYPE %s summary\n", pn.c_str());
+    for (int q = 0; q < 4; ++q) {
+      AppendF(&out, "%s{quantile=\"%s\"} %g\n", pn.c_str(),
+              kQuantileLabels[q], h.Quantile(kQuantiles[q]));
+    }
+    AppendF(&out, "%s_sum %llu\n", pn.c_str(),
+            static_cast<unsigned long long>(h.sum));
+    AppendF(&out, "%s_count %llu\n", pn.c_str(),
+            static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
+std::string TelemetrySnapshot::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  AppendF(&out, "{\"schema\": \"hd-stats/1\", \"ts_ms\": %llu",
+          static_cast<unsigned long long>(ts_ms));
+  out += ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    AppendF(&out, "%s\"%s\": %llu", first ? "" : ", ", name.c_str(),
+            static_cast<unsigned long long>(v));
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    AppendF(&out, "%s\"%s\": %lld", first ? "" : ", ", name.c_str(),
+            static_cast<long long>(v));
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    AppendF(&out,
+            "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %g, "
+            "\"p50\": %g, \"p95\": %g, \"p99\": %g, \"p999\": %g, "
+            "\"max\": %llu}",
+            first ? "" : ", ", name.c_str(),
+            static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.sum), h.Mean(),
+            h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99),
+            h.Quantile(0.999), static_cast<unsigned long long>(h.MaxBound()));
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Background sampler.
+// ---------------------------------------------------------------------
+
+Status TelemetrySampler::Start(const std::string& path, int interval_ms) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (thread_ != nullptr) return Status::Internal("sampler already running");
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  file_ = f;
+  interval_ms_ = interval_ms > 0 ? interval_ms : 1000;
+  stop_requested_ = false;
+  samples_written_.store(0, std::memory_order_relaxed);
+  samples_skipped_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::make_unique<std::thread>([this] { Loop(); });
+  return Status::OK();
+}
+
+void TelemetrySampler::Stop() {
+  std::unique_ptr<std::thread> t;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (thread_ == nullptr) return;
+    stop_requested_ = true;
+    t = std::move(thread_);
+  }
+  cv_.notify_all();
+  t->join();
+  std::lock_guard<std::mutex> g(mu_);
+  // Final snapshot so the file always ends with the post-workload state.
+  WriteSample();
+  std::fclose(static_cast<FILE*>(file_));
+  file_ = nullptr;
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetrySampler::Loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    WriteSample();
+    cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_requested_; });
+  }
+}
+
+void TelemetrySampler::WriteSample() {
+  // Called with mu_ held. A failing metrics sink must never fail the
+  // engine: an injected `telemetry.sample` fault just skips this tick.
+  if (FailPoints::AnyArmed() &&
+      !FailPoints::Instance().Evaluate("telemetry.sample").ok()) {
+    samples_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FILE* f = static_cast<FILE*>(file_);
+  if (f == nullptr) return;
+  const std::string line = Telemetry::Instance().Snapshot().ToJson();
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fputc('\n', f);
+  std::fflush(f);
+  samples_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hd

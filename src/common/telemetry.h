@@ -1,0 +1,232 @@
+// Process-wide engine telemetry: counters, gauges, and log-linear
+// (HDR-style) latency histograms, always on and cheap enough to leave in
+// every hot path.
+//
+// This registry is *complementary* to per-query QueryMetrics: QueryMetrics
+// attributes work to one statement (and, via OperatorProfile, to one plan
+// node); telemetry aggregates the same subsystems *across* statements and
+// over time — buffer-pool pressure, lock contention, pool scheduling,
+// transaction latencies, columnstore health — the always-on signals the
+// paper's mixed-workload analysis (Sections 3.6–3.7) is about, and the
+// input a production tuning loop would consume.
+//
+// Design:
+//   - Metric objects are owned by the registry and never deallocated
+//     (pointers handed out stay valid for the process lifetime; the
+//     registry singleton is intentionally leaked, like ThreadPool, so
+//     recording from worker threads during static destruction is safe).
+//   - Recording is lock-free: counters are sharded atomics (one cache
+//     line per shard, thread-local shard choice), gauges are single
+//     atomics, histograms are one relaxed fetch_add on a bucket.
+//   - Snapshot() gives a consistent-enough copy for exposition (each cell
+//     is read atomically; cross-metric skew is bounded by the scrape
+//     duration, the standard Prometheus contract).
+//
+// Histogram bucket scheme (documented in docs/OBSERVABILITY.md): values
+// are non-negative integers (by convention nanoseconds, or a unitless
+// depth). Buckets are log-linear: exact unit buckets for v < 32, then 32
+// linear sub-buckets per power of two. Bucket width / lower bound <=
+// 1/32, so any reported quantile q satisfies
+//     |q_est - q_exact| <= q_exact / 32 + 1.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hd {
+
+/// Monotonic event counter, sharded to keep concurrent recorders off each
+/// other's cache lines.
+class TCounter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[Slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  /// Zero in place (tests); concurrent Adds may survive the reset.
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  static uint32_t Slot();
+  Shard shards_[kShards];
+};
+
+/// Signed instantaneous value. Subsystems update by *delta* (Add), so one
+/// process gauge aggregates correctly across many instances (e.g. every
+/// BufferPool adds its residency changes into the same gauge).
+class TGauge {
+ public:
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Immutable copy of one histogram, with quantile estimation.
+struct HistSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;  // in recorded units
+  /// (bucket index, count) pairs for every non-empty bucket, ascending.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+
+  /// Estimated value at quantile p in [0, 1]; 0 when empty. Error bound:
+  /// |est - exact| <= exact/32 + 1 (see bucket scheme above).
+  double Quantile(double p) const;
+  double Mean() const { return count ? static_cast<double>(sum) / count : 0; }
+  /// Upper bound of the highest non-empty bucket (approximate max).
+  uint64_t MaxBound() const;
+};
+
+/// Log-linear histogram of non-negative integer values.
+class THistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 32
+  static constexpr int kNumBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+  void Record(int64_t value) {
+    const uint64_t v = value > 0 ? static_cast<uint64_t>(value) : 0;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  /// Bucket index of value v (exposed for tests).
+  static uint32_t BucketIndex(uint64_t v);
+  /// [lower, upper) bounds of bucket `idx` (exposed for tests).
+  static void BucketBounds(uint32_t idx, uint64_t* lo, uint64_t* hi);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of the whole registry, ready for exposition.
+struct TelemetrySnapshot {
+  /// Unix epoch milliseconds at snapshot time.
+  uint64_t ts_ms = 0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistSnapshot> histograms;
+
+  /// Prometheus text exposition format: counters as `<name>_total`,
+  /// gauges as-is, histograms as summaries (p50/p95/p99/p999 quantile
+  /// series plus _sum and _count). Metric names are prefixed `hd_` and
+  /// sanitized (`.` -> `_`).
+  std::string ToPrometheus() const;
+
+  /// One JSON object (single line, no trailing newline) — the JSONL
+  /// record the background sampler appends per tick. Schema
+  /// `hd-stats/1` (docs/OBSERVABILITY.md).
+  std::string ToJson() const;
+};
+
+/// The process-wide registry. Get-or-create by name; returned pointers
+/// are valid forever (metrics are never destroyed).
+class Telemetry {
+ public:
+  static Telemetry& Instance();
+
+  TCounter* Counter(const std::string& name);
+  TGauge* Gauge(const std::string& name);
+  THistogram* Histogram(const std::string& name);
+
+  TelemetrySnapshot Snapshot() const;
+
+  /// Zero every registered metric in place (tests). Cached pointers stay
+  /// valid; racing recorders may leave residue.
+  void ResetForTest();
+
+ private:
+  Telemetry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TCounter>> counters_;
+  std::map<std::string, std::unique_ptr<TGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<THistogram>> histograms_;
+};
+
+/// Background sampler: a thread that appends one TelemetrySnapshot JSONL
+/// record to a file every `interval_ms`, until stopped. Stop() (or the
+/// destructor) joins the thread and writes one final snapshot, so the
+/// file always ends with the post-workload state.
+///
+/// Failpoint-aware: each tick evaluates the `telemetry.sample` failpoint;
+/// an injected failure skips that tick's write (counted in
+/// samples_skipped) and sampling continues — a flaky metrics sink must
+/// never take the engine down.
+///
+/// Shutdown ordering: the sampler reads only registry-owned memory (the
+/// leaked Telemetry singleton), never engine objects, so it is safe to
+/// keep sampling while Databases, pools, and transaction managers are
+/// destroyed (tests/chaos_test.cc regression-tests this ordering).
+class TelemetrySampler {
+ public:
+  TelemetrySampler() = default;
+  ~TelemetrySampler() { Stop(); }
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Open `path` for append and start the sampling thread. Fails if
+  /// already running or the file cannot be opened.
+  Status Start(const std::string& path, int interval_ms);
+
+  /// Stop sampling: joins the thread, appends a final snapshot, closes
+  /// the file. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint64_t samples_written() const {
+    return samples_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t samples_skipped() const {
+    return samples_skipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Impl;
+  void Loop();
+  void WriteSample();
+
+  std::mutex mu_;  // guards start/stop transitions and file_
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  void* file_ = nullptr;  // FILE*, kept opaque to avoid <cstdio> here
+  int interval_ms_ = 1000;
+  std::unique_ptr<std::thread> thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> samples_written_{0};
+  std::atomic<uint64_t> samples_skipped_{0};
+};
+
+}  // namespace hd

@@ -1,11 +1,43 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "common/failpoint.h"
+#include "common/telemetry.h"
 
 namespace hd {
+
+namespace {
+
+// Process-wide scheduler telemetry. `pool.queue_depth` tracks submitted
+// tasks not yet popped (delta-updated, so it aggregates across pools);
+// `pool.task_ns` is the per-morsel execution latency.
+struct PoolStats {
+  TCounter* morsels = Telemetry::Instance().Counter("pool.morsels");
+  TCounter* steals = Telemetry::Instance().Counter("pool.steals");
+  TGauge* queue_depth = Telemetry::Instance().Gauge("pool.queue_depth");
+  THistogram* task_ns = Telemetry::Instance().Histogram("pool.task_ns");
+};
+
+PoolStats& Stats() {
+  static PoolStats s;
+  return s;
+}
+
+/// Run one morsel through `fn`, recording its latency.
+inline void TimedMorsel(const std::function<void(int, uint64_t)>& fn, int slot,
+                        uint64_t i) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn(slot, i);
+  Stats().task_ns->Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------
 // Pool lifecycle.
@@ -64,6 +96,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     workers_[w]->deq.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
+  Stats().queue_depth->Add(1);
   sleep_cv_.notify_one();
 }
 
@@ -78,6 +111,7 @@ bool ThreadPool::TryPop(int wid, std::function<void()>* out) {
       *out = std::move(me.deq.front());
       me.deq.pop_front();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      Stats().queue_depth->Add(-1);
       return true;
     }
   }
@@ -88,6 +122,7 @@ bool ThreadPool::TryPop(int wid, std::function<void()>* out) {
       *out = std::move(victim.deq.back());
       victim.deq.pop_back();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      Stats().queue_depth->Add(-1);
       return true;
     }
   }
@@ -169,7 +204,7 @@ void ThreadPool::RunSlot(const std::shared_ptr<ParallelState>& st, int slot) {
     const uint64_t i = own.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= own.end) break;
     if (!st->AdmitMorsel()) continue;  // keep claiming so ranges drain fast
-    fn(slot, i);
+    TimedMorsel(fn, slot, i);
     st->executed.fetch_add(1, std::memory_order_relaxed);
   }
   // Own range drained: steal morsels from the other slots until every
@@ -186,7 +221,7 @@ void ThreadPool::RunSlot(const std::shared_ptr<ParallelState>& st, int slot) {
         found = true;
         if (!st->AdmitMorsel()) continue;
         st->stolen.fetch_add(1, std::memory_order_relaxed);
-        fn(slot, i);
+        TimedMorsel(fn, slot, i);
         st->executed.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -214,11 +249,12 @@ MorselStats ThreadPool::ParallelFor(
     for (uint64_t i = 0; i < num_morsels; ++i) {
       if (st1.Cancelled()) break;
       if (!st1.AdmitMorsel()) continue;
-      fn(0, i);
+      TimedMorsel(fn, 0, i);
       ++stats.scheduled;
     }
     stats.participants = 1;
     stats.status = st1.inject_status;
+    Stats().morsels->Add(stats.scheduled);
     return stats;
   }
 
@@ -268,6 +304,8 @@ MorselStats ThreadPool::ParallelFor(
   stats.stolen = st->stolen.load();
   stats.participants = nslots;
   stats.status = st->inject_status;  // all participants finished: no race
+  Stats().morsels->Add(stats.scheduled);
+  if (stats.stolen != 0) Stats().steals->Add(stats.stolen);
   (void)ran_here;
   return stats;
 }

@@ -6,8 +6,12 @@
 namespace hd {
 
 Trace& Trace::Global() {
-  static Trace t;
-  return t;
+  // Intentionally leaked: pool workers (and the telemetry sampler) may
+  // still emit trace events while static destructors run at exit; a
+  // function-local static with a real destructor would be torn down
+  // first and leave them writing freed memory.
+  static Trace* t = new Trace();
+  return *t;
 }
 
 void Trace::Enable() {

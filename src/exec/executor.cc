@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <queue>
 #include <shared_mutex>
 #include <unordered_map>
@@ -10,11 +11,37 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/agg_hash.h"
+#include "common/telemetry.h"
 #include "exec/explain.h"
 
 namespace hd {
 
 namespace {
+
+// End-to-end statement latency histograms keyed by statement class, plus
+// a failed-statement counter. Recorded once per Execute() call.
+struct StmtStats {
+  THistogram* select_ns = Telemetry::Instance().Histogram("stmt.select_ns");
+  THistogram* update_ns = Telemetry::Instance().Histogram("stmt.update_ns");
+  THistogram* delete_ns = Telemetry::Instance().Histogram("stmt.delete_ns");
+  THistogram* insert_ns = Telemetry::Instance().Histogram("stmt.insert_ns");
+  TCounter* errors = Telemetry::Instance().Counter("stmt.errors");
+
+  THistogram* ForKind(Query::Kind k) {
+    switch (k) {
+      case Query::Kind::kSelect: return select_ns;
+      case Query::Kind::kUpdate: return update_ns;
+      case Query::Kind::kDelete: return delete_ns;
+      case Query::Kind::kInsert: return insert_ns;
+    }
+    return select_ns;
+  }
+};
+
+StmtStats& SStats() {
+  static StmtStats s;
+  return s;
+}
 
 // ---------------------------------------------------------------------
 // Predicate binding: Value bounds -> inclusive packed [lo, hi] ranges.
@@ -2280,6 +2307,7 @@ Status Executor::Impl::RunDml() {
 }
 
 QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
+  const auto stmt_t0 = std::chrono::steady_clock::now();
   Impl impl(ctx_, q, plan);
   impl.res.plan_desc = plan.Describe();
   Status s = impl.Setup();
@@ -2307,6 +2335,11 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
   for (const auto& op : impl.ops) impl.res.metrics.Merge(op.metrics);
   impl.res.operators = std::move(impl.ops);
   impl.res.metrics.dop = impl.dop();
+  if (!s.ok()) SStats().errors->Add(1);
+  SStats().ForKind(q.kind)->Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - stmt_t0)
+          .count());
   return std::move(impl.res);
 }
 

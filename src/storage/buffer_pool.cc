@@ -3,11 +3,38 @@
 #include <cassert>
 
 #include "common/failpoint.h"
+#include "common/telemetry.h"
 
 namespace hd {
 
+namespace {
+
+// Process-wide buffer-pool telemetry (docs/OBSERVABILITY.md). Gauges are
+// updated by delta so they aggregate correctly across pool instances.
+struct BpStats {
+  TCounter* hits = Telemetry::Instance().Counter("bp.hits");
+  TCounter* misses = Telemetry::Instance().Counter("bp.misses");
+  TCounter* evictions = Telemetry::Instance().Counter("bp.evictions");
+  TGauge* resident = Telemetry::Instance().Gauge("bp.resident_bytes");
+  TGauge* total = Telemetry::Instance().Gauge("bp.total_bytes");
+};
+
+BpStats& Stats() {
+  static BpStats s;
+  return s;
+}
+
+}  // namespace
+
 BufferPool::BufferPool(DiskModel* disk, uint64_t capacity_bytes)
     : disk_(disk), capacity_(capacity_bytes), shards_(kNumShards) {}
+
+BufferPool::~BufferPool() {
+  // Return this pool's contribution to the process gauges: extents die
+  // with the pool whether or not callers Unregistered them.
+  Stats().resident->Add(-static_cast<int64_t>(resident_bytes_.load()));
+  Stats().total->Add(-static_cast<int64_t>(total_bytes_.load()));
+}
 
 ExtentId BufferPool::Register(uint64_t bytes) {
   if (FailPoints::AnyArmed() &&
@@ -31,6 +58,8 @@ ExtentId BufferPool::Register(uint64_t bytes) {
     resident_bytes_ += bytes;
     total_bytes_ += bytes;
   }
+  Stats().resident->Add(static_cast<int64_t>(bytes));
+  Stats().total->Add(static_cast<int64_t>(bytes));
   // Outside the shard lock: EvictIfNeeded re-locks every shard, including
   // this one (self-deadlock under registration pressure otherwise).
   EvictIfNeeded();
@@ -42,9 +71,13 @@ void BufferPool::Resize(ExtentId id, uint64_t bytes) {
   std::lock_guard<std::mutex> g(s.mu);
   auto it = s.entries.find(id);
   if (it == s.entries.end()) return;
+  const int64_t delta =
+      static_cast<int64_t>(bytes) - static_cast<int64_t>(it->second.bytes);
   total_bytes_ += bytes - it->second.bytes;
+  Stats().total->Add(delta);
   if (it->second.resident) {
     resident_bytes_ += bytes - it->second.bytes;
+    Stats().resident->Add(delta);
   }
   it->second.bytes = bytes;
 }
@@ -55,8 +88,12 @@ void BufferPool::Unregister(ExtentId id) {
   auto it = s.entries.find(id);
   if (it == s.entries.end()) return;
   if (it->second.in_lru) s.lru.erase(it->second.lru_pos);
-  if (it->second.resident) resident_bytes_ -= it->second.bytes;
+  if (it->second.resident) {
+    resident_bytes_ -= it->second.bytes;
+    Stats().resident->Add(-static_cast<int64_t>(it->second.bytes));
+  }
   total_bytes_ -= it->second.bytes;
+  Stats().total->Add(-static_cast<int64_t>(it->second.bytes));
   s.entries.erase(it);
 }
 
@@ -74,12 +111,17 @@ Status BufferPool::Access(ExtentId id, IoPattern pattern, QueryMetrics* m) {
     s.lru.push_front(id);
     e.lru_pos = s.lru.begin();
     e.in_lru = true;
-    if (e.resident) return Status::OK();  // hit: no I/O
+    if (e.resident) {
+      Stats().hits->Add(1);
+      return Status::OK();  // hit: no I/O
+    }
     // Miss: the read must succeed before residency flips, so an injected
     // read failure leaves the extent cold and the next access retries.
+    Stats().misses->Add(1);
     HD_RETURN_IF_ERROR(disk_->Read(e.bytes, pattern, m));
     e.resident = true;
     resident_bytes_ += e.bytes;
+    Stats().resident->Add(static_cast<int64_t>(e.bytes));
   }
   EvictIfNeeded();
   return Status::OK();
@@ -93,27 +135,33 @@ bool BufferPool::IsResident(ExtentId id) const {
 }
 
 void BufferPool::EvictAll() {
+  int64_t freed = 0;
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> g(s.mu);
     for (auto& [id, e] : s.entries) {
       if (e.resident) {
         e.resident = false;
         resident_bytes_ -= e.bytes;
+        freed += static_cast<int64_t>(e.bytes);
       }
     }
   }
+  Stats().resident->Add(-freed);
 }
 
 void BufferPool::WarmAll() {
+  int64_t warmed = 0;
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> g(s.mu);
     for (auto& [id, e] : s.entries) {
       if (!e.resident) {
         e.resident = true;
         resident_bytes_ += e.bytes;
+        warmed += static_cast<int64_t>(e.bytes);
       }
     }
   }
+  Stats().resident->Add(warmed);
 }
 
 uint64_t BufferPool::resident_bytes() const { return resident_bytes_.load(); }
@@ -128,8 +176,10 @@ void BufferPool::EvictIfNeeded() {
     return;
   }
   // Best-effort: sweep shards evicting LRU tails until under capacity.
+  uint64_t evicted = 0;
+  int64_t freed = 0;
   for (auto& s : shards_) {
-    if (resident_bytes_.load() <= capacity_) return;
+    if (resident_bytes_.load() <= capacity_) break;
     std::lock_guard<std::mutex> g(s.mu);
     while (resident_bytes_.load() > capacity_ && !s.lru.empty()) {
       ExtentId victim = s.lru.back();
@@ -140,8 +190,14 @@ void BufferPool::EvictIfNeeded() {
       if (it->second.resident) {
         it->second.resident = false;
         resident_bytes_ -= it->second.bytes;
+        freed += static_cast<int64_t>(it->second.bytes);
+        ++evicted;
       }
     }
+  }
+  if (evicted != 0) {
+    Stats().evictions->Add(evicted);
+    Stats().resident->Add(-freed);
   }
 }
 

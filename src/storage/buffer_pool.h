@@ -31,6 +31,8 @@ class BufferPool {
   /// `capacity_bytes` = 0 means unbounded (everything fits; the paper's
   /// server had 384 GB RAM so most experiments were memory-resident).
   explicit BufferPool(DiskModel* disk, uint64_t capacity_bytes = 0);
+  /// Subtracts this pool's residency from the process telemetry gauges.
+  ~BufferPool();
 
   /// Register a new extent of the given size; initially resident (freshly
   /// built data is in cache). Returns kInvalidExtent when the

@@ -4,8 +4,28 @@
 #include <functional>
 
 #include "common/failpoint.h"
+#include "common/telemetry.h"
 
 namespace hd {
+
+namespace {
+
+// Process-wide lock-manager telemetry. The wait histogram records only
+// contended acquires (requests granted without blocking skip the clock
+// entirely, keeping the uncontended OLTP path cheap).
+struct LockStats {
+  TCounter* grants = Telemetry::Instance().Counter("lock.grants");
+  TCounter* waits = Telemetry::Instance().Counter("lock.waits");
+  TCounter* timeouts = Telemetry::Instance().Counter("lock.timeouts");
+  THistogram* wait_ns = Telemetry::Instance().Histogram("lock.wait_ns");
+};
+
+LockStats& Stats() {
+  static LockStats s;
+  return s;
+}
+
+}  // namespace
 
 const char* LockModeName(LockMode m) {
   switch (m) {
@@ -92,16 +112,34 @@ Status LockManager::Acquire(uint64_t txn_id, const LockResource& res,
       }
     }
   };
+  // Contended path: time the wait (fast grants below never take a clock).
+  const bool contended = !CanGrant(st, txn_id, mode, ticket);
+  std::chrono::steady_clock::time_point wait_start;
+  if (contended) {
+    wait_start = std::chrono::steady_clock::now();
+    Stats().waits->Add(1);
+  }
+  auto record_wait = [&] {
+    if (!contended) return;
+    Stats().wait_ns->Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+  };
   while (!CanGrant(st, txn_id, mode, ticket)) {
     if (sh.cv.wait_until(g, deadline) == std::cv_status::timeout &&
         !CanGrant(st, txn_id, mode, ticket)) {
       remove_waiter();
       sh.cv.notify_all();  // successors may now be grantable
+      record_wait();
+      Stats().timeouts->Add(1);
       return Status::Aborted("lock timeout (deadlock victim)");
     }
   }
   remove_waiter();
   sh.cv.notify_all();  // our dequeue may unblock same-mode successors
+  record_wait();
+  Stats().grants->Add(1);
   const bool upgrade = st.granted.count(txn_id) > 0;
   st.granted[txn_id] = mode;
   if (!upgrade) sh.held[txn_id].push_back(res);

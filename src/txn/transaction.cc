@@ -2,7 +2,33 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
+
 namespace hd {
+
+namespace {
+
+// Process-wide transaction telemetry: lifetime histograms (Begin to
+// Commit/Abort) and outcome counters.
+struct TxnStats {
+  TCounter* commits = Telemetry::Instance().Counter("txn.commits");
+  TCounter* aborts = Telemetry::Instance().Counter("txn.aborts");
+  THistogram* commit_ns = Telemetry::Instance().Histogram("txn.commit_ns");
+  THistogram* abort_ns = Telemetry::Instance().Histogram("txn.abort_ns");
+};
+
+TxnStats& Stats() {
+  static TxnStats s;
+  return s;
+}
+
+int64_t SinceNs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 const char* IsolationLevelName(IsolationLevel l) {
   switch (l) {
@@ -18,6 +44,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel iso) {
   t->id_ = next_txn_.fetch_add(1);
   t->iso_ = iso;
   t->snapshot_ts_ = ts_.load();
+  t->begin_tp_ = std::chrono::steady_clock::now();
   if (iso == IsolationLevel::kSnapshot) {
     std::lock_guard<std::mutex> g(active_mu_);
     active_snapshots_.insert(t->snapshot_ts_);
@@ -33,6 +60,8 @@ void TransactionManager::Commit(Transaction* txn) {
   }
   txn->noted_.clear();  // committed versions are permanent
   ts_.fetch_add(1);
+  Stats().commits->Add(1);
+  Stats().commit_ns->Record(SinceNs(txn->begin_tp_));
 }
 
 void TransactionManager::Abort(Transaction* txn) {
@@ -63,6 +92,8 @@ void TransactionManager::Abort(Transaction* txn) {
     std::lock_guard<std::mutex> g(active_mu_);
     active_snapshots_.erase(txn->snapshot_ts_);
   }
+  Stats().aborts->Add(1);
+  Stats().abort_ns->Record(SinceNs(txn->begin_tp_));
 }
 
 void TransactionManager::NoteVersion(uint64_t table_hash, int64_t rid,

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,8 @@ class Transaction {
   uint64_t id_ = 0;
   IsolationLevel iso_ = IsolationLevel::kReadCommitted;
   uint64_t snapshot_ts_ = 0;
+  /// Begin() time, for the commit/abort latency telemetry histograms.
+  std::chrono::steady_clock::time_point begin_tp_;
   /// Version-store entries this transaction created: (vkey, timestamp).
   /// Abort undoes them so aborted writers leave no phantom versions (GC
   /// only trims versions older than the oldest snapshot, and an abort

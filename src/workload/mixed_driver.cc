@@ -11,17 +11,11 @@
 
 namespace hd {
 
-double OpStats::median_ms() const {
+double OpStats::PercentileMs(double p) const {
   if (latencies_ms.empty()) return 0;
   std::vector<double> v = latencies_ms;
-  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
-  return v[v.size() / 2];
-}
-
-double OpStats::p95_ms() const {
-  if (latencies_ms.empty()) return 0;
-  std::vector<double> v = latencies_ms;
-  const size_t k = std::min(v.size() - 1, v.size() * 95 / 100);
+  const size_t k =
+      std::min(v.size() - 1, static_cast<size_t>(v.size() * p));
   std::nth_element(v.begin(), v.begin() + k, v.end());
   return v[k];
 }
@@ -134,6 +128,7 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
       const double ms = op_timer.ElapsedMs();
       st.total_ms += ms;
       st.latencies_ms.push_back(ms);
+      st.completion_ms.push_back(wall.ElapsedMs());
     }
     local_metrics.txn_retries +=
         [&] {
@@ -158,6 +153,9 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
       dst.total_ms += st.total_ms;
       dst.latencies_ms.insert(dst.latencies_ms.end(), st.latencies_ms.begin(),
                               st.latencies_ms.end());
+      dst.completion_ms.insert(dst.completion_ms.end(),
+                               st.completion_ms.begin(),
+                               st.completion_ms.end());
       result.total_aborts += st.aborts;
       result.total_retries += st.txn_retries;
       result.total_failures += st.failures;
@@ -178,6 +176,29 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
       [&](int /*slot*/, uint64_t tid) { worker(static_cast<int>(tid)); });
   result.wall_ms = wall.ElapsedMs();
   txns->GarbageCollect();
+  if (opts.interval_ms > 0 && result.wall_ms > 0) {
+    const double width = opts.interval_ms;
+    const size_t n =
+        static_cast<size_t>(result.wall_ms / width) + 1;
+    result.intervals.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      result.intervals[i].start_ms = static_cast<double>(i) * width;
+      result.intervals[i].end_ms = static_cast<double>(i + 1) * width;
+    }
+    for (const auto& [type, st] : result.per_type) {
+      for (double t : st.completion_ms) {
+        size_t i = static_cast<size_t>(t / width);
+        if (i >= n) i = n - 1;  // completion raced past the final wall read
+        result.intervals[i].ops += 1;
+        result.intervals[i].ops_per_type[type] += 1;
+      }
+    }
+    for (auto& iv : result.intervals) {
+      // The last window is usually partial; scale by its real span.
+      const double span = std::min(iv.end_ms, result.wall_ms) - iv.start_ms;
+      iv.throughput_ops_s = span > 0 ? iv.ops * 1000.0 / span : 0;
+    }
+  }
   return result;
 }
 

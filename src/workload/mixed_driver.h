@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "catalog/database.h"
 #include "common/metrics.h"
@@ -33,6 +34,11 @@ struct MixedOptions {
   int max_retries = 20;
   double backoff_base_ms = 0.5;
   double backoff_cap_ms = 8.0;
+  /// When > 0, the driver buckets operation completions into fixed wall
+  /// clock windows of this width and reports a per-interval throughput
+  /// series in MixedResult::intervals (tail-latency/throughput-over-time
+  /// analysis; 0 disables the series).
+  double interval_ms = 0;
 };
 
 struct OpStats {
@@ -48,14 +54,35 @@ struct OpStats {
   uint64_t exhausted = 0;
   double total_ms = 0;
   std::vector<double> latencies_ms;
+  /// Wall-clock completion time of each operation (ms since workload
+  /// start), index-aligned with `latencies_ms`. Feeds the per-interval
+  /// throughput series.
+  std::vector<double> completion_ms;
 
   double mean_ms() const { return count ? total_ms / count : 0; }
-  double median_ms() const;
-  double p95_ms() const;
+  /// Latency percentile, p in [0, 1] (e.g. 0.999 for p999).
+  double PercentileMs(double p) const;
+  double median_ms() const { return PercentileMs(0.5); }
+  double p95_ms() const { return PercentileMs(0.95); }
+  double p99_ms() const { return PercentileMs(0.99); }
+  double p999_ms() const { return PercentileMs(0.999); }
+};
+
+/// One wall-clock window of the workload: completions that landed in
+/// [start_ms, end_ms) and the throughput they imply.
+struct MixedInterval {
+  double start_ms = 0;
+  double end_ms = 0;
+  uint64_t ops = 0;
+  double throughput_ops_s = 0;
+  std::map<std::string, uint64_t> ops_per_type;
 };
 
 struct MixedResult {
   std::map<std::string, OpStats> per_type;
+  /// Per-interval throughput series (empty unless
+  /// MixedOptions::interval_ms > 0).
+  std::vector<MixedInterval> intervals;
   double wall_ms = 0;
   uint64_t total_aborts = 0;
   uint64_t total_retries = 0;

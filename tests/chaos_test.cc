@@ -16,12 +16,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
@@ -37,7 +40,7 @@ constexpr const char* kCatalog[] = {
     "disk.read",      "bufferpool.register", "heapfile.io",
     "disk.write",     "bufferpool.evict",    "btree.split",
     "lockmgr.acquire", "csi.compress_delta", "csi.reorganize",
-    "threadpool.task",
+    "threadpool.task", "telemetry.sample",
 };
 constexpr int kCatalogSize = static_cast<int>(std::size(kCatalog));
 
@@ -122,6 +125,12 @@ class ChaosTest : public ::testing::Test {
 
 TEST_F(ChaosTest, SweepEpisodesHoldInvariants) {
   TransactionManager tm;
+  // The telemetry sampler runs through every episode, so sweep-armed
+  // `telemetry.sample` injections hit a live sampler and the chaos
+  // workload races real registry snapshots.
+  TelemetrySampler sampler;
+  ASSERT_TRUE(
+      sampler.Start(testing::TempDir() + "/chaos_stats.jsonl", 5).ok());
 
   // Baseline: the workload is clean with nothing armed.
   MixedResult base = RunEpisode(&tm, 1, 60);
@@ -194,6 +203,69 @@ TEST_F(ChaosTest, SweepEpisodesHoldInvariants) {
     EXPECT_TRUE(qh.ok()) << qh.status.ToString();
     QueryResult qc = RunOne(&tm, MicroQ1("c", 0.5, 1000), 4);
     EXPECT_TRUE(qc.ok()) << qc.status.ToString();
+  }
+  sampler.Stop();
+  EXPECT_GT(sampler.samples_written(), 0u);
+}
+
+// Shutdown-ordering regression: the sampler must keep snapshotting safely
+// while every engine object it reports on (Database -> tables -> CSIs ->
+// BufferPool, TransactionManager) is destroyed underneath it, because it
+// reads only the leaked registry. The per-instance gauge contributions
+// must also retract exactly on destruction, so process gauges return to
+// their pre-engine baseline instead of pointing at dead objects.
+TEST(TelemetryShutdownOrder, SamplerSurvivesEngineTeardown) {
+  const TelemetrySnapshot before = Telemetry::Instance().Snapshot();
+  const auto base_gauge = [&](const char* n) {
+    auto it = before.gauges.find(n);
+    return it == before.gauges.end() ? int64_t{0} : it->second;
+  };
+
+  TelemetrySampler sampler;
+  ASSERT_TRUE(
+      sampler.Start(testing::TempDir() + "/shutdown_stats.jsonl", 1).ok());
+  {
+    Database db;
+    MicroOptions mo;
+    mo.rows = 20000;
+    mo.max_value = 1000;
+    Table* c = MakeUniformIntTable(&db, "t", 3, mo);
+    ASSERT_TRUE(c->SetPrimary(PrimaryKind::kColumnStore).ok());
+    TransactionManager tm;
+    // Touch every instrumented subsystem so the gauges are non-trivially
+    // populated while the sampler ticks.
+    Optimizer opt(&db);
+    Query q = MicroQ1("t", 0.5, 1000);
+    auto plan = opt.Plan(q, Configuration::FromCatalog(db), {});
+    ASSERT_TRUE(plan.ok());
+    ExecContext ctx;
+    ctx.db = &db;
+    ctx.txns = &tm;
+    ctx.max_dop = 4;
+    Executor ex(ctx);
+    ASSERT_TRUE(ex.Execute(q, plan->plan).ok());
+    TelemetrySnapshot live = Telemetry::Instance().Snapshot();
+    EXPECT_GT(live.gauges["csi.row_groups"], base_gauge("csi.row_groups"));
+    EXPECT_GT(live.gauges["bp.total_bytes"], base_gauge("bp.total_bytes"));
+    // Engine objects die here, sampler still running.
+  }
+  // Let the sampler take ticks strictly after the teardown.
+  const uint64_t at_teardown = sampler.samples_written();
+  while (sampler.samples_written() < at_teardown + 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.Stop();
+  EXPECT_GT(sampler.samples_written(), at_teardown);
+
+  const TelemetrySnapshot after = Telemetry::Instance().Snapshot();
+  for (const char* g : {"csi.row_groups", "csi.compressed_rows",
+                        "csi.delta_rows", "csi.delete_buffer_rows",
+                        "csi.deleted_rows", "csi.compressed_bytes",
+                        "csi.raw_bytes", "bp.resident_bytes",
+                        "bp.total_bytes"}) {
+    auto it = after.gauges.find(g);
+    if (it == after.gauges.end()) continue;
+    EXPECT_EQ(it->second, base_gauge(g)) << g;
   }
 }
 

@@ -1,0 +1,292 @@
+// Tests for the process-wide telemetry registry (src/common/telemetry.h):
+// histogram accuracy against exact quantiles, sharded counters and delta
+// gauges under concurrency, snapshot-vs-writer races (exercised under
+// TSan in CI), the background JSONL sampler, and the Prometheus writer.
+#include "common/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace hd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram bucket scheme.
+// ---------------------------------------------------------------------
+
+TEST(HistogramBuckets, IndexAndBoundsAgree) {
+  // Every probed value must land in a bucket whose [lo, hi) contains it.
+  std::vector<uint64_t> probes = {0, 1, 2, 31, 32, 33, 63, 64, 65, 100,
+                                  1023, 1024, 4096, 1u << 20, 123456789};
+  probes.push_back(uint64_t{1} << 40);
+  probes.push_back(~uint64_t{0});
+  for (uint64_t v : probes) {
+    const uint32_t idx = THistogram::BucketIndex(v);
+    ASSERT_LT(idx, static_cast<uint32_t>(THistogram::kNumBuckets)) << v;
+    uint64_t lo = 0, hi = 0;
+    THistogram::BucketBounds(idx, &lo, &hi);
+    EXPECT_LE(lo, v) << "bucket " << idx;
+    if (hi != 0) EXPECT_LT(v, hi) << "bucket " << idx;  // hi==0: top overflow
+  }
+}
+
+TEST(HistogramBuckets, RelativeWidthBound) {
+  // The error bound rests on width/lower <= 1/32 past the unit region.
+  for (uint32_t idx = 0; idx < THistogram::kNumBuckets; ++idx) {
+    uint64_t lo = 0, hi = 0;
+    THistogram::BucketBounds(idx, &lo, &hi);
+    if (lo < THistogram::kSubBuckets) {
+      EXPECT_EQ(hi, lo + 1) << "unit bucket " << idx;
+    } else if (hi > lo) {
+      EXPECT_LE(hi - lo, lo / THistogram::kSubBuckets + 1) << "bucket " << idx;
+    }
+  }
+}
+
+TEST(Histogram, QuantilesTrackExactWithinDocumentedBound) {
+  // A long-tailed deterministic distribution, like real latencies.
+  std::mt19937_64 rng(7);
+  std::vector<int64_t> values;
+  values.reserve(200000);
+  THistogram h;
+  for (int i = 0; i < 200000; ++i) {
+    // Mix of a tight body and a 1% heavy tail.
+    int64_t v = (i % 100 == 0) ? static_cast<int64_t>(rng() % 5'000'000)
+                               : static_cast<int64_t>(1000 + rng() % 20000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  HistSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  for (double p : {0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = static_cast<double>(
+        values[std::min(values.size() - 1,
+                        static_cast<size_t>(values.size() * p))]);
+    const double est = snap.Quantile(p);
+    // Documented bound: |est - exact| <= exact/32 + 1, with slack for the
+    // rank falling on a bucket boundary (one bucket width either side).
+    EXPECT_NEAR(est, exact, exact / 16 + 2)
+        << "p=" << p << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(Histogram, MeanAndEdgeCases) {
+  THistogram h;
+  EXPECT_EQ(h.Snapshot().Quantile(0.5), 0);  // empty
+  h.Record(0);
+  h.Record(-5);  // clamped to 0
+  h.Record(10);
+  HistSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 10.0 / 3);
+  // Midpoint estimator: the exact p0 is 0, the estimate must stay within
+  // the documented +1 absolute slack.
+  EXPECT_LE(s.Quantile(0.0), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Counters / gauges.
+// ---------------------------------------------------------------------
+
+TEST(Counter, ConcurrentAddsAllCounted) {
+  TCounter c;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 50000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Gauge, DeltaUpdatesAggregate) {
+  TGauge g;
+  g.Add(100);
+  g.Add(-30);
+  g.Add(7);
+  EXPECT_EQ(g.Value(), 77);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(Registry, GetOrCreateIsStable) {
+  TCounter* a = Telemetry::Instance().Counter("test.stable");
+  TCounter* b = Telemetry::Instance().Counter("test.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(Telemetry::Instance().Histogram("test.stable_h"), nullptr);
+  EXPECT_NE(Telemetry::Instance().Gauge("test.stable_g"), nullptr);
+}
+
+// Snapshot racing live writers: run under TSan in CI. The assertion is
+// weak (snapshots are monotonic in the counter), the point is the race.
+TEST(Registry, SnapshotVsConcurrentWriters) {
+  TCounter* c = Telemetry::Instance().Counter("test.race_counter");
+  THistogram* h = Telemetry::Instance().Histogram("test.race_hist");
+  TGauge* g = Telemetry::Instance().Gauge("test.race_gauge");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Add(1);
+        h->Record(12345);
+        g->Add(1);
+        g->Add(-1);
+      }
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    TelemetrySnapshot s = Telemetry::Instance().Snapshot();
+    const uint64_t now = s.counters["test.race_counter"];
+    EXPECT_GE(now, last);
+    last = now;
+    const auto& hs = s.histograms["test.race_hist"];
+    uint64_t bucket_total = 0;
+    for (const auto& [idx, n] : hs.buckets) bucket_total += n;
+    // count and buckets are read independently; bucket sum may trail or
+    // lead slightly but never exceeds a later count read.
+    EXPECT_LE(hs.count, c->Value());
+    EXPECT_LE(bucket_total, c->Value() + 4);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+// ---------------------------------------------------------------------
+// Exposition: Prometheus text format and JSONL.
+// ---------------------------------------------------------------------
+
+TEST(Exposition, PrometheusIsWellFormed) {
+  Telemetry::Instance().Counter("test.prom_counter")->Add(3);
+  Telemetry::Instance().Gauge("test.prom_gauge")->Set(-7);
+  Telemetry::Instance().Histogram("test.prom_hist")->Record(1000);
+  const std::string text = Telemetry::Instance().Snapshot().ToPrometheus();
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("hd_test_prom_counter_total 3"), std::string::npos);
+  EXPECT_NE(text.find("hd_test_prom_gauge -7"), std::string::npos);
+  EXPECT_NE(text.find("hd_test_prom_hist{quantile=\"0.5\"}"),
+            std::string::npos);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());  // no blank lines in the exposition
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE ", 0), 0u) << line;
+      continue;
+    }
+    // Sample lines: metric[{labels}] <space> value.
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    const std::string name = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    EXPECT_EQ(name.rfind("hd_", 0), 0u) << line;
+    for (char ch : name.substr(0, name.find('{'))) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_')
+          << line;
+    }
+    EXPECT_NE(value.find_first_of("0123456789"), std::string::npos) << line;
+  }
+}
+
+TEST(Exposition, JsonIsSingleLineWithSchema) {
+  Telemetry::Instance().Counter("test.json_counter")->Add(1);
+  const std::string j = Telemetry::Instance().Snapshot().ToJson();
+  EXPECT_EQ(j.find('\n'), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"schema\": \"hd-stats/1\""), std::string::npos);
+  EXPECT_NE(j.find("\"test.json_counter\": "), std::string::npos);
+  EXPECT_NE(j.find("\"ts_ms\": "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Background sampler.
+// ---------------------------------------------------------------------
+
+std::string TempPath(const char* tag) {
+  return testing::TempDir() + "/hd_sampler_" + tag + ".jsonl";
+}
+
+size_t CountJsonLines(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return 0;
+  size_t n = 0;
+  char buf[1 << 16];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    EXPECT_EQ(buf[0], '{') << "line " << n;
+    EXPECT_NE(std::string(buf).find("hd-stats/1"), std::string::npos);
+    ++n;
+  }
+  std::fclose(f);
+  return n;
+}
+
+TEST(Sampler, StartStopWritesSamples) {
+  const std::string path = TempPath("basic");
+  std::remove(path.c_str());
+  TelemetrySampler s;
+  ASSERT_TRUE(s.Start(path, 10).ok());
+  EXPECT_TRUE(s.running());
+  EXPECT_FALSE(s.Start(path, 10).ok());  // already running
+  Telemetry::Instance().Counter("test.sampler_counter")->Add(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  s.Stop();
+  EXPECT_FALSE(s.running());
+  s.Stop();  // idempotent
+  const size_t lines = CountJsonLines(path);
+  EXPECT_GE(lines, 2u);  // several ticks plus the final snapshot
+  EXPECT_EQ(lines, s.samples_written());
+}
+
+TEST(Sampler, RestartAppendsToSameFile) {
+  const std::string path = TempPath("restart");
+  std::remove(path.c_str());
+  TelemetrySampler s;
+  ASSERT_TRUE(s.Start(path, 5).ok());
+  s.Stop();
+  const size_t first = CountJsonLines(path);
+  ASSERT_TRUE(s.Start(path, 5).ok());  // reusable after Stop
+  s.Stop();
+  EXPECT_GT(CountJsonLines(path), first);
+}
+
+TEST(Sampler, StopWithoutStartIsNoop) {
+  TelemetrySampler s;
+  s.Stop();
+  EXPECT_FALSE(s.running());
+  EXPECT_EQ(s.samples_written(), 0u);
+}
+
+TEST(Sampler, FailpointSkipsTickButKeepsSampling) {
+  const std::string path = TempPath("failpoint");
+  std::remove(path.c_str());
+  TelemetrySampler s;
+  {
+    // Every 2nd tick's write fails; the sampler must absorb it.
+    ScopedFailPoint fp("telemetry.sample",
+                       FailSpec::EveryNth(2, Code::kIoError, "sink down"));
+    ASSERT_TRUE(s.Start(path, 5).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    s.Stop();
+  }
+  EXPECT_GT(s.samples_written(), 0u);
+  EXPECT_GT(s.samples_skipped(), 0u);
+  EXPECT_EQ(CountJsonLines(path), s.samples_written());
+}
+
+}  // namespace
+}  // namespace hd

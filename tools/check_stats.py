@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate engine telemetry output (CI smoke + local use).
+
+Usage:
+    check_stats.py --jsonl stats.jsonl [--min-samples N]
+    check_stats.py --prom metrics.prom
+
+JSONL mode checks the hd-stats/1 sampler stream: every line is a JSON
+object with the right schema tag, non-decreasing timestamps, non-negative
+counters, and internally consistent histogram summaries (p50 <= p95 <=
+p99 <= p999 <= max, count*min <= sum). Prometheus mode checks the text
+exposition: every line is a `# TYPE` comment or a `name[{labels}] value`
+sample with an `hd_`-prefixed, well-formed metric name.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+PROM_SAMPLE = re.compile(
+    r'^hd_[a-zA-Z0-9_]+(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})?'
+    r" -?[0-9][0-9.e+-]*$"
+)
+PROM_TYPE = re.compile(r"^# TYPE hd_[a-zA-Z0-9_]+ (counter|gauge|summary)$")
+
+
+def fail(msg):
+    print(f"check_stats: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_jsonl(path, min_samples):
+    lines = [ln for ln in open(path, encoding="utf-8") if ln.strip()]
+    if len(lines) < min_samples:
+        fail(f"{path}: {len(lines)} samples, expected >= {min_samples}")
+    last_ts = 0
+    for i, ln in enumerate(lines):
+        try:
+            rec = json.loads(ln)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i + 1}: not valid JSON: {e}")
+        if rec.get("schema") != "hd-stats/1":
+            fail(f"{path}:{i + 1}: schema {rec.get('schema')!r}")
+        ts = rec.get("ts_ms")
+        if not isinstance(ts, int) or ts < last_ts:
+            fail(f"{path}:{i + 1}: ts_ms {ts!r} not monotonic (prev {last_ts})")
+        last_ts = ts
+        for name, v in rec.get("counters", {}).items():
+            if not isinstance(v, int) or v < 0:
+                fail(f"{path}:{i + 1}: counter {name} = {v!r}")
+        for name, h in rec.get("histograms", {}).items():
+            qs = [h["p50"], h["p95"], h["p99"], h["p999"]]
+            if any(a > b * 1.0001 + 1 for a, b in zip(qs, qs[1:])):
+                fail(f"{path}:{i + 1}: {name} quantiles not ordered: {qs}")
+            if h["count"] > 0 and h["sum"] < 0:
+                fail(f"{path}:{i + 1}: {name} negative sum")
+            if h["count"] == 0 and h["sum"] != 0:
+                fail(f"{path}:{i + 1}: {name} empty but sum={h['sum']}")
+    print(f"check_stats: {path} ok: {len(lines)} hd-stats/1 samples")
+
+
+def check_prom(path):
+    lines = [ln.rstrip("\n") for ln in open(path, encoding="utf-8")]
+    samples = 0
+    for i, ln in enumerate(lines):
+        if not ln:
+            fail(f"{path}:{i + 1}: blank line in exposition")
+        if ln.startswith("#"):
+            if not PROM_TYPE.match(ln):
+                fail(f"{path}:{i + 1}: bad comment line: {ln!r}")
+            continue
+        if not PROM_SAMPLE.match(ln):
+            fail(f"{path}:{i + 1}: bad sample line: {ln!r}")
+        samples += 1
+    if samples == 0:
+        fail(f"{path}: no samples")
+    print(f"check_stats: {path} ok: {samples} Prometheus samples")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jsonl", help="hd-stats/1 JSONL file to validate")
+    ap.add_argument("--prom", help="Prometheus text exposition to validate")
+    ap.add_argument("--min-samples", type=int, default=2)
+    args = ap.parse_args()
+    if not args.jsonl and not args.prom:
+        ap.error("need --jsonl and/or --prom")
+    if args.jsonl:
+        check_jsonl(args.jsonl, args.min_samples)
+    if args.prom:
+        check_prom(args.prom)
+
+
+if __name__ == "__main__":
+    main()
