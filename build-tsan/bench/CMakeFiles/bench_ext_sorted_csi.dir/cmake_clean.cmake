@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sorted_csi.dir/bench_ext_sorted_csi.cc.o"
+  "CMakeFiles/bench_ext_sorted_csi.dir/bench_ext_sorted_csi.cc.o.d"
+  "bench_ext_sorted_csi"
+  "bench_ext_sorted_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sorted_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

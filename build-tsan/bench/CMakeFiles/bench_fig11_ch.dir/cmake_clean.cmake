@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ch.dir/bench_fig11_ch.cc.o"
+  "CMakeFiles/bench_fig11_ch.dir/bench_fig11_ch.cc.o.d"
+  "bench_fig11_ch"
+  "bench_fig11_ch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_concurrency.dir/bench_fig13_concurrency.cc.o"
+  "CMakeFiles/bench_fig13_concurrency.dir/bench_fig13_concurrency.cc.o.d"
+  "bench_fig13_concurrency"
+  "bench_fig13_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_data_skipping.dir/bench_fig2_data_skipping.cc.o"
+  "CMakeFiles/bench_fig2_data_skipping.dir/bench_fig2_data_skipping.cc.o.d"
+  "bench_fig2_data_skipping"
+  "bench_fig2_data_skipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_data_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_groupby.dir/bench_fig4_groupby.cc.o"
+  "CMakeFiles/bench_fig4_groupby.dir/bench_fig4_groupby.cc.o.d"
+  "bench_fig4_groupby"
+  "bench_fig4_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_updates.dir/bench_fig5_updates.cc.o"
+  "CMakeFiles/bench_fig5_updates.dir/bench_fig5_updates.cc.o.d"
+  "bench_fig5_updates"
+  "bench_fig5_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_size_estimation.dir/bench_size_estimation.cc.o"
+  "CMakeFiles/bench_size_estimation.dir/bench_size_estimation.cc.o.d"
+  "bench_size_estimation"
+  "bench_size_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_size_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_tuning.dir/advisor_tuning.cpp.o"
+  "CMakeFiles/advisor_tuning.dir/advisor_tuning.cpp.o.d"
+  "advisor_tuning"
+  "advisor_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operational_analytics.dir/operational_analytics.cpp.o"
+  "CMakeFiles/operational_analytics.dir/operational_analytics.cpp.o.d"
+  "operational_analytics"
+  "operational_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operational_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

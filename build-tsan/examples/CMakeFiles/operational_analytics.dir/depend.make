@@ -1,0 +1,2 @@
+# Empty dependencies file for operational_analytics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_btree.dir/btree.cc.o"
+  "CMakeFiles/hd_btree.dir/btree.cc.o.d"
+  "libhd_btree.a"
+  "libhd_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

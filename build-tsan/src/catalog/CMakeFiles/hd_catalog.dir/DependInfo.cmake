@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/database.cc" "src/catalog/CMakeFiles/hd_catalog.dir/database.cc.o" "gcc" "src/catalog/CMakeFiles/hd_catalog.dir/database.cc.o.d"
+  "/root/repo/src/catalog/stats.cc" "src/catalog/CMakeFiles/hd_catalog.dir/stats.cc.o" "gcc" "src/catalog/CMakeFiles/hd_catalog.dir/stats.cc.o.d"
+  "/root/repo/src/catalog/table.cc" "src/catalog/CMakeFiles/hd_catalog.dir/table.cc.o" "gcc" "src/catalog/CMakeFiles/hd_catalog.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hd_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/btree/CMakeFiles/hd_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/columnstore/CMakeFiles/hd_columnstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

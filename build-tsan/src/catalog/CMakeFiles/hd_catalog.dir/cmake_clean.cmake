@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_catalog.dir/database.cc.o"
+  "CMakeFiles/hd_catalog.dir/database.cc.o.d"
+  "CMakeFiles/hd_catalog.dir/stats.cc.o"
+  "CMakeFiles/hd_catalog.dir/stats.cc.o.d"
+  "CMakeFiles/hd_catalog.dir/table.cc.o"
+  "CMakeFiles/hd_catalog.dir/table.cc.o.d"
+  "libhd_catalog.a"
+  "libhd_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_columnstore.dir/columnstore.cc.o"
+  "CMakeFiles/hd_columnstore.dir/columnstore.cc.o.d"
+  "CMakeFiles/hd_columnstore.dir/encoding.cc.o"
+  "CMakeFiles/hd_columnstore.dir/encoding.cc.o.d"
+  "CMakeFiles/hd_columnstore.dir/row_group.cc.o"
+  "CMakeFiles/hd_columnstore.dir/row_group.cc.o.d"
+  "CMakeFiles/hd_columnstore.dir/segment.cc.o"
+  "CMakeFiles/hd_columnstore.dir/segment.cc.o.d"
+  "libhd_columnstore.a"
+  "libhd_columnstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_columnstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_common.dir/failpoint.cc.o"
+  "CMakeFiles/hd_common.dir/failpoint.cc.o.d"
+  "CMakeFiles/hd_common.dir/metrics.cc.o"
+  "CMakeFiles/hd_common.dir/metrics.cc.o.d"
+  "CMakeFiles/hd_common.dir/schema.cc.o"
+  "CMakeFiles/hd_common.dir/schema.cc.o.d"
+  "CMakeFiles/hd_common.dir/status.cc.o"
+  "CMakeFiles/hd_common.dir/status.cc.o.d"
+  "CMakeFiles/hd_common.dir/telemetry.cc.o"
+  "CMakeFiles/hd_common.dir/telemetry.cc.o.d"
+  "CMakeFiles/hd_common.dir/thread_pool.cc.o"
+  "CMakeFiles/hd_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/hd_common.dir/trace.cc.o"
+  "CMakeFiles/hd_common.dir/trace.cc.o.d"
+  "CMakeFiles/hd_common.dir/value.cc.o"
+  "CMakeFiles/hd_common.dir/value.cc.o.d"
+  "libhd_common.a"
+  "libhd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

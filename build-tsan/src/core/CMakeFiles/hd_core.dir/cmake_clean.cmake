@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_core.dir/advisor.cc.o"
+  "CMakeFiles/hd_core.dir/advisor.cc.o.d"
+  "CMakeFiles/hd_core.dir/candidates.cc.o"
+  "CMakeFiles/hd_core.dir/candidates.cc.o.d"
+  "CMakeFiles/hd_core.dir/size_estimation.cc.o"
+  "CMakeFiles/hd_core.dir/size_estimation.cc.o.d"
+  "libhd_core.a"
+  "libhd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_exec.dir/agg_hash.cc.o"
+  "CMakeFiles/hd_exec.dir/agg_hash.cc.o.d"
+  "CMakeFiles/hd_exec.dir/executor.cc.o"
+  "CMakeFiles/hd_exec.dir/executor.cc.o.d"
+  "CMakeFiles/hd_exec.dir/explain.cc.o"
+  "CMakeFiles/hd_exec.dir/explain.cc.o.d"
+  "libhd_exec.a"
+  "libhd_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_optimizer.dir/config.cc.o"
+  "CMakeFiles/hd_optimizer.dir/config.cc.o.d"
+  "CMakeFiles/hd_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/hd_optimizer.dir/optimizer.cc.o.d"
+  "libhd_optimizer.a"
+  "libhd_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

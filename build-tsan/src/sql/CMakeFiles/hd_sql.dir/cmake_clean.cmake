@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_sql.dir/parser.cc.o"
+  "CMakeFiles/hd_sql.dir/parser.cc.o.d"
+  "libhd_sql.a"
+  "libhd_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/hd_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/hd_storage.dir/disk_model.cc.o"
+  "CMakeFiles/hd_storage.dir/disk_model.cc.o.d"
+  "CMakeFiles/hd_storage.dir/heap_file.cc.o"
+  "CMakeFiles/hd_storage.dir/heap_file.cc.o.d"
+  "libhd_storage.a"
+  "libhd_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

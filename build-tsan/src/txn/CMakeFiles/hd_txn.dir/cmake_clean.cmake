@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/hd_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/hd_txn.dir/transaction.cc.o"
+  "CMakeFiles/hd_txn.dir/transaction.cc.o.d"
+  "libhd_txn.a"
+  "libhd_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ch.cc" "src/workload/CMakeFiles/hd_workload.dir/ch.cc.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/ch.cc.o.d"
+  "/root/repo/src/workload/customer.cc" "src/workload/CMakeFiles/hd_workload.dir/customer.cc.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/customer.cc.o.d"
+  "/root/repo/src/workload/micro.cc" "src/workload/CMakeFiles/hd_workload.dir/micro.cc.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/micro.cc.o.d"
+  "/root/repo/src/workload/mixed_driver.cc" "src/workload/CMakeFiles/hd_workload.dir/mixed_driver.cc.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/mixed_driver.cc.o.d"
+  "/root/repo/src/workload/tpcds.cc" "src/workload/CMakeFiles/hd_workload.dir/tpcds.cc.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/tpcds.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/hd_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/hd_workload.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/hd_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exec/CMakeFiles/hd_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optimizer/CMakeFiles/hd_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/txn/CMakeFiles/hd_txn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/columnstore/CMakeFiles/hd_columnstore.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/btree/CMakeFiles/hd_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hd_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

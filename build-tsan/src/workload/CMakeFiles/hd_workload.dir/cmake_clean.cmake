@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_workload.dir/ch.cc.o"
+  "CMakeFiles/hd_workload.dir/ch.cc.o.d"
+  "CMakeFiles/hd_workload.dir/customer.cc.o"
+  "CMakeFiles/hd_workload.dir/customer.cc.o.d"
+  "CMakeFiles/hd_workload.dir/micro.cc.o"
+  "CMakeFiles/hd_workload.dir/micro.cc.o.d"
+  "CMakeFiles/hd_workload.dir/mixed_driver.cc.o"
+  "CMakeFiles/hd_workload.dir/mixed_driver.cc.o.d"
+  "CMakeFiles/hd_workload.dir/tpcds.cc.o"
+  "CMakeFiles/hd_workload.dir/tpcds.cc.o.d"
+  "CMakeFiles/hd_workload.dir/tpch.cc.o"
+  "CMakeFiles/hd_workload.dir/tpch.cc.o.d"
+  "libhd_workload.a"
+  "libhd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

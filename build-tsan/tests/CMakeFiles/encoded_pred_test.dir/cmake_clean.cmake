@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoded_pred_test.dir/encoded_pred_test.cc.o"
+  "CMakeFiles/encoded_pred_test.dir/encoded_pred_test.cc.o.d"
+  "encoded_pred_test"
+  "encoded_pred_test.pdb"
+  "encoded_pred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoded_pred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

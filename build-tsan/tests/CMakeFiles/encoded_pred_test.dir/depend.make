@@ -1,0 +1,2 @@
+# Empty dependencies file for encoded_pred_test.
+# This may be replaced when dependencies are built.

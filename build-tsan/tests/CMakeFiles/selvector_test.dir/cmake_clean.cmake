@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selvector_test.dir/selvector_test.cc.o"
+  "CMakeFiles/selvector_test.dir/selvector_test.cc.o.d"
+  "selvector_test"
+  "selvector_test.pdb"
+  "selvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/sql_test.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/sql_test.dir/sql_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/hd_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/hd_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/optimizer/CMakeFiles/hd_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/exec/CMakeFiles/hd_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/txn/CMakeFiles/hd_txn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/hd_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/catalog/CMakeFiles/hd_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/columnstore/CMakeFiles/hd_columnstore.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/btree/CMakeFiles/hd_btree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/storage/CMakeFiles/hd_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

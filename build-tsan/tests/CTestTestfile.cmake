@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/failpoint_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/explain_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/selvector_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/encoded_pred_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/btree_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/columnstore_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/exec_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/txn_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sql_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/edge_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/chaos_test[1]_include.cmake")
