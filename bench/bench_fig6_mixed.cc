@@ -3,7 +3,16 @@
 //   (A) primary B+ tree + secondary B+ tree on shipdate
 //   (B) design A + secondary columnstore
 //   (C) primary columnstore + secondary B+ tree on shipdate
+//
+// On top of the paper's transactional mix, three concurrent analytic
+// streams (wide Q5 range scans, OUTSIDE any transaction) ride alongside —
+// routed through the cooperative shared-scan scheduler and the admission
+// gate (--shared=off disables the scheduler; see EXPERIMENTS.md). Their
+// latencies land in a separate "analytic" stream per MixedPoint, so the
+// Fig 6 transactional-latency shapes are unchanged.
 #include "bench/bench_util.h"
+#include "exec/admission.h"
+#include "exec/scan_scheduler.h"
 #include "workload/mixed_driver.h"
 #include "workload/tpch.h"
 
@@ -32,12 +41,23 @@ Table* Build(Database* db, const std::string& name, uint64_t rows,
 }
 
 MixedResult RunMix(Database* db, TransactionManager* txns,
-                   const std::string& table, double scan_frac, int ops) {
+                   const std::string& table, double scan_frac, int ops,
+                   ScanScheduler* sched, AdmissionController* adm) {
   MixedOptions mo;
   mo.threads = 10;
   mo.total_ops = ops;
   mo.isolation = IsolationLevel::kReadCommitted;
   mo.interval_ms = 100;  // per-interval throughput series for BENCH json
+  mo.analytic_threads = 3;
+  mo.scan_scheduler = sched;
+  mo.admission = adm;
+  mo.analytic_gen = [&table](int, Rng* rng) {
+    const int32_t d = static_cast<int32_t>(
+        rng->Uniform(kTpchShipDateLo, kTpchShipDateHi - 120));
+    Query q = TpchQ5Range(table, d, 120);  // wide analytic range scan
+    q.id = "analytic";
+    return q;
+  };
   OpGenerator gen = [&table, scan_frac](int, Rng* rng) {
     const int32_t d = static_cast<int32_t>(
         rng->Uniform(kTpchShipDateLo, kTpchShipDateHi - 40));
@@ -55,7 +75,8 @@ MixedResult RunMix(Database* db, TransactionManager* txns,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
   const uint64_t rows = static_cast<uint64_t>(1'000'000 * Scale());
   const int ops = static_cast<int>(1200 * Scale());
   Database db;
@@ -64,14 +85,20 @@ int main() {
   if (Build(&db, "li_c", rows, true, false) == nullptr) return 1;
   TransactionManager txns;
 
+  // One scheduler + gate shared by every analytic stream in the run, as a
+  // server process would wire them. --shared=off measures private scans.
+  ScanScheduler sched;
+  AdmissionController adm;  // default: 8 slots, depth 64, 2s timeout
+  ScanScheduler* sp = flags.RunShared() ? &sched : nullptr;
+
   const std::vector<double> scan_pct = {0, 1, 2, 3, 4, 5};
   Series a{"Pri.B+tree", {}}, b{"B+t+sec.CSI", {}}, c{"Pri.CSI", {}};
   BenchJson json("fig6_mixed");
   double upd_med_a0 = 0, upd_med_b0 = 0, upd_med_c0 = 0;
   for (double pct : scan_pct) {
-    MixedResult ra = RunMix(&db, &txns, "li_a", pct / 100, ops);
-    MixedResult rb = RunMix(&db, &txns, "li_b", pct / 100, ops);
-    MixedResult rc = RunMix(&db, &txns, "li_c", pct / 100, ops);
+    MixedResult ra = RunMix(&db, &txns, "li_a", pct / 100, ops, sp, &adm);
+    MixedResult rb = RunMix(&db, &txns, "li_b", pct / 100, ops, sp, &adm);
+    MixedResult rc = RunMix(&db, &txns, "li_c", pct / 100, ops, sp, &adm);
     a.ys.push_back(ra.OverallMeanMs());
     b.ys.push_back(rb.OverallMeanMs());
     c.ys.push_back(rc.OverallMeanMs());

@@ -26,6 +26,47 @@ inline double Scale() {
   return s != nullptr ? std::atof(s) : 1.0;
 }
 
+/// Common CLI flags for the concurrency-aware benches (see EXPERIMENTS.md):
+///   --threads=N           override the client-count sweep with a single N
+///   --queries=N           total queries per measured point
+///   --shared={on,off,both} restrict which scan-sharing series run
+/// Unknown flags abort with a message naming the binary (typo protection);
+/// flags a bench does not consult are simply ignored by it.
+struct BenchFlags {
+  int threads = 0;   // 0 = bench's default sweep
+  int queries = 0;   // 0 = bench's default volume
+  std::string shared = "both";
+
+  bool RunShared() const { return shared != "off"; }
+  bool RunPrivate() const { return shared != "on"; }
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const size_t n = std::string(prefix).size();
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--threads=")) {
+      f.threads = std::atoi(v);
+    } else if (const char* v = val("--queries=")) {
+      f.queries = std::atoi(v);
+    } else if (const char* v = val("--shared=")) {
+      f.shared = v;
+      if (f.shared != "on" && f.shared != "off" && f.shared != "both") {
+        std::fprintf(stderr, "%s: --shared must be on|off|both\n", argv[0]);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], a.c_str());
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
 struct Series {
   std::string name;
   std::vector<double> ys;
@@ -194,16 +235,22 @@ class BenchJson {
     std::string rec = buf;
     rec += ", \"streams\": {";
     bool first = true;
-    for (const auto& [type, s] : r.per_type) {
-      std::snprintf(buf, sizeof buf,
-                    "%s\"%s\": {\"ops\": %llu, \"mean_ms\": %.4f, "
-                    "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
-                    "\"p999_ms\": %.4f}",
-                    first ? "" : ", ", type.c_str(),
-                    static_cast<unsigned long long>(s.count), s.mean_ms(),
-                    s.median_ms(), s.p95_ms(), s.p99_ms(), s.p999_ms());
-      rec += buf;
-      first = false;
+    // Transactional streams first, then the concurrent analytic streams
+    // (MixedResult::analytic) — same record shape, distinguished by the
+    // statement id the generator assigned.
+    for (const auto* map : {&r.per_type, &r.analytic}) {
+      for (const auto& [type, s] : *map) {
+        std::snprintf(buf, sizeof buf,
+                      "%s\"%s\": {\"ops\": %llu, \"mean_ms\": %.4f, "
+                      "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+                      "\"p999_ms\": %.4f, \"failures\": %llu}",
+                      first ? "" : ", ", type.c_str(),
+                      static_cast<unsigned long long>(s.count), s.mean_ms(),
+                      s.median_ms(), s.p95_ms(), s.p99_ms(), s.p999_ms(),
+                      static_cast<unsigned long long>(s.failures));
+        rec += buf;
+        first = false;
+      }
     }
     rec += "}";
     if (!r.intervals.empty()) {
@@ -262,7 +309,8 @@ class BenchJson {
         "\"segments_skipped\": %llu, \"runs_evaluated\": %llu, "
         "\"rows_decoded\": %llu, \"rows_scanned\": %llu, "
         "\"rows_selected\": %llu, \"rows_late_materialized\": %llu, "
-        "\"aggs_pushed_down\": %llu, \"hash_probes\": %llu",
+        "\"aggs_pushed_down\": %llu, \"hash_probes\": %llu, "
+        "\"segments_shared\": %llu, \"decode_bytes_saved\": %llu",
         series.c_str(), x, m.exec_ms(), m.cpu_ms(), m.sim_io_ms(), m.dop,
         static_cast<unsigned long long>(m.morsels_scheduled.load()),
         static_cast<unsigned long long>(m.morsels_stolen.load()),
@@ -273,7 +321,9 @@ class BenchJson {
         static_cast<unsigned long long>(m.rows_selected.load()),
         static_cast<unsigned long long>(m.rows_late_materialized.load()),
         static_cast<unsigned long long>(m.aggs_pushed_down.load()),
-        static_cast<unsigned long long>(m.hash_probes.load()));
+        static_cast<unsigned long long>(m.hash_probes.load()),
+        static_cast<unsigned long long>(m.segments_shared.load()),
+        static_cast<unsigned long long>(m.shared_decode_bytes_saved.load()));
     return buf;
   }
 

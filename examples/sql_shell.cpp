@@ -31,16 +31,27 @@
 //   --stats-interval <ms> sampler tick interval (default 1000).
 //   --stats-prom <file>  write a final Prometheus text-format snapshot of
 //                        the telemetry registry on exit.
+//   --shared-scans       route non-transactional columnstore SELECTs
+//                        through the cooperative shared-scan scheduler
+//                        (EXPLAIN ANALYZE then shows shared_scan=attached
+//                        when a statement joined a pass).
+//   --admission <n>      gate statements behind an admission controller
+//                        with n concurrent slots (overload surfaces as a
+//                        resource-exhausted error, visible in .stats under
+//                        admission.*).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/telemetry.h"
 #include "common/trace.h"
+#include "exec/admission.h"
 #include "exec/executor.h"
 #include "exec/explain.h"
+#include "exec/scan_scheduler.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 
@@ -49,6 +60,8 @@ using namespace hd;
 namespace {
 
 int g_max_dop = 0;  // 0 = hardware default
+std::unique_ptr<ScanScheduler> g_scan_scheduler;
+std::unique_ptr<AdmissionController> g_admission;
 
 /// `.stats` / `.stats prom`: dump the process telemetry registry.
 void PrintStats(bool prometheus) {
@@ -116,6 +129,8 @@ void RunStatement(Database* db, const std::string& sql) {
   ExecContext ctx;
   ctx.db = db;
   ctx.max_dop = g_max_dop;
+  ctx.scan_scheduler = g_scan_scheduler.get();
+  ctx.admission = g_admission.get();
   Executor ex(ctx);
   Timer t;
   QueryResult r = ex.Execute(*q, plan->plan);
@@ -164,11 +179,17 @@ int main(int argc, char** argv) {
       stats_interval_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--stats-prom") == 0 && i + 1 < argc) {
       prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shared-scans") == 0) {
+      g_scan_scheduler = std::make_unique<ScanScheduler>();
+    } else if (std::strcmp(argv[i], "--admission") == 0 && i + 1 < argc) {
+      AdmissionOptions ao;
+      ao.max_concurrent = std::atoi(argv[++i]);
+      g_admission = std::make_unique<AdmissionController>(ao);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.json] [--dop n] "
                    "[--stats-json out.jsonl] [--stats-interval ms] "
-                   "[--stats-prom out.prom]\n",
+                   "[--stats-prom out.prom] [--shared-scans] [--admission n]\n",
                    argv[0]);
       return 2;
     }

@@ -21,6 +21,7 @@
 #include "catalog/stats.h"
 #include "catalog/string_dict.h"
 #include "columnstore/columnstore.h"
+#include "common/latch.h"
 #include "common/schema.h"
 #include "storage/heap_file.h"
 
@@ -177,7 +178,9 @@ class Table {
   /// concurrent statements take this shared (reads) or exclusive (DML).
   /// Logical concurrency control (row/table locks, versioning) lives in
   /// the txn module; this only protects physical structure integrity.
-  std::shared_mutex& phys_latch() const { return phys_latch_; }
+  /// Writer-preferring (common/latch.h): continuous analytic readers must
+  /// not starve DML — see the FairSharedMutex header comment.
+  FairSharedMutex& phys_latch() const { return phys_latch_; }
 
  private:
   void RebuildSecondary(SecondaryIndex* si);
@@ -201,7 +204,7 @@ class Table {
 
   int64_t next_rid_ = 0;
   TableStats stats_;
-  mutable std::shared_mutex phys_latch_;
+  mutable FairSharedMutex phys_latch_;
 };
 
 }  // namespace hd

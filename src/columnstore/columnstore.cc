@@ -504,6 +504,197 @@ Status ColumnStoreIndex::ScanGroups(
   return Status::OK();
 }
 
+Status ColumnStoreIndex::DecodeGroupDense(int gi, const std::vector<int>& cols,
+                                          bool want_locators, DecodedGroup* out,
+                                          QueryMetrics* m) const {
+  const RowGroup& g = *groups_[gi];
+  const size_t n = g.num_rows();
+  out->group = gi;
+  out->rows = n;
+  out->cols = cols;
+  out->values.resize(cols.size());
+  out->decode_bytes = 0;
+  for (size_t ci = 0; ci < cols.size(); ++ci) {
+    const ColumnSegment& seg = g.segment(cols[ci]);
+    HD_RETURN_IF_ERROR(seg.Touch(pool_, m));
+    out->values[ci].resize(n);
+    seg.Decode(0, n, out->values[ci].data());
+    out->decode_bytes += n * sizeof(int64_t);
+  }
+  if (want_locators) {
+    HD_RETURN_IF_ERROR(g.locator_segment().Touch(pool_, m));
+    out->locators.resize(n);
+    g.locator_segment().Decode(0, n, out->locators.data());
+    out->decode_bytes += n * sizeof(int64_t);
+  } else {
+    out->locators.clear();
+  }
+  if (m != nullptr) m->rows_decoded += n;
+  return Status::OK();
+}
+
+Status ColumnStoreIndex::ScanDecodedGroup(
+    const DecodedGroup& dg, const std::vector<int>& cols_needed,
+    const std::vector<SegPredicate>& preds,
+    const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
+    bool need_locators, const std::unordered_set<int64_t>* delete_snapshot,
+    bool* stopped) const {
+  if (stopped != nullptr) *stopped = false;
+  const RowGroup& g = *groups_[dg.group];
+  const bool check_dead =
+      delete_snapshot != nullptr && !delete_snapshot->empty();
+
+  // Dense column pointers for the consumer's projection.
+  std::vector<const int64_t*> dense(cols_needed.size());
+  for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
+    dense[ci] = dg.column(cols_needed[ci]);
+    if (dense[ci] == nullptr) {
+      return Status::Internal("shared scan: column missing from decoded group");
+    }
+  }
+
+  // Predicate translation mirrors ScanGroups for group-level skipping: a
+  // `none` eliminates the whole group (the decode was shared, but this
+  // consumer still skips the evaluation), `all` drops the predicate.
+  // Surviving predicates split by where they evaluate: when the pass
+  // decoded the predicate column into the shared image (the scheduler adds
+  // predicate columns to the image union, so this is the common case), the
+  // compare runs directly on the dense decoded values — a branchless loop
+  // over contiguous int64s that also builds the selection vector in place,
+  // with no bitmap ToIndices materialization. That per-consumer evaluation
+  // is the dominant residual cost of a shared pass once decode is
+  // amortized, so it must not re-run the heavier encoded-domain run
+  // kernels N times per group. Predicates whose column is absent from the
+  // image fall back to the encoded path.
+  struct GroupPred {
+    const ColumnSegment* seg;
+    ColumnSegment::CodeRange cr;
+  };
+  struct DensePred {
+    const int64_t* vals;  // group-relative dense decoded column
+    int64_t lo, hi;
+  };
+  std::vector<GroupPred> encoded;
+  std::vector<DensePred> valued;
+  for (const auto& p : preds) {
+    const ColumnSegment& seg = g.segment(p.col);
+    ColumnSegment::CodeRange cr = seg.TranslateRange(p.lo, p.hi);
+    if (cr.none) {
+      if (m != nullptr) m->segments_skipped += cols_needed.size() + 1;
+      return Status::OK();
+    }
+    if (cr.all) continue;
+    const int64_t* dv = dg.column(p.col);
+    if (dv != nullptr) {
+      valued.push_back(DensePred{dv, p.lo, p.hi});
+    } else {
+      encoded.push_back(GroupPred{&seg, cr});
+    }
+  }
+
+  SelVector match;
+  std::vector<uint32_t> sel(kBatchSize);
+  const size_t n = dg.rows;
+  const bool filter_deletes = check_dead || g.has_deletes();
+  for (size_t start = 0; start < n; start += kBatchSize) {
+    const int take = static_cast<int>(std::min<size_t>(kBatchSize, n - start));
+    int nsel;
+    bool all_pass;
+    if (encoded.empty() && valued.empty()) {
+      all_pass = true;
+      nsel = take;
+    } else {
+      if (!encoded.empty()) {
+        match.Reset(take);
+        uint64_t runs = 0;
+        for (size_t pi = 0; pi < encoded.size(); ++pi) {
+          runs += encoded[pi].seg->EvalRange(start, take, encoded[pi].cr,
+                                             /*refine=*/pi > 0, &match);
+        }
+        if (m != nullptr) m->runs_evaluated += runs;
+        if (match.NoneSet()) {
+          if (m != nullptr) m->rows_scanned += take;
+          continue;
+        }
+        all_pass = match.AllSet();
+        nsel = all_pass ? take : match.ToIndices(sel.data());
+      } else {
+        // First dense predicate builds the selection vector branchlessly.
+        const DensePred& f = valued[0];
+        const int64_t* v = f.vals + start;
+        nsel = 0;
+        for (int i = 0; i < take; ++i) {
+          sel[nsel] = static_cast<uint32_t>(i);
+          nsel += static_cast<int>((v[i] >= f.lo) & (v[i] <= f.hi));
+        }
+        all_pass = (nsel == take);
+      }
+      // Remaining dense predicates refine by compacting the selection
+      // vector in place.
+      const size_t vfirst = encoded.empty() ? 1 : 0;
+      for (size_t pi = vfirst; pi < valued.size(); ++pi) {
+        if (all_pass) {
+          for (int i = 0; i < take; ++i) sel[i] = static_cast<uint32_t>(i);
+          all_pass = false;
+        }
+        const DensePred& vp = valued[pi];
+        const int64_t* v = vp.vals + start;
+        int k = 0;
+        for (int s2 = 0; s2 < nsel; ++s2) {
+          const uint32_t i = sel[s2];
+          sel[k] = i;
+          k += static_cast<int>((v[i] >= vp.lo) & (v[i] <= vp.hi));
+        }
+        nsel = k;
+        if (nsel == take) all_pass = true;
+      }
+      if (nsel == 0) {
+        if (m != nullptr) m->rows_scanned += take;
+        continue;
+      }
+    }
+    if (m != nullptr) {
+      m->rows_scanned += take;
+      m->rows_selected += nsel;
+    }
+    // Delete filtering compacts the selection vector in place; the pass
+    // guarantees dg.locators is populated whenever this can fire.
+    if (filter_deletes) {
+      if (all_pass) {
+        for (int i = 0; i < take; ++i) sel[i] = static_cast<uint32_t>(i);
+        all_pass = false;
+      }
+      const int64_t* locs = dg.locators.data() + start;
+      int k = 0;
+      for (int s = 0; s < nsel; ++s) {
+        const uint32_t i = sel[s];
+        bool live = !g.IsDeleted(start + i);
+        if (live && check_dead) live = !delete_snapshot->count(locs[i]);
+        sel[k] = i;
+        k += live;
+      }
+      nsel = k;
+      if (nsel == 0) continue;
+    }
+    ColumnBatch batch;
+    batch.count = nsel;
+    batch.cols.resize(cols_needed.size());
+    for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
+      batch.cols[ci] = dense[ci] + start;
+    }
+    batch.locators =
+        (need_locators && !dg.locators.empty()) ? dg.locators.data() + start
+                                                : nullptr;
+    batch.sel = all_pass ? nullptr : sel.data();
+    if (m != nullptr) m->rows_output += nsel;
+    if (!fn(batch)) {
+      if (stopped != nullptr) *stopped = true;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
 bool ColumnStoreIndex::TryPushdownAggregates(
     int gi, const std::vector<SegPredicate>& preds,
     std::span<const PushAggSpec> specs, PushAggState* acc,

@@ -31,12 +31,27 @@ namespace hd {
 constexpr int kBatchSize = 4096;
 
 /// A batch of decoded column values handed to batch-mode operators.
+///
+/// Two layouts, distinguished by `sel`:
+///   - sel == nullptr (compact): row j of the batch lives at index j of
+///     every column array (and of `locators`). This is what ScanGroups /
+///     ScanDelta emit.
+///   - sel != nullptr (selection-vector): the column arrays are a *dense*
+///     decode of a wider range and row j lives at physical index sel[j]
+///     (ascending, 0 <= j < count) of every column array and of
+///     `locators`. Shared scans emit this form so consumers never pay a
+///     gather/compaction for rows another query's predicate would have
+///     dropped — the aggregate/projection kernels apply the indirection
+///     themselves. Only handlers on shared-scan routes receive it.
 struct ColumnBatch {
   int count = 0;
-  /// One pointer per requested column, each `count` values.
+  /// One pointer per requested column, each `count` values (or a dense
+  /// slice indexed through `sel`).
   std::vector<const int64_t*> cols;
   /// Row locators (base RowId or packed primary key), `count` values.
   const int64_t* locators = nullptr;
+  /// Selection indices into the dense column arrays; nullptr = compact.
+  const uint32_t* sel = nullptr;
 };
 
 /// Inclusive range predicate on one stored column, in packed value space.
@@ -150,6 +165,57 @@ class ColumnStoreIndex {
                              const std::unordered_set<int64_t>* delete_snapshot,
                              QueryMetrics* m,
                              uint64_t* rows_aggregated = nullptr) const;
+
+  /// Dense decoded image of one row group — the payload of a shared-scan
+  /// ring slot. One decode is produced by whichever consumer claims the
+  /// group; every attached consumer then evaluates its own predicates
+  /// against the dense arrays via ScanDecodedGroup.
+  struct DecodedGroup {
+    int group = -1;
+    size_t rows = 0;
+    /// Stored-column positions decoded, parallel to `values`.
+    std::vector<int> cols;
+    std::vector<std::vector<int64_t>> values;
+    /// Dense locator decode; empty when no consumer (and no delete
+    /// filtering) needs locators.
+    std::vector<int64_t> locators;
+    /// Decoded bytes this image represents (8 bytes × rows × arrays) —
+    /// what each additional consumer saves by not decoding privately.
+    uint64_t decode_bytes = 0;
+
+    const int64_t* column(int col) const {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == col) return values[i].data();
+      }
+      return nullptr;
+    }
+  };
+
+  /// Decode row group `g` densely (all rows, no predicate) into `out`,
+  /// reusing its buffers. Touches the segments (I/O accounting) and
+  /// charges rows_decoded to `m` — the decoder's metrics; sharing
+  /// consumers are charged nothing here.
+  Status DecodeGroupDense(int g, const std::vector<int>& cols,
+                          bool want_locators, DecodedGroup* out,
+                          QueryMetrics* m) const;
+
+  /// Consumer side of a shared scan: evaluate `preds` over row group
+  /// `dg.group` in the encoded domain (same elimination / run-eval / bulk
+  /// heuristics as ScanGroups), but emit batches that point INTO the dense
+  /// decoded image — sparse batches carry a selection vector
+  /// (ColumnBatch::sel) instead of gathering, so the consumer pays no
+  /// per-row materialization. `dg` must contain every column in
+  /// `cols_needed` (and locators when delete filtering or `need_locators`
+  /// requires them). `*stopped` is set when `fn` returned false (the
+  /// caller detaches from the pass). Charges rows_scanned / rows_selected
+  /// / rows_output to `m` but NOT rows_decoded.
+  Status ScanDecodedGroup(const DecodedGroup& dg,
+                          const std::vector<int>& cols_needed,
+                          const std::vector<SegPredicate>& preds,
+                          const std::function<bool(const ColumnBatch&)>& fn,
+                          QueryMetrics* m, bool need_locators,
+                          const std::unordered_set<int64_t>* delete_snapshot,
+                          bool* stopped) const;
 
   /// Row-mode scan of the delta store (queries must union this in).
   Status ScanDelta(const std::vector<int>& cols_needed,

@@ -1,0 +1,97 @@
+// Writer-preferring shared latch.
+//
+// std::shared_mutex on glibc is pthread_rwlock with READER preference: as
+// long as any reader holds the lock, new readers are admitted immediately,
+// so a writer can wait unboundedly when readers overlap continuously.
+// That is not a theoretical concern here — closed-loop analytic streams
+// (bench_fig6_mixed's side-streams, or any busy reporting client against
+// one table) hold the table's phys_latch shared nearly 100% of the time,
+// and every UPDATE needs it exclusive: with reader preference the
+// transactional stream starves outright (observed as a livelocked mixed
+// workload at full CPU).
+//
+// FairSharedMutex flips the policy: once a writer is waiting, new
+// lock_shared() callers block; current readers drain, the writer runs,
+// then the queued readers are admitted in a batch. Readers never starve
+// writers, writers never starve readers for longer than their own
+// critical sections. Acquisition cost is one mutex round-trip per
+// lock/unlock — fine for statement-granular latches, wrong for per-row
+// paths.
+//
+// Meets the C++ SharedMutex named requirements, so std::shared_lock /
+// std::unique_lock / std::scoped_lock work unchanged.
+//
+// Deadlock note (same discipline as before the swap): statements acquire
+// multiple shared latches in one globally sorted order and DML takes
+// exactly one exclusive latch, so the waits-for graph stays acyclic even
+// though waiting writers now block incoming readers.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace hd {
+
+class FairSharedMutex {
+ public:
+  FairSharedMutex() = default;
+  FairSharedMutex(const FairSharedMutex&) = delete;
+  FairSharedMutex& operator=(const FairSharedMutex&) = delete;
+
+  void lock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++writers_waiting_;
+    gate_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (writer_active_ || readers_ != 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      writer_active_ = false;
+    }
+    gate_.notify_all();
+  }
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Blocking behind writers_waiting_ is the whole point: an arriving
+    // reader yields to every queued writer, which bounds writer wait by
+    // the in-flight readers' critical sections.
+    gate_.wait(lk, [&] { return !writer_active_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (writer_active_ || writers_waiting_ != 0) return false;
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      wake = (--readers_ == 0);
+    }
+    if (wake) gate_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable gate_;
+  int readers_ = 0;
+  int writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace hd

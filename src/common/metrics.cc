@@ -24,6 +24,9 @@ void QueryMetrics::Clear() {
   cpu_ns = 0;
   peak_memory_bytes = 0;
   spill_bytes = 0;
+  shared_scan_attaches = 0;
+  segments_shared = 0;
+  shared_decode_bytes_saved = 0;
   txn_retries = 0;
   backoff_ns = 0;
   dop = 1;
@@ -48,6 +51,9 @@ void QueryMetrics::Merge(const QueryMetrics& o) {
   sim_io_ns += o.sim_io_ns.load();
   cpu_ns += o.cpu_ns.load();
   spill_bytes += o.spill_bytes.load();
+  shared_scan_attaches += o.shared_scan_attaches.load();
+  segments_shared += o.segments_shared.load();
+  shared_decode_bytes_saved += o.shared_decode_bytes_saved.load();
   txn_retries += o.txn_retries.load();
   backoff_ns += o.backoff_ns.load();
   UpdatePeakMemory(o.peak_memory_bytes.load());
@@ -69,6 +75,10 @@ std::string QueryMetrics::ToString() const {
      << " aggs_pushed=" << aggs_pushed_down.load()
      << " hash_probes=" << hash_probes.load()
      << " peak_mem=" << peak_memory_bytes.load() << " dop=" << dop;
+  if (shared_scan_attaches.load() > 0) {
+    os << " shared_segs=" << segments_shared.load()
+       << " shared_saved_mb=" << shared_decode_bytes_saved.load() / 1e6;
+  }
   if (txn_retries.load() > 0 || backoff_ns.load() > 0) {
     os << " retries=" << txn_retries.load()
        << " backoff_ms=" << backoff_ns.load() / 1e6;

@@ -63,6 +63,13 @@ struct QueryMetrics {
   std::atomic<uint64_t> cpu_ns{0};
   std::atomic<uint64_t> peak_memory_bytes{0};
   std::atomic<uint64_t> spill_bytes{0};
+  /// Cooperative shared scans (ScanScheduler): passes this query attached
+  /// to, column segments whose decode it consumed from another query's
+  /// decode work, and the decoded bytes it therefore did not produce
+  /// itself.
+  std::atomic<uint64_t> shared_scan_attaches{0};
+  std::atomic<uint64_t> segments_shared{0};
+  std::atomic<uint64_t> shared_decode_bytes_saved{0};
   /// Transaction-level robustness counters (mixed driver): whole-txn
   /// retries after a retryable failure, and wall-clock nanoseconds spent
   /// sleeping in the retry backoff.

@@ -1,0 +1,178 @@
+#include "exec/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/telemetry.h"
+
+namespace hd {
+
+namespace {
+
+struct AdmissionTelemetry {
+  TGauge* running = Telemetry::Instance().Gauge("admission.running");
+  TGauge* queued = Telemetry::Instance().Gauge("admission.queued");
+  TCounter* admitted = Telemetry::Instance().Counter("admission.admitted");
+  TCounter* shed = Telemetry::Instance().Counter("admission.shed");
+  TCounter* timeouts = Telemetry::Instance().Counter("admission.timeouts");
+  THistogram* queue_wait =
+      Telemetry::Instance().Histogram("admission.queue_wait_ns");
+
+  static AdmissionTelemetry& Get() {
+    static AdmissionTelemetry t;
+    return t;
+  }
+};
+
+}  // namespace
+
+struct AdmissionController::Waiter {
+  bool admitted = false;
+};
+
+AdmissionController::AdmissionController(AdmissionOptions opts)
+    : opts_(opts) {
+  if (opts_.max_concurrent < 1) opts_.max_concurrent = 1;
+}
+
+bool AdmissionController::FitsLocked(uint64_t grant_bytes) const {
+  if (running_ >= opts_.max_concurrent) return false;
+  if (opts_.max_memory_grant == 0) return true;
+  if (grant_used_ + grant_bytes <= opts_.max_memory_grant) return true;
+  // An oversized grant would starve forever; let it run alone.
+  return running_ == 0;
+}
+
+Status AdmissionController::Admit(uint64_t grant_bytes, Ticket* out) {
+  auto& tel = AdmissionTelemetry::Get();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (queue_.empty() && FitsLocked(grant_bytes)) {
+    running_++;
+    grant_used_ += grant_bytes;
+    admitted_++;
+    peak_running_ = std::max(peak_running_, running_);
+    tel.running->Add(1);
+    tel.admitted->Add(1);
+    tel.queue_wait->Record(0);
+    *out = Ticket(this, grant_bytes);
+    return Status::OK();
+  }
+  if (static_cast<int>(queue_.size()) >= opts_.max_queue_depth) {
+    shed_++;
+    tel.shed->Add(1);
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " waiting, " + std::to_string(running_) + " running)");
+  }
+  Waiter w;
+  queue_.push_back(&w);
+  peak_queued_ = std::max(peak_queued_, static_cast<int>(queue_.size()));
+  tel.queued->Add(1);
+  const auto deadline =
+      t0 + std::chrono::milliseconds(opts_.queue_timeout_ms);
+  // FIFO: only the head waiter is examined for admission, so a small
+  // query cannot starve a large one at the head (no grant bypass).
+  while (!w.admitted) {
+    const bool at_head = !queue_.empty() && queue_.front() == &w;
+    if (at_head && FitsLocked(grant_bytes)) {
+      queue_.pop_front();
+      running_++;
+      grant_used_ += grant_bytes;
+      admitted_++;
+      peak_running_ = std::max(peak_running_, running_);
+      w.admitted = true;
+      tel.queued->Add(-1);
+      tel.running->Add(1);
+      tel.admitted->Add(1);
+      // Another waiter may now be at the head with room behind us.
+      cv_.notify_all();
+      break;
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        !w.admitted) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == &w) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      timeouts_++;
+      tel.queued->Add(-1);
+      tel.timeouts->Add(1);
+      tel.queue_wait->Record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      // Our departure may unblock the waiter behind us.
+      cv_.notify_all();
+      return Status::ResourceExhausted(
+          "admission queue timeout after " +
+          std::to_string(opts_.queue_timeout_ms) + "ms");
+    }
+  }
+  tel.queue_wait->Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  *out = Ticket(this, grant_bytes);
+  return Status::OK();
+}
+
+void AdmissionController::Release(uint64_t grant_bytes) {
+  auto& tel = AdmissionTelemetry::Get();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_--;
+  grant_used_ -= grant_bytes;
+  tel.running->Add(-1);
+  cv_.notify_all();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (ctrl_ != nullptr) {
+    ctrl_->Release(grant_);
+    ctrl_ = nullptr;
+  }
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return running_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+uint64_t AdmissionController::grant_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return grant_used_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shed_;
+}
+
+uint64_t AdmissionController::timeouts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return timeouts_;
+}
+
+int AdmissionController::peak_running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_running_;
+}
+
+int AdmissionController::peak_queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peak_queued_;
+}
+
+}  // namespace hd

@@ -1,0 +1,115 @@
+// Admission control for analytic queries (ROADMAP item 1).
+//
+// A gate in front of the execution pool: at most `max_concurrent` queries
+// run at once and their memory grants may not exceed `max_memory_grant` in
+// aggregate. Excess queries wait in a FIFO queue; a waiter that exceeds
+// `queue_timeout_ms` — or arrives when the queue is already
+// `max_queue_depth` deep — is shed with kResourceExhausted. This bounds
+// pool oversubscription (morsel workers stay ~1 per core) and keeps
+// per-query tail latency predictable under fan-in, instead of letting N
+// queries time-slice the same cores N× slower.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace hd {
+
+struct AdmissionOptions {
+  /// Queries running at once (≈ pool width / per-query DOP).
+  int max_concurrent = 8;
+  /// Aggregate memory grant across running queries; 0 = unlimited. A
+  /// query whose own grant exceeds the budget is still admitted when it
+  /// is the only one running (it could otherwise never run).
+  uint64_t max_memory_grant = 0;
+  /// Waiters beyond this are shed immediately.
+  int max_queue_depth = 64;
+  /// Max wait before a queued query is shed.
+  int queue_timeout_ms = 2000;
+};
+
+/// Thread-safe admission gate. Queries Admit() before executing and
+/// release their slot via the returned RAII ticket.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions opts = AdmissionOptions());
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Releases one admission slot (and its grant) on destruction. Default
+  /// constructed = empty (releases nothing), so a caller can declare one
+  /// unconditionally and only arm it when admission is configured.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& o) noexcept : ctrl_(o.ctrl_), grant_(o.grant_) {
+      o.ctrl_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& o) noexcept {
+      if (this != &o) {
+        Release();
+        ctrl_ = o.ctrl_;
+        grant_ = o.grant_;
+        o.ctrl_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool admitted() const { return ctrl_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* c, uint64_t g) : ctrl_(c), grant_(g) {}
+    AdmissionController* ctrl_ = nullptr;
+    uint64_t grant_ = 0;
+  };
+
+  /// Block until a slot (and `grant_bytes` of the memory budget) is
+  /// available, FIFO order. Returns kResourceExhausted when the queue is
+  /// full on arrival (shed) or the wait exceeds the timeout. On success
+  /// `*out` holds the slot until destroyed.
+  Status Admit(uint64_t grant_bytes, Ticket* out);
+
+  const AdmissionOptions& options() const { return opts_; }
+  int running() const;
+  int queued() const;
+  uint64_t grant_in_use() const;
+  uint64_t admitted() const;
+  uint64_t shed() const;
+  uint64_t timeouts() const;
+  /// High-water marks since construction (the 4×-oversubscription bound
+  /// checks: peak_running ≤ max_concurrent, peak_queued ≤ depth).
+  int peak_running() const;
+  int peak_queued() const;
+
+ private:
+  struct Waiter;
+
+  /// True when the head waiter (or an arriving query with an empty queue)
+  /// fits: a free slot and enough grant budget (or nothing running).
+  bool FitsLocked(uint64_t grant_bytes) const;
+  void Release(uint64_t grant_bytes);
+
+  AdmissionOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;
+  int running_ = 0;
+  uint64_t grant_used_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t timeouts_ = 0;
+  int peak_running_ = 0;
+  int peak_queued_ = 0;
+};
+
+}  // namespace hd

@@ -10,9 +10,11 @@
 
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/admission.h"
 #include "exec/agg_hash.h"
 #include "common/telemetry.h"
 #include "exec/explain.h"
+#include "exec/scan_scheduler.h"
 
 namespace hd {
 
@@ -431,6 +433,12 @@ struct Executor::Impl {
   // Locking strategy for this statement.
   bool use_table_lock = false;
   bool row_read_locks = false;
+
+  /// Set by RunSelect when this statement's base scan routes through the
+  /// cooperative shared-scan pass (ctx.scan_scheduler). The scan is then
+  /// consumed by this thread alone (the sharing IS the parallelism), so
+  /// DriveBaseScan takes the scheduler branch and reported DOP is 1.
+  bool use_shared_scan = false;
 
   Impl(const ExecContext& c, const Query& qq, const PhysicalPlan& p)
       : ctx(c), q(qq), plan(p) {}
@@ -1081,14 +1089,28 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         return [&, w, rowbuf](const ColumnBatch& b) {
           PackedRow& row = *rowbuf;
           for (int i = 0; i < b.count; ++i) {
-            for (int c = 0; c < ncneed; ++c) row[cols[c]] = b.cols[c][i];
-            const int64_t rid = b.locators != nullptr ? b.locators[i] : -1;
+            const uint32_t pi =
+                b.sel != nullptr ? b.sel[i] : static_cast<uint32_t>(i);
+            for (int c = 0; c < ncneed; ++c) row[cols[c]] = b.cols[c][pi];
+            const int64_t rid = b.locators != nullptr ? b.locators[pi] : -1;
             if (!emit(w, rid, row.data())) return false;
           }
           return true;
         };
       };
       const int ngroups = csi->num_row_groups();
+      if (use_shared_scan) {
+        // Cooperative pass over the row groups; the delta store is always
+        // scanned privately (row-mode, cheap, not worth coordinating).
+        Timer t;
+        PackedRow rowbuf(ncols);
+        auto handler = make_batch_handler(0, &rowbuf);
+        Status ss =
+            ctx.scan_scheduler->Scan(csi, cols, sp, handler, m, need_locs);
+        if (ss.ok()) ss = csi->ScanDelta(cols, sp, handler, m, need_locs);
+        m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+        return ss;
+      }
       if (nworkers <= 1) {
         Timer t;
         PackedRow rowbuf(ncols);
@@ -1173,10 +1195,45 @@ Status Executor::Impl::RunSelect() {
 
   HD_RETURN_IF_ERROR(PrepareJoins());
 
-  const int nworkers = dop();
-  m->dop = nworkers;
   const bool has_aggs = !aggs.empty();
   const bool stream_agg = plan.agg == AggMethod::kStream;
+
+  // Shared-scan routing. A non-transactional single-table SELECT over a
+  // CSI attaches to the cooperative pass when a scheduler is configured —
+  // UNLESS the query is structurally answerable by encoded-domain
+  // aggregate pushdown (every non-COUNT aggregate's predicates sit on its
+  // own column): those queries decode nothing, so sharing a decode would
+  // only cost them. Stream aggregation and scan-provided ordering need
+  // ascending row order, which the circular pass does not give.
+  auto structurally_pushable = [&]() {
+    if (aggs.empty() || !group_slots.empty()) return false;
+    for (const auto& a : aggs) {
+      int col = -1;
+      if (a.fn == AggSpec::Fn::kCount && !a.has_arg) continue;
+      if ((a.fn == AggSpec::Fn::kSum || a.fn == AggSpec::Fn::kAvg) &&
+          a.arg_is_col && a.arg_is_int && a.arg_col.table == 0) {
+        col = a.arg_col.col;
+      } else if ((a.fn == AggSpec::Fn::kMin || a.fn == AggSpec::Fn::kMax) &&
+                 a.arg_is_col && a.arg_col.table == 0) {
+        col = a.arg_col.col;
+      } else {
+        return false;
+      }
+      for (const auto& p : base_preds) {
+        if (p.col != col) return false;
+      }
+    }
+    return true;
+  };
+  use_shared_scan = ctx.scan_scheduler != nullptr && ctx.txn == nullptr &&
+                    plan.base.is_csi() && joins.empty() &&
+                    plan.driving_join < 0 && !stream_agg &&
+                    (q.order_by.empty() || plan.explicit_sort) &&
+                    !structurally_pushable();
+  // The shared pass is consumed by this thread alone: concurrency comes
+  // from the other queries attached to the same pass, not from morsels.
+  const int nworkers = use_shared_scan ? 1 : dop();
+  m->dop = nworkers;
 
   // Output projection slots when not aggregating.
   std::vector<int> proj_slots;
@@ -1564,12 +1621,18 @@ Status Executor::Impl::RunSelect() {
       sp.push_back({p.col, p.lo, p.hi});
     }
     const std::unordered_set<int64_t>* delete_snapshot = nullptr;
-    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) -> Status {
-      WorkerSink& sink = sinks[w];
-      auto handler = [&](const ColumnBatch& b) {
+    auto make_handler = [&](int w) {
+      return [&, w](const ColumnBatch& b) {
+        WorkerSink& sink = sinks[w];
         sink.row_count += b.count;
         const size_t kw = group_cis.size();
         const size_t na = aggs.size();
+        // Shared-scan batches address a dense decode through a selection
+        // vector; private batches are compact (identity).
+        const uint32_t* bsel = b.sel;
+        auto phys = [bsel](int i) {
+          return bsel != nullptr ? static_cast<int>(bsel[i]) : i;
+        };
         // Gather group keys row-major, hash the whole batch once, then
         // resolve every row's group before any state is touched
         // (insertion may reallocate the state array).
@@ -1577,7 +1640,7 @@ Status Executor::Impl::RunSelect() {
         kb.resize(static_cast<size_t>(b.count) * kw);
         for (int i = 0; i < b.count; ++i) {
           for (size_t gi = 0; gi < kw; ++gi) {
-            kb[i * kw + gi] = b.cols[group_cis[gi]][i];
+            kb[i * kw + gi] = b.cols[group_cis[gi]][phys(i)];
           }
         }
         std::vector<uint64_t>& hb = sink.hash_buf;
@@ -1596,7 +1659,8 @@ Status Executor::Impl::RunSelect() {
             for (size_t ai = 0; ai < na; ++ai) {
               double v = 0;
               if (aggs[ai].has_arg) {
-                v = EvalExprBatch(aggs[ai].arg, L, b.cols, slot_of_col, i);
+                v = EvalExprBatch(aggs[ai].arg, L, b.cols, slot_of_col,
+                                  phys(i));
               }
               part.push_back(std::bit_cast<int64_t>(v));
             }
@@ -1632,14 +1696,15 @@ Status Executor::Impl::RunSelect() {
                   if (rs[i] == nullptr) continue;
                   AggState& st = rs[i][ai];
                   ++st.count;
-                  st.i += col[i];
+                  st.i += col[phys(i)];
                 }
               } else {
                 for (int i = 0; i < b.count; ++i) {
                   if (rs[i] == nullptr) continue;
                   AggState& st = rs[i][ai];
                   ++st.count;
-                  st.d += EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
+                  st.d += EvalExprBatch(a.arg, L, b.cols, slot_of_col,
+                                        phys(i));
                 }
               }
               break;
@@ -1651,7 +1716,7 @@ Status Executor::Impl::RunSelect() {
                 for (int i = 0; i < b.count; ++i) {
                   if (rs[i] == nullptr) continue;
                   AggState& st = rs[i][ai];
-                  const int64_t v = col[i];
+                  const int64_t v = col[phys(i)];
                   if (!st.has || (is_min ? v < st.packed_minmax
                                          : v > st.packed_minmax)) {
                     st.packed_minmax = v;
@@ -1663,7 +1728,7 @@ Status Executor::Impl::RunSelect() {
                   if (rs[i] == nullptr) continue;
                   AggState& st = rs[i][ai];
                   const double v =
-                      EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
+                      EvalExprBatch(a.arg, L, b.cols, slot_of_col, phys(i));
                   if (!st.has || (is_min ? v < st.d : v > st.d)) st.d = v;
                   st.has = true;
                 }
@@ -1674,6 +1739,9 @@ Status Executor::Impl::RunSelect() {
         }
         return true;
       };
+    };
+    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) -> Status {
+      auto handler = make_handler(w);
       // gb < 0 selects the delta store (scheduled as its own morsel).
       if (gb < 0) {
         return csi->ScanDelta(needed, sp, handler, wm,
@@ -1684,7 +1752,18 @@ Status Executor::Impl::RunSelect() {
     };
     const int ngroups2 = csi->num_row_groups();
     QueryMetrics* sm = ScanM();
-    if (nworkers <= 1) {
+    if (use_shared_scan) {
+      Timer t;
+      auto handler = make_handler(0);
+      scan_status =
+          ctx.scan_scheduler->Scan(csi, needed, sp, handler, sm,
+                                   /*need_locators=*/false);
+      if (scan_status.ok()) {
+        scan_status = csi->ScanDelta(needed, sp, handler, sm,
+                                     /*need_locators=*/false);
+      }
+      sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+    } else if (nworkers <= 1) {
       Timer t;
       scan_status = batch_worker(0, 0, ngroups2, sm);
       if (scan_status.ok()) scan_status = batch_worker(0, -1, -1, sm);
@@ -1763,10 +1842,14 @@ Status Executor::Impl::RunSelect() {
       pushed_rows.assign(nworkers, 0);
     }
     const std::unordered_set<int64_t>* delete_snapshot = nullptr;
-    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) -> Status {
-      WorkerSink& sink = sinks[w];
-      auto handler = [&](const ColumnBatch& b) {
+    auto make_handler = [&](int w) {
+      return [&, w](const ColumnBatch& b) {
+        WorkerSink& sink = sinks[w];
         sink.row_count += b.count;
+        // Shared-scan batches address a dense decode through a selection
+        // vector; the hot kernels get their own indexed loops so the
+        // private (compact) path stays branch-free.
+        const uint32_t* bsel = b.sel;
         for (size_t ai = 0; ai < aggs.size(); ++ai) {
           const AggDesc& a = aggs[ai];
           AggState& st = sink.global[ai];
@@ -1783,22 +1866,46 @@ Status Executor::Impl::RunSelect() {
                 st.count += b.count;
                 if (a.arg_is_int) {
                   int64_t acc = 0;
-                  for (int i = 0; i < b.count; ++i) acc += col[i];
+                  if (bsel == nullptr) {
+                    for (int i = 0; i < b.count; ++i) acc += col[i];
+                  } else {
+                    for (int i = 0; i < b.count; ++i) acc += col[bsel[i]];
+                  }
                   st.i += acc;
                 } else {
                   double acc = 0;
-                  for (int i = 0; i < b.count; ++i) acc += UnpackDouble(col[i]);
+                  if (bsel == nullptr) {
+                    for (int i = 0; i < b.count; ++i) {
+                      acc += UnpackDouble(col[i]);
+                    }
+                  } else {
+                    for (int i = 0; i < b.count; ++i) {
+                      acc += UnpackDouble(col[bsel[i]]);
+                    }
+                  }
                   st.d += acc;
                 }
                 break;
               }
               case AggSpec::Fn::kMin:
               case AggSpec::Fn::kMax: {
-                int64_t mv = col[0];
+                int64_t mv = bsel == nullptr ? col[0] : col[bsel[0]];
                 if (a.fn == AggSpec::Fn::kMin) {
-                  for (int i = 1; i < b.count; ++i) mv = std::min(mv, col[i]);
+                  if (bsel == nullptr) {
+                    for (int i = 1; i < b.count; ++i) mv = std::min(mv, col[i]);
+                  } else {
+                    for (int i = 1; i < b.count; ++i) {
+                      mv = std::min(mv, col[bsel[i]]);
+                    }
+                  }
                 } else {
-                  for (int i = 1; i < b.count; ++i) mv = std::max(mv, col[i]);
+                  if (bsel == nullptr) {
+                    for (int i = 1; i < b.count; ++i) mv = std::max(mv, col[i]);
+                  } else {
+                    for (int i = 1; i < b.count; ++i) {
+                      mv = std::max(mv, col[bsel[i]]);
+                    }
+                  }
                 }
                 if (!st.has ||
                     (a.fn == AggSpec::Fn::kMin ? mv < st.packed_minmax
@@ -1815,7 +1922,8 @@ Status Executor::Impl::RunSelect() {
             st.count += b.count;
             double acc = 0;
             for (int i = 0; i < b.count; ++i) {
-              acc += EvalExprBatch(a.arg, L, b.cols, slot_of_col, i);
+              const int pi = bsel != nullptr ? static_cast<int>(bsel[i]) : i;
+              acc += EvalExprBatch(a.arg, L, b.cols, slot_of_col, pi);
             }
             if (a.fn == AggSpec::Fn::kSum || a.fn == AggSpec::Fn::kAvg) {
               st.d += acc;
@@ -1824,6 +1932,9 @@ Status Executor::Impl::RunSelect() {
         }
         return true;
       };
+    };
+    auto batch_worker = [&](int w, int gb, int ge, QueryMetrics* wm) -> Status {
+      auto handler = make_handler(w);
       // gb < 0 selects the delta store (scheduled as its own morsel).
       if (gb < 0) {
         return csi->ScanDelta(needed, sp, handler, wm,
@@ -1853,7 +1964,17 @@ Status Executor::Impl::RunSelect() {
     scan_status = csi->SnapshotDeleteBuffer(&dead, sm);
     if (scan_status.ok()) {
       delete_snapshot = &dead;
-      if (nworkers <= 1) {
+      if (use_shared_scan) {
+        Timer t;
+        auto handler = make_handler(0);
+        scan_status = ctx.scan_scheduler->Scan(csi, needed, sp, handler, sm,
+                                               /*need_locators=*/false);
+        if (scan_status.ok()) {
+          scan_status = csi->ScanDelta(needed, sp, handler, sm,
+                                       /*need_locators=*/false);
+        }
+        sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+      } else if (nworkers <= 1) {
         Timer t;
         scan_status = batch_worker(0, 0, ngroups, sm);
         if (scan_status.ok()) scan_status = batch_worker(0, -1, -1, sm);
@@ -2310,6 +2431,24 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
   const auto stmt_t0 = std::chrono::steady_clock::now();
   Impl impl(ctx_, q, plan);
   impl.res.plan_desc = plan.Describe();
+  // Admission gate: non-transactional SELECTs acquire a slot before any
+  // latch or lock (a queued query holds nothing). Statements inside a
+  // transaction bypass the gate — stalling a lock holder in the admission
+  // queue would invite deadlocks the lock manager cannot see.
+  AdmissionController::Ticket ticket;
+  if (ctx_.admission != nullptr && q.kind == Query::Kind::kSelect &&
+      ctx_.txn == nullptr) {
+    Status as = ctx_.admission->Admit(ctx_.memory_grant_bytes, &ticket);
+    if (!as.ok()) {
+      impl.res.status = std::move(as);
+      SStats().errors->Add(1);
+      SStats().ForKind(q.kind)->Record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - stmt_t0)
+              .count());
+      return std::move(impl.res);
+    }
+  }
   Status s = impl.Setup();
   if (s.ok()) {
     // Physical latches: shared for reads, exclusive on the base for DML.
@@ -2319,12 +2458,12 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
     latch_order.erase(std::unique(latch_order.begin(), latch_order.end()),
                       latch_order.end());
     if (q.kind == Query::Kind::kSelect) {
-      std::vector<std::shared_lock<std::shared_mutex>> latches;
+      std::vector<std::shared_lock<FairSharedMutex>> latches;
       latches.reserve(latch_order.size());
       for (Table* t : latch_order) latches.emplace_back(t->phys_latch());
       s = impl.RunSelect();
     } else {
-      std::unique_lock<std::shared_mutex> latch(impl.base->phys_latch());
+      std::unique_lock<FairSharedMutex> latch(impl.base->phys_latch());
       s = impl.RunDml();
     }
   }
@@ -2334,7 +2473,7 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
   // after the merge it is: sum over operators + residual.
   for (const auto& op : impl.ops) impl.res.metrics.Merge(op.metrics);
   impl.res.operators = std::move(impl.ops);
-  impl.res.metrics.dop = impl.dop();
+  impl.res.metrics.dop = impl.use_shared_scan ? 1 : impl.dop();
   if (!s.ok()) SStats().errors->Add(1);
   SStats().ForKind(q.kind)->Record(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -25,6 +25,9 @@
 
 namespace hd {
 
+class ScanScheduler;
+class AdmissionController;
+
 /// Execution environment for one statement.
 struct ExecContext {
   Database* db = nullptr;
@@ -50,6 +53,17 @@ struct ExecContext {
   /// CPU-efficient compared to parallel plans", Section 3.2.1).
   double serial_row_overhead_ns = 60;
   double parallel_row_overhead_ns = 400;
+
+  /// Cooperative shared scans (exec/scan_scheduler.h): when set,
+  /// non-transactional SELECT scans over a CSI attach to the shared
+  /// circular pass for that index instead of scanning privately. nullptr
+  /// (default) preserves fully-private scans.
+  ScanScheduler* scan_scheduler = nullptr;
+  /// Admission gate (exec/admission.h): when set, non-transactional
+  /// SELECTs acquire a slot (with this context's memory_grant_bytes as
+  /// their grant) before executing; queue-full / timeout surfaces as
+  /// kResourceExhausted in QueryResult::status.
+  AdmissionController* admission = nullptr;
 };
 
 /// Result of executing one statement.

@@ -124,6 +124,10 @@ void RenderNode(std::ostringstream& os, const OperatorProfile& op,
     if (m.aggs_pushed_down.load() > 0) {
       os << " aggs_pushed_down=" << m.aggs_pushed_down.load();
     }
+    if (m.shared_scan_attaches.load() > 0) {
+      os << " shared_scan=attached segments_shared=" << m.segments_shared.load()
+         << " decode_bytes_saved=" << m.shared_decode_bytes_saved.load();
+    }
     if (m.hash_probes.load() > 0) os << " hash_probes=" << m.hash_probes.load();
     if (m.morsels_scheduled.load() > 0) {
       os << " morsels=" << m.morsels_scheduled.load() << "(+"

@@ -1,0 +1,91 @@
+// Cooperative shared scans (ROADMAP item 1; cf. ClockScan / SharedDB).
+//
+// Concurrent CSI scans of the same table attach to one in-flight circular
+// pass over its row groups. A pass maintains a small ring of slots; each
+// slot holds the dense decoded image of one row group (DecodedGroup). The
+// first consumer to need the next group claims a free slot and decodes it
+// (paying the segment fetch + decode ONCE); every consumer attached at
+// claim time then evaluates its own predicates against the shared image —
+// directly in the value domain, since the image includes predicate
+// columns — and emits selection-vector batches into its own operator
+// tree (ColumnBatch::sel — no per-consumer gather). A consumer records the
+// pass position at attach, consumes groups in circular order, and detaches
+// after a full wrap — so N concurrent queries pay ~1× decode instead of N×.
+//
+// Correctness: the executor holds the table's shared phys_latch for the
+// whole statement, so row groups, delete bitmaps and the delete buffer
+// cannot change while any consumer is attached; the pass snapshots the
+// delete buffer once at creation. The delta store is NOT part of the pass —
+// each consumer scans it privately after its wrap (row-mode, cheap).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "columnstore/columnstore.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace hd {
+
+struct ScanSchedulerOptions {
+  /// Decoded row groups in flight per pass. More slots = more decode
+  /// pipelining (slow consumers lag behind fast decoders) at the cost of
+  /// slot_count × rowgroup_size × (cols+1) × 8 bytes of peak memory.
+  int ring_slots = 4;
+};
+
+/// Process-wide shared-scan coordinator. Thread-safe; one instance is
+/// typically shared by every ExecContext that opts in.
+class ScanScheduler {
+ public:
+  explicit ScanScheduler(ScanSchedulerOptions opts = ScanSchedulerOptions());
+  ~ScanScheduler();
+
+  ScanScheduler(const ScanScheduler&) = delete;
+  ScanScheduler& operator=(const ScanScheduler&) = delete;
+
+  /// Scan every row group of `csi` through the shared pass for that index
+  /// (joining the in-flight pass when one exists, starting one otherwise).
+  /// Semantically equivalent to
+  ///   csi->ScanGroups(0, csi->num_row_groups(), ...)
+  /// except batches may arrive in circular (not ascending) group order and
+  /// may carry ColumnBatch::sel. Blocks until this consumer has seen every
+  /// group (or `fn` returned false / an error occurred). The caller must
+  /// hold the table's shared phys_latch and must scan the delta store
+  /// itself afterwards.
+  Status Scan(const ColumnStoreIndex* csi, const std::vector<int>& cols_needed,
+              const std::vector<SegPredicate>& preds,
+              const std::function<bool(const ColumnBatch&)>& fn,
+              QueryMetrics* m, bool need_locators);
+
+  /// Passes ever started / consumer attaches (tests and benches; the same
+  /// values feed the scan.* telemetry counters).
+  uint64_t passes_started() const;
+  uint64_t attaches() const;
+
+ private:
+  struct Slot;
+  struct Consumer;
+  struct Pass;
+
+  /// Detach `me` from `pass`: release claimed-but-unconsumed slots in its
+  /// window, drop it from the consumer list, erase the pass when it was
+  /// the last consumer.
+  void Detach(const std::shared_ptr<Pass>& pass, Consumer* me,
+              const ColumnStoreIndex* csi);
+
+  ScanSchedulerOptions opts_;
+  mutable std::mutex mu_;  // guards passes_; ordered before Pass::mu
+  std::map<const ColumnStoreIndex*, std::shared_ptr<Pass>> passes_;
+  uint64_t passes_started_ = 0;
+  uint64_t attaches_ = 0;
+};
+
+}  // namespace hd

@@ -104,4 +104,49 @@ Query MicroQ3(const std::string& table) {
   return q;
 }
 
+Query MicroQ1SumOther(const std::string& table, int64_t lo, int64_t hi) {
+  Query q;
+  q.id = "Q1x";
+  q.base.table = table;
+  q.base.preds.push_back(
+      Pred::Between(0, Value::Int64(lo), Value::Int64(hi)));
+  q.aggs.push_back(AggSpec::Sum(Expr::Col(0, 1), "sum_col1"));
+  return q;
+}
+
+ZipfPredicateGen::ZipfPredicateGen(const ZipfPredOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  const int n = std::max(1, opts_.num_hot_spots);
+  centers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Evenly spaced spot centers across the domain...
+    centers_.push_back(static_cast<int64_t>(
+        (static_cast<double>(i) + 0.5) / n *
+        static_cast<double>(opts_.max_value)));
+  }
+  // ...shuffled once so popularity rank is decoupled from position.
+  rng_.Shuffle(&centers_);
+}
+
+void ZipfPredicateGen::NextRange(int64_t* lo, int64_t* hi) {
+  const int64_t rank =
+      rng_.Zipf(static_cast<int64_t>(centers_.size()), opts_.theta);
+  const int64_t center = centers_[static_cast<size_t>(rank)];
+  const int64_t width = std::max<int64_t>(
+      1, static_cast<int64_t>(opts_.selectivity *
+                              static_cast<double>(opts_.max_value)));
+  int64_t l = center - width / 2;
+  int64_t h = l + width - 1;
+  if (l < 0) {
+    h -= l;
+    l = 0;
+  }
+  if (h > opts_.max_value) {
+    l = std::max<int64_t>(0, l - (h - opts_.max_value));
+    h = opts_.max_value;
+  }
+  *lo = l;
+  *hi = h;
+}
+
 }  // namespace hd

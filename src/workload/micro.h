@@ -5,8 +5,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "catalog/database.h"
+#include "common/rng.h"
 #include "exec/query.h"
 
 namespace hd {
@@ -47,5 +49,42 @@ Query MicroQ2(const std::string& table, double selectivity, int64_t max_value);
 
 /// Q3: SELECT col0, sum(col1) FROM t GROUP BY col0.
 Query MicroQ3(const std::string& table);
+
+/// Q1 variant that aggregates a DIFFERENT column than it filters:
+/// SELECT sum(col1) FROM t WHERE col0 BETWEEN lo AND hi. Unlike Q1/Q1r,
+/// this cannot be answered by encoded-domain aggregate pushdown (the
+/// aggregate column differs from the predicate column), so it always
+/// decodes — the shape concurrent shared scans amortize.
+Query MicroQ1SumOther(const std::string& table, int64_t lo, int64_t hi);
+
+/// Zipf-skewed BETWEEN-range generator (ROADMAP item 4): predicate
+/// centers are drawn from `num_hot_spots` positions spread over
+/// [0, max_value] with Zipfian popularity (rank 0 hottest), so concurrent
+/// queries cluster on hot ranges the way real dashboards do instead of
+/// sampling the domain uniformly. Each range spans `selectivity` of the
+/// domain, clamped to stay inside it.
+struct ZipfPredOptions {
+  int64_t max_value = (1ll << 31) - 1;
+  double selectivity = 0.1;
+  /// Skew theta in [0, 1): 0 = uniform over the spots, 0.99 = extreme.
+  double theta = 0.8;
+  int num_hot_spots = 64;
+  uint64_t seed = 7;
+};
+
+class ZipfPredicateGen {
+ public:
+  explicit ZipfPredicateGen(const ZipfPredOptions& opts);
+
+  /// Next range [*lo, *hi] (inclusive), Zipf-popular center.
+  void NextRange(int64_t* lo, int64_t* hi);
+
+ private:
+  ZipfPredOptions opts_;
+  Rng rng_;
+  /// Spot centers; index = popularity rank (shuffled so the hot spot is
+  /// not always at the domain edge).
+  std::vector<int64_t> centers_;
+};
 
 }  // namespace hd

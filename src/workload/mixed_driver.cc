@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <thread>
 
 #include "common/backoff.h"
 #include "common/thread_pool.h"
@@ -167,6 +168,75 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
     }
   };
 
+  // Concurrent analytic streams: dedicated OS threads (not pool morsels —
+  // they must overlap the transactional clients, not queue behind them)
+  // running non-transactional statements closed-loop until the
+  // transactional stream drains. do/while so every stream completes at
+  // least one statement even in degenerate configs.
+  std::atomic<bool> analytic_stop{false};
+  auto analytic_worker = [&](int aid) {
+    const int tid = opts.threads + aid;
+    Rng rng(opts.seed + static_cast<uint64_t>(tid) * 7919);
+    std::map<std::string, OpStats> local;
+    QueryMetrics local_metrics;
+    Status local_first;
+    do {
+      Query q = opts.analytic_gen(tid, &rng);
+      Timer op_timer;
+      Configuration cfg = Configuration::FromCatalog(*db);
+      PlanOptions popts;
+      popts.max_dop = opts.max_dop_per_query;
+      auto plan = optimizer.Plan(q, cfg, popts);
+      Status op_status = plan.ok() ? Status::OK() : plan.status();
+      if (plan.ok()) {
+        ExecContext ctx;
+        ctx.db = db;
+        ctx.max_dop = opts.max_dop_per_query;
+        ctx.scan_scheduler = opts.scan_scheduler;
+        ctx.admission = opts.admission;
+        Executor ex(ctx);
+        QueryResult r = ex.Execute(q, plan->plan);
+        local_metrics.Merge(r.metrics);
+        op_status = std::move(r.status);
+      }
+      OpStats& st = local[q.id];
+      st.count += 1;
+      if (!op_status.ok()) {
+        st.failures += 1;
+        if (op_status.IsResourceExhausted()) st.exhausted += 1;
+        if (local_first.ok()) local_first = std::move(op_status);
+      }
+      const double ms = op_timer.ElapsedMs();
+      st.total_ms += ms;
+      st.latencies_ms.push_back(ms);
+      st.completion_ms.push_back(wall.ElapsedMs());
+    } while (!analytic_stop.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> g(result_mu);
+    for (auto& [type, st] : local) {
+      OpStats& dst = result.analytic[type];
+      dst.count += st.count;
+      dst.failures += st.failures;
+      dst.exhausted += st.exhausted;
+      dst.total_ms += st.total_ms;
+      dst.latencies_ms.insert(dst.latencies_ms.end(), st.latencies_ms.begin(),
+                              st.latencies_ms.end());
+      dst.completion_ms.insert(dst.completion_ms.end(),
+                               st.completion_ms.begin(),
+                               st.completion_ms.end());
+    }
+    result.metrics.Merge(local_metrics);
+    if (result.first_error.ok() && !local_first.ok()) {
+      result.first_error = std::move(local_first);
+    }
+  };
+  std::vector<std::thread> analytic_clients;
+  if (opts.analytic_threads > 0 && opts.analytic_gen) {
+    analytic_clients.reserve(opts.analytic_threads);
+    for (int a = 0; a < opts.analytic_threads; ++a) {
+      analytic_clients.emplace_back(analytic_worker, a);
+    }
+  }
+
   // One morsel per simulated client; each runs its whole op stream. The
   // shared pool supplies the threads (its size, not opts.threads, bounds
   // hardware concurrency — `threads` keeps its workload meaning of
@@ -174,6 +244,8 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
   ThreadPool::Global().ParallelFor(
       static_cast<uint64_t>(std::max(0, opts.threads)), opts.threads,
       [&](int /*slot*/, uint64_t tid) { worker(static_cast<int>(tid)); });
+  analytic_stop.store(true, std::memory_order_relaxed);
+  for (auto& t : analytic_clients) t.join();
   result.wall_ms = wall.ElapsedMs();
   txns->GarbageCollect();
   if (opts.interval_ms > 0 && result.wall_ms > 0) {
@@ -185,12 +257,14 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
       result.intervals[i].start_ms = static_cast<double>(i) * width;
       result.intervals[i].end_ms = static_cast<double>(i + 1) * width;
     }
-    for (const auto& [type, st] : result.per_type) {
-      for (double t : st.completion_ms) {
-        size_t i = static_cast<size_t>(t / width);
-        if (i >= n) i = n - 1;  // completion raced past the final wall read
-        result.intervals[i].ops += 1;
-        result.intervals[i].ops_per_type[type] += 1;
+    for (const auto* map : {&result.per_type, &result.analytic}) {
+      for (const auto& [type, st] : *map) {
+        for (double t : st.completion_ms) {
+          size_t i = static_cast<size_t>(t / width);
+          if (i >= n) i = n - 1;  // completion raced past the final wall read
+          result.intervals[i].ops += 1;
+          result.intervals[i].ops_per_type[type] += 1;
+        }
       }
     }
     for (auto& iv : result.intervals) {

@@ -19,6 +19,13 @@
 
 namespace hd {
 
+class ScanScheduler;
+class AdmissionController;
+
+/// Statement generator: called per operation with a thread-local RNG.
+/// The returned Query's `id` labels its statistics bucket.
+using OpGenerator = std::function<Query(int thread, Rng* rng)>;
+
 struct MixedOptions {
   int threads = 10;
   /// Total operations across all threads.
@@ -39,6 +46,19 @@ struct MixedOptions {
   /// series in MixedResult::intervals (tail-latency/throughput-over-time
   /// analysis; 0 disables the series).
   double interval_ms = 0;
+
+  /// Concurrent analytic streams riding alongside the transactional mix:
+  /// each thread runs `analytic_gen` statements closed-loop, OUTSIDE any
+  /// transaction, until the transactional op stream drains (at least one
+  /// statement per thread). Their stats land in MixedResult::analytic —
+  /// separate from per_type so they do not skew the transactional
+  /// latency comparisons.
+  int analytic_threads = 0;
+  OpGenerator analytic_gen;
+  /// Shared-scan / admission wiring for the analytic streams (and any
+  /// non-transactional statements); nullptr = private scans, no gate.
+  ScanScheduler* scan_scheduler = nullptr;
+  AdmissionController* admission = nullptr;
 };
 
 struct OpStats {
@@ -80,6 +100,10 @@ struct MixedInterval {
 
 struct MixedResult {
   std::map<std::string, OpStats> per_type;
+  /// Stats of the concurrent analytic streams (MixedOptions::analytic_*),
+  /// keyed by statement id. Excluded from OverallMeanMs and the total_*
+  /// rollups; admission sheds show up here as failures/exhausted.
+  std::map<std::string, OpStats> analytic;
   /// Per-interval throughput series (empty unless
   /// MixedOptions::interval_ms > 0).
   std::vector<MixedInterval> intervals;
@@ -98,10 +122,6 @@ struct MixedResult {
   /// Mean latency across every operation executed.
   double OverallMeanMs() const;
 };
-
-/// Statement generator: called per operation with a thread-local RNG.
-/// The returned Query's `id` labels its statistics bucket.
-using OpGenerator = std::function<Query(int thread, Rng* rng)>;
 
 MixedResult RunMixedWorkload(Database* db, TransactionManager* txns,
                              const OpGenerator& gen, const MixedOptions& opts);
