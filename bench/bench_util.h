@@ -36,6 +36,10 @@ struct BenchFlags {
   int threads = 0;   // 0 = bench's default sweep
   int queries = 0;   // 0 = bench's default volume
   std::string shared = "both";
+  /// Drive the measured queries through hd_server sockets (SQL text over
+  /// hd-proto/1) instead of in-process Executor calls. Only benches that
+  /// document a remote mode honor it (EXPERIMENTS.md).
+  bool remote = false;
 
   bool RunShared() const { return shared != "off"; }
   bool RunPrivate() const { return shared != "on"; }
@@ -59,6 +63,8 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
         std::fprintf(stderr, "%s: --shared must be on|off|both\n", argv[0]);
         std::exit(2);
       }
+    } else if (a == "--remote") {
+      f.remote = true;
     } else {
       std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], a.c_str());
       std::exit(2);

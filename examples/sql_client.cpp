@@ -1,0 +1,135 @@
+// Interactive remote SQL client for hd_server, speaking hd-proto/1
+// (docs/PROTOCOL.md). The network twin of sql_shell:
+//
+//   terminal 1:  ./build/src/server/hd_server --port 5433
+//   terminal 2:  ./build/examples/sql_client --port 5433
+//   sql> SELECT region, sum(revenue) FROM sales GROUP BY region
+//   sql> EXPLAIN ANALYZE SELECT count(*) FROM sales WHERE day < 40
+//   sql> BEGIN
+//   sql> UPDATE sales SET revenue = revenue + 1 WHERE day = 100
+//   sql> COMMIT
+//
+// Meta-commands:
+//   .stats        server telemetry registry (JSON lines)
+//   .stats prom   same, Prometheus text format
+//   quit / exit   orderly Close/CloseOk goodbye
+//
+// Flags:
+//   --host <ip>   server address (default 127.0.0.1)
+//   --port <n>    server port (default 5433)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+
+using namespace hd;
+
+namespace {
+
+void PrintResult(const RemoteResult& r) {
+  if (!r.columns.empty()) {
+    std::string hdr;
+    for (size_t c = 0; c < r.columns.size(); ++c) {
+      if (c) hdr += " | ";
+      hdr += r.columns[c];
+    }
+    std::printf("%s\n", hdr.c_str());
+  }
+  for (size_t i = 0; i < r.rows.size() && i < 20; ++i) {
+    std::string line;
+    for (size_t c = 0; c < r.rows[i].size(); ++c) {
+      if (c) line += " | ";
+      line += r.rows[i][c].ToString();
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  if (r.row_count > 20) {
+    std::printf("... (%llu rows total)\n",
+                static_cast<unsigned long long>(r.row_count));
+  }
+  if (r.affected_rows > 0) {
+    std::printf("%llu rows affected\n",
+                static_cast<unsigned long long>(r.affected_rows));
+  }
+  if (!r.info.empty()) std::printf("%s\n", r.info.c_str());
+  std::printf("-- %.2f ms server-side\n", r.exec_ms);
+}
+
+void RunLine(Client* client, const std::string& line) {
+  if (line == ".stats" || line == ".stats json") {
+    auto s = client->Stats(StatsReqMsg::Format::kJson);
+    std::printf("%s\n", s.ok() ? s->c_str() : s.status().ToString().c_str());
+    return;
+  }
+  if (line == ".stats prom") {
+    auto s = client->Stats(StatsReqMsg::Format::kPrometheus);
+    std::printf("%s", s.ok() ? s->c_str() : s.status().ToString().c_str());
+    return;
+  }
+  auto r = client->Query(line);
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  PrintResult(*r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 5433;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--host ip] [--port n]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Client client;
+  if (Status s = client.Connect(host, port, "sql_client"); !s.ok()) {
+    std::fprintf(stderr, "connect %s:%d failed: %s\n", host.c_str(), port,
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s:%d (%s), session %llu\n", host.c_str(), port,
+              kProtocolVersion,
+              static_cast<unsigned long long>(client.session_id()));
+
+  std::string line;
+  bool any = false;
+  std::printf("sql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    any = true;
+    if (line == "quit" || line == "exit") break;
+    if (!line.empty()) RunLine(&client, line);
+    std::printf("sql> ");
+    std::fflush(stdout);
+  }
+  if (!any) {
+    // No stdin: scripted demo against the server's preloaded table.
+    std::printf("(no input; running demo script)\n");
+    for (const char* s :
+         {"SELECT count(*), sum(revenue) FROM sales",
+          "SELECT region, sum(revenue) FROM sales GROUP BY region ORDER BY region",
+          "EXPLAIN ANALYZE SELECT sum(revenue) FROM sales WHERE region = 'east' AND day < 40"}) {
+      std::printf("sql> %s\n", s);
+      RunLine(&client, s);
+    }
+  }
+
+  if (Status s = client.Close(); !s.ok()) {
+    std::fprintf(stderr, "close failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("bye\n");
+  return 0;
+}

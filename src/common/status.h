@@ -56,6 +56,7 @@ class Status {
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsResourceExhausted() const {

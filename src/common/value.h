@@ -43,6 +43,17 @@ class Value {
 
   bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
 
+  /// Which alternative the value holds. Numeric values are wire-stable
+  /// (hd-proto/1 tags values with exactly these, see docs/PROTOCOL.md).
+  enum class Kind : uint8_t {
+    kNull = 0,
+    kInt32 = 1,
+    kInt64 = 2,
+    kDouble = 3,
+    kString = 4,
+  };
+  Kind kind() const { return static_cast<Kind>(v_.index()); }
+
   int32_t i32() const { return std::get<int32_t>(v_); }
   int64_t i64() const { return std::get<int64_t>(v_); }
   double f64() const { return std::get<double>(v_); }

@@ -68,6 +68,11 @@ uint64_t ScanScheduler::attaches() const {
   return attaches_;
 }
 
+size_t ScanScheduler::active_passes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return passes_.size();
+}
+
 void ScanScheduler::Detach(const std::shared_ptr<Pass>& pass, Consumer* me,
                            const ColumnStoreIndex* csi) {
   std::lock_guard<std::mutex> lk(mu_);

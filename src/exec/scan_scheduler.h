@@ -69,6 +69,11 @@ class ScanScheduler {
   /// values feed the scan.* telemetry counters).
   uint64_t passes_started() const;
   uint64_t attaches() const;
+  /// Passes currently in flight. A pass is erased when its last consumer
+  /// detaches, so 0 means no consumer is attached anywhere — the
+  /// "no leaked scheduler attachments" probe the server tests use after
+  /// abrupt client disconnects.
+  size_t active_passes() const;
 
  private:
   struct Slot;

@@ -1,0 +1,168 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hd {
+
+Status Client::Connect(const std::string& host, int port,
+                       const std::string& client_name) {
+  if (fd_ >= 0) return Status::InvalidArgument("already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Abort();
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status s = Status::IoError(std::string("connect: ") +
+                               std::strerror(errno));
+    Abort();
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  Status s = WriteFrame(fd_, MsgType::kHello,
+                        EncodeHello({kProtocolVersion, client_name}));
+  Frame f;
+  if (!s.ok()) {
+    // A server refusing pre-handshake (max_sessions, §3.1) sends Error
+    // and closes; our Hello write may die on the closed socket first
+    // (EPIPE) while the typed refusal still sits in the receive buffer.
+    // Prefer that refusal over the raw write error when it is readable.
+    if (ReadFrame(fd_, &f).ok() && f.type == MsgType::kError) s = Status::OK();
+  } else {
+    s = ReadFrame(fd_, &f);
+  }
+  if (s.ok() && f.type == MsgType::kError) {
+    ErrorMsg e;
+    s = DecodeError(f.payload, &e).ok()
+            ? Status(e.code, e.message)
+            : Status::Internal("undecodable Error frame");
+  } else if (s.ok() && f.type != MsgType::kHelloOk) {
+    s = Status::InvalidArgument(std::string("expected HelloOk, got ") +
+                                MsgTypeName(f.type));
+  }
+  if (s.ok()) {
+    HelloOkMsg ok;
+    s = DecodeHelloOk(f.payload, &ok);
+    if (s.ok()) session_id_ = ok.session_id;
+  }
+  if (!s.ok()) Abort();
+  return s;
+}
+
+Result<RemoteResult> Client::Query(const std::string& sql) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  HD_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kQuery, EncodeQuery({sql})));
+  RemoteResult out;
+  // §3.2: consume frames until the exchange terminator (ResultDone or
+  // Error). Header/batches/info may precede it in any valid stream.
+  while (true) {
+    Frame f;
+    HD_RETURN_IF_ERROR(ReadFrame(fd_, &f));
+    switch (f.type) {
+      case MsgType::kResultHeader: {
+        ResultHeaderMsg h;
+        HD_RETURN_IF_ERROR(DecodeResultHeader(f.payload, &h));
+        out.columns.clear();
+        out.column_types.clear();
+        for (auto& [name, type] : h.columns) {
+          out.columns.push_back(std::move(name));
+          out.column_types.push_back(type);
+        }
+        break;
+      }
+      case MsgType::kRowBatch: {
+        RowBatchMsg b;
+        HD_RETURN_IF_ERROR(DecodeRowBatch(f.payload, &b));
+        for (auto& r : b.rows) out.rows.push_back(std::move(r));
+        break;
+      }
+      case MsgType::kInfo: {
+        InfoMsg info;
+        HD_RETURN_IF_ERROR(DecodeInfo(f.payload, &info));
+        if (!out.info.empty()) out.info += "\n";
+        out.info += info.text;
+        break;
+      }
+      case MsgType::kResultDone: {
+        ResultDoneMsg d;
+        HD_RETURN_IF_ERROR(DecodeResultDone(f.payload, &d));
+        out.row_count = d.row_count;
+        out.affected_rows = d.affected_rows;
+        out.exec_ms = d.exec_ms;
+        if (!d.info.empty()) {
+          if (!out.info.empty()) out.info += "\n";
+          out.info += d.info;
+        }
+        return out;
+      }
+      case MsgType::kError: {
+        ErrorMsg e;
+        HD_RETURN_IF_ERROR(DecodeError(f.payload, &e));
+        return Status(e.code, e.message);
+      }
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected server frame ") + MsgTypeName(f.type));
+    }
+  }
+}
+
+Result<std::string> Client::Stats(StatsReqMsg::Format format) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  StatsReqMsg req;
+  req.format = format;
+  HD_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kStatsReq, EncodeStatsReq(req)));
+  Frame f;
+  HD_RETURN_IF_ERROR(ReadFrame(fd_, &f));
+  if (f.type == MsgType::kError) {
+    ErrorMsg e;
+    HD_RETURN_IF_ERROR(DecodeError(f.payload, &e));
+    return Status(e.code, e.message);
+  }
+  if (f.type != MsgType::kStatsResult) {
+    return Status::InvalidArgument(std::string("expected StatsResult, got ") +
+                                   MsgTypeName(f.type));
+  }
+  std::string blob;
+  HD_RETURN_IF_ERROR(DecodeStatsResult(f.payload, &blob));
+  return blob;
+}
+
+Status Client::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = WriteFrame(fd_, MsgType::kClose, "");
+  if (s.ok()) {
+    Frame f;
+    s = ReadFrame(fd_, &f);
+    if (s.ok() && f.type != MsgType::kCloseOk) {
+      s = Status::InvalidArgument(std::string("expected CloseOk, got ") +
+                                  MsgTypeName(f.type));
+    }
+  }
+  Abort();
+  return s;
+}
+
+void Client::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace hd

@@ -1,0 +1,72 @@
+// Thin hd-proto/1 client library (docs/PROTOCOL.md) used by
+// examples/sql_client.cpp, tests/server_test.cc, and
+// bench_fig13 --remote.
+//
+// Blocking, single-connection, not thread-safe: one Client per client
+// thread (the benches open k of them). The request/response pairing is
+// the §3.2 query loop: Query() sends one statement and consumes frames
+// until the terminating ResultDone or Error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace hd {
+
+/// Everything one statement produced on the wire.
+struct RemoteResult {
+  std::vector<std::string> columns;     // from ResultHeader (may be empty)
+  std::vector<uint8_t> column_types;    // ValueType or kDynamicColType
+  std::vector<Row> rows;                // materialized row stream
+  uint64_t row_count = 0;               // true cardinality (§2.6)
+  uint64_t affected_rows = 0;
+  double exec_ms = 0;                   // server-side wall time
+  std::string info;                     // plan_desc / EXPLAIN text / txn ack
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Abort(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// TCP connect + Hello/HelloOk handshake (§3.1).
+  Status Connect(const std::string& host, int port,
+                 const std::string& client_name = "sql_client");
+
+  bool connected() const { return fd_ >= 0; }
+  uint64_t session_id() const { return session_id_; }
+  /// The connected socket (tests use it to craft raw/hostile frames).
+  int fd() const { return fd_; }
+
+  /// Execute one statement (SQL, or BEGIN/COMMIT/ROLLBACK, §3.3) and
+  /// collect the full response. A server-side Error frame surfaces as
+  /// the equivalent engine Status (§4) — e.g. admission shed is
+  /// kResourceExhausted, exactly as in-process callers see it.
+  Result<RemoteResult> Query(const std::string& sql);
+
+  /// Fetch a telemetry snapshot (§2.8).
+  Result<std::string> Stats(StatsReqMsg::Format format);
+
+  /// Orderly goodbye: Close → CloseOk → socket close (§3.4).
+  Status Close();
+
+  /// Abrupt disconnect: close the socket with no Close frame — the
+  /// kill-client-mid-query path tests/server_test.cc exercises. The
+  /// server must release the session's locks, transaction, and scan
+  /// attachments on its own.
+  void Abort();
+
+ private:
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace hd

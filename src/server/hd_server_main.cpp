@@ -1,0 +1,160 @@
+// hd_server: the engine as a network service — the promotion of
+// examples/sql_shell.cpp to a real multi-client SQL server (ROADMAP item
+// 1). Clients speak hd-proto/1 (docs/PROTOCOL.md); examples/sql_client
+// is the interactive CLI.
+//
+//   terminal 1:  ./build/src/server/hd_server --port 5433 --shared-scans
+//   terminal 2:  ./build/examples/sql_client --port 5433
+//
+// The server preloads the same 400k-row 'sales' demo table the shell
+// did (clustered B+ tree(region, day) + secondary columnstore), serves
+// until SIGINT/SIGTERM, then shuts down cleanly: sessions drained,
+// transactions aborted, telemetry sampler flushed — exit code 0.
+//
+// Flags:
+//   --host <ip>          listen address (default 127.0.0.1)
+//   --port <n>           TCP port (default 5433; 0 = ephemeral, printed)
+//   --workers <n>        session worker threads (default 4)
+//   --max-sessions <n>   connection cap (default 256)
+//   --dop <n>            per-statement DOP cap (default: hardware)
+//   --shared-scans       cooperative shared scans for CSI SELECTs
+//   --admission <n>      admission gate with n concurrent slots
+//   --stats-json <file>  background hd-stats/1 JSONL sampler
+//   --stats-interval <ms>  sampler tick (default 1000)
+//   --stats-prom <file>  final Prometheus snapshot on exit
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/telemetry.h"
+#include "server/server.h"
+
+using namespace hd;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+/// The shell's demo schema: 400k-row sales with a hybrid design.
+Status LoadDemo(Database* db) {
+  auto sales = db->CreateTable(
+      "sales", Schema({{"region", ValueType::kString, 8},
+                       {"day", ValueType::kInt32, 0},
+                       {"units", ValueType::kInt32, 0},
+                       {"revenue", ValueType::kDouble, 0}}));
+  if (!sales.ok()) return sales.status();
+  static const char* kRegions[] = {"east", "north", "south", "west"};
+  std::vector<Row> rows;
+  rows.reserve(400000);
+  for (int i = 0; i < 400000; ++i) {
+    rows.push_back({Value::String(kRegions[i % 4]), Value::Int32(i % 365),
+                    Value::Int32(1 + i % 9), Value::Double(5.0 + i % 200)});
+  }
+  sales.value()->BulkLoad(rows);
+  HD_RETURN_IF_ERROR(sales.value()->SetPrimary(PrimaryKind::kBTree, {0, 1}));
+  HD_RETURN_IF_ERROR(sales.value()->CreateSecondaryColumnStore("csi_sales"));
+  sales.value()->Analyze();
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  opts.port = 5433;
+  std::string stats_path, prom_path;
+  int stats_interval_ms = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      opts.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      opts.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      opts.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0 && i + 1 < argc) {
+      opts.max_sessions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dop") == 0 && i + 1 < argc) {
+      opts.max_dop = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shared-scans") == 0) {
+      opts.shared_scans = true;
+    } else if (std::strcmp(argv[i], "--admission") == 0 && i + 1 < argc) {
+      opts.admission_slots = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stats-json") == 0 && i + 1 < argc) {
+      stats_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats-interval") == 0 && i + 1 < argc) {
+      stats_interval_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stats-prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host ip] [--port n] [--workers n] "
+                   "[--max-sessions n] [--dop n] [--shared-scans] "
+                   "[--admission n] [--stats-json f] [--stats-interval ms] "
+                   "[--stats-prom f]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  TelemetrySampler sampler;
+  if (!stats_path.empty()) {
+    Status s = sampler.Start(stats_path, stats_interval_ms);
+    if (!s.ok()) {
+      std::fprintf(stderr, "stats sampler failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Database db;
+  if (Status s = LoadDemo(&db); !s.ok()) {
+    std::fprintf(stderr, "demo load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  Server server(&db, opts);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("hd_server listening on %s:%d (%s)\n", opts.host.c_str(),
+              server.port(), kProtocolVersion);
+  std::printf("preloaded table 'sales'(region, day, units, revenue), "
+              "400000 rows; shared_scans=%s admission=%d workers=%d\n",
+              opts.shared_scans ? "on" : "off", opts.admission_slots,
+              opts.workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down: %d active sessions, %llu connections total\n",
+              server.sessions_active(),
+              static_cast<unsigned long long>(server.connections_total()));
+  server.Stop();
+
+  if (!stats_path.empty()) {
+    sampler.Stop();
+    std::printf("wrote %llu telemetry samples to %s\n",
+                static_cast<unsigned long long>(sampler.samples_written()),
+                stats_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    FILE* f = std::fopen(prom_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", prom_path.c_str());
+      return 1;
+    }
+    const std::string text = Telemetry::Instance().Snapshot().ToPrometheus();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  std::printf("clean shutdown\n");
+  return 0;
+}

@@ -1,0 +1,430 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hd {
+
+namespace {
+
+// Per-value tags inside RowBatch (PROTOCOL.md §2.5). Distinct from the
+// ValueType column declarations: a tag travels with every value, so a
+// decoder never guesses widths.
+enum ValTag : uint8_t {
+  kTagNull = 0,
+  kTagI32 = 1,
+  kTagI64 = 2,
+  kTagF64 = 3,
+  kTagStr = 4,
+};
+
+Status Truncated() { return Status::InvalidArgument("truncated payload"); }
+
+/// Loop send() until the whole buffer is on the wire.
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    if (w == 0) return Status::IoError("send: connection closed");
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// Loop recv() until exactly n bytes. `*got` counts bytes received so
+/// the caller can distinguish clean EOF (0) from a torn frame (>0).
+Status RecvAll(int fd, char* data, size_t n, size_t* got) {
+  *got = 0;
+  while (*got < n) {
+    const ssize_t r = ::recv(fd, data + *got, n - *got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return *got == 0 ? Status::NotFound("connection closed")
+                       : Status::IoError("recv: truncated frame");
+    }
+    *got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kHelloOk: return "HelloOk";
+    case MsgType::kQuery: return "Query";
+    case MsgType::kResultHeader: return "ResultHeader";
+    case MsgType::kRowBatch: return "RowBatch";
+    case MsgType::kResultDone: return "ResultDone";
+    case MsgType::kError: return "Error";
+    case MsgType::kStatsReq: return "StatsReq";
+    case MsgType::kStatsResult: return "StatsResult";
+    case MsgType::kClose: return "Close";
+    case MsgType::kCloseOk: return "CloseOk";
+    case MsgType::kInfo: return "Info";
+  }
+  return "?";
+}
+
+uint8_t WireCode(Code c) { return static_cast<uint8_t>(c); }
+
+Code CodeFromWire(uint8_t v) {
+  return v <= static_cast<uint8_t>(Code::kInternal) ? static_cast<Code>(v)
+                                                    : Code::kInternal;
+}
+
+// ---- WireWriter --------------------------------------------------------
+
+void WireWriter::U32(uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 4);
+}
+
+void WireWriter::U64(uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(b, 8);
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  U64(bits);
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void WireWriter::Value(const hd::Value& v) {
+  switch (v.kind()) {
+    case hd::Value::Kind::kNull:
+      U8(kTagNull);
+      return;
+    case hd::Value::Kind::kInt32:
+      U8(kTagI32);
+      U32(static_cast<uint32_t>(v.i32()));
+      return;
+    case hd::Value::Kind::kInt64:
+      U8(kTagI64);
+      U64(static_cast<uint64_t>(v.i64()));
+      return;
+    case hd::Value::Kind::kDouble:
+      U8(kTagF64);
+      F64(v.f64());
+      return;
+    case hd::Value::Kind::kString:
+      U8(kTagStr);
+      Str(v.str());
+      return;
+  }
+}
+
+// ---- WireReader --------------------------------------------------------
+
+Status WireReader::Need(size_t n) {
+  return s_.size() - off_ >= n ? Status::OK() : Truncated();
+}
+
+Status WireReader::U8(uint8_t* v) {
+  HD_RETURN_IF_ERROR(Need(1));
+  *v = static_cast<uint8_t>(s_[off_++]);
+  return Status::OK();
+}
+
+Status WireReader::U32(uint32_t* v) {
+  HD_RETURN_IF_ERROR(Need(4));
+  uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) {
+    x |= static_cast<uint32_t>(static_cast<uint8_t>(s_[off_ + i])) << (8 * i);
+  }
+  off_ += 4;
+  *v = x;
+  return Status::OK();
+}
+
+Status WireReader::U64(uint64_t* v) {
+  HD_RETURN_IF_ERROR(Need(8));
+  uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) {
+    x |= static_cast<uint64_t>(static_cast<uint8_t>(s_[off_ + i])) << (8 * i);
+  }
+  off_ += 8;
+  *v = x;
+  return Status::OK();
+}
+
+Status WireReader::F64(double* v) {
+  uint64_t bits;
+  HD_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, sizeof bits);
+  return Status::OK();
+}
+
+Status WireReader::Str(std::string* s) {
+  uint32_t n;
+  HD_RETURN_IF_ERROR(U32(&n));
+  HD_RETURN_IF_ERROR(Need(n));
+  s->assign(s_, off_, n);
+  off_ += n;
+  return Status::OK();
+}
+
+Status WireReader::Value(hd::Value* v) {
+  uint8_t tag;
+  HD_RETURN_IF_ERROR(U8(&tag));
+  switch (tag) {
+    case kTagNull:
+      *v = hd::Value::Null();
+      return Status::OK();
+    case kTagI32: {
+      uint32_t x;
+      HD_RETURN_IF_ERROR(U32(&x));
+      *v = hd::Value::Int32(static_cast<int32_t>(x));
+      return Status::OK();
+    }
+    case kTagI64: {
+      uint64_t x;
+      HD_RETURN_IF_ERROR(U64(&x));
+      *v = hd::Value::Int64(static_cast<int64_t>(x));
+      return Status::OK();
+    }
+    case kTagF64: {
+      double x;
+      HD_RETURN_IF_ERROR(F64(&x));
+      *v = hd::Value::Double(x);
+      return Status::OK();
+    }
+    case kTagStr: {
+      std::string s;
+      HD_RETURN_IF_ERROR(Str(&s));
+      *v = hd::Value::String(std::move(s));
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unknown value tag " +
+                                     std::to_string(tag));
+  }
+}
+
+// ---- Typed payloads ----------------------------------------------------
+
+std::string EncodeHello(const HelloMsg& m) {
+  WireWriter w;
+  w.Str(m.version);
+  w.Str(m.client_name);
+  return w.Take();
+}
+
+Status DecodeHello(const std::string& p, HelloMsg* m) {
+  WireReader r(p);
+  HD_RETURN_IF_ERROR(r.Str(&m->version));
+  HD_RETURN_IF_ERROR(r.Str(&m->client_name));
+  return Status::OK();
+}
+
+std::string EncodeHelloOk(const HelloOkMsg& m) {
+  WireWriter w;
+  w.Str(m.server_version);
+  w.U64(m.session_id);
+  return w.Take();
+}
+
+Status DecodeHelloOk(const std::string& p, HelloOkMsg* m) {
+  WireReader r(p);
+  HD_RETURN_IF_ERROR(r.Str(&m->server_version));
+  HD_RETURN_IF_ERROR(r.U64(&m->session_id));
+  return Status::OK();
+}
+
+std::string EncodeQuery(const QueryMsg& m) {
+  WireWriter w;
+  w.Str(m.sql);
+  return w.Take();
+}
+
+Status DecodeQuery(const std::string& p, QueryMsg* m) {
+  WireReader r(p);
+  return r.Str(&m->sql);
+}
+
+std::string EncodeResultHeader(const ResultHeaderMsg& m) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(m.columns.size()));
+  for (const auto& [name, type] : m.columns) {
+    w.Str(name);
+    w.U8(type);
+  }
+  return w.Take();
+}
+
+Status DecodeResultHeader(const std::string& p, ResultHeaderMsg* m) {
+  WireReader r(p);
+  uint32_t n;
+  HD_RETURN_IF_ERROR(r.U32(&n));
+  m->columns.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint8_t type;
+    HD_RETURN_IF_ERROR(r.Str(&name));
+    HD_RETURN_IF_ERROR(r.U8(&type));
+    m->columns.emplace_back(std::move(name), type);
+  }
+  return Status::OK();
+}
+
+std::string EncodeRowBatch(const RowBatchMsg& m) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(m.rows.size()));
+  w.U8(m.last ? 1 : 0);
+  for (const Row& row : m.rows) {
+    w.U32(static_cast<uint32_t>(row.size()));
+    for (const auto& v : row) w.Value(v);
+  }
+  return w.Take();
+}
+
+Status DecodeRowBatch(const std::string& p, RowBatchMsg* m) {
+  WireReader r(p);
+  uint32_t nrows;
+  uint8_t last;
+  HD_RETURN_IF_ERROR(r.U32(&nrows));
+  HD_RETURN_IF_ERROR(r.U8(&last));
+  m->last = last != 0;
+  m->rows.clear();
+  for (uint32_t i = 0; i < nrows; ++i) {
+    uint32_t ncols;
+    HD_RETURN_IF_ERROR(r.U32(&ncols));
+    // A row cannot have more values than payload bytes left; reject
+    // absurd counts before reserving (fuzzed payloads, §1.3).
+    if (ncols > r.remaining()) return Truncated();
+    Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      hd::Value v;
+      HD_RETURN_IF_ERROR(r.Value(&v));
+      row.push_back(std::move(v));
+    }
+    m->rows.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+std::string EncodeResultDone(const ResultDoneMsg& m) {
+  WireWriter w;
+  w.U64(m.row_count);
+  w.U64(m.affected_rows);
+  w.F64(m.exec_ms);
+  w.Str(m.info);
+  return w.Take();
+}
+
+Status DecodeResultDone(const std::string& p, ResultDoneMsg* m) {
+  WireReader r(p);
+  HD_RETURN_IF_ERROR(r.U64(&m->row_count));
+  HD_RETURN_IF_ERROR(r.U64(&m->affected_rows));
+  HD_RETURN_IF_ERROR(r.F64(&m->exec_ms));
+  HD_RETURN_IF_ERROR(r.Str(&m->info));
+  return Status::OK();
+}
+
+std::string EncodeError(const ErrorMsg& m) {
+  WireWriter w;
+  w.U8(WireCode(m.code));
+  w.Str(m.message);
+  return w.Take();
+}
+
+Status DecodeError(const std::string& p, ErrorMsg* m) {
+  WireReader r(p);
+  uint8_t code;
+  HD_RETURN_IF_ERROR(r.U8(&code));
+  m->code = CodeFromWire(code);
+  HD_RETURN_IF_ERROR(r.Str(&m->message));
+  return Status::OK();
+}
+
+std::string EncodeStatsReq(const StatsReqMsg& m) {
+  WireWriter w;
+  w.U8(m.format);
+  return w.Take();
+}
+
+Status DecodeStatsReq(const std::string& p, StatsReqMsg* m) {
+  WireReader r(p);
+  return r.U8(&m->format);
+}
+
+std::string EncodeStatsResult(const std::string& blob) {
+  WireWriter w;
+  w.Str(blob);
+  return w.Take();
+}
+
+Status DecodeStatsResult(const std::string& p, std::string* blob) {
+  WireReader r(p);
+  return r.Str(blob);
+}
+
+std::string EncodeInfo(const InfoMsg& m) {
+  WireWriter w;
+  w.Str(m.text);
+  return w.Take();
+}
+
+Status DecodeInfo(const std::string& p, InfoMsg* m) {
+  WireReader r(p);
+  return r.Str(&m->text);
+}
+
+// ---- Socket framing ----------------------------------------------------
+
+Status WriteFrame(int fd, MsgType type, const std::string& payload,
+                  uint64_t* wire_bytes) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(payload.size() + 1));
+  w.U8(static_cast<uint8_t>(type));
+  std::string head = w.Take();
+  HD_RETURN_IF_ERROR(SendAll(fd, head.data(), head.size()));
+  HD_RETURN_IF_ERROR(SendAll(fd, payload.data(), payload.size()));
+  if (wire_bytes != nullptr) *wire_bytes = head.size() + payload.size();
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, Frame* out, uint32_t max_frame,
+                 uint64_t* wire_bytes) {
+  char lenbuf[4];
+  size_t got = 0;
+  HD_RETURN_IF_ERROR(RecvAll(fd, lenbuf, sizeof lenbuf, &got));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(lenbuf[i])) << (8 * i);
+  }
+  if (len == 0 || len > max_frame) {
+    return Status::InvalidArgument("frame length " + std::to_string(len) +
+                                   " outside (0, " + std::to_string(max_frame) +
+                                   "]");
+  }
+  std::string body(len, '\0');
+  HD_RETURN_IF_ERROR(RecvAll(fd, body.data(), len, &got));
+  out->type = static_cast<MsgType>(static_cast<uint8_t>(body[0]));
+  out->payload.assign(body, 1, len - 1);
+  if (wire_bytes != nullptr) *wire_bytes = 4u + len;
+  return Status::OK();
+}
+
+}  // namespace hd

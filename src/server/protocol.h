@@ -1,0 +1,207 @@
+// hd-proto/1: the length-prefixed binary wire protocol between sql_client
+// and hd_server (normative spec: docs/PROTOCOL.md; this header implements
+// it and the two must agree section-by-section).
+//
+// Frame (PROTOCOL.md §1):
+//   u32 length   little-endian; number of bytes that FOLLOW the length
+//                field, i.e. 1 (type byte) + payload size. Minimum 1.
+//   u8  type     MsgType below (PROTOCOL.md §2).
+//   ...payload   message-specific, built from the wire scalars in §1.2.
+//
+// A peer that receives a frame whose length field is 0 or exceeds the
+// negotiated maximum must treat the connection as poisoned: the length
+// cannot be trusted, so resynchronization is impossible (§1.3). The
+// server answers with Error{kInvalidArgument} when the stream is still
+// writable and closes the connection.
+//
+// Everything here is plain payload encode/decode plus blocking
+// read/write-a-frame over a connected socket; no session state. The
+// session layer (server/session.h) owns sequencing, the client library
+// (server/client.h) owns the request/response pairing.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace hd {
+
+/// Protocol version exchanged in Hello/HelloOk (PROTOCOL.md §5).
+inline constexpr const char* kProtocolVersion = "hd-proto/1";
+
+/// Default upper bound on `length` a peer will accept (§1.3). Large
+/// result sets are paginated into RowBatch frames well under this.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Rows per RowBatch frame the server emits (§2.5). A decoder must not
+/// rely on any particular batch size, only on the `last` flag.
+inline constexpr uint32_t kRowsPerBatch = 1024;
+
+/// Message types (PROTOCOL.md §2). Values are wire-stable: new types may
+/// be appended, existing values never change meaning within hd-proto/1.
+enum class MsgType : uint8_t {
+  kHello = 1,         // c→s  version handshake (§2.1)
+  kHelloOk = 2,       // s→c  handshake accept + session id (§2.2)
+  kQuery = 3,         // c→s  one SQL statement or dot-command (§2.3)
+  kResultHeader = 4,  // s→c  column names/types of a row stream (§2.4)
+  kRowBatch = 5,      // s→c  a batch of rows; `last` flag ends it (§2.5)
+  kResultDone = 6,    // s→c  statement summary, ends the exchange (§2.6)
+  kError = 7,         // s→c  typed failure, ends the exchange (§2.7)
+  kStatsReq = 8,      // c→s  telemetry snapshot request (§2.8)
+  kStatsResult = 9,   // s→c  telemetry snapshot blob (§2.8)
+  kClose = 10,        // c→s  orderly goodbye (§2.9)
+  kCloseOk = 11,      // s→c  goodbye ack; server closes after (§2.9)
+  kInfo = 12,         // s→c  out-of-band text (EXPLAIN output) (§2.10)
+};
+
+const char* MsgTypeName(MsgType t);
+
+/// Status codes on the wire (§4): the u8 in an Error frame is the
+/// numeric value of Code. Unknown values decode as kInternal.
+uint8_t WireCode(Code c);
+Code CodeFromWire(uint8_t v);
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+/// Append-only payload builder for the §1.2 wire scalars (all integers
+/// little-endian; strings are u32 length + bytes, no terminator).
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);
+  void Str(const std::string& s);
+  void Value(const hd::Value& v);
+
+  const std::string& buf() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked payload reader. Every getter returns
+/// kInvalidArgument("truncated payload") past the end — a malformed
+/// payload must never read out of bounds (§1.3).
+class WireReader {
+ public:
+  explicit WireReader(const std::string& s) : s_(s) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F64(double* v);
+  Status Str(std::string* s);
+  Status Value(hd::Value* v);
+
+  bool AtEnd() const { return off_ == s_.size(); }
+  size_t remaining() const { return s_.size() - off_; }
+
+ private:
+  Status Need(size_t n);
+  const std::string& s_;
+  size_t off_ = 0;
+};
+
+// ---- Typed payloads (one struct per §2 message that carries fields) ----
+
+struct HelloMsg {             // §2.1
+  std::string version;        // must equal kProtocolVersion
+  std::string client_name;    // informational (telemetry labels)
+};
+
+struct HelloOkMsg {           // §2.2
+  std::string server_version;
+  uint64_t session_id = 0;
+};
+
+struct QueryMsg {             // §2.3
+  std::string sql;
+};
+
+struct ResultHeaderMsg {      // §2.4
+  /// Per output column: name + declared ValueType. A column whose type
+  /// is only known per-row (aggregate outputs) declares kDynamicColType;
+  /// the per-value tags in RowBatch are authoritative either way.
+  static constexpr uint8_t kDynamicColType = 0xff;
+  std::vector<std::pair<std::string, uint8_t>> columns;
+};
+
+struct RowBatchMsg {          // §2.5
+  bool last = false;
+  std::vector<Row> rows;
+};
+
+struct ResultDoneMsg {        // §2.6
+  uint64_t row_count = 0;
+  uint64_t affected_rows = 0;
+  double exec_ms = 0;
+  std::string info;           // plan_desc, txn state change, ...
+};
+
+struct ErrorMsg {             // §2.7
+  Code code = Code::kInternal;
+  std::string message;
+};
+
+struct StatsReqMsg {          // §2.8
+  enum Format : uint8_t { kPrometheus = 0, kJson = 1 };
+  uint8_t format = kPrometheus;
+};
+
+struct InfoMsg {              // §2.10
+  std::string text;
+};
+
+std::string EncodeHello(const HelloMsg& m);
+std::string EncodeHelloOk(const HelloOkMsg& m);
+std::string EncodeQuery(const QueryMsg& m);
+std::string EncodeResultHeader(const ResultHeaderMsg& m);
+std::string EncodeRowBatch(const RowBatchMsg& m);
+std::string EncodeResultDone(const ResultDoneMsg& m);
+std::string EncodeError(const ErrorMsg& m);
+std::string EncodeStatsReq(const StatsReqMsg& m);
+std::string EncodeStatsResult(const std::string& blob);
+std::string EncodeInfo(const InfoMsg& m);
+
+Status DecodeHello(const std::string& p, HelloMsg* m);
+Status DecodeHelloOk(const std::string& p, HelloOkMsg* m);
+Status DecodeQuery(const std::string& p, QueryMsg* m);
+Status DecodeResultHeader(const std::string& p, ResultHeaderMsg* m);
+Status DecodeRowBatch(const std::string& p, RowBatchMsg* m);
+Status DecodeResultDone(const std::string& p, ResultDoneMsg* m);
+Status DecodeError(const std::string& p, ErrorMsg* m);
+Status DecodeStatsReq(const std::string& p, StatsReqMsg* m);
+Status DecodeStatsResult(const std::string& p, std::string* blob);
+Status DecodeInfo(const std::string& p, InfoMsg* m);
+
+// ---- Socket framing ----------------------------------------------------
+
+/// Write one frame to a connected socket (blocking, MSG_NOSIGNAL; a
+/// closed peer surfaces as kIoError, not SIGPIPE). On success
+/// *wire_bytes (optional) is the total bytes put on the wire
+/// (4 + 1 + payload).
+Status WriteFrame(int fd, MsgType type, const std::string& payload,
+                  uint64_t* wire_bytes = nullptr);
+
+/// Read one frame (blocking until a full frame, EOF, or socket timeout).
+/// EOF before any byte → kNotFound("connection closed") so callers can
+/// tell an orderly hangup from a mid-frame truncation (kIoError). A
+/// length of 0 or > max_frame → kInvalidArgument (§1.3: poisoned
+/// stream). The session layer, not this framing layer, owns the
+/// `server.read`/`server.write` failpoint seams — arming them must fault
+/// only the server side, and both peers share these functions.
+Status ReadFrame(int fd, Frame* out, uint32_t max_frame = kMaxFrameBytes,
+                 uint64_t* wire_bytes = nullptr);
+
+}  // namespace hd

@@ -1,0 +1,119 @@
+// hd_server: the TCP socket/session layer over the engine (ROADMAP item
+// 1's second half; session lifecycle: docs/PROTOCOL.md §3, threading
+// model: DESIGN.md "Server & sessions").
+//
+// One accept thread hands each connection to one of `workers` session
+// workers, round-robin. Each worker multiplexes its sessions with
+// poll(): when a session's socket turns readable it reads ONE frame and
+// handles it to completion (queries execute inline on the worker —
+// intra-query parallelism comes from the engine's morsel pool, and
+// cross-session reads of the same columnstore converge in the shared
+// ScanScheduler pass exactly as the in-process shell's --shared-scans
+// does). Fairness across the sessions of one worker is therefore at
+// frame granularity.
+//
+// Shutdown ordering: Stop() closes the listener, joins the accept
+// thread, then asks every worker to drain; workers destroy their
+// sessions (each destructor aborts any open transaction and closes the
+// socket) before joining. The process-wide TelemetrySampler, if any,
+// outlives all of this safely — it reads only the leaked registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/database.h"
+#include "exec/admission.h"
+#include "exec/scan_scheduler.h"
+#include "server/session.h"
+#include "txn/transaction.h"
+
+namespace hd {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Session workers. Each multiplexes many connections; total engine
+  /// parallelism is still governed by the morsel pool + admission gate.
+  int workers = 4;
+  /// Accepted connections beyond this are refused with a typed Error
+  /// frame before the handshake.
+  int max_sessions = 256;
+  /// Route non-transactional CSI SELECTs through a process-wide shared
+  /// ScanScheduler (the shell's --shared-scans).
+  bool shared_scans = false;
+  /// >0 installs an AdmissionController with this many slots (the
+  /// shell's --admission n); shed/timeout surfaces to clients as an
+  /// Error frame carrying kResourceExhausted.
+  int admission_slots = 0;
+  /// Per-statement execution defaults handed to every session.
+  int max_dop = 0;
+  uint64_t memory_grant_bytes = 4ull << 30;
+  /// recv() timeout per frame read; a client that stalls mid-frame
+  /// longer than this is treated as a torn frame and disconnected.
+  int read_timeout_ms = 10'000;
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class Server {
+ public:
+  explicit Server(Database* db, ServerOptions opts = ServerOptions());
+  ~Server();  // Stop() if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start accept/worker threads. Fails (typed) when the
+  /// port is taken or the socket cannot be created.
+  Status Start();
+
+  /// Close the listener, drain and destroy every session, join all
+  /// threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (after Start() with port 0).
+  int port() const { return port_; }
+  int sessions_active() const {
+    return sessions_active_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_total() const {
+    return connections_total_.load(std::memory_order_relaxed);
+  }
+
+  // Engine-side objects, exposed for tests and telemetry probes.
+  TransactionManager* txns() { return &txns_; }
+  ScanScheduler* scan_scheduler() { return scan_scheduler_.get(); }
+  AdmissionController* admission() { return admission_.get(); }
+
+ private:
+  struct Worker;
+
+  void AcceptLoop();
+  void WorkerLoop(Worker* w);
+  SessionEnv MakeEnv();
+
+  Database* db_;
+  ServerOptions opts_;
+  TransactionManager txns_;
+  std::unique_ptr<ScanScheduler> scan_scheduler_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<int> sessions_active_{0};
+  std::atomic<uint64_t> connections_total_{0};
+};
+
+}  // namespace hd

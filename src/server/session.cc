@@ -1,0 +1,412 @@
+#include "server/session.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/failpoint.h"
+#include "common/telemetry.h"
+#include "exec/admission.h"
+#include "exec/explain.h"
+#include "exec/scan_scheduler.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace hd {
+
+namespace {
+
+// server.* telemetry shared by all sessions (glossary:
+// docs/OBSERVABILITY.md "Server" section).
+struct ServerStats {
+  TCounter* queries = Telemetry::Instance().Counter("server.queries");
+  TCounter* errors = Telemetry::Instance().Counter("server.errors");
+  TCounter* bytes_in = Telemetry::Instance().Counter("server.bytes_in");
+  TCounter* bytes_out = Telemetry::Instance().Counter("server.bytes_out");
+  TCounter* cache_hits =
+      Telemetry::Instance().Counter("server.plan_cache_hits");
+  THistogram* query_ns = Telemetry::Instance().Histogram("server.query_ns");
+};
+
+ServerStats& SStats() {
+  static ServerStats s;
+  return s;
+}
+
+/// Uppercased first word of a statement ("BEGIN", "SELECT", ...); *rest
+/// (optional) receives everything after it, untrimmed.
+std::string FirstWord(const std::string& sql, std::string* rest = nullptr) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[j]))) {
+    ++j;
+  }
+  std::string w = sql.substr(i, j - i);
+  for (char& c : w) c = static_cast<char>(std::toupper(c));
+  if (rest != nullptr) *rest = sql.substr(j);
+  return w;
+}
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+/// Trim ASCII whitespace both ends.
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Output column names/types for a query's result rows: group-by columns
+/// then aggregate labels for aggregating queries, the projected columns
+/// (or all base columns for SELECT *) otherwise. Best effort — the
+/// per-value tags in RowBatch are authoritative (§2.4); a mismatch with
+/// the actual row width is padded/truncated against the first row.
+ResultHeaderMsg BuildHeader(const Database& db, const Query& q,
+                            const QueryResult& r) {
+  ResultHeaderMsg h;
+  auto table_of = [&](int t) -> const Table* {
+    const std::string& name =
+        t == 0 ? q.base.table : q.joins[t - 1].dim.table;
+    return db.GetTable(name);
+  };
+  auto add_col = [&](const ColRef& ref) {
+    const Table* t = table_of(ref.table);
+    if (t != nullptr && ref.col < t->schema().num_columns()) {
+      const Column& c = t->schema().column(ref.col);
+      h.columns.emplace_back(c.name, static_cast<uint8_t>(c.type));
+    } else {
+      h.columns.emplace_back("col" + std::to_string(ref.col),
+                             ResultHeaderMsg::kDynamicColType);
+    }
+  };
+  if (!q.aggs.empty()) {
+    for (const ColRef& g : q.group_by) add_col(g);
+    for (const AggSpec& a : q.aggs) {
+      h.columns.emplace_back(a.label, ResultHeaderMsg::kDynamicColType);
+    }
+  } else if (!q.select_cols.empty()) {
+    for (const ColRef& c : q.select_cols) add_col(c);
+  } else if (const Table* t = table_of(0)) {
+    for (const Column& c : t->schema().columns()) {
+      h.columns.emplace_back(c.name, static_cast<uint8_t>(c.type));
+    }
+  }
+  const size_t width = r.rows.empty() ? h.columns.size() : r.rows[0].size();
+  while (h.columns.size() < width) {
+    h.columns.emplace_back("col" + std::to_string(h.columns.size()),
+                           ResultHeaderMsg::kDynamicColType);
+  }
+  if (h.columns.size() > width && !r.rows.empty()) h.columns.resize(width);
+  return h;
+}
+
+}  // namespace
+
+Session::Session(uint64_t id, int fd, SessionEnv env)
+    : id_(id), fd_(fd), env_(env) {}
+
+Session::~Session() {
+  if (txn_ != nullptr && env_.txns != nullptr) {
+    env_.txns->Abort(txn_.get());
+    txn_.reset();
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Session::Send(MsgType t, const std::string& payload) {
+  // Connection-fault seam (docs/ROBUSTNESS.md): an injected failure here
+  // behaves like a peer that vanished mid-write. Lives at the session
+  // layer, not in WriteFrame, so arming it never faults client-side
+  // writers in the same process.
+  HD_FAILPOINT_RETURN("server.write");
+  uint64_t n = 0;
+  Status s = WriteFrame(fd_, t, payload, &n);
+  SStats().bytes_out->Add(n);
+  return s;
+}
+
+Status Session::SendError(const Status& s) {
+  SStats().errors->Add(1);
+  return Send(MsgType::kError, EncodeError({s.code(), s.message()}));
+}
+
+Session::Outcome Session::Pump() {
+  Frame f;
+  uint64_t n = 0;
+  // Connection-fault seam (docs/ROBUSTNESS.md): injected read failures
+  // take the same torn-frame path as a real one below. Server-side only
+  // by construction — see the note in Send().
+  Status s = EvalFailPoint("server.read");
+  if (s.ok()) s = ReadFrame(fd_, &f, env_.max_frame_bytes, &n);
+  SStats().bytes_in->Add(n);
+  if (s.IsNotFound()) return Outcome::kClose;  // orderly EOF
+  if (!s.ok()) {
+    // Torn/oversized/injected-fault frame: tell the client (when the
+    // stream is still writable) and drop the connection — after a bad
+    // length prefix the stream cannot be re-synchronized (§1.3).
+    (void)SendError(s);
+    return Outcome::kClose;
+  }
+  return HandleFrame(f);
+}
+
+Session::Outcome Session::HandleFrame(const Frame& f) {
+  // §3.1: the first frame must be Hello; anything else is a protocol
+  // violation that ends the connection.
+  if (!hello_done_) {
+    if (f.type != MsgType::kHello) {
+      (void)SendError(Status::InvalidArgument(
+          std::string("expected Hello, got ") + MsgTypeName(f.type)));
+      return Outcome::kClose;
+    }
+    HelloMsg hello;
+    Status s = DecodeHello(f.payload, &hello);
+    if (s.ok() && hello.version != kProtocolVersion) {
+      s = Status::InvalidArgument("unsupported protocol version '" +
+                                  hello.version + "', server speaks " +
+                                  kProtocolVersion);
+    }
+    if (!s.ok()) {
+      (void)SendError(s);
+      return Outcome::kClose;
+    }
+    hello_done_ = true;
+    if (!Send(MsgType::kHelloOk,
+              EncodeHelloOk({kProtocolVersion, id_}))
+             .ok()) {
+      return Outcome::kClose;
+    }
+    return Outcome::kKeep;
+  }
+
+  switch (f.type) {
+    case MsgType::kQuery: {
+      QueryMsg q;
+      Status s = DecodeQuery(f.payload, &q);
+      if (!s.ok()) {
+        (void)SendError(s);
+        return Outcome::kClose;
+      }
+      return HandleQuery(q.sql);
+    }
+    case MsgType::kStatsReq: {
+      StatsReqMsg req;
+      Status s = DecodeStatsReq(f.payload, &req);
+      if (!s.ok()) {
+        (void)SendError(s);
+        return Outcome::kClose;
+      }
+      return HandleStats(req);
+    }
+    case MsgType::kClose:
+      (void)Send(MsgType::kCloseOk, "");
+      return Outcome::kClose;
+    default:
+      // §2: clients only originate Hello/Query/StatsReq/Close.
+      (void)SendError(Status::InvalidArgument(
+          std::string("unexpected client frame ") + MsgTypeName(f.type)));
+      return Outcome::kClose;
+  }
+}
+
+Session::Outcome Session::HandleStats(const StatsReqMsg& req) {
+  TelemetrySnapshot snap = Telemetry::Instance().Snapshot();
+  std::string blob;
+  switch (req.format) {
+    case StatsReqMsg::kPrometheus:
+      blob = snap.ToPrometheus();
+      break;
+    case StatsReqMsg::kJson:
+      blob = snap.ToJson();
+      break;
+    default:
+      if (!SendError(Status::InvalidArgument(
+               "unknown stats format " + std::to_string(req.format)))
+               .ok()) {
+        return Outcome::kClose;
+      }
+      return Outcome::kKeep;
+  }
+  return Send(MsgType::kStatsResult, EncodeStatsResult(blob)).ok()
+             ? Outcome::kKeep
+             : Outcome::kClose;
+}
+
+bool Session::HandleTxnStatement(const std::string& sql, Outcome* out) {
+  std::string tail;
+  const std::string word = FirstWord(sql, &tail);
+  if (word != "BEGIN" && word != "COMMIT" && word != "ROLLBACK" &&
+      word != "ABORT") {
+    return false;
+  }
+  auto done = [&](const std::string& info) {
+    ResultDoneMsg d;
+    d.info = info;
+    *out = Send(MsgType::kResultDone, EncodeResultDone(d)).ok()
+               ? Outcome::kKeep
+               : Outcome::kClose;
+  };
+  auto fail = [&](const Status& s) {
+    *out = SendError(s).ok() ? Outcome::kKeep : Outcome::kClose;
+  };
+  if (env_.txns == nullptr) {
+    fail(Status::NotSupported("server has no transaction manager"));
+    return true;
+  }
+  if (word == "BEGIN") {
+    if (txn_ != nullptr) {
+      fail(Status::InvalidArgument("transaction already open (§3.3)"));
+      return true;
+    }
+    const std::string rest = Upper(Trim(tail));
+    IsolationLevel iso = IsolationLevel::kReadCommitted;
+    if (rest == "SNAPSHOT") {
+      iso = IsolationLevel::kSnapshot;
+    } else if (rest == "SERIALIZABLE") {
+      iso = IsolationLevel::kSerializable;
+    } else if (!rest.empty()) {
+      fail(Status::InvalidArgument("BEGIN [SNAPSHOT|SERIALIZABLE], got '" +
+                                   rest + "'"));
+      return true;
+    }
+    txn_ = env_.txns->Begin(iso);
+    done(std::string("BEGIN ") + IsolationLevelName(iso));
+    return true;
+  }
+  if (txn_ == nullptr) {
+    fail(Status::InvalidArgument("no open transaction (§3.3)"));
+    return true;
+  }
+  if (word == "COMMIT") {
+    env_.txns->Commit(txn_.get());
+    txn_.reset();
+    done("COMMIT");
+  } else {  // ROLLBACK / ABORT
+    env_.txns->Abort(txn_.get());
+    txn_.reset();
+    done("ROLLBACK");
+  }
+  return true;
+}
+
+Status Session::PlanStatement(const std::string& sql, const CachedPlan** out) {
+  auto it = cache_.find(sql);
+  if (it != cache_.end()) {
+    SStats().cache_hits->Add(1);
+    *out = &it->second;
+    return Status::OK();
+  }
+  HD_ASSIGN_OR_RETURN(Query q, ParseSql(*env_.db, sql));
+  Optimizer opt(env_.db);
+  PlanOptions popts;
+  popts.max_dop = env_.max_dop;
+  popts.memory_grant_bytes = env_.memory_grant_bytes;
+  HD_ASSIGN_OR_RETURN(
+      Optimizer::PlanResult pr,
+      opt.Plan(q, Configuration::FromCatalog(*env_.db), popts));
+  if (cache_.size() >= env_.plan_cache_capacity && !cache_order_.empty()) {
+    cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
+  auto [pos, inserted] =
+      cache_.emplace(sql, CachedPlan{std::move(q), std::move(pr.plan)});
+  if (inserted) cache_order_.push_back(sql);
+  *out = &pos->second;
+  return Status::OK();
+}
+
+Session::Outcome Session::HandleQuery(const std::string& sql) {
+  SStats().queries->Add(1);
+  Timer wall;
+  auto record = [&] {
+    SStats().query_ns->Record(static_cast<int64_t>(wall.ElapsedMs() * 1e6));
+  };
+
+  Outcome out = Outcome::kKeep;
+  if (HandleTxnStatement(sql, &out)) {
+    record();
+    return out;
+  }
+
+  const CachedPlan* cp = nullptr;
+  Status s = PlanStatement(sql, &cp);
+  if (!s.ok()) {
+    record();
+    return SendError(s).ok() ? Outcome::kKeep : Outcome::kClose;
+  }
+  const Query& q = cp->query;
+
+  if (q.explain == Query::ExplainMode::kPlan) {
+    record();
+    if (!Send(MsgType::kInfo, EncodeInfo({ExplainPlan(q, cp->plan)})).ok()) {
+      return Outcome::kClose;
+    }
+    ResultDoneMsg d;
+    d.info = "EXPLAIN";
+    return Send(MsgType::kResultDone, EncodeResultDone(d)).ok()
+               ? Outcome::kKeep
+               : Outcome::kClose;
+  }
+
+  ExecContext ctx;
+  ctx.db = env_.db;
+  ctx.max_dop = env_.max_dop;
+  ctx.memory_grant_bytes = env_.memory_grant_bytes;
+  ctx.scan_scheduler = env_.scan_scheduler;
+  ctx.admission = env_.admission;
+  if (txn_ != nullptr) {
+    ctx.txns = env_.txns;
+    ctx.txn = txn_.get();
+  }
+  Executor ex(ctx);
+  QueryResult r = ex.Execute(q, cp->plan);
+  record();
+  if (!r.ok()) {
+    // Typed failure over the wire: admission shed arrives here as
+    // kResourceExhausted (§4) — the client sees exactly the engine code.
+    return SendError(r.status).ok() ? Outcome::kKeep : Outcome::kClose;
+  }
+  return SendResult(q, cp->plan, r, wall.ElapsedMs()).ok() ? Outcome::kKeep
+                                                           : Outcome::kClose;
+}
+
+Status Session::SendResult(const Query& q, const PhysicalPlan& plan,
+                           const QueryResult& r, double wall_ms) {
+  if (q.explain == Query::ExplainMode::kAnalyze) {
+    HD_RETURN_IF_ERROR(
+        Send(MsgType::kInfo, EncodeInfo({ExplainAnalyze(q, plan, r)})));
+  } else if (q.kind == Query::Kind::kSelect) {
+    HD_RETURN_IF_ERROR(
+        Send(MsgType::kResultHeader,
+             EncodeResultHeader(BuildHeader(*env_.db, q, r))));
+    // §2.5: rows stream in batches; exactly one batch carries last=1,
+    // including the zero-row result (one empty final batch).
+    size_t i = 0;
+    do {
+      RowBatchMsg b;
+      const size_t n = std::min<size_t>(kRowsPerBatch, r.rows.size() - i);
+      b.rows.assign(r.rows.begin() + i, r.rows.begin() + i + n);
+      i += n;
+      b.last = i == r.rows.size();
+      HD_RETURN_IF_ERROR(Send(MsgType::kRowBatch, EncodeRowBatch(b)));
+    } while (i < r.rows.size());
+  }
+  ResultDoneMsg d;
+  d.row_count = r.row_count;
+  d.affected_rows = r.affected_rows;
+  d.exec_ms = wall_ms;
+  d.info = r.plan_desc;
+  return Send(MsgType::kResultDone, EncodeResultDone(d));
+}
+
+}  // namespace hd

@@ -1,0 +1,113 @@
+// One client connection's server-side state (PROTOCOL.md §3).
+//
+// A session owns: its socket, its protocol state machine (handshake →
+// query loop → close), an optional open transaction, and its
+// catalog-of-intermediates — a bounded plan cache mapping exact SQL text
+// to the parsed Query + chosen PhysicalPlan, so a dashboard-style client
+// that re-issues the same statement skips parse/bind/optimize on every
+// round trip (hits surface as `server.plan_cache_hits`).
+//
+// Sessions are single-threaded by construction: a session is owned by
+// exactly one server worker and Pump() is only ever called from that
+// worker's loop, so there is no internal locking. Engine-side concurrency
+// (morsel parallelism, shared scan passes, the admission gate) is reached
+// through the process-wide objects in SessionEnv — the same wiring the
+// in-process shell's --shared-scans/--admission flags use.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/database.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "exec/query.h"
+#include "server/protocol.h"
+#include "txn/transaction.h"
+
+namespace hd {
+
+class ScanScheduler;
+class AdmissionController;
+
+/// Process-wide engine objects every session shares, plus the per-session
+/// execution defaults the server hands out.
+struct SessionEnv {
+  Database* db = nullptr;
+  TransactionManager* txns = nullptr;
+  ScanScheduler* scan_scheduler = nullptr;     // may be null (private scans)
+  AdmissionController* admission = nullptr;    // may be null (no gate)
+  int max_dop = 0;
+  uint64_t memory_grant_bytes = 4ull << 30;
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Plan-cache entries per session before FIFO eviction.
+  size_t plan_cache_capacity = 64;
+};
+
+class Session {
+ public:
+  /// What the worker loop should do with the session after one Pump().
+  enum class Outcome {
+    kKeep,   // frame handled; keep polling this fd
+    kClose,  // orderly or errored end; destroy the session
+  };
+
+  /// Takes ownership of `fd` (closed in the destructor).
+  Session(uint64_t id, int fd, SessionEnv env);
+  /// Closes the socket and aborts any open transaction, releasing its
+  /// locks — an abruptly-disconnected client must leak nothing (§3.4).
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Read exactly one frame from the socket and handle it. Called by the
+  /// owning worker when poll() reports the fd readable.
+  Outcome Pump();
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  bool in_transaction() const { return txn_ != nullptr; }
+  uint64_t plan_cache_size() const { return cache_.size(); }
+
+ private:
+  struct CachedPlan {
+    Query query;
+    PhysicalPlan plan;
+  };
+
+  Outcome HandleFrame(const Frame& f);
+  Outcome HandleQuery(const std::string& sql);
+  Outcome HandleStats(const StatsReqMsg& req);
+  /// Txn meta-statements (BEGIN/COMMIT/ROLLBACK, §3.3) are intercepted
+  /// before the SQL parser. Returns true when `sql` was one.
+  bool HandleTxnStatement(const std::string& sql, Outcome* out);
+
+  /// Parse+plan `sql`, or return the session-cached entry for this exact
+  /// text. The cache key is the verbatim statement, so a hit is by
+  /// construction the same query with the same constants.
+  Status PlanStatement(const std::string& sql, const CachedPlan** out);
+
+  /// Send helpers; on any write failure the session is torn down by the
+  /// caller (client gone — nobody is listening for an apology).
+  Status Send(MsgType t, const std::string& payload);
+  Status SendError(const Status& s);
+  Status SendResult(const Query& q, const PhysicalPlan& plan,
+                    const QueryResult& r, double wall_ms);
+
+  const uint64_t id_;
+  int fd_;
+  SessionEnv env_;
+  bool hello_done_ = false;
+
+  std::unique_ptr<Transaction> txn_;
+
+  /// FIFO plan cache: map + insertion-order list for eviction.
+  std::unordered_map<std::string, CachedPlan> cache_;
+  std::list<std::string> cache_order_;
+};
+
+}  // namespace hd

@@ -28,6 +28,8 @@
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "optimizer/optimizer.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "txn/transaction.h"
 #include "workload/micro.h"
 #include "workload/mixed_driver.h"
@@ -368,6 +370,77 @@ TEST_F(ChaosTest, RetryBudgetExhaustionSurfacesWithCounters) {
   MixedResult clean = RunEpisode(&tm, 8, 24);
   EXPECT_EQ(clean.total_failures, 0u);
   EXPECT_TRUE(clean.first_error.ok()) << clean.first_error.ToString();
+}
+
+// Connection-fault sweep over the socket/session layer's failpoint seams
+// (server.accept, server.read, server.write — docs/ROBUSTNESS.md). Each
+// episode arms a probability mix while clients hammer the server with
+// queries and abrupt disconnects; after disarming, the server must hold
+// the same invariants as the engine sweep: no leaked sessions, no leaked
+// locks, and full recovery for the next clean client.
+TEST_F(ChaosTest, ServerConnectionFaultSweepRecovers) {
+  ServerOptions sopts;
+  sopts.shared_scans = true;
+  sopts.workers = 2;
+  Server server(&db_, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Rng sweep(20260809);
+  const char* kSeams[] = {"server.accept", "server.read", "server.write"};
+  for (int ep = 0; ep < 4; ++ep) {
+    SCOPED_TRACE("episode " + std::to_string(ep));
+    const int npoints = static_cast<int>(sweep.Uniform(1, 3));
+    for (int i = 0; i < npoints; ++i) {
+      FailPoints::Instance().Arm(
+          kSeams[sweep.Uniform(0, 2)],
+          FailSpec::Probability(sweep.UniformReal(0.05, 0.4),
+                                sweep.Uniform(1, 1 << 20), Code::kIoError,
+                                "connection chaos"));
+    }
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      const uint64_t seed = sweep.Uniform(1, 1 << 20);
+      clients.emplace_back([&server, seed] {
+        Rng rng(seed);
+        for (int q = 0; q < 8; ++q) {
+          Client c;
+          if (!c.Connect("127.0.0.1", server.port()).ok()) continue;
+          // Errors are expected under injection; crashes and hangs are
+          // not. A fraction of clients vanish mid-conversation.
+          (void)c.Query(rng.Flip(0.5)
+                            ? "SELECT sum(col0) FROM c WHERE col0 < 500"
+                            : "SELECT count(*) FROM h WHERE col1 < 200");
+          if (rng.Flip(0.3)) {
+            c.Abort();
+          } else {
+            (void)c.Close();
+          }
+        }
+      });
+    }
+    for (auto& th : clients) th.join();
+    FailPoints::Instance().DisarmAll();
+
+    // Invariants after every episode: sessions drain, nothing leaks,
+    // and a clean client gets a correct answer.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(5000);
+    while (server.sessions_active() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(server.sessions_active(), 0);
+    EXPECT_EQ(server.txns()->locks()->TotalGranted(), 0u);
+    EXPECT_EQ(server.scan_scheduler()->active_passes(), 0u);
+    Client probe;
+    ASSERT_TRUE(probe.Connect("127.0.0.1", server.port()).ok());
+    auto r = probe.Query("SELECT count(*) FROM h");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0][0].ToString(), "20000");
+  }
+  server.Stop();
 }
 
 }  // namespace

@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Check that relative links in the repo's markdown files resolve.
+"""Check that relative links and in-page anchors in markdown resolve.
 
 Scans every *.md under the repo root (skipping build trees and dot
-directories) for inline markdown links/images and verifies that links
-pointing into the repo name an existing file or directory. External
-links (http/https/mailto) and pure in-page anchors are skipped; a
-`path#anchor` link is checked for the path part only.
+directories) for inline markdown links/images and verifies that
+
+* links pointing into the repo name an existing file or directory;
+* `#anchor` and `path.md#anchor` links name a heading that exists in
+  the target file, using GitHub's slugification (lowercase, spaces to
+  dashes, punctuation dropped, `-1` suffixes for duplicates).
+
+External links (http/https/mailto) are skipped; anchors into non-md
+targets are checked for the path part only.
 
 Exit status 0 when every link resolves, 1 otherwise (used by the CI
 docs job).
@@ -15,6 +20,7 @@ import re
 import sys
 
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 SKIP_DIRS = {"build", "build-tsan", ".git", ".github"}
 
 
@@ -28,32 +34,93 @@ def md_files(root):
                 yield os.path.join(dirpath, f)
 
 
+def github_slug(heading):
+    """GitHub's anchor slug for a heading line's text."""
+    # Strip inline code/emphasis markers and links, keep their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ")
+    text = text.strip().lower()
+    # Drop everything that is not a word character, space, dash, or
+    # unicode letter; then spaces become dashes. ('§', '.', '/' drop.)
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    text = text.replace(" ", "-")
+    return text
+
+
+def anchors_of(path, cache):
+    """The set of valid anchors in a markdown file (with -n dedup)."""
+    if path in cache:
+        return cache[path]
+    slugs = set()
+    counts = {}
+    in_fence = False
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError:
+        cache[path] = slugs
+        return slugs
+    for line in lines:
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = slugs
+    return slugs
+
+
 def main():
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     bad = []
     nlinks = 0
+    nanchors = 0
+    anchor_cache = {}
     for path in sorted(md_files(root)):
         text = open(path, encoding="utf-8").read()
         for m in LINK_RE.finditer(text):
             target = m.group(1)
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            target = target.split("#", 1)[0]
-            if not target:
-                continue
-            resolved = os.path.normpath(
-                os.path.join(os.path.dirname(path), target)
-            )
-            nlinks += 1
-            if not os.path.exists(resolved):
-                line = text[: m.start()].count("\n") + 1
-                bad.append(
-                    f"{os.path.relpath(path, root)}:{line}: broken link "
-                    f"'{m.group(1)}' -> {os.path.relpath(resolved, root)}"
+            frag = None
+            if "#" in target:
+                target, frag = target.split("#", 1)
+            resolved = (
+                path
+                if not target
+                else os.path.normpath(
+                    os.path.join(os.path.dirname(path), target)
                 )
+            )
+            line = text[: m.start()].count("\n") + 1
+            if target:
+                nlinks += 1
+                if not os.path.exists(resolved):
+                    bad.append(
+                        f"{os.path.relpath(path, root)}:{line}: broken link "
+                        f"'{m.group(1)}' -> {os.path.relpath(resolved, root)}"
+                    )
+                    continue
+            if frag is not None and resolved.endswith(".md"):
+                nanchors += 1
+                if frag not in anchors_of(resolved, anchor_cache):
+                    bad.append(
+                        f"{os.path.relpath(path, root)}:{line}: broken "
+                        f"anchor '#{frag}' in "
+                        f"{os.path.relpath(resolved, root)}"
+                    )
     for b in bad:
         print(b)
-    print(f"checked {nlinks} relative links, {len(bad)} broken")
+    print(
+        f"checked {nlinks} relative links and {nanchors} anchors, "
+        f"{len(bad)} broken"
+    )
     return 1 if bad else 0
 
 
