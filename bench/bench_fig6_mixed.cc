@@ -10,6 +10,16 @@
 // gate (--shared=off disables the scheduler; see EXPERIMENTS.md). Their
 // latencies land in a separate "analytic" stream per MixedPoint, so the
 // Fig 6 transactional-latency shapes are unchanged.
+//
+// A fourth axis sweeps durability on the hybrid design (B): the same
+// update-only mix (scan% = 0) with the WAL off, fsync-per-commit, and
+// group commit. 10 writer threads, so the group-commit batching claim
+// (mean fsyncs per committed txn < 1 at k >= 8 writers) is measured
+// directly from wal.fsyncs deltas.
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "bench/bench_util.h"
 #include "exec/admission.h"
 #include "exec/scan_scheduler.h"
@@ -135,6 +145,69 @@ int main(int argc, char** argv) {
   Shape(a.ys.back() > b.ys.back() * 2,
         "B+ tree-only pays heavily for scans at 5%, measured " +
             std::to_string(a.ys.back() / b.ys.back()) + "x vs hybrid");
+
+  // ---- Durability axis: off / commit / group ----
+  // Fresh database per mode; the table is bulk-loaded BEFORE the WAL opens
+  // (bulk loads are not logged — they become durable at the next
+  // checkpoint, which this bench skips since it never restarts). The
+  // update stream then commits through the WAL, so the latency deltas are
+  // pure commit-path cost.
+  {
+    struct DurPoint {
+      const char* name;
+      DurabilityMode mode;
+    };
+    const DurPoint dmodes[] = {
+        {"dur.off", DurabilityMode::kOff},
+        {"dur.commit", DurabilityMode::kCommit},
+        {"dur.group", DurabilityMode::kGroup},
+    };
+    const uint64_t drows = std::max<uint64_t>(rows / 2, 1);
+    Series dp50{"update p50 (ms)", {}}, dp99{"update p99 (ms)", {}};
+    std::vector<double> dxs;
+    double commit_fsyncs_per_txn = 0, group_fsyncs_per_txn = 0;
+    int di = 0;
+    for (const DurPoint& dm : dmodes) {
+      Database ddb;
+      if (Build(&ddb, "li_d", drows, false, true) == nullptr) return 1;
+      const std::string dir =
+          (std::filesystem::temp_directory_path() /
+           ("hd_fig6_dur_" + std::to_string(getpid()) + "_" +
+            std::to_string(di)))
+              .string();
+      if (dm.mode != DurabilityMode::kOff) {
+        std::filesystem::remove_all(dir);
+        if (!ddb.OpenDurability(dir, dm.mode).ok()) return 1;
+      }
+      TransactionManager dtm;
+      dtm.BindWal(ddb.wal());
+      const uint64_t fsyncs0 = ddb.wal() ? ddb.wal()->fsyncs() : 0;
+      MixedResult rd = RunMix(&ddb, &dtm, "li_d", 0, ops, sp, &adm);
+      const uint64_t fsyncs = (ddb.wal() ? ddb.wal()->fsyncs() : 0) - fsyncs0;
+      const OpStats& upd = rd.per_type["update"];
+      const uint64_t committed = upd.count - upd.failures;
+      const double per_txn =
+          committed > 0 ? static_cast<double>(fsyncs) / committed : 0;
+      if (dm.mode == DurabilityMode::kCommit) commit_fsyncs_per_txn = per_txn;
+      if (dm.mode == DurabilityMode::kGroup) group_fsyncs_per_txn = per_txn;
+      dp50.ys.push_back(upd.median_ms());
+      dp99.ys.push_back(upd.p99_ms());
+      dxs.push_back(di);
+      json.MixedPoint(dm.name, di, rd);
+      std::printf("  %-12s update p50=%8.3f p99=%8.3f ms  fsyncs/txn=%.3f\n",
+                  dm.name, upd.median_ms(), upd.p99_ms(), per_txn);
+      if (dm.mode != DurabilityMode::kOff) std::filesystem::remove_all(dir);
+      ++di;
+    }
+    PrintTable("Durability axis (0=off 1=commit 2=group), design B, 0% scans",
+               "mode", dxs, {dp50, dp99});
+    Shape(commit_fsyncs_per_txn >= 1.0,
+          "per-commit durability fsyncs at least once per committed txn, "
+          "measured " + std::to_string(commit_fsyncs_per_txn));
+    Shape(group_fsyncs_per_txn < 1.0,
+          "group commit batches fsyncs below one per committed txn at 10 "
+          "writers, measured " + std::to_string(group_fsyncs_per_txn));
+  }
   json.Write();
   return 0;
 }

@@ -56,6 +56,14 @@ class BTree {
   /// Bytes of node storage, page-rounded (for size budgets / cost model).
   uint64_t size_bytes() const { return num_nodes_ * kPageBytes; }
 
+  /// WAL rule plumbing (storage/wal.h): LSN of the last logged mutation
+  /// applied to this tree. A checkpoint must not persist the tree before
+  /// the log is durable past this point. Stamped by catalog::Table.
+  uint64_t recovery_lsn() const { return recovery_lsn_; }
+  void set_recovery_lsn(uint64_t lsn) {
+    if (lsn > recovery_lsn_) recovery_lsn_ = lsn;
+  }
+
   /// Bulk build from entries sorted ascending by key. Each entry is
   /// key_width+payload_width int64s (key first). Destroys prior content.
   void BulkLoad(const std::vector<int64_t>& flat_entries);
@@ -127,6 +135,7 @@ class BTree {
   uint64_t num_entries_ = 0;
   uint64_t num_nodes_ = 0;
   int height_ = 0;
+  uint64_t recovery_lsn_ = 0;
 };
 
 }  // namespace hd

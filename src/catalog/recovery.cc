@@ -1,0 +1,606 @@
+#include "catalog/recovery.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "catalog/database.h"
+#include "catalog/table.h"
+#include "common/failpoint.h"
+#include "common/telemetry.h"
+
+namespace hd {
+namespace {
+
+// Checkpoint file: "HDCKPT01" magic, then the little-endian body described
+// in WriteCheckpoint below, then a u32 CRC32 over everything after the
+// magic. Installed atomically via tmp + fsync + rename; the CURRENT file
+// names the live checkpoint so a crash mid-install never orphans readers.
+constexpr char kCkptMagic[8] = {'H', 'D', 'C', 'K', 'P', 'T', '0', '1'};
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Bounds-checked reader over the checkpoint body.
+struct Cursor {
+  const uint8_t* p;
+  size_t n;
+  bool ok = true;
+
+  bool Need(size_t k) {
+    if (n < k) ok = false;
+    return ok;
+  }
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    uint8_t v = *p;
+    ++p;
+    --n;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    n -= 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    n -= 8;
+    return v;
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  std::string Str() {
+    uint32_t len = U32();
+    if (!Need(len)) return "";
+    std::string s(reinterpret_cast<const char*>(p), len);
+    p += len;
+    n -= len;
+    return s;
+  }
+};
+
+Status ReadFileAll(const std::string& path, std::vector<uint8_t>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path);
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      Status s = Status::IoError("read " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;
+    out->insert(out->end(), buf, buf + r);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status WriteFileDurable(const std::string& path, const uint8_t* data,
+                        size_t n) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      Status s = Status::IoError("write " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    off += w;
+  }
+  if (::fsync(fd) != 0) {
+    Status s = Status::IoError("fsync " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("open dir " + dir + ": " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    Status s = Status::IoError("fsync dir " + dir + ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+/// Durably replace `path`'s contents (tmp + rename + dir fsync).
+Status ReplaceFileDurable(const std::string& dir, const std::string& path,
+                          const uint8_t* data, size_t n) {
+  const std::string tmp = path + ".tmp";
+  HD_RETURN_IF_ERROR(WriteFileDurable(tmp, data, n));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + ": " + std::strerror(errno));
+  }
+  return FsyncDir(dir);
+}
+
+/// Per-table snapshot taken under the shared physical latch.
+struct TableSnapshot {
+  uint32_t table_id = 0;
+  std::string name;
+  Schema schema;
+  // code->string image per column (empty + !has_dict for non-strings)
+  std::vector<bool> has_dict;
+  std::vector<std::vector<std::string>> dict_strings;
+  std::vector<bool> dict_sorted;
+  PrimaryKind primary_kind = PrimaryKind::kHeap;
+  std::vector<int> primary_keys;
+  std::vector<IndexDef> secondaries;
+  int64_t next_rid = 0;
+  uint64_t applied_lsn = 0;
+  std::vector<int64_t> rids;
+  std::vector<std::vector<int64_t>> cols;  // column-major live rows
+};
+
+void SerializeIndexDef(std::vector<uint8_t>* out, const IndexDef& def) {
+  PutString(out, def.name);
+  PutU8(out, def.type == IndexDef::Type::kColumnStore ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(def.key_cols.size()));
+  for (int c : def.key_cols) PutU32(out, static_cast<uint32_t>(c));
+  PutU32(out, static_cast<uint32_t>(def.included_cols.size()));
+  for (int c : def.included_cols) PutU32(out, static_cast<uint32_t>(c));
+}
+
+IndexDef DeserializeIndexDef(Cursor* c) {
+  IndexDef def;
+  def.name = c->Str();
+  def.type = c->U8() == 1 ? IndexDef::Type::kColumnStore : IndexDef::Type::kBTree;
+  uint32_t nk = c->U32();
+  for (uint32_t i = 0; i < nk && c->ok; ++i) {
+    def.key_cols.push_back(static_cast<int>(c->U32()));
+  }
+  uint32_t ni = c->U32();
+  for (uint32_t i = 0; i < ni && c->ok; ++i) {
+    def.included_cols.push_back(static_cast<int>(c->U32()));
+  }
+  return def;
+}
+
+void SerializeTable(std::vector<uint8_t>* out, const TableSnapshot& t) {
+  PutU32(out, t.table_id);
+  PutString(out, t.name);
+  const int ncols = t.schema.num_columns();
+  PutU32(out, static_cast<uint32_t>(ncols));
+  for (int c = 0; c < ncols; ++c) {
+    const Column& col = t.schema.column(c);
+    PutString(out, col.name);
+    PutU8(out, static_cast<uint8_t>(col.type));
+    PutU32(out, static_cast<uint32_t>(col.avg_width));
+  }
+  for (int c = 0; c < ncols; ++c) {
+    PutU8(out, t.has_dict[c] ? 1 : 0);
+    if (!t.has_dict[c]) continue;
+    PutU32(out, static_cast<uint32_t>(t.dict_strings[c].size()));
+    for (const auto& s : t.dict_strings[c]) PutString(out, s);
+    PutU8(out, t.dict_sorted[c] ? 1 : 0);
+  }
+  PutU8(out, static_cast<uint8_t>(t.primary_kind));
+  PutU32(out, static_cast<uint32_t>(t.primary_keys.size()));
+  for (int k : t.primary_keys) PutU32(out, static_cast<uint32_t>(k));
+  PutU32(out, static_cast<uint32_t>(t.secondaries.size()));
+  for (const auto& def : t.secondaries) SerializeIndexDef(out, def);
+  PutI64(out, t.next_rid);
+  PutU64(out, t.applied_lsn);
+  const uint64_t nrows = t.rids.size();
+  PutU64(out, nrows);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    PutI64(out, t.rids[r]);
+    for (int c = 0; c < ncols; ++c) PutI64(out, t.cols[c][r]);
+  }
+}
+
+std::string CkptPath(const std::string& dir, uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%010llu.hd",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + buf;
+}
+
+std::string CurrentPath(const std::string& dir) { return dir + "/CURRENT"; }
+
+}  // namespace
+
+Status WriteCheckpoint(Database* db, const std::string& dir) {
+  HD_FAILPOINT_RETURN("wal.checkpoint");
+  WalManager* wal = db->wal();
+  if (wal == nullptr || !wal->open()) {
+    return Status::InvalidArgument("checkpoint requires an open WAL");
+  }
+
+  // Fuzzy snapshot: each table is consistent at its own applied LSN; redo
+  // replays anything logged after a table's snapshot point.
+  std::vector<TableSnapshot> snaps;
+  uint64_t max_applied = 0;
+  for (const auto& [name, table] : db->tables()) {
+    Table* t = table.get();
+    std::shared_lock<FairSharedMutex> lk(t->phys_latch());
+    TableSnapshot s;
+    s.table_id = t->table_id();
+    s.name = t->name();
+    s.schema = t->schema();
+    const int ncols = s.schema.num_columns();
+    s.has_dict.resize(ncols, false);
+    s.dict_strings.resize(ncols);
+    s.dict_sorted.resize(ncols, true);
+    for (int c = 0; c < ncols; ++c) {
+      const StringDict* d = t->dict(c);
+      if (d == nullptr) continue;
+      s.has_dict[c] = true;
+      s.dict_sorted[c] = d->sorted();
+      s.dict_strings[c].reserve(d->size());
+      for (size_t i = 0; i < d->size(); ++i) {
+        s.dict_strings[c].push_back(d->At(static_cast<int64_t>(i)));
+      }
+    }
+    s.primary_kind = t->primary_kind();
+    s.primary_keys = t->primary_key_cols();
+    for (const auto& si : t->secondaries()) s.secondaries.push_back(si->def);
+    s.next_rid = t->next_rid();
+    s.applied_lsn = t->applied_lsn();
+    s.cols.resize(ncols);
+    t->ScanAll(
+        [&](int64_t rid, const int64_t* vals) {
+          s.rids.push_back(rid);
+          for (int c = 0; c < ncols; ++c) s.cols[c].push_back(vals[c]);
+          return true;
+        },
+        nullptr);
+    max_applied = std::max(max_applied, s.applied_lsn);
+    snaps.push_back(std::move(s));
+  }
+
+  // Capture allocation points after the snapshots so they cover every LSN
+  // the snapshots reflect.
+  const uint64_t next_lsn = wal->next_lsn();
+  const uint64_t next_txn = wal->AllocTxnId();
+  uint64_t redo_start = next_lsn;
+  for (const auto& s : snaps) {
+    redo_start = std::min(redo_start, s.applied_lsn + 1);
+  }
+  const uint64_t oldest_active = wal->OldestActiveTxnLsn();
+  if (oldest_active != 0) redo_start = std::min(redo_start, oldest_active);
+
+  // WAL rule: nothing snapshotted may be persisted before the log covering
+  // it is durable.
+  HD_RETURN_IF_ERROR(wal->EnsureDurable(max_applied));
+  HD_RETURN_IF_ERROR(db->buffer_pool()->CleanUpTo(wal->durable_lsn()));
+
+  std::vector<uint8_t> body;
+  PutU64(&body, next_lsn);
+  PutU64(&body, next_txn);
+  PutU64(&body, redo_start);
+  PutU32(&body, db->next_table_id());
+  PutU32(&body, static_cast<uint32_t>(snaps.size()));
+  for (const auto& s : snaps) SerializeTable(&body, s);
+
+  std::vector<uint8_t> file;
+  file.insert(file.end(), kCkptMagic, kCkptMagic + sizeof(kCkptMagic));
+  file.insert(file.end(), body.begin(), body.end());
+  PutU32(&file, WalCrc32(body.data(), body.size()));
+
+  // Next sequence number: one past whatever CURRENT names.
+  uint64_t seq = 1;
+  std::string prev_ckpt;
+  {
+    std::vector<uint8_t> cur;
+    if (ReadFileAll(CurrentPath(dir), &cur).ok()) {
+      std::string name(cur.begin(), cur.end());
+      while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+        name.pop_back();
+      }
+      unsigned long long prev = 0;
+      if (std::sscanf(name.c_str(), "checkpoint-%llu.hd", &prev) == 1) {
+        seq = prev + 1;
+        prev_ckpt = dir + "/" + name;
+      }
+    }
+  }
+
+  const std::string ckpt = CkptPath(dir, seq);
+  HD_RETURN_IF_ERROR(ReplaceFileDurable(dir, ckpt, file.data(), file.size()));
+  const std::string current = ckpt.substr(dir.size() + 1) + "\n";
+  HD_RETURN_IF_ERROR(ReplaceFileDurable(
+      dir, CurrentPath(dir), reinterpret_cast<const uint8_t*>(current.data()),
+      current.size()));
+  // The previous checkpoint is unreachable once CURRENT points past it.
+  if (!prev_ckpt.empty() && prev_ckpt != ckpt) ::unlink(prev_ckpt.c_str());
+
+  HD_RETURN_IF_ERROR(wal->TruncateBelow(redo_start));
+  Telemetry::Instance().Counter("wal.checkpoints")->Add(1);
+  return Status::OK();
+}
+
+namespace {
+
+/// Load the checkpoint named by CURRENT into `db`. NotFound = no
+/// checkpoint (fresh directory) — not an error for recovery.
+Status LoadCheckpoint(Database* db, const std::string& dir,
+                      RecoveryStats* stats) {
+  std::vector<uint8_t> cur;
+  Status s = ReadFileAll(CurrentPath(dir), &cur);
+  if (s.IsNotFound()) return s;
+  HD_RETURN_IF_ERROR(s);
+  std::string name(cur.begin(), cur.end());
+  while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+    name.pop_back();
+  }
+
+  std::vector<uint8_t> file;
+  HD_RETURN_IF_ERROR(ReadFileAll(dir + "/" + name, &file));
+  if (file.size() < sizeof(kCkptMagic) + 4 ||
+      std::memcmp(file.data(), kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic: " + name);
+  }
+  const uint8_t* body = file.data() + sizeof(kCkptMagic);
+  const size_t body_n = file.size() - sizeof(kCkptMagic) - 4;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, file.data() + file.size() - 4, 4);
+  if (WalCrc32(body, body_n) != stored_crc) {
+    return Status::Corruption("checkpoint CRC mismatch: " + name);
+  }
+
+  Cursor c{body, body_n};
+  const uint64_t next_lsn = c.U64();
+  const uint64_t next_txn = c.U64();
+  c.U64();  // redo_start: advisory (truncation already honored it)
+  const uint32_t next_table_id = c.U32();
+  const uint32_t ntables = c.U32();
+  for (uint32_t ti = 0; ti < ntables && c.ok; ++ti) {
+    const uint32_t table_id = c.U32();
+    const std::string tname = c.Str();
+    const uint32_t ncols = c.U32();
+    if (!c.ok || ncols > 4096) {
+      return Status::Corruption("checkpoint table header: " + name);
+    }
+    std::vector<Column> cols;
+    cols.reserve(ncols);
+    for (uint32_t i = 0; i < ncols && c.ok; ++i) {
+      Column col;
+      col.name = c.Str();
+      col.type = static_cast<ValueType>(c.U8());
+      col.avg_width = static_cast<int>(c.U32());
+      cols.push_back(std::move(col));
+    }
+    struct DictImage {
+      int col;
+      std::vector<std::string> strings;
+      bool sorted;
+    };
+    std::vector<DictImage> dicts;
+    for (uint32_t i = 0; i < ncols && c.ok; ++i) {
+      if (c.U8() == 0) continue;
+      DictImage d;
+      d.col = static_cast<int>(i);
+      const uint32_t n = c.U32();
+      d.strings.reserve(n);
+      for (uint32_t j = 0; j < n && c.ok; ++j) d.strings.push_back(c.Str());
+      d.sorted = c.U8() == 1;
+      dicts.push_back(std::move(d));
+    }
+    const PrimaryKind kind = static_cast<PrimaryKind>(c.U8());
+    std::vector<int> keys;
+    const uint32_t nkeys = c.U32();
+    for (uint32_t i = 0; i < nkeys && c.ok; ++i) {
+      keys.push_back(static_cast<int>(c.U32()));
+    }
+    std::vector<IndexDef> secondaries;
+    const uint32_t nsec = c.U32();
+    for (uint32_t i = 0; i < nsec && c.ok; ++i) {
+      secondaries.push_back(DeserializeIndexDef(&c));
+    }
+    const int64_t next_rid = c.I64();
+    const uint64_t applied_lsn = c.U64();
+    const uint64_t nrows = c.U64();
+    std::vector<int64_t> rids;
+    rids.reserve(nrows);
+    std::vector<std::vector<int64_t>> data(ncols);
+    for (uint32_t i = 0; i < ncols; ++i) data[i].reserve(nrows);
+    for (uint64_t r = 0; r < nrows && c.ok; ++r) {
+      rids.push_back(c.I64());
+      for (uint32_t i = 0; i < ncols; ++i) data[i].push_back(c.I64());
+    }
+    if (!c.ok) return Status::Corruption("truncated checkpoint: " + name);
+
+    auto created = db->CreateTable(tname, Schema(std::move(cols)));
+    HD_RETURN_IF_ERROR(created.status());
+    Table* t = created.value();
+    db->AssignTableId(t, table_id);
+    for (auto& d : dicts) {
+      t->RecoverRestoreDict(d.col, std::move(d.strings), d.sorted);
+    }
+    if (kind != PrimaryKind::kHeap) {
+      HD_RETURN_IF_ERROR(t->SetPrimary(kind, keys));
+    }
+    for (const auto& def : secondaries) {
+      HD_RETURN_IF_ERROR(t->ApplyIndexDef(def));
+    }
+    t->RecoverLoad(std::move(data), std::move(rids), next_rid);
+    t->set_applied_lsn(applied_lsn);
+  }
+  if (!c.ok) return Status::Corruption("truncated checkpoint: " + name);
+  db->SeedNextTableId(next_table_id);
+  if (stats != nullptr) {
+    stats->checkpoint_loaded = true;
+    if (next_lsn > 0) stats->max_lsn = std::max(stats->max_lsn, next_lsn - 1);
+    if (next_txn > 0) stats->max_txn = std::max(stats->max_txn, next_txn - 1);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = RecoveryStats();
+
+  Status s = LoadCheckpoint(db, dir, stats);
+  if (!s.ok() && !s.IsNotFound()) return s;
+
+  // Single pass buffers the log: analysis needs the winner set before any
+  // record is replayed, and the log fits (it is truncated at checkpoints).
+  std::vector<WalRecord> log;
+  std::set<uint64_t> winners;
+  HD_RETURN_IF_ERROR(WalManager::ReadLog(
+      dir,
+      [&](const WalRecord& rec) {
+        stats->max_lsn = std::max(stats->max_lsn, rec.lsn);
+        stats->max_txn = std::max(stats->max_txn, rec.txn);
+        if (rec.type == WalRecordType::kTxnCommit) {
+          winners.insert(rec.txn);
+        } else {
+          log.push_back(rec);
+        }
+      },
+      &stats->truncated_bytes));
+
+  // Redo (repeating history): inserts replay for winners AND losers so
+  // heap rids stay position-faithful; updates/deletes replay for winners
+  // and self-committed (txn 0) records only.
+  struct LoserInsert {
+    uint32_t table_id;
+    int64_t rid;
+    PackedRow row;
+  };
+  std::vector<LoserInsert> loser_inserts;
+  std::set<std::pair<uint32_t, int64_t>> winner_touched;
+  for (const WalRecord& rec : log) {
+    if (rec.type == WalRecordType::kTxnAbort) continue;
+    HD_FAILPOINT_RETURN("recovery.redo");
+    Table* t = db->GetTableById(rec.table_id);
+    if (t == nullptr) {
+      // DDL after the last checkpoint: the table was never checkpointed,
+      // so its records are unreplayable by contract (see recovery.h).
+      ++stats->skipped_records;
+      continue;
+    }
+    if (rec.lsn <= t->applied_lsn()) continue;  // already in the checkpoint
+    const bool winner = rec.txn == 0 || winners.count(rec.txn) > 0;
+    switch (rec.type) {
+      case WalRecordType::kInsert: {
+        PackedRow row = t->FromWalRow(rec.new_row);
+        HD_RETURN_IF_ERROR(t->RecoverInsert(rec.rid, row));
+        ++stats->redo_records;
+        if (winner) {
+          winner_touched.insert({rec.table_id, rec.rid});
+        } else {
+          loser_inserts.push_back({rec.table_id, rec.rid, std::move(row)});
+        }
+        break;
+      }
+      case WalRecordType::kUpdate:
+        if (winner) {
+          HD_RETURN_IF_ERROR(t->RecoverUpdate(rec.rid,
+                                              t->FromWalRow(rec.old_row),
+                                              t->FromWalRow(rec.new_row)));
+          winner_touched.insert({rec.table_id, rec.rid});
+          ++stats->redo_records;
+        }
+        break;
+      case WalRecordType::kDelete:
+        if (winner) {
+          HD_RETURN_IF_ERROR(
+              t->RecoverDelete(rec.rid, t->FromWalRow(rec.old_row)));
+          winner_touched.insert({rec.table_id, rec.rid});
+          ++stats->redo_records;
+        }
+        break;
+      case WalRecordType::kCsiReorg: {
+        ColumnStoreIndex* csi = nullptr;
+        if (rec.aux.empty()) {
+          csi = t->primary_csi();
+        } else if (SecondaryIndex* si = t->FindSecondary(rec.aux)) {
+          csi = si->csi.get();
+        }
+        // A dropped index since the checkpoint makes the reorg moot.
+        if (csi != nullptr) {
+          HD_RETURN_IF_ERROR(csi->Reorganize());
+          ++stats->redo_records;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    t->set_applied_lsn(rec.lsn);
+  }
+
+  // Undo: losers' inserts come back out, newest first. A rid a winner
+  // later touched stays (repeating history already gave it the winner's
+  // final image). NotFound is fine — the loser compensated its own insert.
+  for (auto it = loser_inserts.rbegin(); it != loser_inserts.rend(); ++it) {
+    if (winner_touched.count({it->table_id, it->rid}) > 0) continue;
+    Table* t = db->GetTableById(it->table_id);
+    if (t == nullptr) continue;
+    Status u = t->RecoverDelete(it->rid, it->row);
+    if (!u.ok() && !u.IsNotFound()) return u;
+    ++stats->undo_records;
+  }
+
+  for (const auto& [tname, t] : db->tables()) {
+    if (t->applied_lsn() > 0) t->Analyze();
+  }
+
+  stats->restart_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  auto& tel = Telemetry::Instance();
+  tel.Counter("recovery.redo_records")->Add(stats->redo_records);
+  tel.Counter("recovery.undo_records")->Add(stats->undo_records);
+  tel.Counter("recovery.skipped_records")->Add(stats->skipped_records);
+  tel.Gauge("recovery.restart_ms")
+      ->Set(static_cast<int64_t>(stats->restart_ms));
+  return Status::OK();
+}
+
+}  // namespace hd

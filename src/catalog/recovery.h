@@ -1,0 +1,72 @@
+// Crash recovery and checkpointing for the WAL (storage/wal.h).
+//
+// The engine's structures have no page serialization — they are rebuilt,
+// not mapped. A checkpoint is therefore a *logical* per-table snapshot
+// (schema, dictionaries, index defs, live rows with their rids, and the
+// table's applied LSN), written atomically (tmp + fsync + rename + dir
+// fsync, with a CURRENT pointer file), and recovery is:
+//
+//   1. Load the checkpoint named by CURRENT (if any): recreate tables,
+//      restore dictionaries code-for-code, install rows at their original
+//      rids (heap gaps padded with tombstones), rebuild secondaries.
+//   2. Analysis: scan the WAL once, classifying transactions into winners
+//      (commit record present) and losers (everything else).
+//   3. Redo: replay records in LSN order, skipping any record at or below
+//      its table's checkpointed applied LSN (the pageLSN comparison at
+//      table granularity). ALL inserts replay — winners and losers — so
+//      heap rids stay dense with physical slots ("repeating history");
+//      updates/deletes replay for winners only.
+//   4. Undo: losers' inserts are deleted in reverse LSN order (skipping
+//      rids a winner later touched), leaving tombstones. NotFound during
+//      undo is tolerated (the loser compensated its own insert).
+//
+// Recovery runs on an *unbound* database (no WalManager open), so nothing
+// replayed is re-logged; the caller (Database::OpenDurability) opens the
+// log for appends afterwards, seeded past the maxima observed here.
+//
+// Durability contract for DDL and bulk loads: they are NOT logged. They
+// become durable at the next explicit Database::Checkpoint(). Records for
+// table ids recovery does not know are counted (skipped_records) and
+// dropped. See DESIGN.md "Durability & recovery".
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace hd {
+
+class Database;
+
+/// What a restart did, for tests and the recovery.* telemetry
+/// (recovery.redo_records / undo_records / restart_ms).
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  uint64_t redo_records = 0;
+  uint64_t undo_records = 0;
+  /// Records for table ids unknown to the checkpointed catalog (DDL after
+  /// the last checkpoint — dropped per the durability contract).
+  uint64_t skipped_records = 0;
+  /// Torn/corrupt tail bytes discarded by the log scan.
+  uint64_t truncated_bytes = 0;
+  uint64_t max_lsn = 0;  // highest LSN observed (checkpoint or log)
+  uint64_t max_txn = 0;  // highest WAL txn id observed
+  double restart_ms = 0;
+};
+
+/// Run restart recovery from `dir` into `db`. Checkpointed tables must not
+/// already exist in `db`. Fails on the `recovery.redo` failpoint or real
+/// corruption; the caller may retry on a fresh Database (nothing on disk
+/// is mutated). `stats` may be null.
+Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats);
+
+/// Take a fuzzy checkpoint of `db` into `dir` using db->wal() (which must
+/// be open): per-table snapshots under the shared physical latch,
+/// EnsureDurable past every snapshotted LSN (WAL rule, enforced through
+/// BufferPool::CleanUpTo), atomic install, then WAL truncation below the
+/// redo horizon. Fails on the `wal.checkpoint` failpoint with the previous
+/// checkpoint left fully valid.
+Status WriteCheckpoint(Database* db, const std::string& dir);
+
+}  // namespace hd

@@ -24,6 +24,12 @@ class StringDict {
   /// Code for `s`, inserting if absent (appended, possibly out of order).
   int64_t GetOrAdd(const std::string& s);
 
+  /// Restore an exact dictionary image (checkpoint recovery): `strings`
+  /// are the code->string table in code order, `sorted` the flag the
+  /// saved dictionary carried. Codes are preserved bit-for-bit so packed
+  /// row images in the same checkpoint stay valid.
+  void Restore(std::vector<std::string> strings, bool sorted);
+
   /// Code for `s`, or -1 if absent.
   int64_t Lookup(const std::string& s) const {
     auto it = code_of_.find(s);
@@ -55,6 +61,16 @@ inline void StringDict::BuildSorted(std::vector<std::string> values) {
     code_of_.emplace(strings_[i], static_cast<int64_t>(i));
   }
   sorted_ = true;
+}
+
+inline void StringDict::Restore(std::vector<std::string> strings, bool sorted) {
+  strings_ = std::move(strings);
+  code_of_.clear();
+  code_of_.reserve(strings_.size());
+  for (size_t i = 0; i < strings_.size(); ++i) {
+    code_of_.emplace(strings_[i], static_cast<int64_t>(i));
+  }
+  sorted_ = sorted;
 }
 
 inline int64_t StringDict::GetOrAdd(const std::string& s) {

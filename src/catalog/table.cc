@@ -367,10 +367,128 @@ Status Table::InsertIntoSecondaries(const PackedRow& row, int64_t rid,
   return Status::OK();
 }
 
+// ---------------- WAL integration ----------------
+
+WalRow Table::ToWalRow(const PackedRow& row) const {
+  WalRow out;
+  out.reserve(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c] == INT64_MIN) {
+      out.push_back(WalValue::Null());
+    } else if (dicts_[c]) {
+      out.push_back(WalValue::Str(dicts_[c]->At(row[c])));
+    } else {
+      out.push_back(WalValue::Packed(row[c]));
+    }
+  }
+  return out;
+}
+
+PackedRow Table::FromWalRow(const WalRow& row) {
+  PackedRow out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    switch (row[c].tag) {
+      case WalValue::Tag::kNull:
+        out[c] = INT64_MIN;
+        break;
+      case WalValue::Tag::kString:
+        out[c] = dicts_[c]->GetOrAdd(row[c].str);
+        break;
+      case WalValue::Tag::kPacked:
+        out[c] = row[c].packed;
+        break;
+    }
+  }
+  return out;
+}
+
+Status Table::LogDml(WalRecordType type, uint64_t txn, int64_t rid,
+                     const PackedRow* old_row, const PackedRow* new_row,
+                     uint64_t* lsn_out) {
+  WalRecord rec;
+  rec.type = type;
+  rec.txn = txn;
+  rec.table_id = table_id_;
+  rec.rid = rid;
+  if (old_row != nullptr) rec.old_row = ToWalRow(*old_row);
+  if (new_row != nullptr) rec.new_row = ToWalRow(*new_row);
+  return wal_->Append(&rec, lsn_out);
+}
+
+void Table::StampLsn(int64_t rid, uint64_t lsn) {
+  if (lsn == 0) return;
+  switch (primary_kind_) {
+    case PrimaryKind::kHeap:
+      heap_->StampPageLsn(static_cast<uint64_t>(rid), lsn);
+      break;
+    case PrimaryKind::kBTree:
+      primary_btree_->set_recovery_lsn(lsn);
+      break;
+    case PrimaryKind::kColumnStore:
+      primary_csi_->set_recovery_lsn(lsn);
+      break;
+  }
+  for (auto& si : secondaries_) {
+    if (si->btree) {
+      si->btree->set_recovery_lsn(lsn);
+    } else {
+      si->csi->set_recovery_lsn(lsn);
+    }
+  }
+  if (lsn > applied_lsn_) applied_lsn_ = lsn;
+}
+
+Status Table::ReorganizeColumnstores() {
+  std::unique_lock<FairSharedMutex> latch(phys_latch_);
+  auto run = [&](ColumnStoreIndex* csi, const std::string& name) -> Status {
+    if (csi == nullptr) return Status::OK();
+    // Log the logical "reorg applied" mark BEFORE the tuple mover runs:
+    // replay then reproduces the post-reorg layout; a crash before the
+    // record is durable replays to the pre-reorg image. Either way the
+    // logical contents are identical — never a torn mix. txn 0 =
+    // self-committed (redo applies it unconditionally).
+    uint64_t lsn = 0;
+    if (wal_ != nullptr) {
+      WalRecord rec;
+      rec.type = WalRecordType::kCsiReorg;
+      rec.txn = 0;
+      rec.table_id = table_id_;
+      rec.aux = name;
+      HD_RETURN_IF_ERROR(wal_->Append(&rec, &lsn));
+    }
+    HD_RETURN_IF_ERROR(csi->Reorganize());
+    if (lsn != 0) {
+      csi->set_recovery_lsn(lsn);
+      if (lsn > applied_lsn_) applied_lsn_ = lsn;
+    }
+    return Status::OK();
+  };
+  HD_RETURN_IF_ERROR(run(primary_csi_.get(), ""));
+  for (auto& si : secondaries_) {
+    if (si->csi) HD_RETURN_IF_ERROR(run(si->csi.get(), si->def.name));
+  }
+  return Status::OK();
+}
+
 Status Table::InsertPacked(const PackedRow& row, QueryMetrics* m,
-                           int64_t* rid_out) {
-  const int64_t rid = next_rid_++;
+                           int64_t* rid_out, uint64_t wal_txn) {
+  const bool self_commit = wal_ != nullptr && wal_txn == 0;
+  if (self_commit) wal_txn = wal_->AllocTxnId();
+  // Log before allocating the rid for real: a failed append (wal.append
+  // failpoint) must leave no rid gap for a row that never existed.
+  const int64_t rid = next_rid_;
+  uint64_t lsn = 0;
+  if (wal_ != nullptr) {
+    Status ls = LogDml(WalRecordType::kInsert, wal_txn, rid, nullptr, &row,
+                       &lsn);
+    if (!ls.ok()) {
+      if (self_commit) (void)wal_->Abort(wal_txn);
+      return ls;
+    }
+  }
+  next_rid_ = rid + 1;
   bool in_primary = false;
+  Status apply;
   switch (primary_kind_) {
     case PrimaryKind::kHeap: {
       uint64_t hrid = heap_->Append(row);
@@ -381,71 +499,127 @@ Status Table::InsertPacked(const PackedRow& row, QueryMetrics* m,
     }
     case PrimaryKind::kBTree: {
       std::vector<int64_t> key = MakeBTreeKey(primary_keys_, row, rid);
-      HD_RETURN_IF_ERROR(primary_btree_->Insert(key, row, m));
-      in_primary = true;
+      apply = primary_btree_->Insert(key, row, m);
+      in_primary = apply.ok();
       break;
     }
     case PrimaryKind::kColumnStore:
-      HD_RETURN_IF_ERROR(primary_csi_->Insert(row, rid, m));
-      in_primary = true;
+      apply = primary_csi_->Insert(row, rid, m);
+      in_primary = apply.ok();
       break;
   }
-  Status s = InsertIntoSecondaries(row, rid, m);
-  if (!s.ok() && in_primary) {
-    // Compensate so the statement is all-or-nothing: remove the primary
-    // copy (best-effort — a second injected failure here leaves an orphan
-    // primary row, which only over-counts, never corrupts). next_rid_ is
-    // NOT rolled back: heap RowIds must stay dense with the heap's
-    // physical slots, and gaps are harmless for the other primaries.
-    RowRef ref;
-    ref.rid = rid;
-    ref.row = row;
-    (void)DeleteRows({ref}, nullptr);
-    return s;
+  if (apply.ok()) apply = InsertIntoSecondaries(row, rid, m);
+  if (!apply.ok()) {
+    if (in_primary) {
+      // Compensate so the statement is all-or-nothing: remove the primary
+      // copy (best-effort — a second injected failure here leaves an
+      // orphan primary row, which only over-counts, never corrupts).
+      // next_rid_ is NOT rolled back: heap RowIds must stay dense with the
+      // heap's physical slots, and gaps are harmless for the other
+      // primaries. The compensation delete is logged under the SAME wal
+      // txn, so replay reproduces the absence whether the txn commits or
+      // not.
+      RowRef ref;
+      ref.rid = rid;
+      ref.row = row;
+      (void)DeleteRows({ref}, nullptr, wal_txn);
+    }
+    if (self_commit) (void)wal_->Abort(wal_txn);
+    return apply;
   }
+  StampLsn(rid, lsn);
   if (rid_out != nullptr) *rid_out = rid;
+  if (self_commit) {
+    HD_RETURN_IF_ERROR(wal_->Commit(wal_txn));
+  }
   return Status::OK();
 }
 
-Status Table::DeleteRows(const std::vector<RowRef>& rows, QueryMetrics* m) {
+Status Table::DeleteRows(const std::vector<RowRef>& rows, QueryMetrics* m,
+                         uint64_t wal_txn) {
   if (rows.empty()) return Status::OK();
+  const bool self_commit = wal_ != nullptr && wal_txn == 0;
+  if (self_commit) wal_txn = wal_->AllocTxnId();
+  // WAL rule: log the whole batch before touching any structure, so a
+  // failed append fails the statement with nothing applied.
+  uint64_t last_lsn = 0;
+  if (wal_ != nullptr) {
+    for (const auto& r : rows) {
+      Status ls = LogDml(WalRecordType::kDelete, wal_txn, r.rid, &r.row,
+                         nullptr, &last_lsn);
+      if (!ls.ok()) {
+        if (self_commit) (void)wal_->Abort(wal_txn);
+        return ls;
+      }
+    }
+  }
   std::vector<int64_t> rids;
   rids.reserve(rows.size());
   for (const auto& r : rows) rids.push_back(r.rid);
 
-  switch (primary_kind_) {
-    case PrimaryKind::kHeap:
-      for (const auto& r : rows) {
-        HD_RETURN_IF_ERROR(heap_->Delete(r.rid, m));
-      }
-      break;
-    case PrimaryKind::kBTree:
-      for (const auto& r : rows) {
-        std::vector<int64_t> key = MakeBTreeKey(primary_keys_, r.row, r.rid);
-        HD_RETURN_IF_ERROR(primary_btree_->Delete(key, m));
-      }
-      break;
-    case PrimaryKind::kColumnStore:
-      HD_RETURN_IF_ERROR(primary_csi_->DeleteBatch(rids, m));
-      break;
-  }
-  for (auto& si : secondaries_) {
-    if (si->btree) {
-      for (const auto& r : rows) {
-        std::vector<int64_t> key = MakeBTreeKey(si->def.key_cols, r.row, r.rid);
-        HD_RETURN_IF_ERROR(si->btree->Delete(key, m));
-      }
-    } else {
-      HD_RETURN_IF_ERROR(si->csi->DeleteBatch(rids, m));
+  Status apply = [&]() -> Status {
+    switch (primary_kind_) {
+      case PrimaryKind::kHeap:
+        for (const auto& r : rows) {
+          HD_RETURN_IF_ERROR(heap_->Delete(r.rid, m));
+        }
+        break;
+      case PrimaryKind::kBTree:
+        for (const auto& r : rows) {
+          std::vector<int64_t> key = MakeBTreeKey(primary_keys_, r.row, r.rid);
+          HD_RETURN_IF_ERROR(primary_btree_->Delete(key, m));
+        }
+        break;
+      case PrimaryKind::kColumnStore:
+        HD_RETURN_IF_ERROR(primary_csi_->DeleteBatch(rids, m));
+        break;
     }
+    for (auto& si : secondaries_) {
+      if (si->btree) {
+        for (const auto& r : rows) {
+          std::vector<int64_t> key =
+              MakeBTreeKey(si->def.key_cols, r.row, r.rid);
+          HD_RETURN_IF_ERROR(si->btree->Delete(key, m));
+        }
+      } else {
+        HD_RETURN_IF_ERROR(si->csi->DeleteBatch(rids, m));
+      }
+    }
+    return Status::OK();
+  }();
+  // Conservative: stamp even on a partial failure — some structures did
+  // change, and over-marking dirtiness is always safe.
+  if (last_lsn != 0) {
+    for (const auto& r : rows) StampLsn(r.rid, last_lsn);
+  }
+  if (!apply.ok()) {
+    if (self_commit) (void)wal_->Abort(wal_txn);
+    return apply;
+  }
+  if (self_commit) {
+    HD_RETURN_IF_ERROR(wal_->Commit(wal_txn));
   }
   return Status::OK();
 }
 
 Status Table::UpdateRows(const std::vector<RowRef>& rows,
-                         const std::vector<PackedRow>& news, QueryMetrics* m) {
+                         const std::vector<PackedRow>& news, QueryMetrics* m,
+                         uint64_t wal_txn) {
   assert(rows.size() == news.size());
   if (rows.empty()) return Status::OK();
+  const bool self_commit = wal_ != nullptr && wal_txn == 0;
+  if (self_commit) wal_txn = wal_->AllocTxnId();
+  uint64_t last_lsn = 0;
+  if (wal_ != nullptr) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Status ls = LogDml(WalRecordType::kUpdate, wal_txn, rows[i].rid,
+                         &rows[i].row, &news[i], &last_lsn);
+      if (!ls.ok()) {
+        if (self_commit) (void)wal_->Abort(wal_txn);
+        return ls;
+      }
+    }
+  }
 
   auto keys_changed = [&](const std::vector<int>& key_cols, size_t i) {
     for (int kc : key_cols) {
@@ -454,6 +628,7 @@ Status Table::UpdateRows(const std::vector<RowRef>& rows,
     return false;
   };
 
+  Status apply = [&]() -> Status {
   switch (primary_kind_) {
     case PrimaryKind::kHeap:
       for (size_t i = 0; i < rows.size(); ++i) {
@@ -512,6 +687,18 @@ Status Table::UpdateRows(const std::vector<RowRef>& rows,
         HD_RETURN_IF_ERROR(si->csi->Insert(news[i], rows[i].rid, m));
       }
     }
+  }
+  return Status::OK();
+  }();
+  if (last_lsn != 0) {
+    for (const auto& r : rows) StampLsn(r.rid, last_lsn);
+  }
+  if (!apply.ok()) {
+    if (self_commit) (void)wal_->Abort(wal_txn);
+    return apply;
+  }
+  if (self_commit) {
+    HD_RETURN_IF_ERROR(wal_->Commit(wal_txn));
   }
   return Status::OK();
 }
@@ -687,6 +874,110 @@ uint64_t Table::num_rows() const {
     case PrimaryKind::kColumnStore: return primary_csi_->num_rows();
   }
   return 0;
+}
+
+// ---------------- recovery appliers (catalog/recovery.cc) ----------------
+
+void Table::RecoverRestoreDict(int col, std::vector<std::string> strings,
+                               bool sorted) {
+  if (dicts_[col]) dicts_[col]->Restore(std::move(strings), sorted);
+}
+
+void Table::RecoverLoad(std::vector<std::vector<int64_t>> cols,
+                        std::vector<int64_t> rids, int64_t next_rid) {
+  const size_t n = rids.size();
+  const int ncols = schema_.num_columns();
+  switch (primary_kind_) {
+    case PrimaryKind::kHeap: {
+      heap_ = std::make_unique<HeapFile>(ncols, pool_);
+      // Heap rids are physical positions: install in rid order, padding
+      // gaps (rows deleted before the checkpoint) with tombstones.
+      std::vector<size_t> order(n);
+      for (size_t i = 0; i < n; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](size_t a, size_t b) { return rids[a] < rids[b]; });
+      PackedRow row(ncols);
+      for (size_t idx : order) {
+        while (static_cast<int64_t>(heap_->num_rows()) < rids[idx]) {
+          heap_->AppendTombstone();
+        }
+        for (int c = 0; c < ncols; ++c) row[c] = cols[c][idx];
+        heap_->Append(row);
+      }
+      break;
+    }
+    case PrimaryKind::kBTree: {
+      const int kw = primary_btree_key_width();
+      primary_btree_ = std::make_unique<BTree>(kw, ncols, pool_);
+      std::vector<size_t> perm(n);
+      for (size_t i = 0; i < n; ++i) perm[i] = i;
+      std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+        for (int kc : primary_keys_) {
+          if (cols[kc][a] != cols[kc][b]) return cols[kc][a] < cols[kc][b];
+        }
+        return rids[a] < rids[b];
+      });
+      std::vector<int64_t> flat;
+      flat.reserve(n * (kw + ncols));
+      for (size_t src : perm) {
+        for (int kc : primary_keys_) flat.push_back(cols[kc][src]);
+        flat.push_back(rids[src]);  // stored rid, NOT position
+        for (int c = 0; c < ncols; ++c) flat.push_back(cols[c][src]);
+      }
+      primary_btree_->BulkLoad(flat);
+      break;
+    }
+    case PrimaryKind::kColumnStore: {
+      primary_csi_ = std::make_unique<ColumnStoreIndex>(
+          ColumnStoreIndex::Kind::kPrimary, ncols, pool_);
+      primary_csi_->BulkLoad(std::move(cols), std::move(rids));
+      break;
+    }
+  }
+  next_rid_ = next_rid;
+  for (auto& si : secondaries_) RebuildSecondary(si.get());
+  Analyze();
+}
+
+Status Table::RecoverInsert(int64_t rid, const PackedRow& row) {
+  switch (primary_kind_) {
+    case PrimaryKind::kHeap: {
+      while (static_cast<int64_t>(heap_->num_rows()) < rid) {
+        heap_->AppendTombstone();
+      }
+      if (static_cast<int64_t>(heap_->num_rows()) != rid) {
+        return Status::Corruption("heap replay rid already occupied");
+      }
+      heap_->Append(row);
+      break;
+    }
+    case PrimaryKind::kBTree: {
+      std::vector<int64_t> key = MakeBTreeKey(primary_keys_, row, rid);
+      HD_RETURN_IF_ERROR(primary_btree_->Insert(key, row, nullptr));
+      break;
+    }
+    case PrimaryKind::kColumnStore:
+      HD_RETURN_IF_ERROR(primary_csi_->Insert(row, rid, nullptr));
+      break;
+  }
+  HD_RETURN_IF_ERROR(InsertIntoSecondaries(row, rid, nullptr));
+  next_rid_ = std::max(next_rid_, rid + 1);
+  return Status::OK();
+}
+
+Status Table::RecoverUpdate(int64_t rid, const PackedRow& old_row,
+                            const PackedRow& new_row) {
+  RowRef ref;
+  ref.rid = rid;
+  ref.row = old_row;
+  return UpdateRows({ref}, {new_row}, nullptr);
+}
+
+Status Table::RecoverDelete(int64_t rid, const PackedRow& old_row) {
+  RowRef ref;
+  ref.rid = rid;
+  ref.row = old_row;
+  return DeleteRows({ref}, nullptr);
 }
 
 uint64_t Table::primary_size_bytes() const {

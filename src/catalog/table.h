@@ -24,6 +24,7 @@
 #include "common/latch.h"
 #include "common/schema.h"
 #include "storage/heap_file.h"
+#include "storage/wal.h"
 
 namespace hd {
 
@@ -118,21 +119,32 @@ class Table {
   bool has_secondary_csi() const;
 
   // ---------- DML ----------
+  //
+  // When a WAL is bound (BindWal), every DML call logs its mutation BEFORE
+  // applying it (WAL rule) under `wal_txn`. `wal_txn` = 0 with a bound WAL
+  // self-wraps the statement: an implicit transaction id is allocated and
+  // committed (with the mode's durability wait) before returning — direct
+  // callers get per-statement durability without touching txn machinery.
+  // The executor always passes an explicit id and commits after releasing
+  // the physical latch (waiting on an fsync under the exclusive latch
+  // would serialize all traffic through the commit window).
 
   /// Insert one packed row everywhere; `*rid_out` (optional) receives its
   /// RowId. On failure the row is absent from every structure: a failed
   /// secondary insert compensates by deleting the primary copy, so a
   /// statement-level retry re-inserts cleanly.
   Status InsertPacked(const PackedRow& row, QueryMetrics* m,
-                      int64_t* rid_out = nullptr);
+                      int64_t* rid_out = nullptr, uint64_t wal_txn = 0);
   Status InsertRow(const Row& r, QueryMetrics* m, int64_t* rid_out = nullptr) {
     return InsertPacked(PackRow(r), m, rid_out);
   }
   /// Delete rows (statement-granular so primary-CSI delete scans once).
-  Status DeleteRows(const std::vector<RowRef>& rows, QueryMetrics* m);
+  Status DeleteRows(const std::vector<RowRef>& rows, QueryMetrics* m,
+                    uint64_t wal_txn = 0);
   /// Update rows: news[i] replaces rows[i] (RowIds preserved).
   Status UpdateRows(const std::vector<RowRef>& rows,
-                    const std::vector<PackedRow>& news, QueryMetrics* m);
+                    const std::vector<PackedRow>& news, QueryMetrics* m,
+                    uint64_t wal_txn = 0);
 
   /// Fetch one row's full packed image by locator. `pk_hint` must carry
   /// the clustered key column values when the primary is a B+ tree (a
@@ -174,6 +186,57 @@ class Table {
 
   const StringDict* dict(int col) const { return dicts_[col].get(); }
 
+  // ---------- durability (storage/wal.h, catalog/recovery.h) ----------
+
+  /// Bind this table to a WAL under a stable catalog id. After binding,
+  /// DML logs logical records before applying them. Schema/DDL/bulk loads
+  /// are NOT logged — they become durable at the next checkpoint (see
+  /// DESIGN.md "Durability & recovery": DDL must be followed by an
+  /// explicit Database::Checkpoint for recovery to replay correctly).
+  void BindWal(WalManager* wal, uint32_t table_id) {
+    wal_ = wal;
+    table_id_ = table_id;
+  }
+  WalManager* wal() const { return wal_; }
+  uint32_t table_id() const { return table_id_; }
+  /// LSN of the last logged mutation applied to this table; records at or
+  /// below the checkpointed value are skipped during redo (the pageLSN
+  /// comparison, at table granularity for the logical-redo scheme).
+  uint64_t applied_lsn() const { return applied_lsn_; }
+  void set_applied_lsn(uint64_t lsn) { applied_lsn_ = lsn; }
+  int64_t next_rid() const { return next_rid_; }
+
+  /// Packed row image -> loggable row: string columns travel as text (so
+  /// recovery can rebuild dictionary codes), NULLs as explicit nulls.
+  WalRow ToWalRow(const PackedRow& row) const;
+  /// Loggable row -> packed image against THIS instance's dictionaries
+  /// (GetOrAdd; replay in LSN order reproduces code allocation).
+  PackedRow FromWalRow(const WalRow& row);
+
+  /// Run the tuple mover over every columnstore on this table under the
+  /// exclusive physical latch, logging a self-committed "reorg applied"
+  /// record per index FIRST — a crash mid-mover replays to the old or new
+  /// row-group image, never a torn mix.
+  Status ReorganizeColumnstores();
+
+  // Recovery-side appliers (catalog/recovery.cc). Only called before the
+  // WAL is bound, so nothing here re-logs. Rid-explicit: replay must
+  // reproduce the exact locators the log references.
+
+  /// Restore a column dictionary image from a checkpoint.
+  void RecoverRestoreDict(int col, std::vector<std::string> strings,
+                          bool sorted);
+  /// Bulk-install checkpointed rows (packed against the restored dicts)
+  /// with explicit rids; `next_rid` restores the allocation point. Heap
+  /// primaries pad rid gaps with tombstones so positions stay faithful.
+  void RecoverLoad(std::vector<std::vector<int64_t>> cols,
+                   std::vector<int64_t> rids, int64_t next_rid);
+  /// Redo one logged insert at its original rid.
+  Status RecoverInsert(int64_t rid, const PackedRow& row);
+  Status RecoverUpdate(int64_t rid, const PackedRow& old_row,
+                       const PackedRow& new_row);
+  Status RecoverDelete(int64_t rid, const PackedRow& old_row);
+
   /// Physical latch: index structures are not internally latched, so
   /// concurrent statements take this shared (reads) or exclusive (DML).
   /// Logical concurrency control (row/table locks, versioning) lives in
@@ -186,6 +249,13 @@ class Table {
   void RebuildSecondary(SecondaryIndex* si);
   Status InsertIntoSecondaries(const PackedRow& row, int64_t rid,
                                QueryMetrics* m);
+  /// Append one DML record under `txn` (WAL bound). Stamps nothing.
+  Status LogDml(WalRecordType type, uint64_t txn, int64_t rid,
+                const PackedRow* old_row, const PackedRow* new_row,
+                uint64_t* lsn_out);
+  /// Stamp the structures a logged mutation touched with its LSN (pageLSN
+  /// plumbing + buffer-pool dirty tracking) and advance applied_lsn_.
+  void StampLsn(int64_t rid, uint64_t lsn);
   std::vector<int> ComputePayloadCols(const IndexDef& def) const;
   /// Collect all live rows (with rids) from the current primary.
   void CollectAll(std::vector<PackedRow>* rows, std::vector<int64_t>* rids) const;
@@ -205,6 +275,10 @@ class Table {
   int64_t next_rid_ = 0;
   TableStats stats_;
   mutable FairSharedMutex phys_latch_;
+
+  WalManager* wal_ = nullptr;  // null = durability off / recovery running
+  uint32_t table_id_ = 0;
+  uint64_t applied_lsn_ = 0;
 };
 
 }  // namespace hd

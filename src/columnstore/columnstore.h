@@ -94,6 +94,14 @@ class ColumnStoreIndex {
   int num_columns() const { return ncols_; }
   const CsiOptions& options() const { return opts_; }
 
+  /// WAL rule plumbing (storage/wal.h): LSN of the last logged mutation
+  /// (delta insert / delete / reorg) applied to this index. Stamped by
+  /// catalog::Table; checked at checkpoint time.
+  uint64_t recovery_lsn() const { return recovery_lsn_; }
+  void set_recovery_lsn(uint64_t lsn) {
+    if (lsn > recovery_lsn_) recovery_lsn_ = lsn;
+  }
+
   /// Bulk load column-major data; `locators[i]` identifies row i in the
   /// base table (RowId, or the row's own id when this is the primary).
   void BulkLoad(std::vector<std::vector<int64_t>> cols,
@@ -289,6 +297,8 @@ class ColumnStoreIndex {
 
   /// Secondary only: delete buffer keyed by locator.
   std::unique_ptr<BTree> delete_buffer_;
+
+  uint64_t recovery_lsn_ = 0;
 };
 
 }  // namespace hd

@@ -440,6 +440,15 @@ struct Executor::Impl {
   /// DriveBaseScan takes the scheduler branch and reported DOP is 1.
   bool use_shared_scan = false;
 
+  /// WAL id this statement's mutations were logged under, and whether the
+  /// statement owns its durability (autocommit: no enclosing transaction,
+  /// so Execute commits AFTER the exclusive latch releases — a group-
+  /// commit wait inside the latch would serialize all traffic through the
+  /// commit window).
+  uint64_t wal_txn = 0;
+  bool wal_autocommit = false;
+  bool wal_wrote = false;
+
   Impl(const ExecContext& c, const Query& qq, const PhysicalPlan& p)
       : ctx(c), q(qq), plan(p) {}
 
@@ -2352,11 +2361,27 @@ Status Executor::Impl::RunDml() {
   // Mutation work is attributed to the DML root node; the qualifying scan
   // charges flow through DriveBaseScan to the scan node.
   QueryMetrics* m = OpM(opx.output);
+  // Log under the enclosing transaction's WAL id, or an implicit one the
+  // statement commits itself (after the latch — see Execute).
+  if (base->wal() != nullptr) {
+    if (ctx.txn != nullptr) {
+      wal_txn = ctx.txn->wal_id();
+    } else {
+      wal_txn = base->wal()->AllocTxnId();
+      wal_autocommit = true;
+    }
+  }
+  auto mark_wal_write = [&] {
+    if (base->wal() == nullptr) return;
+    wal_wrote = true;
+    if (ctx.txn != nullptr) ctx.txn->MarkWalWrite();
+  };
   if (q.kind == Query::Kind::kInsert) {
     for (const auto& vr : q.insert_rows) {
       PackedRow p = base->PackRow(vr);
       int64_t rid = -1;
-      HD_RETURN_IF_ERROR(base->InsertPacked(p, m, &rid));
+      mark_wal_write();  // even a failed insert logs its compensation
+      HD_RETURN_IF_ERROR(base->InsertPacked(p, m, &rid, wal_txn));
       if (ctx.txn != nullptr && ctx.txns != nullptr) {
         HD_RETURN_IF_ERROR(LockRowX(rid));
         ctx.txns->NoteVersion(table_hash, rid, ctx.txn);
@@ -2394,8 +2419,9 @@ Status Executor::Impl::RunDml() {
   }
 
   Timer t2;
+  if (!refs.empty()) mark_wal_write();
   if (q.kind == Query::Kind::kDelete) {
-    HD_RETURN_IF_ERROR(base->DeleteRows(refs, m));
+    HD_RETURN_IF_ERROR(base->DeleteRows(refs, m, wal_txn));
   } else {
     std::vector<PackedRow> news;
     news.reserve(refs.size());
@@ -2415,7 +2441,7 @@ Status Executor::Impl::RunDml() {
       }
       news.push_back(std::move(nr));
     }
-    HD_RETURN_IF_ERROR(base->UpdateRows(refs, news, m));
+    HD_RETURN_IF_ERROR(base->UpdateRows(refs, news, m, wal_txn));
   }
   m->cpu_ns += static_cast<uint64_t>(t2.ElapsedMs() * 1e6);
 
@@ -2463,8 +2489,24 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
       for (Table* t : latch_order) latches.emplace_back(t->phys_latch());
       s = impl.RunSelect();
     } else {
-      std::unique_lock<FairSharedMutex> latch(impl.base->phys_latch());
-      s = impl.RunDml();
+      {
+        std::unique_lock<FairSharedMutex> latch(impl.base->phys_latch());
+        s = impl.RunDml();
+      }
+      // Autocommit durability point, deliberately outside the exclusive
+      // latch: in group mode this parks for the batch fsync, and nothing
+      // should hold the table hostage while it waits. A commit error means
+      // durability is unknown — the statement is reported failed and must
+      // not be retried (see TransactionManager::Commit).
+      if (impl.wal_autocommit && impl.wal_wrote) {
+        WalManager* wal = impl.base->wal();
+        if (s.ok()) {
+          Status cs = wal->Commit(impl.wal_txn);
+          if (!cs.ok()) s = std::move(cs);
+        } else {
+          wal->Abort(impl.wal_txn);
+        }
+      }
     }
   }
   impl.res.status = s;

@@ -22,6 +22,13 @@
 //   --stats-json <file>  background hd-stats/1 JSONL sampler
 //   --stats-interval <ms>  sampler tick (default 1000)
 //   --stats-prom <file>  final Prometheus snapshot on exit
+//   --data-dir <path>    durable root: WAL + checkpoints live here. On
+//                        startup the server recovers whatever the
+//                        directory holds (kill -9 included) and only
+//                        loads the demo table into a fresh directory.
+//   --durability <m>     off | commit | group (default group when
+//                        --data-dir is given): fsync per commit vs one
+//                        batched fsync per group-commit window.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -67,7 +74,9 @@ Status LoadDemo(Database* db) {
 int main(int argc, char** argv) {
   ServerOptions opts;
   opts.port = 5433;
-  std::string stats_path, prom_path;
+  std::string stats_path, prom_path, data_dir;
+  DurabilityMode durability = DurabilityMode::kOff;
+  bool durability_set = false;
   int stats_interval_ms = 1000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
@@ -90,15 +99,32 @@ int main(int argc, char** argv) {
       stats_interval_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--stats-prom") == 0 && i + 1 < argc) {
       prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--durability") == 0 && i + 1 < argc) {
+      if (!ParseDurabilityMode(argv[++i], &durability)) {
+        std::fprintf(stderr, "--durability must be off|commit|group\n");
+        return 2;
+      }
+      durability_set = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host ip] [--port n] [--workers n] "
                    "[--max-sessions n] [--dop n] [--shared-scans] "
                    "[--admission n] [--stats-json f] [--stats-interval ms] "
-                   "[--stats-prom f]\n",
+                   "[--stats-prom f] [--data-dir path] "
+                   "[--durability off|commit|group]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!data_dir.empty() && !durability_set) {
+    durability = DurabilityMode::kGroup;
+  }
+  if (data_dir.empty() && durability_set && durability != DurabilityMode::kOff) {
+    std::fprintf(stderr, "--durability %s requires --data-dir\n",
+                 DurabilityModeName(durability));
+    return 2;
   }
 
   TelemetrySampler sampler;
@@ -111,7 +137,39 @@ int main(int argc, char** argv) {
   }
 
   Database db;
-  if (Status s = LoadDemo(&db); !s.ok()) {
+  if (durability != DurabilityMode::kOff) {
+    // Recover whatever the directory holds; only a fresh directory gets
+    // the demo load (followed by a checkpoint — DDL and bulk loads are
+    // not logged, so the checkpoint IS their durability point).
+    RecoveryStats rstats;
+    if (Status s = db.OpenDurability(data_dir, durability, WalOptions(),
+                                     &rstats);
+        !s.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (rstats.checkpoint_loaded) {
+      std::printf(
+          "recovered %s: redo=%llu undo=%llu truncated_tail=%lluB in %.1fms\n",
+          data_dir.c_str(),
+          static_cast<unsigned long long>(rstats.redo_records),
+          static_cast<unsigned long long>(rstats.undo_records),
+          static_cast<unsigned long long>(rstats.truncated_bytes),
+          rstats.restart_ms);
+    } else {
+      if (Status s = LoadDemo(&db); !s.ok()) {
+        std::fprintf(stderr, "demo load failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      if (Status s = db.Checkpoint(); !s.ok()) {
+        std::fprintf(stderr, "initial checkpoint failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::printf("initialized fresh data dir %s (durability=%s)\n",
+                  data_dir.c_str(), DurabilityModeName(durability));
+    }
+  } else if (Status s = LoadDemo(&db); !s.ok()) {
     std::fprintf(stderr, "demo load failed: %s\n", s.ToString().c_str());
     return 1;
   }
@@ -138,6 +196,18 @@ int main(int argc, char** argv) {
               server.sessions_active(),
               static_cast<unsigned long long>(server.connections_total()));
   server.Stop();
+
+  // Clean SIGTERM gets a final checkpoint so the next start replays an
+  // empty (truncated) log. A kill -9 skips this — that is what the WAL
+  // replay path is for.
+  if (durability != DurabilityMode::kOff) {
+    if (Status s = db.Checkpoint(); s.ok()) {
+      std::printf("final checkpoint written to %s\n", data_dir.c_str());
+    } else {
+      std::fprintf(stderr, "final checkpoint failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
 
   if (!stats_path.empty()) {
     sampler.Stop();

@@ -89,6 +89,9 @@ SessionEnv Server::MakeEnv() {
 
 Status Server::Start() {
   if (running_.load()) return Status::InvalidArgument("server already running");
+  // Durability, if the caller opened it on the database, routes every
+  // session's COMMIT/ROLLBACK through the WAL.
+  txns_.BindWal(db_->wal());
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));

@@ -288,8 +288,14 @@ bool Session::HandleTxnStatement(const std::string& sql, Outcome* out) {
     return true;
   }
   if (word == "COMMIT") {
-    env_.txns->Commit(txn_.get());
+    // A failed commit means durability is unknown (fsync error): surface
+    // it as a typed error; the transaction is over either way (§3.3).
+    Status cs = env_.txns->Commit(txn_.get());
     txn_.reset();
+    if (!cs.ok()) {
+      fail(cs);
+      return true;
+    }
     done("COMMIT");
   } else {  // ROLLBACK / ABORT
     env_.txns->Abort(txn_.get());

@@ -17,6 +17,7 @@ struct BpStats {
   TCounter* evictions = Telemetry::Instance().Counter("bp.evictions");
   TGauge* resident = Telemetry::Instance().Gauge("bp.resident_bytes");
   TGauge* total = Telemetry::Instance().Gauge("bp.total_bytes");
+  TGauge* dirty = Telemetry::Instance().Gauge("bp.dirty_extents");
 };
 
 BpStats& Stats() {
@@ -95,6 +96,7 @@ void BufferPool::Unregister(ExtentId id) {
   total_bytes_ -= it->second.bytes;
   Stats().total->Add(-static_cast<int64_t>(it->second.bytes));
   s.entries.erase(it);
+  if (s.dirty.erase(id) != 0) Stats().dirty->Add(-1);
 }
 
 Status BufferPool::Access(ExtentId id, IoPattern pattern, QueryMetrics* m) {
@@ -166,6 +168,63 @@ void BufferPool::WarmAll() {
 
 uint64_t BufferPool::resident_bytes() const { return resident_bytes_.load(); }
 uint64_t BufferPool::total_bytes() const { return total_bytes_.load(); }
+
+void BufferPool::MarkDirty(ExtentId id, uint64_t lsn) {
+  if (id == kInvalidExtent) return;
+  Shard& s = ShardFor(id);
+  std::lock_guard<std::mutex> g(s.mu);
+  if (s.entries.find(id) == s.entries.end()) return;
+  auto [it, inserted] = s.dirty.try_emplace(id, lsn);
+  if (!inserted) {
+    it->second = std::max(it->second, lsn);
+  } else {
+    Stats().dirty->Add(1);
+  }
+}
+
+Status BufferPool::CleanUpTo(uint64_t durable_lsn) {
+  int64_t cleaned = 0;
+  Status violation = Status::OK();
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    for (const auto& [id, lsn] : s.dirty) {
+      if (lsn > durable_lsn) {
+        violation = Status::Internal(
+            "WAL rule violation: dirty extent " + std::to_string(id) +
+            " at lsn " + std::to_string(lsn) + " > durable " +
+            std::to_string(durable_lsn));
+      }
+    }
+    if (!violation.ok()) return violation;
+  }
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    cleaned += static_cast<int64_t>(s.dirty.size());
+    s.dirty.clear();
+  }
+  Stats().dirty->Add(-cleaned);
+  return Status::OK();
+}
+
+uint64_t BufferPool::min_dirty_lsn() const {
+  uint64_t lo = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    for (const auto& [id, lsn] : s.dirty) {
+      if (lo == 0 || lsn < lo) lo = lsn;
+    }
+  }
+  return lo;
+}
+
+uint64_t BufferPool::dirty_extents() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    n += s.dirty.size();
+  }
+  return n;
+}
 
 void BufferPool::EvictIfNeeded() {
   if (capacity_ == 0) return;

@@ -63,6 +63,23 @@ class BufferPool {
   /// Mark every extent resident without charging I/O (warm the cache).
   void WarmAll();
 
+  // ---------- WAL rule (storage/wal.h) ----------
+
+  /// Record that `id` holds changes logged at `lsn` (monotonic max per
+  /// extent). Dirty extents must not be checkpointed before the log is
+  /// durable past their LSN. Unknown ids (incl. kInvalidExtent) ignored.
+  void MarkDirty(ExtentId id, uint64_t lsn);
+
+  /// Checkpoint-side enforcement of the WAL rule: clear the dirty set,
+  /// failing (kInternal) if any dirty extent carries an LSN > `durable_lsn`
+  /// — that would mean persisting a page whose log is not yet on disk.
+  Status CleanUpTo(uint64_t durable_lsn);
+
+  /// Smallest LSN across dirty extents (0 = nothing dirty) — the redo low
+  /// point a fuzzy checkpoint must keep log for.
+  uint64_t min_dirty_lsn() const;
+  uint64_t dirty_extents() const;
+
   uint64_t resident_bytes() const;
   uint64_t total_bytes() const;
   uint64_t capacity_bytes() const { return capacity_; }
@@ -82,6 +99,8 @@ class BufferPool {
     mutable std::mutex mu;
     std::unordered_map<ExtentId, Entry> entries;
     std::list<ExtentId> lru;  // front = most recent
+    /// Extents with logged-but-not-checkpointed changes -> max LSN.
+    std::unordered_map<ExtentId, uint64_t> dirty;
   };
 
   Shard& ShardFor(ExtentId id) {

@@ -34,6 +34,31 @@ uint64_t HeapFile::Append(std::span<const int64_t> row) {
   return num_rows_++;
 }
 
+uint64_t HeapFile::AppendTombstone() {
+  static thread_local std::vector<int64_t> zeros;
+  zeros.assign(stride_, 0);
+  const uint64_t rid = Append(zeros);
+  int slot;
+  Page* p = PageFor(rid, &slot);
+  p->deleted[slot] = true;
+  ++deleted_rows_;
+  return rid;
+}
+
+void HeapFile::StampPageLsn(uint64_t rid, uint64_t lsn) {
+  int slot;
+  Page* p = PageFor(rid, &slot);
+  if (p == nullptr) return;
+  p->lsn = std::max(p->lsn, lsn);
+  pool_->MarkDirty(p->extent, lsn);
+}
+
+uint64_t HeapFile::PageLsn(uint64_t rid) const {
+  int slot;
+  const Page* p = PageFor(rid, &slot);
+  return p == nullptr ? 0 : p->lsn;
+}
+
 HeapFile::Page* HeapFile::PageFor(uint64_t rid, int* slot) const {
   if (rid >= num_rows_) return nullptr;
   const uint64_t pidx = rid / rows_per_page_;

@@ -30,6 +30,18 @@ class HeapFile {
   /// Append one row; returns its RowId (insert position).
   uint64_t Append(std::span<const int64_t> row);
 
+  /// Append a pre-deleted placeholder row (recovery uses this to keep
+  /// RowIds dense with physical slots when replay must skip a rid).
+  uint64_t AppendTombstone();
+
+  /// Stamp the page holding `rid` with a log LSN (WAL rule: the page must
+  /// not reach a checkpoint before the log is durable past this LSN) and
+  /// mark its extent dirty in the buffer pool.
+  void StampPageLsn(uint64_t rid, uint64_t lsn);
+  /// LSN of the last logged mutation on the page holding `rid` (0 = clean
+  /// since load).
+  uint64_t PageLsn(uint64_t rid) const;
+
   /// Fetch a row by id (random page access); `out` needs stride capacity.
   Status Fetch(uint64_t rid, int64_t* out, QueryMetrics* m) const;
 
@@ -61,6 +73,8 @@ class HeapFile {
     std::vector<bool> deleted;
     int count = 0;
     ExtentId extent = kInvalidExtent;
+    /// pageLSN: last logged mutation applied to this page (0 = none).
+    uint64_t lsn = 0;
   };
 
   Page* PageFor(uint64_t rid, int* slot) const;

@@ -45,6 +45,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel iso) {
   t->iso_ = iso;
   t->snapshot_ts_ = ts_.load();
   t->begin_tp_ = std::chrono::steady_clock::now();
+  if (wal_ != nullptr) t->wal_id_ = wal_->AllocTxnId();
   if (iso == IsolationLevel::kSnapshot) {
     std::lock_guard<std::mutex> g(active_mu_);
     active_snapshots_.insert(t->snapshot_ts_);
@@ -52,7 +53,13 @@ std::unique_ptr<Transaction> TransactionManager::Begin(IsolationLevel iso) {
   return t;
 }
 
-void TransactionManager::Commit(Transaction* txn) {
+Status TransactionManager::Commit(Transaction* txn) {
+  // Durability first: the commit record must be on disk (per mode) before
+  // locks release and the effects become visible to other transactions.
+  Status durable = Status::OK();
+  if (wal_ != nullptr && txn->wal_wrote_) {
+    durable = wal_->Commit(txn->wal_id_);
+  }
   locks_.ReleaseAll(txn->id());
   if (txn->isolation() == IsolationLevel::kSnapshot) {
     std::lock_guard<std::mutex> g(active_mu_);
@@ -62,6 +69,7 @@ void TransactionManager::Commit(Transaction* txn) {
   ts_.fetch_add(1);
   Stats().commits->Add(1);
   Stats().commit_ns->Record(SinceNs(txn->begin_tp_));
+  return durable;
 }
 
 void TransactionManager::Abort(Transaction* txn) {
@@ -69,6 +77,9 @@ void TransactionManager::Abort(Transaction* txn) {
   // workloads retry idempotent statements); this releases locks and
   // removes the version markers the transaction created, so aborted
   // writers do not inflate SI chain lengths or leak version_count().
+  // Recovery undoes the transaction's logged inserts; the abort record is
+  // advisory (a missing one just means a longer analysis loser set).
+  if (wal_ != nullptr && txn->wal_wrote_) wal_->Abort(txn->wal_id_);
   locks_.ReleaseAll(txn->id());
   for (auto rit = txn->noted_.rbegin(); rit != txn->noted_.rend(); ++rit) {
     const auto [key, stamp] = *rit;

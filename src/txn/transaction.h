@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/wal.h"
 #include "txn/lock_manager.h"
 
 namespace hd {
@@ -35,11 +36,21 @@ class Transaction {
   /// Snapshot timestamp (SI): versions written after this are invisible.
   uint64_t snapshot_ts() const { return snapshot_ts_; }
 
+  /// WAL transaction id (0 when durability is off). Distinct from id():
+  /// the WAL allocator survives restarts, this one does not.
+  uint64_t wal_id() const { return wal_id_; }
+  /// Mark that a statement logged under wal_id() — Commit must then wait
+  /// for the log per the durability mode, and Abort must log the abort.
+  void MarkWalWrite() { wal_wrote_ = true; }
+  bool wal_wrote() const { return wal_wrote_; }
+
  private:
   friend class TransactionManager;
   uint64_t id_ = 0;
   IsolationLevel iso_ = IsolationLevel::kReadCommitted;
   uint64_t snapshot_ts_ = 0;
+  uint64_t wal_id_ = 0;
+  bool wal_wrote_ = false;
   /// Begin() time, for the commit/abort latency telemetry histograms.
   std::chrono::steady_clock::time_point begin_tp_;
   /// Version-store entries this transaction created: (vkey, timestamp).
@@ -59,8 +70,20 @@ class TransactionManager {
   TransactionManager() = default;
 
   std::unique_ptr<Transaction> Begin(IsolationLevel iso);
-  void Commit(Transaction* txn);
+
+  /// Commit: when the transaction logged WAL records, the commit record is
+  /// made durable per the WAL's mode FIRST (before locks release). A
+  /// returned error means durability is UNKNOWN — the commit's effects are
+  /// applied in memory and may or may not survive a crash, so callers must
+  /// report the operation failed and must NOT retry it (a retry that lands
+  /// after a commit record that did reach disk double-applies on replay).
+  Status Commit(Transaction* txn);
   void Abort(Transaction* txn);
+
+  /// Route commits/aborts through `wal` (may be null = durability off).
+  /// Begin() then stamps each transaction with a WAL txn id.
+  void BindWal(WalManager* wal) { wal_ = wal; }
+  WalManager* wal() const { return wal_; }
 
   LockManager* locks() { return &locks_; }
   uint64_t current_ts() const { return ts_.load(); }
@@ -94,6 +117,7 @@ class TransactionManager {
   }
 
   static constexpr int kNumShards = 64;
+  WalManager* wal_ = nullptr;
   LockManager locks_;
   std::atomic<uint64_t> next_txn_{1};
   std::atomic<uint64_t> ts_{1};

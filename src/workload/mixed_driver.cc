@@ -98,7 +98,11 @@ MixedResult RunMixedTxnWorkload(Database* db, TransactionManager* txns,
           }
         }
         if (stmt_status.ok()) {
-          txns->Commit(txn.get());
+          // A commit failure (durability unknown) is terminal for the op,
+          // never retried: the commit record may have reached disk, and a
+          // rerun landing after it would double-apply on recovery replay.
+          Status cs = txns->Commit(txn.get());
+          if (!cs.ok()) op_status = std::move(cs);
           break;
         }
         txns->Abort(txn.get());

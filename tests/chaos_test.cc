@@ -17,9 +17,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <iterator>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -441,6 +445,122 @@ TEST_F(ChaosTest, ServerConnectionFaultSweepRecovers) {
     EXPECT_EQ(r->rows[0][0].ToString(), "20000");
   }
   server.Stop();
+}
+
+// Restart chaos (docs/ROBUSTNESS.md "Durability"): a concurrent
+// transactional insert workload over a DURABLE database is killed without
+// a checkpoint or clean shutdown — with fsync faults injected mid-run —
+// and recovered from disk. Invariants after every recovery, per seed:
+//   (g) committed durable   — every txn whose Commit() returned OK is
+//                             fully present after replay
+//   (h) uncommitted gone    — every client-aborted txn is fully absent
+//   (i) atomic ambiguity    — a commit that FAILED (durability unknown)
+//                             is all-there or all-gone, never torn
+//   (j) telemetry agreement — redo/undo record counts match the ledger
+TEST_F(ChaosTest, RestartSweepCommittedDurableUncommittedGone) {
+  for (const uint64_t seed : {1001ull, 2002ull, 3003ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string dir =
+        testing::TempDir() + "/chaos_restart_" + std::to_string(seed);
+    std::filesystem::remove_all(dir);
+
+    constexpr int kThreads = 4;
+    constexpr int kTxnsPerThread = 30;
+    // Per-txn ledger: the pair of unique col0 values it inserted, by fate.
+    std::mutex ledger_mu;
+    std::vector<std::pair<int64_t, int64_t>> committed, aborted, unknown;
+    {
+      Database db;
+      ASSERT_TRUE(db.OpenDurability(dir, DurabilityMode::kGroup).ok());
+      auto made = db.CreateTable(
+          "d", Schema({{"a", ValueType::kInt64, 0},
+                       {"b", ValueType::kInt64, 0}}));
+      ASSERT_TRUE(made.ok());
+      // DDL is not logged: the checkpoint is its durability point.
+      ASSERT_TRUE(db.Checkpoint().ok());
+      TransactionManager tm;
+      tm.BindWal(db.wal());
+
+      // Fsync faults land on a fraction of group-commit batches, turning
+      // those commits into durability-unknown failures.
+      FailPoints::Instance().Arm(
+          "wal.fsync", FailSpec::Probability(0.05, seed, Code::kIoError,
+                                             "battery died"));
+      std::vector<std::thread> workers;
+      for (int tid = 0; tid < kThreads; ++tid) {
+        workers.emplace_back([&, tid] {
+          Rng rng(seed * 131 + tid);
+          for (int i = 0; i < kTxnsPerThread; ++i) {
+            const int64_t v = (tid * kTxnsPerThread + i) * 2;
+            auto txn = tm.Begin(IsolationLevel::kReadCommitted);
+            Query ins;
+            ins.id = "ins";
+            ins.kind = Query::Kind::kInsert;
+            ins.base.table = "d";
+            // Two rows in one txn: recovery must keep or drop BOTH.
+            ins.insert_rows = {{Value::Int64(v), Value::Int64(tid)},
+                               {Value::Int64(v + 1), Value::Int64(tid)}};
+            Optimizer opt(&db);
+            auto plan = opt.Plan(ins, Configuration::FromCatalog(db), {});
+            ASSERT_TRUE(plan.ok());
+            ExecContext ctx;
+            ctx.db = &db;
+            ctx.txns = &tm;
+            ctx.txn = txn.get();
+            Executor ex(ctx);
+            QueryResult r = ex.Execute(ins, plan->plan);
+            std::lock_guard<std::mutex> g(ledger_mu);
+            if (!r.ok()) {
+              tm.Abort(txn.get());
+              aborted.emplace_back(v, v + 1);
+            } else if (rng.Flip(0.2)) {
+              tm.Abort(txn.get());
+              aborted.emplace_back(v, v + 1);
+            } else if (Status cs = tm.Commit(txn.get()); cs.ok()) {
+              committed.emplace_back(v, v + 1);
+            } else {
+              unknown.emplace_back(v, v + 1);
+            }
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+      FailPoints::Instance().DisarmAll();
+      // kill -9: the Database goes away with no checkpoint and no drain.
+    }
+
+    Database db2;
+    RecoveryStats stats;
+    ASSERT_TRUE(db2.OpenDurability(dir, DurabilityMode::kGroup, WalOptions(),
+                                   &stats)
+                    .ok());
+    Table* t = db2.GetTable("d");
+    ASSERT_NE(t, nullptr);
+    std::set<int64_t> present;
+    t->ScanAll(
+        [&](int64_t, const int64_t* row) {
+          present.insert(row[0]);
+          return true;
+        },
+        nullptr);
+    for (const auto& [a, b] : committed) {
+      EXPECT_TRUE(present.count(a) && present.count(b))
+          << "committed txn (" << a << "," << b << ") lost";
+    }
+    for (const auto& [a, b] : aborted) {
+      EXPECT_TRUE(!present.count(a) && !present.count(b))
+          << "aborted txn (" << a << "," << b << ") survived";
+    }
+    for (const auto& [a, b] : unknown) {
+      EXPECT_EQ(present.count(a), present.count(b))
+          << "durability-unknown txn (" << a << "," << b << ") torn";
+    }
+    // Telemetry agreement: replay re-inserts every logged insert
+    // (winners and losers), and undo removes at least the aborted pairs.
+    EXPECT_GE(stats.redo_records,
+              2 * (committed.size() + aborted.size()));
+    EXPECT_GE(stats.undo_records, 2 * aborted.size());
+  }
 }
 
 }  // namespace

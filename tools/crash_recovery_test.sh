@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Kill-9 crash-recovery check (wired into CI; see .github/workflows/ci.yml).
+#
+# Drives the real server binary through the durability contract the unit
+# tests can only simulate in-process:
+#
+#   1. start hd_server on a fresh --data-dir with group commit; write 65
+#      marker rows (autocommit and BEGIN/COMMIT), leave one transaction
+#      OPEN, then SIGKILL the server — no checkpoint, no clean shutdown,
+#      torn WAL tail allowed. On restart the committed markers must
+#      replay from the WAL and the open transaction's row must be gone.
+#   2. N more rounds, each with a different crash point: a writer client
+#      streams autocommitted inserts while the server is SIGKILLed
+#      mid-load. Client-visible consistency: every acked insert (the ack
+#      is sent only after commit durability) must survive the restart,
+#      and at most one in-flight unacked statement may appear beyond
+#      that — the recovered count C obeys acked <= C <= acked + 1.
+#   3. SIGTERM (clean shutdown writes a final checkpoint), restart once
+#      more: recovery must report redo=0 — the checkpoint covered it all.
+#
+# Usage: tools/crash_recovery_test.sh [build-dir] [port] [rounds]
+set -euo pipefail
+
+BUILD=${1:-build}
+PORT=${2:-55441}
+ROUNDS=${3:-4}
+SERVER="$BUILD/src/server/hd_server"
+CLIENT="$BUILD/examples/sql_client"
+DIR=$(mktemp -d)
+SERVER_PID=""
+trap 'kill -9 "$SERVER_PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+die() { echo "FAIL: $*" >&2; cat "$DIR"/server*.log 2>/dev/null >&2; exit 1; }
+
+start_server() {  # $1 = log suffix
+  "$SERVER" --port "$PORT" --workers 2 --data-dir "$DIR/data" \
+    --durability group > "$DIR/server$1.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening" "$DIR/server$1.log" 2>/dev/null && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || die "server exited during start"
+    sleep 0.2
+  done
+  die "server did not start"
+}
+
+# Count marker rows for a given day value through a fresh client session.
+count_day() {  # $1 = day
+  echo "SELECT count(*) FROM sales WHERE day = $1" | "$CLIENT" --port "$PORT" \
+    | grep -Eo '^[0-9]+$' | head -1
+}
+
+echo "== phase 1: fresh start, committed + open-txn writes, kill -9 =="
+start_server 1
+grep -q "initialized fresh data dir" "$DIR/server1.log" \
+  || die "expected fresh-directory initialization"
+
+# 64 autocommitted single-row inserts plus one explicit transaction.
+{
+  for _ in $(seq 1 64); do
+    echo "INSERT INTO sales VALUES ('crash', 999, 7, 1.5)"
+  done
+  echo "BEGIN"
+  echo "INSERT INTO sales VALUES ('crash', 999, 7, 1.5)"
+  echo "COMMIT"
+} | "$CLIENT" --port "$PORT" > "$DIR/writes.log" 2>&1
+grep -q "error" "$DIR/writes.log" && die "write session reported errors"
+[ "$(count_day 999)" = "65" ] || die "expected 65 marker rows before crash"
+
+# Leave a transaction open (uncommitted insert in flight) when the power
+# goes out: feed a client through a FIFO and never send COMMIT.
+mkfifo "$DIR/open_txn"
+"$CLIENT" --port "$PORT" < "$DIR/open_txn" > "$DIR/open_txn.log" 2>&1 &
+OPEN_PID=$!
+exec 9>"$DIR/open_txn"
+printf 'BEGIN\n' >&9
+printf "INSERT INTO sales VALUES ('doomed', 998, 1, 1.0)\n" >&9
+sleep 1  # let the statement reach the server before the crash
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+exec 9>&-
+wait "$OPEN_PID" 2>/dev/null || true
+
+start_server 2
+grep -q "recovered" "$DIR/server2.log" || die "expected WAL recovery banner"
+[ "$(count_day 999)" = "65" ] || die "committed rows lost across kill -9"
+[ "$(count_day 998)" = "0" ] || die "uncommitted row survived kill -9"
+expect=65
+
+echo "== phase 2: $ROUNDS seeded kill -9 rounds under write load =="
+log=3
+for round in $(seq 1 "$ROUNDS"); do
+  # Stream autocommitted inserts and crash mid-load. Varying the window
+  # per round seeds a different crash point in the commit pipeline.
+  seq 1 5000 | sed "s/.*/INSERT INTO sales VALUES ('crash', 999, 7, 1.5)/" \
+    | "$CLIENT" --port "$PORT" > "$DIR/load$round.log" 2>&1 &
+  WRITER=$!
+  sleep "0.$((3 + round * 2))"
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  wait "$WRITER" 2>/dev/null || true
+  acked=$(grep -c "rows affected" "$DIR/load$round.log" || true)
+
+  start_server "$log"
+  grep -q "recovered" "$DIR/server$log.log" || die "round $round: no recovery"
+  got=$(count_day 999)
+  [ "$got" -ge $((expect + acked)) ] \
+    || die "round $round: acked writes lost ($got < $expect + $acked)"
+  [ "$got" -le $((expect + acked + 1)) ] \
+    || die "round $round: phantom rows beyond the one in-flight statement"
+  echo "   round $round: acked=$acked recovered=$got"
+  expect=$got
+  log=$((log + 1))
+done
+
+echo "== phase 3: clean shutdown checkpoints; next start replays nothing =="
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+grep -q "final checkpoint" "$DIR/server$((log - 1)).log" \
+  || die "clean shutdown did not write a final checkpoint"
+
+start_server "$log"
+grep -Eq "recovered .* redo=0 " "$DIR/server$log.log" \
+  || die "post-checkpoint restart should replay zero records"
+[ "$(count_day 999)" = "$expect" ] || die "rows lost across clean restart"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+
+echo "crash recovery ok: $expect committed rows durable across" \
+     "$((ROUNDS + 1)) kill -9 crashes; open txn rolled back"
