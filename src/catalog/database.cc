@@ -12,6 +12,18 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
   const uint32_t id = next_table_id_++;
   ptr->BindWal(wal_.get(), id);
   tables_by_id_[id] = ptr;
+  // DDL is not logged, so a table created after the last checkpoint would
+  // be invisible to recovery — and committed DML against it silently
+  // unreplayable. Checkpointing right away puts the (empty) table in the
+  // recovery baseline. No-op during recovery itself: wal_ is not open yet.
+  if (wal_ != nullptr && wal_->open()) {
+    Status s = WriteCheckpoint(this, data_dir_);
+    if (!s.ok()) {
+      tables_by_id_.erase(id);
+      tables_.erase(name);
+      return s;
+    }
+  }
   return ptr;
 }
 
@@ -27,6 +39,12 @@ Status Database::DropTable(const std::string& name) {
   }
   tables_by_id_.erase(it->second->table_id());
   tables_.erase(it);
+  // Make the drop durable immediately; otherwise recovery would resurrect
+  // the table from the previous checkpoint. An error here means the drop
+  // happened in memory but is not yet durable — the caller may retry.
+  if (wal_ != nullptr && wal_->open()) {
+    HD_RETURN_IF_ERROR(WriteCheckpoint(this, data_dir_));
+  }
   return Status::OK();
 }
 

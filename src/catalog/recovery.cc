@@ -309,9 +309,11 @@ Status WriteCheckpoint(Database* db, const std::string& dir) {
   if (oldest_active != 0) redo_start = std::min(redo_start, oldest_active);
 
   // WAL rule: nothing snapshotted may be persisted before the log covering
-  // it is durable.
+  // it is durable. Dirty extents past the snapshot horizon belong to
+  // concurrent DML this checkpoint did not capture — they stay dirty.
   HD_RETURN_IF_ERROR(wal->EnsureDurable(max_applied));
-  HD_RETURN_IF_ERROR(db->buffer_pool()->CleanUpTo(wal->durable_lsn()));
+  HD_RETURN_IF_ERROR(
+      db->buffer_pool()->CleanUpTo(max_applied, wal->durable_lsn()));
 
   std::vector<uint8_t> body;
   PutU64(&body, next_lsn);
@@ -361,9 +363,12 @@ Status WriteCheckpoint(Database* db, const std::string& dir) {
 namespace {
 
 /// Load the checkpoint named by CURRENT into `db`. NotFound = no
-/// checkpoint (fresh directory) — not an error for recovery.
+/// checkpoint (fresh directory) — not an error for recovery. On success
+/// `*redo_start_out` is the checkpoint's stored redo horizon: every log
+/// record below it was resolved when the checkpoint was taken (truncation
+/// is segment-granular, so such records can still be present in the log).
 Status LoadCheckpoint(Database* db, const std::string& dir,
-                      RecoveryStats* stats) {
+                      RecoveryStats* stats, uint64_t* redo_start_out) {
   std::vector<uint8_t> cur;
   Status s = ReadFileAll(CurrentPath(dir), &cur);
   if (s.IsNotFound()) return s;
@@ -390,7 +395,7 @@ Status LoadCheckpoint(Database* db, const std::string& dir,
   Cursor c{body, body_n};
   const uint64_t next_lsn = c.U64();
   const uint64_t next_txn = c.U64();
-  c.U64();  // redo_start: advisory (truncation already honored it)
+  const uint64_t redo_start = c.U64();
   const uint32_t next_table_id = c.U32();
   const uint32_t ntables = c.U32();
   for (uint32_t ti = 0; ti < ntables && c.ok; ++ti) {
@@ -467,6 +472,7 @@ Status LoadCheckpoint(Database* db, const std::string& dir,
   }
   if (!c.ok) return Status::Corruption("truncated checkpoint: " + name);
   db->SeedNextTableId(next_table_id);
+  if (redo_start_out != nullptr) *redo_start_out = redo_start;
   if (stats != nullptr) {
     stats->checkpoint_loaded = true;
     if (next_lsn > 0) stats->max_lsn = std::max(stats->max_lsn, next_lsn - 1);
@@ -483,11 +489,17 @@ Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
   if (stats == nullptr) stats = &local;
   *stats = RecoveryStats();
 
-  Status s = LoadCheckpoint(db, dir, stats);
+  uint64_t redo_start = 0;
+  Status s = LoadCheckpoint(db, dir, stats, &redo_start);
   if (!s.ok() && !s.IsNotFound()) return s;
 
   // Single pass buffers the log: analysis needs the winner set before any
   // record is replayed, and the log fits (it is truncated at checkpoints).
+  // Records below the checkpoint's redo_start were already resolved when
+  // the checkpoint was taken — segment-granular truncation can leave them
+  // in the log, and replaying or re-undoing them would double-apply across
+  // repeated recoveries, so they are dropped here (max_lsn / max_txn still
+  // account for them so allocators never go backwards).
   std::vector<WalRecord> log;
   std::set<uint64_t> winners;
   HD_RETURN_IF_ERROR(WalManager::ReadLog(
@@ -495,6 +507,7 @@ Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
       [&](const WalRecord& rec) {
         stats->max_lsn = std::max(stats->max_lsn, rec.lsn);
         stats->max_txn = std::max(stats->max_txn, rec.txn);
+        if (rec.lsn < redo_start) return;
         if (rec.type == WalRecordType::kTxnCommit) {
           winners.insert(rec.txn);
         } else {
@@ -505,14 +518,24 @@ Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
 
   // Redo (repeating history): inserts replay for winners AND losers so
   // heap rids stay position-faithful; updates/deletes replay for winners
-  // and self-committed (txn 0) records only.
-  struct LoserInsert {
+  // and self-committed (txn 0) records only. A fuzzy checkpoint can
+  // capture a LOSER's in-place effects (its records carry lsn <= the
+  // table's snapshot LSN; redo_start retains them via the oldest-active
+  // horizon) — those are not replayed, but they ARE queued for undo with
+  // the row images the log carries, so an uncommitted transaction caught
+  // mid-flight by a checkpoint still rolls back completely on restart.
+  struct UndoOp {
+    uint64_t lsn;
+    WalRecordType type;
     uint32_t table_id;
     int64_t rid;
-    PackedRow row;
+    PackedRow old_row;  // kUpdate / kDelete: image to restore
+    PackedRow new_row;  // kInsert / kUpdate: image currently in place
   };
-  std::vector<LoserInsert> loser_inserts;
-  std::set<std::pair<uint32_t, int64_t>> winner_touched;
+  std::vector<UndoOp> undo_ops;  // scan order == LSN order
+  // (table, rid) -> LSN of the last winner record that wrote it. Undo of
+  // a loser op must not clobber a winner image written AFTER it.
+  std::map<std::pair<uint32_t, int64_t>, uint64_t> winner_touched;
   for (const WalRecord& rec : log) {
     if (rec.type == WalRecordType::kTxnAbort) continue;
     HD_FAILPOINT_RETURN("recovery.redo");
@@ -523,17 +546,47 @@ Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
       ++stats->skipped_records;
       continue;
     }
-    if (rec.lsn <= t->applied_lsn()) continue;  // already in the checkpoint
     const bool winner = rec.txn == 0 || winners.count(rec.txn) > 0;
+    const bool dml = rec.type == WalRecordType::kInsert ||
+                     rec.type == WalRecordType::kUpdate ||
+                     rec.type == WalRecordType::kDelete;
+    if (winner && dml) {
+      uint64_t& last = winner_touched[{rec.table_id, rec.rid}];
+      last = std::max(last, rec.lsn);
+    }
+    if (rec.lsn <= t->applied_lsn()) {
+      // Already reflected by the checkpoint. Row conversion for loser
+      // undo happens here, at scan time, so dictionary code allocation
+      // stays in LSN order and deterministic.
+      if (!winner && dml) {
+        UndoOp op;
+        op.lsn = rec.lsn;
+        op.type = rec.type;
+        op.table_id = rec.table_id;
+        op.rid = rec.rid;
+        if (rec.type != WalRecordType::kInsert) {
+          op.old_row = t->FromWalRow(rec.old_row);
+        }
+        if (rec.type != WalRecordType::kDelete) {
+          op.new_row = t->FromWalRow(rec.new_row);
+        }
+        undo_ops.push_back(std::move(op));
+      }
+      continue;
+    }
     switch (rec.type) {
       case WalRecordType::kInsert: {
         PackedRow row = t->FromWalRow(rec.new_row);
         HD_RETURN_IF_ERROR(t->RecoverInsert(rec.rid, row));
         ++stats->redo_records;
-        if (winner) {
-          winner_touched.insert({rec.table_id, rec.rid});
-        } else {
-          loser_inserts.push_back({rec.table_id, rec.rid, std::move(row)});
+        if (!winner) {
+          UndoOp op;
+          op.lsn = rec.lsn;
+          op.type = rec.type;
+          op.table_id = rec.table_id;
+          op.rid = rec.rid;
+          op.new_row = std::move(row);
+          undo_ops.push_back(std::move(op));
         }
         break;
       }
@@ -542,7 +595,6 @@ Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
           HD_RETURN_IF_ERROR(t->RecoverUpdate(rec.rid,
                                               t->FromWalRow(rec.old_row),
                                               t->FromWalRow(rec.new_row)));
-          winner_touched.insert({rec.table_id, rec.rid});
           ++stats->redo_records;
         }
         break;
@@ -550,7 +602,6 @@ Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
         if (winner) {
           HD_RETURN_IF_ERROR(
               t->RecoverDelete(rec.rid, t->FromWalRow(rec.old_row)));
-          winner_touched.insert({rec.table_id, rec.rid});
           ++stats->redo_records;
         }
         break;
@@ -574,14 +625,32 @@ Status WalRecover(Database* db, const std::string& dir, RecoveryStats* stats) {
     t->set_applied_lsn(rec.lsn);
   }
 
-  // Undo: losers' inserts come back out, newest first. A rid a winner
-  // later touched stays (repeating history already gave it the winner's
-  // final image). NotFound is fine — the loser compensated its own insert.
-  for (auto it = loser_inserts.rbegin(); it != loser_inserts.rend(); ++it) {
-    if (winner_touched.count({it->table_id, it->rid}) > 0) continue;
+  // Undo: losers' effects come back out, newest first — replayed inserts
+  // are deleted, and checkpointed inserts/updates/deletes are reversed
+  // from the logged row images. A rid a winner wrote LATER than the
+  // loser's op keeps the winner's image (repeating history already gave
+  // it the final state). NotFound is fine — the loser compensated its own
+  // op before the crash.
+  for (auto it = undo_ops.rbegin(); it != undo_ops.rend(); ++it) {
+    auto w = winner_touched.find({it->table_id, it->rid});
+    if (w != winner_touched.end() && w->second > it->lsn) continue;
     Table* t = db->GetTableById(it->table_id);
     if (t == nullptr) continue;
-    Status u = t->RecoverDelete(it->rid, it->row);
+    Status u;
+    switch (it->type) {
+      case WalRecordType::kInsert:
+        u = t->RecoverDelete(it->rid, it->new_row);
+        break;
+      case WalRecordType::kUpdate:
+        // The slot holds the loser's new image; put the old one back.
+        u = t->RecoverUpdate(it->rid, it->new_row, it->old_row);
+        break;
+      case WalRecordType::kDelete:
+        u = t->RecoverInsert(it->rid, it->old_row);
+        break;
+      default:
+        break;
+    }
     if (!u.ok() && !u.IsNotFound()) return u;
     ++stats->undo_records;
   }

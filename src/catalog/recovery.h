@@ -10,22 +10,33 @@
 //      restore dictionaries code-for-code, install rows at their original
 //      rids (heap gaps padded with tombstones), rebuild secondaries.
 //   2. Analysis: scan the WAL once, classifying transactions into winners
-//      (commit record present) and losers (everything else).
-//   3. Redo: replay records in LSN order, skipping any record at or below
-//      its table's checkpointed applied LSN (the pageLSN comparison at
-//      table granularity). ALL inserts replay — winners and losers — so
-//      heap rids stay dense with physical slots ("repeating history");
-//      updates/deletes replay for winners only.
-//   4. Undo: losers' inserts are deleted in reverse LSN order (skipping
-//      rids a winner later touched), leaving tombstones. NotFound during
-//      undo is tolerated (the loser compensated its own insert).
+//      (commit record present) and losers (everything else). Records below
+//      the checkpoint's stored redo_start are resolved history retained by
+//      segment-granular truncation; they are dropped so repeated
+//      crash/recover/checkpoint cycles never double-undo.
+//   3. Redo: replay records in LSN order. A record at or below its table's
+//      checkpointed applied LSN is already reflected in the snapshot (the
+//      pageLSN comparison at table granularity) — it is not replayed, but
+//      if it belongs to a LOSER its in-place effect was captured by the
+//      fuzzy checkpoint, so it is queued for undo with the logged row
+//      images. Above the snapshot point, ALL inserts replay — winners and
+//      losers — so heap rids stay dense with physical slots ("repeating
+//      history"); updates/deletes replay for winners only.
+//   4. Undo: losers' effects are reversed in reverse LSN order — replayed
+//      and checkpointed inserts are deleted (leaving tombstones),
+//      checkpointed updates restore the old image, checkpointed deletes
+//      resurrect the old row. A rid a winner wrote LATER than the loser's
+//      op keeps the winner's image. NotFound during undo is tolerated
+//      (the loser compensated its own op).
 //
 // Recovery runs on an *unbound* database (no WalManager open), so nothing
 // replayed is re-logged; the caller (Database::OpenDurability) opens the
 // log for appends afterwards, seeded past the maxima observed here.
 //
-// Durability contract for DDL and bulk loads: they are NOT logged. They
-// become durable at the next explicit Database::Checkpoint(). Records for
+// Durability contract for DDL and bulk loads: they are NOT logged.
+// CREATE/DROP TABLE self-checkpoint when durability is open (so committed
+// DML against a new table is always replayable); bulk loads and index
+// changes become durable at the next Database::Checkpoint(). Records for
 // table ids recovery does not know are counted (skipped_records) and
 // dropped. See DESIGN.md "Durability & recovery".
 #pragma once

@@ -945,10 +945,13 @@ Status Table::RecoverInsert(int64_t rid, const PackedRow& row) {
       while (static_cast<int64_t>(heap_->num_rows()) < rid) {
         heap_->AppendTombstone();
       }
-      if (static_cast<int64_t>(heap_->num_rows()) != rid) {
-        return Status::Corruption("heap replay rid already occupied");
+      if (static_cast<int64_t>(heap_->num_rows()) > rid) {
+        // The slot already exists — legal only as undo of a loser DELETE,
+        // where the checkpoint left a tombstone at this rid.
+        HD_RETURN_IF_ERROR(heap_->Resurrect(rid, row));
+      } else {
+        heap_->Append(row);
       }
-      heap_->Append(row);
       break;
     }
     case PrimaryKind::kBTree: {

@@ -182,25 +182,32 @@ void BufferPool::MarkDirty(ExtentId id, uint64_t lsn) {
   }
 }
 
-Status BufferPool::CleanUpTo(uint64_t durable_lsn) {
-  int64_t cleaned = 0;
-  Status violation = Status::OK();
+Status BufferPool::CleanUpTo(uint64_t horizon, uint64_t durable_lsn) {
+  // Only extents the snapshot could have captured (lsn <= horizon) are
+  // subject to the WAL rule here; concurrent DML legitimately dirties
+  // extents past the horizon while the checkpoint is in flight.
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> g(s.mu);
     for (const auto& [id, lsn] : s.dirty) {
-      if (lsn > durable_lsn) {
-        violation = Status::Internal(
+      if (lsn <= horizon && lsn > durable_lsn) {
+        return Status::Internal(
             "WAL rule violation: dirty extent " + std::to_string(id) +
             " at lsn " + std::to_string(lsn) + " > durable " +
             std::to_string(durable_lsn));
       }
     }
-    if (!violation.ok()) return violation;
   }
+  int64_t cleaned = 0;
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> g(s.mu);
-    cleaned += static_cast<int64_t>(s.dirty.size());
-    s.dirty.clear();
+    for (auto it = s.dirty.begin(); it != s.dirty.end();) {
+      if (it->second <= horizon) {
+        it = s.dirty.erase(it);
+        ++cleaned;
+      } else {
+        ++it;
+      }
+    }
   }
   Stats().dirty->Add(-cleaned);
   return Status::OK();

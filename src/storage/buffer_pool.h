@@ -70,10 +70,14 @@ class BufferPool {
   /// durable past their LSN. Unknown ids (incl. kInvalidExtent) ignored.
   void MarkDirty(ExtentId id, uint64_t lsn);
 
-  /// Checkpoint-side enforcement of the WAL rule: clear the dirty set,
-  /// failing (kInternal) if any dirty extent carries an LSN > `durable_lsn`
-  /// — that would mean persisting a page whose log is not yet on disk.
-  Status CleanUpTo(uint64_t durable_lsn);
+  /// Checkpoint-side enforcement of the WAL rule, scoped to the fuzzy
+  /// snapshot the checkpoint actually captured: clear dirty marks with
+  /// LSN <= `horizon` (the max applied LSN across the table snapshots),
+  /// failing (kInternal) if any of THOSE carries an LSN > `durable_lsn` —
+  /// that would mean persisting a page whose log is not yet on disk.
+  /// Extents dirtied past the horizon are concurrent DML the snapshot did
+  /// not see; they stay dirty for the next checkpoint.
+  Status CleanUpTo(uint64_t horizon, uint64_t durable_lsn);
 
   /// Smallest LSN across dirty extents (0 = nothing dirty) — the redo low
   /// point a fuzzy checkpoint must keep log for.

@@ -107,6 +107,22 @@ Status HeapFile::Delete(uint64_t rid, QueryMetrics* m) {
   return Status::OK();
 }
 
+Status HeapFile::Resurrect(uint64_t rid, std::span<const int64_t> row) {
+  int slot;
+  Page* p = PageFor(rid, &slot);
+  if (p == nullptr || slot >= p->count) {
+    return Status::NotFound("row id out of range");
+  }
+  if (!p->deleted[slot]) {
+    return Status::Corruption("resurrect of a live row");
+  }
+  std::memcpy(p->data.data() + static_cast<size_t>(slot) * stride_,
+              row.data(), stride_ * 8);
+  p->deleted[slot] = false;
+  --deleted_rows_;
+  return Status::OK();
+}
+
 Status HeapFile::Scan(const std::function<bool(uint64_t, const int64_t*)>& fn,
                       QueryMetrics* m) const {
   return ScanRange(0, num_rows_, fn, m);

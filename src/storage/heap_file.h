@@ -51,6 +51,13 @@ class HeapFile {
   /// Logical delete.
   Status Delete(uint64_t rid, QueryMetrics* m);
 
+  /// Bring a logically-deleted slot back to life with the given image.
+  /// Recovery undoes a checkpointed loser DELETE this way: the checkpoint
+  /// padded the rid with a tombstone, and the WAL carries the old row.
+  /// kNotFound if the rid is out of range; kCorruption if the slot is
+  /// live (undo must never clobber surviving data).
+  Status Resurrect(uint64_t rid, std::span<const int64_t> row);
+
   /// Full sequential scan of live rows; `fn` returns false to stop early
   /// (still OK). Non-OK only on an injected/propagated I/O failure.
   Status Scan(const std::function<bool(uint64_t, const int64_t*)>& fn,

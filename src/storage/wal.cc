@@ -265,7 +265,7 @@ WalManager::~WalManager() {
     stop_ = true;
     // Final flush so a clean shutdown loses nothing even without an
     // explicit checkpoint (best-effort: errors are unreportable here).
-    if (fd_ >= 0) (void)SyncLocked();
+    if (fd_ >= 0 && poison_.ok()) (void)SyncLocked();
   }
   work_cv_.notify_all();
   durable_cv_.notify_all();
@@ -378,6 +378,7 @@ Status WalManager::Append(WalRecord* rec, uint64_t* lsn_out) {
   HD_FAILPOINT_RETURN("wal.append");
   std::unique_lock<std::mutex> lk(mu_);
   if (fd_ < 0) return Status::Internal("WAL not open");
+  if (!poison_.ok()) return poison_;
   std::vector<uint8_t> framed;
   FrameRecordLocked(rec, &framed);
   if (buffer_.empty()) buffer_begin_lsn_ = rec->lsn;
@@ -405,23 +406,44 @@ Status WalManager::Append(WalRecord* rec, uint64_t* lsn_out) {
   return Status::OK();
 }
 
+Status WalManager::FlushBufferLocked() {
+  if (!poison_.ok()) return poison_;
+  if (buffer_.empty()) return Status::OK();
+  Status w = WriteLocked(buffer_.data(), buffer_.size());
+  if (!w.ok()) {
+    // A failed write(2) leaves the byte-stream position unknown; any
+    // further append would tear the log silently. Poison.
+    poison_ = w;
+    return w;
+  }
+  written_lsn_ = buffer_end_lsn_;
+  buffer_.clear();
+  buffer_begin_lsn_ = 0;
+  return Status::OK();
+}
+
 Status WalManager::SyncLocked() {
   // Flush the buffer and fsync; caller holds mu_.
-  if (!buffer_.empty()) {
-    HD_RETURN_IF_ERROR(WriteLocked(buffer_.data(), buffer_.size()));
-    written_lsn_ = buffer_end_lsn_;
-    buffer_.clear();
-    buffer_begin_lsn_ = 0;
-  }
+  HD_RETURN_IF_ERROR(FlushBufferLocked());
   if (written_lsn_ <= durable_lsn_) return Status::OK();
   Status fp = EvalFailPoint("wal.fsync");
+  bool real_failure = false;
   if (fp.ok() && ::fsync(fd_) != 0) {
     fp = Status::IoError(std::string("WAL fsync failed: ") +
                          std::strerror(errno));
+    real_failure = true;
   }
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   Stats().fsyncs->Add(1);
-  if (!fp.ok()) return fp;
+  if (!fp.ok()) {
+    // durable_lsn_ stays put — nothing past it is proven on disk. A real
+    // fsync failure additionally poisons the log: the kernel may have
+    // dropped the dirty pages, so a later successful fsync would prove
+    // nothing about this range (fsyncgate). Injected faults are
+    // transient by contract and may be retried.
+    if (real_failure) poison_ = fp;
+    return fp;
+  }
   durable_lsn_ = written_lsn_;
   // Rotate once past the segment budget; a freshly rotated segment starts
   // durable (header fsync in OpenSegmentLocked).
@@ -440,12 +462,7 @@ Status WalManager::SyncLocked() {
 
 Status WalManager::Flush() {
   std::unique_lock<std::mutex> lk(mu_);
-  if (buffer_.empty()) return Status::OK();
-  HD_RETURN_IF_ERROR(WriteLocked(buffer_.data(), buffer_.size()));
-  written_lsn_ = buffer_end_lsn_;
-  buffer_.clear();
-  buffer_begin_lsn_ = 0;
-  return Status::OK();
+  return FlushBufferLocked();
 }
 
 Status WalManager::Sync() {
@@ -457,14 +474,14 @@ Status WalManager::Sync() {
 Status WalManager::EnsureDurable(uint64_t lsn) {
   if (lsn == 0) return Status::OK();
   std::unique_lock<std::mutex> lk(mu_);
+  if (!poison_.ok()) return poison_;
   if (durable_lsn_ >= lsn) return Status::OK();
   if (mode_ == DurabilityMode::kGroup && writer_.joinable()) {
     work_cv_.notify_one();
-    durable_cv_.wait(lk, [&] { return durable_lsn_ >= lsn || stop_; });
+    durable_cv_.wait(
+        lk, [&] { return durable_lsn_ >= lsn || stop_ || !poison_.ok(); });
+    if (!poison_.ok()) return poison_;
     if (durable_lsn_ < lsn) return Status::Internal("WAL writer stopped");
-    for (const SyncError& e : sync_errors_) {
-      if (lsn >= e.begin_lsn && lsn <= e.end_lsn) return e.status;
-    }
     return Status::OK();
   }
   return SyncLocked();
@@ -486,16 +503,16 @@ Status WalManager::Commit(uint64_t txn) {
     std::unique_lock<std::mutex> lk(mu_);
     ++pending_commits_;
     work_cv_.notify_one();
-    durable_cv_.wait(lk, [&] { return durable_lsn_ >= lsn || stop_; });
-    if (durable_lsn_ < lsn) {
+    // Park until the writer's fsync actually covers our LSN. A batch
+    // whose fsync hit an injected fault is retried next window, so the
+    // wait simply lasts longer; only a poisoned log or writer shutdown
+    // fails the commit (durability unknown in both cases).
+    durable_cv_.wait(
+        lk, [&] { return durable_lsn_ >= lsn || stop_ || !poison_.ok(); });
+    if (!poison_.ok()) {
+      s = poison_;
+    } else if (durable_lsn_ < lsn) {
       s = Status::Internal("WAL writer stopped before commit became durable");
-    } else {
-      for (const SyncError& e : sync_errors_) {
-        if (lsn >= e.begin_lsn && lsn <= e.end_lsn) {
-          s = e.status;
-          break;
-        }
-      }
     }
   }
   Stats().flush_wait_ns->Record(NowNs() - t0);
@@ -511,25 +528,42 @@ Status WalManager::Abort(uint64_t txn) {
 
 void WalManager::WriterLoop() {
   std::unique_lock<std::mutex> lk(mu_);
+  bool backoff = false;
   while (true) {
-    work_cv_.wait_for(lk, std::chrono::microseconds(opts_.group_window_us),
-                      [&] { return stop_ || !buffer_.empty(); });
-    if (buffer_.empty()) {
+    if (backoff) {
+      // Previous fsync hit an injected fault; the bytes are written but
+      // unproven (durable_lsn_ < written_lsn_, so the wake predicate is
+      // already true). Plain timed sleep paces the retry.
+      work_cv_.wait_for(lk, std::chrono::microseconds(opts_.group_window_us));
+      backoff = false;
+    } else {
+      work_cv_.wait_for(lk, std::chrono::microseconds(opts_.group_window_us),
+                        [&] {
+                          return stop_ || !buffer_.empty() ||
+                                 written_lsn_ > durable_lsn_;
+                        });
+    }
+    if (!poison_.ok()) {
+      durable_cv_.notify_all();
+      return;
+    }
+    if (buffer_.empty() && written_lsn_ <= durable_lsn_) {
       if (stop_) return;
       continue;
     }
-    const uint64_t begin = buffer_begin_lsn_;
-    const uint64_t end = buffer_end_lsn_;
     const uint64_t group = pending_commits_;
     pending_commits_ = 0;
     Status s = SyncLocked();
     if (!s.ok()) {
-      // Never leave committers parked forever: advance the durable
-      // horizon but remember the failed range so every commit whose
-      // record sat in this batch reports the fsync failure.
-      durable_lsn_ = std::max(durable_lsn_, end);
-      sync_errors_.push_back({begin, end, s});
-      if (sync_errors_.size() > 64) sync_errors_.erase(sync_errors_.begin());
+      if (!poison_.ok() || stop_) {
+        // Real failure or shutdown: parked committers wake, see the
+        // poison/stop state, and report the commit failed (durability
+        // unknown). durable_lsn_ was never advanced over the batch.
+        durable_cv_.notify_all();
+        return;
+      }
+      backoff = true;  // injected transient fault: retry next window
+      continue;
     }
     if (group > 0) Stats().group_size->Record(static_cast<int64_t>(group));
     durable_cv_.notify_all();

@@ -23,6 +23,13 @@
 //     pending and fsyncs ONCE per window, so update throughput scales
 //     with writer concurrency instead of paying one fsync per txn.
 //     kCommit fsyncs synchronously per commit; kOff means no WAL at all.
+//   - Fsync failure: durable_lsn only advances on a SUCCESSFUL fsync.
+//     An injected (failpoint) fault is transient — kCommit surfaces it to
+//     the committer (durability unknown), the group writer retries the
+//     batch next window and parked committers wait it out. A real
+//     write/fsync syscall failure poisons the log: the kernel may have
+//     dropped the dirty pages, so every later append/commit/barrier
+//     fails until restart recovery re-reads what actually reached disk.
 //
 // Failpoint seams (docs/ROBUSTNESS.md): `wal.append` (record append),
 // `wal.fsync` (group/commit fsync), `wal.checkpoint` (checkpoint write;
@@ -197,14 +204,11 @@ class WalManager {
   static std::string WalDir(const std::string& dir);
 
  private:
-  struct SyncError {
-    uint64_t begin_lsn = 0;
-    uint64_t end_lsn = 0;
-    Status status;
-  };
-
   Status OpenSegmentLocked();
   Status WriteLocked(const uint8_t* data, size_t n);
+  /// Write buffered frames to the OS under mu_; poisons the log on a real
+  /// write failure (the byte stream position is then unknown).
+  Status FlushBufferLocked();
   /// Flush buffer + fsync under mu_ held by the caller (kCommit path).
   Status SyncLocked();
   void WriterLoop();
@@ -223,8 +227,15 @@ class WalManager {
   uint64_t pending_commits_ = 0;        // commit records in buffer_
   uint64_t next_lsn_ = 1;
   uint64_t written_lsn_ = 0;   // last lsn handed to the OS
-  uint64_t durable_lsn_ = 0;   // last lsn fsynced
-  std::vector<SyncError> sync_errors_;  // failed-batch LSN ranges
+  uint64_t durable_lsn_ = 0;   // last lsn fsynced; only ever advances on a
+                               // SUCCESSFUL fsync
+  /// Non-OK once a real write/fsync syscall failed: the kernel may have
+  /// dropped dirty pages (fsyncgate), so no later success can prove the
+  /// earlier bytes reached disk. Every subsequent Append/Commit/
+  /// EnsureDurable/Sync fails with this status until restart+recovery.
+  /// Injected (failpoint) faults do NOT poison — they model transient
+  /// failures the group writer retries.
+  Status poison_;
   std::map<uint64_t, uint64_t> active_txn_first_lsn_;
   std::atomic<uint64_t> next_txn_{1};
 

@@ -550,5 +550,150 @@ TEST_F(RecoveryTest, GroupModeEndToEnd) {
   for (int i = 0; i < 20; ++i) EXPECT_TRUE(vals.count(1000 + i)) << i;
 }
 
+TEST_F(WalTest, GroupCommitRetriesAfterTransientFsyncFault) {
+  const std::string dir = FreshDir("groupretry");
+  WalManager wal(dir, DurabilityMode::kGroup);
+  ASSERT_TRUE(wal.Open(1, 1).ok());
+  const uint64_t txn = wal.AllocTxnId();
+  WalRecord r = MakeInsert(txn, 1, 0, 0);
+  ASSERT_TRUE(wal.Append(&r).ok());
+  // One injected fsync fault: the writer's first batch attempt fails, the
+  // parked committer keeps waiting, and the retry on the next window makes
+  // the commit durable. durable_lsn never covers an unsynced range.
+  FailPoints::Instance().Arm("wal.fsync", FailSpec::OneShot(Code::kIoError));
+  EXPECT_TRUE(wal.Commit(txn).ok());
+  EXPECT_GE(wal.durable_lsn(), r.lsn + 1);  // insert + commit both synced
+  FailPoints::Instance().DisarmAll();
+}
+
+// The HIGH-severity atomicity hole: a fuzzy checkpoint that captures an
+// in-flight transaction's in-place effects advances applied_lsn past them,
+// so redo skips them — recovery must reverse them from the logged images
+// instead (insert deleted, update restored, delete resurrected).
+TEST_F(RecoveryTest, CheckpointedLoserEffectsRollBackOnRecovery) {
+  for (PrimaryKind kind :
+       {PrimaryKind::kHeap, PrimaryKind::kBTree, PrimaryKind::kColumnStore}) {
+    const std::string dir =
+        FreshDir("fuzzyloser" + std::to_string(static_cast<int>(kind)));
+    {
+      auto db = MakeDurable(dir, DurabilityMode::kCommit, 50, kind);
+      Table* t = db->GetTable("t");
+      const uint64_t orphan = db->wal()->AllocTxnId();
+      // Uncommitted insert, update (k=3: v 30 -> 999), delete (k=9).
+      PackedRow ghost = t->PackRow(
+          {Value::Int64(300000), Value::String("ghost"), Value::Int64(3)});
+      ASSERT_TRUE(t->InsertPacked(ghost, nullptr, nullptr, orphan).ok());
+      std::vector<RowRef> upd, del;
+      t->ScanAll(
+          [&](int64_t rid, const int64_t* row) {
+            if (row[0] == 3) upd.push_back({rid, PackedRow(row, row + 3)});
+            if (row[0] == 9) del.push_back({rid, PackedRow(row, row + 3)});
+            return true;
+          },
+          nullptr);
+      ASSERT_EQ(upd.size(), 1u);
+      ASSERT_EQ(del.size(), 1u);
+      PackedRow nr = upd[0].row;
+      nr[2] = 999;
+      ASSERT_TRUE(t->UpdateRows(upd, {nr}, nullptr, orphan).ok());
+      ASSERT_TRUE(t->DeleteRows(del, nullptr, orphan).ok());
+      // The fuzzy checkpoint captures all three uncommitted effects in
+      // place; the oldest-active horizon keeps their records in the log.
+      ASSERT_TRUE(db->Checkpoint().ok());
+      // kill -9 before the transaction resolves.
+    }
+    for (int round = 0; round < 2; ++round) {
+      Database db2;
+      RecoveryStats stats;
+      ASSERT_TRUE(db2.OpenDurability(dir, DurabilityMode::kCommit,
+                                     WalOptions(), &stats)
+                      .ok());
+      Table* t = db2.GetTable("t");
+      ASSERT_NE(t, nullptr);
+      bool saw3 = false, saw9 = false;
+      std::set<int64_t> vals;
+      t->ScanAll(
+          [&](int64_t, const int64_t* row) {
+            vals.insert(row[0]);
+            if (row[0] == 3) {
+              saw3 = true;
+              EXPECT_EQ(row[2], 30) << "loser update not rolled back";
+            }
+            if (row[0] == 9) saw9 = true;
+            return true;
+          },
+          nullptr);
+      EXPECT_FALSE(vals.count(300000)) << "checkpointed loser insert survived";
+      EXPECT_TRUE(saw3) << "updated row vanished";
+      EXPECT_TRUE(saw9) << "loser delete not resurrected";
+      EXPECT_EQ(vals.size(), 50u);
+      EXPECT_GE(stats.undo_records, 3u) << "kind=" << static_cast<int>(kind)
+                                        << " round=" << round;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, CheckpointSucceedsUnderConcurrentDml) {
+  const std::string dir = FreshDir("ckptconc");
+  {
+    auto db = MakeDurable(dir, DurabilityMode::kGroup, 10, PrimaryKind::kHeap);
+    Table* t = db->GetTable("t");
+    std::atomic<bool> stop{false};
+    std::atomic<int> inserted{0};
+    std::thread writer([&] {
+      for (int i = 0; !stop.load(); ++i) {
+        PackedRow p = t->PackRow({Value::Int64(400000 + i),
+                                  Value::String("c" + std::to_string(i % 5)),
+                                  Value::Int64(i)});
+        std::unique_lock<FairSharedMutex> latch(t->phys_latch());
+        if (!t->InsertPacked(p, nullptr).ok()) break;
+        inserted.fetch_add(1);
+      }
+    });
+    // Group mode keeps durable_lsn lagging appends, so DML racing the
+    // snapshot used to trip the WAL-rule check for extents the snapshot
+    // never captured. Every checkpoint must succeed.
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db->Checkpoint().ok()) << "checkpoint " << i;
+    }
+    stop.store(true);
+    writer.join();
+    ASSERT_GT(inserted.load(), 0);
+  }
+  Database db2;
+  ASSERT_TRUE(db2.OpenDurability(dir, DurabilityMode::kGroup).ok());
+  Table* t = db2.GetTable("t");
+  ASSERT_NE(t, nullptr);
+  // Everything self-committed before the clean shutdown is recovered:
+  // post-snapshot dirty marks were carried forward, not dropped.
+  EXPECT_GE(Col0Values(t).size(), 10u);
+}
+
+TEST_F(RecoveryTest, TableCreatedAfterCheckpointSurvivesCrash) {
+  const std::string dir = FreshDir("latetable");
+  {
+    auto db = MakeDurable(dir, DurabilityMode::kCommit, 10, PrimaryKind::kHeap);
+    // DDL self-checkpoints, so committed DML against the new table is
+    // replayable even though the crash strikes before any manual
+    // checkpoint.
+    auto t2 = db->CreateTable("late", DemoSchema());
+    ASSERT_TRUE(t2.ok());
+    PackedRow p = t2.value()->PackRow(
+        {Value::Int64(42), Value::String("kept"), Value::Int64(7)});
+    ASSERT_TRUE(t2.value()->InsertPacked(p, nullptr).ok());
+    // kill -9.
+  }
+  Database db2;
+  RecoveryStats stats;
+  ASSERT_TRUE(
+      db2.OpenDurability(dir, DurabilityMode::kCommit, WalOptions(), &stats)
+          .ok());
+  Table* late = db2.GetTable("late");
+  ASSERT_NE(late, nullptr) << "table created after checkpoint lost";
+  EXPECT_TRUE(Col0Values(late).count(42)) << "committed insert dropped";
+  EXPECT_EQ(stats.skipped_records, 0u);
+  EXPECT_TRUE(Col0Values(db2.GetTable("t")).count(5));
+}
+
 }  // namespace
 }  // namespace hd
