@@ -198,14 +198,16 @@ class BenchJson {
     for (size_t i = 0; i < r.operators.size(); ++i) {
       const OperatorProfile& op = r.operators[i];
       const QueryMetrics& m = op.metrics;
-      char buf[512];
+      char buf[768];
       std::snprintf(
           buf, sizeof buf,
           "%s{\"name\": \"%s\", \"phase\": \"%s\", \"est_rows\": %g, "
           "\"rows_in\": %llu, \"rows_out\": %llu, \"cpu_ms\": %.4f, "
           "\"io_ms\": %.4f, \"rows_scanned\": %llu, "
           "\"segments_scanned\": %llu, \"segments_skipped\": %llu, "
-          "\"morsels_scheduled\": %llu, \"spill_bytes\": %llu}",
+          "\"morsels_scheduled\": %llu, \"spill_bytes\": %llu, "
+          "\"join_batch_probes\": %llu, \"join_matches\": %llu, "
+          "\"join_bloom_checks\": %llu, \"join_bloom_filtered\": %llu}",
           i ? ", " : "", op.name.c_str(), op.phase.c_str(), op.est_rows,
           static_cast<unsigned long long>(op.rows_in),
           static_cast<unsigned long long>(op.rows_out), m.cpu_ms(),
@@ -214,7 +216,11 @@ class BenchJson {
           static_cast<unsigned long long>(m.segments_scanned.load()),
           static_cast<unsigned long long>(m.segments_skipped.load()),
           static_cast<unsigned long long>(m.morsels_scheduled.load()),
-          static_cast<unsigned long long>(m.spill_bytes.load()));
+          static_cast<unsigned long long>(m.spill_bytes.load()),
+          static_cast<unsigned long long>(m.join_batch_probes.load()),
+          static_cast<unsigned long long>(m.join_matches.load()),
+          static_cast<unsigned long long>(m.join_bloom_checks.load()),
+          static_cast<unsigned long long>(m.join_bloom_filtered.load()));
       rec += buf;
     }
     rec += "]}";
@@ -306,7 +312,7 @@ class BenchJson {
   /// the closing brace so callers can append fields.
   static std::string MetricsRecord(const std::string& series, double x,
                                    const QueryMetrics& m) {
-    char buf[768];
+    char buf[1024];
     std::snprintf(
         buf, sizeof buf,
         "{\"series\": \"%s\", \"x\": %g, \"exec_ms\": %.4f, "
@@ -316,6 +322,8 @@ class BenchJson {
         "\"rows_decoded\": %llu, \"rows_scanned\": %llu, "
         "\"rows_selected\": %llu, \"rows_late_materialized\": %llu, "
         "\"aggs_pushed_down\": %llu, \"hash_probes\": %llu, "
+        "\"join_batch_probes\": %llu, \"join_matches\": %llu, "
+        "\"join_bloom_checks\": %llu, \"join_bloom_filtered\": %llu, "
         "\"segments_shared\": %llu, \"decode_bytes_saved\": %llu",
         series.c_str(), x, m.exec_ms(), m.cpu_ms(), m.sim_io_ms(), m.dop,
         static_cast<unsigned long long>(m.morsels_scheduled.load()),
@@ -328,6 +336,10 @@ class BenchJson {
         static_cast<unsigned long long>(m.rows_late_materialized.load()),
         static_cast<unsigned long long>(m.aggs_pushed_down.load()),
         static_cast<unsigned long long>(m.hash_probes.load()),
+        static_cast<unsigned long long>(m.join_batch_probes.load()),
+        static_cast<unsigned long long>(m.join_matches.load()),
+        static_cast<unsigned long long>(m.join_bloom_checks.load()),
+        static_cast<unsigned long long>(m.join_bloom_filtered.load()),
         static_cast<unsigned long long>(m.segments_shared.load()),
         static_cast<unsigned long long>(m.shared_decode_bytes_saved.load()));
     return buf;

@@ -342,8 +342,21 @@ Status ColumnStoreIndex::ScanGroups(
     const std::vector<SegPredicate>& preds,
     const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
     bool need_locators,
-    const std::unordered_set<int64_t>* delete_snapshot) const {
+    const std::unordered_set<int64_t>* delete_snapshot,
+    const std::vector<ScanKeyFilter>* key_filters) const {
   group_end = std::min(group_end, num_row_groups());
+  const bool have_filters = key_filters != nullptr && !key_filters->empty();
+  // Map each key filter to its position in cols_needed so its decode
+  // buffer doubles as the output column (no second decode downstream).
+  std::vector<size_t> kf_ci;
+  if (have_filters) {
+    for (const auto& kf : *key_filters) {
+      size_t ci = 0;
+      while (ci < cols_needed.size() && cols_needed[ci] != kf.col) ++ci;
+      kf_ci.push_back(ci);  // == size() when absent -> filter skipped
+    }
+  }
+  std::vector<char> col_done(cols_needed.size(), 0);
   // Anti-join set from the delete buffer (secondary CSI only). Parallel
   // scans snapshot once and share it across morsels via delete_snapshot.
   std::unordered_set<int64_t> local_dead;
@@ -466,6 +479,57 @@ Status ColumnStoreIndex::ScanGroups(
         // Every row survived: sel is the identity again.
         if (nsel == take) dense = true;
       }
+      // Bloom pushdown: decode each pushed join key for surviving rows
+      // only, and drop rows whose key cannot be on the build side —
+      // before any other column is gathered. The decoded keys land in
+      // the key column's output buffer (compacted along with sel), so
+      // the materialization loop below never touches those segments
+      // again. Checks/filtered counts are charged to the owning join.
+      if (have_filters) {
+        std::fill(col_done.begin(), col_done.end(), 0);
+        for (size_t fi = 0; fi < key_filters->size(); ++fi) {
+          const ScanKeyFilter& kf = (*key_filters)[fi];
+          const size_t ci = kf_ci[fi];
+          if (ci == cols_needed.size() || kf.bloom == nullptr) continue;
+          if (dense) {
+            for (int i = 0; i < take; ++i) sel[i] = static_cast<uint32_t>(i);
+            dense = false;
+          }
+          const ColumnSegment& kseg = g.segment(cols_needed[ci]);
+          if (!col_done[ci]) {
+            // Same bulk-vs-gather heuristic as the main loop.
+            if (nsel * 4 >= take * 3) {
+              kseg.Decode(start, take, dec[ci].data());
+              for (int s = 0; s < nsel; ++s) {
+                out_cols[ci][s] = dec[ci][sel[s]];
+              }
+            } else {
+              kseg.DecodeSelected(
+                  start, std::span<const uint32_t>(sel.data(), nsel),
+                  out_cols[ci].data());
+            }
+            col_done[ci] = 1;
+          }
+          int k = 0;
+          for (int s = 0; s < nsel; ++s) {
+            const bool pass = kf.bloom->MayContain(out_cols[ci][s]);
+            sel[k] = sel[s];
+            loc_buf[k] = loc_buf[s];
+            for (size_t cj = 0; cj < col_done.size(); ++cj) {
+              if (col_done[cj]) out_cols[cj][k] = out_cols[cj][s];
+            }
+            k += pass;
+          }
+          if (kf.m != nullptr) {
+            kf.m->join_bloom_checks += static_cast<uint64_t>(nsel);
+            kf.m->join_bloom_filtered += static_cast<uint64_t>(nsel - k);
+          }
+          nsel = k;
+          if (nsel == 0) break;
+        }
+        if (nsel == 0) continue;
+        if (nsel == take) dense = true;
+      }
       // Materialize requested columns. Dense batches take the bulk unpack
       // kernels; sparse batches late-materialize — only rows that survived
       // the predicate (and delete filters) are ever decoded, which is what
@@ -481,6 +545,11 @@ Status ColumnStoreIndex::ScanGroups(
         if (!bulk) m->rows_late_materialized += static_cast<uint64_t>(nsel);
       }
       for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
+        if (have_filters && col_done[ci]) {
+          // Already decoded (and compacted) by the Bloom pass.
+          batch.cols[ci] = out_cols[ci].data();
+          continue;
+        }
         const ColumnSegment& seg = g.segment(cols_needed[ci]);
         if (dense) {
           seg.Decode(start, take, dec[ci].data());
@@ -855,9 +924,17 @@ bool ColumnStoreIndex::TryPushdownAggregates(
 Status ColumnStoreIndex::ScanDelta(
     const std::vector<int>& cols_needed, const std::vector<SegPredicate>& preds,
     const std::function<bool(const ColumnBatch&)>& fn, QueryMetrics* m,
-    bool need_locators) const {
+    bool need_locators, const std::vector<ScanKeyFilter>* key_filters) const {
   (void)need_locators;  // delta rows carry their locator inline anyway
   if (delta_rows() == 0) return Status::OK();
+  const bool have_filters = key_filters != nullptr && !key_filters->empty();
+  // Per-filter check/filtered tallies, flushed once at end of scan so the
+  // per-row path stays free of atomic traffic.
+  std::vector<uint64_t> kf_checks, kf_dropped;
+  if (have_filters) {
+    kf_checks.assign(key_filters->size(), 0);
+    kf_dropped.assign(key_filters->size(), 0);
+  }
   // Note: the delete buffer does NOT apply here. A locator in the buffer
   // marks the *compressed* copy dead; a delta row with the same locator is
   // the row's live, newer version (delete-then-insert update pattern).
@@ -886,6 +963,17 @@ Status ColumnStoreIndex::ScanDelta(
           const int64_t v = payload[p.col];
           if (v < p.lo || v > p.hi) return true;
         }
+        if (have_filters) {
+          for (size_t fi = 0; fi < key_filters->size(); ++fi) {
+            const ScanKeyFilter& kf = (*key_filters)[fi];
+            if (kf.bloom == nullptr) continue;
+            ++kf_checks[fi];
+            if (!kf.bloom->MayContain(payload[kf.col])) {
+              ++kf_dropped[fi];
+              return true;
+            }
+          }
+        }
         for (size_t ci = 0; ci < cols_needed.size(); ++ci) {
           out_cols[ci][count] = payload[cols_needed[ci]];
         }
@@ -898,6 +986,14 @@ Status ColumnStoreIndex::ScanDelta(
       },
       m));
   flush();
+  if (have_filters) {
+    for (size_t fi = 0; fi < key_filters->size(); ++fi) {
+      QueryMetrics* jm = (*key_filters)[fi].m;
+      if (jm == nullptr) continue;
+      jm->join_bloom_checks += kf_checks[fi];
+      jm->join_bloom_filtered += kf_dropped[fi];
+    }
+  }
   return Status::OK();
 }
 

@@ -22,6 +22,7 @@
 
 #include "btree/btree.h"
 #include "columnstore/row_group.h"
+#include "common/bloom.h"
 #include "common/status.h"
 
 namespace hd {
@@ -59,6 +60,20 @@ struct SegPredicate {
   int col = 0;  // position within this index's column list
   int64_t lo = INT64_MIN;
   int64_t hi = INT64_MAX;
+};
+
+/// Bloom pre-filter pushed into a scan by a hash join (sideways
+/// information passing): the decoded values of stored column `col` are
+/// tested against the join's build-side filter before any *other* column
+/// is materialized, so rows that cannot join never enter the pipeline.
+/// False positives only pass extra rows (the exact probe drops them);
+/// a joinable row is never filtered. `m` is the owning *join* operator's
+/// metrics block — join_bloom_checks / join_bloom_filtered are work done
+/// on that join's behalf, per the attribution contract in metrics.h.
+struct ScanKeyFilter {
+  int col = 0;
+  const BlockedBloomFilter* bloom = nullptr;
+  QueryMetrics* m = nullptr;
 };
 
 /// One aggregate the scan layer may answer entirely in the encoded domain
@@ -146,12 +161,18 @@ class ColumnStoreIndex {
   /// `delete_snapshot`, when non-null, is a caller-held delete-buffer
   /// snapshot shared across the morsels of one scan (so a parallel scan
   /// does not re-snapshot per row group); null snapshots internally.
+  /// `key_filters`, when non-null, are join Bloom pre-filters evaluated
+  /// on the decoded key column(s) after predicate/delete filtering and
+  /// before any other column is gathered (each filter's column must be in
+  /// `cols_needed`).
   Status ScanGroups(int group_begin, int group_end,
                     const std::vector<int>& cols_needed,
                     const std::vector<SegPredicate>& preds,
                     const std::function<bool(const ColumnBatch&)>& fn,
                     QueryMetrics* m, bool need_locators = true,
                     const std::unordered_set<int64_t>* delete_snapshot =
+                        nullptr,
+                    const std::vector<ScanKeyFilter>* key_filters =
                         nullptr) const;
 
   /// Encoded-domain aggregate pushdown over row group `g` (Fig. 4
@@ -226,10 +247,14 @@ class ColumnStoreIndex {
                           bool* stopped) const;
 
   /// Row-mode scan of the delta store (queries must union this in).
+  /// `key_filters` follows ScanGroups semantics (delta rows carry every
+  /// column, so the filter column need not be in `cols_needed`).
   Status ScanDelta(const std::vector<int>& cols_needed,
                    const std::vector<SegPredicate>& preds,
                    const std::function<bool(const ColumnBatch&)>& fn,
-                   QueryMetrics* m, bool need_locators = true) const;
+                   QueryMetrics* m, bool need_locators = true,
+                   const std::vector<ScanKeyFilter>* key_filters =
+                       nullptr) const;
 
   /// Tuple mover: fold delta + delete buffer into compressed row groups.
   /// Fails (leaving the index fully queryable, reorganize deferred) when

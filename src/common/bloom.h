@@ -1,0 +1,66 @@
+// Blocked Bloom filter for sideways information passing (join pushdown).
+//
+// One membership test touches exactly one 64-bit word: the hash's high
+// bits pick the word, and three 6-bit fields of the hash pick bits within
+// it. That keeps a "does this base row have any chance of joining?" check
+// to a single cache line — cheap enough to run on the decoded join-key
+// vector inside the columnstore scan, before any other column is
+// gathered. False positives only let extra rows through to the exact
+// hash probe; a row that can join is never dropped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hd {
+
+class BlockedBloomFilter {
+ public:
+  /// Size the filter for roughly `n` distinct keys: at least 16 bits per
+  /// key (one word per 4 keys, rounded up to a power of two), which with
+  /// three probe bits keeps the observed false-positive rate in the low
+  /// percent range for the PK build sides we feed it. Clears previous
+  /// contents. An empty build side leaves every word zero, so MayContain
+  /// is always false — exactly right for a join with nothing to match.
+  void Init(size_t n) {
+    size_t words = 8;
+    while (words * 4 < n) words <<= 1;
+    words_.assign(words, 0);
+    mask_ = words - 1;
+  }
+
+  bool empty() const { return words_.empty(); }
+  size_t memory_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+  void Insert(int64_t key) {
+    const uint64_t h = Mix(key);
+    words_[(h >> 46) & mask_] |= MaskOf(h);
+  }
+
+  bool MayContain(int64_t key) const {
+    const uint64_t h = Mix(key);
+    const uint64_t m = MaskOf(h);
+    return (words_[(h >> 46) & mask_] & m) == m;
+  }
+
+ private:
+  /// Same multiply-xor-shift family as the join map's hash, but with a
+  /// different odd constant so the filter's bit pattern is independent of
+  /// the probe table's slot choice.
+  static uint64_t Mix(int64_t k) {
+    uint64_t h = static_cast<uint64_t>(k) * 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    return h ^ (h >> 29);
+  }
+  /// Three bits within one word, from three disjoint 6-bit hash fields.
+  static uint64_t MaskOf(uint64_t h) {
+    return (1ull << (h & 63)) | (1ull << ((h >> 6) & 63)) |
+           (1ull << ((h >> 12) & 63));
+  }
+
+  std::vector<uint64_t> words_;
+  size_t mask_ = 0;
+};
+
+}  // namespace hd

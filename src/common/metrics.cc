@@ -20,6 +20,10 @@ void QueryMetrics::Clear() {
   rows_late_materialized = 0;
   aggs_pushed_down = 0;
   hash_probes = 0;
+  join_batch_probes = 0;
+  join_matches = 0;
+  join_bloom_checks = 0;
+  join_bloom_filtered = 0;
   sim_io_ns = 0;
   cpu_ns = 0;
   peak_memory_bytes = 0;
@@ -48,6 +52,10 @@ void QueryMetrics::Merge(const QueryMetrics& o) {
   rows_late_materialized += o.rows_late_materialized.load();
   aggs_pushed_down += o.aggs_pushed_down.load();
   hash_probes += o.hash_probes.load();
+  join_batch_probes += o.join_batch_probes.load();
+  join_matches += o.join_matches.load();
+  join_bloom_checks += o.join_bloom_checks.load();
+  join_bloom_filtered += o.join_bloom_filtered.load();
   sim_io_ns += o.sim_io_ns.load();
   cpu_ns += o.cpu_ns.load();
   spill_bytes += o.spill_bytes.load();
@@ -75,6 +83,12 @@ std::string QueryMetrics::ToString() const {
      << " aggs_pushed=" << aggs_pushed_down.load()
      << " hash_probes=" << hash_probes.load()
      << " peak_mem=" << peak_memory_bytes.load() << " dop=" << dop;
+  if (join_batch_probes.load() > 0 || join_bloom_checks.load() > 0) {
+    os << " join_probes=" << join_batch_probes.load()
+       << " join_matches=" << join_matches.load()
+       << " bloom=" << join_bloom_filtered.load() << "/"
+       << join_bloom_checks.load();
+  }
   if (shared_scan_attaches.load() > 0) {
     os << " shared_segs=" << segments_shared.load()
        << " shared_saved_mb=" << shared_decode_bytes_saved.load() / 1e6;

@@ -56,6 +56,16 @@ struct QueryMetrics {
   /// aggregate hash-table probe chains walked (one per FindOrInsert).
   std::atomic<uint64_t> aggs_pushed_down{0};
   std::atomic<uint64_t> hash_probes{0};
+  /// Batch-mode hash joins: keys probed through the vectorized kernels
+  /// (one per key per join step), and (probe-row, build-row) matches those
+  /// probes expanded to. Bloom pushdown (sideways information passing):
+  /// decoded join keys tested against a build-side Bloom filter inside the
+  /// base scan, and how many of those the filter eliminated before any
+  /// other column was gathered.
+  std::atomic<uint64_t> join_batch_probes{0};
+  std::atomic<uint64_t> join_matches{0};
+  std::atomic<uint64_t> join_bloom_checks{0};
+  std::atomic<uint64_t> join_bloom_filtered{0};
   /// Simulated I/O stall nanoseconds (summed; on the critical path for
   /// serial plans, divided by DOP for parallel scans when reporting).
   std::atomic<uint64_t> sim_io_ns{0};
@@ -124,8 +134,11 @@ struct QueryMetrics {
 /// DML mutation) charged at query level. For read-only statements the
 /// data-path counters (rows_scanned, segments_*, runs_evaluated,
 /// rows_decoded, rows_selected, rows_late_materialized, aggs_pushed_down,
-/// hash_probes, morsels_*) therefore sum exactly across operators to the
-/// query totals.
+/// hash_probes, join_batch_probes, join_matches, join_bloom_checks,
+/// join_bloom_filtered, morsels_*) therefore sum exactly across operators
+/// to the query totals. The join_bloom_* pair is charged to the *join*
+/// operator whose filter ran (not the scan it ran inside): the check is
+/// work done on that join's behalf.
 struct OperatorProfile {
   std::string name;   ///< e.g. "CsiScan[csi_sales]", "HashAgg"
   std::string phase;  ///< "scan" | "join" | "agg" | "sort"

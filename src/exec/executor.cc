@@ -8,12 +8,15 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "common/bloom.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/admission.h"
 #include "exec/agg_hash.h"
 #include "common/telemetry.h"
 #include "exec/explain.h"
+#include "exec/join_hash.h"
 #include "exec/scan_scheduler.h"
 
 namespace hd {
@@ -28,6 +31,14 @@ struct StmtStats {
   THistogram* delete_ns = Telemetry::Instance().Histogram("stmt.delete_ns");
   THistogram* insert_ns = Telemetry::Instance().Histogram("stmt.insert_ns");
   TCounter* errors = Telemetry::Instance().Counter("stmt.errors");
+  // Batch-join process counters, folded from each statement's rollup.
+  TCounter* join_batch_probes =
+      Telemetry::Instance().Counter("join.batch_probes");
+  TCounter* join_matches = Telemetry::Instance().Counter("join.matches");
+  TCounter* join_bloom_checks =
+      Telemetry::Instance().Counter("join.bloom_checks");
+  TCounter* join_bloom_filtered =
+      Telemetry::Instance().Counter("join.bloom_filtered");
 
   THistogram* ForKind(Query::Kind k) {
     switch (k) {
@@ -296,83 +307,20 @@ Value AggFinal(const AggDesc& a, const AggState& s, const Layout& L) {
 // Join structures.
 // ---------------------------------------------------------------------
 
-// Open-addressing join hash table: one probe is a few nanoseconds when
-// hot, which is what makes batch-mode joins an order of magnitude cheaper
-// per row than row-mode joins (whose per-row operator interpretation
-// overhead is charged separately).
-class FlatJoinMap {
- public:
-  void Build(const std::vector<std::pair<int64_t, uint32_t>>& pairs) {
-    size_t cap = 16;
-    while (cap < pairs.size() * 2 + 2) cap <<= 1;
-    mask_ = cap - 1;
-    keys_.assign(cap, kEmpty);
-    starts_.assign(cap, 0);
-    counts_.assign(cap, 0);
-    for (const auto& [k, v] : pairs) {
-      (void)v;
-      counts_[Slot(k, /*insert=*/true)]++;
-    }
-    uint32_t off = 0;
-    for (size_t s = 0; s < cap; ++s) {
-      starts_[s] = off;
-      off += counts_[s];
-      counts_[s] = 0;  // reused as a fill cursor below
-    }
-    idx_.resize(pairs.size());
-    for (const auto& [k, v] : pairs) {
-      const size_t s = Slot(k, false);
-      idx_[starts_[s] + counts_[s]++] = v;
-    }
-  }
-
-  /// Pointer to `*n` matching row indices; nullptr when no match.
-  const uint32_t* Find(int64_t key, uint32_t* n) const {
-    size_t s = Hash(key) & mask_;
-    while (true) {
-      if (keys_[s] == key) {
-        *n = counts_[s];
-        return idx_.data() + starts_[s];
-      }
-      if (keys_[s] == kEmpty) {
-        *n = 0;
-        return nullptr;
-      }
-      s = (s + 1) & mask_;
-    }
-  }
-
- private:
-  static constexpr int64_t kEmpty = INT64_MIN + 7;
-  static size_t Hash(int64_t k) {
-    uint64_t h = static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ull;
-    return h ^ (h >> 29);
-  }
-  size_t Slot(int64_t k, bool insert) {
-    size_t s = Hash(k) & mask_;
-    while (keys_[s] != k) {
-      if (keys_[s] == kEmpty) {
-        if (insert) keys_[s] = k;
-        break;
-      }
-      s = (s + 1) & mask_;
-    }
-    return s;
-  }
-
-  size_t mask_ = 0;
-  std::vector<int64_t> keys_;
-  std::vector<uint32_t> starts_;
-  std::vector<uint32_t> counts_;
-  std::vector<uint32_t> idx_;
-};
-
+// The join hash table (exec/join_hash.h) carries both the row-mode Find
+// and the vectorized ComputeHashes/FindSlots/ExpandMatches kernels; one
+// hot probe is a few nanoseconds, which is what makes batch-mode joins an
+// order of magnitude cheaper per row than row-mode joins (whose per-row
+// operator interpretation overhead is charged separately).
 struct HashDim {
   int table_idx = 0;  // layout index
   std::vector<int64_t> rows;  // flat, stride = dim ncols
   int stride = 0;
   std::vector<std::pair<int64_t, uint32_t>> build_pairs;
   FlatJoinMap map;
+  /// Build-side Bloom filter, pushed into CSI base scans as a join-key
+  /// pre-filter (sideways information passing). Empty when never built.
+  BlockedBloomFilter bloom;
 };
 
 struct NlDim {
@@ -775,16 +723,117 @@ Status Executor::Impl::PrepareJoins() {
     if (step.method == JoinStep::Method::kHash) {
       je.hash.table_idx = step.join_idx + 1;
       je.hash.stride = dim->num_columns();
-      HD_RETURN_IF_ERROR(ScanDim(
-          dim, step.dim_path, dim_preds,
-          [&](const int64_t* row) {
-            const uint32_t idx =
-                static_cast<uint32_t>(je.hash.rows.size() / je.hash.stride);
-            je.hash.rows.insert(je.hash.rows.end(), row, row + je.hash.stride);
-            je.hash.build_pairs.emplace_back(row[jc.dim_col], idx);
-          },
-          m, ctx.serial_row_overhead_ns));
+      // Morsel-parallel build: a CSI dimension with multiple row groups is
+      // scanned over the morsel pool into per-worker partitions, which are
+      // then stitched (index offset fix-up) into the single flat build
+      // array the counting-sort Build consumes. MorselLoop merges the
+      // per-slot metrics into `m`, so build time stays attributed to this
+      // join's operator block exactly as in the serial path.
+      ColumnStoreIndex* dcsi = nullptr;
+      if (step.dim_path.kind == AccessPath::Kind::kCsiScan) {
+        if (step.dim_path.index_name.empty()) {
+          dcsi = dim->primary_csi();
+        } else {
+          SecondaryIndex* si = dim->FindSecondary(step.dim_path.index_name);
+          dcsi = si != nullptr && si->csi ? si->csi.get() : nullptr;
+        }
+      }
+      const int bw = dop();
+      bool impossible = false;
+      for (const auto& p : dim_preds) impossible |= p.impossible;
+      if (!impossible && dcsi != nullptr && bw > 1 &&
+          dcsi->num_row_groups() > 1) {
+        // Decode only the columns the query touches on this dimension
+        // (join column, dim predicates, downstream references); the flat
+        // rows' other slots stay zero and are never read.
+        const int ncols = dim->num_columns();
+        std::vector<char> needed(ncols, 0);
+        needed[jc.dim_col] = 1;
+        for (const auto& p : dim_preds) needed[p.col] = 1;
+        std::vector<ColRef> refs;
+        for (const auto& a : q.aggs) {
+          if (a.arg) CollectExprCols(*a.arg, &refs);
+        }
+        for (const auto& g : q.group_by) refs.push_back(g);
+        for (const auto& o : q.order_by) refs.push_back(o);
+        for (const auto& sc : q.select_cols) refs.push_back(sc);
+        for (const auto& r : refs) {
+          if (r.table == step.join_idx + 1) needed[r.col] = 1;
+        }
+        std::vector<int> dcols;
+        for (int c = 0; c < ncols; ++c) {
+          if (needed[c]) dcols.push_back(c);
+        }
+        std::vector<SegPredicate> sp;
+        for (const auto& p : dim_preds) sp.push_back({p.col, p.lo, p.hi});
+        struct BuildPart {
+          std::vector<int64_t> rows;
+          std::vector<std::pair<int64_t, uint32_t>> pairs;
+        };
+        std::vector<BuildPart> parts(bw);
+        std::unordered_set<int64_t> dead;
+        HD_RETURN_IF_ERROR(dcsi->SnapshotDeleteBuffer(&dead, m));
+        const int ngroups = dcsi->num_row_groups();
+        const int stride = je.hash.stride;
+        HD_RETURN_IF_ERROR(MorselLoop(
+            static_cast<uint64_t>(ngroups) + 1, bw, m,
+            ops[opx.join[s]].name + "[build]",
+            [&](int slot, uint64_t mi, QueryMetrics* wm) -> Status {
+              BuildPart& pt = parts[slot];
+              auto handler = [&](const ColumnBatch& b) {
+                for (int i = 0; i < b.count; ++i) {
+                  const size_t off = pt.rows.size();
+                  pt.rows.resize(off + stride, 0);
+                  for (size_t ci = 0; ci < dcols.size(); ++ci) {
+                    pt.rows[off + dcols[ci]] = b.cols[ci][i];
+                  }
+                  pt.pairs.emplace_back(pt.rows[off + jc.dim_col],
+                                        static_cast<uint32_t>(off / stride));
+                }
+                return true;
+              };
+              if (mi < static_cast<uint64_t>(ngroups)) {
+                const int g = static_cast<int>(mi);
+                return dcsi->ScanGroups(g, g + 1, dcols, sp, handler, wm,
+                                        /*need_locators=*/false, &dead);
+              }
+              return dcsi->ScanDelta(dcols, sp, handler, wm,
+                                     /*need_locators=*/false);
+            }));
+        for (BuildPart& pt : parts) {
+          const uint32_t off =
+              static_cast<uint32_t>(je.hash.rows.size() / stride);
+          je.hash.rows.insert(je.hash.rows.end(), pt.rows.begin(),
+                              pt.rows.end());
+          for (const auto& [k, v] : pt.pairs) {
+            je.hash.build_pairs.emplace_back(k, v + off);
+          }
+        }
+      } else if (!impossible) {
+        HD_RETURN_IF_ERROR(ScanDim(
+            dim, step.dim_path, dim_preds,
+            [&](const int64_t* row) {
+              const uint32_t idx =
+                  static_cast<uint32_t>(je.hash.rows.size() / je.hash.stride);
+              je.hash.rows.insert(je.hash.rows.end(), row,
+                                  row + je.hash.stride);
+              je.hash.build_pairs.emplace_back(row[jc.dim_col], idx);
+            },
+            m, ctx.serial_row_overhead_ns));
+      }
+      // Deterministic kill seam: fires after the build-side scan (latches
+      // and any admission pass already held) so tests can prove an error
+      // here unwinds without leaking either.
+      HD_RETURN_IF_ERROR(EvalFailPoint("exec.join_build", m));
       je.hash.map.Build(je.hash.build_pairs);
+      // Build the pushdown Bloom filter from the build keys before they
+      // are discarded; an empty build side leaves the filter all-zero
+      // (MayContain always false), which is exactly the join's semantics.
+      je.hash.bloom.Init(je.hash.build_pairs.size());
+      for (const auto& [k, v] : je.hash.build_pairs) {
+        (void)v;
+        je.hash.bloom.Insert(k);
+      }
       je.hash.build_pairs.clear();
       je.hash.build_pairs.shrink_to_fit();
     } else {
@@ -1094,6 +1143,22 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
       // Locators (row ids) are only needed when a transaction wants per-row
       // locks/versions or DML collects row references.
       const bool need_locs = ctx.txn != nullptr || q.kind != Query::Kind::kSelect;
+      // Bloom pushdown: every hash join's build-side filter runs inside
+      // the scan on the decoded join-key vector, so rows that cannot join
+      // are dropped before the other columns are gathered. Checks are
+      // charged to the owning join's operator block.
+      const int driving = DrivingStepIndex();
+      std::vector<ScanKeyFilter> kfs;
+      for (size_t s = 0; s < joins.size(); ++s) {
+        if (static_cast<int>(s) == driving) continue;
+        const JoinExec& je = joins[s];
+        if (je.method != JoinStep::Method::kHash || je.hash.bloom.empty()) {
+          continue;
+        }
+        kfs.push_back(ScanKeyFilter{q.joins[plan.joins[s].join_idx].base_col,
+                                    &je.hash.bloom, OpM(opx.join[s])});
+      }
+      const std::vector<ScanKeyFilter>* kfp = kfs.empty() ? nullptr : &kfs;
       auto make_batch_handler = [&](int w, PackedRow* rowbuf) {
         return [&, w, rowbuf](const ColumnBatch& b) {
           PackedRow& row = *rowbuf;
@@ -1125,8 +1190,10 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
         PackedRow rowbuf(ncols);
         auto handler = make_batch_handler(0, &rowbuf);
         Status ss = csi->ScanGroups(0, ngroups, cols, sp, handler, m,
-                                    need_locs);
-        if (ss.ok()) ss = csi->ScanDelta(cols, sp, handler, m, need_locs);
+                                    need_locs, nullptr, kfp);
+        if (ss.ok()) {
+          ss = csi->ScanDelta(cols, sp, handler, m, need_locs, kfp);
+        }
         m->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
         return ss;
       }
@@ -1152,9 +1219,9 @@ Status Executor::Impl::DriveBaseScan(int nworkers, const EmitFn& emit) {
             if (mi < static_cast<uint64_t>(ngroups)) {
               const int g = static_cast<int>(mi);
               return csi->ScanGroups(g, g + 1, cols, sp, handler, wm,
-                                     need_locs, &dead);
+                                     need_locs, &dead, kfp);
             }
-            return csi->ScanDelta(cols, sp, handler, wm, need_locs);
+            return csi->ScanDelta(cols, sp, handler, wm, need_locs, kfp);
           });
     }
   }
@@ -1501,6 +1568,18 @@ Status Executor::Impl::RunSelect() {
   const bool fast_group = plan.base.is_csi() && joins.empty() && has_aggs &&
                           !group_slots.empty() && !stream_agg &&
                           ctx.txn == nullptr && plan.driving_join < 0;
+  // Batch-mode join pipeline: a CSI base whose join steps are all hash
+  // joins probes on decoded key vectors and late-materializes the wide
+  // row once, at the consume boundary. Unlike fast_agg/fast_group this
+  // path stays eligible under transactions: consume() runs per surviving
+  // join-output row exactly as in row mode, so lock/version semantics are
+  // identical (row mode also pays them only after the joins).
+  const bool fast_join =
+      plan.base.is_csi() && !joins.empty() && plan.driving_join < 0 &&
+      !stream_agg &&
+      std::all_of(joins.begin(), joins.end(), [](const JoinExec& j) {
+        return j.method == JoinStep::Method::kHash;
+      });
   Status scan_status;
   if (plan.driving_join >= 0 && driving_step >= 0) {
     // Dimension-driven hybrid plan: scan the (filtered) driving dimension
@@ -1597,6 +1676,161 @@ Status Executor::Impl::RunSelect() {
       ops[opx.join[driving_step]].rows_in = dim_rows;
       ops[opx.join[driving_step]].rows_out = dim_rows;
       ops[opx.scan].rows_in = fact_entries;
+    }
+  } else if (fast_join) {
+    // ---- Batch-mode join pipeline (CSI base, all-hash join steps). ----
+    // Each decoded batch carries a probe selection (prow: surviving batch
+    // positions) plus one build-row vector per completed step. A step
+    // gathers the key column through prow, runs the vectorized
+    // ComputeHashes / FindSlots / ExpandMatches kernels, and remaps the
+    // carried vectors through the matches — multi-match keys expand, FK
+    // -> PK takes the 1-match fast path. No wide row exists until the
+    // consume boundary, where only rows that survived EVERY step gather
+    // their dim payloads and remaining base columns.
+    ColumnStoreIndex* csi = plan.base.index_name.empty()
+                                ? base->primary_csi()
+                                : base->FindSecondary(plan.base.index_name)
+                                      ->csi.get();
+    if (csi == nullptr) return Status::Internal("no csi");
+    const std::vector<int>& cols = needed_base_cols;
+    const int ncneed = static_cast<int>(cols.size());
+    std::vector<int> colslot(base->num_columns(), -1);
+    for (int i = 0; i < ncneed; ++i) colslot[cols[i]] = i;
+    // Batch-column index of each step's base join key (base wide slots
+    // coincide with base column ids — the base is table 0 at offset 0).
+    std::vector<int> key_ci(nsteps, -1);
+    for (size_t s = 0; s < nsteps; ++s) {
+      key_ci[s] = colslot[joins[s].base_join_slot];
+    }
+    std::vector<SegPredicate> sp;
+    for (const auto& p : base_preds) {
+      if (p.impossible) sp.push_back({p.col, 1, 0});
+      sp.push_back({p.col, p.lo, p.hi});
+    }
+    // Locators only when a transaction pays per-row lock/version costs.
+    const bool need_locs = ctx.txn != nullptr;
+    // Push every build-side Bloom filter into the scan.
+    std::vector<ScanKeyFilter> kfs;
+    for (size_t s = 0; s < nsteps; ++s) {
+      if (joins[s].hash.bloom.empty()) continue;
+      kfs.push_back(ScanKeyFilter{joins[s].base_join_slot,
+                                  &joins[s].hash.bloom, OpM(opx.join[s])});
+    }
+    const std::vector<ScanKeyFilter>* kfp = kfs.empty() ? nullptr : &kfs;
+    struct JoinScratch {
+      std::vector<int64_t> keys;
+      std::vector<uint64_t> hashes;
+      std::vector<int32_t> slots;
+      std::vector<uint32_t> prow;
+      std::vector<uint32_t> remap;
+      std::vector<std::vector<uint32_t>> brows;  // per-step build rows
+      std::vector<uint32_t> mp, mb;
+    };
+    std::vector<JoinScratch> scratch(nworkers);
+    for (auto& js : scratch) js.brows.resize(nsteps);
+    auto make_handler = [&](int w) {
+      return [&, w](const ColumnBatch& b) {
+        JoinScratch& js = scratch[w];
+        base_out[w] += b.count;
+        size_t cur = static_cast<size_t>(b.count);
+        js.prow.resize(cur);
+        for (size_t i = 0; i < cur; ++i) {
+          js.prow[i] = static_cast<uint32_t>(i);
+        }
+        for (size_t s = 0; s < nsteps && cur > 0; ++s) {
+          const FlatJoinMap& map = joins[s].hash.map;
+          const int64_t* keycol = b.cols[key_ci[s]];
+          js.keys.resize(cur);
+          for (size_t i = 0; i < cur; ++i) js.keys[i] = keycol[js.prow[i]];
+          js.hashes.resize(cur);
+          map.ComputeHashes(js.keys.data(), cur, js.hashes.data());
+          js.slots.resize(cur);
+          map.FindSlots(js.keys.data(), js.hashes.data(), cur,
+                        js.slots.data());
+          js.mp.clear();
+          js.mb.clear();
+          const size_t nm =
+              map.ExpandMatches(js.slots.data(), cur, &js.mp, &js.mb);
+          join_in[s][w] += cur;
+          join_out[s][w] += nm;
+          QueryMetrics* jm = OpM(opx.join[s]);
+          jm->join_batch_probes += cur;
+          jm->join_matches += nm;
+          // Remap the carried selection (and earlier steps' build rows)
+          // through this step's match vector.
+          js.remap.resize(nm);
+          for (size_t j = 0; j < nm; ++j) js.remap[j] = js.prow[js.mp[j]];
+          js.prow.swap(js.remap);
+          for (size_t t = 0; t < s; ++t) {
+            js.remap.resize(nm);
+            for (size_t j = 0; j < nm; ++j) {
+              js.remap[j] = js.brows[t][js.mp[j]];
+            }
+            js.brows[t].swap(js.remap);
+          }
+          js.brows[s].assign(js.mb.begin(), js.mb.end());
+          cur = nm;
+        }
+        if (cur == 0) return true;
+        // Consume boundary: the only wide-row materialization in the
+        // pipeline, paid per surviving match.
+        int64_t* wide = wide_bufs[w].data();
+        for (size_t j = 0; j < cur; ++j) {
+          const uint32_t pi = js.prow[j];
+          for (int c = 0; c < ncneed; ++c) wide[cols[c]] = b.cols[c][pi];
+          for (size_t s = 0; s < nsteps; ++s) {
+            const HashDim& hd = joins[s].hash;
+            const int64_t* dim_row =
+                hd.rows.data() +
+                static_cast<size_t>(js.brows[s][j]) * hd.stride;
+            std::copy(dim_row, dim_row + hd.stride,
+                      wide + joins[s].dim_offset);
+          }
+          const int64_t rid = b.locators != nullptr
+                                  ? b.locators[pi]
+                                  : -1;
+          if (!consume(w, wide, rid)) return false;
+        }
+        return true;
+      };
+    };
+    const int ngroups = csi->num_row_groups();
+    QueryMetrics* sm = ScanM();
+    if (nworkers <= 1) {
+      Timer t;
+      auto handler = make_handler(0);
+      scan_status = csi->ScanGroups(0, ngroups, cols, sp, handler, sm,
+                                    need_locs, nullptr, kfp);
+      if (scan_status.ok()) {
+        scan_status = csi->ScanDelta(cols, sp, handler, sm, need_locs, kfp);
+      }
+      sm->cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
+    } else {
+      std::unordered_set<int64_t> dead;
+      scan_status = csi->SnapshotDeleteBuffer(&dead, sm);
+      if (scan_status.ok()) {
+        std::atomic<bool> stop{false};
+        scan_status = MorselLoop(
+            static_cast<uint64_t>(ngroups) + 1, nworkers, sm,
+            ops[opx.scan].name,
+            [&](int slot, uint64_t mi, QueryMetrics* wm) -> Status {
+              if (stop.load(std::memory_order_relaxed)) return Status::OK();
+              auto inner = make_handler(slot);
+              auto handler = [&](const ColumnBatch& b) {
+                if (!inner(b)) {
+                  stop.store(true, std::memory_order_relaxed);
+                  return false;
+                }
+                return true;
+              };
+              if (mi < static_cast<uint64_t>(ngroups)) {
+                const int g = static_cast<int>(mi);
+                return csi->ScanGroups(g, g + 1, cols, sp, handler, wm,
+                                       need_locs, &dead, kfp);
+              }
+              return csi->ScanDelta(cols, sp, handler, wm, need_locs, kfp);
+            });
+      }
     }
   } else if (fast_group) {
     // Grouped aggregation directly over decoded batches: no wide-row
@@ -2516,6 +2750,17 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
   for (const auto& op : impl.ops) impl.res.metrics.Merge(op.metrics);
   impl.res.operators = std::move(impl.ops);
   impl.res.metrics.dop = impl.use_shared_scan ? 1 : impl.dop();
+  {
+    const QueryMetrics& qm = impl.res.metrics;
+    if (qm.join_batch_probes.load() > 0) {
+      SStats().join_batch_probes->Add(qm.join_batch_probes.load());
+      SStats().join_matches->Add(qm.join_matches.load());
+    }
+    if (qm.join_bloom_checks.load() > 0) {
+      SStats().join_bloom_checks->Add(qm.join_bloom_checks.load());
+      SStats().join_bloom_filtered->Add(qm.join_bloom_filtered.load());
+    }
+  }
   if (!s.ok()) SStats().errors->Add(1);
   SStats().ForKind(q.kind)->Record(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

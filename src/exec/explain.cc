@@ -129,6 +129,14 @@ void RenderNode(std::ostringstream& os, const OperatorProfile& op,
          << " decode_bytes_saved=" << m.shared_decode_bytes_saved.load();
     }
     if (m.hash_probes.load() > 0) os << " hash_probes=" << m.hash_probes.load();
+    if (m.join_batch_probes.load() > 0) {
+      os << " batch_probes=" << m.join_batch_probes.load()
+         << " matches=" << m.join_matches.load();
+    }
+    if (m.join_bloom_checks.load() > 0) {
+      os << " bloom_checks=" << m.join_bloom_checks.load()
+         << " bloom_filtered=" << m.join_bloom_filtered.load();
+    }
     if (m.morsels_scheduled.load() > 0) {
       os << " morsels=" << m.morsels_scheduled.load() << "(+"
          << m.morsels_stolen.load() << " stolen)";

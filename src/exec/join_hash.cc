@@ -1,0 +1,139 @@
+#include "exec/join_hash.h"
+
+namespace hd {
+
+void FlatJoinMap::Build(const std::vector<std::pair<int64_t, uint32_t>>& pairs) {
+  sentinel_idx_.clear();
+  size_t cap = 16;
+  while (cap < pairs.size() * 2 + 2) cap <<= 1;
+  mask_ = cap - 1;
+  entries_.assign(cap, Entry{kEmptyKey, 0, 0});
+  size_t nregular = 0;
+  for (const auto& [k, v] : pairs) {
+    if (__builtin_expect(k == kEmptyKey, 0)) {
+      sentinel_idx_.push_back(v);
+      continue;
+    }
+    entries_[Slot(k, /*insert=*/true)].count++;
+    ++nregular;
+  }
+  unique_ = sentinel_idx_.size() <= 1;
+  uint32_t off = 0;
+  for (size_t s = 0; s < cap; ++s) {
+    Entry& e = entries_[s];
+    if (e.count > 1) unique_ = false;
+    e.start = off;
+    off += e.count;
+    e.count = 0;  // reused as a fill cursor below
+  }
+  idx_.resize(nregular);
+  for (const auto& [k, v] : pairs) {
+    if (__builtin_expect(k == kEmptyKey, 0)) continue;
+    Entry& e = entries_[Slot(k, false)];
+    idx_[e.start + e.count++] = v;
+  }
+}
+
+void FlatJoinMap::ComputeHashes(const int64_t* keys, size_t n,
+                                uint64_t* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = Hash(keys[i]);
+    out[i] = h;
+    // Stage-1 prefetch: the directory entry FindSlots will compare. One
+    // line covers the key and its match range thanks to the consolidated
+    // entry layout.
+    __builtin_prefetch(entries_.data() + (h & mask_), 0, 1);
+  }
+}
+
+void FlatJoinMap::FindSlots(const int64_t* keys, const uint64_t* hashes,
+                            size_t n, int32_t* slots) const {
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t k = keys[i];
+    if (__builtin_expect(k == kEmptyKey, 0)) {
+      slots[i] = sentinel_idx_.empty() ? kMiss : kSentinel;
+      continue;
+    }
+    size_t s = hashes[i] & mask_;
+    while (true) {
+      const Entry& e = entries_[s];
+      if (e.key == k) {
+        slots[i] = static_cast<int32_t>(s);
+        // Stage-2 prefetch: the match-index range ExpandMatches reads.
+        __builtin_prefetch(idx_.data() + e.start, 0, 1);
+        break;
+      }
+      if (e.key == kEmptyKey) {
+        slots[i] = kMiss;
+        break;
+      }
+      s = (s + 1) & mask_;
+    }
+  }
+}
+
+size_t FlatJoinMap::ExpandMatches(const int32_t* slots, size_t n,
+                                  std::vector<uint32_t>* prow,
+                                  std::vector<uint32_t>* brow) const {
+  const size_t base = prow->size();
+  if (unique_) {
+    // FK -> PK fast path: at most one build row per key, so the match
+    // vectors are a straight compaction of the hits — sized once up
+    // front and written through raw cursors, no per-match size checks.
+    prow->resize(base + n);
+    brow->resize(base + n);
+    uint32_t* pw = prow->data() + base;
+    uint32_t* bw = brow->data() + base;
+    size_t k = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t s = slots[i];
+      pw[k] = static_cast<uint32_t>(i);
+      if (__builtin_expect(s >= 0, 1)) {
+        bw[k] = idx_[entries_[s].start];
+      } else if (s == kSentinel) {
+        bw[k] = sentinel_idx_[0];
+      }
+      k += (s != kMiss);
+    }
+    prow->resize(base + k);
+    brow->resize(base + k);
+    return k;
+  }
+  // General path: size the output in one counting pass, then fill.
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t s = slots[i];
+    if (s >= 0) {
+      total += entries_[s].count;
+    } else if (s == kSentinel) {
+      total += sentinel_idx_.size();
+    }
+  }
+  prow->resize(base + total);
+  brow->resize(base + total);
+  uint32_t* pw = prow->data() + base;
+  uint32_t* bw = brow->data() + base;
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t s = slots[i];
+    if (s == kMiss) continue;
+    const uint32_t* m;
+    uint32_t cnt;
+    if (s == kSentinel) {
+      m = sentinel_idx_.data();
+      cnt = static_cast<uint32_t>(sentinel_idx_.size());
+    } else {
+      const Entry& e = entries_[s];
+      m = idx_.data() + e.start;
+      cnt = e.count;
+    }
+    for (uint32_t j = 0; j < cnt; ++j) {
+      pw[k] = static_cast<uint32_t>(i);
+      bw[k] = m[j];
+      ++k;
+    }
+  }
+  return total;
+}
+
+}  // namespace hd

@@ -1,0 +1,138 @@
+// Flat open-addressing join hash table with a vectorized probe interface.
+//
+// Build uses a two-pass counting sort into a contiguous match-index array
+// (a {key, start, count} directory + idx payload), so a probe resolves to
+// a [start, start+count) range of build-row indices without chasing
+// pointers. The directory is a single array of 16-byte entries, not
+// parallel key/start/count arrays: one probe touches one cache line, not
+// three. Row mode uses Find() one key at a time; batch mode runs the
+// AggHashTable-style three-kernel sequence over a decoded key column:
+//
+//   ComputeHashes  — hash the key vector, prefetching each slot's
+//                    directory entry (stage-1 prefetch),
+//   FindSlots      — walk the probe chains, resolving each key to its
+//                    directory slot (or kMiss) and prefetching the slot's
+//                    match-index range (stage-2 prefetch),
+//   ExpandMatches  — turn resolved slots into aligned (probe-row,
+//                    build-row) match vectors, expanding multi-match keys
+//                    by duplicating the probe row. When the build side is
+//                    unique (FK -> PK, detected at Build), this is a
+//                    1-match straight copy.
+//
+// Empty slots are marked with an in-band sentinel key. A *legitimate*
+// build key equal to the sentinel is kept out of the directory entirely
+// (a dedicated side slot) so it can never be written as "empty" and
+// truncate other keys' probe chains — the sentinel-collision bug the
+// in-executor version of this table had.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hd {
+
+class FlatJoinMap {
+ public:
+  /// FindSlots resolutions that are not directory slots.
+  static constexpr int32_t kMiss = -1;      ///< key has no build rows
+  static constexpr int32_t kSentinel = -2;  ///< key == kEmptyKey, side slot
+
+  /// The in-band "empty slot" marker. Exposed so tests can build
+  /// adversarial key sets around it.
+  static constexpr int64_t kEmptyKey = INT64_MIN + 7;
+
+  /// (join key, build row index) pairs -> probe directory. Clears any
+  /// previous contents.
+  void Build(const std::vector<std::pair<int64_t, uint32_t>>& pairs);
+
+  /// Pointer to `*n` matching build-row indices; nullptr when no match.
+  /// The row-mode probe, and the oracle the batch kernels are tested
+  /// against.
+  const uint32_t* Find(int64_t key, uint32_t* n) const {
+    if (__builtin_expect(key == kEmptyKey, 0)) {
+      *n = static_cast<uint32_t>(sentinel_idx_.size());
+      return sentinel_idx_.empty() ? nullptr : sentinel_idx_.data();
+    }
+    size_t s = Hash(key) & mask_;
+    while (true) {
+      const Entry& e = entries_[s];
+      if (e.key == key) {
+        *n = e.count;
+        return idx_.data() + e.start;
+      }
+      if (e.key == kEmptyKey) {
+        *n = 0;
+        return nullptr;
+      }
+      s = (s + 1) & mask_;
+    }
+  }
+
+  /// Hash `n` keys into `out`, prefetching each hash's directory entry
+  /// so FindSlots runs against a warm slot array.
+  void ComputeHashes(const int64_t* keys, size_t n, uint64_t* out) const;
+
+  /// Resolve each key to its directory slot: slots[i] >= 0 is an index
+  /// whose match range is idx[start, start+count); kMiss means no build
+  /// rows; kSentinel routes to the side slot. Prefetches each hit's
+  /// match-index range for ExpandMatches.
+  void FindSlots(const int64_t* keys, const uint64_t* hashes, size_t n,
+                 int32_t* slots) const;
+
+  /// Expand resolved slots into aligned match vectors: for every match,
+  /// prow gets the probe position i (0..n-1) and brow the build row.
+  /// Appends; returns the number of matches added. Multi-match keys
+  /// duplicate the probe position (vector expansion); a unique build
+  /// side takes a 1-match straight-copy fast path.
+  size_t ExpandMatches(const int32_t* slots, size_t n,
+                       std::vector<uint32_t>* prow,
+                       std::vector<uint32_t>* brow) const;
+
+  /// True when every build key maps to exactly one build row (FK -> PK).
+  bool unique_keys() const { return unique_; }
+  size_t size() const { return idx_.size() + sentinel_idx_.size(); }
+  uint64_t memory_bytes() const {
+    return entries_.size() * sizeof(Entry) +
+           (idx_.size() + sentinel_idx_.size()) * sizeof(uint32_t);
+  }
+
+ private:
+  /// One directory slot: the key plus its [start, start+count) match
+  /// range in idx_. 16 bytes so a probe's compare and range lookup land
+  /// on the same cache line.
+  struct Entry {
+    int64_t key;
+    uint32_t start;
+    uint32_t count;
+  };
+
+  static size_t Hash(int64_t k) {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ull;
+    return h ^ (h >> 29);
+  }
+  /// Probe chain for a non-sentinel key; inserts it at the first empty
+  /// slot when asked. Build-time only.
+  size_t Slot(int64_t k, bool insert) {
+    size_t s = Hash(k) & mask_;
+    while (entries_[s].key != k) {
+      if (entries_[s].key == kEmptyKey) {
+        if (insert) entries_[s].key = k;
+        break;
+      }
+      s = (s + 1) & mask_;
+    }
+    return s;
+  }
+
+  size_t mask_ = 0;
+  bool unique_ = true;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> idx_;
+  /// Build rows whose key IS kEmptyKey — kept out of the directory so the
+  /// sentinel stays unambiguous in keys_.
+  std::vector<uint32_t> sentinel_idx_;
+};
+
+}  // namespace hd

@@ -39,6 +39,12 @@ struct CostParams {
   double hash_probe_ns = 45;        // legacy/generic
   double batch_probe_ns = 40;
   double row_probe_ns = 110;
+  // Bloom pushdown (CSI base scans under hash joins): every scanned row
+  // pays a blocked-Bloom membership test inside the scan, and only rows
+  // that pass — the join's true matches plus the filter's false-positive
+  // tail — reach the probe kernels.
+  double bloom_check_ns = 2.5;
+  double bloom_fp_rate = 0.05;
   // Aggregation.
   double agg_hash_ns = 50;
   double agg_stream_ns = 12;

@@ -508,10 +508,21 @@ Result<Optimizer::PlanResult> Optimizer::Plan(const Query& q,
     for (size_t j = 0; j < dims.size(); ++j) {
       const DimInfo& di = dims[j];
       const double sel_dim = di.out_rows / std::max(1.0, di.rows);
-      // Hash join.
+      // Hash join. A CSI base scan pushes the join's Bloom filter into the
+      // scan, so only matching rows (plus a false-positive tail) reach the
+      // batch probe kernels; row-mode bases probe every inflow row.
+      double probe_cost_ms;
+      if (cand.path.is_csi()) {
+        const double pass = std::min(1.0, sel_dim + p_.bloom_fp_rate);
+        probe_cost_ms = (stream_rows * p_.bloom_check_ns +
+                         stream_rows * pass * probe_ns) /
+                        1e6;
+      } else {
+        probe_cost_ms = stream_rows * probe_ns / 1e6;
+      }
       const double hash_cost = di.best_cost +
                                di.out_rows * p_.hash_build_ns / 1e6 +
-                               stream_rows * probe_ns / 1e6;
+                               probe_cost_ms;
       // Index NL join.
       double nl_cost = 1e300;
       if (di.has_nl_index) {
@@ -533,8 +544,7 @@ Result<Optimizer::PlanResult> Optimizer::Plan(const Query& q,
         st.method = JoinStep::Method::kHash;
         st.dim_path = di.cands[di.best].path;
         join_cpu += di.cands[di.best].cpu_ms_serial +
-                    di.out_rows * p_.hash_build_ns / 1e6 +
-                    stream_rows * probe_ns / 1e6;
+                    di.out_rows * p_.hash_build_ns / 1e6 + probe_cost_ms;
         io += di.cands[di.best].io_ms;
       }
       stream_rows *= sel_dim;

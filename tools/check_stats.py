@@ -8,7 +8,10 @@ Usage:
 JSONL mode checks the hd-stats/1 sampler stream: every line is a JSON
 object with the right schema tag, non-decreasing timestamps, non-negative
 counters, and internally consistent histogram summaries (p50 <= p95 <=
-p99 <= p999 <= max, count*min <= sum). Prometheus mode checks the text
+p99 <= p999 <= max, count*min <= sum). The cumulative join counters
+(join.*) additionally get a monotonicity check across samples and the
+containment invariant join.bloom_filtered <= join.bloom_checks (a filter
+cannot drop more keys than it tested). Prometheus mode checks the text
 exposition: every line is a `# TYPE` comment or a `name[{labels}] value`
 sample with an `hd_`-prefixed, well-formed metric name.
 """
@@ -35,6 +38,7 @@ def check_jsonl(path, min_samples):
     if len(lines) < min_samples:
         fail(f"{path}: {len(lines)} samples, expected >= {min_samples}")
     last_ts = 0
+    last_join = {}
     for i, ln in enumerate(lines):
         try:
             rec = json.loads(ln)
@@ -46,9 +50,25 @@ def check_jsonl(path, min_samples):
         if not isinstance(ts, int) or ts < last_ts:
             fail(f"{path}:{i + 1}: ts_ms {ts!r} not monotonic (prev {last_ts})")
         last_ts = ts
-        for name, v in rec.get("counters", {}).items():
+        counters = rec.get("counters", {})
+        for name, v in counters.items():
             if not isinstance(v, int) or v < 0:
                 fail(f"{path}:{i + 1}: counter {name} = {v!r}")
+            if name.startswith("join."):
+                if v < last_join.get(name, 0):
+                    fail(
+                        f"{path}:{i + 1}: cumulative counter {name} "
+                        f"decreased: {last_join[name]} -> {v}"
+                    )
+                last_join[name] = v
+        if counters.get("join.bloom_filtered", 0) > counters.get(
+            "join.bloom_checks", 0
+        ):
+            fail(
+                f"{path}:{i + 1}: join.bloom_filtered "
+                f"{counters['join.bloom_filtered']} exceeds "
+                f"join.bloom_checks {counters.get('join.bloom_checks', 0)}"
+            )
         for name, h in rec.get("histograms", {}).items():
             qs = [h["p50"], h["p95"], h["p99"], h["p999"]]
             if any(a > b * 1.0001 + 1 for a, b in zip(qs, qs[1:])):
