@@ -226,6 +226,19 @@ ConcurrentResult RunRemoteClients(int port, const std::string& table, int k,
 /// workers (thread-per-client, like the in-process bench). The dop split
 /// mirrors RunClients: shared consumers run at dop 1, private clients
 /// divide the machine.
+/// Per-point server-side latency: the session layer records every
+/// statement into the `server.query_ns` histogram; resetting it before a
+/// point and reading quantiles after isolates that point's distribution.
+/// Reported next to the client-side numbers, the gap is pure wire +
+/// framing + queueing — the part EXPERIMENTS.md says the remote mode
+/// exists to expose.
+void ServerSidePercentiles(double* p50_ms, double* p99_ms) {
+  const HistSnapshot h =
+      Telemetry::Instance().Histogram("server.query_ns")->Snapshot();
+  *p50_ms = h.Quantile(0.5) / 1e6;
+  *p99_ms = h.Quantile(0.99) / 1e6;
+}
+
 void RunRemotePartB(Database* db, const BenchFlags& flags, BenchJson* json) {
   const std::vector<int> ks = flags.threads > 0
                                   ? std::vector<int>{flags.threads}
@@ -251,13 +264,18 @@ void RunRemotePartB(Database* db, const BenchFlags& flags, BenchJson* json) {
       so.max_dop = std::max(1, hw / std::max(1, k));
       Server server(db, so);
       if (!server.Start().ok()) std::exit(1);
+      Telemetry::Instance().Histogram("server.query_ns")->Reset();
       ConcurrentResult r = RunRemoteClients(server.port(), "t_csi", k, iters,
                                             sel, /*seed=*/101 + k, payload);
+      double sp50 = 0, sp99 = 0;
+      ServerSidePercentiles(&sp50, &sp99);
       server.Stop();
       s_priv.ys.push_back(r.qps());
       json->Value("csi_private_remote", k, "throughput_qps", r.qps());
       json->Value("csi_private_remote", k, "p50_ms", r.PercentileMs(0.5));
       json->Value("csi_private_remote", k, "p99_ms", r.PercentileMs(0.99));
+      json->Value("csi_private_remote", k, "server_p50_ms", sp50);
+      json->Value("csi_private_remote", k, "server_p99_ms", sp99);
       if (k == probe_k) {
         priv16 = r.qps();
         priv16_p99 = r.PercentileMs(0.99);
@@ -271,13 +289,18 @@ void RunRemotePartB(Database* db, const BenchFlags& flags, BenchJson* json) {
       so.max_dop = 1;
       Server server(db, so);
       if (!server.Start().ok()) std::exit(1);
+      Telemetry::Instance().Histogram("server.query_ns")->Reset();
       ConcurrentResult r = RunRemoteClients(server.port(), "t_csi", k, iters,
                                             sel, /*seed=*/101 + k, payload);
+      double sp50 = 0, sp99 = 0;
+      ServerSidePercentiles(&sp50, &sp99);
       server.Stop();
       s_shared.ys.push_back(r.qps());
       json->Value("csi_shared_remote", k, "throughput_qps", r.qps());
       json->Value("csi_shared_remote", k, "p50_ms", r.PercentileMs(0.5));
       json->Value("csi_shared_remote", k, "p99_ms", r.PercentileMs(0.99));
+      json->Value("csi_shared_remote", k, "server_p50_ms", sp50);
+      json->Value("csi_shared_remote", k, "server_p99_ms", sp99);
       if (k == probe_k) {
         shared16 = r.qps();
         shared16_p99 = r.PercentileMs(0.99);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "obs/query_store.h"
 #include "optimizer/optimizer.h"
 #include "workload/mixed_driver.h"
 
@@ -24,6 +25,22 @@ namespace bench {
 inline double Scale() {
   const char* s = std::getenv("HD_BENCH_SCALE");
   return s != nullptr ? std::atof(s) : 1.0;
+}
+
+/// HD_BENCH_CAPTURE=1 routes every RunQuery through a process-global
+/// query store (HD_BENCH_QLOG names an optional hd-qlog/1 output file).
+/// This is how EXPERIMENTS.md "Capture overhead" measures the cost of
+/// the observability path: run a bench with and without the env var and
+/// compare. Returns nullptr when capture is off (the default).
+inline QueryStore* CaptureStore() {
+  static QueryStore* store = []() -> QueryStore* {
+    const char* e = std::getenv("HD_BENCH_CAPTURE");
+    if (e == nullptr || e[0] == '\0' || e[0] == '0') return nullptr;
+    QueryStoreOptions o;
+    if (const char* p = std::getenv("HD_BENCH_QLOG")) o.qlog_path = p;
+    return new QueryStore(o);  // leaked: lives for the bench process
+  }();
+  return store;
 }
 
 /// Common CLI flags for the concurrency-aware benches (see EXPERIMENTS.md):
@@ -132,6 +149,15 @@ inline QueryResult RunQuery(Database* db, const Query& q,
   ctx.db = db;
   ctx.memory_grant_bytes = grant;
   ctx.max_dop = max_dop;
+  if (QueryStore* qs = CaptureStore()) {
+    // Bench queries are built programmatically — there is no SQL text,
+    // so the query id doubles as the statement class. The store still
+    // pays its full record/aggregate/qlog cost, which is the point.
+    ctx.query_store = qs;
+    ctx.capture.sql = q.id;
+    ctx.capture.norm = q.id;
+    ctx.capture.fingerprint = FingerprintText(q.id);
+  }
   Executor ex(ctx);
   QueryResult r = ex.Execute(q, plan->plan);
   if (!r.ok()) {

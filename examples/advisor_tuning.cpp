@@ -6,10 +6,19 @@
 // miniature.
 //
 //   $ ./build/examples/advisor_tuning
+//
+// With --workload-from-capture <qlog>, the hand-written driver workload
+// is replaced by statement classes reconstructed from an hd-qlog/1
+// query-store capture (hd_server --qlog / sql_shell --qlog): one
+// representative per fingerprint, weighted by observed call count. This
+// closes the capture loop — the advisor tunes for what actually ran.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/advisor.h"
 #include "exec/executor.h"
+#include "obs/capture_ingest.h"
 #include "workload/tpcds.h"
 
 using namespace hd;
@@ -37,7 +46,18 @@ double RunWorkload(Database* db, const std::vector<Query>& queries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string capture_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workload-from-capture") == 0 && i + 1 < argc) {
+      capture_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--workload-from-capture qlog.jsonl]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   Database db;
   TpcdsOptions opts;
   opts.fact_rows = 150000;
@@ -46,12 +66,31 @@ int main() {
               static_cast<unsigned long long>(opts.fact_rows));
   GeneratedWorkload w = MakeTpcds(&db, opts);
 
+  std::vector<Query> queries = std::move(w.queries);
+  if (!capture_path.empty()) {
+    size_t skipped = 0;
+    auto captured = WorkloadFromCapture(db, capture_path, &skipped);
+    if (!captured.ok()) {
+      std::fprintf(stderr, "capture load failed: %s\n",
+                   captured.status().ToString().c_str());
+      return 1;
+    }
+    queries = std::move(*captured);
+    std::printf("tuning for %zu captured statement classes from %s "
+                "(%zu skipped)\n",
+                queries.size(), capture_path.c_str(), skipped);
+    if (queries.empty()) {
+      std::fprintf(stderr, "capture holds no usable statements\n");
+      return 1;
+    }
+  }
+
   for (AdvisorMode mode : {AdvisorMode::kBTreeOnly, AdvisorMode::kCsiOnly,
                            AdvisorMode::kHybrid}) {
     AdvisorOptions ao;
     ao.mode = mode;
     Advisor advisor(&db, ao);
-    auto rec = advisor.Recommend(w.queries);
+    auto rec = advisor.Recommend(queries);
     if (!rec.ok()) {
       std::fprintf(stderr, "advisor error: %s\n",
                    rec.status().ToString().c_str());
@@ -60,7 +99,7 @@ int main() {
     std::printf("\n==== %s ====\n%s", AdvisorModeName(mode),
                 rec->Report().c_str());
     if (!MaterializeConfiguration(&db, rec->config).ok()) return 1;
-    const double cpu = RunWorkload(&db, w.queries);
+    const double cpu = RunWorkload(&db, queries);
     std::printf("measured workload CPU under this design: %.1f ms\n", cpu);
   }
 

@@ -12,7 +12,14 @@
 // Meta-commands:
 //   .stats        server telemetry registry (JSON lines)
 //   .stats prom   same, Prometheus text format
+//   .queries [top|slow|fingerprints]   server-side query store (handled
+//                 by the session like any statement, §2.3)
 //   quit / exit   orderly Close/CloseOk goodbye
+//
+// Every statement's footer prints the end-to-end trace id the server
+// confirmed (`-- ... | trace <16 hex>`): grep the same id in the
+// server's --qlog JSONL, slow-query log, and --trace chrome://tracing
+// export to follow one statement across client, wire, and morsels.
 //
 // Flags:
 //   --host <ip>   server address (default 127.0.0.1)
@@ -55,7 +62,12 @@ void PrintResult(const RemoteResult& r) {
                 static_cast<unsigned long long>(r.affected_rows));
   }
   if (!r.info.empty()) std::printf("%s\n", r.info.c_str());
-  std::printf("-- %.2f ms server-side\n", r.exec_ms);
+  if (r.trace_id != 0) {
+    std::printf("-- %.2f ms server-side | trace %016llx\n", r.exec_ms,
+                static_cast<unsigned long long>(r.trace_id));
+  } else {
+    std::printf("-- %.2f ms server-side\n", r.exec_ms);
+  }
 }
 
 void RunLine(Client* client, const std::string& line) {
@@ -120,7 +132,8 @@ int main(int argc, char** argv) {
     for (const char* s :
          {"SELECT count(*), sum(revenue) FROM sales",
           "SELECT region, sum(revenue) FROM sales GROUP BY region ORDER BY region",
-          "EXPLAIN ANALYZE SELECT sum(revenue) FROM sales WHERE region = 'east' AND day < 40"}) {
+          "EXPLAIN ANALYZE SELECT sum(revenue) FROM sales WHERE region = 'east' AND day < 40",
+          ".queries fingerprints"}) {
       std::printf("sql> %s\n", s);
       RunLine(&client, s);
     }

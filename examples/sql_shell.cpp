@@ -17,6 +17,11 @@
 //                        gauges, latency histograms with p50/p95/p99/p999)
 //                        plus derived health ratios.
 //   .stats prom          same registry in Prometheus text format.
+//   .queries [top]       query store: most recent captured statements
+//                        (trace id, fingerprint, latency, rows).
+//   .queries slow        the slow-query log (--slow-query-ms threshold).
+//   .queries fingerprints  per-statement-class aggregates: calls, total
+//                        and p95 latency, rows, decode bytes.
 //
 // Flags:
 //   --trace <out.json>   record morsel-level execution events and write a
@@ -45,6 +50,12 @@
 //                        clean exit.
 //   --durability <m>     off | commit | group (default group when
 //                        --data-dir is given).
+//   --query-store-capacity <n>  retained query-store records (default
+//                        1024; 0 disables capture and `.queries`).
+//   --slow-query-ms <ms> slow-query log threshold (default: disabled).
+//   --qlog <file>        append one hd-qlog/1 JSONL line per statement —
+//                        the advisor replays it via
+//                        --workload-from-capture.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,6 +69,7 @@
 #include "exec/executor.h"
 #include "exec/explain.h"
 #include "exec/scan_scheduler.h"
+#include "obs/query_store.h"
 #include "optimizer/optimizer.h"
 #include "sql/parser.h"
 
@@ -68,6 +80,8 @@ namespace {
 int g_max_dop = 0;  // 0 = hardware default
 std::unique_ptr<ScanScheduler> g_scan_scheduler;
 std::unique_ptr<AdmissionController> g_admission;
+std::unique_ptr<QueryStore> g_query_store;
+uint64_t g_next_trace = 0;  // shell = session 0 in the trace-id scheme
 
 /// `.stats` / `.stats prom`: dump the process telemetry registry.
 void PrintStats(bool prometheus) {
@@ -116,15 +130,52 @@ void PrintStats(bool prometheus) {
   }
 }
 
+/// `.queries [top|slow|fingerprints]`: dump the query store.
+void PrintQueries(const std::string& arg) {
+  if (g_query_store == nullptr) {
+    std::printf("query store disabled (--query-store-capacity 0)\n");
+    return;
+  }
+  if (arg.empty() || arg == "top") {
+    std::printf("%s", g_query_store->RenderTop().c_str());
+  } else if (arg == "slow") {
+    std::printf("%s", g_query_store->RenderSlow().c_str());
+  } else if (arg == "fingerprints" || arg == "fp") {
+    std::printf("%s", g_query_store->RenderFingerprints().c_str());
+  } else {
+    std::printf("usage: .queries [top|slow|fingerprints]\n");
+  }
+}
+
 void RunStatement(Database* db, const std::string& sql) {
+  const uint64_t trace_id = ++g_next_trace;
+  Timer wall;
+  // Parse/plan failures still land in the query store (kind "invalid"):
+  // NormalizeSql tokenizes even unparseable text, so mistyped statement
+  // classes show up in the fingerprint table instead of vanishing.
+  auto record_failure = [&](const Status& st) {
+    if (g_query_store == nullptr) return;
+    QueryRecord rec;
+    rec.trace_id = trace_id;
+    rec.sql = sql;
+    rec.norm = NormalizeSql(sql);
+    rec.fingerprint = FingerprintText(rec.norm);
+    rec.kind = "invalid";
+    rec.code = st.code();
+    rec.error = st.message();
+    rec.latency_ms = wall.ElapsedMs();
+    g_query_store->Record(std::move(rec));
+  };
   auto q = ParseSql(*db, sql);
   if (!q.ok()) {
+    record_failure(q.status());
     std::printf("error: %s\n", q.status().ToString().c_str());
     return;
   }
   Optimizer opt(db);
   auto plan = opt.Plan(*q, Configuration::FromCatalog(*db), {});
   if (!plan.ok()) {
+    record_failure(plan.status());
     std::printf("plan error: %s\n", plan.status().ToString().c_str());
     return;
   }
@@ -137,6 +188,13 @@ void RunStatement(Database* db, const std::string& sql) {
   ctx.max_dop = g_max_dop;
   ctx.scan_scheduler = g_scan_scheduler.get();
   ctx.admission = g_admission.get();
+  if (g_query_store != nullptr) {
+    ctx.query_store = g_query_store.get();
+    ctx.capture.sql = sql;
+    ctx.capture.norm = NormalizeSql(sql);
+    ctx.capture.fingerprint = FingerprintText(ctx.capture.norm);
+    ctx.capture.trace_id = trace_id;
+  }
   Executor ex(ctx);
   Timer t;
   QueryResult r = ex.Execute(*q, plan->plan);
@@ -164,7 +222,12 @@ void RunStatement(Database* db, const std::string& sql) {
     std::printf("%llu rows affected\n",
                 static_cast<unsigned long long>(r.affected_rows));
   }
-  std::printf("-- %s | %.2f ms\n", r.plan_desc.c_str(), t.ElapsedMs());
+  if (g_query_store != nullptr) {
+    std::printf("-- %s | %.2f ms | trace %s\n", r.plan_desc.c_str(),
+                t.ElapsedMs(), FingerprintHex(r.trace_id).c_str());
+  } else {
+    std::printf("-- %s | %.2f ms\n", r.plan_desc.c_str(), t.ElapsedMs());
+  }
 }
 
 }  // namespace
@@ -174,6 +237,7 @@ int main(int argc, char** argv) {
   std::string stats_path;
   std::string prom_path;
   std::string data_dir;
+  QueryStoreOptions qs_opts;
   DurabilityMode durability = DurabilityMode::kOff;
   bool durability_set = false;
   int stats_interval_ms = 1000;
@@ -202,12 +266,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       durability_set = true;
+    } else if (std::strcmp(argv[i], "--query-store-capacity") == 0 &&
+               i + 1 < argc) {
+      qs_opts.capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      qs_opts.slow_query_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--qlog") == 0 && i + 1 < argc) {
+      qs_opts.qlog_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.json] [--dop n] "
                    "[--stats-json out.jsonl] [--stats-interval ms] "
                    "[--stats-prom out.prom] [--shared-scans] [--admission n] "
-                   "[--data-dir path] [--durability off|commit|group]\n",
+                   "[--data-dir path] [--durability off|commit|group] "
+                   "[--query-store-capacity n] [--slow-query-ms ms] "
+                   "[--qlog out.jsonl]\n",
                    argv[0]);
       return 2;
     }
@@ -220,6 +293,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!trace_path.empty()) Trace::Global().Enable();
+  if (qs_opts.capacity > 0) {
+    g_query_store = std::make_unique<QueryStore>(qs_opts);
+  }
   TelemetrySampler sampler;
   if (!stats_path.empty()) {
     Status s = sampler.Start(stats_path, stats_interval_ms);
@@ -289,6 +365,11 @@ int main(int argc, char** argv) {
       PrintStats(false);
     } else if (line == ".stats prom") {
       PrintStats(true);
+    } else if (line.rfind(".queries", 0) == 0) {
+      std::string arg = line.substr(std::strlen(".queries"));
+      while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+      while (!arg.empty() && arg.back() == ' ') arg.pop_back();
+      PrintQueries(arg);
     } else if (!line.empty()) {
       RunStatement(&db, line);
     }
@@ -311,6 +392,8 @@ int main(int argc, char** argv) {
     }
     std::printf("sql> .stats\n");
     PrintStats(false);
+    std::printf("sql> .queries fingerprints\n");
+    PrintQueries("fingerprints");
   }
 
   if (durability != DurabilityMode::kOff) {

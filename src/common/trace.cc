@@ -32,9 +32,10 @@ uint64_t Trace::NowUs() const {
 }
 
 void Trace::Record(const std::string& name, int tid, uint64_t ts_us,
-                   uint64_t dur_us, uint64_t morsel) {
+                   uint64_t dur_us, uint64_t morsel, uint64_t trace_id,
+                   const char* cat, int pid) {
   std::lock_guard<std::mutex> g(mu_);
-  events_.push_back(Event{name, tid, ts_us, dur_us, morsel});
+  events_.push_back(Event{name, tid, ts_us, dur_us, morsel, trace_id, cat, pid});
 }
 
 size_t Trace::event_count() const {
@@ -82,14 +83,20 @@ std::string Trace::ToJson() const {
   os << "{\n  \"traceEvents\": [\n";
   for (size_t i = 0; i < events_.size(); ++i) {
     const Event& e = events_[i];
-    os << "    {\"name\": \"" << JsonEscape(e.name)
-       << "\", \"cat\": \"exec\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
-       << e.tid << ", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us
-       << ", \"args\": {\"morsel\": " << e.morsel << "}}"
-       << (i + 1 < events_.size() ? "," : "") << "\n";
+    os << "    {\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \""
+       << e.cat << "\", \"ph\": \"X\", \"pid\": " << e.pid
+       << ", \"tid\": " << e.tid << ", \"ts\": " << e.ts_us
+       << ", \"dur\": " << e.dur_us << ", \"args\": {\"morsel\": " << e.morsel;
+    if (e.trace_id != 0) {
+      char hex[17];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(e.trace_id));
+      os << ", \"trace\": \"" << hex << "\"";
+    }
+    os << "}}" << (i + 1 < events_.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"displayTimeUnit\": \"ms\",\n"
-     << "  \"otherData\": {\"schema\": \"hd-trace/1\"}\n}\n";
+     << "  \"otherData\": {\"schema\": \"hd-trace/2\"}\n}\n";
   return os.str();
 }
 

@@ -13,17 +13,26 @@
 //     "traceEvents": [
 //       {"name": "CsiScan[csi]", "cat": "exec", "ph": "X",
 //        "pid": 0, "tid": 3, "ts": 1234, "dur": 56,
-//        "args": {"morsel": 17}},
+//        "args": {"morsel": 17, "trace": "00c0ffee00c0ffee"}},
 //       ...
 //     ],
 //     "displayTimeUnit": "ms",
-//     "otherData": {"schema": "hd-trace/1"}
+//     "otherData": {"schema": "hd-trace/2"}
 //   }
 //
 // `tid` is the participant slot (the lane the morsel ran on), `ts`/`dur`
 // are microseconds since Enable(). Collection is process-global and
 // thread-safe; the Enabled() check is a single relaxed atomic load so the
 // disabled hot path costs nothing measurable per morsel.
+//
+// hd-trace/2 (query-store PR) adds end-to-end correlation: events carry
+// a category (`exec` morsels, `admission` queue waits, `wal` commit
+// fsyncs, `session` per-statement server rows), an optional 64-bit trace
+// id rendered in args as 16 hex digits (the same id the wire protocol,
+// query store, and slow-query log print — see docs/PROTOCOL.md §2.3),
+// and a pid lane group: pid 0 is the executor (one tid per worker slot),
+// pid 1 is the server (one tid per session id), so chrome://tracing
+// shows wire-level rows above the morsel lanes that served them.
 #pragma once
 
 #include <atomic>
@@ -41,10 +50,13 @@ class Trace {
  public:
   struct Event {
     std::string name;    // operator label
-    int tid = 0;         // participant slot (lane)
+    int tid = 0;         // participant slot (lane), or session id (pid 1)
     uint64_t ts_us = 0;  // start, microseconds since Enable()
     uint64_t dur_us = 0;
-    uint64_t morsel = 0;  // morsel index within the operator's loop
+    uint64_t morsel = 0;    // morsel index within the operator's loop
+    uint64_t trace_id = 0;  // end-to-end query trace id; 0 = untraced
+    const char* cat = "exec";  // "exec" | "admission" | "wal" | "session"
+    int pid = 0;               // lane group: 0 executor, 1 server sessions
   };
 
   /// The process-wide collector the executor records into.
@@ -62,8 +74,12 @@ class Trace {
   /// Microseconds since Enable() (0 when disabled).
   uint64_t NowUs() const;
 
+  /// Record one complete span. The defaulted tail keeps pre-trace-id
+  /// callsites source-compatible; `cat` must be a string literal (or
+  /// otherwise outlive the trace).
   void Record(const std::string& name, int tid, uint64_t ts_us,
-              uint64_t dur_us, uint64_t morsel);
+              uint64_t dur_us, uint64_t morsel, uint64_t trace_id = 0,
+              const char* cat = "exec", int pid = 0);
 
   size_t event_count() const;
   void Clear();

@@ -454,7 +454,8 @@ struct Executor::Impl {
           wms[slot].cpu_ns += static_cast<uint64_t>(t.ElapsedMs() * 1e6);
           if (tracing) {
             Trace::Global().Record(label, slot, t0,
-                                   Trace::Global().NowUs() - t0, mi);
+                                   Trace::Global().NowUs() - t0, mi,
+                                   ctx.capture.trace_id);
           }
           if (!s.ok()) {
             {
@@ -2687,10 +2688,54 @@ Status Executor::Impl::RunDml() {
   return Status::OK();
 }
 
+namespace {
+
+const char* KindName(Query::Kind k) {
+  switch (k) {
+    case Query::Kind::kSelect: return "select";
+    case Query::Kind::kUpdate: return "update";
+    case Query::Kind::kDelete: return "delete";
+    case Query::Kind::kInsert: return "insert";
+  }
+  return "unknown";
+}
+
+// Finalize one statement into the query store (ExecContext::capture
+// identity + the rolled-up result). Best-effort by contract: the store
+// itself evaluates the `querystore.record` failpoint and drops poisoned
+// writes, so this can never change the statement's outcome.
+void CaptureRecord(const ExecContext& ctx, const Query& q,
+                   const QueryResult& res, double wall_ms) {
+  if (ctx.query_store == nullptr) return;
+  QueryRecord rec;
+  rec.session_id = ctx.capture.session_id;
+  rec.trace_id = ctx.capture.trace_id;
+  rec.fingerprint = ctx.capture.fingerprint;
+  rec.sql = ctx.capture.sql.empty() ? q.id : ctx.capture.sql;
+  rec.norm = ctx.capture.norm;
+  rec.plan = res.plan_desc;
+  rec.kind = KindName(q.kind);
+  rec.code = res.status.code();
+  if (!res.status.ok()) rec.error = res.status.message();
+  rec.latency_ms = wall_ms;
+  rec.queue_ms = res.queue_ms;
+  rec.rows_out = res.row_count > 0 ? res.row_count : res.affected_rows;
+  rec.metrics = res.metrics;
+  ctx.query_store->Record(std::move(rec));
+}
+
+}  // namespace
+
 QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
   const auto stmt_t0 = std::chrono::steady_clock::now();
+  const auto wall_ms_since = [&stmt_t0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - stmt_t0)
+        .count();
+  };
   Impl impl(ctx_, q, plan);
   impl.res.plan_desc = plan.Describe();
+  impl.res.trace_id = ctx_.capture.trace_id;
   // Admission gate: non-transactional SELECTs acquire a slot before any
   // latch or lock (a queued query holds nothing). Statements inside a
   // transaction bypass the gate — stalling a lock holder in the admission
@@ -2698,14 +2743,26 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
   AdmissionController::Ticket ticket;
   if (ctx_.admission != nullptr && q.kind == Query::Kind::kSelect &&
       ctx_.txn == nullptr) {
+    const bool tracing = Trace::Enabled();
+    const uint64_t tr0 = tracing ? Trace::Global().NowUs() : 0;
     Status as = ctx_.admission->Admit(ctx_.memory_grant_bytes, &ticket);
+    impl.res.queue_ms = wall_ms_since();
+    if (tracing) {
+      Trace::Global().Record("AdmissionWait", 0, tr0,
+                             Trace::Global().NowUs() - tr0, 0,
+                             ctx_.capture.trace_id, "admission");
+    }
     if (!as.ok()) {
+      // Shed queries are still captured: a store that hides admission
+      // rejections would under-report exactly the overload the advisor
+      // most needs to see.
       impl.res.status = std::move(as);
       SStats().errors->Add(1);
       SStats().ForKind(q.kind)->Record(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - stmt_t0)
               .count());
+      CaptureRecord(ctx_, q, impl.res, wall_ms_since());
       return std::move(impl.res);
     }
   }
@@ -2735,7 +2792,14 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
       if (impl.wal_autocommit && impl.wal_wrote) {
         WalManager* wal = impl.base->wal();
         if (s.ok()) {
+          const bool tracing = Trace::Enabled();
+          const uint64_t tr0 = tracing ? Trace::Global().NowUs() : 0;
           Status cs = wal->Commit(impl.wal_txn);
+          if (tracing) {
+            Trace::Global().Record("WalCommit", 0, tr0,
+                                   Trace::Global().NowUs() - tr0, 0,
+                                   ctx_.capture.trace_id, "wal");
+          }
           if (!cs.ok()) s = std::move(cs);
         } else {
           wal->Abort(impl.wal_txn);
@@ -2766,6 +2830,9 @@ QueryResult Executor::Execute(const Query& q, const PhysicalPlan& plan) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - stmt_t0)
           .count());
+  // Workload capture happens here — after the rollup, so the record
+  // carries the exact-sum query totals — and never affects `res`.
+  CaptureRecord(ctx_, q, impl.res, wall_ms_since());
   return std::move(impl.res);
 }
 

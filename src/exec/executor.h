@@ -21,6 +21,7 @@
 #include "common/metrics.h"
 #include "exec/plan.h"
 #include "exec/query.h"
+#include "obs/query_store.h"
 #include "txn/transaction.h"
 
 namespace hd {
@@ -64,6 +65,16 @@ struct ExecContext {
   /// their grant) before executing; queue-full / timeout surfaces as
   /// kResourceExhausted in QueryResult::status.
   AdmissionController* admission = nullptr;
+
+  /// Workload capture (obs/query_store.h): when set, the executor
+  /// finalizes one QueryRecord per statement — at the same rollup point
+  /// where operator metrics merge into the query totals, so the record's
+  /// metrics are the exact-sum totals — stamped with `capture`'s
+  /// identity (SQL text, fingerprint, session, trace id). Admission-shed
+  /// statements are recorded too (status kResourceExhausted); capture is
+  /// strictly best-effort and can never fail the query.
+  QueryStore* query_store = nullptr;
+  QueryCaptureInfo capture;
 };
 
 /// Result of executing one statement.
@@ -82,6 +93,12 @@ struct QueryResult {
   std::vector<OperatorProfile> operators;
   std::string plan_desc;
   bool spilled = false;
+  /// End-to-end trace id this statement ran under (ExecContext::capture);
+  /// 0 when untraced. Rendered by EXPLAIN ANALYZE and echoed to remote
+  /// clients in ResultDone (docs/PROTOCOL.md §2.6).
+  uint64_t trace_id = 0;
+  /// Admission queue wait, also folded into the query-store record.
+  double queue_ms = 0;
 
   static constexpr uint64_t kMaxMaterializedRows = 10000;
 

@@ -169,6 +169,12 @@ std::string Render(const Query& q, const PhysicalPlan& plan,
   if (analyze && r != nullptr) {
     os << "Query totals (rollup of all operators + residual): "
        << r->metrics.ToString() << "\n";
+    if (r->trace_id != 0) {
+      // The same 16-hex id the wire protocol, query store, slow-query
+      // log, and chrome://tracing spans print — one grep correlates all
+      // five surfaces.
+      os << "Trace: " << FingerprintHex(r->trace_id) << "\n";
+    }
   }
   (void)q;
   return os.str();

@@ -1,0 +1,152 @@
+#include "obs/capture_ingest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "sql/parser.h"
+
+namespace hd {
+
+namespace {
+
+// Minimal scanner for one flat JSON object (hd-qlog/1 lines contain no
+// nested objects or arrays). Respects string escapes, so a key name
+// appearing inside a captured SQL string cannot confuse field lookup —
+// the failure mode a naive substring search would have. String values
+// are unescaped; numbers/booleans are stored raw.
+bool ParseFlatJson(const std::string& s,
+                   std::map<std::string, std::string>* out) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  };
+  auto parse_string = [&](std::string* v) -> bool {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    v->clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': *v += '\n'; break;
+          case 'r': *v += '\r'; break;
+          case 't': *v += '\t'; break;
+          case 'u': {
+            if (i + 4 >= s.size()) return false;
+            unsigned code = std::strtoul(s.substr(i + 1, 4).c_str(), nullptr, 16);
+            *v += static_cast<char>(code < 0x80 ? code : '?');
+            i += 4;
+            break;
+          }
+          default: *v += s[i];
+        }
+      } else {
+        *v += s[i];
+      }
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= s.size() || s[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < s.size() && s[i] == '}') return true;
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(&key)) return false;
+    skip_ws();
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    skip_ws();
+    std::string val;
+    if (i < s.size() && s[i] == '"') {
+      if (!parse_string(&val)) return false;
+    } else {
+      while (i < s.size() && s[i] != ',' && s[i] != '}') val += s[i++];
+      while (!val.empty() && (val.back() == ' ' || val.back() == '\t')) {
+        val.pop_back();
+      }
+    }
+    (*out)[key] = std::move(val);
+    skip_ws();
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') return true;
+    return false;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<CapturedClass>> LoadQlog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open capture: " + path);
+  std::vector<CapturedClass> classes;
+  std::map<uint64_t, size_t> index;  // fingerprint -> classes slot
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::map<std::string, std::string> f;
+    if (!ParseFlatJson(line, &f)) {
+      return Status::Corruption(path + ":" + std::to_string(lineno) +
+                                ": malformed qlog line");
+    }
+    if (f["schema"] != "hd-qlog/1") {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": schema '" + f["schema"] +
+                                     "' is not hd-qlog/1");
+    }
+    if (f["status"] != "ok") continue;  // don't tune for failures
+    const std::string& sql = f["sql"];
+    if (sql.empty()) continue;  // API-level traffic carries no SQL text
+    const uint64_t fp = std::strtoull(f["fp"].c_str(), nullptr, 16);
+    auto [it, fresh] = index.emplace(fp, classes.size());
+    if (fresh) {
+      CapturedClass c;
+      c.fingerprint = fp;
+      c.sql = sql;
+      c.norm = f["norm"];
+      c.kind = f["kind"];
+      classes.push_back(std::move(c));
+    }
+    CapturedClass& c = classes[it->second];
+    c.calls++;
+    c.total_ms += std::strtod(f["latency_ms"].c_str(), nullptr);
+  }
+  return classes;
+}
+
+Result<std::vector<Query>> WorkloadFromCapture(const Database& db,
+                                               const std::string& path,
+                                               size_t* skipped) {
+  HD_ASSIGN_OR_RETURN(std::vector<CapturedClass> classes, LoadQlog(path));
+  std::vector<Query> workload;
+  size_t dropped = 0;
+  for (const CapturedClass& c : classes) {
+    Result<Query> q = ParseSql(db, c.sql);
+    if (!q.ok()) {
+      // Schema drift (table/column dropped since capture) — skip the
+      // class rather than failing the whole tuning run.
+      ++dropped;
+      continue;
+    }
+    Query query = q.take();
+    query.explain = Query::ExplainMode::kNone;  // advisor costs plain runs
+    query.weight = static_cast<double>(c.calls);
+    workload.push_back(std::move(query));
+  }
+  if (skipped != nullptr) *skipped = dropped;
+  return workload;
+}
+
+}  // namespace hd

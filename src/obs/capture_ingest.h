@@ -1,0 +1,54 @@
+// hd-qlog/1 capture ingestion: turn a query-store JSONL file back into
+// an advisor workload (the --workload-from-capture path).
+//
+// This is the consuming half of the capture loop (ROADMAP item 3): the
+// query store records what ran (obs/query_store.h), this module
+// compresses the capture by statement fingerprint — one representative
+// SQL text per class, weighted by observed call count — and re-parses
+// the representatives against the live catalog so Advisor::Recommend
+// optimizes for real traffic instead of a hand-written driver. Workload
+// compression by template is exactly what the DTA lineage assumes
+// ("ML-Powered Index Tuning" §2, CoPhy's workload model in PAPERS.md).
+//
+// Lives in its own library (hd_obs_ingest) because it needs the SQL
+// parser: hd_sql already links hd_exec (and thereby hd_obs), so the
+// store itself must stay parser-free to keep the link order acyclic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/status.h"
+#include "exec/query.h"
+
+namespace hd {
+
+/// One statement class reconstructed from a capture.
+struct CapturedClass {
+  uint64_t fingerprint = 0;
+  std::string sql;   ///< representative verbatim statement (first seen)
+  std::string norm;  ///< normalized text from the capture
+  std::string kind;  ///< "select" | "insert" | "update" | "delete"
+  uint64_t calls = 0;     ///< successful executions in the capture
+  double total_ms = 0;    ///< summed latency across those calls
+};
+
+/// Parse an hd-qlog/1 JSONL file and group records by fingerprint,
+/// first-seen order. Records with a non-ok status or no SQL text (pure
+/// API traffic) are skipped — the advisor should not tune for
+/// statements that failed. Unknown fields are ignored; a line without
+/// the hd-qlog/1 schema tag is an error.
+Result<std::vector<CapturedClass>> LoadQlog(const std::string& path);
+
+/// Build an advisor workload from a capture: one Query per fingerprint
+/// class, parsed against `db`, with Query::weight set to the class call
+/// count. EXPLAIN prefixes are stripped to the underlying statement.
+/// Classes whose representative no longer parses (schema drift between
+/// capture and tuning time) are skipped and counted in *skipped.
+Result<std::vector<Query>> WorkloadFromCapture(const Database& db,
+                                               const std::string& path,
+                                               size_t* skipped = nullptr);
+
+}  // namespace hd

@@ -1,0 +1,244 @@
+// Query Store: per-query workload capture with statement fingerprints.
+//
+// The advisor (src/core/advisor) is only as good as the workload it is
+// fed, and until now nothing in the engine recorded *which statements
+// ran*: QueryMetrics dies with its query, and the telemetry registry
+// aggregates across statements. The query store is the missing
+// collection layer — a low-overhead, lock-sharded in-memory ring of
+// per-query records plus a fingerprint-keyed aggregate table, with a
+// slow-query log and an `hd-qlog/1` JSONL persistence path the advisor
+// ingests directly (--workload-from-capture).
+//
+// One record per finalized statement:
+//   - verbatim SQL text and the normalized statement ("fingerprint
+//     text"): identifiers case-folded, literals replaced by `?`,
+//     whitespace collapsed — so `where a < 5` and `WHERE a < 9` share a
+//     fingerprint (see NormalizeSql in sql/parser.h; this header only
+//     stores precomputed values, keeping hd_obs below hd_sql in the
+//     link order);
+//   - the 64-bit FNV-1a fingerprint of the normalized text;
+//   - chosen plan shape (PhysicalPlan::Describe()), admission queue
+//     wait, latency, status, full QueryMetrics snapshot;
+//   - session id and end-to-end trace id (docs/PROTOCOL.md §2.3) so a
+//     record correlates with the wire frame, chrome://tracing spans,
+//     and the slow-query log line it produced.
+//
+// Aggregates are keyed by fingerprint: calls, errors, total/min/max
+// latency, p95 via the existing log-linear THistogram, rows and decoded
+// bytes. The per-fingerprint histograms are also published through the
+// process Telemetry registry (`qstore.fp.<hex16>.*`, capped — see
+// QueryStoreOptions::max_exported_fingerprints) so Prometheus scrapes
+// see per-statement-class latency without a new exposition path.
+//
+// Concurrency: the ring is sharded by record sequence number (one mutex
+// per shard), the aggregate table by fingerprint; a writer takes exactly
+// one shard lock of each kind. Capture is strictly best-effort: the
+// `querystore.record` failpoint can poison any write and the query must
+// still succeed (chaos-tested); a failed capture only bumps
+// `qstore.dropped`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+
+namespace hd {
+
+/// 64-bit FNV-1a over `text` — the statement fingerprint hash. Callers
+/// normally hash NormalizeSql(sql) (sql/parser.h); API-level callers
+/// without SQL text (benches) may hash any stable statement label.
+uint64_t FingerprintText(const std::string& text);
+
+/// Fingerprint rendered the way every surface prints it (16 hex digits).
+std::string FingerprintHex(uint64_t fp);
+
+/// Capture identity for one statement, carried on ExecContext so the
+/// executor can assemble the record at its rollup point without knowing
+/// where the statement came from (shell, server session, bench driver).
+struct QueryCaptureInfo {
+  std::string sql;       ///< verbatim statement text (may be empty)
+  std::string norm;      ///< normalized text; empty = use sql verbatim
+  uint64_t fingerprint = 0;  ///< 0 = FingerprintText(norm or sql) at record
+  uint64_t session_id = 0;   ///< 0 for in-process (shell/bench) callers
+  uint64_t trace_id = 0;     ///< end-to-end trace id; 0 = untraced
+};
+
+struct QueryStoreOptions {
+  /// Total retained records across all ring shards; older records are
+  /// evicted per-shard in FIFO order. 0 disables retention (aggregates
+  /// and the qlog still work).
+  size_t capacity = 1024;
+  /// Statements at or above this wall latency are copied into the slow
+  /// log ring and flagged `"slow":true` in the qlog. < 0 disables.
+  double slow_query_ms = -1;
+  /// Retained slow-log entries (separate small ring; slow queries are
+  /// rare by definition).
+  size_t slow_log_capacity = 256;
+  /// Append one hd-qlog/1 JSONL line per record to this file. Empty
+  /// disables live persistence (ExportQlog still dumps the rings).
+  std::string qlog_path;
+  /// Publish per-fingerprint aggregates into the Telemetry registry
+  /// (Prometheus / hd-stats): at most this many distinct fingerprints
+  /// get `qstore.fp.<hex16>.*` series; the overflow is counted in
+  /// `qstore.fp_overflow`. 0 disables per-fingerprint exposition.
+  size_t max_exported_fingerprints = 64;
+};
+
+/// One finalized statement. Everything is plain data — records are
+/// copied out of the store by value for rendering/export.
+struct QueryRecord {
+  uint64_t seq = 0;        ///< store-assigned, monotone per store
+  uint64_t ts_ms = 0;      ///< wall clock (unix ms) at finalize
+  uint64_t session_id = 0;
+  uint64_t trace_id = 0;
+  uint64_t fingerprint = 0;
+  std::string sql;
+  std::string norm;
+  std::string plan;        ///< PhysicalPlan::Describe()
+  std::string kind;        ///< "select" | "insert" | "update" | "delete"
+  Code code = Code::kOk;
+  std::string error;       ///< status message when code != kOk
+  double latency_ms = 0;   ///< end-to-end wall (includes queue wait)
+  double queue_ms = 0;     ///< admission queue wait
+  bool slow = false;
+  uint64_t rows_out = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t decode_bytes = 0;  ///< QueryMetrics::bytes_processed
+  QueryMetrics metrics;
+
+  bool ok() const { return code == Code::kOk; }
+};
+
+/// Aggregate view of one fingerprint class (copied out by value).
+struct FingerprintStats {
+  uint64_t fingerprint = 0;
+  std::string norm;        ///< normalized text of the first call seen
+  std::string kind;
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t rows_out = 0;
+  uint64_t decode_bytes = 0;
+  double total_ms = 0;
+  double min_ms = 0;
+  double max_ms = 0;
+  double p95_ms = 0;  ///< from the per-fingerprint THistogram (ns units)
+};
+
+class QueryStore {
+ public:
+  explicit QueryStore(QueryStoreOptions opts = {});
+  ~QueryStore();
+
+  QueryStore(const QueryStore&) = delete;
+  QueryStore& operator=(const QueryStore&) = delete;
+
+  /// Finalize one statement into the store: assign seq + ts_ms, retain
+  /// in the ring, fold into the fingerprint aggregates, copy to the
+  /// slow log when at/over threshold, and append the hd-qlog/1 line.
+  /// Best-effort by contract: evaluates the `querystore.record`
+  /// failpoint first and silently drops the record (counting
+  /// qstore.dropped) when poisoned. Never fails the caller.
+  void Record(QueryRecord rec);
+
+  /// Most recent `n` retained records, newest first.
+  std::vector<QueryRecord> Recent(size_t n) const;
+  /// Most recent `n` slow-log entries, newest first.
+  std::vector<QueryRecord> Slow(size_t n) const;
+  /// All fingerprint classes, most total time first.
+  std::vector<FingerprintStats> Fingerprints() const;
+
+  /// Dump every retained ring record (ascending seq) as hd-qlog/1
+  /// JSONL — the export path when no live qlog_path was configured.
+  Status ExportQlog(const std::string& path) const;
+  /// Flush the live qlog stream (tests / orderly shutdown).
+  void Flush();
+
+  /// Text tables behind `.queries [top|slow|fingerprints]`.
+  std::string RenderTop(size_t n = 10) const;
+  std::string RenderSlow(size_t n = 10) const;
+  std::string RenderFingerprints(size_t n = 20) const;
+
+  // Introspection (tests, stats surfaces).
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+  uint64_t evicted() const;
+  uint64_t slow_count() const;
+  const QueryStoreOptions& options() const { return opts_; }
+
+  /// One hd-qlog/1 JSONL line (no trailing newline) for `rec` — shared
+  /// by the live appender and ExportQlog; exposed for tests.
+  static std::string ToQlogJson(const QueryRecord& rec);
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct RingShard {
+    mutable std::mutex mu;
+    std::vector<QueryRecord> ring;  // ring.size() <= per_shard_cap
+    size_t next = 0;                // overwrite cursor once full
+  };
+
+  struct FpAgg {
+    std::string norm;
+    std::string kind;
+    uint64_t calls = 0;
+    uint64_t errors = 0;
+    uint64_t rows_out = 0;
+    uint64_t decode_bytes = 0;
+    double total_ms = 0;
+    double min_ms = 0;
+    double max_ms = 0;
+    THistogram latency_ns;  // per-fingerprint HDR histogram
+    // Registry series (nullptr when this fingerprint fell past the
+    // exposition cap or exposition is disabled).
+    TCounter* exp_calls = nullptr;
+    TCounter* exp_errors = nullptr;
+    THistogram* exp_latency = nullptr;
+  };
+
+  struct AggShard {
+    mutable std::mutex mu;
+    std::map<uint64_t, FpAgg> by_fp;  // node-based: stable addresses
+  };
+
+  void Retain(QueryRecord&& rec);
+  void Aggregate(const QueryRecord& rec);
+  void AppendQlog(QueryRecord* rec);  // assigns ts under the file lock
+
+  QueryStoreOptions opts_;
+  size_t per_shard_cap_ = 0;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::atomic<uint64_t> slow_{0};
+  std::atomic<size_t> exported_fps_{0};
+  RingShard rings_[kShards];
+  AggShard aggs_[kShards];
+
+  mutable std::mutex slow_mu_;
+  std::vector<QueryRecord> slow_ring_;
+  size_t slow_next_ = 0;
+
+  mutable std::mutex qlog_mu_;
+  std::FILE* qlog_ = nullptr;
+  uint64_t last_qlog_ts_ms_ = 0;
+
+  // Process counters (registry-owned, never freed).
+  TCounter* c_recorded_ = nullptr;
+  TCounter* c_dropped_ = nullptr;
+  TCounter* c_evicted_ = nullptr;
+  TCounter* c_slow_ = nullptr;
+  TCounter* c_fp_overflow_ = nullptr;
+};
+
+}  // namespace hd

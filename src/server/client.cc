@@ -64,9 +64,18 @@ Status Client::Connect(const std::string& host, int port,
   return s;
 }
 
-Result<RemoteResult> Client::Query(const std::string& sql) {
+Result<RemoteResult> Client::Query(const std::string& sql,
+                                   uint64_t trace_id) {
   if (fd_ < 0) return Status::InvalidArgument("not connected");
-  HD_RETURN_IF_ERROR(WriteFrame(fd_, MsgType::kQuery, EncodeQuery({sql})));
+  if (trace_id == 0) {
+    // Client-generated trace id (§2.3): high bit marks client origin,
+    // session id above a per-connection counter — unique per statement
+    // without coordination, and visibly grouped by session in the qlog.
+    trace_id =
+        0x8000000000000000ull | (session_id_ << 40) | ++next_trace_seq_;
+  }
+  HD_RETURN_IF_ERROR(
+      WriteFrame(fd_, MsgType::kQuery, EncodeQuery({sql, trace_id})));
   RemoteResult out;
   // §3.2: consume frames until the exchange terminator (ResultDone or
   // Error). Header/batches/info may precede it in any valid stream.
@@ -104,6 +113,7 @@ Result<RemoteResult> Client::Query(const std::string& sql) {
         out.row_count = d.row_count;
         out.affected_rows = d.affected_rows;
         out.exec_ms = d.exec_ms;
+        out.trace_id = d.trace_id;
         if (!d.info.empty()) {
           if (!out.info.empty()) out.info += "\n";
           out.info += d.info;

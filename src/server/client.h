@@ -27,6 +27,11 @@ struct RemoteResult {
   uint64_t affected_rows = 0;
   double exec_ms = 0;                   // server-side wall time
   std::string info;                     // plan_desc / EXPLAIN text / txn ack
+  /// End-to-end trace id the statement ran under (§2.3/§2.6): the
+  /// client-generated id echoed back, or the server-assigned one. The
+  /// same 16-hex id appears in the server's qlog, slow-query log, and
+  /// chrome://tracing spans. 0 when talking to a pre-trace server.
+  uint64_t trace_id = 0;
 };
 
 class Client {
@@ -50,7 +55,11 @@ class Client {
   /// collect the full response. A server-side Error frame surfaces as
   /// the equivalent engine Status (§4) — e.g. admission shed is
   /// kResourceExhausted, exactly as in-process callers see it.
-  Result<RemoteResult> Query(const std::string& sql);
+  /// Each call stamps the Query frame with a fresh client-generated
+  /// trace id (session id in the top bits, per-connection counter
+  /// below); pass `trace_id` to pin one explicitly. The id the server
+  /// confirms comes back in RemoteResult::trace_id.
+  Result<RemoteResult> Query(const std::string& sql, uint64_t trace_id = 0);
 
   /// Fetch a telemetry snapshot (§2.8).
   Result<std::string> Stats(StatsReqMsg::Format format);
@@ -67,6 +76,7 @@ class Client {
  private:
   int fd_ = -1;
   uint64_t session_id_ = 0;
+  uint64_t next_trace_seq_ = 0;
 };
 
 }  // namespace hd

@@ -29,6 +29,14 @@
 //   --durability <m>     off | commit | group (default group when
 //                        --data-dir is given): fsync per commit vs one
 //                        batched fsync per group-commit window.
+//   --query-store-capacity <n>  retained query-store records (default
+//                        1024; 0 disables capture and `.queries`)
+//   --slow-query-ms <ms> slow-query log threshold (default: disabled)
+//   --qlog <file>        append hd-qlog/1 JSONL, one line per statement
+//                        (the advisor's --workload-from-capture input)
+//   --trace <file>       chrome://tracing export written at shutdown:
+//                        per-session query rows + admission/morsel/WAL
+//                        spans, all keyed by trace id (hd-trace/2)
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +45,7 @@
 #include <thread>
 
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "server/server.h"
 
 using namespace hd;
@@ -74,7 +83,7 @@ Status LoadDemo(Database* db) {
 int main(int argc, char** argv) {
   ServerOptions opts;
   opts.port = 5433;
-  std::string stats_path, prom_path, data_dir;
+  std::string stats_path, prom_path, data_dir, trace_path;
   DurabilityMode durability = DurabilityMode::kOff;
   bool durability_set = false;
   int stats_interval_ms = 1000;
@@ -107,13 +116,25 @@ int main(int argc, char** argv) {
         return 2;
       }
       durability_set = true;
+    } else if (std::strcmp(argv[i], "--query-store-capacity") == 0 &&
+               i + 1 < argc) {
+      opts.query_store_capacity =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      opts.slow_query_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--qlog") == 0 && i + 1 < argc) {
+      opts.qlog_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--host ip] [--port n] [--workers n] "
                    "[--max-sessions n] [--dop n] [--shared-scans] "
                    "[--admission n] [--stats-json f] [--stats-interval ms] "
                    "[--stats-prom f] [--data-dir path] "
-                   "[--durability off|commit|group]\n",
+                   "[--durability off|commit|group] "
+                   "[--query-store-capacity n] [--slow-query-ms ms] "
+                   "[--qlog f] [--trace f]\n",
                    argv[0]);
       return 2;
     }
@@ -125,6 +146,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--durability %s requires --data-dir\n",
                  DurabilityModeName(durability));
     return 2;
+  }
+
+  if (!trace_path.empty()) {
+    Trace::Global().Enable();
   }
 
   TelemetrySampler sampler;
@@ -209,6 +234,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_path.empty()) {
+    // Sessions are drained, so every query's admission/morsel/WAL spans
+    // and its pid-1 session row (all keyed by trace id) are in the ring.
+    if (Status s = Trace::Global().WriteJson(trace_path); s.ok()) {
+      std::printf("wrote trace to %s (hd-trace/2)\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+    }
+  }
   if (!stats_path.empty()) {
     sampler.Stop();
     std::printf("wrote %llu telemetry samples to %s\n",

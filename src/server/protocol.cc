@@ -254,12 +254,22 @@ Status DecodeHelloOk(const std::string& p, HelloOkMsg* m) {
 std::string EncodeQuery(const QueryMsg& m) {
   WireWriter w;
   w.Str(m.sql);
+  w.U64(m.trace_id);
   return w.Take();
 }
 
 Status DecodeQuery(const std::string& p, QueryMsg* m) {
   WireReader r(p);
-  return r.Str(&m->sql);
+  HD_RETURN_IF_ERROR(r.Str(&m->sql));
+  // Optional trailing trace id (§2.3): absent from pre-trace clients,
+  // decoded as 0 ("server, assign one"). Anything else trailing is still
+  // a decode error — only this field is spec-blessed as optional.
+  m->trace_id = 0;
+  if (!r.AtEnd()) {
+    HD_RETURN_IF_ERROR(r.U64(&m->trace_id));
+    if (!r.AtEnd()) return Status::InvalidArgument("trailing bytes in Query");
+  }
+  return Status::OK();
 }
 
 std::string EncodeResultHeader(const ResultHeaderMsg& m) {
@@ -330,6 +340,7 @@ std::string EncodeResultDone(const ResultDoneMsg& m) {
   w.U64(m.affected_rows);
   w.F64(m.exec_ms);
   w.Str(m.info);
+  w.U64(m.trace_id);
   return w.Take();
 }
 
@@ -339,6 +350,14 @@ Status DecodeResultDone(const std::string& p, ResultDoneMsg* m) {
   HD_RETURN_IF_ERROR(r.U64(&m->affected_rows));
   HD_RETURN_IF_ERROR(r.F64(&m->exec_ms));
   HD_RETURN_IF_ERROR(r.Str(&m->info));
+  // Optional trailing trace id (§2.6): absent from pre-trace servers.
+  m->trace_id = 0;
+  if (!r.AtEnd()) {
+    HD_RETURN_IF_ERROR(r.U64(&m->trace_id));
+    if (!r.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes in ResultDone");
+    }
+  }
   return Status::OK();
 }
 

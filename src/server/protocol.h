@@ -127,6 +127,10 @@ struct HelloOkMsg {           // §2.2
 
 struct QueryMsg {             // §2.3
   std::string sql;
+  /// Optional trailing field (§2.3, §5 minor rev): client-chosen
+  /// end-to-end trace id. 0 (or absent on the wire — old clients) means
+  /// "unassigned"; the server then assigns one. Echoed in ResultDone.
+  uint64_t trace_id = 0;
 };
 
 struct ResultHeaderMsg {      // §2.4
@@ -147,6 +151,10 @@ struct ResultDoneMsg {        // §2.6
   uint64_t affected_rows = 0;
   double exec_ms = 0;
   std::string info;           // plan_desc, txn state change, ...
+  /// Optional trailing field (§2.6, §5 minor rev): the trace id the
+  /// statement actually ran under (client-sent, or server-assigned when
+  /// the Query frame carried 0/omitted it). 0 from pre-trace servers.
+  uint64_t trace_id = 0;
 };
 
 struct ErrorMsg {             // §2.7

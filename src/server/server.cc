@@ -71,6 +71,13 @@ Server::Server(Database* db, ServerOptions opts) : db_(db), opts_(opts) {
     ao.max_concurrent = opts_.admission_slots;
     admission_ = std::make_unique<AdmissionController>(ao);
   }
+  if (opts_.query_store_capacity > 0) {
+    QueryStoreOptions qo;
+    qo.capacity = opts_.query_store_capacity;
+    qo.slow_query_ms = opts_.slow_query_ms;
+    qo.qlog_path = opts_.qlog_path;
+    query_store_ = std::make_unique<QueryStore>(qo);
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -81,6 +88,7 @@ SessionEnv Server::MakeEnv() {
   env.txns = &txns_;
   env.scan_scheduler = scan_scheduler_.get();
   env.admission = admission_.get();
+  env.query_store = query_store_.get();
   env.max_dop = opts_.max_dop;
   env.memory_grant_bytes = opts_.memory_grant_bytes;
   env.max_frame_bytes = opts_.max_frame_bytes;

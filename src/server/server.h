@@ -58,6 +58,18 @@ struct ServerOptions {
   /// longer than this is treated as a torn frame and disconnected.
   int read_timeout_ms = 10'000;
   uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Query store (obs/query_store.h): retained per-query records across
+  /// all sessions. 0 disables capture entirely (`.queries` then answers
+  /// kNotSupported). Capture is on by default — it is the observability
+  /// layer the advisor feeds on, and its overhead is budgeted ≤ 2%
+  /// (EXPERIMENTS.md "Capture overhead").
+  size_t query_store_capacity = 1024;
+  /// Slow-query threshold in ms (`--slow-query-ms`); < 0 disables the
+  /// slow log.
+  double slow_query_ms = -1;
+  /// Append one hd-qlog/1 JSONL line per finalized statement
+  /// (`--qlog`); empty disables live persistence.
+  std::string qlog_path;
 };
 
 class Server {
@@ -90,6 +102,8 @@ class Server {
   TransactionManager* txns() { return &txns_; }
   ScanScheduler* scan_scheduler() { return scan_scheduler_.get(); }
   AdmissionController* admission() { return admission_.get(); }
+  /// Server-owned workload capture; null when query_store_capacity == 0.
+  QueryStore* query_store() { return query_store_.get(); }
 
  private:
   struct Worker;
@@ -103,6 +117,7 @@ class Server {
   TransactionManager txns_;
   std::unique_ptr<ScanScheduler> scan_scheduler_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<QueryStore> query_store_;
 
   int listen_fd_ = -1;
   int port_ = 0;

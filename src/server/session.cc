@@ -8,6 +8,7 @@
 
 #include "common/failpoint.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "exec/admission.h"
 #include "exec/explain.h"
 #include "exec/scan_scheduler.h"
@@ -33,6 +34,14 @@ struct ServerStats {
 ServerStats& SStats() {
   static ServerStats s;
   return s;
+}
+
+/// Server-assigned trace ids for Query frames that carry none (old or
+/// lazy clients, §2.3). Session id in the top bits keeps concurrent
+/// sessions' assignments disjoint and recognizably grouped in the qlog.
+uint64_t AssignTraceId(uint64_t session_id) {
+  static std::atomic<uint64_t> n{0};
+  return (session_id << 40) | (n.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
 /// Uppercased first word of a statement ("BEGIN", "SELECT", ...); *rest
@@ -197,7 +206,7 @@ Session::Outcome Session::HandleFrame(const Frame& f) {
         (void)SendError(s);
         return Outcome::kClose;
       }
-      return HandleQuery(q.sql);
+      return HandleQuery(q.sql, q.trace_id);
     }
     case MsgType::kStatsReq: {
       StatsReqMsg req;
@@ -324,21 +333,75 @@ Status Session::PlanStatement(const std::string& sql, const CachedPlan** out) {
     cache_.erase(cache_order_.front());
     cache_order_.pop_front();
   }
-  auto [pos, inserted] =
-      cache_.emplace(sql, CachedPlan{std::move(q), std::move(pr.plan)});
+  CachedPlan entry{std::move(q), std::move(pr.plan), NormalizeSql(sql), 0};
+  entry.fingerprint = FingerprintText(entry.norm);
+  auto [pos, inserted] = cache_.emplace(sql, std::move(entry));
   if (inserted) cache_order_.push_back(sql);
   *out = &pos->second;
   return Status::OK();
 }
 
-Session::Outcome Session::HandleQuery(const std::string& sql) {
+bool Session::HandleQueriesCommand(const std::string& sql, Outcome* out) {
+  const std::string t = Trim(sql);
+  if (t.rfind(".queries", 0) != 0) return false;
+  auto fail = [&](const Status& s) {
+    *out = SendError(s).ok() ? Outcome::kKeep : Outcome::kClose;
+  };
+  if (env_.query_store == nullptr) {
+    fail(Status::NotSupported(
+        "query store disabled (--query-store-capacity 0)"));
+    return true;
+  }
+  const std::string arg = Upper(Trim(t.substr(8)));
+  const QueryStore& qs = *env_.query_store;
+  std::string text;
+  if (arg.empty() || arg == "TOP") {
+    text = qs.RenderTop();
+  } else if (arg == "SLOW") {
+    text = qs.RenderSlow();
+  } else if (arg == "FINGERPRINTS" || arg == "FP") {
+    text = qs.RenderFingerprints();
+  } else {
+    fail(Status::InvalidArgument("usage: .queries [top|slow|fingerprints]"));
+    return true;
+  }
+  if (!Send(MsgType::kInfo, EncodeInfo({text})).ok()) {
+    *out = Outcome::kClose;
+    return true;
+  }
+  ResultDoneMsg d;
+  d.info = ".queries";
+  *out = Send(MsgType::kResultDone, EncodeResultDone(d)).ok()
+             ? Outcome::kKeep
+             : Outcome::kClose;
+  return true;
+}
+
+Session::Outcome Session::HandleQuery(const std::string& sql,
+                                      uint64_t trace_id) {
   SStats().queries->Add(1);
+  if (trace_id == 0) trace_id = AssignTraceId(id_);
   Timer wall;
+  const bool tracing = Trace::Enabled();
+  const uint64_t tr0 = tracing ? Trace::Global().NowUs() : 0;
   auto record = [&] {
     SStats().query_ns->Record(static_cast<int64_t>(wall.ElapsedMs() * 1e6));
+    if (tracing) {
+      // Per-session server row (pid 1, tid = session id): one span per
+      // statement, keyed by the same trace id the executor stamps on
+      // this statement's admission/morsel/WAL spans — the wire-level
+      // lane above the worker lanes that served it.
+      Trace::Global().Record("Query", static_cast<int>(id_), tr0,
+                             Trace::Global().NowUs() - tr0, 0, trace_id,
+                             "session", 1);
+    }
   };
 
   Outcome out = Outcome::kKeep;
+  if (HandleQueriesCommand(sql, &out)) {
+    record();
+    return out;
+  }
   if (HandleTxnStatement(sql, &out)) {
     record();
     return out;
@@ -348,6 +411,22 @@ Session::Outcome Session::HandleQuery(const std::string& sql) {
   Status s = PlanStatement(sql, &cp);
   if (!s.ok()) {
     record();
+    // Parse/plan failures are captured too: NormalizeSql tokenizes even
+    // unparseable text, so mistyped statement *classes* show up in the
+    // fingerprint table instead of vanishing.
+    if (env_.query_store != nullptr) {
+      QueryRecord rec;
+      rec.session_id = id_;
+      rec.trace_id = trace_id;
+      rec.sql = sql;
+      rec.norm = NormalizeSql(sql);
+      rec.fingerprint = FingerprintText(rec.norm);
+      rec.kind = "invalid";
+      rec.code = s.code();
+      rec.error = s.message();
+      rec.latency_ms = wall.ElapsedMs();
+      env_.query_store->Record(std::move(rec));
+    }
     return SendError(s).ok() ? Outcome::kKeep : Outcome::kClose;
   }
   const Query& q = cp->query;
@@ -359,6 +438,7 @@ Session::Outcome Session::HandleQuery(const std::string& sql) {
     }
     ResultDoneMsg d;
     d.info = "EXPLAIN";
+    d.trace_id = trace_id;
     return Send(MsgType::kResultDone, EncodeResultDone(d)).ok()
                ? Outcome::kKeep
                : Outcome::kClose;
@@ -370,6 +450,12 @@ Session::Outcome Session::HandleQuery(const std::string& sql) {
   ctx.memory_grant_bytes = env_.memory_grant_bytes;
   ctx.scan_scheduler = env_.scan_scheduler;
   ctx.admission = env_.admission;
+  ctx.query_store = env_.query_store;
+  ctx.capture.sql = sql;
+  ctx.capture.norm = cp->norm;
+  ctx.capture.fingerprint = cp->fingerprint;
+  ctx.capture.session_id = id_;
+  ctx.capture.trace_id = trace_id;
   if (txn_ != nullptr) {
     ctx.txns = env_.txns;
     ctx.txn = txn_.get();
@@ -382,12 +468,14 @@ Session::Outcome Session::HandleQuery(const std::string& sql) {
     // kResourceExhausted (§4) — the client sees exactly the engine code.
     return SendError(r.status).ok() ? Outcome::kKeep : Outcome::kClose;
   }
-  return SendResult(q, cp->plan, r, wall.ElapsedMs()).ok() ? Outcome::kKeep
-                                                           : Outcome::kClose;
+  return SendResult(q, cp->plan, r, wall.ElapsedMs(), trace_id).ok()
+             ? Outcome::kKeep
+             : Outcome::kClose;
 }
 
 Status Session::SendResult(const Query& q, const PhysicalPlan& plan,
-                           const QueryResult& r, double wall_ms) {
+                           const QueryResult& r, double wall_ms,
+                           uint64_t trace_id) {
   if (q.explain == Query::ExplainMode::kAnalyze) {
     HD_RETURN_IF_ERROR(
         Send(MsgType::kInfo, EncodeInfo({ExplainAnalyze(q, plan, r)})));
@@ -412,6 +500,7 @@ Status Session::SendResult(const Query& q, const PhysicalPlan& plan,
   d.affected_rows = r.affected_rows;
   d.exec_ms = wall_ms;
   d.info = r.plan_desc;
+  d.trace_id = trace_id;
   return Send(MsgType::kResultDone, EncodeResultDone(d));
 }
 

@@ -40,6 +40,10 @@ struct SessionEnv {
   TransactionManager* txns = nullptr;
   ScanScheduler* scan_scheduler = nullptr;     // may be null (private scans)
   AdmissionController* admission = nullptr;    // may be null (no gate)
+  /// Workload capture (obs/query_store.h); may be null (capture off).
+  /// Sessions record every executed statement — and parse/plan failures
+  /// — stamped with their session and trace ids.
+  QueryStore* query_store = nullptr;
   int max_dop = 0;
   uint64_t memory_grant_bytes = 4ull << 30;
   uint32_t max_frame_bytes = kMaxFrameBytes;
@@ -77,10 +81,20 @@ class Session {
   struct CachedPlan {
     Query query;
     PhysicalPlan plan;
+    /// Statement fingerprint (NormalizeSql at plan time, so cache hits
+    /// skip re-normalization along with parse/bind/optimize).
+    std::string norm;
+    uint64_t fingerprint = 0;
   };
 
   Outcome HandleFrame(const Frame& f);
-  Outcome HandleQuery(const std::string& sql);
+  /// `trace_id` is the client-sent id from the Query frame; 0 means the
+  /// session assigns one (§2.3). The id the statement actually ran under
+  /// is echoed in ResultDone (§2.6).
+  Outcome HandleQuery(const std::string& sql, uint64_t trace_id);
+  /// `.queries [top|slow|fingerprints]` — remote query-store views,
+  /// intercepted before the SQL parser like txn meta-statements.
+  bool HandleQueriesCommand(const std::string& sql, Outcome* out);
   Outcome HandleStats(const StatsReqMsg& req);
   /// Txn meta-statements (BEGIN/COMMIT/ROLLBACK, §3.3) are intercepted
   /// before the SQL parser. Returns true when `sql` was one.
@@ -96,7 +110,7 @@ class Session {
   Status Send(MsgType t, const std::string& payload);
   Status SendError(const Status& s);
   Status SendResult(const Query& q, const PhysicalPlan& plan,
-                    const QueryResult& r, double wall_ms);
+                    const QueryResult& r, double wall_ms, uint64_t trace_id);
 
   const uint64_t id_;
   int fd_;

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <optional>
 
+#include "obs/query_store.h"
+
 namespace hd {
 
 namespace {
@@ -557,6 +559,31 @@ Result<Query> ParseSql(const Database& db, const std::string& sql) {
   HD_ASSIGN_OR_RETURN(Query q, p.Parse());
   q.id = sql.substr(0, 40);
   return q;
+}
+
+std::string NormalizeSql(const std::string& sql) {
+  Lexer lex(sql);
+  std::string out;
+  out.reserve(sql.size());
+  while (lex.cur().kind != Tok::kEnd) {
+    const Token& t = lex.cur();
+    if (!out.empty()) out += ' ';
+    switch (t.kind) {
+      case Tok::kNumber:
+      case Tok::kString:
+        out += '?';
+        break;
+      default:
+        // Idents arrive uppercased in .text; symbols are verbatim.
+        out += t.text;
+    }
+    lex.Advance();
+  }
+  return out;
+}
+
+uint64_t FingerprintSql(const std::string& sql) {
+  return FingerprintText(NormalizeSql(sql));
 }
 
 }  // namespace hd

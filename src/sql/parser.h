@@ -47,4 +47,17 @@ namespace hd {
 /// Parse one statement. Errors carry a position-annotated message.
 Result<Query> ParseSql(const Database& db, const std::string& sql);
 
+/// Normalized statement text for fingerprinting, produced by the same
+/// lexer the parser uses: keywords and identifiers case-folded to upper,
+/// numeric and string literals replaced by `?`, whitespace collapsed to
+/// single spaces. `where a < 5` and `WHERE  A<9` normalize identically;
+/// changing a table, column, or operator changes the text. Works on any
+/// statement the lexer can tokenize — no catalog needed, and unparseable
+/// statements still normalize (so failed queries fingerprint too).
+std::string NormalizeSql(const std::string& sql);
+
+/// FingerprintText(NormalizeSql(sql)) — the 64-bit statement-class key
+/// stamped on query-store records (obs/query_store.h).
+uint64_t FingerprintSql(const std::string& sql);
+
 }  // namespace hd

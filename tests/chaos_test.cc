@@ -447,6 +447,102 @@ TEST_F(ChaosTest, ServerConnectionFaultSweepRecovers) {
   server.Stop();
 }
 
+// Query-store chaos (docs/ROBUSTNESS.md, PR 10): the `querystore.record`
+// seam is swept with probability faults while concurrent clients run
+// statements through the server. The capture contract is best-effort:
+//   (k) no query ever fails because its capture write was poisoned
+//   (l) exact accounting — recorded + dropped == statements issued
+TEST_F(ChaosTest, QueryStoreFaultSweepNeverFailsQueries) {
+  ServerOptions sopts;
+  sopts.workers = 2;
+  Server server(&db_, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.query_store(), nullptr);
+
+  Rng sweep(424242);
+  uint64_t issued = 0;
+  for (int ep = 0; ep < 3; ++ep) {
+    SCOPED_TRACE("episode " + std::to_string(ep));
+    FailPoints::Instance().Arm(
+        "querystore.record",
+        FailSpec::Probability(sweep.UniformReal(0.2, 0.8),
+                              sweep.Uniform(1, 1 << 20), Code::kIoError,
+                              "capture chaos"));
+    std::atomic<uint64_t> ok_count{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+      clients.emplace_back([&server, &ok_count] {
+        Client c;
+        if (!c.Connect("127.0.0.1", server.port()).ok()) return;
+        for (int q = 0; q < 10; ++q) {
+          auto r = c.Query("SELECT count(*) FROM h WHERE col1 < 200");
+          // (k): capture faults must be invisible to the client.
+          EXPECT_TRUE(r.ok()) << r.status().ToString();
+          if (r.ok()) ok_count.fetch_add(1);
+        }
+        (void)c.Close();
+      });
+    }
+    for (auto& th : clients) th.join();
+    FailPoints::Instance().DisarmAll();
+    issued += ok_count.load();
+    EXPECT_EQ(ok_count.load(), 40u);
+  }
+  // (l): every issued statement was either captured or counted dropped —
+  // and the sweep probabilities make both bins nonempty with certainty
+  // for these seeds.
+  const QueryStore& qs = *server.query_store();
+  EXPECT_EQ(qs.recorded() + qs.dropped(), issued);
+  EXPECT_GT(qs.recorded(), 0u);
+  EXPECT_GT(qs.dropped(), 0u);
+  server.Stop();
+}
+
+// Abrupt disconnect mid-exchange (PR 10): the session executes a
+// statement it can no longer answer — the client is gone — but the
+// query-store record must still be finalized exactly once: execution is
+// synchronous in the session worker and the record is assembled at the
+// executor's rollup point, before any doomed send.
+TEST_F(ChaosTest, AbruptDisconnectStillFinalizesCaptureRecord) {
+  ServerOptions sopts;
+  sopts.workers = 1;
+  Server server(&db_, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  const uint64_t before = server.query_store()->recorded();
+  {
+    Client c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server.port()).ok());
+    // Fire the query and vanish without reading the response.
+    ASSERT_TRUE(WriteFrame(c.fd(), MsgType::kQuery,
+                           EncodeQuery({"SELECT sum(col0) FROM c WHERE "
+                                        "col0 < 900",
+                                        0xabad1deaull}))
+                    .ok());
+    c.Abort();
+  }
+  // The worker finishes the statement and finalizes the record.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5000);
+  while (server.query_store()->recorded() == before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.query_store()->recorded(), before + 1);
+  auto recent = server.query_store()->Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].trace_id, 0xabad1deaull);
+  EXPECT_TRUE(recent[0].ok());
+  // And the session itself drains without leaks.
+  const auto drain =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5000);
+  while (server.sessions_active() > 0 &&
+         std::chrono::steady_clock::now() < drain) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.sessions_active(), 0);
+  server.Stop();
+}
+
 // Restart chaos (docs/ROBUSTNESS.md "Durability"): a concurrent
 // transactional insert workload over a DURABLE database is killed without
 // a checkpoint or clean shutdown — with fsync faults injected mid-run —

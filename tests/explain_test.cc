@@ -360,7 +360,7 @@ TEST(TraceTest, ParallelScanEmitsValidChromeTraceJson) {
   EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
-  EXPECT_NE(json.find("\"hd-trace/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"hd-trace/2\""), std::string::npos);
   EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
   // Events carry the operator label and morsel index.
   EXPECT_NE(json.find("[t]"), std::string::npos);

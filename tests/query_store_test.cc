@@ -1,0 +1,469 @@
+// Query store tests (PR 10): statement fingerprints, the lock-sharded
+// record ring, aggregates, slow log, hd-qlog/1 persistence, executor
+// capture integration, and the capture → advisor round trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "core/advisor.h"
+#include "exec/executor.h"
+#include "exec/explain.h"
+#include "obs/capture_ingest.h"
+#include "obs/query_store.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace hd {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fingerprint normalization: the fingerprint must identify a statement
+// *class*, not an individual statement instance.
+// ---------------------------------------------------------------------
+
+TEST(FingerprintTest, LiteralInsensitive) {
+  // Numeric and string literals are stripped to `?` — the whole point of
+  // workload compression by template.
+  EXPECT_EQ(FingerprintSql("SELECT sum(revenue) FROM sales WHERE day < 5"),
+            FingerprintSql("SELECT sum(revenue) FROM sales WHERE day < 900"));
+  EXPECT_EQ(
+      FingerprintSql("SELECT count(*) FROM sales WHERE region = 'east'"),
+      FingerprintSql("SELECT count(*) FROM sales WHERE region = 'west'"));
+}
+
+TEST(FingerprintTest, CaseAndWhitespaceInsensitive) {
+  EXPECT_EQ(FingerprintSql("select   sum(revenue)\n\tFROM sales"),
+            FingerprintSql("SELECT SUM(REVENUE) FROM SALES"));
+  EXPECT_EQ(NormalizeSql("select  a from t  where a <  5"),
+            NormalizeSql("SELECT A FROM T WHERE A < 99"));
+}
+
+TEST(FingerprintTest, DistinctAcrossTableColumnOperator) {
+  const uint64_t base = FingerprintSql("SELECT sum(a) FROM t WHERE b < 5");
+  // Different table.
+  EXPECT_NE(base, FingerprintSql("SELECT sum(a) FROM u WHERE b < 5"));
+  // Different column.
+  EXPECT_NE(base, FingerprintSql("SELECT sum(a) FROM t WHERE c < 5"));
+  // Different operator.
+  EXPECT_NE(base, FingerprintSql("SELECT sum(a) FROM t WHERE b > 5"));
+  // Different aggregate.
+  EXPECT_NE(base, FingerprintSql("SELECT count(a) FROM t WHERE b < 5"));
+}
+
+TEST(FingerprintTest, NormalizedTextShowsPlaceholders) {
+  const std::string norm =
+      NormalizeSql("SELECT day FROM sales WHERE region = 'east' AND day < 40");
+  EXPECT_EQ(norm.find("east"), std::string::npos);
+  EXPECT_EQ(norm.find("40"), std::string::npos);
+  EXPECT_NE(norm.find("?"), std::string::npos);
+  EXPECT_NE(norm.find("SALES"), std::string::npos);
+}
+
+TEST(FingerprintTest, HexRendering) {
+  EXPECT_EQ(FingerprintHex(0), "0000000000000000");
+  EXPECT_EQ(FingerprintHex(0xabcdef0123456789ull), "abcdef0123456789");
+  EXPECT_EQ(FingerprintHex(0xabcdef0123456789ull).size(), 16u);
+}
+
+// ---------------------------------------------------------------------
+// Store mechanics: ring retention, eviction, aggregates, slow log.
+// ---------------------------------------------------------------------
+
+QueryRecord MakeRec(const std::string& sql, double ms,
+                    Code code = Code::kOk) {
+  QueryRecord rec;
+  rec.sql = sql;
+  rec.norm = sql;  // tests use pre-normalized text
+  rec.kind = "select";
+  rec.code = code;
+  rec.latency_ms = ms;
+  rec.rows_out = 7;
+  return rec;
+}
+
+TEST(QueryStoreTest, RecordAssignsSeqAndTimestamp) {
+  QueryStore qs;
+  qs.Record(MakeRec("SELECT A FROM T", 1.5));
+  qs.Record(MakeRec("SELECT A FROM T", 2.5));
+  EXPECT_EQ(qs.recorded(), 2u);
+  auto recent = qs.Recent(10);
+  ASSERT_EQ(recent.size(), 2u);
+  // Newest first; seq is monotone; ts assigned.
+  EXPECT_GT(recent[0].seq, recent[1].seq);
+  EXPECT_GT(recent[0].ts_ms, 0u);
+  EXPECT_NE(recent[0].fingerprint, 0u);
+}
+
+TEST(QueryStoreTest, ConcurrentWritersRespectCapacity) {
+  QueryStoreOptions o;
+  o.capacity = 16;
+  QueryStore qs(o);
+  constexpr int kThreads = 4, kPerThread = 200;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&qs, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        qs.Record(MakeRec("SELECT ? FROM T" + std::to_string(t), 0.1 + i));
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  const uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(qs.recorded(), total);
+  const auto recent = qs.Recent(1000);
+  EXPECT_LE(recent.size(), 16u);
+  EXPECT_GT(recent.size(), 0u);
+  // Every record either stayed in the ring or was counted evicted.
+  EXPECT_EQ(qs.evicted() + recent.size(), total);
+  // FIFO per shard: the retained set is biased to the newest seqs; the
+  // single newest record is always retained.
+  uint64_t max_seq = 0;
+  for (const auto& r : recent) max_seq = std::max(max_seq, r.seq);
+  EXPECT_EQ(max_seq, total);
+}
+
+TEST(QueryStoreTest, FingerprintAggregates) {
+  QueryStore qs;
+  for (double ms : {1.0, 2.0, 3.0, 10.0}) {
+    qs.Record(MakeRec("SELECT A FROM T WHERE B < ?", ms));
+  }
+  qs.Record(MakeRec("SELECT C FROM U", 5.0, Code::kInvalidArgument));
+  auto fps = qs.Fingerprints();
+  ASSERT_EQ(fps.size(), 2u);
+  // Sorted by total time: the 16ms class first.
+  EXPECT_EQ(fps[0].calls, 4u);
+  EXPECT_EQ(fps[0].errors, 0u);
+  EXPECT_DOUBLE_EQ(fps[0].total_ms, 16.0);
+  EXPECT_DOUBLE_EQ(fps[0].min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(fps[0].max_ms, 10.0);
+  EXPECT_GT(fps[0].p95_ms, 0.0);
+  EXPECT_EQ(fps[0].rows_out, 4u * 7u);
+  EXPECT_EQ(fps[1].calls, 1u);
+  EXPECT_EQ(fps[1].errors, 1u);
+}
+
+TEST(QueryStoreTest, SlowLogThreshold) {
+  QueryStoreOptions o;
+  o.slow_query_ms = 5.0;
+  QueryStore qs(o);
+  qs.Record(MakeRec("FAST", 1.0));
+  qs.Record(MakeRec("SLOW ONE", 9.0));
+  qs.Record(MakeRec("SLOW TWO", 5.0));  // at threshold counts
+  EXPECT_EQ(qs.slow_count(), 2u);
+  auto slow = qs.Slow(10);
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_TRUE(slow[0].slow);
+  EXPECT_EQ(slow[0].sql, "SLOW TWO");  // newest first
+  EXPECT_EQ(slow[1].sql, "SLOW ONE");
+  // Disabled by default: no record is flagged.
+  QueryStore off;
+  off.Record(MakeRec("ANY", 1e6));
+  EXPECT_EQ(off.slow_count(), 0u);
+}
+
+TEST(QueryStoreTest, RenderSurfacesAreNonEmpty) {
+  QueryStoreOptions o;
+  o.slow_query_ms = 0;
+  QueryStore qs(o);
+  qs.Record(MakeRec("SELECT A FROM T", 1.0));
+  EXPECT_NE(qs.RenderTop().find("SELECT A FROM T"), std::string::npos);
+  EXPECT_NE(qs.RenderSlow().find("slow-query log"), std::string::npos);
+  EXPECT_NE(qs.RenderFingerprints().find("fingerprint classes: 1"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// hd-qlog/1 persistence: live append, export, and ingestion.
+// ---------------------------------------------------------------------
+
+TEST(QlogTest, JsonLineCarriesIdentityFields) {
+  QueryRecord rec = MakeRec("SELECT A FROM T WHERE B = 'x'", 2.25);
+  rec.seq = 3;
+  rec.ts_ms = 1700000000000ull;
+  rec.trace_id = 0xdeadbeef12345678ull;
+  rec.fingerprint = 42;
+  const std::string line = QueryStore::ToQlogJson(rec);
+  EXPECT_NE(line.find("\"schema\":\"hd-qlog/1\""), std::string::npos);
+  EXPECT_NE(line.find("\"trace\":\"deadbeef12345678\""), std::string::npos);
+  EXPECT_NE(line.find("\"fp\":\"000000000000002a\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(line.find("\"latency_ms\":2.250"), std::string::npos);
+  // Embedded quotes must be escaped.
+  EXPECT_NE(line.find("B = 'x'"), std::string::npos);
+}
+
+TEST(QlogTest, ExportRoundTripsThroughLoadQlog) {
+  QueryStore qs;
+  // Three calls of one class (different literals pre-normalized away),
+  // one of another, one failure that the loader must skip.
+  for (int i = 0; i < 3; ++i) {
+    QueryRecord r = MakeRec("SELECT SUM(REVENUE) FROM SALES WHERE DAY < ?",
+                            1.0 + i);
+    r.sql = "SELECT sum(revenue) FROM sales WHERE day < " + std::to_string(i);
+    qs.Record(std::move(r));
+  }
+  qs.Record(MakeRec("SELECT COUNT(*) FROM SALES", 2.0));
+  qs.Record(MakeRec("SELEC BOGUS", 0.1, Code::kInvalidArgument));
+
+  const std::string path = "qlog_export_test.jsonl";
+  ASSERT_TRUE(qs.ExportQlog(path).ok());
+  auto classes = LoadQlog(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(classes.ok()) << classes.status().ToString();
+  ASSERT_EQ(classes->size(), 2u);  // failure skipped
+  EXPECT_EQ((*classes)[0].calls, 3u);
+  EXPECT_EQ((*classes)[0].sql,
+            "SELECT sum(revenue) FROM sales WHERE day < 0");  // first seen
+  EXPECT_EQ((*classes)[1].calls, 1u);
+}
+
+TEST(QlogTest, ExportedTimestampsAreMonotone) {
+  QueryStore qs;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&qs] {
+      for (int i = 0; i < 50; ++i) qs.Record(MakeRec("SELECT A FROM T", 0.1));
+    });
+  }
+  for (auto& th : ts) th.join();
+  const std::string path = "qlog_monotone_test.jsonl";
+  ASSERT_TRUE(qs.ExportQlog(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  uint64_t last_ts = 0, last_seq = 0;
+  int lines = 0;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    ++lines;
+    const char* tp = std::strstr(buf, "\"ts_ms\":");
+    const char* sp = std::strstr(buf, "\"seq\":");
+    ASSERT_NE(tp, nullptr);
+    ASSERT_NE(sp, nullptr);
+    const uint64_t ts_ms = std::strtoull(tp + 8, nullptr, 10);
+    const uint64_t seq = std::strtoull(sp + 6, nullptr, 10);
+    EXPECT_GE(ts_ms, last_ts);
+    EXPECT_GT(seq, last_seq);
+    last_ts = ts_ms;
+    last_seq = seq;
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 200);
+}
+
+TEST(QlogTest, LiveQlogAppendsOneLinePerRecord) {
+  const std::string path = "qlog_live_test.jsonl";
+  std::remove(path.c_str());
+  {
+    QueryStoreOptions o;
+    o.qlog_path = path;
+    QueryStore qs(o);
+    qs.Record(MakeRec("SELECT A FROM T", 1.0));
+    qs.Record(MakeRec("SELECT B FROM T", 2.0));
+    qs.Flush();
+  }
+  auto classes = LoadQlog(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(classes.ok()) << classes.status().ToString();
+  EXPECT_EQ(classes->size(), 2u);
+}
+
+TEST(QlogTest, LoaderRejectsWrongSchemaAndGarbage) {
+  const std::string path = "qlog_bad_test.jsonl";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"schema\":\"hd-stats/1\",\"sql\":\"SELECT 1\"}\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadQlog(path).ok());
+  f = std::fopen(path.c_str(), "w");
+  std::fputs("this is not json\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadQlog(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadQlog("no_such_file_qlog.jsonl").ok());
+}
+
+// ---------------------------------------------------------------------
+// Failpoint: capture is best-effort by contract.
+// ---------------------------------------------------------------------
+
+TEST(QueryStoreTest, PoisonedRecordDropsSilently) {
+  QueryStore qs;
+  {
+    ScopedFailPoint fp("querystore.record",
+                       FailSpec::Always(Code::kIoError, "store poisoned"));
+    qs.Record(MakeRec("SELECT A FROM T", 1.0));
+    EXPECT_EQ(qs.recorded(), 0u);
+    EXPECT_EQ(qs.dropped(), 1u);
+    EXPECT_TRUE(qs.Recent(10).empty());
+  }
+  // Disarmed: the store works again.
+  qs.Record(MakeRec("SELECT A FROM T", 1.0));
+  EXPECT_EQ(qs.recorded(), 1u);
+  EXPECT_EQ(qs.dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Executor capture integration: records assembled at the rollup point.
+// ---------------------------------------------------------------------
+
+class CaptureExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = db_.CreateTable(
+        "sales", Schema({{"region", ValueType::kString, 8},
+                         {"day", ValueType::kInt32, 0},
+                         {"units", ValueType::kInt32, 0},
+                         {"revenue", ValueType::kDouble, 0}}));
+    ASSERT_TRUE(t.ok());
+    static const char* kRegions[] = {"east", "north", "south", "west"};
+    std::vector<Row> rows;
+    for (int i = 0; i < 8000; ++i) {
+      rows.push_back({Value::String(kRegions[i % 4]), Value::Int32(i % 365),
+                      Value::Int32(1 + i % 9), Value::Double(5.0 + i % 200)});
+    }
+    t.value()->BulkLoad(rows);
+    ASSERT_TRUE(t.value()->SetPrimary(PrimaryKind::kBTree, {0, 1}).ok());
+    ASSERT_TRUE(t.value()->CreateSecondaryColumnStore("csi_sales").ok());
+    t.value()->Analyze();
+  }
+
+  QueryResult RunSql(const std::string& sql, QueryStore* qs,
+                     uint64_t trace_id = 0) {
+    auto q = ParseSql(db_, sql);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Optimizer opt(&db_);
+    auto plan = opt.Plan(*q, Configuration::FromCatalog(db_), {});
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    ExecContext ctx;
+    ctx.db = &db_;
+    ctx.max_dop = 2;
+    if (qs != nullptr) {
+      ctx.query_store = qs;
+      ctx.capture.sql = sql;
+      ctx.capture.norm = NormalizeSql(sql);
+      ctx.capture.fingerprint = FingerprintText(ctx.capture.norm);
+      ctx.capture.trace_id = trace_id;
+    }
+    Executor ex(ctx);
+    return ex.Execute(*q, plan->plan);
+  }
+
+  Database db_;
+};
+
+TEST_F(CaptureExecTest, ExecutorAssemblesFullRecord) {
+  QueryStore qs;
+  const std::string sql =
+      "SELECT region, sum(revenue) FROM sales GROUP BY region";
+  QueryResult r = RunSql(sql, &qs, /*trace_id=*/0x77);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.trace_id, 0x77u);
+  ASSERT_EQ(qs.recorded(), 1u);
+  auto recent = qs.Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  const QueryRecord& rec = recent[0];
+  EXPECT_EQ(rec.sql, sql);
+  EXPECT_EQ(rec.trace_id, 0x77u);
+  EXPECT_EQ(rec.kind, "select");
+  EXPECT_EQ(rec.fingerprint, FingerprintSql(sql));
+  EXPECT_FALSE(rec.plan.empty()) << "plan shape must be captured";
+  EXPECT_EQ(rec.rows_out, 4u);  // one row per region
+  EXPECT_GT(rec.rows_scanned, 0u);
+  EXPECT_GE(rec.latency_ms, 0.0);
+  EXPECT_TRUE(rec.ok());
+}
+
+TEST_F(CaptureExecTest, UpdateRecordsKindAndAffectedRows) {
+  QueryStore qs;
+  QueryResult r =
+      RunSql("UPDATE sales SET revenue = revenue + 1 WHERE day = 3", &qs);
+  ASSERT_TRUE(r.ok());
+  auto recent = qs.Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].kind, "update");
+  EXPECT_GT(recent[0].rows_out, 0u);  // affected rows
+}
+
+TEST_F(CaptureExecTest, TraceIdAppearsInExplainAnalyze) {
+  auto q = ParseSql(db_, "EXPLAIN ANALYZE SELECT count(*) FROM sales");
+  ASSERT_TRUE(q.ok());
+  Optimizer opt(&db_);
+  auto plan = opt.Plan(*q, Configuration::FromCatalog(db_), {});
+  ASSERT_TRUE(plan.ok());
+  ExecContext ctx;
+  ctx.db = &db_;
+  ctx.capture.trace_id = 0xabcdef0123456789ull;
+  Executor ex(ctx);
+  QueryResult r = ex.Execute(*q, plan->plan);
+  ASSERT_TRUE(r.ok());
+  const std::string text = ExplainAnalyze(*q, plan->plan, r);
+  EXPECT_NE(text.find("Trace: abcdef0123456789"), std::string::npos) << text;
+}
+
+TEST_F(CaptureExecTest, PoisonedStoreNeverFailsTheQuery) {
+  QueryStore qs;
+  ScopedFailPoint fp("querystore.record",
+                     FailSpec::Always(Code::kIoError, "store poisoned"));
+  QueryResult r = RunSql("SELECT count(*) FROM sales", &qs);
+  EXPECT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(qs.recorded(), 0u);
+  EXPECT_EQ(qs.dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// The capture loop: captured traffic drives the advisor to the same
+// recommendation as the equivalent hand-written workload.
+// ---------------------------------------------------------------------
+
+TEST_F(CaptureExecTest, AdvisorConsumesCapturedWorkload) {
+  // Fig-6-style traffic: a selective point lookup class (B+ tree
+  // friendly) and an analytic scan class (columnstore friendly), with
+  // call counts as the weights.
+  const std::vector<std::pair<std::string, int>> traffic = {
+      {"SELECT units FROM sales WHERE region = 'east' AND day = 7", 6},
+      {"SELECT region, sum(revenue) FROM sales GROUP BY region", 3},
+      {"SELECT count(*) FROM sales WHERE day < 120", 2},
+  };
+  QueryStore qs;
+  std::vector<Query> handwritten;
+  for (const auto& [sql, calls] : traffic) {
+    for (int i = 0; i < calls; ++i) {
+      ASSERT_TRUE(RunSql(sql, &qs).ok());
+    }
+    auto q = ParseSql(db_, sql);
+    ASSERT_TRUE(q.ok());
+    q->weight = calls;
+    handwritten.push_back(std::move(*q));
+  }
+  const std::string path = "qlog_advisor_test.jsonl";
+  ASSERT_TRUE(qs.ExportQlog(path).ok());
+  size_t skipped = 0;
+  auto captured = WorkloadFromCapture(db_, path, &skipped);
+  std::remove(path.c_str());
+  ASSERT_TRUE(captured.ok()) << captured.status().ToString();
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(captured->size(), traffic.size());
+  // Class weights match observed call counts.
+  double total_weight = 0;
+  for (const Query& q : *captured) total_weight += q.weight;
+  EXPECT_DOUBLE_EQ(total_weight, 11.0);
+
+  // Same recommendation from the capture as from the hand-written
+  // workload it mirrors.
+  AdvisorOptions ao;
+  ao.mode = AdvisorMode::kHybrid;
+  auto rec_hand = Advisor(&db_, ao).Recommend(handwritten);
+  auto rec_cap = Advisor(&db_, ao).Recommend(*captured);
+  ASSERT_TRUE(rec_hand.ok()) << rec_hand.status().ToString();
+  ASSERT_TRUE(rec_cap.ok()) << rec_cap.status().ToString();
+  EXPECT_EQ(rec_cap->config.Describe(), rec_hand->config.Describe());
+}
+
+}  // namespace
+}  // namespace hd

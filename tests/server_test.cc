@@ -800,5 +800,169 @@ TEST_F(ServerTest, WriteFailpointClosesSessionWithoutLeaks) {
   EXPECT_EQ(server->txns()->locks()->TotalGranted(), 0u);
 }
 
+// ---- Trace ids on the wire (§2.3/§2.6 optional trailing field) ----
+
+TEST_F(ServerTest, QueryAndResultDoneCarryTraceIds) {
+  {
+    QueryMsg m;
+    ASSERT_TRUE(
+        DecodeQuery(EncodeQuery({"SELECT 1", 0xfeed0000beefull}), &m).ok());
+    EXPECT_EQ(m.sql, "SELECT 1");
+    EXPECT_EQ(m.trace_id, 0xfeed0000beefull);
+  }
+  {
+    ResultDoneMsg in, out;
+    in.row_count = 3;
+    in.trace_id = 0x42;
+    ASSERT_TRUE(DecodeResultDone(EncodeResultDone(in), &out).ok());
+    EXPECT_EQ(out.trace_id, 0x42u);
+  }
+}
+
+TEST_F(ServerTest, LegacyFramesWithoutTraceIdStillDecode) {
+  // A pre-trace peer omits the trailing u64 entirely (§5 minor rev):
+  // absence decodes as trace_id 0, but bytes *after* the field are still
+  // a decode error.
+  WireWriter w;
+  w.Str("SELECT count(*) FROM sales");
+  QueryMsg m;
+  ASSERT_TRUE(DecodeQuery(w.buf(), &m).ok());
+  EXPECT_EQ(m.sql, "SELECT count(*) FROM sales");
+  EXPECT_EQ(m.trace_id, 0u);
+
+  WireWriter bad;
+  bad.Str("SELECT 1");
+  bad.U64(7);
+  bad.U8(1);  // trailing garbage past the optional field
+  EXPECT_FALSE(DecodeQuery(bad.buf(), &m).ok());
+
+  WireWriter done;  // legacy ResultDone: row_count, affected, exec_ms, info
+  done.U64(1);
+  done.U64(0);
+  done.F64(0.5);
+  done.Str("");
+  ResultDoneMsg d;
+  ASSERT_TRUE(DecodeResultDone(done.buf(), &d).ok());
+  EXPECT_EQ(d.trace_id, 0u);
+}
+
+TEST_F(ServerTest, PinnedTraceIdIsEchoedEndToEnd) {
+  auto server = StartServer();
+  Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port()).ok());
+  auto r = c.Query("SELECT count(*) FROM sales", /*trace_id=*/0xc0ffee);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->trace_id, 0xc0ffeeu);
+  // Unpinned: the client stamps its own (high bit = client origin),
+  // distinct per statement, echoed back by the server.
+  auto a = c.Query("SELECT count(*) FROM sales");
+  auto b = c.Query("SELECT count(*) FROM sales");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->trace_id, 0u);
+  EXPECT_NE(a->trace_id, b->trace_id);
+  EXPECT_EQ(a->trace_id >> 63, 1u);
+  // The server's query store holds the same ids.
+  ASSERT_NE(server->query_store(), nullptr);
+  auto recent = server->query_store()->Recent(10);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[2].trace_id, 0xc0ffeeu);
+  EXPECT_EQ(recent[0].trace_id, b->trace_id);
+}
+
+TEST_F(ServerTest, ServerAssignsTraceIdToLegacyClients) {
+  auto server = StartServer();
+  const int fd = RawHandshake(server->port());
+  WireWriter w;  // Query frame with NO trace field, like an old client
+  w.Str("SELECT count(*) FROM sales");
+  ASSERT_TRUE(WriteFrame(fd, MsgType::kQuery, w.buf()).ok());
+  uint64_t assigned = 0;
+  for (;;) {
+    Frame f;
+    ASSERT_TRUE(ReadFrame(fd, &f).ok());
+    if (f.type == MsgType::kResultDone) {
+      ResultDoneMsg d;
+      ASSERT_TRUE(DecodeResultDone(f.payload, &d).ok());
+      assigned = d.trace_id;
+      break;
+    }
+    ASSERT_NE(f.type, MsgType::kError);
+  }
+  ::close(fd);
+  EXPECT_NE(assigned, 0u) << "server must assign when the client sent none";
+  EXPECT_EQ(assigned >> 63, 0u) << "server-assigned ids have no client bit";
+}
+
+// ---- `.queries` over the wire ----
+
+TEST_F(ServerTest, QueriesCommandOverTheWire) {
+  ServerOptions so;
+  so.slow_query_ms = 0;  // everything is "slow": exercises the slow log
+  auto server = StartServer(so);
+  Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port()).ok());
+  ASSERT_TRUE(c.Query("SELECT count(*) FROM sales WHERE day < 10").ok());
+  ASSERT_TRUE(c.Query("SELECT count(*) FROM sales WHERE day < 99").ok());
+
+  auto top = c.Query(".queries");
+  ASSERT_TRUE(top.ok());
+  EXPECT_NE(top->info.find("query store: 2 recorded"), std::string::npos)
+      << top->info;
+  EXPECT_NE(top->info.find("WHERE day < 99"), std::string::npos);
+
+  auto fp = c.Query(".queries fingerprints");
+  ASSERT_TRUE(fp.ok());
+  // Same class: literals normalized away, 2 calls on one fingerprint.
+  EXPECT_NE(fp->info.find("fingerprint classes: 1"), std::string::npos)
+      << fp->info;
+
+  auto slow = c.Query(".queries slow");
+  ASSERT_TRUE(slow.ok());
+  EXPECT_NE(slow->info.find("slow-query log"), std::string::npos);
+
+  auto bad = c.Query(".queries bogus");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument()) << bad.status().ToString();
+}
+
+TEST_F(ServerTest, QueriesCommandWhenStoreDisabled) {
+  ServerOptions so;
+  so.query_store_capacity = 0;
+  auto server = StartServer(so);
+  EXPECT_EQ(server->query_store(), nullptr);
+  Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port()).ok());
+  ASSERT_TRUE(c.Query("SELECT count(*) FROM sales").ok());  // still serves
+  auto r = c.Query(".queries");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Code::kNotSupported) << r.status().ToString();
+}
+
+TEST_F(ServerTest, QlogCapturesWireTrafficWithTraceIds) {
+  const std::string path = "server_qlog_test.jsonl";
+  std::remove(path.c_str());
+  ServerOptions so;
+  so.qlog_path = path;
+  auto server = StartServer(so);
+  Client c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port()).ok());
+  auto r = c.Query("SELECT region, sum(revenue) FROM sales GROUP BY region");
+  ASSERT_TRUE(r.ok());
+  server->query_store()->Flush();
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  // The trace id the client printed is greppable in the server's qlog —
+  // the correlation contract the CI smoke test relies on.
+  EXPECT_NE(contents.find("\"schema\":\"hd-qlog/1\""), std::string::npos);
+  EXPECT_NE(contents.find(FingerprintHex(r->trace_id)), std::string::npos);
+  EXPECT_NE(contents.find("GROUP BY region"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hd

@@ -4,6 +4,7 @@
 Usage:
     check_stats.py --jsonl stats.jsonl [--min-samples N]
     check_stats.py --prom metrics.prom
+    check_stats.py --qlog qlog.jsonl [--min-samples N]
 
 JSONL mode checks the hd-stats/1 sampler stream: every line is a JSON
 object with the right schema tag, non-decreasing timestamps, non-negative
@@ -13,7 +14,10 @@ p99 <= p999 <= max, count*min <= sum). The cumulative join counters
 containment invariant join.bloom_filtered <= join.bloom_checks (a filter
 cannot drop more keys than it tested). Prometheus mode checks the text
 exposition: every line is a `# TYPE` comment or a `name[{labels}] value`
-sample with an `hd_`-prefixed, well-formed metric name.
+sample with an `hd_`-prefixed, well-formed metric name. Qlog mode checks
+the hd-qlog/1 query-store capture stream: per line, schema tag, unique
+non-negative seq, non-decreasing ts_ms, 16-hex-digit fp and trace ids,
+non-negative latency_ms, and a known kind/status vocabulary.
 """
 
 import argparse
@@ -80,6 +84,69 @@ def check_jsonl(path, min_samples):
     print(f"check_stats: {path} ok: {len(lines)} hd-stats/1 samples")
 
 
+HEX16 = re.compile(r"^[0-9a-f]{16}$")
+QLOG_KINDS = {"select", "insert", "update", "delete", "invalid", "unknown", ""}
+QLOG_STATUS = {"ok", "error"}
+
+
+def check_qlog(path, min_samples):
+    lines = [ln for ln in open(path, encoding="utf-8") if ln.strip()]
+    if len(lines) < min_samples:
+        fail(f"{path}: {len(lines)} records, expected >= {min_samples}")
+    last_ts = 0
+    seen_seq = set()
+    slow = errors = 0
+    for i, ln in enumerate(lines):
+        try:
+            rec = json.loads(ln)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i + 1}: not valid JSON: {e}")
+        if rec.get("schema") != "hd-qlog/1":
+            fail(f"{path}:{i + 1}: schema {rec.get('schema')!r}")
+        # seq is assigned before the serialized append, so concurrent
+        # writers may land slightly out of order in a live log; uniqueness
+        # is the invariant, not strict ordering.
+        seq = rec.get("seq")
+        if not isinstance(seq, int) or seq < 0 or seq in seen_seq:
+            fail(f"{path}:{i + 1}: seq {seq!r} missing, negative, or duplicate")
+        seen_seq.add(seq)
+        ts = rec.get("ts_ms")
+        if not isinstance(ts, int) or ts < last_ts:
+            fail(f"{path}:{i + 1}: ts_ms {ts!r} not monotonic (prev {last_ts})")
+        last_ts = ts
+        for field in ("fp", "trace"):
+            v = rec.get(field)
+            if not isinstance(v, str) or not HEX16.match(v):
+                fail(f"{path}:{i + 1}: {field} {v!r} is not 16 hex digits")
+        for field in ("latency_ms", "queue_ms"):
+            v = rec.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                fail(f"{path}:{i + 1}: {field} {v!r}")
+        if rec.get("kind") not in QLOG_KINDS:
+            fail(f"{path}:{i + 1}: unknown kind {rec.get('kind')!r}")
+        status = rec.get("status")
+        if status not in QLOG_STATUS:
+            fail(f"{path}:{i + 1}: unknown status {status!r}")
+        if status == "error":
+            errors += 1
+            if rec.get("code", 0) == 0:
+                fail(f"{path}:{i + 1}: status=error but code=0")
+        if not isinstance(rec.get("sql"), str) or not isinstance(
+            rec.get("norm"), str
+        ):
+            fail(f"{path}:{i + 1}: sql/norm missing or not strings")
+        for field in ("rows_out", "rows_scanned", "decode_bytes", "session"):
+            v = rec.get(field)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{path}:{i + 1}: {field} {v!r}")
+        if rec.get("slow"):
+            slow += 1
+    print(
+        f"check_stats: {path} ok: {len(lines)} hd-qlog/1 records "
+        f"({errors} errors, {slow} slow)"
+    )
+
+
 def check_prom(path):
     lines = [ln.rstrip("\n") for ln in open(path, encoding="utf-8")]
     samples = 0
@@ -102,14 +169,17 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jsonl", help="hd-stats/1 JSONL file to validate")
     ap.add_argument("--prom", help="Prometheus text exposition to validate")
+    ap.add_argument("--qlog", help="hd-qlog/1 query-store JSONL to validate")
     ap.add_argument("--min-samples", type=int, default=2)
     args = ap.parse_args()
-    if not args.jsonl and not args.prom:
-        ap.error("need --jsonl and/or --prom")
+    if not args.jsonl and not args.prom and not args.qlog:
+        ap.error("need --jsonl, --prom, and/or --qlog")
     if args.jsonl:
         check_jsonl(args.jsonl, args.min_samples)
     if args.prom:
         check_prom(args.prom)
+    if args.qlog:
+        check_qlog(args.qlog, args.min_samples)
 
 
 if __name__ == "__main__":
